@@ -1,0 +1,86 @@
+// Figure 5 — "Quality of Diff".
+//
+// The paper plots the size of the delta computed by the diff against the
+// size of the synthetic ("perfect") delta produced by the change
+// simulator, for documents from a few hundred bytes to a megabyte and a
+// sweep of change parameters including a high proportion of moves.
+// Claimed shape: the computed delta tracks the perfect delta (ratio ~1)
+// at low change rates; around ~30% changed nodes with many moves it may
+// reach ~1.5x; at very high change rates it recovers and can even beat
+// the simulator's script ("finds ways to compress the set of changes").
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/buld.h"
+#include "delta/delta_xml.h"
+#include "simulator/change_simulator.h"
+#include "simulator/doc_generator.h"
+#include "util/random.h"
+
+int main() {
+  using namespace xydiff;
+
+  bench::Banner("Figure 5: computed delta size vs synthetic delta size",
+                "ICDE 2002 paper, Figure 5 (points near the diagonal)");
+
+  std::printf("%-10s %-8s %-8s %14s %14s %8s\n", "doc_bytes", "change%",
+              "move%", "perfect_bytes", "computed_bytes", "ratio");
+  bench::Rule();
+
+  Rng rng(7);
+  double worst = 0;
+  double sum_ratio = 0;
+  int count = 0;
+
+  for (size_t target : {512u, 4096u, 32768u, 262144u, 1048576u}) {
+    for (double rate : {0.01, 0.05, 0.1, 0.2, 0.3, 0.5}) {
+      for (double move_rate : {rate / 2, rate * 2}) {
+        DocGenOptions gen;
+        gen.target_bytes = target;
+        XmlDocument base = GenerateDocument(&rng, gen);
+        base.AssignInitialXids();
+
+        ChangeSimOptions sim;
+        sim.delete_probability = rate;
+        sim.update_probability = rate;
+        sim.insert_probability = rate;
+        sim.move_probability = move_rate;
+        Result<SimulatedChange> change = SimulateChanges(base, sim, &rng);
+        if (!change.ok()) {
+          std::fprintf(stderr, "%s\n", change.status().ToString().c_str());
+          return 1;
+        }
+
+        XmlDocument a = base.Clone();
+        XmlDocument b = change->new_version.Clone();
+        Result<Delta> computed = XyDiff(&a, &b);
+        if (!computed.ok()) {
+          std::fprintf(stderr, "%s\n", computed.status().ToString().c_str());
+          return 1;
+        }
+
+        const double perfect_bytes =
+            static_cast<double>(SerializeDelta(change->perfect_delta).size());
+        const double computed_bytes =
+            static_cast<double>(SerializeDelta(*computed).size());
+        const double ratio =
+            perfect_bytes > 0 ? computed_bytes / perfect_bytes : 1.0;
+        worst = std::max(worst, ratio);
+        sum_ratio += ratio;
+        ++count;
+        std::printf("%-10zu %-8.0f %-8.0f %14.0f %14.0f %8.2f\n", target,
+                    rate * 100, move_rate * 100, perfect_bytes,
+                    computed_bytes, ratio);
+      }
+    }
+  }
+
+  bench::Rule();
+  std::printf("points: %d   mean ratio: %.2f   worst ratio: %.2f\n", count,
+              sum_ratio / count, worst);
+  std::printf(
+      "\nExpected shape (paper): ratio ~1 at low and very high change\n"
+      "rates, bounded by ~1.5x in the move-heavy middle range.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Figure 6 — "Delta over Unix Diff size ratio".
+//
+// The paper ran the diff over ~200 real web XML documents that changed on
+// a per-week basis and compared the delta size against the Unix diff
+// output for the same pair, plotted against original document size.
+// Claimed shape: the deltas are "on average roughly the size of the Unix
+// Diff result", scattered mostly between 0.5x and 2x, even though deltas
+// carry far more structural information.
+//
+// The real 2001 crawl is unavailable; we substitute a generated corpus
+// with the same size distribution (log-normal around ~10 KB, 100 B–1 MB)
+// and the weekly change profile (see DESIGN.md, substitutions).
+
+#include <cmath>
+#include <cstdio>
+
+#include "baseline/myers_diff.h"
+#include "bench/bench_util.h"
+#include "core/buld.h"
+#include "delta/delta_xml.h"
+#include "simulator/change_simulator.h"
+#include "simulator/web_corpus.h"
+#include "util/random.h"
+#include "xml/serializer.h"
+
+int main() {
+  using namespace xydiff;
+
+  bench::Banner("Figure 6: delta size / Unix-diff size on weekly web XML",
+                "ICDE 2002 paper, Figure 6 (ratio ~1, band 0.5x-2x)");
+
+  Rng rng(2001);
+  WebCorpusOptions corpus_options;
+  corpus_options.document_count = 200;
+  std::vector<XmlDocument> corpus = GenerateWebCorpus(&rng, corpus_options);
+
+  const ChangeSimOptions weekly = WeeklyWebChangeProfile();
+  // Unix diff works on pretty-printed XML (one element per line), the
+  // favourable layout for a line diff; the paper notes long-line
+  // documents make Unix diff much worse.
+  const SerializeOptions pretty{.pretty = true};
+
+  double sum_ratio = 0;
+  double sum_log_ratio = 0;
+  int within_half_to_double = 0;
+  int delta_smaller = 0;
+  int count = 0;
+  int changed_docs = 0;
+
+  std::printf("%-4s %12s %12s %12s %8s\n", "doc", "orig_bytes", "delta_bytes",
+              "unixdiff_b", "ratio");
+  bench::Rule();
+
+  for (size_t d = 0; d < corpus.size(); ++d) {
+    XmlDocument& base = corpus[d];
+    base.AssignInitialXids();
+    Result<SimulatedChange> change = SimulateChanges(base, weekly, &rng);
+    if (!change.ok()) {
+      std::fprintf(stderr, "%s\n", change.status().ToString().c_str());
+      return 1;
+    }
+    if (change->perfect_delta.empty()) continue;  // Unchanged that week.
+    ++changed_docs;
+
+    const std::string old_text = SerializeDocument(base, pretty);
+    const std::string new_text =
+        SerializeDocument(change->new_version, pretty);
+    const LineDiffResult unix_diff = MyersLineDiff(old_text, new_text);
+
+    XmlDocument a = base.Clone();
+    XmlDocument b = change->new_version.Clone();
+    Result<Delta> delta = XyDiff(&a, &b);
+    if (!delta.ok()) {
+      std::fprintf(stderr, "%s\n", delta.status().ToString().c_str());
+      return 1;
+    }
+    const size_t delta_bytes = SerializeDelta(*delta).size();
+    if (unix_diff.output_bytes == 0) continue;
+
+    const double ratio = static_cast<double>(delta_bytes) /
+                         static_cast<double>(unix_diff.output_bytes);
+    sum_ratio += ratio;
+    sum_log_ratio += std::log(ratio);
+    if (ratio >= 0.5 && ratio <= 2.0) ++within_half_to_double;
+    if (ratio <= 1.0) ++delta_smaller;
+    ++count;
+    if (d % 10 == 0) {  // Sample rows; the summary has the statistics.
+      std::printf("%-4zu %12zu %12zu %12zu %8.2f\n", d, old_text.size(),
+                  delta_bytes, unix_diff.output_bytes, ratio);
+    }
+  }
+
+  bench::Rule();
+  std::printf("documents changed this 'week': %d of %zu (compared: %d)\n",
+              changed_docs, corpus.size(), count);
+  std::printf("mean ratio: %.2f   geometric mean: %.2f\n", sum_ratio / count,
+              std::exp(sum_log_ratio / count));
+  std::printf("within [0.5x, 2x] of Unix diff: %d/%d (%.0f%%)\n",
+              within_half_to_double, count,
+              100.0 * within_half_to_double / count);
+  std::printf("delta smaller than Unix diff: %d/%d\n", delta_smaller, count);
+  std::printf(
+      "\nExpected shape (paper): average ratio about 1, most documents\n"
+      "inside the 0.5x-2x band — structural deltas cost about as much as\n"
+      "a plain line diff while carrying full change semantics.\n");
+  return 0;
+}

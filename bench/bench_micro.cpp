@@ -1,0 +1,157 @@
+// Micro-benchmarks (google-benchmark) for the substrate hot paths: XML
+// parsing and serialization, subtree signatures, the weighted LOPS
+// solver, the priority queue, and the hash function. These are the
+// constants behind Figure 4's lines.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "core/diff_tree.h"
+#include "core/lcs.h"
+#include "core/node_queue.h"
+#include "core/options.h"
+#include "core/signature.h"
+#include "simulator/doc_generator.h"
+#include "util/hash.h"
+#include "util/random.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xydiff {
+namespace {
+
+std::string SampleXml(size_t bytes) {
+  Rng rng(1);
+  DocGenOptions options;
+  options.target_bytes = bytes;
+  return SerializeDocument(GenerateDocument(&rng, options));
+}
+
+void BM_ParseXml(benchmark::State& state) {
+  const std::string xml = SampleXml(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    Result<XmlDocument> doc = ParseXml(xml);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(xml.size()));
+}
+BENCHMARK(BM_ParseXml)->Arg(16 << 10)->Arg(256 << 10)->Arg(1 << 20);
+
+void BM_SerializeXml(benchmark::State& state) {
+  Rng rng(1);
+  DocGenOptions options;
+  options.target_bytes = static_cast<size_t>(state.range(0));
+  XmlDocument doc = GenerateDocument(&rng, options);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string out = SerializeDocument(doc);
+    bytes = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_SerializeXml)->Arg(16 << 10)->Arg(1 << 20);
+
+void BM_Signatures(benchmark::State& state) {
+  Rng rng(2);
+  DocGenOptions options;
+  options.target_bytes = static_cast<size_t>(state.range(0));
+  XmlDocument doc = GenerateDocument(&rng, options);
+  LabelTable labels;
+  DiffTree tree = DiffTree::Build(&doc, &labels);
+  const DiffOptions diff_options;
+  for (auto _ : state) {
+    ComputeSignaturesAndWeights(&tree, diff_options);
+    benchmark::DoNotOptimize(tree.signature(0));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          tree.size());
+}
+BENCHMARK(BM_Signatures)->Arg(16 << 10)->Arg(1 << 20);
+
+void BM_DiffTreeBuild(benchmark::State& state) {
+  Rng rng(3);
+  DocGenOptions options;
+  options.target_bytes = static_cast<size_t>(state.range(0));
+  XmlDocument doc = GenerateDocument(&rng, options);
+  for (auto _ : state) {
+    LabelTable labels;
+    DiffTree tree = DiffTree::Build(&doc, &labels);
+    benchmark::DoNotOptimize(tree.size());
+  }
+}
+BENCHMARK(BM_DiffTreeBuild)->Arg(16 << 10)->Arg(1 << 20);
+
+void BM_HashBytes(benchmark::State& state) {
+  Rng rng(4);
+  const std::string data = rng.NextWord(3, 3 + static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashBytes(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_HashBytes)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_WeightedLis(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<size_t> values(n);
+  std::iota(values.begin(), values.end(), 0);
+  for (size_t i = n; i > 1; --i) {
+    std::swap(values[i - 1], values[rng.NextIndex(i)]);
+  }
+  std::vector<double> weights(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WeightedLis(values, weights));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_WeightedLis)->Arg(50)->Arg(1000)->Arg(50000);
+
+void BM_WindowedLis(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(6);
+  std::vector<size_t> values(n);
+  std::iota(values.begin(), values.end(), 0);
+  for (size_t i = n; i > 1; --i) {
+    std::swap(values[i - 1], values[rng.NextIndex(i)]);
+  }
+  std::vector<double> weights(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WindowedLis(values, weights, 50));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_WindowedLis)->Arg(1000)->Arg(50000);
+
+void BM_NodeQueue(benchmark::State& state) {
+  Rng rng(7);
+  DocGenOptions options;
+  options.target_bytes = 64 << 10;
+  XmlDocument doc = GenerateDocument(&rng, options);
+  LabelTable labels;
+  DiffTree tree = DiffTree::Build(&doc, &labels);
+  const DiffOptions diff_options;
+  ComputeSignaturesAndWeights(&tree, diff_options);
+  for (auto _ : state) {
+    NodeQueue queue(&tree);
+    for (NodeIndex i = 0; i < tree.size(); ++i) queue.Push(i);
+    double acc = 0;
+    while (!queue.empty()) acc += tree.weight(queue.Pop());
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          tree.size());
+}
+BENCHMARK(BM_NodeQueue);
+
+}  // namespace
+}  // namespace xydiff
+
+BENCHMARK_MAIN();

@@ -1,0 +1,154 @@
+// Complexity comparison — §1/§3/§5.3 claims.
+//
+// "Our algorithm runs in O(n log n) time vs. quadratic time for previous
+// algorithms. Indeed, the running time significantly decreases when
+// documents have few changes or when specific XML features like ID
+// attributes are used."
+//
+// Three sweeps:
+//   1. size sweep: XyDiff vs the LaDiff-style (quadratic leaf-LCS) and
+//      DiffMK-style (flattened list) baselines;
+//   2. change-rate sweep at fixed size: XyDiff only;
+//   3. ID attributes on/off at fixed size and change rate.
+
+#include <cstdio>
+
+#include "baseline/ladiff.h"
+#include "baseline/list_diff.h"
+#include "bench/bench_util.h"
+#include "core/buld.h"
+#include "simulator/change_simulator.h"
+#include "simulator/doc_generator.h"
+#include "util/random.h"
+#include "xml/serializer.h"
+
+namespace {
+
+using namespace xydiff;
+using bench::Timer;
+
+double TimeXyDiff(const XmlDocument& base, const XmlDocument& changed,
+                  const DiffOptions& options = {}) {
+  XmlDocument a = base.Clone();
+  XmlDocument b = changed.Clone();
+  Timer timer;
+  Result<Delta> delta = XyDiff(&a, &b, options);
+  const double s = timer.Seconds();
+  return delta.ok() ? s : -1;
+}
+
+double TimeLaDiff(const XmlDocument& base, const XmlDocument& changed) {
+  XmlDocument a = base.Clone();
+  XmlDocument b = changed.Clone();
+  Timer timer;
+  Result<Delta> delta = LaDiff(&a, &b);
+  const double s = timer.Seconds();
+  return delta.ok() ? s : -1;
+}
+
+double TimeListDiff(const XmlDocument& base, const XmlDocument& changed) {
+  Timer timer;
+  ListDiff(base, changed);
+  return timer.Seconds();
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(99);
+
+  bench::Banner("Scaling: XyDiff vs quadratic baselines",
+                "ICDE 2002 paper, Sections 1/3/5.3 complexity claims");
+
+  std::printf("--- sweep 1: document size (10%% change mix) ---\n");
+  std::printf("%-12s %-8s %12s %12s %12s\n", "bytes", "nodes", "xydiff_ms",
+              "ladiff_ms", "listdiff_ms");
+  bench::Rule();
+  ChangeSimOptions churn;
+  for (size_t target = 2048; target <= (1u << 20); target *= 4) {
+    DocGenOptions gen;
+    gen.target_bytes = target;
+    XmlDocument base = GenerateDocument(&rng, gen);
+    base.AssignInitialXids();
+    Result<SimulatedChange> change = SimulateChanges(base, churn, &rng);
+    if (!change.ok()) return 1;
+
+    const double xy = TimeXyDiff(base, change->new_version);
+    // The quadratic baseline becomes impractical beyond ~256 KB; the
+    // paper makes the same observation about prior algorithms.
+    const bool run_ladiff = target <= (1u << 18);
+    const double la =
+        run_ladiff ? TimeLaDiff(base, change->new_version) : -1;
+    const double ld = TimeListDiff(base, change->new_version);
+    std::printf("%-12zu %-8zu %12.2f", target, base.node_count(), xy * 1e3);
+    if (la >= 0) {
+      std::printf(" %12.2f", la * 1e3);
+    } else {
+      std::printf(" %12s", "(skipped)");
+    }
+    std::printf(" %12.2f\n", ld * 1e3);
+  }
+
+  std::printf("\n--- sweep 2: change rate at 256 KB "
+              "(\"excellent for few changes\") ---\n");
+  std::printf("%-10s %12s %12s\n", "change%", "xydiff_ms", "ops");
+  bench::Rule();
+  {
+    DocGenOptions gen;
+    gen.target_bytes = 256 * 1024;
+    XmlDocument base = GenerateDocument(&rng, gen);
+    base.AssignInitialXids();
+    for (double rate : {0.001, 0.01, 0.05, 0.1, 0.3}) {
+      ChangeSimOptions sim;
+      sim.delete_probability = rate;
+      sim.update_probability = rate;
+      sim.insert_probability = rate;
+      sim.move_probability = rate;
+      Result<SimulatedChange> change = SimulateChanges(base, sim, &rng);
+      if (!change.ok()) return 1;
+      XmlDocument a = base.Clone();
+      XmlDocument b = change->new_version.Clone();
+      Timer timer;
+      Result<Delta> delta = XyDiff(&a, &b);
+      const double s = timer.Seconds();
+      if (!delta.ok()) return 1;
+      std::printf("%-10.1f %12.2f %12zu\n", rate * 100, s * 1e3,
+                  delta->operation_count());
+    }
+  }
+
+  std::printf("\n--- sweep 3: ID attributes (Phase 1 shortcut) ---\n");
+  std::printf("%-14s %12s %12s\n", "id_attributes", "xydiff_ms",
+              "id_matched");
+  bench::Rule();
+  {
+    DocGenOptions gen;
+    gen.target_bytes = 256 * 1024;
+    gen.with_id_attributes = true;
+    XmlDocument base = GenerateDocument(&rng, gen);
+    base.AssignInitialXids();
+    Result<SimulatedChange> change = SimulateChanges(base, churn, &rng);
+    if (!change.ok()) return 1;
+
+    for (bool use_ids : {true, false}) {
+      DiffOptions options;
+      options.use_id_attributes = use_ids;
+      XmlDocument a = base.Clone();
+      XmlDocument b = change->new_version.Clone();
+      DiffStats stats;
+      Timer timer;
+      Result<Delta> delta = XyDiff(&a, &b, options, &stats);
+      const double s = timer.Seconds();
+      if (!delta.ok()) return 1;
+      std::printf("%-14s %12.2f %12zu\n", use_ids ? "on" : "off", s * 1e3,
+                  stats.id_matched_nodes);
+    }
+  }
+
+  std::printf(
+      "\nExpected shape (paper): XyDiff grows ~n log n (near-linear in the\n"
+      "table), the LaDiff-style baseline grows ~quadratically and falls\n"
+      "behind well before 1 MB; diff time drops with fewer changes; ID\n"
+      "attributes shift matching work into the cheap Phase 1.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+#ifndef XYDIFF_BENCH_BENCH_UTIL_H_
+#define XYDIFF_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace xydiff::bench {
+
+/// Wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Prints a header banner naming the experiment and the paper artifact it
+/// regenerates.
+inline void Banner(const char* experiment, const char* paper_ref) {
+  std::printf("\n=============================================================="
+              "==================\n");
+  std::printf("%s\n", experiment);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("================================================================"
+              "================\n");
+}
+
+/// Simple aligned table output: call Row with printf-style formatting.
+inline void Rule() {
+  std::printf("------------------------------------------------------------"
+              "--------------------\n");
+}
+
+/// Human-readable byte count.
+inline std::string Bytes(double n) {
+  char buffer[32];
+  if (n >= 1e6) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fMB", n / 1e6);
+  } else if (n >= 1e3) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fKB", n / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.0fB", n);
+  }
+  return buffer;
+}
+
+}  // namespace xydiff::bench
+
+#endif  // XYDIFF_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,90 @@
+// Learning what changes: §5.2 suggests using the document's type
+// structure "to record statistical information ... e.g. learn that a
+// price node is more likely to change than a description node", and §7
+// calls for gathering statistics on change frequency and patterns.
+//
+// This example tracks a product catalog across many crawl cycles and lets
+// ChangeStatistics discover, from the deltas alone, which element labels
+// are volatile and which are stable.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/buld.h"
+#include "monitor/change_stats.h"
+#include "simulator/doc_generator.h"
+#include "util/random.h"
+#include "xml/parser.h"
+
+namespace {
+
+using namespace xydiff;
+
+/// Builds a catalog whose fields have very different natural volatility.
+std::string MakeCatalog(Rng* rng, int cycle) {
+  std::string xml = "<catalog>";
+  for (int i = 0; i < 30; ++i) {
+    xml += "<product>";
+    xml += "<sku>SKU-" + std::to_string(i) + "</sku>";  // Never changes.
+    xml += "<description>a perfectly stable description of product " +
+           std::to_string(i) + "</description>";        // Never changes.
+    // Price: changes almost every cycle (values unique per product so the
+    // diff sees updates, not cross-product matches of identical texts).
+    xml += "<price>" +
+           std::to_string(1000 + i * 100 + (cycle * 3 + i * cycle) % 11) +
+           "</price>";
+    // Stock: changes often.
+    xml += "<stock>" +
+           std::to_string(i * 1000 + (i * 13 + cycle * 5) % 50) + "</stock>";
+    // Promo appears and disappears.
+    if ((i + cycle) % 4 == 0) {
+      xml += "<promo>save " + std::to_string(5 + cycle % 10) + "%</promo>";
+    }
+    xml += "</product>";
+  }
+  (void)rng;
+  xml += "</catalog>";
+  return xml;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(99);
+  ChangeStatistics stats;
+
+  Result<XmlDocument> current = ParseXml(MakeCatalog(&rng, 0));
+  if (!current.ok()) {
+    std::cerr << current.status().ToString() << "\n";
+    return 1;
+  }
+  current->AssignInitialXids();
+
+  const int kCycles = 12;
+  for (int cycle = 1; cycle <= kCycles; ++cycle) {
+    Result<XmlDocument> next = ParseXml(MakeCatalog(&rng, cycle));
+    if (!next.ok()) {
+      std::cerr << next.status().ToString() << "\n";
+      return 1;
+    }
+    Result<Delta> delta = XyDiff(&current.value(), &next.value());
+    if (!delta.ok()) {
+      std::cerr << delta.status().ToString() << "\n";
+      return 1;
+    }
+    stats.Accumulate(*delta, *current, *next);
+    current = std::move(next);
+  }
+
+  std::printf("tracked the catalog across %d crawl cycles\n\n", kCycles);
+  std::fputs(stats.Report(8).c_str(), stdout);
+
+  const auto price = stats.ForLabel("price");
+  const auto desc = stats.ForLabel("description");
+  std::printf("\nlearned: <price> changes %.2fx per occurrence,"
+              " <description> %.2fx\n",
+              price.change_rate(), desc.change_rate());
+  std::printf("-> a subscription system can prioritize price alerts and an\n"
+              "   indexer can skip re-indexing stable fields (Section 2).\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// The assembled warehouse: Figure 1 end to end over many documents. A
+// simulated crawler delivers weekly batches; the warehouse diffs each
+// document against its stored version, appends deltas, fires
+// subscriptions, learns per-label change statistics, keeps a cross-
+// document full-text index fresh, and can check out any page's history.
+
+#include <cstdio>
+#include <iostream>
+
+#include "simulator/change_simulator.h"
+#include "simulator/doc_generator.h"
+#include "simulator/web_corpus.h"
+#include "util/random.h"
+#include "version/warehouse.h"
+
+int main() {
+  using namespace xydiff;
+  Rng rng(1999);  // The year Xyleme started.
+
+  Warehouse warehouse;
+  for (Status s : {
+           warehouse.Subscribe("new-items", "//item", ChangeKind::kInsert),
+           warehouse.Subscribe("any-change", "//*"),
+       }) {
+    if (!s.ok()) {
+      std::cerr << s.ToString() << "\n";
+      return 1;
+    }
+  }
+
+  // Week 1: first crawl of 40 documents.
+  DocGenOptions gen;
+  gen.target_bytes = 4096;
+  std::vector<std::pair<std::string, XmlDocument>> week1;
+  for (int i = 0; i < 40; ++i) {
+    week1.emplace_back("http://site" + std::to_string(i % 8) + "/doc" +
+                           std::to_string(i),
+                       GenerateDocument(&rng, gen));
+  }
+  for (auto& report : warehouse.IngestBatch(std::move(week1), 4)) {
+    if (!report.ok()) {
+      std::cerr << report.status().ToString() << "\n";
+      return 1;
+    }
+  }
+  std::printf("week 1: %zu documents stored\n", warehouse.document_count());
+
+  // Weeks 2-4: the web changes.
+  const ChangeSimOptions weekly = WeeklyWebChangeProfile();
+  for (int week = 2; week <= 4; ++week) {
+    std::vector<std::pair<std::string, XmlDocument>> batch;
+    for (const std::string& url : warehouse.urls()) {
+      Result<XmlDocument> current =
+          warehouse.Checkout(url, warehouse.version_count(url));
+      if (!current.ok()) return 1;
+      Result<SimulatedChange> change =
+          SimulateChanges(*current, weekly, &rng);
+      if (!change.ok()) return 1;
+      // Fresh crawls carry no XIDs.
+      change->new_version.root()->Visit(
+          [](XmlNode* n) { n->set_xid(kNoXid); });
+      batch.emplace_back(url, std::move(change->new_version));
+    }
+    size_t ops = 0;
+    size_t alerts = 0;
+    for (auto& report : warehouse.IngestBatch(std::move(batch), 4)) {
+      if (!report.ok()) {
+        std::cerr << report.status().ToString() << "\n";
+        return 1;
+      }
+      ops += report->operations;
+      alerts += report->alerts.size();
+    }
+    std::printf("week %d: %zu delta operations, %zu alert(s)\n", week, ops,
+                alerts);
+  }
+
+  // What the warehouse knows now.
+  std::printf("\n%s\n", warehouse.StatsReport(6).c_str());
+
+  // Pick a real word out of one stored document and find it everywhere.
+  std::string probe = "1";  // The generator numbers its texts.
+  {
+    Result<XmlDocument> sample = warehouse.Checkout(
+        warehouse.urls().front(), 1);
+    if (sample.ok()) {
+      sample->root()->Visit([&](const XmlNode* n) {
+        if (n->is_text() && probe == "1") {
+          const auto words = FullTextIndex::Tokenize(n->text());
+          if (!words.empty() && words.front().size() > 3) {
+            probe = words.front();
+          }
+        }
+      });
+    }
+  }
+  const auto hits = warehouse.Search(probe);
+  std::printf("full-text: '%s' appears in %zu text node(s) across the"
+              " warehouse\n", probe.c_str(), hits.size());
+
+  // Time travel on one document.
+  const std::string url = warehouse.urls().front();
+  std::printf("\nhistory of %s: %d versions, all checkoutable:",
+              url.c_str(), warehouse.version_count(url));
+  for (int v = 1; v <= warehouse.version_count(url); ++v) {
+    Result<XmlDocument> doc = warehouse.Checkout(url, v);
+    if (!doc.ok()) return 1;
+    std::printf(" v%d=%zu nodes", v, doc->node_count());
+  }
+  std::printf("\n");
+  return 0;
+}

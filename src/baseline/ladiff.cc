@@ -1,0 +1,159 @@
+#include "baseline/ladiff.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/delta_builder.h"
+#include "core/diff_tree.h"
+#include "core/lcs.h"
+#include "core/signature.h"
+#include "util/hash.h"
+
+namespace xydiff {
+
+namespace {
+
+/// Matches text leaves by exact content with an order-preserving LCS.
+/// Classic DP (the quadratic heart of the baseline); very large inputs
+/// are chunked so memory stays bounded while work remains O(n·m).
+void MatchLeaves(DiffTree* t1, DiffTree* t2, LaDiffStats* stats) {
+  std::vector<NodeIndex> old_leaves;
+  std::vector<NodeIndex> new_leaves;
+  for (NodeIndex i = 0; i < t1->size(); ++i) {
+    if (t1->is_text(i)) old_leaves.push_back(i);
+  }
+  for (NodeIndex j = 0; j < t2->size(); ++j) {
+    if (t2->is_text(j)) new_leaves.push_back(j);
+  }
+
+  constexpr size_t kChunk = 4096;  // Bounds the DP table to ~64 MB.
+  size_t bi = 0;
+  for (size_t ai = 0; ai < old_leaves.size(); ai += kChunk) {
+    const size_t a_end = std::min(ai + kChunk, old_leaves.size());
+    const size_t b_end = std::min(bi + kChunk, new_leaves.size());
+    std::vector<uint64_t> a_tokens;
+    std::vector<uint64_t> b_tokens;
+    for (size_t i = ai; i < a_end; ++i) {
+      a_tokens.push_back(HashBytes(t1->dom(old_leaves[i])->text()));
+    }
+    for (size_t j = bi; j < b_end; ++j) {
+      b_tokens.push_back(HashBytes(t2->dom(new_leaves[j])->text()));
+    }
+    if (stats != nullptr) stats->lcs_cells += a_tokens.size() * b_tokens.size();
+    for (const auto& [x, y] : LongestCommonSubsequence(a_tokens, b_tokens)) {
+      const NodeIndex l1 = old_leaves[ai + x];
+      const NodeIndex l2 = new_leaves[bi + y];
+      t1->set_match(l1, l2);
+      t2->set_match(l2, l1);
+      if (stats != nullptr) ++stats->matched_leaves;
+    }
+    bi = b_end;
+  }
+}
+
+/// Bottom-up internal matching: every matched leaf pair votes for its
+/// ancestor pairs at equal height; an internal pair is accepted when the
+/// labels agree and the votes cover at least half of the larger leaf
+/// count (FastMatch's similarity threshold).
+void MatchInternal(DiffTree* t1, DiffTree* t2, LaDiffStats* stats) {
+  // Leaf counts per subtree.
+  std::vector<size_t> leaves1(static_cast<size_t>(t1->size()), 0);
+  std::vector<size_t> leaves2(static_cast<size_t>(t2->size()), 0);
+  for (NodeIndex i : t1->postorder()) {
+    if (t1->is_text(i)) {
+      leaves1[static_cast<size_t>(i)] = 1;
+    }
+    const NodeIndex p = t1->parent(i);
+    if (p != kInvalidNode) {
+      leaves1[static_cast<size_t>(p)] += leaves1[static_cast<size_t>(i)];
+    }
+  }
+  for (NodeIndex j : t2->postorder()) {
+    if (t2->is_text(j)) {
+      leaves2[static_cast<size_t>(j)] = 1;
+    }
+    const NodeIndex p = t2->parent(j);
+    if (p != kInvalidNode) {
+      leaves2[static_cast<size_t>(p)] += leaves2[static_cast<size_t>(j)];
+    }
+  }
+
+  // Votes keyed by (old ancestor, new ancestor).
+  std::unordered_map<uint64_t, size_t> votes;
+  const auto key = [](NodeIndex a, NodeIndex b) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+           static_cast<uint32_t>(b);
+  };
+  for (NodeIndex l1 = 0; l1 < t1->size(); ++l1) {
+    if (!t1->is_text(l1) || !t1->matched(l1)) continue;
+    NodeIndex a1 = t1->parent(l1);
+    NodeIndex a2 = t2->parent(t1->match(l1));
+    while (a1 != kInvalidNode && a2 != kInvalidNode) {
+      ++votes[key(a1, a2)];
+      a1 = t1->parent(a1);
+      a2 = t2->parent(a2);
+    }
+  }
+
+  // Accept pairs bottom-up, best candidate per old node first.
+  std::unordered_map<NodeIndex, std::vector<std::pair<NodeIndex, size_t>>>
+      candidates;
+  for (const auto& [k, count] : votes) {
+    const NodeIndex a1 = static_cast<NodeIndex>(k >> 32);
+    const NodeIndex a2 = static_cast<NodeIndex>(k & 0xFFFFFFFFu);
+    candidates[a1].emplace_back(a2, count);
+  }
+  for (NodeIndex i : t1->postorder()) {
+    if (!t1->is_element(i) || t1->matched(i)) continue;
+    auto it = candidates.find(i);
+    if (it == candidates.end()) continue;
+    NodeIndex best = kInvalidNode;
+    size_t best_votes = 0;
+    for (const auto& [j, count] : it->second) {
+      if (t2->matched(j) || t2->label(j) != t1->label(i)) continue;
+      if (count > best_votes) {
+        best_votes = count;
+        best = j;
+      }
+    }
+    if (best == kInvalidNode) continue;
+    const size_t larger = std::max(leaves1[static_cast<size_t>(i)],
+                                   leaves2[static_cast<size_t>(best)]);
+    if (larger == 0 || 2 * best_votes < larger) continue;
+    t1->set_match(i, best);
+    t2->set_match(best, i);
+    if (stats != nullptr) ++stats->matched_internal;
+  }
+
+  // LaDiff always matches the roots when labels agree.
+  if (!t1->matched(0) && !t2->matched(0) && t1->label(0) == t2->label(0)) {
+    t1->set_match(0, 0);
+    t2->set_match(0, 0);
+    if (stats != nullptr) ++stats->matched_internal;
+  }
+}
+
+}  // namespace
+
+Result<Delta> LaDiff(XmlDocument* old_doc, XmlDocument* new_doc,
+                     const DiffOptions& options, LaDiffStats* stats) {
+  if (old_doc->root() == nullptr || new_doc->root() == nullptr) {
+    return Status::InvalidArgument("both documents must have a root element");
+  }
+  if (!old_doc->AllXidsAssigned()) {
+    old_doc->AssignInitialXids();
+  }
+  LabelTable labels;
+  DiffTree t1 = DiffTree::Build(old_doc, &labels);
+  DiffTree t2 = DiffTree::Build(new_doc, &labels);
+  ComputeSignaturesAndWeights(&t1, options);
+  ComputeSignaturesAndWeights(&t2, options);
+
+  MatchLeaves(&t1, &t2, stats);
+  MatchInternal(&t1, &t2, stats);
+
+  return BuildDeltaFromMatching(&t1, &t2, old_doc, new_doc, options,
+                                DeltaBuildConfig{});
+}
+
+}  // namespace xydiff

@@ -1,0 +1,35 @@
+#ifndef XYDIFF_BASELINE_LADIFF_H_
+#define XYDIFF_BASELINE_LADIFF_H_
+
+#include "core/options.h"
+#include "delta/delta.h"
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace xydiff {
+
+/// Counters reported by the LaDiff baseline.
+struct LaDiffStats {
+  size_t matched_leaves = 0;
+  size_t matched_internal = 0;
+  size_t lcs_cells = 0;  ///< DP work — the quadratic term.
+};
+
+/// Baseline in the spirit of LaDiff / FastMatch (Chawathe et al.,
+/// SIGMOD 1996; §3 of the paper): leaves are matched by content using a
+/// longest-common-subsequence pass, internal nodes bottom-up by the
+/// fraction of common matched leaves (threshold 0.5, labels must agree),
+/// and the edit script is derived from the matching. Cost is dominated
+/// by the per-label leaf LCS — O(n·m) in the worst case, the quadratic
+/// behaviour the paper contrasts BULD against.
+///
+/// The matching is converted into the same Delta representation the BULD
+/// diff produces, so quality and size are directly comparable. XIDs are
+/// assigned exactly as in XyDiff.
+Result<Delta> LaDiff(XmlDocument* old_doc, XmlDocument* new_doc,
+                     const DiffOptions& options = {},
+                     LaDiffStats* stats = nullptr);
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_BASELINE_LADIFF_H_

@@ -1,0 +1,82 @@
+#include "baseline/list_diff.h"
+
+#include <vector>
+
+#include "baseline/myers_diff.h"
+#include "util/hash.h"
+
+namespace xydiff {
+
+namespace {
+
+struct TokenStream {
+  std::vector<uint64_t> tokens;
+  std::vector<size_t> byte_cost;  // Serialized size share per token.
+};
+
+void Flatten(const XmlNode& node, TokenStream* out) {
+  if (node.is_text()) {
+    out->tokens.push_back(HashBytes(node.text(), /*seed=*/1));
+    out->byte_cost.push_back(node.text().size());
+    return;
+  }
+  Signature open = HashBytes(node.label(), /*seed=*/2);
+  size_t open_bytes = node.label().size() + 2;
+  for (const auto& attr : node.attributes()) {
+    open ^= HashFinalize(
+        HashCombine(HashBytes(attr.name, 3), HashBytes(attr.value)));
+    open_bytes += attr.name.size() + attr.value.size() + 4;
+  }
+  out->tokens.push_back(HashFinalize(open));
+  out->byte_cost.push_back(open_bytes);
+  for (size_t i = 0; i < node.child_count(); ++i) {
+    Flatten(*node.child(i), out);
+  }
+  out->tokens.push_back(HashCombine(HashBytes(node.label(), /*seed=*/4), 5));
+  out->byte_cost.push_back(node.label().size() + 3);
+}
+
+}  // namespace
+
+ListDiffResult ListDiff(const XmlDocument& old_doc,
+                        const XmlDocument& new_doc) {
+  TokenStream a;
+  TokenStream b;
+  if (old_doc.root() != nullptr) Flatten(*old_doc.root(), &a);
+  if (new_doc.root() != nullptr) Flatten(*new_doc.root(), &b);
+
+  // Reuse the Myers solver by presenting each token as one "line".
+  // (Tokens are already hashes, so we hash their bytes once more —
+  // cheap and keeps one code path.)
+  std::string old_text;
+  std::string new_text;
+  old_text.reserve(a.tokens.size() * 17);
+  for (uint64_t t : a.tokens) {
+    old_text += std::to_string(t);
+    old_text += '\n';
+  }
+  new_text.reserve(b.tokens.size() * 17);
+  for (uint64_t t : b.tokens) {
+    new_text += std::to_string(t);
+    new_text += '\n';
+  }
+  const LineDiffResult lines = MyersLineDiff(old_text, new_text);
+
+  ListDiffResult result;
+  result.total_tokens_old = a.tokens.size();
+  result.total_tokens_new = b.tokens.size();
+  result.deleted_tokens = lines.deleted_lines;
+  result.inserted_tokens = lines.added_lines;
+  for (const LineHunk& h : lines.hunks) {
+    for (size_t i = h.old_begin; i < h.old_end; ++i) {
+      result.output_bytes += a.byte_cost[i] + 3;
+    }
+    for (size_t i = h.new_begin; i < h.new_end; ++i) {
+      result.output_bytes += b.byte_cost[i] + 3;
+    }
+    result.output_bytes += 12;  // Hunk markup.
+  }
+  return result;
+}
+
+}  // namespace xydiff

@@ -1,0 +1,32 @@
+#ifndef XYDIFF_BASELINE_LIST_DIFF_H_
+#define XYDIFF_BASELINE_LIST_DIFF_H_
+
+#include <cstddef>
+#include <string>
+
+#include "xml/document.h"
+
+namespace xydiff {
+
+/// Result of a DiffMK-style list diff.
+struct ListDiffResult {
+  size_t total_tokens_old = 0;
+  size_t total_tokens_new = 0;
+  size_t deleted_tokens = 0;
+  size_t inserted_tokens = 0;
+  /// Approximate serialized script size (markup per changed token).
+  size_t output_bytes = 0;
+};
+
+/// Sun DiffMK-style baseline (§3): the document is flattened into a
+/// *list* of node events (start-element with attributes, text, end-
+/// element) "thus losing the benefit of tree structure of XML", and the
+/// two lists are diffed with the standard (Myers) algorithm. No moves,
+/// no persistent identification; a moved subtree costs a full
+/// delete + re-insert of its token range.
+ListDiffResult ListDiff(const XmlDocument& old_doc,
+                        const XmlDocument& new_doc);
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_BASELINE_LIST_DIFF_H_

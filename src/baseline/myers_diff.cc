@@ -1,0 +1,244 @@
+#include "baseline/myers_diff.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace xydiff {
+
+namespace {
+
+/// Line tokens: hashes compare fast; equal hashes are assumed equal lines
+/// (64-bit, same accidental-collision argument as subtree signatures).
+std::vector<uint64_t> TokenizeLines(
+    const std::vector<std::string_view>& lines) {
+  std::vector<uint64_t> tokens;
+  tokens.reserve(lines.size());
+  for (std::string_view line : lines) tokens.push_back(HashBytes(line));
+  return tokens;
+}
+
+/// Linear-space Myers (the 1986 paper's divide-and-conquer refinement).
+class MyersSolver {
+ public:
+  MyersSolver(const std::vector<uint64_t>& a, const std::vector<uint64_t>& b,
+              size_t work_budget)
+      : a_(a), b_(b), budget_(work_budget) {
+    const size_t vsize = a.size() + b.size() + 3;
+    vf_.assign(2 * vsize + 1, 0);
+    vb_.assign(2 * vsize + 1, 0);
+    offset_ = static_cast<ptrdiff_t>(vsize);
+  }
+
+  /// Returns matched index pairs (ascending in both coordinates).
+  std::vector<std::pair<size_t, size_t>> Solve() {
+    Recurse(0, a_.size(), 0, b_.size());
+    return std::move(matches_);
+  }
+
+ private:
+  struct Snake {
+    size_t x0, y0, x1, y1;
+    bool found;
+  };
+
+  void Recurse(size_t a_begin, size_t a_end, size_t b_begin, size_t b_end) {
+    // Trim common prefix and suffix; both become matches.
+    while (a_begin < a_end && b_begin < b_end &&
+           a_[a_begin] == b_[b_begin]) {
+      matches_.emplace_back(a_begin++, b_begin++);
+    }
+    size_t suffix = 0;
+    while (a_begin + suffix < a_end && b_begin + suffix < b_end &&
+           a_[a_end - 1 - suffix] == b_[b_end - 1 - suffix]) {
+      ++suffix;
+    }
+    const size_t a_mid_end = a_end - suffix;
+    const size_t b_mid_end = b_end - suffix;
+
+    if (a_begin < a_mid_end && b_begin < b_mid_end) {
+      const Snake snake =
+          FindMiddleSnake(a_begin, a_mid_end, b_begin, b_mid_end);
+      if (snake.found) {
+        Recurse(a_begin, snake.x0, b_begin, snake.y0);
+        for (size_t i = 0; i < snake.x1 - snake.x0; ++i) {
+          matches_.emplace_back(snake.x0 + i, snake.y0 + i);
+        }
+        Recurse(snake.x1, a_mid_end, snake.y1, b_mid_end);
+      }
+      // !found: budget exhausted — treat the whole middle as replaced.
+    }
+
+    for (size_t i = 0; i < suffix; ++i) {
+      matches_.emplace_back(a_mid_end + i, b_mid_end + i);
+    }
+  }
+
+  int64_t& Vf(ptrdiff_t k) { return vf_[static_cast<size_t>(k + offset_)]; }
+  int64_t& Vb(ptrdiff_t k) { return vb_[static_cast<size_t>(k + offset_)]; }
+
+  Snake FindMiddleSnake(size_t a_begin, size_t a_end, size_t b_begin,
+                        size_t b_end) {
+    const int64_t n = static_cast<int64_t>(a_end - a_begin);
+    const int64_t m = static_cast<int64_t>(b_end - b_begin);
+    const int64_t delta = n - m;
+    const bool odd = (delta & 1) != 0;
+    const int64_t d_max = (n + m + 1) / 2;
+
+    Vf(1) = 0;
+    Vb(1) = 0;
+    for (int64_t d = 0; d <= d_max; ++d) {
+      if (budget_ != 0 && work_ > budget_) {
+        return Snake{0, 0, 0, 0, false};
+      }
+      // Forward search.
+      for (int64_t k = -d; k <= d; k += 2) {
+        int64_t x = (k == -d || (k != d && Vf(k - 1) < Vf(k + 1)))
+                        ? Vf(k + 1)
+                        : Vf(k - 1) + 1;
+        int64_t y = x - k;
+        const int64_t x0 = x;
+        const int64_t y0 = y;
+        while (x < n && y < m &&
+               a_[a_begin + static_cast<size_t>(x)] ==
+                   b_[b_begin + static_cast<size_t>(y)]) {
+          ++x;
+          ++y;
+        }
+        work_ += static_cast<size_t>(x - x0) + 1;
+        Vf(k) = x;
+        if (odd && k - delta >= -(d - 1) && k - delta <= d - 1) {
+          if (x + Vb(delta - k) >= n) {
+            return Snake{a_begin + static_cast<size_t>(x0),
+                         b_begin + static_cast<size_t>(y0),
+                         a_begin + static_cast<size_t>(x),
+                         b_begin + static_cast<size_t>(y), true};
+          }
+        }
+      }
+      // Backward search (over the reversed sequences).
+      for (int64_t k = -d; k <= d; k += 2) {
+        int64_t x = (k == -d || (k != d && Vb(k - 1) < Vb(k + 1)))
+                        ? Vb(k + 1)
+                        : Vb(k - 1) + 1;
+        int64_t y = x - k;
+        const int64_t x0 = x;
+        while (x < n && y < m &&
+               a_[a_begin + static_cast<size_t>(n - 1 - x)] ==
+                   b_[b_begin + static_cast<size_t>(m - 1 - y)]) {
+          ++x;
+          ++y;
+        }
+        work_ += static_cast<size_t>(x - x0) + 1;
+        Vb(k) = x;
+        if (!odd && delta - k >= -d && delta - k <= d) {
+          if (x + Vf(delta - k) >= n) {
+            const int64_t y0 = x0 - k;
+            // Convert the reverse snake to forward coordinates.
+            return Snake{a_begin + static_cast<size_t>(n - x),
+                         b_begin + static_cast<size_t>(m - y),
+                         a_begin + static_cast<size_t>(n - x0),
+                         b_begin + static_cast<size_t>(m - y0), true};
+          }
+        }
+      }
+    }
+    return Snake{0, 0, 0, 0, false};
+  }
+
+  const std::vector<uint64_t>& a_;
+  const std::vector<uint64_t>& b_;
+  std::vector<int64_t> vf_;
+  std::vector<int64_t> vb_;
+  ptrdiff_t offset_ = 0;
+  size_t budget_;
+  size_t work_ = 0;
+  std::vector<std::pair<size_t, size_t>> matches_;
+};
+
+/// Ed-style header, e.g. "3,5c7" or "12d11" or "4a5,6".
+std::string HunkHeader(const LineHunk& h) {
+  const auto range = [](size_t begin, size_t end, bool anchor_before) {
+    // diff(1) prints 1-based inclusive ranges; pure insert/delete anchors
+    // print the line *before* the gap.
+    if (begin == end) return std::to_string(anchor_before ? begin : begin + 1);
+    std::string out = std::to_string(begin + 1);
+    if (end - begin > 1) out += "," + std::to_string(end);
+    return out;
+  };
+  const bool del = h.old_end > h.old_begin;
+  const bool add = h.new_end > h.new_begin;
+  const char code = del && add ? 'c' : (del ? 'd' : 'a');
+  return range(h.old_begin, h.old_end, !del) + code +
+         range(h.new_begin, h.new_end, !add);
+}
+
+}  // namespace
+
+LineDiffResult MyersLineDiff(std::string_view old_text,
+                             std::string_view new_text, size_t max_d) {
+  const std::vector<std::string_view> old_lines = SplitLines(old_text);
+  const std::vector<std::string_view> new_lines = SplitLines(new_text);
+  const std::vector<uint64_t> a = TokenizeLines(old_lines);
+  const std::vector<uint64_t> b = TokenizeLines(new_lines);
+
+  // Budget scales with the allowed edit distance: work ~ (N+M)·D.
+  const size_t budget = (a.size() + b.size() + 1) * (max_d == 0 ? 1 : max_d);
+  MyersSolver solver(a, b, budget);
+  const std::vector<std::pair<size_t, size_t>> matches = solver.Solve();
+
+  LineDiffResult result;
+  size_t ai = 0;
+  size_t bi = 0;
+  auto emit_hunk = [&](size_t a_to, size_t b_to) {
+    if (ai == a_to && bi == b_to) return;
+    LineHunk hunk{ai, a_to, bi, b_to};
+    result.deleted_lines += a_to - ai;
+    result.added_lines += b_to - bi;
+    result.output_bytes += HunkHeader(hunk).size() + 1;
+    for (size_t i = ai; i < a_to; ++i) {
+      result.output_bytes += 3 + old_lines[i].size();  // "< line\n"
+    }
+    if (a_to > ai && b_to > bi) result.output_bytes += 4;  // "---\n"
+    for (size_t i = bi; i < b_to; ++i) {
+      result.output_bytes += 3 + new_lines[i].size();  // "> line\n"
+    }
+    result.hunks.push_back(hunk);
+  };
+  for (const auto& [ma, mb] : matches) {
+    emit_hunk(ma, mb);
+    ai = ma + 1;
+    bi = mb + 1;
+  }
+  emit_hunk(a.size(), b.size());
+  return result;
+}
+
+std::string RenderEdScript(std::string_view old_text,
+                           std::string_view new_text,
+                           const LineDiffResult& result) {
+  const std::vector<std::string_view> old_lines = SplitLines(old_text);
+  const std::vector<std::string_view> new_lines = SplitLines(new_text);
+  std::string out;
+  out.reserve(result.output_bytes);
+  for (const LineHunk& h : result.hunks) {
+    out += HunkHeader(h);
+    out += '\n';
+    for (size_t i = h.old_begin; i < h.old_end; ++i) {
+      out += "< ";
+      out += old_lines[i];
+      out += '\n';
+    }
+    if (h.old_end > h.old_begin && h.new_end > h.new_begin) out += "---\n";
+    for (size_t i = h.new_begin; i < h.new_end; ++i) {
+      out += "> ";
+      out += new_lines[i];
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace xydiff

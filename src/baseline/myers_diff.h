@@ -1,0 +1,50 @@
+#ifndef XYDIFF_BASELINE_MYERS_DIFF_H_
+#define XYDIFF_BASELINE_MYERS_DIFF_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xydiff {
+
+/// A contiguous edit hunk in line coordinates (0-based, end-exclusive):
+/// lines [old_begin, old_end) of the old text are replaced by lines
+/// [new_begin, new_end) of the new text.
+struct LineHunk {
+  size_t old_begin = 0;
+  size_t old_end = 0;
+  size_t new_begin = 0;
+  size_t new_end = 0;
+};
+
+/// Result of a line diff.
+struct LineDiffResult {
+  std::vector<LineHunk> hunks;
+  size_t deleted_lines = 0;
+  size_t added_lines = 0;
+  /// Byte size of the classic `diff` ed-style output for these hunks
+  /// ("< line", "> line", "---", "NcM" headers). This is the quantity
+  /// Figure 6 compares deltas against.
+  size_t output_bytes = 0;
+};
+
+/// Myers' O(ND) greedy line diff — the algorithm family behind Unix
+/// `diff`, which the paper uses as its yardstick on web data (§6.2).
+/// Lines are compared by content; the result is a shortest edit script.
+/// For pathological inputs whose edit distance exceeds `max_d` the
+/// algorithm degrades gracefully to "replace everything" (GNU diff has a
+/// similar speedup heuristic).
+LineDiffResult MyersLineDiff(std::string_view old_text,
+                             std::string_view new_text,
+                             size_t max_d = 100000);
+
+/// Renders the classic ed-style diff output (the text whose size
+/// `LineDiffResult::output_bytes` reports).
+std::string RenderEdScript(std::string_view old_text,
+                           std::string_view new_text,
+                           const LineDiffResult& result);
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_BASELINE_MYERS_DIFF_H_

@@ -1,0 +1,68 @@
+#include "baseline/selkow.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace xydiff {
+
+namespace {
+
+size_t RelabelCost(const XmlNode& a, const XmlNode& b) {
+  if (a.type() != b.type()) return 1;
+  if (a.is_text()) return a.text() == b.text() ? 0 : 1;
+  return a.label() == b.label() ? 0 : 1;
+}
+
+class Solver {
+ public:
+  size_t Distance(const XmlNode& a, const XmlNode& b) {
+    const uint64_t key = Key(&a, &b);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+
+    // Edit distance between the child sequences; substituting child i
+    // for child j recurses into Distance(i, j).
+    const size_t n = a.child_count();
+    const size_t m = b.child_count();
+    std::vector<std::vector<size_t>> dp(n + 1,
+                                        std::vector<size_t>(m + 1, 0));
+    for (size_t i = 1; i <= n; ++i) {
+      dp[i][0] = dp[i - 1][0] + a.child(i - 1)->SubtreeSize();
+    }
+    for (size_t j = 1; j <= m; ++j) {
+      dp[0][j] = dp[0][j - 1] + b.child(j - 1)->SubtreeSize();
+    }
+    for (size_t i = 1; i <= n; ++i) {
+      for (size_t j = 1; j <= m; ++j) {
+        const size_t del = dp[i - 1][j] + a.child(i - 1)->SubtreeSize();
+        const size_t ins = dp[i][j - 1] + b.child(j - 1)->SubtreeSize();
+        const size_t sub =
+            dp[i - 1][j - 1] + Distance(*a.child(i - 1), *b.child(j - 1));
+        dp[i][j] = std::min({del, ins, sub});
+      }
+    }
+    const size_t result = RelabelCost(a, b) + dp[n][m];
+    memo_.emplace(key, result);
+    return result;
+  }
+
+ private:
+  static uint64_t Key(const XmlNode* a, const XmlNode* b) {
+    // Pointer-pair key; fine within one solver invocation.
+    const auto ha = reinterpret_cast<uintptr_t>(a);
+    const auto hb = reinterpret_cast<uintptr_t>(b);
+    return (static_cast<uint64_t>(ha) * 1000003u) ^ static_cast<uint64_t>(hb);
+  }
+
+  std::unordered_map<uint64_t, size_t> memo_;
+};
+
+}  // namespace
+
+size_t SelkowEditDistance(const XmlNode& a, const XmlNode& b) {
+  Solver solver;
+  return solver.Distance(a, b);
+}
+
+}  // namespace xydiff

@@ -1,0 +1,34 @@
+#ifndef XYDIFF_BASELINE_SELKOW_H_
+#define XYDIFF_BASELINE_SELKOW_H_
+
+#include <cstddef>
+
+#include "xml/node.h"
+
+namespace xydiff {
+
+/// Selkow-variant tree edit distance (Selkow 1977, computed in the style
+/// of Lu's algorithm — §3 of the paper: "Our algorithm is in the spirit
+/// of Selkow's variant, and resembles Lu's algorithm").
+///
+/// Operations are restricted to inserting and deleting whole *subtrees*
+/// and relabelling nodes in place: a node can only be matched to a node
+/// at the same depth whose ancestors are matched, which is exactly the
+/// structure-preserving model appropriate for typed XML (a DTD rarely
+/// lets children change level). Costs: deleting or inserting a subtree
+/// costs its node count; relabelling a node costs 1 (label or text
+/// differs), 0 otherwise.
+///
+/// Computed by dynamic programming over child sequences (string edit
+/// distance where substitution recurses), memoized per node pair —
+/// O(|D1|·|D2|) time in the worst case, the quadratic bound the paper
+/// quotes for Lu's algorithm under Selkow's variant.
+///
+/// Unlike BULD this has no move operation and no cross-level matching;
+/// it serves as the "what BULD descends from" baseline in the
+/// optimality/scaling experiments.
+size_t SelkowEditDistance(const XmlNode& a, const XmlNode& b);
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_BASELINE_SELKOW_H_

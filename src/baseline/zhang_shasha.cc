@@ -1,0 +1,101 @@
+#include "baseline/zhang_shasha.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace xydiff {
+
+namespace {
+
+/// Postorder view of a tree with the leftmost-leaf and keyroot machinery
+/// of the Zhang–Shasha algorithm.
+struct PostorderTree {
+  std::vector<const XmlNode*> nodes;  // Postorder.
+  std::vector<size_t> leftmost;       // Leftmost leaf (postorder index).
+  std::vector<size_t> keyroots;
+
+  explicit PostorderTree(const XmlNode& root) {
+    Build(root);
+    // Keyroots: nodes whose leftmost leaf differs from their parent's
+    // (equivalently: the last node with each leftmost value).
+    std::vector<char> seen(nodes.size(), 0);
+    for (size_t i = nodes.size(); i-- > 0;) {
+      const size_t l = leftmost[i];
+      if (!seen[l]) {
+        seen[l] = 1;
+        keyroots.push_back(i);
+      }
+    }
+    std::sort(keyroots.begin(), keyroots.end());
+  }
+
+  size_t size() const { return nodes.size(); }
+
+ private:
+  // Returns the postorder index of `node`; fills leftmost.
+  size_t Build(const XmlNode& node) {
+    size_t first_leaf = SIZE_MAX;
+    for (size_t i = 0; i < node.child_count(); ++i) {
+      const size_t child_index = Build(*node.child(i));
+      if (first_leaf == SIZE_MAX) first_leaf = leftmost[child_index];
+    }
+    nodes.push_back(&node);
+    const size_t index = nodes.size() - 1;
+    leftmost.push_back(first_leaf == SIZE_MAX ? index : first_leaf);
+    return index;
+  }
+};
+
+size_t RelabelCost(const XmlNode& a, const XmlNode& b) {
+  if (a.type() != b.type()) return 1;
+  if (a.is_text()) return a.text() == b.text() ? 0 : 1;
+  return a.label() == b.label() ? 0 : 1;
+}
+
+}  // namespace
+
+size_t TreeEditDistance(const XmlNode& a, const XmlNode& b) {
+  const PostorderTree t1(a);
+  const PostorderTree t2(b);
+  const size_t n = t1.size();
+  const size_t m = t2.size();
+
+  std::vector<std::vector<size_t>> tree_dist(n,
+                                             std::vector<size_t>(m, 0));
+  // Forest-distance scratch, sized (n+1) x (m+1).
+  std::vector<std::vector<size_t>> fd(n + 1, std::vector<size_t>(m + 1, 0));
+
+  for (size_t ki : t1.keyroots) {
+    for (size_t kj : t2.keyroots) {
+      const size_t li = t1.leftmost[ki];
+      const size_t lj = t2.leftmost[kj];
+      fd[li][lj] = 0;
+      for (size_t i = li; i <= ki; ++i) {
+        fd[i + 1][lj] = fd[i][lj] + 1;  // Delete.
+      }
+      for (size_t j = lj; j <= kj; ++j) {
+        fd[li][j + 1] = fd[li][j] + 1;  // Insert.
+      }
+      for (size_t i = li; i <= ki; ++i) {
+        for (size_t j = lj; j <= kj; ++j) {
+          if (t1.leftmost[i] == li && t2.leftmost[j] == lj) {
+            const size_t relabel =
+                fd[i][j] + RelabelCost(*t1.nodes[i], *t2.nodes[j]);
+            fd[i + 1][j + 1] =
+                std::min({fd[i][j + 1] + 1, fd[i + 1][j] + 1, relabel});
+            tree_dist[i][j] = fd[i + 1][j + 1];
+          } else {
+            const size_t subtree = fd[t1.leftmost[i]][t2.leftmost[j]] +
+                                   tree_dist[i][j];
+            fd[i + 1][j + 1] =
+                std::min({fd[i][j + 1] + 1, fd[i + 1][j] + 1, subtree});
+          }
+        }
+      }
+    }
+  }
+  return tree_dist[n - 1][m - 1];
+}
+
+}  // namespace xydiff

@@ -1,0 +1,22 @@
+#ifndef XYDIFF_BASELINE_ZHANG_SHASHA_H_
+#define XYDIFF_BASELINE_ZHANG_SHASHA_H_
+
+#include <cstddef>
+
+#include "xml/node.h"
+
+namespace xydiff {
+
+/// Exact ordered tree edit distance (Zhang & Shasha 1989; cited by the
+/// paper via [25]) with unit costs: delete 1, insert 1, relabel 1 when
+/// the node kind/label/text differ and 0 otherwise.
+///
+/// O(|T1|·|T2|·min(depth,leaves)²) time and O(|T1|·|T2|) space — usable
+/// only on small documents, which is exactly its role here: the
+/// optimality yardstick for the quality experiments (the paper trades
+/// "an ounce of quality" for linear time; this measures the ounce).
+size_t TreeEditDistance(const XmlNode& a, const XmlNode& b);
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_BASELINE_ZHANG_SHASHA_H_

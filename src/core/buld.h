@@ -1,0 +1,44 @@
+#ifndef XYDIFF_CORE_BULD_H_
+#define XYDIFF_CORE_BULD_H_
+
+#include "core/options.h"
+#include "delta/delta.h"
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace xydiff {
+
+/// The BULD diff (§5): computes a delta transforming `*old_doc` into
+/// `*new_doc`.
+///
+/// Matching is propagated Bottom-Up and (most of the time only) Lazily
+/// Down: identical subtrees are matched heaviest-first via signatures,
+/// matches climb to ancestors with equal labels (bounded by subtree
+/// weight), and a peephole pass fills structural gaps. Expected cost is
+/// O(n log n) in the total input size (§5.3).
+///
+/// Side effects:
+/// * If `old_doc` carries no XIDs at all, initial postfix XIDs are
+///   assigned to it (first-version semantics). Partially assigned XIDs
+///   are an error.
+/// * `new_doc` receives its persistent identification: matched nodes
+///   inherit their partner's XID, new nodes get fresh XIDs, and the
+///   allocator advances accordingly.
+///
+/// The returned delta is "correct" in the paper's sense — applying it to
+/// the old version yields exactly the new version (see apply.h) — and
+/// close to minimal, trading a little quality for speed.
+Result<Delta> XyDiff(XmlDocument* old_doc, XmlDocument* new_doc,
+                     const DiffOptions& options = {},
+                     DiffStats* stats = nullptr);
+
+/// Convenience overload for callers that start from XML text: parses both
+/// documents, assigns initial XIDs to the old one, diffs, and returns the
+/// delta.
+Result<Delta> XyDiffText(std::string_view old_xml, std::string_view new_xml,
+                         const DiffOptions& options = {},
+                         DiffStats* stats = nullptr);
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_CORE_BULD_H_

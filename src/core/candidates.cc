@@ -1,0 +1,49 @@
+#include "core/candidates.h"
+
+namespace xydiff {
+
+CandidateIndex::CandidateIndex(const DiffTree* old_tree) : tree_(old_tree) {
+  const NodeIndex n = old_tree->size();
+  primary_.reserve(static_cast<size_t>(n));
+  by_parent_.reserve(static_cast<size_t>(n));
+  for (NodeIndex i = 0; i < n; ++i) {
+    primary_[old_tree->signature(i)].push_back(i);
+    const NodeIndex p = old_tree->parent(i);
+    if (p != kInvalidNode) {
+      by_parent_[ParentKey(old_tree->signature(i), p)].push_back(i);
+    }
+  }
+}
+
+const std::vector<NodeIndex>* CandidateIndex::Find(Signature sig) const {
+  auto it = primary_.find(sig);
+  return it == primary_.end() ? nullptr : &it->second;
+}
+
+NodeIndex CandidateIndex::FindUnmatchedWithParent(
+    Signature sig, NodeIndex parent, int32_t preferred_position) const {
+  auto it = by_parent_.find(ParentKey(sig, parent));
+  if (it == by_parent_.end()) return kInvalidNode;
+  NodeIndex first = kInvalidNode;
+  for (NodeIndex c : it->second) {
+    // Guard against (unlikely) 64-bit key collisions and skip matched or
+    // locked candidates.
+    if (tree_->signature(c) != sig || tree_->parent(c) != parent ||
+        tree_->matched(c) || tree_->id_locked(c)) {
+      continue;
+    }
+    if (preferred_position < 0 ||
+        tree_->position_in_parent(c) == preferred_position) {
+      return c;
+    }
+    if (first == kInvalidNode) first = c;
+  }
+  return first;
+}
+
+uint64_t CandidateIndex::ParentKey(Signature sig, NodeIndex parent) {
+  return HashFinalize(
+      HashCombine(sig, static_cast<Signature>(parent) + 0x9E3779B9u));
+}
+
+}  // namespace xydiff

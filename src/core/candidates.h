@@ -1,0 +1,44 @@
+#ifndef XYDIFF_CORE_CANDIDATES_H_
+#define XYDIFF_CORE_CANDIDATES_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/diff_tree.h"
+
+namespace xydiff {
+
+/// Phase 3 candidate lookup (§5.2/§5.3): for a subtree of the new document
+/// we need all old-document subtrees with the same signature (primary
+/// index), and — to keep the per-node cost bounded when a short text
+/// occurs thousands of times — the candidate under a *given* parent in
+/// O(1) (secondary index "by their parent's identifier", §5.3).
+class CandidateIndex {
+ public:
+  /// Indexes every subtree of `old_tree`. O(n) time and space.
+  explicit CandidateIndex(const DiffTree* old_tree);
+
+  /// All old-tree subtrees with signature `sig` (matched ones included;
+  /// callers filter). Returns nullptr when none exist.
+  const std::vector<NodeIndex>* Find(Signature sig) const;
+
+  /// An *unmatched* old-tree subtree with signature `sig` whose parent is
+  /// `parent`, or kInvalidNode. Among several such siblings, one at child
+  /// position `preferred_position` wins ("the position among siblings
+  /// plays an important role too", §5.1); otherwise the first in document
+  /// order. Constant expected time (sibling candidate lists are scanned,
+  /// but identical siblings under one parent are rare and capped upstream).
+  NodeIndex FindUnmatchedWithParent(Signature sig, NodeIndex parent,
+                                    int32_t preferred_position = -1) const;
+
+ private:
+  static uint64_t ParentKey(Signature sig, NodeIndex parent);
+
+  const DiffTree* tree_;
+  std::unordered_map<Signature, std::vector<NodeIndex>> primary_;
+  std::unordered_map<uint64_t, std::vector<NodeIndex>> by_parent_;
+};
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_CORE_CANDIDATES_H_

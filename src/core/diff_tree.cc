@@ -1,0 +1,104 @@
+#include "core/diff_tree.h"
+
+#include <cassert>
+
+namespace xydiff {
+
+int32_t LabelTable::Intern(std::string_view label) {
+  auto it = ids_.find(std::string(label));
+  if (it != ids_.end()) return it->second;
+  const int32_t id = static_cast<int32_t>(names_.size());
+  names_.emplace_back(label);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+int32_t LabelTable::Find(std::string_view label) const {
+  auto it = ids_.find(std::string(label));
+  return it == ids_.end() ? -1 : it->second;
+}
+
+DiffTree DiffTree::Build(XmlDocument* doc, LabelTable* labels) {
+  assert(doc->root() != nullptr);
+  DiffTree tree;
+  const size_t n = doc->node_count();
+  tree.dom_.reserve(n);
+  tree.parent_.reserve(n);
+  tree.position_.reserve(n);
+  tree.depth_.reserve(n);
+  tree.label_.reserve(n);
+
+  // Preorder numbering with an explicit stack (DOM depth may be large).
+  struct Frame {
+    XmlNode* node;
+    NodeIndex parent;
+    int32_t position;
+    int32_t depth;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({doc->root(), kInvalidNode, 0, 0});
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const NodeIndex index = static_cast<NodeIndex>(tree.dom_.size());
+    tree.dom_.push_back(f.node);
+    tree.parent_.push_back(f.parent);
+    tree.position_.push_back(f.position);
+    tree.depth_.push_back(f.depth);
+    tree.label_.push_back(f.node->is_element()
+                              ? labels->Intern(f.node->label())
+                              : LabelTable::kTextLabel);
+    // Push children in reverse so they pop in document order.
+    for (size_t k = f.node->child_count(); k > 0; --k) {
+      stack.push_back({f.node->child(k - 1), index,
+                       static_cast<int32_t>(k - 1), f.depth + 1});
+    }
+  }
+
+  // CSR children. Preorder guarantees parent index < child index.
+  const size_t count = tree.dom_.size();
+  tree.child_offset_.assign(count + 1, 0);
+  for (size_t i = 1; i < count; ++i) {
+    ++tree.child_offset_[static_cast<size_t>(tree.parent_[i]) + 1];
+  }
+  for (size_t i = 1; i <= count; ++i) {
+    tree.child_offset_[i] += tree.child_offset_[i - 1];
+  }
+  tree.child_list_.assign(count > 0 ? count - 1 : 0, kInvalidNode);
+  {
+    std::vector<int32_t> cursor(tree.child_offset_.begin(),
+                                tree.child_offset_.end() - 1);
+    for (size_t i = 1; i < count; ++i) {
+      const size_t p = static_cast<size_t>(tree.parent_[i]);
+      tree.child_list_[static_cast<size_t>(cursor[p]++)] =
+          static_cast<NodeIndex>(i);
+    }
+  }
+
+  // Postorder: children (in order) before parents.
+  tree.postorder_.reserve(count);
+  {
+    // Iterative postorder: (node, next child to visit).
+    std::vector<std::pair<NodeIndex, int32_t>> po_stack;
+    po_stack.emplace_back(0, 0);
+    while (!po_stack.empty()) {
+      auto& [node, next_child] = po_stack.back();
+      if (next_child < tree.child_count(node)) {
+        const NodeIndex c = tree.child(node, next_child);
+        ++next_child;
+        po_stack.emplace_back(c, 0);
+      } else {
+        tree.postorder_.push_back(node);
+        po_stack.pop_back();
+      }
+    }
+  }
+
+  tree.signature_.assign(count, 0);
+  tree.weight_.assign(count, 0.0);
+  tree.match_.assign(count, kInvalidNode);
+  tree.id_locked_.assign(count, 0);
+  return tree;
+}
+
+}  // namespace xydiff

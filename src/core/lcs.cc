@@ -1,0 +1,110 @@
+#include "core/lcs.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/fenwick.h"
+
+namespace xydiff {
+
+std::vector<size_t> WeightedLis(const std::vector<size_t>& values,
+                                const std::vector<double>& weights) {
+  assert(values.size() == weights.size());
+  const size_t n = values.size();
+  if (n == 0) return {};
+
+  // Compress values to a dense range (callers usually pass positions that
+  // are already dense, but composition with windowing may not).
+  std::vector<size_t> sorted(values);
+  std::sort(sorted.begin(), sorted.end());
+  auto rank = [&](size_t v) {
+    return static_cast<size_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), v) - sorted.begin());
+  };
+
+  // Fenwick over (best chain weight, element index), keyed by value rank.
+  using Entry = std::pair<double, int64_t>;
+  FenwickMax<Entry> best(n, Entry{0.0, -1});
+  std::vector<double> chain(n);
+  std::vector<int64_t> prev(n, -1);
+  double best_total = 0.0;
+  int64_t best_end = -1;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t r = rank(values[i]);
+    const Entry e = best.MaxPrefix(r);  // Strictly smaller values only.
+    chain[i] = weights[i] + (e.second >= 0 ? e.first : 0.0);
+    prev[i] = e.second;
+    best.Update(r, Entry{chain[i], static_cast<int64_t>(i)});
+    if (chain[i] > best_total) {
+      best_total = chain[i];
+      best_end = static_cast<int64_t>(i);
+    }
+  }
+
+  std::vector<size_t> out;
+  for (int64_t i = best_end; i >= 0; i = prev[static_cast<size_t>(i)]) {
+    out.push_back(static_cast<size_t>(i));
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<size_t> WindowedLis(const std::vector<size_t>& values,
+                                const std::vector<double>& weights,
+                                size_t window) {
+  assert(window > 0);
+  const size_t n = values.size();
+  std::vector<size_t> out;
+  size_t last_value = 0;
+  bool have_last = false;
+  for (size_t start = 0; start < n; start += window) {
+    const size_t end = std::min(start + window, n);
+    std::vector<size_t> block_values(values.begin() + static_cast<ptrdiff_t>(start),
+                                     values.begin() + static_cast<ptrdiff_t>(end));
+    std::vector<double> block_weights(weights.begin() + static_cast<ptrdiff_t>(start),
+                                      weights.begin() + static_cast<ptrdiff_t>(end));
+    const std::vector<size_t> kept = WeightedLis(block_values, block_weights);
+    // Merge: keep only elements that continue the global increase.
+    for (size_t k : kept) {
+      const size_t index = start + k;
+      if (!have_last || values[index] > last_value) {
+        out.push_back(index);
+        last_value = values[index];
+        have_last = true;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<size_t, size_t>> LongestCommonSubsequence(
+    const std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  // Classic DP table; fine for the baseline's child lists.
+  std::vector<std::vector<uint32_t>> dp(n + 1,
+                                        std::vector<uint32_t>(m + 1, 0));
+  for (size_t i = n; i-- > 0;) {
+    for (size_t j = m; j-- > 0;) {
+      dp[i][j] = (a[i] == b[j]) ? dp[i + 1][j + 1] + 1
+                                : std::max(dp[i + 1][j], dp[i][j + 1]);
+    }
+  }
+  std::vector<std::pair<size_t, size_t>> out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < n && j < m) {
+    if (a[i] == b[j]) {
+      out.emplace_back(i, j);
+      ++i;
+      ++j;
+    } else if (dp[i + 1][j] >= dp[i][j + 1]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+}  // namespace xydiff

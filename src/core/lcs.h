@@ -1,0 +1,41 @@
+#ifndef XYDIFF_CORE_LCS_H_
+#define XYDIFF_CORE_LCS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xydiff {
+
+/// Weighted largest order-preserving subsequence (§5.2 Phase 5, "Local
+/// moves"): given children matched across two versions of the same parent,
+/// find the maximum-weight subset that keeps its relative order, so that
+/// only the complement needs `move` operations ("an optimal set of moves").
+///
+/// `values[i]` is the position of element i in the *other* ordering (all
+/// distinct); `weights[i]` > 0 is the cost of moving element i. Elements
+/// are given in this-ordering. Returns the indices (ascending) of a
+/// maximum-weight subsequence whose values are strictly increasing.
+/// Exact, O(s log s) time via a Fenwick tree over values.
+std::vector<size_t> WeightedLis(const std::vector<size_t>& values,
+                                const std::vector<double>& weights);
+
+/// The paper's heuristic for very long child lists: cut the sequence into
+/// blocks of `window` (the paper uses 50), solve each block exactly, and
+/// merge the per-block answers, dropping elements that break global
+/// monotonicity. O(s log window) time, O(window) extra space. The result
+/// is a valid order-preserving subsequence but may be sub-optimal
+/// (the paper's v4/w4 example).
+std::vector<size_t> WindowedLis(const std::vector<size_t>& values,
+                                const std::vector<double>& weights,
+                                size_t window);
+
+/// Classic O(n·m) longest common subsequence over token sequences; returns
+/// pairs (index_a, index_b) of the matched tokens in order. Used by the
+/// LaDiff and DiffMK-style baselines, not by BULD itself.
+std::vector<std::pair<size_t, size_t>> LongestCommonSubsequence(
+    const std::vector<uint64_t>& a, const std::vector<uint64_t>& b);
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_CORE_LCS_H_

@@ -1,0 +1,78 @@
+#include "core/match_ids.h"
+
+#include <string>
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace xydiff {
+
+namespace {
+
+/// Returns the ID value of node `i` if its label has a declared ID
+/// attribute that the node carries, or nullptr.
+const std::string* IdValue(const DiffTree& tree, NodeIndex i,
+                           const Dtd& dtd_old, const Dtd& dtd_new) {
+  if (!tree.is_element(i)) return nullptr;
+  const XmlNode& dom = *tree.dom(i);
+  const std::string* attr = dtd_old.IdAttributeFor(dom.label());
+  if (attr == nullptr) attr = dtd_new.IdAttributeFor(dom.label());
+  if (attr == nullptr) return nullptr;
+  return dom.FindAttribute(*attr);
+}
+
+uint64_t IdKey(int32_t label, const std::string& value) {
+  return HashFinalize(
+      HashCombine(HashBytes(value), static_cast<uint64_t>(label) + 1));
+}
+
+}  // namespace
+
+size_t MatchByIdAttributes(DiffTree* old_tree, DiffTree* new_tree,
+                           const Dtd& dtd_old, const Dtd& dtd_new) {
+  if (!dtd_old.has_id_attributes() && !dtd_new.has_id_attributes()) return 0;
+
+  // (label, id value) -> node in the old tree; kInvalidNode marks
+  // duplicates, which are unusable for matching.
+  std::unordered_map<uint64_t, NodeIndex> by_id;
+  for (NodeIndex i = 0; i < old_tree->size(); ++i) {
+    const std::string* value = IdValue(*old_tree, i, dtd_old, dtd_new);
+    if (value == nullptr) continue;
+    old_tree->set_id_locked(i);
+    auto [it, inserted] = by_id.emplace(IdKey(old_tree->label(i), *value), i);
+    if (!inserted) it->second = kInvalidNode;
+  }
+
+  size_t matched = 0;
+  std::unordered_map<uint64_t, bool> used_new_keys;
+  for (NodeIndex j = 0; j < new_tree->size(); ++j) {
+    const std::string* value = IdValue(*new_tree, j, dtd_old, dtd_new);
+    if (value == nullptr) continue;
+    new_tree->set_id_locked(j);
+    const uint64_t key = IdKey(new_tree->label(j), *value);
+    // A duplicated ID value in the new document is equally ambiguous.
+    auto [uit, first_use] = used_new_keys.emplace(key, true);
+    if (!first_use) {
+      const NodeIndex prev = [&] {
+        auto it = by_id.find(key);
+        return it == by_id.end() ? kInvalidNode : it->second;
+      }();
+      if (prev != kInvalidNode && old_tree->matched(prev)) {
+        // Undo the ambiguous earlier match.
+        new_tree->set_match(old_tree->match(prev), kInvalidNode);
+        old_tree->set_match(prev, kInvalidNode);
+        --matched;
+      }
+      continue;
+    }
+    auto it = by_id.find(key);
+    if (it == by_id.end() || it->second == kInvalidNode) continue;
+    const NodeIndex i = it->second;
+    old_tree->set_match(i, j);
+    new_tree->set_match(j, i);
+    ++matched;
+  }
+  return matched;
+}
+
+}  // namespace xydiff

@@ -1,0 +1,27 @@
+#ifndef XYDIFF_CORE_MATCH_IDS_H_
+#define XYDIFF_CORE_MATCH_IDS_H_
+
+#include "core/diff_tree.h"
+#include "core/options.h"
+#include "xml/dtd.h"
+
+namespace xydiff {
+
+/// Phase 1 (§5.2): matches elements across the two trees by their
+/// DTD-declared ID attributes.
+///
+/// An element whose label has a declared ID attribute *and* which carries
+/// that attribute can only ever be matched to the element with the same
+/// (label, ID value) in the other document; every such node is locked
+/// against matching in later phases ("Other nodes with ID attributes can
+/// not be matched, even during the next phases"). Duplicate ID values
+/// (ill-formed input) are ignored for matching but still lock their nodes.
+///
+/// `dtd_old`/`dtd_new` are consulted as a union, since versions of one
+/// document normally share a DTD. Returns the number of pairs matched.
+size_t MatchByIdAttributes(DiffTree* old_tree, DiffTree* new_tree,
+                           const Dtd& dtd_old, const Dtd& dtd_new);
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_CORE_MATCH_IDS_H_

@@ -1,0 +1,55 @@
+#ifndef XYDIFF_CORE_NODE_QUEUE_H_
+#define XYDIFF_CORE_NODE_QUEUE_H_
+
+#include <queue>
+#include <vector>
+
+#include "core/diff_tree.h"
+
+namespace xydiff {
+
+/// Phase 2/3 priority queue of new-document subtrees, ordered by weight,
+/// heaviest first; among equal weights the first-inserted subtree wins
+/// (§5.2 Phase 2). Backed by a binary heap: O(log n) per operation, which
+/// gives the n·log n worst-case term of §5.3.
+class NodeQueue {
+ public:
+  explicit NodeQueue(const DiffTree* tree) : tree_(tree) {}
+
+  void Push(NodeIndex node) {
+    heap_.push(Entry{tree_->weight(node), seq_++, node});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Removes and returns the heaviest subtree root.
+  NodeIndex Pop() {
+    const NodeIndex node = heap_.top().node;
+    heap_.pop();
+    return node;
+  }
+
+ private:
+  struct Entry {
+    double weight;
+    uint64_t seq;
+    NodeIndex node;
+  };
+  struct Compare {
+    // std::priority_queue is a max-heap on this "less-than": an entry is
+    // *worse* if lighter, or at equal weight if inserted later.
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.weight != b.weight) return a.weight < b.weight;
+      return a.seq > b.seq;
+    }
+  };
+
+  const DiffTree* tree_;
+  uint64_t seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Compare> heap_;
+};
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_CORE_NODE_QUEUE_H_

@@ -1,0 +1,135 @@
+#include "core/propagate.h"
+
+#include <unordered_map>
+
+namespace xydiff {
+
+namespace {
+
+size_t BottomUpPass(DiffTree* old_tree, DiffTree* new_tree) {
+  size_t matched = 0;
+  // Accumulator: candidate old-tree parent -> total weight of supporting
+  // children. Reused across nodes to avoid per-node allocation.
+  std::unordered_map<NodeIndex, double> support;
+  for (NodeIndex i2 : new_tree->postorder()) {
+    if (new_tree->matched(i2) || new_tree->id_locked(i2) ||
+        !new_tree->is_element(i2)) {
+      continue;
+    }
+    support.clear();
+    for (int32_t k = 0; k < new_tree->child_count(i2); ++k) {
+      const NodeIndex c2 = new_tree->child(i2, k);
+      if (!new_tree->matched(c2)) continue;
+      const NodeIndex p1 = old_tree->parent(new_tree->match(c2));
+      if (p1 == kInvalidNode) continue;
+      support[p1] += new_tree->weight(c2);
+    }
+    NodeIndex best = kInvalidNode;
+    double best_weight = 0.0;
+    for (const auto& [p1, w] : support) {
+      if (w > best_weight) {
+        best_weight = w;
+        best = p1;
+      }
+    }
+    if (best == kInvalidNode || old_tree->matched(best) ||
+        old_tree->id_locked(best) ||
+        old_tree->label(best) != new_tree->label(i2)) {
+      continue;
+    }
+    old_tree->set_match(best, i2);
+    new_tree->set_match(i2, best);
+    ++matched;
+  }
+  return matched;
+}
+
+/// Eager-down extension: pair leftover unmatched children of a matched
+/// parent pair by identical subtree signature, first-to-first in document
+/// order. Linear per parent (hash map over signatures).
+size_t MatchSiblingsBySignature(DiffTree* old_tree, DiffTree* new_tree,
+                                NodeIndex i1, NodeIndex i2) {
+  size_t matched = 0;
+  std::unordered_map<Signature, std::vector<NodeIndex>> old_by_sig;
+  for (int32_t k = 0; k < old_tree->child_count(i1); ++k) {
+    const NodeIndex c1 = old_tree->child(i1, k);
+    if (old_tree->matched(c1) || old_tree->id_locked(c1)) continue;
+    old_by_sig[old_tree->signature(c1)].push_back(c1);
+  }
+  if (old_by_sig.empty()) return 0;
+  for (int32_t k = 0; k < new_tree->child_count(i2); ++k) {
+    const NodeIndex c2 = new_tree->child(i2, k);
+    if (new_tree->matched(c2) || new_tree->id_locked(c2)) continue;
+    auto it = old_by_sig.find(new_tree->signature(c2));
+    if (it == old_by_sig.end() || it->second.empty()) continue;
+    const NodeIndex c1 = it->second.front();
+    it->second.erase(it->second.begin());
+    old_tree->set_match(c1, c2);
+    new_tree->set_match(c2, c1);
+    ++matched;
+  }
+  return matched;
+}
+
+size_t TopDownPass(DiffTree* old_tree, DiffTree* new_tree,
+                   bool eager_siblings) {
+  size_t matched = 0;
+  // Per-label bookkeeping of unmatched children; value is the unique such
+  // child or kInvalidNode once the label is ambiguous.
+  std::unordered_map<int32_t, NodeIndex> unique_old;
+  for (NodeIndex i2 = 0; i2 < new_tree->size(); ++i2) {
+    if (!new_tree->matched(i2) || !new_tree->is_element(i2)) continue;
+    const NodeIndex i1 = new_tree->match(i2);
+    if (old_tree->child_count(i1) == 0 || new_tree->child_count(i2) == 0) {
+      continue;
+    }
+    unique_old.clear();
+    for (int32_t k = 0; k < old_tree->child_count(i1); ++k) {
+      const NodeIndex c1 = old_tree->child(i1, k);
+      if (old_tree->matched(c1) || old_tree->id_locked(c1)) continue;
+      auto [it, inserted] = unique_old.emplace(old_tree->label(c1), c1);
+      if (!inserted) it->second = kInvalidNode;
+    }
+    if (unique_old.empty()) continue;
+    // First scan the new side for label ambiguity.
+    std::unordered_map<int32_t, NodeIndex> unique_new;
+    for (int32_t k = 0; k < new_tree->child_count(i2); ++k) {
+      const NodeIndex c2 = new_tree->child(i2, k);
+      if (new_tree->matched(c2) || new_tree->id_locked(c2)) continue;
+      auto [it, inserted] = unique_new.emplace(new_tree->label(c2), c2);
+      if (!inserted) it->second = kInvalidNode;
+    }
+    for (const auto& [label, c2] : unique_new) {
+      if (c2 == kInvalidNode) continue;
+      auto it = unique_old.find(label);
+      if (it == unique_old.end() || it->second == kInvalidNode) continue;
+      const NodeIndex c1 = it->second;
+      old_tree->set_match(c1, c2);
+      new_tree->set_match(c2, c1);
+      ++matched;
+    }
+    if (eager_siblings) {
+      matched += MatchSiblingsBySignature(old_tree, new_tree, i1, i2);
+    }
+  }
+  return matched;
+}
+
+}  // namespace
+
+size_t PropagateMatchings(DiffTree* old_tree, DiffTree* new_tree,
+                          const DiffOptions& options) {
+  size_t total = 0;
+  const int passes = options.propagation_passes < 1
+                         ? 1
+                         : options.propagation_passes;
+  for (int pass = 0; pass < passes; ++pass) {
+    const size_t before = total;
+    total += BottomUpPass(old_tree, new_tree);
+    total += TopDownPass(old_tree, new_tree, options.eager_sibling_matching);
+    if (total == before) break;  // Fixpoint reached early.
+  }
+  return total;
+}
+
+}  // namespace xydiff

@@ -1,0 +1,31 @@
+#ifndef XYDIFF_CORE_PROPAGATE_H_
+#define XYDIFF_CORE_PROPAGATE_H_
+
+#include <cstddef>
+
+#include "core/diff_tree.h"
+#include "core/options.h"
+
+namespace xydiff {
+
+/// The "simple bottom-up and top-down pass" used after Phase 1 and as
+/// Phase 4 (§5.2, §5.3). Both passes cost O(n) per invocation.
+///
+/// Bottom-up ("propagate to parent"): an unmatched element of the new
+/// document whose children are matched is matched to the parent, in the
+/// old document, of the heaviest set of those children's partners —
+/// provided that parent is unmatched, unlocked and has the same label.
+///
+/// Top-down ("propagate to children"): for every matched pair, children
+/// with a label that occurs exactly once among the unmatched children on
+/// both sides are matched to each other (text nodes count as one shared
+/// pseudo-label, which is how slightly-changed text under matched parents
+/// becomes an *update* rather than a delete+insert).
+///
+/// Returns the number of pairs matched by this call.
+size_t PropagateMatchings(DiffTree* old_tree, DiffTree* new_tree,
+                          const DiffOptions& options);
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_CORE_PROPAGATE_H_

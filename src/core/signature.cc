@@ -1,0 +1,70 @@
+#include "core/signature.h"
+
+#include <cmath>
+
+namespace xydiff {
+
+namespace {
+
+// Type tags keep a text node "abc" from colliding with an element <abc/>.
+constexpr Signature kTextSeed = 0x74657874;     // "text"
+constexpr Signature kElementSeed = 0x656C656D;  // "elem"
+
+Signature AttributeSetHash(const XmlNode& node) {
+  // XOR of per-attribute hashes: commutative, because attribute order is
+  // irrelevant in XML (§5.2 "Other XML features").
+  Signature acc = 0;
+  for (const auto& attr : node.attributes()) {
+    Signature a = HashBytes(attr.name, /*seed=*/0x61747472);  // "attr"
+    a = HashCombine(a, HashBytes(attr.value));
+    acc ^= HashFinalize(a);
+  }
+  return acc;
+}
+
+Signature TextSignature(const XmlNode& node) {
+  return HashFinalize(HashBytes(node.text(), kTextSeed));
+}
+
+Signature ElementSignatureFromParts(const XmlNode& node,
+                                    Signature children_acc) {
+  Signature acc = HashBytes(node.label(), kElementSeed);
+  acc = HashCombine(acc, AttributeSetHash(node));
+  acc = HashCombine(acc, children_acc);
+  return HashFinalize(acc);
+}
+
+}  // namespace
+
+void ComputeSignaturesAndWeights(DiffTree* tree, const DiffOptions& options) {
+  for (NodeIndex i : tree->postorder()) {
+    const XmlNode& dom = *tree->dom(i);
+    if (tree->is_text(i)) {
+      tree->set_signature(i, TextSignature(dom));
+      const double len = static_cast<double>(dom.text().size());
+      tree->set_weight(i, options.text_log_weight ? 1.0 + std::log(1.0 + len)
+                                                  : 1.0);
+    } else {
+      Signature children_acc = 0;
+      double weight = 1.0;
+      for (int32_t k = 0; k < tree->child_count(i); ++k) {
+        const NodeIndex c = tree->child(i, k);
+        children_acc = HashCombine(children_acc, tree->signature(c));
+        weight += tree->weight(c);
+      }
+      tree->set_signature(i, ElementSignatureFromParts(dom, children_acc));
+      tree->set_weight(i, weight);
+    }
+  }
+}
+
+Signature SubtreeSignature(const XmlNode& node) {
+  if (node.is_text()) return TextSignature(node);
+  Signature children_acc = 0;
+  for (size_t k = 0; k < node.child_count(); ++k) {
+    children_acc = HashCombine(children_acc, SubtreeSignature(*node.child(k)));
+  }
+  return ElementSignatureFromParts(node, children_acc);
+}
+
+}  // namespace xydiff

@@ -1,0 +1,27 @@
+#ifndef XYDIFF_CORE_SIGNATURE_H_
+#define XYDIFF_CORE_SIGNATURE_H_
+
+#include "core/diff_tree.h"
+#include "core/options.h"
+
+namespace xydiff {
+
+/// Phase 2 (§5.2): computes, bottom-up, the signature and weight of every
+/// subtree of `tree`.
+///
+/// The signature is a 64-bit hash uniquely representing the content of the
+/// subtree: for text nodes the character data; for elements the label, the
+/// attribute set (order-insensitive) and the ordered child signatures.
+/// The weight is 1 + ln(length) for text nodes (or 1 under
+/// `DiffOptions::text_log_weight == false`) and 1 + Σ children for
+/// elements, satisfying the two requirements of §5.2: no less than the sum
+/// of the children and O(n) growth.
+void ComputeSignaturesAndWeights(DiffTree* tree, const DiffOptions& options);
+
+/// Signature of a standalone DOM subtree, consistent with the signatures
+/// computed over DiffTrees (used by tests and by snapshot verification).
+Signature SubtreeSignature(const XmlNode& node);
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_CORE_SIGNATURE_H_

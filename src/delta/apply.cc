@@ -1,0 +1,287 @@
+#include "delta/apply.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "delta/invert.h"
+#include "xid/xid_map.h"
+
+namespace xydiff {
+
+namespace {
+
+/// One pending attachment: an insert snapshot or a detached moved subtree.
+struct Attachment {
+  Xid parent_xid = kNoXid;
+  uint32_t pos = 0;  // 1-based target position.
+  std::unique_ptr<XmlNode> subtree;
+  uint64_t seq = 0;  // Stable tiebreak for diagnostics.
+};
+
+class Applier {
+ public:
+  Applier(const Delta& delta, XmlDocument* doc, const ApplyOptions& options)
+      : delta_(delta), doc_(doc), options_(options) {}
+
+  Status Run() {
+    if (doc_->root() == nullptr) {
+      return Status::InvalidArgument("cannot apply a delta to an empty document");
+    }
+    // Virtual super-root (XID 0) so root replacement needs no special case.
+    super_root_ = XmlNode::Element("#document");
+    super_root_->AppendChild(doc_->take_root());
+    BuildIndex();
+
+    Status status = RunPhases();
+    if (!status.ok()) {
+      // Best-effort restore: the tree may be partially modified (that is
+      // documented), but the document must not be left empty.
+      if (super_root_->child_count() > 0) {
+        doc_->set_root(super_root_->RemoveChild(0));
+      }
+      return status;
+    }
+
+    if (super_root_->child_count() != 1) {
+      const size_t roots = super_root_->child_count();
+      if (roots > 0) doc_->set_root(super_root_->RemoveChild(0));
+      return Status::Corruption("delta left the document with " +
+                                std::to_string(roots) + " roots");
+    }
+    doc_->set_root(super_root_->RemoveChild(0));
+    doc_->ReserveXidsThrough(
+        delta_.new_next_xid() > 0 ? delta_.new_next_xid() - 1 : 0);
+    return Status::OK();
+  }
+
+ private:
+  Status RunPhases() {
+    XYDIFF_RETURN_IF_ERROR(ApplyUpdates());
+    XYDIFF_RETURN_IF_ERROR(ApplyAttributeOps());
+    XYDIFF_RETURN_IF_ERROR(DetachMoves());
+    XYDIFF_RETURN_IF_ERROR(ApplyDeletes());
+    return Attach();
+  }
+
+ private:
+  void BuildIndex() {
+    index_.clear();
+    super_root_->Visit([&](XmlNode* n) {
+      if (n != super_root_.get()) index_.emplace(n->xid(), n);
+    });
+  }
+
+  Result<XmlNode*> Lookup(Xid xid, const char* what) {
+    if (xid == kNoXid) return static_cast<XmlNode*>(super_root_.get());
+    auto it = index_.find(xid);
+    if (it == index_.end()) {
+      return Status::NotFound(std::string(what) + ": no node with XID " +
+                              std::to_string(xid));
+    }
+    return it->second;
+  }
+
+  Status ApplyUpdates() {
+    for (const UpdateOp& op : delta_.updates()) {
+      Result<XmlNode*> node = Lookup(op.xid, "update");
+      if (!node.ok()) return node.status();
+      if (!(*node)->is_text()) {
+        return Status::Conflict("update target XID " + std::to_string(op.xid) +
+                                " is not a text node");
+      }
+      const std::string& current = (*node)->text();
+      if (!op.is_compressed()) {
+        if (options_.verify && current != op.old_value) {
+          return Status::Conflict("update of XID " + std::to_string(op.xid) +
+                                  ": old value mismatch");
+        }
+        (*node)->set_text(op.new_value);
+        continue;
+      }
+      // Compressed form: splice the new middle between the shared prefix
+      // and suffix taken from the current text.
+      const size_t kept = static_cast<size_t>(op.prefix) + op.suffix;
+      if (current.size() != kept + op.old_value.size() ||
+          (options_.verify &&
+           current.compare(op.prefix, op.old_value.size(), op.old_value) !=
+               0)) {
+        return Status::Conflict("compressed update of XID " +
+                                std::to_string(op.xid) +
+                                ": old value mismatch");
+      }
+      std::string next;
+      next.reserve(kept + op.new_value.size());
+      next.append(current, 0, op.prefix);
+      next.append(op.new_value);
+      next.append(current, current.size() - op.suffix, op.suffix);
+      (*node)->set_text(std::move(next));
+    }
+    return Status::OK();
+  }
+
+  Status ApplyAttributeOps() {
+    for (const AttributeOp& op : delta_.attribute_ops()) {
+      Result<XmlNode*> node = Lookup(op.element_xid, "attribute op");
+      if (!node.ok()) return node.status();
+      XmlNode* element = *node;
+      if (!element->is_element()) {
+        return Status::Conflict("attribute op target XID " +
+                                std::to_string(op.element_xid) +
+                                " is not an element");
+      }
+      const std::string* current = element->FindAttribute(op.name);
+      switch (op.kind) {
+        case AttributeOpKind::kInsert:
+          if (options_.verify && current != nullptr) {
+            return Status::Conflict("attribute insert: '" + op.name +
+                                    "' already present on XID " +
+                                    std::to_string(op.element_xid));
+          }
+          element->SetAttribute(op.name, op.new_value);
+          break;
+        case AttributeOpKind::kDelete:
+          if (options_.verify &&
+              (current == nullptr || *current != op.old_value)) {
+            return Status::Conflict("attribute delete: '" + op.name +
+                                    "' state mismatch on XID " +
+                                    std::to_string(op.element_xid));
+          }
+          element->RemoveAttribute(op.name);
+          break;
+        case AttributeOpKind::kUpdate:
+          if (options_.verify &&
+              (current == nullptr || *current != op.old_value)) {
+            return Status::Conflict("attribute update: '" + op.name +
+                                    "' old value mismatch on XID " +
+                                    std::to_string(op.element_xid));
+          }
+          element->SetAttribute(op.name, op.new_value);
+          break;
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Detaches a node from wherever it currently lives (main tree or
+  /// inside an already-detached subtree).
+  static std::unique_ptr<XmlNode> Detach(XmlNode* node) {
+    XmlNode* parent = node->parent();
+    return parent->RemoveChild(node->IndexInParent());
+  }
+
+  Status DetachMoves() {
+    for (const MoveOp& op : delta_.moves()) {
+      Result<XmlNode*> node = Lookup(op.xid, "move");
+      if (!node.ok()) return node.status();
+      if ((*node)->parent() == nullptr) {
+        return Status::Conflict("move source XID " + std::to_string(op.xid) +
+                                " detached twice");
+      }
+      attachments_.push_back(Attachment{op.to_parent, op.to_pos,
+                                        Detach(*node), seq_++});
+    }
+    return Status::OK();
+  }
+
+  Status ApplyDeletes() {
+    for (const DeleteOp& op : delta_.deletes()) {
+      Result<XmlNode*> node = Lookup(op.xid, "delete");
+      if (!node.ok()) return node.status();
+      if ((*node)->parent() == nullptr) {
+        return Status::Conflict("delete target XID " + std::to_string(op.xid) +
+                                " already detached");
+      }
+      std::unique_ptr<XmlNode> removed = Detach(*node);
+      if (options_.verify && op.subtree != nullptr) {
+        if (!removed->DeepEquals(*op.subtree) ||
+            XidMap::FromSubtree(*removed) != XidMap::FromSubtree(*op.subtree)) {
+          return Status::Conflict("delete of XID " + std::to_string(op.xid) +
+                                  ": subtree does not match snapshot");
+        }
+      }
+      removed->Visit([&](const XmlNode* n) { index_.erase(n->xid()); });
+    }
+    return Status::OK();
+  }
+
+  Status Attach() {
+    for (const InsertOp& op : delta_.inserts()) {
+      if (op.subtree == nullptr) {
+        return Status::InvalidArgument("insert op without subtree snapshot");
+      }
+      std::unique_ptr<XmlNode> subtree = op.subtree->Clone();
+      // Register the new nodes so that nested attachments can target them.
+      Status conflict = Status::OK();
+      subtree->Visit([&](XmlNode* n) {
+        auto [it, inserted] = index_.emplace(n->xid(), n);
+        (void)it;
+        if (!inserted && conflict.ok() && options_.verify) {
+          conflict = Status::Conflict("insert introduces duplicate XID " +
+                                      std::to_string(n->xid()));
+        }
+      });
+      XYDIFF_RETURN_IF_ERROR(conflict);
+      attachments_.push_back(
+          Attachment{op.parent_xid, op.pos, std::move(subtree), seq_++});
+    }
+
+    // Ascending target position within each parent reproduces the target
+    // child order (non-moved siblings keep their relative order).
+    std::sort(attachments_.begin(), attachments_.end(),
+              [](const Attachment& a, const Attachment& b) {
+                if (a.parent_xid != b.parent_xid) {
+                  return a.parent_xid < b.parent_xid;
+                }
+                if (a.pos != b.pos) return a.pos < b.pos;
+                return a.seq < b.seq;
+              });
+    for (auto& attachment : attachments_) {
+      Result<XmlNode*> parent = Lookup(attachment.parent_xid, "attach");
+      if (!parent.ok()) return parent.status();
+      if (!(*parent)->is_element()) {
+        return Status::Conflict("attach parent XID " +
+                                std::to_string(attachment.parent_xid) +
+                                " is not an element");
+      }
+      if (attachment.pos == 0 ||
+          static_cast<size_t>(attachment.pos) >
+              (*parent)->child_count() + 1) {
+        if (options_.verify && !options_.clamp_positions) {
+          return Status::Conflict(
+              "attach position " + std::to_string(attachment.pos) +
+              " out of range under XID " +
+              std::to_string(attachment.parent_xid));
+        }
+      }
+      const size_t index =
+          attachment.pos == 0
+              ? 0
+              : std::min<size_t>(attachment.pos - 1, (*parent)->child_count());
+      (*parent)->InsertChild(index, std::move(attachment.subtree));
+    }
+    return Status::OK();
+  }
+
+  const Delta& delta_;
+  XmlDocument* doc_;
+  ApplyOptions options_;
+  std::unique_ptr<XmlNode> super_root_;
+  std::unordered_map<Xid, XmlNode*> index_;
+  std::vector<Attachment> attachments_;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace
+
+Status ApplyDelta(const Delta& delta, XmlDocument* doc,
+                  const ApplyOptions& options) {
+  Applier applier(delta, doc, options);
+  return applier.Run();
+}
+
+Status ApplyDeltaInverse(const Delta& delta, XmlDocument* doc,
+                         const ApplyOptions& options) {
+  return ApplyDelta(InvertDelta(delta), doc, options);
+}
+
+}  // namespace xydiff

@@ -1,0 +1,55 @@
+#ifndef XYDIFF_DELTA_APPLY_H_
+#define XYDIFF_DELTA_APPLY_H_
+
+#include "delta/delta.h"
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace xydiff {
+
+/// Application configuration.
+struct ApplyOptions {
+  /// Verify that deleted subtrees match their snapshots, that updates see
+  /// the recorded old value, and that attribute operations see the
+  /// recorded old state. Catches deltas applied to the wrong version.
+  bool verify = true;
+
+  /// Accept attach positions beyond the current child count by clamping
+  /// to the end instead of failing. Used by the three-way merge, where a
+  /// concurrent delta may have shrunk a child list the positions were
+  /// computed against.
+  bool clamp_positions = false;
+};
+
+/// Applies `delta` to `*doc`, transforming it from the delta's source
+/// version into its target version (§4).
+///
+/// A delta is a *set* of operations; application imposes the canonical
+/// order that makes the set semantics well-defined:
+///   1. text updates and attribute operations (addressed by XID);
+///   2. detach every moved subtree (by XID, wherever it currently lives —
+///      including inside other detached subtrees);
+///   3. detach every deleted subtree and check it against its snapshot
+///      (moved-away descendants are already gone, matching the snapshot);
+///   4. attach inserted snapshots and moved subtrees at their recorded
+///      (parent XID, target position), in ascending position order per
+///      parent — non-moved siblings keep their relative order, so
+///      ascending attachment reproduces the target child sequence exactly.
+/// The document root is handled through a virtual super-root (XID 0,
+/// position 1), so even a full root replacement is just ops.
+///
+/// On success the document's XID allocator advances to the delta's
+/// new-version state. On failure the document may be partially modified;
+/// apply to a clone when that matters.
+Status ApplyDelta(const Delta& delta, XmlDocument* doc,
+                  const ApplyOptions& options = {});
+
+/// Applies the inverse of `delta` (target version -> source version).
+/// Equivalent to `ApplyDelta(InvertDelta(delta), doc)` without
+/// materializing the inverse.
+Status ApplyDeltaInverse(const Delta& delta, XmlDocument* doc,
+                         const ApplyOptions& options = {});
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_DELTA_APPLY_H_

@@ -1,0 +1,32 @@
+#ifndef XYDIFF_DELTA_COMPOSE_H_
+#define XYDIFF_DELTA_COMPOSE_H_
+
+#include "core/options.h"
+#include "delta/delta.h"
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace xydiff {
+
+/// Builds the delta from `*from` to `*to` implied by persistent
+/// identification: nodes bearing the same XID in both documents are
+/// matched (provided they have the same kind and label). Both documents
+/// must already carry XIDs; no fresh XIDs are assigned.
+///
+/// This is the aggregation primitive of the change model ([19], §4): the
+/// changes between any two versions of a document follow directly from
+/// their XIDs, without re-running the matching heuristics.
+Result<Delta> DeltaFromXidCorrespondence(XmlDocument* from, XmlDocument* to,
+                                         const DiffOptions& options = {});
+
+/// Composes two consecutive deltas: given `base` (the version `d1`
+/// applies to), returns a single delta equivalent to applying `d1` then
+/// `d2` — `apply(result, base) == apply(d2, apply(d1, base))`, including
+/// persistent identifiers. Cancellation falls out naturally: composing a
+/// delta with its inverse yields an empty delta.
+Result<Delta> ComposeDeltas(const XmlDocument& base, const Delta& d1,
+                            const Delta& d2, const DiffOptions& options = {});
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_DELTA_COMPOSE_H_

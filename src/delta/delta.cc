@@ -1,0 +1,30 @@
+#include "delta/delta.h"
+
+namespace xydiff {
+
+Delta Delta::Clone() const {
+  Delta copy;
+  copy.deletes_.reserve(deletes_.size());
+  for (const auto& op : deletes_) copy.deletes_.push_back(op.Clone());
+  copy.inserts_.reserve(inserts_.size());
+  for (const auto& op : inserts_) copy.inserts_.push_back(op.Clone());
+  copy.moves_ = moves_;
+  copy.updates_ = updates_;
+  copy.attribute_ops_ = attribute_ops_;
+  copy.old_next_xid_ = old_next_xid_;
+  copy.new_next_xid_ = new_next_xid_;
+  return copy;
+}
+
+size_t Delta::snapshot_node_count() const {
+  size_t n = 0;
+  for (const auto& op : deletes_) {
+    if (op.subtree) n += op.subtree->SubtreeSize();
+  }
+  for (const auto& op : inserts_) {
+    if (op.subtree) n += op.subtree->SubtreeSize();
+  }
+  return n;
+}
+
+}  // namespace xydiff

@@ -1,0 +1,82 @@
+#ifndef XYDIFF_DELTA_DELTA_H_
+#define XYDIFF_DELTA_DELTA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "delta/operation.h"
+
+namespace xydiff {
+
+/// A delta: the set of elementary operations transforming one version of
+/// an XML document into the next (§4). Produced by the diff, stored as an
+/// XML document (delta_xml.h), applied forwards (apply.h), invertible
+/// (invert.h) and composable (compose.h).
+///
+/// `old_next_xid` / `new_next_xid` record the XID allocator state of the
+/// two versions so that reconstruction keeps handing out fresh IDs.
+class Delta {
+ public:
+  Delta() = default;
+  Delta(Delta&&) = default;
+  Delta& operator=(Delta&&) = default;
+  Delta(const Delta&) = delete;
+  Delta& operator=(const Delta&) = delete;
+
+  /// Deep copy (clones subtree snapshots).
+  Delta Clone() const;
+
+  std::vector<DeleteOp>& deletes() { return deletes_; }
+  const std::vector<DeleteOp>& deletes() const { return deletes_; }
+  std::vector<InsertOp>& inserts() { return inserts_; }
+  const std::vector<InsertOp>& inserts() const { return inserts_; }
+  std::vector<MoveOp>& moves() { return moves_; }
+  const std::vector<MoveOp>& moves() const { return moves_; }
+  std::vector<UpdateOp>& updates() { return updates_; }
+  const std::vector<UpdateOp>& updates() const { return updates_; }
+  std::vector<AttributeOp>& attribute_ops() { return attribute_ops_; }
+  const std::vector<AttributeOp>& attribute_ops() const {
+    return attribute_ops_;
+  }
+
+  Xid old_next_xid() const { return old_next_xid_; }
+  void set_old_next_xid(Xid x) { old_next_xid_ = x; }
+  Xid new_next_xid() const { return new_next_xid_; }
+  void set_new_next_xid(Xid x) { new_next_xid_ = x; }
+
+  /// True when no operation is recorded (the versions are identical).
+  bool empty() const {
+    return deletes_.empty() && inserts_.empty() && moves_.empty() &&
+           updates_.empty() && attribute_ops_.empty();
+  }
+
+  /// Number of elementary operations.
+  size_t operation_count() const {
+    return deletes_.size() + inserts_.size() + moves_.size() +
+           updates_.size() + attribute_ops_.size();
+  }
+
+  /// Total number of nodes contained in insert and delete snapshots; a
+  /// size measure independent of serialization details.
+  size_t snapshot_node_count() const;
+
+  /// Weighted edit cost: nodes inserted + nodes deleted + moves + updates
+  /// + attribute ops. Used by the quality experiments to compare scripts.
+  size_t edit_cost() const {
+    return snapshot_node_count() + moves_.size() + updates_.size() +
+           attribute_ops_.size();
+  }
+
+ private:
+  std::vector<DeleteOp> deletes_;
+  std::vector<InsertOp> inserts_;
+  std::vector<MoveOp> moves_;
+  std::vector<UpdateOp> updates_;
+  std::vector<AttributeOp> attribute_ops_;
+  Xid old_next_xid_ = 1;
+  Xid new_next_xid_ = 1;
+};
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_DELTA_DELTA_H_

@@ -1,0 +1,50 @@
+#include "delta/invert.h"
+
+namespace xydiff {
+
+Delta InvertDelta(const Delta& delta) {
+  Delta out;
+  out.set_old_next_xid(delta.new_next_xid());
+  out.set_new_next_xid(delta.old_next_xid());
+
+  for (const DeleteOp& op : delta.deletes()) {
+    out.inserts().emplace_back(op.xid, op.parent_xid, op.pos,
+                               op.subtree ? op.subtree->Clone() : nullptr);
+  }
+  for (const InsertOp& op : delta.inserts()) {
+    out.deletes().emplace_back(op.xid, op.parent_xid, op.pos,
+                               op.subtree ? op.subtree->Clone() : nullptr);
+  }
+  for (const MoveOp& op : delta.moves()) {
+    out.moves().push_back(MoveOp{op.xid, op.to_parent, op.to_pos,
+                                 op.from_parent, op.from_pos});
+  }
+  for (const UpdateOp& op : delta.updates()) {
+    // Compressed updates invert by swapping the middles; the shared
+    // prefix/suffix lengths are direction-independent.
+    out.updates().push_back(
+        UpdateOp{op.xid, op.new_value, op.old_value, op.prefix, op.suffix});
+  }
+  for (const AttributeOp& op : delta.attribute_ops()) {
+    AttributeOp inv;
+    inv.element_xid = op.element_xid;
+    inv.name = op.name;
+    inv.old_value = op.new_value;
+    inv.new_value = op.old_value;
+    switch (op.kind) {
+      case AttributeOpKind::kInsert:
+        inv.kind = AttributeOpKind::kDelete;
+        break;
+      case AttributeOpKind::kDelete:
+        inv.kind = AttributeOpKind::kInsert;
+        break;
+      case AttributeOpKind::kUpdate:
+        inv.kind = AttributeOpKind::kUpdate;
+        break;
+    }
+    out.attribute_ops().push_back(std::move(inv));
+  }
+  return out;
+}
+
+}  // namespace xydiff

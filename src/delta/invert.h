@@ -1,0 +1,21 @@
+#ifndef XYDIFF_DELTA_INVERT_H_
+#define XYDIFF_DELTA_INVERT_H_
+
+#include "delta/delta.h"
+
+namespace xydiff {
+
+/// Inverts a completed delta (§4, after [19]): the result transforms the
+/// target version back into the source version.
+///
+/// Completed deltas carry both directions' information, so inversion is
+/// purely syntactic: deletes become inserts and vice versa (snapshots and
+/// positions are already recorded on both sides), updates and attribute
+/// operations swap old/new, moves swap origin and destination, and the
+/// allocator bookkeeping swaps. `InvertDelta(InvertDelta(d))` is
+/// structurally identical to `d`.
+Delta InvertDelta(const Delta& delta);
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_DELTA_INVERT_H_

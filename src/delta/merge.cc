@@ -1,0 +1,232 @@
+#include "delta/merge.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "delta/apply.h"
+
+namespace xydiff {
+
+namespace {
+
+/// Everything `ours` changes, indexed for collision tests.
+struct OursFootprint {
+  std::unordered_set<Xid> deleted;          // All nodes inside deletions.
+  std::unordered_map<Xid, const UpdateOp*> updated;
+  std::unordered_map<uint64_t, const AttributeOp*> attrs;  // (xid,name).
+  std::unordered_map<Xid, const MoveOp*> moved;
+  std::unordered_set<Xid> touched;  // Updated/moved/attr'd/insert parents.
+
+  static uint64_t AttrKey(Xid xid, const std::string& name) {
+    return xid * 1000003 ^ std::hash<std::string>{}(name);
+  }
+};
+
+OursFootprint BuildFootprint(const Delta& ours) {
+  OursFootprint fp;
+  for (const DeleteOp& op : ours.deletes()) {
+    if (op.subtree != nullptr) {
+      op.subtree->Visit(
+          [&](const XmlNode* n) { fp.deleted.insert(n->xid()); });
+    } else {
+      fp.deleted.insert(op.xid);
+    }
+    fp.touched.insert(op.parent_xid);
+  }
+  for (const UpdateOp& op : ours.updates()) {
+    fp.updated.emplace(op.xid, &op);
+    fp.touched.insert(op.xid);
+  }
+  for (const AttributeOp& op : ours.attribute_ops()) {
+    fp.attrs.emplace(OursFootprint::AttrKey(op.element_xid, op.name), &op);
+    fp.touched.insert(op.element_xid);
+  }
+  for (const MoveOp& op : ours.moves()) {
+    fp.moved.emplace(op.xid, &op);
+    fp.touched.insert(op.xid);
+    fp.touched.insert(op.from_parent);
+    fp.touched.insert(op.to_parent);
+  }
+  for (const InsertOp& op : ours.inserts()) {
+    fp.touched.insert(op.parent_xid);
+  }
+  return fp;
+}
+
+void AddConflict(MergeResult* result, MergeConflictKind kind, Xid xid,
+                 std::string description) {
+  result->conflicts.push_back(
+      MergeConflict{kind, xid, std::move(description)});
+}
+
+}  // namespace
+
+const char* MergeConflictKindName(MergeConflictKind kind) {
+  switch (kind) {
+    case MergeConflictKind::kUpdateUpdate: return "update/update";
+    case MergeConflictKind::kAttrAttr: return "attribute/attribute";
+    case MergeConflictKind::kMoveMove: return "move/move";
+    case MergeConflictKind::kDeleteTouched: return "delete/touched";
+    case MergeConflictKind::kTouchedDeleted: return "touched/deleted";
+  }
+  return "unknown";
+}
+
+Result<MergeResult> ThreeWayMerge(const XmlDocument& base, const Delta& ours,
+                                  const Delta& theirs) {
+  if (base.root() == nullptr) {
+    return Status::InvalidArgument("merge base must have a root element");
+  }
+  const OursFootprint fp = BuildFootprint(ours);
+  MergeResult result;
+
+  // XIDs both sides allocated for their insertions overlap (each delta
+  // starts allocating at the base's next_xid); accepted `theirs`
+  // insertions are renumbered past both ranges.
+  Xid next_fresh = std::max(ours.new_next_xid(), theirs.new_next_xid());
+  std::unordered_map<Xid, Xid> remap;
+  const Xid theirs_fresh_floor = theirs.old_next_xid();
+  const auto remapped = [&](Xid xid) {
+    auto it = remap.find(xid);
+    return it == remap.end() ? xid : it->second;
+  };
+
+  Delta accepted;
+  accepted.set_old_next_xid(ours.new_next_xid());
+
+  // --- Updates ---------------------------------------------------------------
+  for (const UpdateOp& op : theirs.updates()) {
+    if (fp.deleted.count(op.xid) != 0) {
+      AddConflict(&result, MergeConflictKind::kTouchedDeleted, op.xid,
+                  "theirs updates text XID " + std::to_string(op.xid) +
+                      " which ours deleted");
+      continue;
+    }
+    auto it = fp.updated.find(op.xid);
+    if (it != fp.updated.end()) {
+      if (*it->second == op) {
+        ++result.theirs_dropped_duplicates;
+      } else {
+        AddConflict(&result, MergeConflictKind::kUpdateUpdate, op.xid,
+                    "both sides rewrote text XID " + std::to_string(op.xid) +
+                        " (ours: '" + it->second->new_value + "', theirs: '" +
+                        op.new_value + "')");
+      }
+      continue;
+    }
+    accepted.updates().push_back(op);
+  }
+
+  // --- Attribute operations -----------------------------------------------------
+  for (const AttributeOp& op : theirs.attribute_ops()) {
+    if (fp.deleted.count(op.element_xid) != 0) {
+      AddConflict(&result, MergeConflictKind::kTouchedDeleted, op.element_xid,
+                  "theirs changes attribute '" + op.name + "' of XID " +
+                      std::to_string(op.element_xid) + " which ours deleted");
+      continue;
+    }
+    auto it = fp.attrs.find(OursFootprint::AttrKey(op.element_xid, op.name));
+    if (it != fp.attrs.end()) {
+      if (*it->second == op) {
+        ++result.theirs_dropped_duplicates;
+      } else {
+        AddConflict(&result, MergeConflictKind::kAttrAttr, op.element_xid,
+                    "both sides changed attribute '" + op.name + "' of XID " +
+                        std::to_string(op.element_xid));
+      }
+      continue;
+    }
+    accepted.attribute_ops().push_back(op);
+  }
+
+  // --- Moves -----------------------------------------------------------------
+  for (const MoveOp& op : theirs.moves()) {
+    if (fp.deleted.count(op.xid) != 0 ||
+        fp.deleted.count(op.to_parent) != 0) {
+      AddConflict(&result, MergeConflictKind::kTouchedDeleted, op.xid,
+                  "theirs moves XID " + std::to_string(op.xid) +
+                      " into/out of a region ours deleted");
+      continue;
+    }
+    auto it = fp.moved.find(op.xid);
+    if (it != fp.moved.end()) {
+      if (it->second->to_parent == op.to_parent &&
+          it->second->to_pos == op.to_pos) {
+        ++result.theirs_dropped_duplicates;
+      } else {
+        AddConflict(&result, MergeConflictKind::kMoveMove, op.xid,
+                    "both sides moved XID " + std::to_string(op.xid) +
+                        " to different places");
+      }
+      continue;
+    }
+    accepted.moves().push_back(op);
+  }
+
+  // --- Inserts ---------------------------------------------------------------
+  for (const InsertOp& op : theirs.inserts()) {
+    if (fp.deleted.count(op.parent_xid) != 0) {
+      AddConflict(&result, MergeConflictKind::kTouchedDeleted, op.parent_xid,
+                  "theirs inserts under XID " + std::to_string(op.parent_xid) +
+                      " which ours deleted");
+      continue;
+    }
+    InsertOp copy = op.Clone();
+    // Renumber theirs' fresh XIDs.
+    copy.subtree->Visit([&](XmlNode* n) {
+      if (n->xid() >= theirs_fresh_floor) {
+        auto [it, inserted] = remap.emplace(n->xid(), next_fresh);
+        if (inserted) ++next_fresh;
+        n->set_xid(it->second);
+      }
+    });
+    copy.xid = remapped(copy.xid);
+    copy.parent_xid = remapped(copy.parent_xid);
+    accepted.inserts().push_back(std::move(copy));
+  }
+  // Move destinations may point into renumbered insertions.
+  for (MoveOp& op : accepted.moves()) {
+    op.to_parent = remapped(op.to_parent);
+  }
+
+  // --- Deletes ---------------------------------------------------------------
+  for (const DeleteOp& op : theirs.deletes()) {
+    if (fp.deleted.count(op.xid) != 0) {
+      ++result.theirs_dropped_duplicates;  // Already gone via ours.
+      continue;
+    }
+    bool collides = false;
+    Xid witness = kNoXid;
+    if (op.subtree != nullptr) {
+      op.subtree->Visit([&](const XmlNode* n) {
+        if (collides) return;
+        if (fp.touched.count(n->xid()) != 0 ||
+            fp.deleted.count(n->xid()) != 0) {
+          collides = true;
+          witness = n->xid();
+        }
+      });
+    }
+    if (collides) {
+      AddConflict(&result, MergeConflictKind::kDeleteTouched, op.xid,
+                  "theirs deletes a subtree ours modified inside (XID " +
+                      std::to_string(witness) + ")");
+      continue;
+    }
+    accepted.deletes().push_back(op.Clone());
+  }
+
+  accepted.set_new_next_xid(next_fresh);
+  result.theirs_applied = accepted.operation_count();
+
+  // --- Materialize ------------------------------------------------------------
+  result.merged = base.Clone();
+  XYDIFF_RETURN_IF_ERROR(ApplyDelta(ours, &result.merged));
+  ApplyOptions lenient;
+  lenient.clamp_positions = true;  // Ours may have reshaped child lists.
+  XYDIFF_RETURN_IF_ERROR(ApplyDelta(accepted, &result.merged, lenient));
+  result.merged.ReserveXidsThrough(next_fresh > 0 ? next_fresh - 1 : 0);
+  return result;
+}
+
+}  // namespace xydiff

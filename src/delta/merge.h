@@ -1,0 +1,62 @@
+#ifndef XYDIFF_DELTA_MERGE_H_
+#define XYDIFF_DELTA_MERGE_H_
+
+#include <string>
+#include <vector>
+
+#include "delta/delta.h"
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace xydiff {
+
+/// Three-way merge of concurrent deltas — §2 "Learning about changes":
+/// "different users may modify the same XML document off-line, and later
+/// want to synchronize their respective versions. The diff algorithm
+/// could be used to detect and describe the modifications in order to
+/// detect conflicts and solve some of them" (the CVS analogy, [26]).
+///
+/// Given a base version and two deltas that each apply to it, the merge
+/// keeps `ours` in full, takes every `theirs` operation that does not
+/// collide with `ours`, reports the collisions as conflicts, and
+/// deduplicates operations both sides performed identically.
+
+/// Why a `theirs` operation was rejected.
+enum class MergeConflictKind {
+  kUpdateUpdate,    ///< Both sides rewrote the same text differently.
+  kAttrAttr,        ///< Both sides changed the same attribute differently.
+  kMoveMove,        ///< Both sides moved the same node to different places.
+  kDeleteTouched,   ///< Theirs deletes a subtree ours modified inside.
+  kTouchedDeleted,  ///< Theirs modifies a node ours deleted.
+};
+
+const char* MergeConflictKindName(MergeConflictKind kind);
+
+struct MergeConflict {
+  MergeConflictKind kind = MergeConflictKind::kUpdateUpdate;
+  Xid xid = kNoXid;         ///< The contested node.
+  std::string description;  ///< Human-readable explanation.
+};
+
+struct MergeResult {
+  XmlDocument merged;  ///< base + ours + the accepted part of theirs.
+  std::vector<MergeConflict> conflicts;
+  size_t theirs_applied = 0;  ///< `theirs` ops merged in.
+  size_t theirs_dropped_duplicates = 0;  ///< Identical on both sides.
+
+  bool clean() const { return conflicts.empty(); }
+};
+
+/// Merges `theirs` into `ours` over `base`. Both deltas must apply to
+/// `base` (same XIDs). Sibling positions of accepted `theirs` insertions
+/// and moves are taken from `theirs`' target document and clamped into
+/// the merged child lists: when both sides add children under one parent
+/// the interleaving is deterministic but arbitrary — position is not
+/// considered a conflict, matching the paper's observation that deltas
+/// for a given matching differ only in sibling ordering choices.
+Result<MergeResult> ThreeWayMerge(const XmlDocument& base, const Delta& ours,
+                                  const Delta& theirs);
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_DELTA_MERGE_H_

@@ -1,0 +1,115 @@
+#ifndef XYDIFF_DELTA_OPERATION_H_
+#define XYDIFF_DELTA_OPERATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "xml/node.h"
+
+namespace xydiff {
+
+/// Elementary operations of the change model (§4, after [19]). A delta is
+/// a *set* of these; positions always refer to positions in the source
+/// document (deletes, move sources) or in the target document (inserts,
+/// move destinations), 1-based as in the paper's examples. The operations
+/// are "completed": they carry enough redundancy (snapshots, old values)
+/// that a delta can be applied in either direction.
+
+/// Update of a text node's character data. The element-attribute analogue
+/// is AttributeOp.
+///
+/// Two storage forms:
+///  * full (prefix == suffix == 0): `old_value`/`new_value` are the
+///    complete texts — the paper's completed-delta representation;
+///  * compressed (`DiffOptions::compress_updates`): the texts share
+///    `prefix` leading and `suffix` trailing bytes which are *not*
+///    stored; `old_value`/`new_value` hold only the differing middles,
+///    spliced against the document at application time. Both directions
+///    remain recoverable, so inversion stays syntactic.
+struct UpdateOp {
+  Xid xid = kNoXid;        ///< The text node.
+  std::string old_value;   ///< Source content (or its differing middle).
+  std::string new_value;   ///< Target content (or its differing middle).
+  uint32_t prefix = 0;     ///< Shared leading bytes not stored.
+  uint32_t suffix = 0;     ///< Shared trailing bytes not stored.
+
+  bool is_compressed() const { return prefix != 0 || suffix != 0; }
+
+  bool operator==(const UpdateOp&) const = default;
+};
+
+/// Attribute change on a matched element. Attributes have no XIDs of
+/// their own (§5.2 "Other XML features"): they are addressed by owning
+/// element and name.
+enum class AttributeOpKind { kInsert, kDelete, kUpdate };
+
+struct AttributeOp {
+  AttributeOpKind kind = AttributeOpKind::kUpdate;
+  Xid element_xid = kNoXid;
+  std::string name;
+  std::string old_value;  ///< Empty for kInsert.
+  std::string new_value;  ///< Empty for kDelete.
+
+  bool operator==(const AttributeOp&) const = default;
+};
+
+/// Deletion of a whole subtree. The snapshot is the subtree *after* every
+/// moved-away descendant has been detached (moves are applied before
+/// deletes), and carries the nodes' XIDs so the inverse insert restores
+/// persistent identity.
+struct DeleteOp {
+  Xid xid = kNoXid;         ///< Root of the deleted subtree.
+  Xid parent_xid = kNoXid;  ///< Its parent in the source document.
+  uint32_t pos = 0;         ///< 1-based child position in the source document.
+  std::unique_ptr<XmlNode> subtree;  ///< Snapshot with XIDs.
+
+  DeleteOp() = default;
+  DeleteOp(Xid xid_in, Xid parent, uint32_t pos_in,
+           std::unique_ptr<XmlNode> tree)
+      : xid(xid_in), parent_xid(parent), pos(pos_in), subtree(std::move(tree)) {}
+  DeleteOp(DeleteOp&&) = default;
+  DeleteOp& operator=(DeleteOp&&) = default;
+
+  DeleteOp Clone() const {
+    return DeleteOp(xid, parent_xid, pos, subtree ? subtree->Clone() : nullptr);
+  }
+};
+
+/// Insertion of a whole subtree; mirror image of DeleteOp. The snapshot
+/// excludes moved-in descendants (moves are applied after inserts).
+struct InsertOp {
+  Xid xid = kNoXid;         ///< Root of the inserted subtree.
+  Xid parent_xid = kNoXid;  ///< Its parent in the target document.
+  uint32_t pos = 0;         ///< 1-based child position in the target document.
+  std::unique_ptr<XmlNode> subtree;  ///< Snapshot with XIDs.
+
+  InsertOp() = default;
+  InsertOp(Xid xid_in, Xid parent, uint32_t pos_in,
+           std::unique_ptr<XmlNode> tree)
+      : xid(xid_in), parent_xid(parent), pos(pos_in), subtree(std::move(tree)) {}
+  InsertOp(InsertOp&&) = default;
+  InsertOp& operator=(InsertOp&&) = default;
+
+  InsertOp Clone() const {
+    return InsertOp(xid, parent_xid, pos, subtree ? subtree->Clone() : nullptr);
+  }
+};
+
+/// Move of a node (with whatever subtree it carries at application time):
+/// `move(m, n, o, p, q)` of the paper — node `o` moves from being the
+/// n-th child of m to being the q-th child of p. Also used for pure
+/// reorderings within one parent (then from_parent == to_parent).
+struct MoveOp {
+  Xid xid = kNoXid;
+  Xid from_parent = kNoXid;
+  uint32_t from_pos = 0;  ///< 1-based position in the source document.
+  Xid to_parent = kNoXid;
+  uint32_t to_pos = 0;    ///< 1-based position in the target document.
+
+  bool operator==(const MoveOp&) const = default;
+};
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_DELTA_OPERATION_H_

@@ -1,0 +1,165 @@
+#include "delta/summary.h"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace xydiff {
+
+namespace {
+
+std::unordered_map<Xid, const XmlNode*> IndexByXid(const XmlDocument& doc) {
+  std::unordered_map<Xid, const XmlNode*> index;
+  if (doc.root() != nullptr) {
+    doc.root()->Visit([&](const XmlNode* n) { index.emplace(n->xid(), n); });
+  }
+  return index;
+}
+
+/// Truncates long text for display.
+std::string Ellipsize(const std::string& text, size_t limit = 40) {
+  if (text.size() <= limit) return text;
+  return text.substr(0, limit - 3) + "...";
+}
+
+/// 1-based ordinal of `node` among same-label element siblings, or 0 if
+/// it is the only one.
+size_t LabelOrdinal(const XmlNode& node) {
+  const XmlNode* parent = node.parent();
+  if (parent == nullptr || !node.is_element()) return 0;
+  size_t ordinal = 0;
+  size_t total = 0;
+  for (size_t i = 0; i < parent->child_count(); ++i) {
+    const XmlNode* sibling = parent->child(i);
+    if (sibling->is_element() && sibling->label() == node.label()) {
+      ++total;
+      if (sibling == &node) ordinal = total;
+    }
+  }
+  return total > 1 ? ordinal : 0;
+}
+
+class Explainer {
+ public:
+  Explainer(const XmlDocument& old_version, const XmlDocument& new_version)
+      : old_index_(IndexByXid(old_version)),
+        new_index_(IndexByXid(new_version)) {}
+
+  Result<std::string> Run(const Delta& delta) {
+    std::ostringstream os;
+    for (const DeleteOp& op : delta.deletes()) {
+      Result<const XmlNode*> node = Resolve(old_index_, op.xid, "delete");
+      if (!node.ok()) return node.status();
+      os << "deleted   " << Describe(**node) << " at " << NodePath(**node);
+      if (op.subtree != nullptr && op.subtree->SubtreeSize() > 1) {
+        os << " (" << op.subtree->SubtreeSize() << " nodes)";
+      }
+      os << "\n";
+    }
+    for (const InsertOp& op : delta.inserts()) {
+      Result<const XmlNode*> node = Resolve(new_index_, op.xid, "insert");
+      if (!node.ok()) return node.status();
+      os << "inserted  " << Describe(**node) << " at " << NodePath(**node);
+      if (op.subtree != nullptr && op.subtree->SubtreeSize() > 1) {
+        os << " (" << op.subtree->SubtreeSize() << " nodes)";
+      }
+      os << "\n";
+    }
+    for (const MoveOp& op : delta.moves()) {
+      Result<const XmlNode*> old_node = Resolve(old_index_, op.xid, "move");
+      if (!old_node.ok()) return old_node.status();
+      Result<const XmlNode*> new_node = Resolve(new_index_, op.xid, "move");
+      if (!new_node.ok()) return new_node.status();
+      os << "moved     " << Describe(**new_node) << " from "
+         << NodePath(**old_node) << " to " << NodePath(**new_node) << "\n";
+    }
+    for (const UpdateOp& op : delta.updates()) {
+      Result<const XmlNode*> old_node = Resolve(old_index_, op.xid, "update");
+      if (!old_node.ok()) return old_node.status();
+      os << "updated   " << NodePath(**old_node);
+      if (op.is_compressed()) {
+        os << ": \"..." << Ellipsize(op.old_value) << "...\" -> \"..."
+           << Ellipsize(op.new_value) << "...\" (at byte " << op.prefix
+           << ")";
+      } else {
+        os << ": \"" << Ellipsize(op.old_value) << "\" -> \""
+           << Ellipsize(op.new_value) << "\"";
+      }
+      os << "\n";
+    }
+    for (const AttributeOp& op : delta.attribute_ops()) {
+      Result<const XmlNode*> node =
+          Resolve(new_index_, op.element_xid, "attribute op");
+      if (!node.ok()) {
+        node = Resolve(old_index_, op.element_xid, "attribute op");
+        if (!node.ok()) return node.status();
+      }
+      os << "attribute " << NodePath(**node) << "/@" << op.name;
+      switch (op.kind) {
+        case AttributeOpKind::kInsert:
+          os << " added = \"" << Ellipsize(op.new_value) << "\"";
+          break;
+        case AttributeOpKind::kDelete:
+          os << " removed (was \"" << Ellipsize(op.old_value) << "\")";
+          break;
+        case AttributeOpKind::kUpdate:
+          os << ": \"" << Ellipsize(op.old_value) << "\" -> \""
+             << Ellipsize(op.new_value) << "\"";
+          break;
+      }
+      os << "\n";
+    }
+    return os.str();
+  }
+
+ private:
+  static Result<const XmlNode*> Resolve(
+      const std::unordered_map<Xid, const XmlNode*>& index, Xid xid,
+      const char* what) {
+    auto it = index.find(xid);
+    if (it == index.end()) {
+      return Status::NotFound(std::string(what) +
+                              " references unknown XID " +
+                              std::to_string(xid));
+    }
+    return it->second;
+  }
+
+  static std::string Describe(const XmlNode& node) {
+    if (node.is_text()) return "text \"" + Ellipsize(node.text(), 24) + "\"";
+    std::string out = "<" + node.label() + ">";
+    // A short content hint: the first text descendant.
+    const XmlNode* hint = nullptr;
+    node.Visit([&](const XmlNode* n) {
+      if (hint == nullptr && n->is_text()) hint = n;
+    });
+    if (hint != nullptr) out += " \"" + Ellipsize(hint->text(), 24) + "\"";
+    return out;
+  }
+
+  std::unordered_map<Xid, const XmlNode*> old_index_;
+  std::unordered_map<Xid, const XmlNode*> new_index_;
+};
+
+}  // namespace
+
+std::string NodePath(const XmlNode& node) {
+  if (node.is_text()) {
+    return node.parent() != nullptr ? NodePath(*node.parent()) + "/text()"
+                                    : "/text()";
+  }
+  std::string prefix =
+      node.parent() != nullptr ? NodePath(*node.parent()) : "";
+  std::string out = prefix + "/" + node.label();
+  const size_t ordinal = LabelOrdinal(node);
+  if (ordinal > 0) out += "[" + std::to_string(ordinal) + "]";
+  return out;
+}
+
+Result<std::string> ExplainDelta(const Delta& delta,
+                                 const XmlDocument& old_version,
+                                 const XmlDocument& new_version) {
+  Explainer explainer(old_version, new_version);
+  return explainer.Run(delta);
+}
+
+}  // namespace xydiff

@@ -1,0 +1,31 @@
+#ifndef XYDIFF_DELTA_SUMMARY_H_
+#define XYDIFF_DELTA_SUMMARY_H_
+
+#include <string>
+
+#include "delta/delta.h"
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace xydiff {
+
+/// Human-readable change reports (§2 "Learning about changes": the diff
+/// "allows to update the old version Vi and also to explain the changes
+/// to the user", in the spirit of ICE).
+
+/// Absolute element path of a node, with 1-based sibling ordinals among
+/// same-label siblings, e.g. "/Category/Product[2]/Price". Text nodes
+/// render as their parent's path plus "/text()".
+std::string NodePath(const XmlNode& node);
+
+/// Renders `delta` as one English line per operation, resolving XIDs
+/// against the two versions it connects. Lines are ordered: deletions,
+/// insertions, moves, updates, attribute changes. Returns an error if
+/// the documents do not correspond to the delta (unknown XIDs).
+Result<std::string> ExplainDelta(const Delta& delta,
+                                 const XmlDocument& old_version,
+                                 const XmlDocument& new_version);
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_DELTA_SUMMARY_H_

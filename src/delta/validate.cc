@@ -1,0 +1,109 @@
+#include "delta/validate.h"
+
+#include <unordered_set>
+
+namespace xydiff {
+
+namespace {
+
+Status Fail(const char* what, Xid xid) {
+  return Status::Corruption(std::string(what) + " (XID " +
+                            std::to_string(xid) + ")");
+}
+
+Status CheckSnapshot(const XmlNode* subtree, Xid op_xid, Xid new_next_xid,
+                     bool check_allocator) {
+  if (subtree == nullptr) {
+    return Fail("snapshot-bearing operation without subtree", op_xid);
+  }
+  if (subtree->xid() != op_xid) {
+    return Fail("snapshot root XID differs from operation XID", op_xid);
+  }
+  Status status = Status::OK();
+  subtree->Visit([&](const XmlNode* n) {
+    if (!status.ok()) return;
+    if (n->xid() == kNoXid) {
+      status = Fail("snapshot contains a node without XID", op_xid);
+    } else if (check_allocator && new_next_xid != 0 &&
+               n->xid() >= new_next_xid) {
+      status = Fail("snapshot XID beyond the delta's new_next_xid", n->xid());
+    }
+  });
+  return status;
+}
+
+}  // namespace
+
+Status ValidateDelta(const Delta& delta) {
+  // Targets that are detached (moves) or removed (deletes) must be
+  // distinct; a node also cannot be both inserted and deleted.
+  std::unordered_set<Xid> detached;
+  for (const DeleteOp& op : delta.deletes()) {
+    if (op.pos == 0) return Fail("delete with 0 position (1-based)", op.xid);
+    XYDIFF_RETURN_IF_ERROR(
+        CheckSnapshot(op.subtree.get(), op.xid, 0, /*check_allocator=*/false));
+    if (!detached.insert(op.xid).second) {
+      return Fail("node deleted or moved twice", op.xid);
+    }
+  }
+  for (const MoveOp& op : delta.moves()) {
+    if (op.xid == kNoXid) return Fail("move of the virtual root", op.xid);
+    if (op.from_pos == 0 || op.to_pos == 0) {
+      return Fail("move with 0 position (1-based)", op.xid);
+    }
+    if (!detached.insert(op.xid).second) {
+      return Fail("node deleted or moved twice", op.xid);
+    }
+  }
+
+  std::unordered_set<Xid> inserted;
+  for (const InsertOp& op : delta.inserts()) {
+    if (op.pos == 0) return Fail("insert with 0 position (1-based)", op.xid);
+    XYDIFF_RETURN_IF_ERROR(CheckSnapshot(op.subtree.get(), op.xid,
+                                         delta.new_next_xid(),
+                                         /*check_allocator=*/true));
+    Status status = Status::OK();
+    op.subtree->Visit([&](const XmlNode* n) {
+      if (!status.ok()) return;
+      if (!inserted.insert(n->xid()).second) {
+        status = Fail("XID inserted twice", n->xid());
+      }
+      if (detached.count(n->xid()) != 0) {
+        status = Fail("XID both inserted and deleted/moved", n->xid());
+      }
+    });
+    XYDIFF_RETURN_IF_ERROR(status);
+  }
+
+  std::unordered_set<Xid> updated;
+  for (const UpdateOp& op : delta.updates()) {
+    if (op.xid == kNoXid) return Fail("update without target", op.xid);
+    if (!updated.insert(op.xid).second) {
+      return Fail("node updated twice", op.xid);
+    }
+    if (op.old_value == op.new_value) {
+      return Fail("update with identical old and new values", op.xid);
+    }
+  }
+
+  std::unordered_set<uint64_t> attr_targets;
+  for (const AttributeOp& op : delta.attribute_ops()) {
+    if (op.element_xid == kNoXid) {
+      return Fail("attribute op without target element", op.element_xid);
+    }
+    if (op.name.empty()) {
+      return Fail("attribute op without attribute name", op.element_xid);
+    }
+    if (op.kind == AttributeOpKind::kUpdate && op.old_value == op.new_value) {
+      return Fail("attribute update with identical values", op.element_xid);
+    }
+    const uint64_t key =
+        op.element_xid * 1000003 + std::hash<std::string>{}(op.name);
+    if (!attr_targets.insert(key).second) {
+      return Fail("attribute changed twice on one element", op.element_xid);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xydiff

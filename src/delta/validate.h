@@ -1,0 +1,30 @@
+#ifndef XYDIFF_DELTA_VALIDATE_H_
+#define XYDIFF_DELTA_VALIDATE_H_
+
+#include "delta/delta.h"
+#include "util/status.h"
+
+namespace xydiff {
+
+/// Structural validation of a delta, independent of any document.
+///
+/// Catches the classes of corruption a delta can accumulate in storage or
+/// transit before it is applied to real data:
+///  * duplicate targets: the same XID deleted, moved or inserted twice,
+///    or updated twice;
+///  * missing or inconsistent snapshots: delete/insert ops without a
+///    subtree, or whose subtree root XID differs from the op's `xid`;
+///  * unassigned XIDs (kNoXid) anywhere inside a snapshot;
+///  * positions that are not 1-based;
+///  * attribute operations without a name, or with old == new values on
+///    an update;
+///  * allocator bookkeeping that contradicts the operations (an inserted
+///    node's XID at or beyond `new_next_xid`).
+///
+/// Application (apply.h) additionally verifies the delta against the
+/// concrete document; ValidateDelta is the cheap document-free gate.
+Status ValidateDelta(const Delta& delta);
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_DELTA_VALIDATE_H_

@@ -1,0 +1,135 @@
+#include "monitor/change_stats.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace xydiff {
+
+namespace {
+
+std::unordered_map<Xid, const XmlNode*> IndexByXid(const XmlDocument& doc) {
+  std::unordered_map<Xid, const XmlNode*> index;
+  if (doc.root() != nullptr) {
+    doc.root()->Visit([&](const XmlNode* n) { index.emplace(n->xid(), n); });
+  }
+  return index;
+}
+
+/// Label of the nearest element at or above the node.
+const std::string* OwningLabel(const XmlNode* node) {
+  while (node != nullptr && !node->is_element()) node = node->parent();
+  return node == nullptr ? nullptr : &node->label();
+}
+
+}  // namespace
+
+void ChangeStatistics::Accumulate(const Delta& delta,
+                                  const XmlDocument& old_version,
+                                  const XmlDocument& new_version) {
+  ++delta_count_;
+
+  // Occurrences: count element instances in the *new* version plus the
+  // deleted elements of the old one, so every changed element is also
+  // counted as occurring.
+  if (new_version.root() != nullptr) {
+    new_version.root()->Visit([&](const XmlNode* n) {
+      if (n->is_element()) ++by_label_[n->label()].occurrences;
+    });
+  }
+
+  const auto old_index = IndexByXid(old_version);
+  const auto new_index = IndexByXid(new_version);
+  const auto find = [](const std::unordered_map<Xid, const XmlNode*>& index,
+                       Xid xid) -> const XmlNode* {
+    auto it = index.find(xid);
+    return it == index.end() ? nullptr : it->second;
+  };
+
+  for (const InsertOp& op : delta.inserts()) {
+    const XmlNode* root = find(new_index, op.xid);
+    if (root == nullptr) continue;
+    root->Visit([&](const XmlNode* n) {
+      if (n->is_element()) ++by_label_[n->label()].inserted;
+    });
+  }
+  for (const DeleteOp& op : delta.deletes()) {
+    const XmlNode* root = find(old_index, op.xid);
+    if (root == nullptr) continue;
+    root->Visit([&](const XmlNode* n) {
+      if (!n->is_element()) return;
+      LabelStats& stats = by_label_[n->label()];
+      ++stats.deleted;
+      ++stats.occurrences;  // Deleted elements are not in the new version.
+    });
+  }
+  for (const MoveOp& op : delta.moves()) {
+    const std::string* label = OwningLabel(find(new_index, op.xid));
+    if (label != nullptr) ++by_label_[*label].moved;
+  }
+  for (const UpdateOp& op : delta.updates()) {
+    const std::string* label = OwningLabel(find(new_index, op.xid));
+    if (label != nullptr) ++by_label_[*label].text_updated;
+  }
+  for (const AttributeOp& op : delta.attribute_ops()) {
+    const XmlNode* element = find(new_index, op.element_xid);
+    if (element != nullptr && element->is_element()) {
+      ++by_label_[element->label()].attr_changed;
+    }
+  }
+}
+
+void ChangeStatistics::Merge(const ChangeStatistics& other) {
+  delta_count_ += other.delta_count_;
+  for (const auto& [label, stats] : other.by_label_) {
+    LabelStats& mine = by_label_[label];
+    mine.occurrences += stats.occurrences;
+    mine.inserted += stats.inserted;
+    mine.deleted += stats.deleted;
+    mine.moved += stats.moved;
+    mine.text_updated += stats.text_updated;
+    mine.attr_changed += stats.attr_changed;
+  }
+}
+
+ChangeStatistics::LabelStats ChangeStatistics::ForLabel(
+    const std::string& label) const {
+  auto it = by_label_.find(label);
+  return it == by_label_.end() ? LabelStats{} : it->second;
+}
+
+std::vector<std::pair<std::string, ChangeStatistics::LabelStats>>
+ChangeStatistics::MostVolatile(size_t limit, size_t min_occurrences) const {
+  std::vector<std::pair<std::string, LabelStats>> out;
+  for (const auto& [label, stats] : by_label_) {
+    if (stats.occurrences >= min_occurrences && stats.total_changes() > 0) {
+      out.emplace_back(label, stats);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second.change_rate() != b.second.change_rate()) {
+      return a.second.change_rate() > b.second.change_rate();
+    }
+    return a.first < b.first;
+  });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+std::string ChangeStatistics::Report(size_t limit) const {
+  std::ostringstream os;
+  os << "change statistics over " << delta_count_ << " delta(s)\n";
+  os << "label                 occur   ins   del   mov   upd  attr   rate\n";
+  for (const auto& [label, stats] : MostVolatile(limit)) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%-20s %6zu %5zu %5zu %5zu %5zu %5zu %6.2f\n",
+                  label.c_str(), stats.occurrences, stats.inserted,
+                  stats.deleted, stats.moved, stats.text_updated,
+                  stats.attr_changed, stats.change_rate());
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace xydiff

@@ -1,0 +1,133 @@
+#include "monitor/index.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace xydiff {
+
+namespace {
+
+/// Lazy XID index over one document: built on the first lookup, so
+/// deltas without updates never pay the O(n) walk.
+class LazyXidIndex {
+ public:
+  explicit LazyXidIndex(const XmlDocument& doc) : doc_(doc) {}
+
+  const XmlNode* Find(Xid xid) {
+    if (!built_) {
+      if (doc_.root() != nullptr) {
+        doc_.root()->Visit(
+            [&](const XmlNode* n) { index_.emplace(n->xid(), n); });
+      }
+      built_ = true;
+    }
+    auto it = index_.find(xid);
+    return it == index_.end() ? nullptr : it->second;
+  }
+
+ private:
+  const XmlDocument& doc_;
+  bool built_ = false;
+  std::unordered_map<Xid, const XmlNode*> index_;
+};
+
+}  // namespace
+
+std::vector<std::string> FullTextIndex::Tokenize(std::string_view text) {
+  std::vector<std::string> words;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+    } else if (!current.empty()) {
+      words.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) words.push_back(std::move(current));
+  return words;
+}
+
+void FullTextIndex::AddText(Xid xid, std::string_view text) {
+  for (const std::string& word : Tokenize(text)) {
+    postings_[word].insert(xid);
+  }
+}
+
+void FullTextIndex::RemoveText(Xid xid, std::string_view text) {
+  for (const std::string& word : Tokenize(text)) {
+    auto it = postings_.find(word);
+    if (it == postings_.end()) continue;
+    it->second.erase(xid);
+    if (it->second.empty()) postings_.erase(it);
+  }
+}
+
+FullTextIndex FullTextIndex::Build(const XmlDocument& doc) {
+  FullTextIndex index;
+  if (doc.root() != nullptr) {
+    doc.root()->Visit([&](const XmlNode* n) {
+      if (n->is_text()) index.AddText(n->xid(), n->text());
+    });
+  }
+  return index;
+}
+
+Status FullTextIndex::Apply(const Delta& delta,
+                            const XmlDocument& old_version,
+                            const XmlDocument& new_version) {
+  // Deletions remove their snapshot's words (the snapshot excludes
+  // moved-away nodes, whose postings must survive — they still exist).
+  for (const DeleteOp& op : delta.deletes()) {
+    if (op.subtree == nullptr) {
+      return Status::InvalidArgument("delete op without snapshot");
+    }
+    op.subtree->Visit([&](const XmlNode* n) {
+      if (n->is_text()) RemoveText(n->xid(), n->text());
+    });
+  }
+  for (const InsertOp& op : delta.inserts()) {
+    if (op.subtree == nullptr) {
+      return Status::InvalidArgument("insert op without snapshot");
+    }
+    op.subtree->Visit([&](const XmlNode* n) {
+      if (n->is_text()) AddText(n->xid(), n->text());
+    });
+  }
+  LazyXidIndex old_index(old_version);
+  LazyXidIndex new_index(new_version);
+  for (const UpdateOp& op : delta.updates()) {
+    // Resolve full texts against the two versions so compressed updates
+    // need no splicing logic here.
+    const XmlNode* old_node = old_index.Find(op.xid);
+    const XmlNode* new_node = new_index.Find(op.xid);
+    if (old_node == nullptr || !old_node->is_text() || new_node == nullptr ||
+        !new_node->is_text()) {
+      return Status::NotFound("update references unknown text XID " +
+                              std::to_string(op.xid));
+    }
+    RemoveText(op.xid, old_node->text());
+    AddText(op.xid, new_node->text());
+  }
+  // Moves and attribute operations do not touch text postings.
+  return Status::OK();
+}
+
+std::vector<Xid> FullTextIndex::Lookup(std::string_view word) const {
+  std::string key;
+  for (char c : word) {
+    key += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  auto it = postings_.find(key);
+  if (it == postings_.end()) return {};
+  return std::vector<Xid>(it->second.begin(), it->second.end());
+}
+
+size_t FullTextIndex::posting_count() const {
+  size_t total = 0;
+  for (const auto& [word, xids] : postings_) total += xids.size();
+  return total;
+}
+
+}  // namespace xydiff

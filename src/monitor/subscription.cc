@@ -1,0 +1,161 @@
+#include "monitor/subscription.h"
+
+#include <unordered_map>
+
+namespace xydiff {
+
+namespace {
+
+/// Index from XID to node over a whole document.
+std::unordered_map<Xid, const XmlNode*> IndexByXid(const XmlDocument& doc) {
+  std::unordered_map<Xid, const XmlNode*> index;
+  if (doc.root() != nullptr) {
+    doc.root()->Visit([&](const XmlNode* n) { index.emplace(n->xid(), n); });
+  }
+  return index;
+}
+
+const XmlNode* Find(const std::unordered_map<Xid, const XmlNode*>& index,
+                    Xid xid) {
+  auto it = index.find(xid);
+  return it == index.end() ? nullptr : it->second;
+}
+
+/// Nearest element at or above `node` (text updates are reported against
+/// their containing element).
+const XmlNode* OwningElement(const XmlNode* node) {
+  while (node != nullptr && !node->is_element()) node = node->parent();
+  return node;
+}
+
+/// Short description of an element including its first text descendant,
+/// so content filters have something to match ("inserted <Product>
+/// 'zy456'").
+std::string DescribeElement(const XmlNode& node) {
+  std::string out = "<" + node.label() + ">";
+  const XmlNode* hint = nullptr;
+  node.Visit([&](const XmlNode* n) {
+    if (hint == nullptr && n->is_text()) hint = n;
+  });
+  if (hint != nullptr) {
+    out += " '" + hint->text().substr(0, 48) + "'";
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* ChangeKindName(ChangeKind kind) {
+  switch (kind) {
+    case ChangeKind::kInsert: return "insert";
+    case ChangeKind::kDelete: return "delete";
+    case ChangeKind::kUpdate: return "update";
+    case ChangeKind::kMove: return "move";
+    case ChangeKind::kAttribute: return "attribute";
+  }
+  return "unknown";
+}
+
+Status Alerter::Subscribe(std::string id, std::string_view path_expression,
+                          std::optional<ChangeKind> kind,
+                          std::string detail_contains) {
+  for (const Subscription& sub : subscriptions_) {
+    if (sub.id == id) {
+      return Status::InvalidArgument("duplicate subscription id: " + id);
+    }
+  }
+  Result<XmlPath> path = XmlPath::Parse(path_expression);
+  if (!path.ok()) return path.status();
+  subscriptions_.push_back(Subscription{std::move(id), std::move(*path), kind,
+                                        std::move(detail_contains)});
+  return Status::OK();
+}
+
+bool Alerter::Unsubscribe(std::string_view id) {
+  for (auto it = subscriptions_.begin(); it != subscriptions_.end(); ++it) {
+    if (it->id == id) {
+      subscriptions_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Alerter::Fire(const Subscription& sub, ChangeKind kind,
+                   const XmlNode& node, std::string detail,
+                   std::vector<Alert>* alerts) const {
+  if (sub.kind.has_value() && *sub.kind != kind) return;
+  if (!sub.path.Matches(node)) return;
+  if (!sub.detail_contains.empty() &&
+      detail.find(sub.detail_contains) == std::string::npos) {
+    return;
+  }
+  alerts->push_back(Alert{sub.id, kind, node.xid(), std::move(detail)});
+}
+
+std::vector<Alert> Alerter::Evaluate(const Delta& delta,
+                                     const XmlDocument& old_version,
+                                     const XmlDocument& new_version) const {
+  std::vector<Alert> alerts;
+  if (subscriptions_.empty() || delta.empty()) return alerts;
+  const auto old_index = IndexByXid(old_version);
+  const auto new_index = IndexByXid(new_version);
+
+  for (const InsertOp& op : delta.inserts()) {
+    const XmlNode* root = Find(new_index, op.xid);
+    if (root == nullptr) continue;
+    root->Visit([&](const XmlNode* n) {
+      if (!n->is_element()) return;
+      for (const Subscription& sub : subscriptions_) {
+        Fire(sub, ChangeKind::kInsert, *n, "inserted " + DescribeElement(*n),
+             &alerts);
+      }
+    });
+  }
+  for (const DeleteOp& op : delta.deletes()) {
+    const XmlNode* root = Find(old_index, op.xid);
+    if (root == nullptr) continue;
+    root->Visit([&](const XmlNode* n) {
+      if (!n->is_element()) return;
+      for (const Subscription& sub : subscriptions_) {
+        Fire(sub, ChangeKind::kDelete, *n, "deleted " + DescribeElement(*n),
+             &alerts);
+      }
+    });
+  }
+  for (const UpdateOp& op : delta.updates()) {
+    const XmlNode* element = OwningElement(Find(new_index, op.xid));
+    if (element == nullptr) continue;
+    for (const Subscription& sub : subscriptions_) {
+      Fire(sub, ChangeKind::kUpdate, *element,
+           "text of <" + element->label() + "> changed from '" +
+               op.old_value + "' to '" + op.new_value + "'",
+           &alerts);
+    }
+  }
+  for (const MoveOp& op : delta.moves()) {
+    const XmlNode* node = Find(new_index, op.xid);
+    if (node == nullptr) continue;
+    const XmlNode* element = OwningElement(node);
+    if (element == nullptr) continue;
+    for (const Subscription& sub : subscriptions_) {
+      Fire(sub, ChangeKind::kMove, *element,
+           element->is_element() ? "moved <" + element->label() + ">"
+                                 : "moved node",
+           &alerts);
+    }
+  }
+  for (const AttributeOp& op : delta.attribute_ops()) {
+    const XmlNode* element = Find(new_index, op.element_xid);
+    if (element == nullptr || !element->is_element()) continue;
+    for (const Subscription& sub : subscriptions_) {
+      Fire(sub, ChangeKind::kAttribute, *element,
+           "attribute '" + op.name + "' of <" + element->label() +
+               "> changed",
+           &alerts);
+    }
+  }
+  return alerts;
+}
+
+}  // namespace xydiff

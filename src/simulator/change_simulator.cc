@@ -1,0 +1,214 @@
+#include "simulator/change_simulator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "delta/compose.h"
+#include "simulator/doc_generator.h"
+
+namespace xydiff {
+
+namespace {
+
+class Simulator {
+ public:
+  Simulator(const XmlDocument& base, const ChangeSimOptions& options, Rng* rng)
+      : options_(options), rng_(rng), work_(base.Clone()) {}
+
+  Result<SimulatedChange> Run(const XmlDocument& base) {
+    const size_t original_nodes = work_.node_count();
+    DeletePhase();
+    const size_t remaining = work_.node_count();
+    // Re-normalize so the expected op counts match the original document
+    // size despite the delete-phase shrinkage (§6.1).
+    const double scale =
+        remaining > 0 ? static_cast<double>(original_nodes) /
+                            static_cast<double>(remaining)
+                      : 1.0;
+    UpdatePhase(std::min(1.0, options_.update_probability * scale));
+    InsertMovePhase(std::min(1.0, options_.insert_probability * scale),
+                    std::min(1.0, options_.move_probability * scale));
+
+    SimulatedChange out;
+    out.deleted_subtrees = deleted_subtrees_;
+    out.deleted_nodes = deleted_nodes_;
+    out.updated_texts = updated_texts_;
+    out.inserted_nodes = inserted_nodes_;
+    out.moved_subtrees = moved_subtrees_;
+    // Nodes still in the graveyard stayed deleted; nodes re-inserted from
+    // it are moves. Either way XIDs tell the whole story.
+    XmlDocument source = base.Clone();
+    Result<Delta> delta = DeltaFromXidCorrespondence(&source, &work_);
+    if (!delta.ok()) return delta.status();
+    out.perfect_delta = std::move(*delta);
+    out.new_version = std::move(work_);
+    return out;
+  }
+
+ private:
+  // --- [delete] --------------------------------------------------------------
+
+  void DeletePhase() {
+    DeleteWalk(work_.root());
+  }
+
+  /// Per-child delete decisions; a deleted child's subtree is detached
+  /// whole into the graveyard and its descendants get no decisions of
+  /// their own (they are absorbed, as in the paper).
+  void DeleteWalk(XmlNode* node) {
+    for (size_t i = 0; i < node->child_count();) {
+      if (rng_->NextBool(options_.delete_probability)) {
+        std::unique_ptr<XmlNode> gone = node->RemoveChild(i);
+        ++deleted_subtrees_;
+        deleted_nodes_ += gone->SubtreeSize();
+        graveyard_.push_back(std::move(gone));
+      } else {
+        DeleteWalk(node->child(i));
+        ++i;
+      }
+    }
+  }
+
+  // --- [update] --------------------------------------------------------------
+
+  void UpdatePhase(double probability) {
+    std::vector<XmlNode*> texts;
+    work_.root()->Visit([&](XmlNode* n) {
+      if (n->is_text()) texts.push_back(n);
+    });
+    for (XmlNode* t : texts) {
+      if (!rng_->NextBool(probability)) continue;
+      const int words = std::max<int>(
+          1, static_cast<int>(std::count(t->text().begin(), t->text().end(),
+                                         ' ')));
+      t->set_text(GenerateText(rng_, std::max(1, words - 1), words + 1,
+                               &text_counter_));
+      ++updated_texts_;
+    }
+  }
+
+  // --- [insert/move] -----------------------------------------------------------
+
+  void InsertMovePhase(double insert_probability, double move_probability) {
+    std::vector<XmlNode*> elements;
+    work_.root()->Visit([&](XmlNode* n) {
+      if (n->is_element()) elements.push_back(n);
+    });
+    const double event_probability =
+        std::min(1.0, insert_probability + move_probability);
+    const double move_share =
+        event_probability > 0
+            ? move_probability / (insert_probability + move_probability)
+            : 0.0;
+    for (XmlNode* parent : elements) {
+      if (!rng_->NextBool(event_probability)) continue;
+      const size_t pos = rng_->NextIndex(parent->child_count() + 1);
+      const bool want_move = !graveyard_.empty() && rng_->NextBool(move_share);
+      if (want_move) {
+        InsertFromGraveyard(parent, pos);
+      } else {
+        InsertOriginal(parent, pos);
+      }
+    }
+  }
+
+  /// True if a text node may sit at `pos` under `parent` (no adjacent
+  /// text nodes, or the two would merge when the document is re-parsed).
+  static bool TextAllowedAt(const XmlNode& parent, size_t pos) {
+    if (pos > 0 && parent.child(pos - 1)->is_text()) return false;
+    if (pos < parent.child_count() && parent.child(pos)->is_text()) {
+      return false;
+    }
+    return true;
+  }
+
+  void InsertFromGraveyard(XmlNode* parent, size_t pos) {
+    const size_t pick = rng_->NextIndex(graveyard_.size());
+    if (graveyard_[pick]->is_text() && !TextAllowedAt(*parent, pos)) {
+      InsertOriginal(parent, pos);  // Fall back to original data.
+      return;
+    }
+    std::unique_ptr<XmlNode> subtree = std::move(graveyard_[pick]);
+    graveyard_.erase(graveyard_.begin() + static_cast<ptrdiff_t>(pick));
+    ++moved_subtrees_;
+    parent->InsertChild(pos, std::move(subtree));
+  }
+
+  void InsertOriginal(XmlNode* parent, size_t pos) {
+    const bool as_text = TextAllowedAt(*parent, pos) && rng_->NextBool(0.5);
+    std::unique_ptr<XmlNode> node;
+    if (as_text) {
+      node = XmlNode::Text(GenerateText(rng_, 1, 8, &text_counter_));
+    } else {
+      node = XmlNode::Element(NearbyLabel(parent));
+      // Give the new element a text child half of the time, mimicking the
+      // field/value style of the document.
+      if (rng_->NextBool(0.5)) {
+        auto text = XmlNode::Text(GenerateText(rng_, 1, 6, &text_counter_));
+        text->set_xid(work_.AllocateXid());
+        node->AppendChild(std::move(text));
+        ++inserted_nodes_;
+      }
+    }
+    node->set_xid(work_.AllocateXid());
+    ++inserted_nodes_;
+    parent->InsertChild(pos, std::move(node));
+  }
+
+  /// Copies a label from a sibling, cousin, or ascendant (§6.1:
+  /// "important ... to preserve the distribution of labels").
+  std::string NearbyLabel(const XmlNode* parent) {
+    // Siblings (i.e. parent's element children).
+    std::vector<const XmlNode*> pool;
+    for (size_t i = 0; i < parent->child_count(); ++i) {
+      if (parent->child(i)->is_element()) pool.push_back(parent->child(i));
+    }
+    // Cousins: children of the parent's siblings.
+    if (const XmlNode* grand = parent->parent()) {
+      for (size_t i = 0; i < grand->child_count(); ++i) {
+        const XmlNode* uncle = grand->child(i);
+        if (!uncle->is_element()) continue;
+        for (size_t k = 0; k < uncle->child_count(); ++k) {
+          if (uncle->child(k)->is_element()) pool.push_back(uncle->child(k));
+        }
+      }
+    }
+    if (!pool.empty()) {
+      return pool[rng_->NextIndex(pool.size())]->label();
+    }
+    // Ascendants.
+    for (const XmlNode* anc = parent; anc != nullptr; anc = anc->parent()) {
+      if (anc->is_element()) return anc->label();
+    }
+    return "node";
+  }
+
+  ChangeSimOptions options_;
+  Rng* rng_;
+  XmlDocument work_;
+  std::vector<std::unique_ptr<XmlNode>> graveyard_;
+  uint64_t text_counter_ = 1000000;  // Distinct from generator texts.
+  size_t deleted_subtrees_ = 0;
+  size_t deleted_nodes_ = 0;
+  size_t updated_texts_ = 0;
+  size_t inserted_nodes_ = 0;
+  size_t moved_subtrees_ = 0;
+};
+
+}  // namespace
+
+Result<SimulatedChange> SimulateChanges(const XmlDocument& base,
+                                        const ChangeSimOptions& options,
+                                        Rng* rng) {
+  if (base.root() == nullptr) {
+    return Status::InvalidArgument("cannot simulate changes on an empty document");
+  }
+  if (!base.AllXidsAssigned()) {
+    return Status::InvalidArgument(
+        "change simulation requires XIDs on the base document");
+  }
+  Simulator simulator(base, options, rng);
+  return simulator.Run(base);
+}
+
+}  // namespace xydiff

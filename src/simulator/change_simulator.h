@@ -1,0 +1,59 @@
+#ifndef XYDIFF_SIMULATOR_CHANGE_SIMULATOR_H_
+#define XYDIFF_SIMULATOR_CHANGE_SIMULATOR_H_
+
+#include "delta/delta.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace xydiff {
+
+/// Per-node change probabilities (§6.1: "all probabilities are given per
+/// node"). The paper's Figure 4/5 setting is 10% for every operation.
+struct ChangeSimOptions {
+  double delete_probability = 0.1;  ///< A node (and its subtree) is deleted.
+  double update_probability = 0.1;  ///< A surviving text node is rewritten.
+  double insert_probability = 0.1;  ///< A surviving element gains a child.
+  double move_probability = 0.1;    ///< The gained child is deleted data
+                                    ///< (i.e. the operation is a move).
+};
+
+/// Output of one simulation run.
+struct SimulatedChange {
+  XmlDocument new_version;  ///< The changed document; kept nodes keep XIDs.
+  Delta perfect_delta;      ///< The "synthetic (perfect) changes" (§6.1).
+
+  // Counters of what actually happened (for experiment reporting).
+  size_t deleted_subtrees = 0;
+  size_t deleted_nodes = 0;
+  size_t updated_texts = 0;
+  size_t inserted_nodes = 0;
+  size_t moved_subtrees = 0;
+};
+
+/// The change simulator of §6.1. Reads `base` (which must carry XIDs) and
+/// produces a new version in three phases:
+///
+///   [delete]  each node is deleted with its entire subtree with
+///             probability `delete_probability`;
+///   [update]  each remaining text node is rewritten with original text
+///             with (re-normalized) probability `update_probability`;
+///   [insert/move] random remaining elements gain a child: with
+///             the move share of the (re-normalized) probability mass the
+///             child is previously deleted data — a move, XIDs preserved —
+///             otherwise it is original data whose label is copied from a
+///             sibling, cousin or ascendant to preserve the document's
+///             label distribution. Text is never inserted adjacent to
+///             text (the two would merge on re-parsing).
+///
+/// Probabilities for the later phases are re-normalized by the node-count
+/// shrinkage of the delete phase, as in the paper. The perfect delta is
+/// derived from persistent identifiers and is guaranteed to transform
+/// `base` into `new_version` (a tested invariant).
+Result<SimulatedChange> SimulateChanges(const XmlDocument& base,
+                                        const ChangeSimOptions& options,
+                                        Rng* rng);
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_SIMULATOR_CHANGE_SIMULATOR_H_

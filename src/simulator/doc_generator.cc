@@ -1,0 +1,134 @@
+#include "simulator/doc_generator.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace xydiff {
+
+namespace {
+
+/// Tracks approximate serialized size as the tree grows, so generation
+/// can stop near the byte target without re-serializing.
+struct Budget {
+  size_t used = 0;
+  size_t target;
+
+  explicit Budget(size_t target_bytes) : target(target_bytes) {}
+  bool exhausted() const { return used >= target; }
+  void ChargeElement(const std::string& label) {
+    used += 2 * label.size() + 5;  // <label></label>
+  }
+  void ChargeText(const std::string& text) { used += text.size(); }
+  void ChargeAttribute(const std::string& name, const std::string& value) {
+    used += name.size() + value.size() + 4;
+  }
+};
+
+class Generator {
+ public:
+  Generator(Rng* rng, const DocGenOptions& options)
+      : rng_(rng), options_(options), budget_(options.target_bytes) {
+    // A fixed vocabulary keeps the label distribution narrow, like real
+    // XML. Level 0 labels are section-ish, later ones item/field-ish.
+    vocabulary_.reserve(options_.label_vocabulary);
+    for (size_t i = 0; i < options_.label_vocabulary; ++i) {
+      vocabulary_.push_back(rng_->NextWord(4, 9));
+    }
+  }
+
+  XmlDocument Generate() {
+    XmlDocument doc;
+    auto root = XmlNode::Element("catalog");
+    budget_.ChargeElement(root->label());
+    // Keep adding top-level sections until the byte budget is gone.
+    while (!budget_.exhausted()) {
+      root->AppendChild(MakeSection(options_.section_depth));
+    }
+    if (options_.with_id_attributes) {
+      doc.dtd().DeclareIdAttribute("item", "id");
+      doc.dtd().set_doctype_name("catalog");
+    }
+    doc.set_root(std::move(root));
+    return doc;
+  }
+
+ private:
+  const std::string& Label(int level) {
+    // Labels are drawn from a per-level slice of the vocabulary so that
+    // structure repeats (many siblings share a label).
+    const size_t slice = std::max<size_t>(vocabulary_.size() / 4, 1);
+    const size_t base = (static_cast<size_t>(level) * slice) % vocabulary_.size();
+    const size_t index = (base + rng_->NextIndex(slice)) % vocabulary_.size();
+    return vocabulary_[index];
+  }
+
+  std::unique_ptr<XmlNode> MakeSection(int depth) {
+    if (depth <= 0) return MakeItem();
+    auto section = XmlNode::Element(Label(options_.section_depth - depth));
+    budget_.ChargeElement(section->label());
+    const int fanout = static_cast<int>(
+        rng_->NextInRange(options_.min_fanout, options_.max_fanout));
+    for (int i = 0; i < fanout && !budget_.exhausted(); ++i) {
+      section->AppendChild(MakeSection(depth - 1));
+    }
+    return section;
+  }
+
+  std::unique_ptr<XmlNode> MakeItem() {
+    auto item = XmlNode::Element("item");
+    budget_.ChargeElement(item->label());
+    if (options_.with_id_attributes) {
+      const std::string id = "id" + std::to_string(next_id_++);
+      item->SetAttribute("id", id);
+      budget_.ChargeAttribute("id", id);
+    }
+    if (rng_->NextBool(options_.attribute_probability)) {
+      const std::string value = rng_->NextWord(3, 8);
+      item->SetAttribute("kind", value);
+      budget_.ChargeAttribute("kind", value);
+    }
+    // A handful of labelled fields, each with one text leaf.
+    const int fields = static_cast<int>(rng_->NextInRange(2, 5));
+    for (int i = 0; i < fields && !budget_.exhausted(); ++i) {
+      auto field = XmlNode::Element(Label(options_.section_depth + 1));
+      budget_.ChargeElement(field->label());
+      std::string text = GenerateText(rng_, options_.min_text_words,
+                                      options_.max_text_words, &text_counter_);
+      budget_.ChargeText(text);
+      field->AppendChild(XmlNode::Text(std::move(text)));
+      item->AppendChild(std::move(field));
+    }
+    return item;
+  }
+
+  Rng* rng_;
+  DocGenOptions options_;
+  Budget budget_;
+  std::vector<std::string> vocabulary_;
+  uint64_t next_id_ = 1;
+  uint64_t text_counter_ = 1;
+};
+
+}  // namespace
+
+std::string GenerateText(Rng* rng, int min_words, int max_words,
+                         uint64_t* counter) {
+  const int words = static_cast<int>(rng->NextInRange(min_words, max_words));
+  std::string out;
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) out += ' ';
+    out += rng->NextWord(2, 9);
+  }
+  // A counter keeps every generated text distinct, so identical-subtree
+  // signatures arise from true structure, not from text collisions.
+  out += ' ';
+  out += std::to_string((*counter)++);
+  return out;
+}
+
+XmlDocument GenerateDocument(Rng* rng, const DocGenOptions& options) {
+  Generator generator(rng, options);
+  return generator.Generate();
+}
+
+}  // namespace xydiff

@@ -1,0 +1,55 @@
+#ifndef XYDIFF_SIMULATOR_DOC_GENERATOR_H_
+#define XYDIFF_SIMULATOR_DOC_GENERATOR_H_
+
+#include <cstddef>
+
+#include "util/random.h"
+#include "xml/document.h"
+
+namespace xydiff {
+
+/// Synthetic document shape knobs. The defaults produce catalog-like
+/// documents: a shallow hierarchy of repeated element structures with
+/// short text leaves — the XML shape the paper's experiments and
+/// motivating examples (product catalogs) use.
+struct DocGenOptions {
+  /// Approximate serialized size to aim for, in bytes.
+  size_t target_bytes = 20 * 1024;  ///< Average web XML size per §6.1.
+
+  /// Depth of the element hierarchy below the root (sections nest this
+  /// deep before item subtrees are emitted).
+  int section_depth = 3;
+
+  /// Children per section at each level.
+  int min_fanout = 2;
+  int max_fanout = 6;
+
+  /// Words per text leaf.
+  int min_text_words = 1;
+  int max_text_words = 10;
+
+  /// Size of the element-label vocabulary (XML's label distribution is
+  /// narrow: many nodes share few labels).
+  size_t label_vocabulary = 24;
+
+  /// Attach an `id` ID-attribute (declared in the DTD) to item elements.
+  bool with_id_attributes = false;
+
+  /// Probability that an item element carries a non-ID attribute.
+  double attribute_probability = 0.3;
+};
+
+/// Generates a random catalog-like document of roughly
+/// `options.target_bytes` serialized bytes. Deterministic in `*rng`.
+/// Nodes carry no XIDs (call AssignInitialXids for a first version).
+XmlDocument GenerateDocument(Rng* rng, const DocGenOptions& options = {});
+
+/// Generates a few words of synthetic text, numbered so that distinct
+/// calls produce distinct content ("original text data", §6.1). Exposed
+/// for the change simulator.
+std::string GenerateText(Rng* rng, int min_words, int max_words,
+                         uint64_t* counter);
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_SIMULATOR_DOC_GENERATOR_H_

@@ -1,0 +1,92 @@
+#include "simulator/web_corpus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simulator/doc_generator.h"
+
+namespace xydiff {
+
+namespace {
+
+/// Standard-normal draw via Box–Muller on the deterministic Rng.
+double NextGaussian(Rng* rng) {
+  const double u1 = std::max(rng->NextDouble(), 1e-12);
+  const double u2 = rng->NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace
+
+std::vector<XmlDocument> GenerateWebCorpus(Rng* rng,
+                                           const WebCorpusOptions& options) {
+  std::vector<XmlDocument> corpus;
+  corpus.reserve(options.document_count);
+  for (size_t i = 0; i < options.document_count; ++i) {
+    const double log_size =
+        std::log(static_cast<double>(options.median_bytes)) +
+        options.log_sigma * NextGaussian(rng);
+    const size_t size = static_cast<size_t>(
+        std::clamp(std::exp(log_size), static_cast<double>(options.min_bytes),
+                   static_cast<double>(options.max_bytes)));
+    DocGenOptions doc_options;
+    doc_options.target_bytes = size;
+    corpus.push_back(GenerateDocument(rng, doc_options));
+  }
+  return corpus;
+}
+
+ChangeSimOptions WeeklyWebChangeProfile() {
+  ChangeSimOptions options;
+  options.delete_probability = 0.02;
+  options.update_probability = 0.05;
+  options.insert_probability = 0.03;
+  options.move_probability = 0.005;
+  return options;
+}
+
+XmlDocument GenerateSiteSnapshot(Rng* rng, size_t page_count) {
+  auto site = XmlNode::Element("site");
+  site->SetAttribute("host", "www.example-institute.example");
+  uint64_t text_counter = 1;
+  for (size_t p = 0; p < page_count; ++p) {
+    auto page = XmlNode::Element("page");
+    page->SetAttribute("url", "/section" + std::to_string(p % 37) + "/page" +
+                                  std::to_string(p) + ".html");
+    page->SetAttribute("depth", std::to_string(1 + p % 5));
+
+    auto title = XmlNode::Element("title");
+    title->AppendChild(
+        XmlNode::Text(GenerateText(rng, 2, 7, &text_counter)));
+    page->AppendChild(std::move(title));
+
+    auto modified = XmlNode::Element("lastModified");
+    modified->AppendChild(XmlNode::Text(
+        "2001-" + std::to_string(1 + rng->NextIndex(12)) + "-" +
+        std::to_string(1 + rng->NextIndex(28))));
+    page->AppendChild(std::move(modified));
+
+    auto links = XmlNode::Element("links");
+    const size_t link_count = 2 + rng->NextIndex(6);
+    for (size_t l = 0; l < link_count; ++l) {
+      auto link = XmlNode::Element("link");
+      link->SetAttribute(
+          "href", "/section" + std::to_string(rng->NextIndex(37)) + "/page" +
+                      std::to_string(rng->NextIndex(std::max<size_t>(
+                          page_count, 1))) +
+                      ".html");
+      links->AppendChild(std::move(link));
+    }
+    page->AppendChild(std::move(links));
+
+    auto summary = XmlNode::Element("summary");
+    summary->AppendChild(
+        XmlNode::Text(GenerateText(rng, 8, 24, &text_counter)));
+    page->AppendChild(std::move(summary));
+
+    site->AppendChild(std::move(page));
+  }
+  return XmlDocument(std::move(site));
+}
+
+}  // namespace xydiff

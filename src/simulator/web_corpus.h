@@ -1,0 +1,49 @@
+#ifndef XYDIFF_SIMULATOR_WEB_CORPUS_H_
+#define XYDIFF_SIMULATOR_WEB_CORPUS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "simulator/change_simulator.h"
+#include "util/random.h"
+#include "xml/document.h"
+
+namespace xydiff {
+
+/// Substitute for the paper's real web data (§6.2): the crawl of 10 000+
+/// XML documents and the INRIA site-metadata snapshots are not available,
+/// so we generate documents with the same size distribution and shape.
+
+/// Options for the simulated crawl.
+struct WebCorpusOptions {
+  /// Number of documents ("about two hundred XML documents that changed
+  /// on a per-week basis").
+  size_t document_count = 200;
+
+  /// Log-normal size distribution: median ~= `median_bytes`, long tail.
+  /// The paper: average web XML is ~20 KB, observed range ~100 B – 1 MB.
+  size_t median_bytes = 8 * 1024;
+  double log_sigma = 1.8;
+  size_t min_bytes = 100;
+  size_t max_bytes = 1 << 20;
+};
+
+/// Generates a corpus of documents with a web-like size distribution.
+std::vector<XmlDocument> GenerateWebCorpus(Rng* rng,
+                                           const WebCorpusOptions& options = {});
+
+/// Per-week change profile for web documents: low change rates (most
+/// pages change a little), few moves — matching the paper's observation
+/// that the Figure-5 middle-range change rates are "much more than what
+/// is generally found on real web documents".
+ChangeSimOptions WeeklyWebChangeProfile();
+
+/// Generates a site-metadata snapshot like the paper's www.inria.fr
+/// document: one `<page>` element (URL, title, modification data, link
+/// list) per page. ~14 000 pages yields a document of roughly five
+/// million bytes, as in §6.2.
+XmlDocument GenerateSiteSnapshot(Rng* rng, size_t page_count);
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_SIMULATOR_WEB_CORPUS_H_

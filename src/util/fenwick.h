@@ -1,0 +1,51 @@
+#ifndef XYDIFF_UTIL_FENWICK_H_
+#define XYDIFF_UTIL_FENWICK_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace xydiff {
+
+/// Fenwick (binary indexed) tree over the *maximum* operation.
+///
+/// Supports prefix-maximum queries and point "raise" updates in O(log n);
+/// used by the weighted largest-order-preserving-subsequence solver
+/// (§5.2 Phase 5): `MaxPrefix(i)` returns the best subsequence weight among
+/// elements whose key is < i.
+template <typename V>
+class FenwickMax {
+ public:
+  /// Creates a tree over keys 0..size-1 with every value at `identity`
+  /// (the neutral element, e.g. 0 or -inf).
+  explicit FenwickMax(size_t size, V identity = V())
+      : identity_(identity), tree_(size + 1, identity) {}
+
+  size_t size() const { return tree_.size() - 1; }
+
+  /// Raises the value at `index` to at least `value`.
+  void Update(size_t index, V value) {
+    assert(index < size());
+    for (size_t i = index + 1; i < tree_.size(); i += i & (~i + 1)) {
+      if (value > tree_[i]) tree_[i] = value;
+    }
+  }
+
+  /// Maximum over keys in [0, count); `count` may be 0 (returns identity).
+  V MaxPrefix(size_t count) const {
+    assert(count <= size());
+    V best = identity_;
+    for (size_t i = count; i > 0; i -= i & (~i + 1)) {
+      if (tree_[i] > best) best = tree_[i];
+    }
+    return best;
+  }
+
+ private:
+  V identity_;
+  std::vector<V> tree_;
+};
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_UTIL_FENWICK_H_

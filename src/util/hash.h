@@ -1,0 +1,37 @@
+#ifndef XYDIFF_UTIL_HASH_H_
+#define XYDIFF_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace xydiff {
+
+/// 64-bit subtree signatures (§5.2 Phase 2 of the paper).
+///
+/// The diff never compares subtree content byte-by-byte: two subtrees are
+/// considered identical iff their signatures are equal. A 64-bit hash makes
+/// an accidental collision within one document pair (≤ ~10^7 nodes)
+/// vanishingly unlikely (~n^2 / 2^64).
+using Signature = uint64_t;
+
+/// Hashes a byte string (xxHash64-style avalanche mixing, self-contained).
+Signature HashBytes(std::string_view data, uint64_t seed = 0);
+
+/// Combines an accumulated signature with one more component. Order
+/// sensitive: Combine(Combine(s,a),b) != Combine(Combine(s,b),a) in general,
+/// which is what ordered XML trees require.
+Signature HashCombine(Signature acc, Signature next);
+
+/// Convenience: combines a string component into an accumulator.
+inline Signature HashCombine(Signature acc, std::string_view next) {
+  return HashCombine(acc, HashBytes(next));
+}
+
+/// Finalization step giving full avalanche behaviour; apply after the last
+/// Combine when a signature is stored or compared.
+Signature HashFinalize(Signature acc);
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_UTIL_HASH_H_

@@ -1,0 +1,41 @@
+#ifndef XYDIFF_UTIL_STRING_UTIL_H_
+#define XYDIFF_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xydiff {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string_view> Split(std::string_view text, char sep);
+
+/// Splits `text` into lines (on '\n'), keeping empty lines, without the
+/// terminators. A trailing newline does not produce a final empty line.
+std::vector<std::string_view> SplitLines(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `text` starts with / ends with the given prefix or suffix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Parses a non-negative decimal integer; returns false on any non-digit
+/// or overflow.
+bool ParseUint64(std::string_view text, uint64_t* out);
+
+/// True for XML whitespace characters (space, tab, CR, LF).
+inline bool IsXmlWhitespace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+/// True if the string is entirely XML whitespace (or empty).
+bool IsAllXmlWhitespace(std::string_view text);
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_UTIL_STRING_UTIL_H_

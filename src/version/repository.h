@@ -1,0 +1,82 @@
+#ifndef XYDIFF_VERSION_REPOSITORY_H_
+#define XYDIFF_VERSION_REPOSITORY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/buld.h"
+#include "core/options.h"
+#include "delta/delta.h"
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace xydiff {
+
+/// Change-centric version storage (§2, Figure 1; after [19]).
+///
+/// Mirrors the Xyleme repository: only the *current* version is
+/// materialized, together with the chain of deltas
+/// delta(V1,V2), delta(V2,V3), … ("The old version is then possibly
+/// removed from the repository"). Any past version is reconstructed by
+/// applying inverse deltas backwards from the current one; the changes
+/// between two arbitrary versions come from the persistent XIDs.
+class VersionRepository {
+ public:
+  /// Starts a history with `first_version` as version 1. Initial XIDs are
+  /// assigned if the document carries none.
+  explicit VersionRepository(XmlDocument first_version);
+
+  /// Reassembles a repository from persisted parts (see storage.h):
+  /// the newest version (with XIDs) plus its delta chain.
+  static VersionRepository FromParts(XmlDocument current,
+                                     std::vector<Delta> deltas);
+
+  /// Commits the next version: diffs it against the current one, stores
+  /// the delta, and replaces the current version. Returns the new version
+  /// number. `new_version` is consumed.
+  Result<int> Commit(XmlDocument new_version, const DiffOptions& options = {});
+
+  /// Number of committed versions (>= 1).
+  int version_count() const { return static_cast<int>(deltas_.size()) + 1; }
+  /// The newest version number (== version_count()).
+  int current_version() const { return version_count(); }
+  /// The newest version's document.
+  const XmlDocument& current() const { return current_; }
+
+  /// Reconstructs version `version` (1-based). O(total delta size) time.
+  Result<XmlDocument> Checkout(int version) const;
+
+  /// Delta committed between `version` and `version + 1`.
+  Result<const Delta*> DeltaFor(int version) const;
+
+  /// Aggregated changes between two versions (from < to), derived from
+  /// persistent identifiers — the "construct the changes between some
+  /// versions n and n'" requirement of §2.
+  Result<Delta> ChangesBetween(int from, int to) const;
+
+  /// Temporal query (§2 "Querying the past"): the text content of the
+  /// node with `xid` as of `version`, or nullopt if it did not exist or
+  /// is not a text node.
+  Result<std::optional<std::string>> TextAt(int version, Xid xid) const;
+
+  /// Storage accounting: total serialized bytes of the stored deltas.
+  size_t stored_delta_bytes() const;
+
+  /// The stored delta chain; deltas[k] transforms version k+1 into k+2.
+  const std::vector<Delta>& deltas() const { return deltas_; }
+
+  /// DiffStats of the most recent Commit.
+  const DiffStats& last_commit_stats() const { return last_stats_; }
+
+ private:
+  Status CheckVersion(int version) const;
+
+  XmlDocument current_;
+  std::vector<Delta> deltas_;  // deltas_[k] transforms version k+1 -> k+2.
+  DiffStats last_stats_;
+};
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_VERSION_REPOSITORY_H_

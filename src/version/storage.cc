@@ -1,0 +1,131 @@
+#include "version/storage.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "delta/delta_xml.h"
+#include "util/string_util.h"
+#include "xid/xid_map.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xydiff {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+Status WriteFile(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) return Status::Corruption("short write: " + path);
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string DeltaPath(const std::string& directory, size_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "delta.%06zu.xml", index + 1);
+  return directory + "/" + name;
+}
+
+}  // namespace
+
+Status SaveDocumentWithXids(const XmlDocument& doc,
+                            const std::string& xml_path,
+                            const std::string& meta_path) {
+  if (doc.root() == nullptr) {
+    return Status::InvalidArgument("cannot persist an empty document");
+  }
+  SerializeOptions options;
+  options.xml_declaration = true;
+  options.doctype = true;
+  XYDIFF_RETURN_IF_ERROR(WriteFile(xml_path, SerializeDocument(doc, options)));
+  std::ostringstream meta;
+  meta << "nextxid " << doc.next_xid() << "\n"
+       << XidMap::FromSubtree(*doc.root()).ToString() << "\n";
+  return WriteFile(meta_path, meta.str());
+}
+
+Result<XmlDocument> LoadDocumentWithXids(const std::string& xml_path,
+                                         const std::string& meta_path) {
+  Result<XmlDocument> doc = ParseXmlFile(xml_path);
+  if (!doc.ok()) return doc.status();
+  Result<std::string> meta = ReadFile(meta_path);
+  if (!meta.ok()) return meta.status();
+
+  const std::vector<std::string_view> lines = SplitLines(*meta);
+  if (lines.size() < 2 || !StartsWith(lines[0], "nextxid ")) {
+    return Status::Corruption("malformed meta file: " + meta_path);
+  }
+  uint64_t next_xid = 0;
+  if (!ParseUint64(Trim(lines[0].substr(8)), &next_xid) || next_xid == 0) {
+    return Status::Corruption("bad nextxid in meta file: " + meta_path);
+  }
+  Result<XidMap> map = XidMap::Parse(lines[1]);
+  if (!map.ok()) return map.status();
+  if (doc->root() == nullptr) {
+    return Status::Corruption("persisted document has no root: " + xml_path);
+  }
+  XYDIFF_RETURN_IF_ERROR(map->ApplyToSubtree(doc->root()));
+  doc->set_next_xid(next_xid);
+  return doc;
+}
+
+Status SaveRepository(const VersionRepository& repo,
+                      const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::NotFound("cannot create directory " + directory + ": " +
+                            ec.message());
+  }
+  XYDIFF_RETURN_IF_ERROR(SaveDocumentWithXids(repo.current(),
+                                              directory + "/current.xml",
+                                              directory + "/current.meta"));
+  for (size_t i = 0; i < repo.deltas().size(); ++i) {
+    XYDIFF_RETURN_IF_ERROR(
+        WriteFile(DeltaPath(directory, i), SerializeDelta(repo.deltas()[i])));
+  }
+  // Drop stale chain entries from a longer previous save.
+  for (size_t i = repo.deltas().size();; ++i) {
+    const std::string path = DeltaPath(directory, i);
+    if (!fs::exists(path)) break;
+    fs::remove(path, ec);
+  }
+  return Status::OK();
+}
+
+Result<VersionRepository> LoadRepository(const std::string& directory) {
+  Result<XmlDocument> current = LoadDocumentWithXids(
+      directory + "/current.xml", directory + "/current.meta");
+  if (!current.ok()) return current.status();
+
+  std::vector<Delta> deltas;
+  for (size_t i = 0;; ++i) {
+    const std::string path = DeltaPath(directory, i);
+    if (!fs::exists(path)) break;
+    Result<std::string> text = ReadFile(path);
+    if (!text.ok()) return text.status();
+    Result<Delta> delta = ParseDelta(*text);
+    if (!delta.ok()) {
+      return Status::Corruption("bad delta " + path + ": " +
+                                delta.status().message());
+    }
+    deltas.push_back(std::move(*delta));
+  }
+  return VersionRepository::FromParts(std::move(current.value()),
+                                      std::move(deltas));
+}
+
+}  // namespace xydiff

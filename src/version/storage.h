@@ -1,0 +1,50 @@
+#ifndef XYDIFF_VERSION_STORAGE_H_
+#define XYDIFF_VERSION_STORAGE_H_
+
+#include <string>
+
+#include "util/status.h"
+#include "version/repository.h"
+
+namespace xydiff {
+
+/// On-disk persistence for the change-centric repository (Figure 1's
+/// "Repository" box). Layout of a repository directory:
+///
+///   current.xml        newest version (plain XML, DOCTYPE with the
+///                      document's ID-attribute declarations)
+///   current.meta       XID bookkeeping: line 1 `nextxid <N>`, line 2 the
+///                      XID-map of the whole document ("(1-15;17)"),
+///                      which restores every node's persistent identifier
+///                      on load (text nodes cannot carry attributes, so
+///                      XIDs live here, not in the XML)
+///   delta.000001.xml   delta chain; delta.00000k transforms version k
+///   delta.000002.xml   into version k+1
+///   ...
+///
+/// Everything is XML or one trivial text file — the "deltas are regular
+/// XML documents, queryable like any other" property of §2 extends to the
+/// persisted store.
+
+/// Writes the repository into `directory` (created if absent; existing
+/// repository files are overwritten).
+Status SaveRepository(const VersionRepository& repo,
+                      const std::string& directory);
+
+/// Loads a repository persisted by SaveRepository.
+Result<VersionRepository> LoadRepository(const std::string& directory);
+
+/// Persists a standalone document with its XID bookkeeping (the
+/// `current.xml`/`current.meta` pair at an arbitrary path prefix). Used
+/// by the command-line tools to chain diffs across invocations.
+Status SaveDocumentWithXids(const XmlDocument& doc,
+                            const std::string& xml_path,
+                            const std::string& meta_path);
+
+/// Loads a document persisted by SaveDocumentWithXids.
+Result<XmlDocument> LoadDocumentWithXids(const std::string& xml_path,
+                                         const std::string& meta_path);
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_VERSION_STORAGE_H_

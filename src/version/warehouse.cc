@@ -1,0 +1,258 @@
+#include "version/warehouse.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "version/storage.h"
+
+namespace xydiff {
+
+namespace fs = std::filesystem;
+
+Status Warehouse::Subscribe(std::string id, std::string_view path_expression,
+                            std::optional<ChangeKind> kind,
+                            std::string detail_contains) {
+  std::unique_lock<std::shared_mutex> lock(alerter_mutex_);
+  return alerter_.Subscribe(std::move(id), path_expression, kind,
+                            std::move(detail_contains));
+}
+
+Warehouse::Document* Warehouse::FindDocument(const std::string& url) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = documents_.find(url);
+  return it == documents_.end() ? nullptr : it->second.get();
+}
+
+Result<Warehouse::IngestReport> Warehouse::Ingest(const std::string& url,
+                                                  XmlDocument document) {
+  if (document.root() == nullptr) {
+    return Status::InvalidArgument("cannot ingest an empty document: " + url);
+  }
+  IngestReport report;
+  report.url = url;
+
+  // Find or create the per-document slot (map shape under the global
+  // lock; per-document work under the document lock).
+  Document* doc = nullptr;
+  bool created = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = documents_.find(url);
+    if (it == documents_.end()) {
+      auto slot = std::make_unique<Document>();
+      doc = slot.get();
+      documents_.emplace(url, std::move(slot));
+      created = true;
+    } else {
+      doc = it->second.get();
+    }
+  }
+
+  std::lock_guard<std::mutex> doc_lock(doc->mutex);
+  if (created || doc->repo == nullptr) {
+    doc->repo = std::make_unique<VersionRepository>(std::move(document));
+    doc->index = FullTextIndex::Build(doc->repo->current());
+    report.version = 1;
+    report.first_version = true;
+    return report;
+  }
+
+  const XmlDocument old_version = doc->repo->current().Clone();
+  Result<int> version = doc->repo->Commit(std::move(document), options_);
+  if (!version.ok()) return version.status();
+  report.version = *version;
+
+  Result<const Delta*> delta = doc->repo->DeltaFor(*version - 1);
+  if (!delta.ok()) return delta.status();
+  report.operations = (*delta)->operation_count();
+
+  XYDIFF_RETURN_IF_ERROR(
+      doc->index.Apply(**delta, old_version, doc->repo->current()));
+
+  // Subscription evaluation: read-only on the alerter, so concurrent
+  // ingests share the lock and the O(n) index builds run in parallel.
+  {
+    std::shared_lock<std::shared_mutex> lock(alerter_mutex_);
+    report.alerts =
+        alerter_.Evaluate(**delta, old_version, doc->repo->current());
+  }
+  // Statistics: heavy work in a local collector, cheap merge under lock.
+  ChangeStatistics local;
+  local.Accumulate(**delta, old_version, doc->repo->current());
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.Merge(local);
+  }
+  return report;
+}
+
+std::vector<Result<Warehouse::IngestReport>> Warehouse::IngestBatch(
+    std::vector<std::pair<std::string, XmlDocument>> batch, int threads) {
+  std::vector<Result<IngestReport>> results;
+  results.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    results.emplace_back(Status::Corruption("ingest never ran"));
+  }
+  // Distinct URLs within one batch make items fully independent.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    for (size_t j = i + 1; j < batch.size(); ++j) {
+      if (batch[i].first == batch[j].first) {
+        results[j] = Status::InvalidArgument(
+            "duplicate URL in batch: " + batch[j].first);
+      }
+    }
+  }
+
+  const int worker_count =
+      std::max(1, std::min<int>(threads, static_cast<int>(batch.size())));
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const size_t i = next.fetch_add(1);
+      if (i >= batch.size()) return;
+      if (!results[i].ok() &&
+          results[i].status().code() == StatusCode::kInvalidArgument) {
+        continue;  // Pre-flagged duplicate.
+      }
+      results[i] = Ingest(batch[i].first, std::move(batch[i].second));
+    }
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(worker_count));
+  for (int t = 0; t < worker_count; ++t) workers.emplace_back(worker);
+  for (std::thread& t : workers) t.join();
+  return results;
+}
+
+size_t Warehouse::document_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return documents_.size();
+}
+
+std::vector<std::string> Warehouse::urls() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(documents_.size());
+  for (const auto& [url, doc] : documents_) out.push_back(url);
+  return out;
+}
+
+int Warehouse::version_count(const std::string& url) const {
+  Document* doc = FindDocument(url);
+  if (doc == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(doc->mutex);
+  return doc->repo == nullptr ? 0 : doc->repo->version_count();
+}
+
+Result<XmlDocument> Warehouse::Checkout(const std::string& url,
+                                        int version) const {
+  Document* doc = FindDocument(url);
+  if (doc == nullptr) {
+    return Status::NotFound("unknown document: " + url);
+  }
+  std::lock_guard<std::mutex> lock(doc->mutex);
+  return doc->repo->Checkout(version);
+}
+
+std::vector<std::pair<std::string, Xid>> Warehouse::Search(
+    std::string_view word) const {
+  // Snapshot the slot list first: document locks are always taken
+  // WITHOUT the map lock held (Ingest acquires doc->mutex before it
+  // re-enters mutex_ for the shared alerter, so nesting the other way
+  // around would deadlock).
+  std::vector<std::pair<std::string, Document*>> slots;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slots.reserve(documents_.size());
+    for (const auto& [url, doc] : documents_) {
+      slots.emplace_back(url, doc.get());
+    }
+  }
+  std::vector<std::pair<std::string, Xid>> hits;
+  for (const auto& [url, doc] : slots) {
+    std::lock_guard<std::mutex> doc_lock(doc->mutex);
+    for (Xid xid : doc->index.Lookup(word)) {
+      hits.emplace_back(url, xid);
+    }
+  }
+  return hits;
+}
+
+ChangeStatistics::LabelStats Warehouse::StatsForLabel(
+    const std::string& label) const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_.ForLabel(label);
+}
+
+std::string Warehouse::StatsReport(size_t limit) const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_.Report(limit);
+}
+
+std::string Warehouse::SanitizeUrl(const std::string& url) {
+  std::string out;
+  out.reserve(url.size());
+  for (char c : url) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+            c == '-')
+               ? c
+               : '_';
+  }
+  return out.empty() ? "_" : out;
+}
+
+Status Warehouse::Save(const std::string& directory) const {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::NotFound("cannot create " + directory + ": " +
+                            ec.message());
+  }
+  std::vector<std::pair<std::string, Document*>> slots;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slots.reserve(documents_.size());
+    for (const auto& [url, doc] : documents_) {
+      slots.emplace_back(url, doc.get());
+    }
+  }
+  std::string manifest;
+  for (const auto& [url, doc] : slots) {
+    std::lock_guard<std::mutex> doc_lock(doc->mutex);
+    const std::string sub = directory + "/" + SanitizeUrl(url);
+    XYDIFF_RETURN_IF_ERROR(SaveRepository(*doc->repo, sub));
+    manifest += SanitizeUrl(url) + "\t" + url + "\n";
+  }
+  std::ofstream out(directory + "/manifest.tsv",
+                    std::ios::binary | std::ios::trunc);
+  if (!out) return Status::NotFound("cannot write manifest");
+  out << manifest;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Warehouse>> Warehouse::Load(
+    const std::string& directory, DiffOptions options) {
+  std::ifstream in(directory + "/manifest.tsv", std::ios::binary);
+  if (!in) return Status::NotFound("no warehouse manifest in " + directory);
+  auto warehouse = std::make_unique<Warehouse>(options);
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos) continue;
+    const std::string sub = line.substr(0, tab);
+    const std::string url = line.substr(tab + 1);
+    Result<VersionRepository> repo = LoadRepository(directory + "/" + sub);
+    if (!repo.ok()) return repo.status();
+    auto slot = std::make_unique<Document>();
+    slot->repo = std::make_unique<VersionRepository>(std::move(*repo));
+    slot->index = FullTextIndex::Build(slot->repo->current());
+    warehouse->documents_.emplace(url, std::move(slot));
+  }
+  return warehouse;
+}
+
+}  // namespace xydiff

@@ -1,0 +1,125 @@
+#ifndef XYDIFF_VERSION_WAREHOUSE_H_
+#define XYDIFF_VERSION_WAREHOUSE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "monitor/change_stats.h"
+#include "monitor/index.h"
+#include "monitor/subscription.h"
+#include "version/repository.h"
+
+namespace xydiff {
+
+/// The dynamic XML warehouse of Figure 1, assembled from the library's
+/// parts: "When a new version of a document V(n) is received (or crawled
+/// from the web), it is installed in the repository. It is then sent to
+/// the diff module that also acquires the previous version V(n-1) ...
+/// The delta is appended to the existing sequence of deltas ... The
+/// alerter is in charge of detecting, in the document V(n) or in the
+/// delta, patterns that may interest some subscriptions."
+///
+/// One Warehouse tracks many documents, keyed by URL. Each ingest runs
+/// the full pipeline: diff against the stored version, append the delta
+/// to the document's chain, evaluate subscriptions, feed the change
+/// statistics, and maintain the full-text index incrementally.
+///
+/// Ingests of *different* documents are independent; `IngestBatch` runs
+/// them on a small thread pool (the paper's crawler loads millions of
+/// pages per day — per-document work parallelizes trivially). All public
+/// methods are thread-safe.
+class Warehouse {
+ public:
+  /// Outcome of one ingest.
+  struct IngestReport {
+    std::string url;
+    int version = 0;          ///< Version number after the ingest.
+    bool first_version = false;
+    size_t operations = 0;    ///< Delta operations (0 for first versions).
+    std::vector<Alert> alerts;
+  };
+
+  explicit Warehouse(DiffOptions options = {}) : options_(options) {}
+
+  Warehouse(const Warehouse&) = delete;
+  Warehouse& operator=(const Warehouse&) = delete;
+
+  /// Registers a subscription evaluated on every subsequent ingest.
+  Status Subscribe(std::string id, std::string_view path_expression,
+                   std::optional<ChangeKind> kind = std::nullopt,
+                   std::string detail_contains = {});
+
+  /// Ingests a crawled version of `url`: first sight stores it as
+  /// version 1; later sights run the diff pipeline.
+  Result<IngestReport> Ingest(const std::string& url, XmlDocument document);
+
+  /// Ingests many documents concurrently on up to `threads` workers.
+  /// URLs must be distinct within one batch. Reports come back in input
+  /// order; a failed document carries its error in the result slot.
+  std::vector<Result<IngestReport>> IngestBatch(
+      std::vector<std::pair<std::string, XmlDocument>> batch, int threads = 4);
+
+  /// Number of tracked documents.
+  size_t document_count() const;
+  /// URLs in lexicographic order.
+  std::vector<std::string> urls() const;
+  /// Version count for one URL (0 if unknown).
+  int version_count(const std::string& url) const;
+
+  /// Checks out a version of one document.
+  Result<XmlDocument> Checkout(const std::string& url, int version) const;
+
+  /// Full-text lookup across all current versions: (url, text-node XID)
+  /// pairs whose node contains `word`.
+  std::vector<std::pair<std::string, Xid>> Search(
+      std::string_view word) const;
+
+  /// Aggregated per-label change statistics across every ingest.
+  ChangeStatistics::LabelStats StatsForLabel(const std::string& label) const;
+  std::string StatsReport(size_t limit = 10) const;
+
+  /// Persists every document's repository under `directory/<sanitized
+  /// url>/`. Subscriptions, statistics and the index are derived state
+  /// and are rebuilt on load.
+  Status Save(const std::string& directory) const;
+
+  /// Loads a warehouse persisted by Save. Subscriptions must be
+  /// re-registered by the caller; the full-text index is rebuilt.
+  /// (Returned by pointer: the warehouse owns mutexes and cannot move.)
+  static Result<std::unique_ptr<Warehouse>> Load(const std::string& directory,
+                                                 DiffOptions options = {});
+
+ private:
+  struct Document {
+    std::unique_ptr<VersionRepository> repo;
+    FullTextIndex index;
+    std::mutex mutex;  // Serializes ingests of this one document.
+  };
+
+  /// Directory-safe encoding of a URL.
+  static std::string SanitizeUrl(const std::string& url);
+
+  Document* FindDocument(const std::string& url) const;
+
+  DiffOptions options_;
+  mutable std::mutex mutex_;  // Guards the documents_ map shape.
+  std::map<std::string, std::unique_ptr<Document>> documents_;
+  // Subscriptions change rarely but are read on every ingest: readers
+  // share, Subscribe() excludes.
+  mutable std::shared_mutex alerter_mutex_;
+  Alerter alerter_;
+  // Statistics are folded in per ingest; the heavy per-document work
+  // happens in a thread-local collector, the merge is O(labels).
+  mutable std::mutex stats_mutex_;
+  ChangeStatistics stats_;
+};
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_VERSION_WAREHOUSE_H_

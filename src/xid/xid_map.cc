@@ -1,0 +1,97 @@
+#include "xid/xid_map.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace xydiff {
+
+namespace {
+
+void CollectPostorder(const XmlNode& node, std::vector<Xid>* out) {
+  for (size_t i = 0; i < node.child_count(); ++i) {
+    CollectPostorder(*node.child(i), out);
+  }
+  out->push_back(node.xid());
+}
+
+void AssignPostorder(XmlNode* node, const std::vector<Xid>& xids,
+                     size_t* next) {
+  for (size_t i = 0; i < node->child_count(); ++i) {
+    AssignPostorder(node->child(i), xids, next);
+  }
+  node->set_xid(xids[(*next)++]);
+}
+
+}  // namespace
+
+XidMap XidMap::FromSubtree(const XmlNode& node) {
+  std::vector<Xid> xids;
+  CollectPostorder(node, &xids);
+  return XidMap(std::move(xids));
+}
+
+Result<XidMap> XidMap::Parse(std::string_view text) {
+  std::string_view body = Trim(text);
+  if (body.size() < 2 || body.front() != '(' || body.back() != ')') {
+    return Status::ParseError("XID-map must be parenthesized: " +
+                              std::string(text));
+  }
+  body = body.substr(1, body.size() - 2);
+  std::vector<Xid> xids;
+  if (!Trim(body).empty()) {
+    for (std::string_view part : Split(body, ';')) {
+      part = Trim(part);
+      const size_t dash = part.find('-');
+      uint64_t lo = 0;
+      uint64_t hi = 0;
+      if (dash == std::string_view::npos) {
+        if (!ParseUint64(part, &lo)) {
+          return Status::ParseError("bad XID-map entry: " + std::string(part));
+        }
+        hi = lo;
+      } else {
+        if (!ParseUint64(Trim(part.substr(0, dash)), &lo) ||
+            !ParseUint64(Trim(part.substr(dash + 1)), &hi) || lo > hi) {
+          return Status::ParseError("bad XID-map range: " + std::string(part));
+        }
+      }
+      for (uint64_t x = lo; x <= hi; ++x) xids.push_back(x);
+    }
+  }
+  return XidMap(std::move(xids));
+}
+
+std::string XidMap::ToString() const {
+  std::ostringstream os;
+  os << '(';
+  size_t i = 0;
+  bool first = true;
+  while (i < xids_.size()) {
+    size_t j = i;
+    while (j + 1 < xids_.size() && xids_[j + 1] == xids_[j] + 1) ++j;
+    if (!first) os << ';';
+    first = false;
+    if (j == i) {
+      os << xids_[i];
+    } else {
+      os << xids_[i] << '-' << xids_[j];
+    }
+    i = j + 1;
+  }
+  os << ')';
+  return os.str();
+}
+
+Status XidMap::ApplyToSubtree(XmlNode* node) const {
+  if (node->SubtreeSize() != xids_.size()) {
+    return Status::Corruption("XID-map size " + std::to_string(xids_.size()) +
+                              " does not match subtree size " +
+                              std::to_string(node->SubtreeSize()));
+  }
+  size_t next = 0;
+  AssignPostorder(node, xids_, &next);
+  return Status::OK();
+}
+
+}  // namespace xydiff

@@ -1,0 +1,54 @@
+#ifndef XYDIFF_XID_XID_MAP_H_
+#define XYDIFF_XID_XID_MAP_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "xml/node.h"
+
+namespace xydiff {
+
+/// An XID-map: the list of persistent identifiers of a subtree's nodes in
+/// postfix (postorder) traversal order (§4, after [19]).
+///
+/// The textual form groups consecutive runs: the subtree whose postorder
+/// XIDs are 3,4,5,6,7 serializes as "(3-7)"; 1,2,9 as "(1-2;9)". Deltas
+/// attach an XID-map to every inserted or deleted subtree snapshot so that
+/// persistent identity survives serialization.
+class XidMap {
+ public:
+  XidMap() = default;
+  explicit XidMap(std::vector<Xid> postorder_xids)
+      : xids_(std::move(postorder_xids)) {}
+
+  /// Collects the XID-map of the subtree rooted at `node`.
+  static XidMap FromSubtree(const XmlNode& node);
+
+  /// Parses the textual form "(a-b;c;d-e)".
+  static Result<XidMap> Parse(std::string_view text);
+
+  /// Serializes to the textual form.
+  std::string ToString() const;
+
+  /// Assigns this map's XIDs onto the subtree rooted at `node` in
+  /// postorder. Fails if the node counts disagree.
+  Status ApplyToSubtree(XmlNode* node) const;
+
+  const std::vector<Xid>& xids() const { return xids_; }
+  size_t size() const { return xids_.size(); }
+  bool empty() const { return xids_.empty(); }
+
+  /// XID of the subtree root (last postorder entry).
+  Xid root_xid() const { return xids_.empty() ? kNoXid : xids_.back(); }
+
+  bool operator==(const XidMap&) const = default;
+
+ private:
+  std::vector<Xid> xids_;
+};
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_XID_XID_MAP_H_

@@ -1,0 +1,84 @@
+#ifndef XYDIFF_XML_BUILDER_H_
+#define XYDIFF_XML_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "xml/document.h"
+#include "xml/node.h"
+
+namespace xydiff {
+
+/// Fluent construction of XML trees — the programmatic alternative to
+/// parsing string literals, used heavily by tests and callers that
+/// assemble documents:
+///
+///   XmlDocument doc = ElementBuilder("Category")
+///       .Child(ElementBuilder("Title").Text("Digital Cameras"))
+///       .Child(ElementBuilder("Product")
+///                  .Attr("status", "new")
+///                  .Child(ElementBuilder("Price").Text("$799")))
+///       .BuildDocument();
+///
+/// Builders are single-use: Build()/BuildDocument() consumes the builder.
+class ElementBuilder {
+ public:
+  explicit ElementBuilder(std::string_view label)
+      : node_(XmlNode::Element(std::string(label))) {}
+
+  ElementBuilder(ElementBuilder&&) = default;
+  ElementBuilder& operator=(ElementBuilder&&) = default;
+
+  /// Sets an attribute; last setting of a name wins.
+  ElementBuilder&& Attr(std::string_view name, std::string_view value) && {
+    node_->SetAttribute(name, value);
+    return std::move(*this);
+  }
+  ElementBuilder& Attr(std::string_view name, std::string_view value) & {
+    node_->SetAttribute(name, value);
+    return *this;
+  }
+
+  /// Appends a text child.
+  ElementBuilder&& Text(std::string_view text) && {
+    node_->AppendChild(XmlNode::Text(std::string(text)));
+    return std::move(*this);
+  }
+  ElementBuilder& Text(std::string_view text) & {
+    node_->AppendChild(XmlNode::Text(std::string(text)));
+    return *this;
+  }
+
+  /// Appends a child element built by another builder.
+  ElementBuilder&& Child(ElementBuilder child) && {
+    node_->AppendChild(std::move(child).Build());
+    return std::move(*this);
+  }
+  ElementBuilder& Child(ElementBuilder child) & {
+    node_->AppendChild(std::move(child).Build());
+    return *this;
+  }
+
+  /// Appends an already-built node.
+  ElementBuilder&& Child(std::unique_ptr<XmlNode> child) && {
+    node_->AppendChild(std::move(child));
+    return std::move(*this);
+  }
+
+  /// Releases the built subtree.
+  std::unique_ptr<XmlNode> Build() && { return std::move(node_); }
+
+  /// Wraps the built subtree as a document (no XIDs assigned).
+  XmlDocument BuildDocument() && {
+    return XmlDocument(std::move(node_));
+  }
+
+ private:
+  std::unique_ptr<XmlNode> node_;
+};
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_XML_BUILDER_H_

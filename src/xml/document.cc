@@ -1,0 +1,51 @@
+#include "xml/document.h"
+
+namespace xydiff {
+
+namespace {
+
+void AssignPostfix(XmlNode* node, Xid* counter) {
+  for (size_t i = 0; i < node->child_count(); ++i) {
+    AssignPostfix(node->child(i), counter);
+  }
+  node->set_xid((*counter)++);
+}
+
+}  // namespace
+
+void XmlDocument::AssignInitialXids() {
+  if (!root_) return;
+  Xid counter = 1;
+  AssignPostfix(root_.get(), &counter);
+  next_xid_ = counter;
+}
+
+bool XmlDocument::AllXidsAssigned() const {
+  if (!root_) return true;
+  bool all = true;
+  root_->Visit([&](const XmlNode* n) {
+    if (n->xid() == kNoXid) all = false;
+  });
+  return all;
+}
+
+std::unordered_map<Xid, XmlNode*> XmlDocument::BuildXidIndex() {
+  std::unordered_map<Xid, XmlNode*> index;
+  if (root_) {
+    index.reserve(root_->SubtreeSize());
+    root_->Visit([&](XmlNode* n) {
+      if (n->xid() != kNoXid) index.emplace(n->xid(), n);
+    });
+  }
+  return index;
+}
+
+XmlDocument XmlDocument::Clone() const {
+  XmlDocument copy;
+  if (root_) copy.root_ = root_->Clone();
+  copy.dtd_ = dtd_;
+  copy.next_xid_ = next_xid_;
+  return copy;
+}
+
+}  // namespace xydiff

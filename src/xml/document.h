@@ -1,0 +1,79 @@
+#ifndef XYDIFF_XML_DOCUMENT_H_
+#define XYDIFF_XML_DOCUMENT_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "xml/dtd.h"
+#include "xml/node.h"
+
+namespace xydiff {
+
+/// An XML document: a single element root plus the DTD information and the
+/// XID-allocation state needed by the versioning machinery (§4).
+///
+/// The XID allocator is part of the document so that identifiers stay
+/// unique across the whole version history: the diff hands out fresh XIDs
+/// for inserted nodes from the *new* document's allocator, which is seeded
+/// past every XID ever used by the previous versions.
+class XmlDocument {
+ public:
+  XmlDocument() = default;
+  /// Takes ownership of the root element.
+  explicit XmlDocument(std::unique_ptr<XmlNode> root)
+      : root_(std::move(root)) {}
+
+  XmlDocument(XmlDocument&&) = default;
+  XmlDocument& operator=(XmlDocument&&) = default;
+  XmlDocument(const XmlDocument&) = delete;
+  XmlDocument& operator=(const XmlDocument&) = delete;
+
+  XmlNode* root() { return root_.get(); }
+  const XmlNode* root() const { return root_.get(); }
+  void set_root(std::unique_ptr<XmlNode> root) { root_ = std::move(root); }
+  /// Releases ownership of the root (the document becomes empty).
+  std::unique_ptr<XmlNode> take_root() { return std::move(root_); }
+
+  Dtd& dtd() { return dtd_; }
+  const Dtd& dtd() const { return dtd_; }
+
+  /// Assigns postfix-order XIDs 1..n to every node (§4 "for example its
+  /// postfix position") and advances the allocator past them. Existing
+  /// XIDs are overwritten; call this only on the first version.
+  void AssignInitialXids();
+
+  /// True if every node carries a non-zero XID.
+  bool AllXidsAssigned() const;
+
+  /// Hands out a fresh, never-used XID.
+  Xid AllocateXid() { return next_xid_++; }
+
+  /// Ensures the allocator will never hand out `xid` or anything below it.
+  void ReserveXidsThrough(Xid xid) {
+    if (xid >= next_xid_) next_xid_ = xid + 1;
+  }
+
+  Xid next_xid() const { return next_xid_; }
+  void set_next_xid(Xid next) { next_xid_ = next; }
+
+  /// Builds an index from XID to node over the current tree. The index is
+  /// a snapshot: mutating the tree invalidates it.
+  std::unordered_map<Xid, XmlNode*> BuildXidIndex();
+
+  /// Deep copy of the document including DTD info, XIDs and allocator state.
+  XmlDocument Clone() const;
+
+  /// Total node count (0 for an empty document).
+  size_t node_count() const { return root_ ? root_->SubtreeSize() : 0; }
+
+ private:
+  std::unique_ptr<XmlNode> root_;
+  Dtd dtd_;
+  Xid next_xid_ = 1;
+};
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_XML_DOCUMENT_H_

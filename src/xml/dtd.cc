@@ -1,0 +1,16 @@
+#include "xml/dtd.h"
+
+namespace xydiff {
+
+void Dtd::DeclareIdAttribute(std::string_view label,
+                             std::string_view attribute) {
+  id_attributes_[std::string(label)] = std::string(attribute);
+}
+
+const std::string* Dtd::IdAttributeFor(std::string_view label) const {
+  auto it = id_attributes_.find(std::string(label));
+  if (it == id_attributes_.end()) return nullptr;
+  return &it->second;
+}
+
+}  // namespace xydiff

@@ -1,0 +1,42 @@
+#ifndef XYDIFF_XML_DTD_H_
+#define XYDIFF_XML_DTD_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace xydiff {
+
+/// The slice of DTD information the diff cares about: which attribute of
+/// which element type is declared `ID` (§5.2 Phase 1).
+///
+/// The parser fills this from the internal DTD subset
+/// (`<!ATTLIST product ref ID #REQUIRED>`); callers may also declare ID
+/// attributes programmatically when the document has no DTD.
+class Dtd {
+ public:
+  /// Declares `attribute` as the ID attribute of elements labelled `label`.
+  /// A later declaration for the same label overrides an earlier one (XML
+  /// allows at most one ID attribute per element type).
+  void DeclareIdAttribute(std::string_view label, std::string_view attribute);
+
+  /// Returns the ID attribute name for `label`, or nullptr if none.
+  const std::string* IdAttributeFor(std::string_view label) const;
+
+  /// True if any ID attribute is declared.
+  bool has_id_attributes() const { return !id_attributes_.empty(); }
+
+  size_t id_attribute_count() const { return id_attributes_.size(); }
+
+  /// Document type name from `<!DOCTYPE name ...>`, empty if absent.
+  const std::string& doctype_name() const { return doctype_name_; }
+  void set_doctype_name(std::string name) { doctype_name_ = std::move(name); }
+
+ private:
+  std::string doctype_name_;
+  std::unordered_map<std::string, std::string> id_attributes_;
+};
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_XML_DTD_H_

@@ -1,0 +1,116 @@
+#include "xml/node.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xydiff {
+
+std::unique_ptr<XmlNode> XmlNode::Element(std::string label) {
+  return std::unique_ptr<XmlNode>(
+      new XmlNode(XmlNodeType::kElement, std::move(label)));
+}
+
+std::unique_ptr<XmlNode> XmlNode::Text(std::string text) {
+  return std::unique_ptr<XmlNode>(
+      new XmlNode(XmlNodeType::kText, std::move(text)));
+}
+
+void XmlNode::set_text(std::string text) {
+  assert(is_text());
+  value_ = std::move(text);
+}
+
+const std::string* XmlNode::FindAttribute(std::string_view name) const {
+  for (const auto& attr : attributes_) {
+    if (attr.name == name) return &attr.value;
+  }
+  return nullptr;
+}
+
+void XmlNode::SetAttribute(std::string_view name, std::string_view value) {
+  assert(is_element());
+  for (auto& attr : attributes_) {
+    if (attr.name == name) {
+      attr.value.assign(value);
+      return;
+    }
+  }
+  attributes_.push_back({std::string(name), std::string(value)});
+}
+
+bool XmlNode::RemoveAttribute(std::string_view name) {
+  for (auto it = attributes_.begin(); it != attributes_.end(); ++it) {
+    if (it->name == name) {
+      attributes_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+XmlNode* XmlNode::AppendChild(std::unique_ptr<XmlNode> node) {
+  return InsertChild(children_.size(), std::move(node));
+}
+
+XmlNode* XmlNode::InsertChild(size_t index, std::unique_ptr<XmlNode> node) {
+  assert(is_element());
+  assert(node != nullptr);
+  assert(node->parent_ == nullptr);
+  index = std::min(index, children_.size());
+  node->parent_ = this;
+  XmlNode* raw = node.get();
+  children_.insert(children_.begin() + static_cast<ptrdiff_t>(index),
+                   std::move(node));
+  return raw;
+}
+
+std::unique_ptr<XmlNode> XmlNode::RemoveChild(size_t index) {
+  assert(index < children_.size());
+  std::unique_ptr<XmlNode> out =
+      std::move(children_[static_cast<size_t>(index)]);
+  children_.erase(children_.begin() + static_cast<ptrdiff_t>(index));
+  out->parent_ = nullptr;
+  return out;
+}
+
+size_t XmlNode::IndexInParent() const {
+  assert(parent_ != nullptr);
+  const auto& siblings = parent_->children_;
+  for (size_t i = 0; i < siblings.size(); ++i) {
+    if (siblings[i].get() == this) return i;
+  }
+  assert(false && "node not found among parent's children");
+  return 0;
+}
+
+std::unique_ptr<XmlNode> XmlNode::Clone() const {
+  std::unique_ptr<XmlNode> copy(new XmlNode(type_, value_));
+  copy->attributes_ = attributes_;
+  copy->xid_ = xid_;
+  for (const auto& c : children_) {
+    copy->AppendChild(c->Clone());
+  }
+  return copy;
+}
+
+bool XmlNode::DeepEquals(const XmlNode& other) const {
+  if (type_ != other.type_ || value_ != other.value_) return false;
+  if (attributes_.size() != other.attributes_.size()) return false;
+  for (const auto& attr : attributes_) {
+    const std::string* v = other.FindAttribute(attr.name);
+    if (v == nullptr || *v != attr.value) return false;
+  }
+  if (children_.size() != other.children_.size()) return false;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->DeepEquals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+size_t XmlNode::SubtreeSize() const {
+  size_t n = 1;
+  for (const auto& c : children_) n += c->SubtreeSize();
+  return n;
+}
+
+}  // namespace xydiff

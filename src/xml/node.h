@@ -1,0 +1,128 @@
+#ifndef XYDIFF_XML_NODE_H_
+#define XYDIFF_XML_NODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xydiff {
+
+/// Kind of a tree node. The change model (§4 of the paper) works on ordered
+/// trees whose nodes are either elements (labelled, with attributes and
+/// children) or text leaves (character data).
+enum class XmlNodeType { kElement, kText };
+
+/// A single name="value" attribute. Order is preserved for serialization
+/// but is semantically irrelevant (§5.2 "Other XML features").
+struct XmlAttribute {
+  std::string name;
+  std::string value;
+
+  bool operator==(const XmlAttribute&) const = default;
+};
+
+/// Persistent node identifier (XID). 0 means "not yet assigned".
+using Xid = uint64_t;
+inline constexpr Xid kNoXid = 0;
+
+/// An ordered-tree XML node: either an element or a text leaf.
+///
+/// Nodes own their children (`std::unique_ptr`) and know their parent.
+/// Every node can carry a persistent identifier (XID, §4) that survives
+/// across document versions; the diff algorithm assigns XIDs of matched
+/// nodes from the previous version.
+class XmlNode {
+ public:
+  /// Factory for an element node with the given label.
+  static std::unique_ptr<XmlNode> Element(std::string label);
+  /// Factory for a text leaf with the given character data.
+  static std::unique_ptr<XmlNode> Text(std::string text);
+
+  XmlNode(const XmlNode&) = delete;
+  XmlNode& operator=(const XmlNode&) = delete;
+
+  XmlNodeType type() const { return type_; }
+  bool is_element() const { return type_ == XmlNodeType::kElement; }
+  bool is_text() const { return type_ == XmlNodeType::kText; }
+
+  /// Element label. Precondition: is_element().
+  const std::string& label() const { return value_; }
+  /// Text content. Precondition: is_text().
+  const std::string& text() const { return value_; }
+  /// Replaces the text content. Precondition: is_text().
+  void set_text(std::string text);
+
+  /// Persistent identifier; kNoXid until assigned.
+  Xid xid() const { return xid_; }
+  void set_xid(Xid xid) { xid_ = xid; }
+
+  // --- Attributes (elements only) -----------------------------------------
+
+  const std::vector<XmlAttribute>& attributes() const { return attributes_; }
+  /// Returns the attribute value or nullptr if absent.
+  const std::string* FindAttribute(std::string_view name) const;
+  /// Inserts or overwrites an attribute.
+  void SetAttribute(std::string_view name, std::string_view value);
+  /// Removes an attribute; returns false if it was absent.
+  bool RemoveAttribute(std::string_view name);
+
+  // --- Children ------------------------------------------------------------
+
+  size_t child_count() const { return children_.size(); }
+  XmlNode* child(size_t i) { return children_[i].get(); }
+  const XmlNode* child(size_t i) const { return children_[i].get(); }
+  XmlNode* parent() { return parent_; }
+  const XmlNode* parent() const { return parent_; }
+
+  /// Appends `node` as the last child and returns a raw pointer to it.
+  XmlNode* AppendChild(std::unique_ptr<XmlNode> node);
+  /// Inserts `node` so that it becomes child number `index` (0-based,
+  /// clamped to [0, child_count()]); returns a raw pointer to it.
+  XmlNode* InsertChild(size_t index, std::unique_ptr<XmlNode> node);
+  /// Detaches and returns child number `index`.
+  std::unique_ptr<XmlNode> RemoveChild(size_t index);
+  /// 0-based position of this node among its parent's children.
+  /// Precondition: parent() != nullptr.
+  size_t IndexInParent() const;
+
+  // --- Whole-subtree operations ---------------------------------------------
+
+  /// Deep copy, including attributes and XIDs.
+  std::unique_ptr<XmlNode> Clone() const;
+  /// Structural equality of the whole subtree: type, label/text,
+  /// attributes (order-insensitive) and children (order-sensitive).
+  /// XIDs are ignored.
+  bool DeepEquals(const XmlNode& other) const;
+  /// Number of nodes in this subtree, including this one.
+  size_t SubtreeSize() const;
+
+  /// Depth-first (document order) visit; `fn` is called on every node of
+  /// the subtree including this one.
+  template <typename Fn>
+  void Visit(Fn&& fn) {
+    fn(this);
+    for (auto& c : children_) c->Visit(fn);
+  }
+  template <typename Fn>
+  void Visit(Fn&& fn) const {
+    fn(this);
+    for (const auto& c : children_) c->Visit(fn);
+  }
+
+ private:
+  XmlNode(XmlNodeType type, std::string value)
+      : type_(type), value_(std::move(value)) {}
+
+  XmlNodeType type_;
+  std::string value_;  // Label for elements, character data for text.
+  std::vector<XmlAttribute> attributes_;
+  std::vector<std::unique_ptr<XmlNode>> children_;
+  XmlNode* parent_ = nullptr;
+  Xid xid_ = kNoXid;
+};
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_XML_NODE_H_

@@ -1,0 +1,557 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace xydiff {
+
+namespace {
+
+/// True for characters that may start an XML name. We accept the ASCII
+/// subset plus any byte >= 0x80 (UTF-8 continuation/lead bytes), which is
+/// permissive but never mis-parses well-formed input.
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+/// XML 1.0 forbids control characters other than tab, LF and CR.
+bool IsForbiddenControlChar(char c) {
+  const unsigned char u = static_cast<unsigned char>(c);
+  return u < 0x20 && c != '\t' && c != '\n' && c != '\r';
+}
+
+class Parser {
+ public:
+  Parser(std::string_view text, const ParseOptions& options)
+      : text_(text), options_(options) {}
+
+  Result<XmlDocument> Parse() {
+    XmlDocument doc;
+    SkipProlog(&doc);
+    if (AtEnd() || Peek() != '<') {
+      return Error("expected root element");
+    }
+    std::unique_ptr<XmlNode> root;
+    Status s = ParseElement(&root, /*depth=*/0);
+    if (!s.ok()) return s;
+    doc.set_root(std::move(root));
+    SkipMisc();
+    if (!AtEnd()) {
+      return Error("trailing content after root element");
+    }
+    return doc;
+  }
+
+ private:
+  // --- Low-level cursor ----------------------------------------------------
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  char PeekAt(size_t offset) const {
+    return pos_ + offset < text_.size() ? text_[pos_ + offset] : '\0';
+  }
+  void Advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+  void AdvanceBy(size_t n) {
+    for (size_t i = 0; i < n && !AtEnd(); ++i) Advance();
+  }
+  bool LookingAt(std::string_view s) const {
+    return text_.substr(pos_, s.size()) == s;
+  }
+  bool Consume(std::string_view s) {
+    if (!LookingAt(s)) return false;
+    AdvanceBy(s.size());
+    return true;
+  }
+  void SkipWhitespace() {
+    while (!AtEnd() && IsXmlWhitespace(Peek())) Advance();
+  }
+
+  Status Error(std::string_view what) const {
+    std::ostringstream os;
+    os << "line " << line_ << ", column " << column_ << ": " << what;
+    return Status::ParseError(os.str());
+  }
+
+  // --- Prolog / misc ---------------------------------------------------------
+
+  void SkipProlog(XmlDocument* doc) {
+    for (;;) {
+      SkipWhitespace();
+      if (LookingAt("<?")) {
+        SkipProcessingInstruction();
+      } else if (LookingAt("<!--")) {
+        SkipComment();
+      } else if (LookingAt("<!DOCTYPE")) {
+        ParseDoctype(doc);
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipMisc() {
+    for (;;) {
+      SkipWhitespace();
+      if (LookingAt("<?")) {
+        SkipProcessingInstruction();
+      } else if (LookingAt("<!--")) {
+        SkipComment();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipProcessingInstruction() {
+    // Consume "<?" ... "?>"; unterminated PIs run to end of input.
+    AdvanceBy(2);
+    while (!AtEnd() && !LookingAt("?>")) Advance();
+    Consume("?>");
+  }
+
+  void SkipComment() {
+    AdvanceBy(4);  // "<!--"
+    while (!AtEnd() && !LookingAt("-->")) Advance();
+    Consume("-->");
+  }
+
+  // --- DOCTYPE / internal subset --------------------------------------------
+
+  void ParseDoctype(XmlDocument* doc) {
+    AdvanceBy(9);  // "<!DOCTYPE"
+    SkipWhitespace();
+    std::string name = ParseName();
+    doc->dtd().set_doctype_name(name);
+    // Skip external ID (SYSTEM/PUBLIC ...) up to '[' or '>'.
+    while (!AtEnd() && Peek() != '[' && Peek() != '>') {
+      if (Peek() == '"' || Peek() == '\'') SkipQuoted();
+      else Advance();
+    }
+    if (!AtEnd() && Peek() == '[') {
+      Advance();
+      ParseInternalSubset(doc);
+      // ParseInternalSubset stops after ']'.
+      SkipWhitespace();
+    }
+    // Consume the closing '>'.
+    while (!AtEnd() && Peek() != '>') Advance();
+    if (!AtEnd()) Advance();
+  }
+
+  void SkipQuoted() {
+    const char quote = Peek();
+    Advance();
+    while (!AtEnd() && Peek() != quote) Advance();
+    if (!AtEnd()) Advance();
+  }
+
+  /// Scans markup declarations inside `[ ... ]`. Only ATTLIST ID
+  /// declarations are interpreted; everything else is skipped.
+  void ParseInternalSubset(XmlDocument* doc) {
+    while (!AtEnd()) {
+      SkipWhitespace();
+      if (AtEnd()) return;
+      if (Peek() == ']') {
+        Advance();
+        return;
+      }
+      if (LookingAt("<!--")) {
+        SkipComment();
+      } else if (LookingAt("<!ATTLIST")) {
+        ParseAttlist(doc);
+      } else if (LookingAt("<!ENTITY")) {
+        ParseEntityDecl();
+      } else if (Peek() == '<') {
+        // <!ELEMENT ...>, <!ENTITY ...>, <!NOTATION ...>, <?pi?>
+        while (!AtEnd() && Peek() != '>') {
+          if (Peek() == '"' || Peek() == '\'') SkipQuoted();
+          else Advance();
+        }
+        if (!AtEnd()) Advance();
+      } else {
+        Advance();  // Parameter entity reference or stray character.
+      }
+    }
+  }
+
+  /// <!ATTLIST element (attr type default)*>
+  /// Registers attributes whose declared type is exactly `ID`.
+  void ParseAttlist(XmlDocument* doc) {
+    AdvanceBy(9);  // "<!ATTLIST"
+    SkipWhitespace();
+    std::string element = ParseName();
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() == '>') break;
+      std::string attr = ParseName();
+      if (attr.empty()) {
+        // Not a name: skip one token to guarantee progress.
+        Advance();
+        continue;
+      }
+      SkipWhitespace();
+      // Attribute type: a name (CDATA, ID, IDREF, NMTOKEN, ...) or an
+      // enumeration "(a|b|c)" or NOTATION (...).
+      std::string type = ParseName();
+      if (type == "NOTATION") {
+        SkipWhitespace();
+      }
+      if (!AtEnd() && Peek() == '(') {
+        while (!AtEnd() && Peek() != ')') Advance();
+        if (!AtEnd()) Advance();
+      }
+      if (type == "ID" && !element.empty()) {
+        doc->dtd().DeclareIdAttribute(element, attr);
+      }
+      SkipWhitespace();
+      // Default declaration: #REQUIRED, #IMPLIED, [#FIXED] "value".
+      if (Consume("#REQUIRED") || Consume("#IMPLIED")) {
+        continue;
+      }
+      Consume("#FIXED");
+      SkipWhitespace();
+      if (!AtEnd() && (Peek() == '"' || Peek() == '\'')) SkipQuoted();
+    }
+    if (!AtEnd()) Advance();  // '>'
+  }
+
+  /// <!ENTITY name "replacement"> — internal general entities. Parameter
+  /// entities (%name;) and external entities (SYSTEM/PUBLIC) are skipped.
+  /// Replacement text is stored raw and decoded at expansion time.
+  void ParseEntityDecl() {
+    AdvanceBy(8);  // "<!ENTITY"
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '%') {
+      // Parameter entity: not supported, skip the declaration.
+      while (!AtEnd() && Peek() != '>') {
+        if (Peek() == '"' || Peek() == '\'') SkipQuoted();
+        else Advance();
+      }
+      if (!AtEnd()) Advance();
+      return;
+    }
+    std::string name = ParseName();
+    SkipWhitespace();
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      // External entity (SYSTEM/PUBLIC ...): skip.
+      while (!AtEnd() && Peek() != '>') {
+        if (Peek() == '"' || Peek() == '\'') SkipQuoted();
+        else Advance();
+      }
+      if (!AtEnd()) Advance();
+      return;
+    }
+    const char quote = Peek();
+    Advance();
+    const size_t start = pos_;
+    while (!AtEnd() && Peek() != quote) Advance();
+    std::string value(text_.substr(start, pos_ - start));
+    if (!AtEnd()) Advance();
+    while (!AtEnd() && Peek() != '>') Advance();
+    if (!AtEnd()) Advance();
+    if (!name.empty()) entities_.emplace(std::move(name), std::move(value));
+  }
+
+  /// Decodes an entity replacement string (character references,
+  /// predefined entities, nested custom entities up to a depth limit).
+  Status ExpandEntityValue(std::string_view value, int depth,
+                           std::string* out) {
+    if (depth > 16) return Error("entity expansion too deep (cycle?)");
+    size_t i = 0;
+    while (i < value.size()) {
+      const char c = value[i];
+      if (c == '<') {
+        return Error("entities containing markup are not supported");
+      }
+      if (c != '&') {
+        *out += c;
+        ++i;
+        continue;
+      }
+      const size_t semi = value.find(';', i + 1);
+      if (semi == std::string_view::npos) {
+        return Error("unterminated reference in entity value");
+      }
+      const std::string_view name = value.substr(i + 1, semi - i - 1);
+      i = semi + 1;
+      if (name.empty()) return Error("empty reference in entity value");
+      if (name[0] == '#') {
+        uint32_t code = 0;
+        bool hex = name.size() > 1 && (name[1] == 'x' || name[1] == 'X');
+        for (size_t k = hex ? 2 : 1; k < name.size(); ++k) {
+          const char d = name[k];
+          uint32_t digit;
+          if (d >= '0' && d <= '9') digit = static_cast<uint32_t>(d - '0');
+          else if (hex && d >= 'a' && d <= 'f') digit = 10u + static_cast<uint32_t>(d - 'a');
+          else if (hex && d >= 'A' && d <= 'F') digit = 10u + static_cast<uint32_t>(d - 'A');
+          else return Error("bad character reference in entity value");
+          code = code * (hex ? 16 : 10) + digit;
+          if (code > 0x10FFFF) return Error("character reference out of range");
+        }
+        AppendUtf8(code, out);
+      } else if (name == "amp") {
+        *out += '&';
+      } else if (name == "lt") {
+        *out += '<';
+      } else if (name == "gt") {
+        *out += '>';
+      } else if (name == "quot") {
+        *out += '"';
+      } else if (name == "apos") {
+        *out += '\'';
+      } else {
+        auto it = entities_.find(std::string(name));
+        if (it == entities_.end()) {
+          return Error("unknown entity '&" + std::string(name) + ";'");
+        }
+        XYDIFF_RETURN_IF_ERROR(
+            ExpandEntityValue(it->second, depth + 1, out));
+      }
+    }
+    return Status::OK();
+  }
+
+  // --- Names, references, attribute values -----------------------------------
+
+  std::string ParseName() {
+    if (AtEnd() || !IsNameStartChar(Peek())) return {};
+    const size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) Advance();
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  /// Decodes one reference after '&'. Appends the decoded bytes to `out`;
+  /// returns an error for unknown entity names.
+  Status ParseReference(std::string* out) {
+    Advance();  // '&'
+    if (!AtEnd() && Peek() == '#') {
+      Advance();
+      uint32_t code = 0;
+      bool hex = false;
+      if (!AtEnd() && (Peek() == 'x' || Peek() == 'X')) {
+        hex = true;
+        Advance();
+      }
+      bool any = false;
+      while (!AtEnd() && Peek() != ';') {
+        const char c = Peek();
+        uint32_t digit;
+        if (c >= '0' && c <= '9') digit = static_cast<uint32_t>(c - '0');
+        else if (hex && c >= 'a' && c <= 'f') digit = 10u + static_cast<uint32_t>(c - 'a');
+        else if (hex && c >= 'A' && c <= 'F') digit = 10u + static_cast<uint32_t>(c - 'A');
+        else return Error("bad character reference");
+        code = code * (hex ? 16 : 10) + digit;
+        if (code > 0x10FFFF) return Error("character reference out of range");
+        any = true;
+        Advance();
+      }
+      if (!any || AtEnd()) return Error("unterminated character reference");
+      Advance();  // ';'
+      AppendUtf8(code, out);
+      return Status::OK();
+    }
+    std::string name = ParseName();
+    if (AtEnd() || Peek() != ';') return Error("unterminated entity reference");
+    Advance();  // ';'
+    if (name == "amp") *out += '&';
+    else if (name == "lt") *out += '<';
+    else if (name == "gt") *out += '>';
+    else if (name == "quot") *out += '"';
+    else if (name == "apos") *out += '\'';
+    else if (auto it = entities_.find(name); it != entities_.end()) {
+      XYDIFF_RETURN_IF_ERROR(ExpandEntityValue(it->second, 0, out));
+    } else {
+      return Error("unknown entity '&" + name + ";'");
+    }
+    return Status::OK();
+  }
+
+  static void AppendUtf8(uint32_t code, std::string* out) {
+    if (code < 0x80) {
+      *out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      *out += static_cast<char>(0xC0 | (code >> 6));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      *out += static_cast<char>(0xE0 | (code >> 12));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (code >> 18));
+      *out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  Status ParseAttributeValue(std::string* out) {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("expected quoted attribute value");
+    }
+    const char quote = Peek();
+    Advance();
+    while (!AtEnd() && Peek() != quote) {
+      if (Peek() == '&') {
+        XYDIFF_RETURN_IF_ERROR(ParseReference(out));
+      } else if (Peek() == '<') {
+        return Error("'<' in attribute value");
+      } else if (IsForbiddenControlChar(Peek())) {
+        return Error("control character in attribute value");
+      } else {
+        *out += Peek();
+        Advance();
+      }
+    }
+    if (AtEnd()) return Error("unterminated attribute value");
+    Advance();  // closing quote
+    return Status::OK();
+  }
+
+  // --- Elements and content ---------------------------------------------------
+
+  Status ParseElement(std::unique_ptr<XmlNode>* out, int depth) {
+    if (depth > options_.max_depth) return Error("maximum depth exceeded");
+    Advance();  // '<'
+    std::string label = ParseName();
+    if (label.empty()) return Error("expected element name");
+    auto element = XmlNode::Element(std::move(label));
+
+    // Attributes.
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag");
+      if (Peek() == '>' || LookingAt("/>")) break;
+      std::string name = ParseName();
+      if (name.empty()) return Error("expected attribute name");
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '=') return Error("expected '=' after attribute name");
+      Advance();
+      SkipWhitespace();
+      std::string value;
+      XYDIFF_RETURN_IF_ERROR(ParseAttributeValue(&value));
+      if (element->FindAttribute(name) != nullptr) {
+        return Error("duplicate attribute '" + name + "'");
+      }
+      element->SetAttribute(name, value);
+    }
+
+    if (Consume("/>")) {
+      *out = std::move(element);
+      return Status::OK();
+    }
+    Advance();  // '>'
+
+    XYDIFF_RETURN_IF_ERROR(ParseContent(element.get(), depth));
+
+    // ParseContent stops at "</".
+    AdvanceBy(2);
+    std::string close = ParseName();
+    if (close != element->label()) {
+      return Error("mismatched end tag '</" + close + ">' for '<" +
+                   element->label() + ">'");
+    }
+    SkipWhitespace();
+    if (AtEnd() || Peek() != '>') return Error("expected '>' in end tag");
+    Advance();
+    *out = std::move(element);
+    return Status::OK();
+  }
+
+  /// Parses element content up to (but not consuming) the closing "</".
+  Status ParseContent(XmlNode* element, int depth) {
+    std::string text;
+    auto flush_text = [&]() {
+      if (text.empty()) return;
+      if (options_.keep_whitespace_text || !IsAllXmlWhitespace(text)) {
+        element->AppendChild(XmlNode::Text(std::move(text)));
+      }
+      text.clear();
+    };
+
+    for (;;) {
+      if (AtEnd()) return Error("unterminated element '" + element->label() + "'");
+      if (LookingAt("</")) {
+        flush_text();
+        return Status::OK();
+      }
+      if (LookingAt("<!--")) {
+        SkipComment();
+        continue;
+      }
+      if (LookingAt("<![CDATA[")) {
+        AdvanceBy(9);
+        while (!AtEnd() && !LookingAt("]]>")) {
+          text += Peek();
+          Advance();
+        }
+        if (AtEnd()) return Error("unterminated CDATA section");
+        AdvanceBy(3);
+        continue;
+      }
+      if (LookingAt("<?")) {
+        SkipProcessingInstruction();
+        continue;
+      }
+      if (Peek() == '<') {
+        flush_text();
+        std::unique_ptr<XmlNode> child;
+        XYDIFF_RETURN_IF_ERROR(ParseElement(&child, depth + 1));
+        element->AppendChild(std::move(child));
+        continue;
+      }
+      if (Peek() == '&') {
+        XYDIFF_RETURN_IF_ERROR(ParseReference(&text));
+        continue;
+      }
+      if (IsForbiddenControlChar(Peek())) {
+        return Error("control character in character data");
+      }
+      text += Peek();
+      Advance();
+    }
+  }
+
+  std::string_view text_;
+  ParseOptions options_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  std::unordered_map<std::string, std::string> entities_;
+};
+
+}  // namespace
+
+Result<XmlDocument> ParseXml(std::string_view text,
+                             const ParseOptions& options) {
+  Parser parser(text, options);
+  return parser.Parse();
+}
+
+Result<XmlDocument> ParseXmlFile(const std::string& path,
+                                 const ParseOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseXml(buffer.str(), options);
+}
+
+}  // namespace xydiff

@@ -1,0 +1,50 @@
+#ifndef XYDIFF_XML_PARSER_H_
+#define XYDIFF_XML_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace xydiff {
+
+/// Parser configuration.
+struct ParseOptions {
+  /// Keep text nodes that consist only of whitespace. The diff treats
+  /// inter-element whitespace as noise by default, matching the behaviour
+  /// of the original XyDiff.
+  bool keep_whitespace_text = false;
+
+  /// Maximum element nesting depth before the parser refuses the input
+  /// (guards against stack exhaustion on adversarial documents).
+  int max_depth = 10000;
+};
+
+// Note on persistent identifiers: XIDs are not stored inside the XML text
+// (text nodes cannot carry attributes). Persisted documents travel with
+// their XID-map — the compact postorder XID list of §4 — written by
+// version/storage.h or the command-line tools as a sidecar.
+
+/// Parses an XML document from text.
+///
+/// Supported: elements, attributes, character data, CDATA sections,
+/// comments, processing instructions, the XML declaration, predefined and
+/// numeric character references, and the internal DTD subset (scanned for
+/// `<!ATTLIST ... ID ...>` declarations feeding Phase 1 of the diff).
+/// Unsupported (rejected or skipped as noted in the implementation):
+/// external DTDs, custom general entities, namespaces-aware processing
+/// (prefixes are kept verbatim as part of labels).
+///
+/// On success the returned document's nodes carry no XIDs; call
+/// `XmlDocument::AssignInitialXids()` for a first version.
+Result<XmlDocument> ParseXml(std::string_view text,
+                             const ParseOptions& options = {});
+
+/// Convenience wrapper: reads the file and parses it.
+Result<XmlDocument> ParseXmlFile(const std::string& path,
+                                 const ParseOptions& options = {});
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_XML_PARSER_H_

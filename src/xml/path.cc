@@ -1,0 +1,162 @@
+#include "xml/path.h"
+
+namespace xydiff {
+
+namespace {
+
+bool IsStepNameChar(char c) {
+  return c != '/' && c != '[' && c != ']' && c != '\0';
+}
+
+}  // namespace
+
+Result<XmlPath> XmlPath::Parse(std::string_view expression) {
+  XmlPath path;
+  path.expression_ = std::string(expression);
+  size_t pos = 0;
+  const auto at_end = [&] { return pos >= expression.size(); };
+
+  if (at_end() || expression[0] != '/') {
+    return Status::InvalidArgument("path must start with '/': " +
+                                   path.expression_);
+  }
+  while (!at_end()) {
+    Step step;
+    ++pos;  // First '/'.
+    if (!at_end() && expression[pos] == '/') {
+      step.descendant = true;
+      ++pos;
+    }
+    const size_t start = pos;
+    while (!at_end() && IsStepNameChar(expression[pos])) ++pos;
+    step.label = std::string(expression.substr(start, pos - start));
+    if (step.label.empty()) {
+      return Status::InvalidArgument("empty step in path: " +
+                                     path.expression_);
+    }
+    if (!at_end() && expression[pos] == '[') {
+      // "[@name='value']" or "[text()='value']"
+      ++pos;
+      if (!at_end() && expression.substr(pos).rfind("text()=", 0) == 0) {
+        pos += 7;
+        if (at_end() || expression[pos] != '\'') {
+          return Status::InvalidArgument(
+              "expected quoted text() predicate value: " + path.expression_);
+        }
+        ++pos;
+        const size_t value_start = pos;
+        while (!at_end() && expression[pos] != '\'') ++pos;
+        if (at_end()) {
+          return Status::InvalidArgument("unterminated predicate value: " +
+                                         path.expression_);
+        }
+        step.text_predicate =
+            std::string(expression.substr(value_start, pos - value_start));
+        ++pos;  // '\''
+        if (at_end() || expression[pos] != ']') {
+          return Status::InvalidArgument("expected ']' in predicate: " +
+                                         path.expression_);
+        }
+        ++pos;
+        if (!at_end() && expression[pos] != '/') {
+          return Status::InvalidArgument("unexpected character in path: " +
+                                         path.expression_);
+        }
+        path.steps_.push_back(std::move(step));
+        continue;
+      }
+      if (at_end() || expression[pos] != '@') {
+        return Status::InvalidArgument("expected '@' in predicate: " +
+                                       path.expression_);
+      }
+      ++pos;
+      const size_t name_start = pos;
+      while (!at_end() && expression[pos] != '=') ++pos;
+      if (at_end()) {
+        return Status::InvalidArgument("unterminated predicate: " +
+                                       path.expression_);
+      }
+      XmlAttribute pred;
+      pred.name = std::string(expression.substr(name_start, pos - name_start));
+      ++pos;  // '='
+      if (at_end() || expression[pos] != '\'') {
+        return Status::InvalidArgument("expected quoted predicate value: " +
+                                       path.expression_);
+      }
+      ++pos;
+      const size_t value_start = pos;
+      while (!at_end() && expression[pos] != '\'') ++pos;
+      if (at_end()) {
+        return Status::InvalidArgument("unterminated predicate value: " +
+                                       path.expression_);
+      }
+      pred.value = std::string(expression.substr(value_start, pos - value_start));
+      ++pos;  // '\''
+      if (at_end() || expression[pos] != ']') {
+        return Status::InvalidArgument("expected ']' in predicate: " +
+                                       path.expression_);
+      }
+      ++pos;
+      step.attr_predicate = std::move(pred);
+    }
+    if (!at_end() && expression[pos] != '/') {
+      return Status::InvalidArgument("unexpected character in path: " +
+                                     path.expression_);
+    }
+    path.steps_.push_back(std::move(step));
+  }
+  if (path.steps_.empty()) {
+    return Status::InvalidArgument("empty path");
+  }
+  return path;
+}
+
+bool XmlPath::StepMatches(const Step& step, const XmlNode& node) const {
+  if (!node.is_element()) return false;
+  if (step.label != "*" && step.label != node.label()) return false;
+  if (step.attr_predicate.has_value()) {
+    const std::string* value = node.FindAttribute(step.attr_predicate->name);
+    if (value == nullptr || *value != step.attr_predicate->value) return false;
+  }
+  if (step.text_predicate.has_value()) {
+    std::string text;
+    for (size_t i = 0; i < node.child_count(); ++i) {
+      if (node.child(i)->is_text()) text += node.child(i)->text();
+    }
+    if (text != *step.text_predicate) return false;
+  }
+  return true;
+}
+
+bool XmlPath::MatchesUpTo(const XmlNode& node, size_t step_index) const {
+  const Step& step = steps_[step_index];
+  if (!StepMatches(step, node)) return false;
+  if (step_index == 0) {
+    // The first step anchors at the root: "/" requires node to be the
+    // root; "//" allows any depth.
+    if (step.descendant) return true;
+    return node.parent() == nullptr;
+  }
+  const XmlNode* parent = node.parent();
+  if (step.descendant) {
+    for (const XmlNode* anc = parent; anc != nullptr; anc = anc->parent()) {
+      if (MatchesUpTo(*anc, step_index - 1)) return true;
+    }
+    return false;
+  }
+  return parent != nullptr && MatchesUpTo(*parent, step_index - 1);
+}
+
+bool XmlPath::Matches(const XmlNode& node) const {
+  return MatchesUpTo(node, steps_.size() - 1);
+}
+
+std::vector<const XmlNode*> XmlPath::FindAll(const XmlNode& root) const {
+  std::vector<const XmlNode*> out;
+  root.Visit([&](const XmlNode* n) {
+    if (n->is_element() && Matches(*n)) out.push_back(n);
+  });
+  return out;
+}
+
+}  // namespace xydiff

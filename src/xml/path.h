@@ -1,0 +1,62 @@
+#ifndef XYDIFF_XML_PATH_H_
+#define XYDIFF_XML_PATH_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "xml/node.h"
+
+namespace xydiff {
+
+/// A minimal XPath-like element path used by the subscription system
+/// (§2 "Monitoring changes").
+///
+/// Grammar:
+///   path      := ("/" | "//") step ( ("/" | "//") step )*
+///   step      := (name | "*") predicate?
+///   predicate := "[@" name "='" value "']"
+///              | "[text()='" value "']"
+///
+/// "/" selects children, "//" selects descendants at any depth. A step
+/// matches element nodes only; the text() predicate compares the
+/// concatenation of the element's direct text children. Examples:
+///   /Category/NewProducts/Product
+///   //Product[@status='new']
+///   //Name[text()='zy456']
+///   /site//page/*
+class XmlPath {
+ public:
+  /// Parses a path expression.
+  static Result<XmlPath> Parse(std::string_view expression);
+
+  /// True if `node` (an element) is selected by this path, where the root
+  /// of `node`'s tree anchors the leading "/".
+  bool Matches(const XmlNode& node) const;
+
+  /// All elements in the subtree rooted at `root` selected by this path.
+  std::vector<const XmlNode*> FindAll(const XmlNode& root) const;
+
+  /// The original expression.
+  const std::string& expression() const { return expression_; }
+
+ private:
+  struct Step {
+    bool descendant = false;  ///< Reached via "//" rather than "/".
+    std::string label;        ///< "*" for a wildcard.
+    std::optional<XmlAttribute> attr_predicate;
+    std::optional<std::string> text_predicate;
+  };
+
+  bool StepMatches(const Step& step, const XmlNode& node) const;
+  bool MatchesUpTo(const XmlNode& node, size_t step_index) const;
+
+  std::string expression_;
+  std::vector<Step> steps_;
+};
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_XML_PATH_H_

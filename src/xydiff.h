@@ -1,0 +1,45 @@
+#ifndef XYDIFF_XYDIFF_H_
+#define XYDIFF_XYDIFF_H_
+
+/// Umbrella header: the public surface of the XyDiff reproduction.
+/// Fine-grained headers remain available for targeted includes; this one
+/// is for applications that just want the system.
+///
+///   #include "xydiff.h"
+///
+///   xydiff::Result<xydiff::Delta> delta =
+///       xydiff::XyDiffText(old_xml, new_xml);
+
+#include "baseline/ladiff.h"          // IWYU pragma: export
+#include "baseline/list_diff.h"      // IWYU pragma: export
+#include "baseline/myers_diff.h"     // IWYU pragma: export
+#include "baseline/selkow.h"         // IWYU pragma: export
+#include "baseline/zhang_shasha.h"   // IWYU pragma: export
+#include "core/buld.h"               // IWYU pragma: export
+#include "core/options.h"            // IWYU pragma: export
+#include "delta/apply.h"             // IWYU pragma: export
+#include "delta/compose.h"           // IWYU pragma: export
+#include "delta/delta.h"             // IWYU pragma: export
+#include "delta/delta_xml.h"         // IWYU pragma: export
+#include "delta/invert.h"            // IWYU pragma: export
+#include "delta/merge.h"             // IWYU pragma: export
+#include "delta/summary.h"           // IWYU pragma: export
+#include "delta/validate.h"          // IWYU pragma: export
+#include "monitor/change_stats.h"    // IWYU pragma: export
+#include "monitor/index.h"           // IWYU pragma: export
+#include "monitor/subscription.h"    // IWYU pragma: export
+#include "simulator/change_simulator.h"  // IWYU pragma: export
+#include "simulator/doc_generator.h"     // IWYU pragma: export
+#include "simulator/web_corpus.h"        // IWYU pragma: export
+#include "util/status.h"             // IWYU pragma: export
+#include "version/repository.h"      // IWYU pragma: export
+#include "version/site_diff.h"       // IWYU pragma: export
+#include "version/storage.h"         // IWYU pragma: export
+#include "version/warehouse.h"       // IWYU pragma: export
+#include "xml/builder.h"             // IWYU pragma: export
+#include "xml/document.h"            // IWYU pragma: export
+#include "xml/parser.h"              // IWYU pragma: export
+#include "xml/path.h"                // IWYU pragma: export
+#include "xml/serializer.h"          // IWYU pragma: export
+
+#endif  // XYDIFF_XYDIFF_H_

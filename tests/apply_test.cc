@@ -1,0 +1,335 @@
+#include "delta/apply.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xydiff {
+namespace {
+
+/// Builds <r><a>x</a><b/></r> with postfix XIDs: x=1 a=2 b=3 r=4.
+XmlDocument BaseDoc() {
+  XmlDocument doc = MustParse("<r><a>x</a><b/></r>");
+  doc.AssignInitialXids();
+  return doc;
+}
+
+TEST(ApplyTest, UpdateChangesText) {
+  XmlDocument doc = BaseDoc();
+  Delta delta;
+  delta.set_new_next_xid(5);
+  delta.updates().push_back(UpdateOp{1, "x", "y"});
+  XY_ASSERT_OK(ApplyDelta(delta, &doc));
+  EXPECT_EQ(doc.root()->child(0)->child(0)->text(), "y");
+}
+
+TEST(ApplyTest, UpdateVerifiesOldValue) {
+  XmlDocument doc = BaseDoc();
+  Delta delta;
+  delta.updates().push_back(UpdateOp{1, "WRONG", "y"});
+  EXPECT_EQ(ApplyDelta(delta, &doc).code(), StatusCode::kConflict);
+  // Without verification it goes through.
+  XmlDocument doc2 = BaseDoc();
+  ApplyOptions lax;
+  lax.verify = false;
+  XY_ASSERT_OK(ApplyDelta(delta, &doc2, lax));
+  EXPECT_EQ(doc2.root()->child(0)->child(0)->text(), "y");
+}
+
+TEST(ApplyTest, UpdateTargetMustBeText) {
+  XmlDocument doc = BaseDoc();
+  Delta delta;
+  delta.updates().push_back(UpdateOp{2, "x", "y"});  // <a> is an element.
+  EXPECT_EQ(ApplyDelta(delta, &doc).code(), StatusCode::kConflict);
+}
+
+TEST(ApplyTest, UpdateUnknownXid) {
+  XmlDocument doc = BaseDoc();
+  Delta delta;
+  delta.updates().push_back(UpdateOp{99, "x", "y"});
+  EXPECT_EQ(ApplyDelta(delta, &doc).code(), StatusCode::kNotFound);
+}
+
+TEST(ApplyTest, InsertAtPosition) {
+  XmlDocument doc = BaseDoc();
+  Delta delta;
+  auto subtree = XmlNode::Element("c");
+  subtree->set_xid(5);
+  delta.inserts().emplace_back(5, 4, 2, std::move(subtree));
+  delta.set_new_next_xid(6);
+  XY_ASSERT_OK(ApplyDelta(delta, &doc));
+  ASSERT_EQ(doc.root()->child_count(), 3u);
+  EXPECT_EQ(doc.root()->child(1)->label(), "c");
+  EXPECT_EQ(doc.root()->child(1)->xid(), 5u);
+  EXPECT_EQ(doc.next_xid(), 6u);
+}
+
+TEST(ApplyTest, DeleteRemovesSubtreeAndChecksSnapshot) {
+  XmlDocument doc = BaseDoc();
+  Delta delta;
+  auto snapshot = XmlNode::Element("a");
+  snapshot->set_xid(2);
+  auto text = XmlNode::Text("x");
+  text->set_xid(1);
+  snapshot->AppendChild(std::move(text));
+  delta.deletes().emplace_back(2, 4, 1, std::move(snapshot));
+  XY_ASSERT_OK(ApplyDelta(delta, &doc));
+  ASSERT_EQ(doc.root()->child_count(), 1u);
+  EXPECT_EQ(doc.root()->child(0)->label(), "b");
+}
+
+TEST(ApplyTest, DeleteSnapshotMismatchFails) {
+  XmlDocument doc = BaseDoc();
+  Delta delta;
+  auto snapshot = XmlNode::Element("a");
+  snapshot->set_xid(2);
+  auto text = XmlNode::Text("DIFFERENT");
+  text->set_xid(1);
+  snapshot->AppendChild(std::move(text));
+  delta.deletes().emplace_back(2, 4, 1, std::move(snapshot));
+  EXPECT_EQ(ApplyDelta(delta, &doc).code(), StatusCode::kConflict);
+}
+
+TEST(ApplyTest, DeleteXidMapMismatchFails) {
+  XmlDocument doc = BaseDoc();
+  Delta delta;
+  auto snapshot = XmlNode::Element("a");
+  snapshot->set_xid(2);
+  auto text = XmlNode::Text("x");
+  text->set_xid(77);  // Structure equal, XIDs differ.
+  snapshot->AppendChild(std::move(text));
+  delta.deletes().emplace_back(2, 4, 1, std::move(snapshot));
+  EXPECT_EQ(ApplyDelta(delta, &doc).code(), StatusCode::kConflict);
+}
+
+TEST(ApplyTest, MoveBetweenParents) {
+  // Move <a> (xid 2) under <b> (xid 3).
+  XmlDocument doc = BaseDoc();
+  Delta delta;
+  delta.moves().push_back(MoveOp{2, 4, 1, 3, 1});
+  XY_ASSERT_OK(ApplyDelta(delta, &doc));
+  ASSERT_EQ(doc.root()->child_count(), 1u);
+  EXPECT_EQ(doc.root()->child(0)->label(), "b");
+  ASSERT_EQ(doc.root()->child(0)->child_count(), 1u);
+  EXPECT_EQ(doc.root()->child(0)->child(0)->label(), "a");
+  EXPECT_EQ(doc.root()->child(0)->child(0)->xid(), 2u);
+}
+
+TEST(ApplyTest, MoveWithinParentReorders) {
+  XmlDocument doc = BaseDoc();
+  Delta delta;
+  delta.moves().push_back(MoveOp{2, 4, 1, 4, 2});  // a to position 2.
+  XY_ASSERT_OK(ApplyDelta(delta, &doc));
+  EXPECT_EQ(doc.root()->child(0)->label(), "b");
+  EXPECT_EQ(doc.root()->child(1)->label(), "a");
+}
+
+TEST(ApplyTest, RootReplacement) {
+  XmlDocument doc = BaseDoc();
+  Delta delta;
+  auto old_root = doc.root()->Clone();
+  delta.deletes().emplace_back(4, kNoXid, 1, std::move(old_root));
+  auto new_root = XmlNode::Element("fresh");
+  new_root->set_xid(10);
+  delta.inserts().emplace_back(10, kNoXid, 1, std::move(new_root));
+  delta.set_new_next_xid(11);
+  XY_ASSERT_OK(ApplyDelta(delta, &doc));
+  EXPECT_EQ(doc.root()->label(), "fresh");
+}
+
+TEST(ApplyTest, DeltaRemovingRootWithoutReplacementFails) {
+  XmlDocument doc = BaseDoc();
+  Delta delta;
+  delta.deletes().emplace_back(4, kNoXid, 1, doc.root()->Clone());
+  EXPECT_EQ(ApplyDelta(delta, &doc).code(), StatusCode::kCorruption);
+}
+
+TEST(ApplyTest, MoveIntoInsertedSubtree) {
+  XmlDocument doc = BaseDoc();
+  Delta delta;
+  auto wrapper = XmlNode::Element("wrap");
+  wrapper->set_xid(9);
+  // Final children of <r>: [b, wrap] — <a> moves away, so wrap's target
+  // position is 2.
+  delta.inserts().emplace_back(9, 4, 2, std::move(wrapper));
+  delta.moves().push_back(MoveOp{2, 4, 1, 9, 1});
+  delta.set_new_next_xid(10);
+  XY_ASSERT_OK(ApplyDelta(delta, &doc));
+  // r now has b, wrap; wrap contains a.
+  ASSERT_EQ(doc.root()->child_count(), 2u);
+  EXPECT_EQ(doc.root()->child(1)->label(), "wrap");
+  ASSERT_EQ(doc.root()->child(1)->child_count(), 1u);
+  EXPECT_EQ(doc.root()->child(1)->child(0)->label(), "a");
+}
+
+TEST(ApplyTest, DeleteInsideMovedSubtree) {
+  // Move <a> under <b> while deleting a's text child.
+  XmlDocument doc = BaseDoc();
+  Delta delta;
+  auto snapshot = XmlNode::Text("x");
+  snapshot->set_xid(1);
+  delta.deletes().emplace_back(1, 2, 1, std::move(snapshot));
+  delta.moves().push_back(MoveOp{2, 4, 1, 3, 1});
+  XY_ASSERT_OK(ApplyDelta(delta, &doc));
+  const XmlNode* a = doc.root()->child(0)->child(0);
+  EXPECT_EQ(a->label(), "a");
+  EXPECT_EQ(a->child_count(), 0u);
+}
+
+TEST(ApplyTest, AttributeOps) {
+  XmlDocument doc = BaseDoc();
+  doc.root()->child(0)->SetAttribute("keep", "1");
+  doc.root()->child(0)->SetAttribute("drop", "2");
+  doc.root()->child(0)->SetAttribute("change", "3");
+  Delta delta;
+  delta.attribute_ops().push_back(
+      {AttributeOpKind::kInsert, 2, "fresh", "", "9"});
+  delta.attribute_ops().push_back(
+      {AttributeOpKind::kDelete, 2, "drop", "2", ""});
+  delta.attribute_ops().push_back(
+      {AttributeOpKind::kUpdate, 2, "change", "3", "30"});
+  XY_ASSERT_OK(ApplyDelta(delta, &doc));
+  const XmlNode* a = doc.root()->child(0);
+  EXPECT_EQ(*a->FindAttribute("fresh"), "9");
+  EXPECT_EQ(a->FindAttribute("drop"), nullptr);
+  EXPECT_EQ(*a->FindAttribute("change"), "30");
+  EXPECT_EQ(*a->FindAttribute("keep"), "1");
+}
+
+TEST(ApplyTest, AttributeConflicts) {
+  // Fresh document per case: a failed apply may leave partial changes.
+  {
+    XmlDocument doc = BaseDoc();
+    doc.root()->child(0)->SetAttribute("k", "1");
+    Delta delta;
+    delta.attribute_ops().push_back(
+        {AttributeOpKind::kInsert, 2, "k", "", "2"});  // Already present.
+    EXPECT_EQ(ApplyDelta(delta, &doc).code(), StatusCode::kConflict);
+    // The document was restored to a usable (rooted) state.
+    ASSERT_NE(doc.root(), nullptr);
+  }
+  {
+    XmlDocument doc = BaseDoc();
+    doc.root()->child(0)->SetAttribute("k", "1");
+    Delta delta;
+    delta.attribute_ops().push_back(
+        {AttributeOpKind::kDelete, 2, "k", "WRONG", ""});
+    EXPECT_EQ(ApplyDelta(delta, &doc).code(), StatusCode::kConflict);
+  }
+  {
+    XmlDocument doc = BaseDoc();
+    Delta delta;
+    delta.attribute_ops().push_back(
+        {AttributeOpKind::kUpdate, 2, "absent", "1", "2"});
+    EXPECT_EQ(ApplyDelta(delta, &doc).code(), StatusCode::kConflict);
+  }
+}
+
+TEST(ApplyTest, InsertWithoutSnapshotFails) {
+  XmlDocument doc = BaseDoc();
+  Delta delta;
+  delta.inserts().emplace_back(9, 4, 1, nullptr);
+  EXPECT_EQ(ApplyDelta(delta, &doc).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ApplyTest, InsertDuplicateXidFails) {
+  XmlDocument doc = BaseDoc();
+  Delta delta;
+  auto subtree = XmlNode::Element("dup");
+  subtree->set_xid(2);  // Already taken by <a>.
+  delta.inserts().emplace_back(2, 4, 3, std::move(subtree));
+  EXPECT_EQ(ApplyDelta(delta, &doc).code(), StatusCode::kConflict);
+}
+
+TEST(ApplyTest, AttachPositionOutOfRangeFails) {
+  XmlDocument doc = BaseDoc();
+  Delta delta;
+  auto subtree = XmlNode::Element("c");
+  subtree->set_xid(9);
+  delta.inserts().emplace_back(9, 4, 99, std::move(subtree));
+  EXPECT_EQ(ApplyDelta(delta, &doc).code(), StatusCode::kConflict);
+}
+
+TEST(ApplyTest, MultipleInsertsAtSameParentAscendingPositions) {
+  XmlDocument doc = BaseDoc();  // r(4) children: a(2), b(3).
+  Delta delta;
+  // Final children: [n1, a, n2, b, n3] -> positions 1, 3, 5.
+  const auto make = [](const char* label, Xid xid) {
+    auto node = XmlNode::Element(label);
+    node->set_xid(xid);
+    return node;
+  };
+  // Deliberately out of order in the op list (set semantics).
+  delta.inserts().emplace_back(7, 4, 5, make("n3", 7));
+  delta.inserts().emplace_back(5, 4, 1, make("n1", 5));
+  delta.inserts().emplace_back(6, 4, 3, make("n2", 6));
+  delta.set_new_next_xid(8);
+  XY_ASSERT_OK(ApplyDelta(delta, &doc));
+  ASSERT_EQ(doc.root()->child_count(), 5u);
+  EXPECT_EQ(doc.root()->child(0)->label(), "n1");
+  EXPECT_EQ(doc.root()->child(1)->label(), "a");
+  EXPECT_EQ(doc.root()->child(2)->label(), "n2");
+  EXPECT_EQ(doc.root()->child(3)->label(), "b");
+  EXPECT_EQ(doc.root()->child(4)->label(), "n3");
+}
+
+TEST(ApplyTest, ChainedMoves) {
+  // a moves under b; b moves under... b cannot move under a's subtree
+  // (cycle), but b can move to position 1 while a moves inside it.
+  XmlDocument doc = BaseDoc();
+  Delta delta;
+  delta.moves().push_back(MoveOp{2, 4, 1, 3, 1});  // a under b.
+  delta.moves().push_back(MoveOp{3, 4, 2, 4, 1});  // b to front (is only child).
+  XY_ASSERT_OK(ApplyDelta(delta, &doc));
+  ASSERT_EQ(doc.root()->child_count(), 1u);
+  EXPECT_EQ(doc.root()->child(0)->label(), "b");
+  EXPECT_EQ(doc.root()->child(0)->child(0)->label(), "a");
+}
+
+TEST(ApplyTest, UpdateInsideMovedSubtree) {
+  XmlDocument doc = BaseDoc();
+  Delta delta;
+  delta.updates().push_back(UpdateOp{1, "x", "renamed"});
+  delta.moves().push_back(MoveOp{2, 4, 1, 3, 1});
+  XY_ASSERT_OK(ApplyDelta(delta, &doc));
+  EXPECT_EQ(doc.root()->child(0)->child(0)->child(0)->text(), "renamed");
+}
+
+TEST(ApplyTest, MoveDetachedTwiceFails) {
+  XmlDocument doc = BaseDoc();
+  Delta delta;
+  delta.moves().push_back(MoveOp{2, 4, 1, 3, 1});
+  delta.moves().push_back(MoveOp{2, 4, 1, 4, 2});
+  EXPECT_EQ(ApplyDelta(delta, &doc).code(), StatusCode::kConflict);
+}
+
+TEST(ApplyTest, ClampPositionsOption) {
+  XmlDocument doc = BaseDoc();
+  Delta delta;
+  auto subtree = XmlNode::Element("c");
+  subtree->set_xid(9);
+  delta.inserts().emplace_back(9, 4, 99, std::move(subtree));
+  delta.set_new_next_xid(10);
+  ApplyOptions clamping;
+  clamping.clamp_positions = true;
+  XY_ASSERT_OK(ApplyDelta(delta, &doc, clamping));
+  EXPECT_EQ(doc.root()->child(2)->label(), "c");  // Clamped to the end.
+}
+
+TEST(ApplyTest, EmptyDeltaIsNoOp) {
+  XmlDocument doc = BaseDoc();
+  XmlDocument before = doc.Clone();
+  Delta delta;
+  delta.set_old_next_xid(doc.next_xid());
+  delta.set_new_next_xid(doc.next_xid());
+  XY_ASSERT_OK(ApplyDelta(delta, &doc));
+  EXPECT_TRUE(DocsEqualWithXids(doc, before));
+}
+
+TEST(ApplyTest, EmptyDocumentRejected) {
+  XmlDocument doc;
+  Delta delta;
+  EXPECT_EQ(ApplyDelta(delta, &doc).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace xydiff

@@ -1,0 +1,65 @@
+#include "xml/builder.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "xml/serializer.h"
+
+namespace xydiff {
+namespace {
+
+TEST(BuilderTest, SimpleElement) {
+  XmlDocument doc = ElementBuilder("root").BuildDocument();
+  EXPECT_EQ(SerializeDocument(doc), "<root/>");
+}
+
+TEST(BuilderTest, NestedStructureMatchesParsedEquivalent) {
+  XmlDocument built =
+      ElementBuilder("Category")
+          .Child(ElementBuilder("Title").Text("Digital Cameras"))
+          .Child(ElementBuilder("Product")
+                     .Attr("status", "new")
+                     .Child(ElementBuilder("Price").Text("$799")))
+          .BuildDocument();
+  XmlDocument parsed = MustParse(
+      R"(<Category><Title>Digital Cameras</Title>)"
+      R"(<Product status="new"><Price>$799</Price></Product></Category>)");
+  EXPECT_TRUE(DocsEqual(built, parsed));
+}
+
+TEST(BuilderTest, AttributeOverwrite) {
+  XmlDocument doc =
+      ElementBuilder("e").Attr("k", "1").Attr("k", "2").BuildDocument();
+  EXPECT_EQ(*doc.root()->FindAttribute("k"), "2");
+  EXPECT_EQ(doc.root()->attributes().size(), 1u);
+}
+
+TEST(BuilderTest, MixedContentOrderPreserved) {
+  XmlDocument doc = ElementBuilder("p")
+                        .Text("before ")
+                        .Child(ElementBuilder("b").Text("bold"))
+                        .Text(" after")
+                        .BuildDocument();
+  ASSERT_EQ(doc.root()->child_count(), 3u);
+  EXPECT_TRUE(doc.root()->child(0)->is_text());
+  EXPECT_EQ(doc.root()->child(1)->label(), "b");
+  EXPECT_EQ(doc.root()->child(2)->text(), " after");
+}
+
+TEST(BuilderTest, PrebuiltChildNode) {
+  auto leaf = XmlNode::Element("leaf");
+  leaf->set_xid(42);
+  XmlDocument doc =
+      ElementBuilder("root").Child(std::move(leaf)).BuildDocument();
+  EXPECT_EQ(doc.root()->child(0)->xid(), 42u);
+}
+
+TEST(BuilderTest, BuildSubtreeForInsertion) {
+  std::unique_ptr<XmlNode> subtree =
+      ElementBuilder("item").Child(ElementBuilder("n").Text("x")).Build();
+  XmlDocument doc = MustParse("<list/>");
+  doc.root()->AppendChild(std::move(subtree));
+  EXPECT_EQ(SerializeDocument(doc), "<list><item><n>x</n></item></list>");
+}
+
+}  // namespace
+}  // namespace xydiff

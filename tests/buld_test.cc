@@ -1,0 +1,235 @@
+#include "core/buld.h"
+
+#include "delta/apply.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xydiff {
+namespace {
+
+TEST(BuldTest, EmptyDeltaForIdenticalDocuments) {
+  Result<Delta> delta =
+      XyDiffText("<a><b>x</b></a>", "<a><b>x</b></a>");
+  ASSERT_TRUE(delta.ok());
+  EXPECT_TRUE(delta->empty());
+  EXPECT_EQ(delta->operation_count(), 0u);
+}
+
+TEST(BuldTest, SingleTextUpdate) {
+  Result<Delta> delta = XyDiffText("<p><price>$799</price></p>",
+                                   "<p><price>$699</price></p>");
+  ASSERT_TRUE(delta.ok());
+  ASSERT_EQ(delta->updates().size(), 1u);
+  EXPECT_EQ(delta->updates()[0].old_value, "$799");
+  EXPECT_EQ(delta->updates()[0].new_value, "$699");
+  EXPECT_TRUE(delta->deletes().empty());
+  EXPECT_TRUE(delta->inserts().empty());
+  EXPECT_TRUE(delta->moves().empty());
+}
+
+TEST(BuldTest, SubtreeInsertion) {
+  Result<Delta> delta = XyDiffText(
+      "<cat><item><n>one</n></item></cat>",
+      "<cat><item><n>one</n></item><item><n>two</n></item></cat>");
+  ASSERT_TRUE(delta.ok());
+  ASSERT_EQ(delta->inserts().size(), 1u);
+  EXPECT_TRUE(delta->deletes().empty());
+  EXPECT_EQ(delta->inserts()[0].pos, 2u);
+  EXPECT_EQ(delta->inserts()[0].subtree->label(), "item");
+  // The inserted subtree has 3 nodes; nothing else should be reported.
+  EXPECT_EQ(delta->snapshot_node_count(), 3u);
+}
+
+TEST(BuldTest, SubtreeDeletion) {
+  Result<Delta> delta = XyDiffText(
+      "<cat><item><n>one</n></item><item><n>two</n></item></cat>",
+      "<cat><item><n>two</n></item></cat>");
+  ASSERT_TRUE(delta.ok());
+  ASSERT_EQ(delta->deletes().size(), 1u);
+  EXPECT_TRUE(delta->inserts().empty());
+  EXPECT_EQ(delta->deletes()[0].pos, 1u);
+  ASSERT_NE(delta->deletes()[0].subtree, nullptr);
+  EXPECT_EQ(delta->deletes()[0].subtree->child(0)->child(0)->text(), "one");
+}
+
+TEST(BuldTest, MoveDetectedAcrossParents) {
+  // A heavy subtree relocates; the diff must emit a move, not
+  // delete+insert (§4: "a key difference with most previous work").
+  const std::string_view old_xml =
+      "<doc><left><big><a>aaaa aaaa aaaa</a><b>bbbb bbbb bbbb</b>"
+      "<c>cccc cccc cccc</c></big></left><right/></doc>";
+  const std::string_view new_xml =
+      "<doc><left/><right><big><a>aaaa aaaa aaaa</a><b>bbbb bbbb bbbb</b>"
+      "<c>cccc cccc cccc</c></big></right></doc>";
+  Result<Delta> delta = XyDiffText(old_xml, new_xml);
+  ASSERT_TRUE(delta.ok());
+  ASSERT_EQ(delta->moves().size(), 1u);
+  EXPECT_TRUE(delta->deletes().empty());
+  EXPECT_TRUE(delta->inserts().empty());
+}
+
+TEST(BuldTest, SiblingPermutationYieldsMinimalMoves) {
+  // Permuting one child out of five: exactly one move (Figure 3).
+  Result<Delta> delta = XyDiffText(
+      "<r><a>a1</a><b>b1</b><c>c1</c><d>d1</d><e>e1</e></r>",
+      "<r><b>b1</b><c>c1</c><d>d1</d><e>e1</e><a>a1</a></r>");
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(delta->moves().size(), 1u);
+  EXPECT_TRUE(delta->deletes().empty());
+  EXPECT_TRUE(delta->inserts().empty());
+}
+
+TEST(BuldTest, MoveDisabledFallsBackToDeleteInsert) {
+  DiffOptions options;
+  options.detect_moves = false;
+  XmlDocument a = MustParse(
+      "<r><x><p>payload payload</p></x><y/></r>");
+  a.AssignInitialXids();
+  XmlDocument b = MustParse(
+      "<r><x/><y><p>payload payload</p></y></r>");
+  Result<Delta> delta = XyDiff(&a, &b, options);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_TRUE(delta->moves().empty());
+  EXPECT_FALSE(delta->deletes().empty());
+  EXPECT_FALSE(delta->inserts().empty());
+  // Still correct.
+  XmlDocument patched = a.Clone();
+  XY_ASSERT_OK(ApplyDelta(*delta, &patched));
+  EXPECT_TRUE(DocsEqualWithXids(patched, b));
+}
+
+TEST(BuldTest, AttributeChanges) {
+  Result<Delta> delta = XyDiffText(
+      R"(<r><p a="1" b="2" c="3">t</p></r>)",
+      R"(<r><p a="1" b="20" d="4">t</p></r>)");
+  ASSERT_TRUE(delta.ok());
+  ASSERT_EQ(delta->attribute_ops().size(), 3u);
+  int inserts = 0;
+  int deletes = 0;
+  int updates = 0;
+  for (const AttributeOp& op : delta->attribute_ops()) {
+    switch (op.kind) {
+      case AttributeOpKind::kInsert:
+        ++inserts;
+        EXPECT_EQ(op.name, "d");
+        break;
+      case AttributeOpKind::kDelete:
+        ++deletes;
+        EXPECT_EQ(op.name, "c");
+        break;
+      case AttributeOpKind::kUpdate:
+        ++updates;
+        EXPECT_EQ(op.name, "b");
+        EXPECT_EQ(op.old_value, "2");
+        EXPECT_EQ(op.new_value, "20");
+        break;
+    }
+  }
+  EXPECT_EQ(inserts, 1);
+  EXPECT_EQ(deletes, 1);
+  EXPECT_EQ(updates, 1);
+}
+
+TEST(BuldTest, XidAssignmentInheritsAndAllocates) {
+  XmlDocument a = MustParse("<r><keep>data</keep></r>");
+  a.AssignInitialXids();  // text=1 keep=2 r=3, next=4.
+  XmlDocument b = MustParse("<r><keep>data</keep><fresh/></r>");
+  Result<Delta> delta = XyDiff(&a, &b);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(b.root()->xid(), 3u);
+  EXPECT_EQ(b.root()->child(0)->xid(), 2u);
+  EXPECT_EQ(b.root()->child(0)->child(0)->xid(), 1u);
+  EXPECT_EQ(b.root()->child(1)->xid(), 4u);  // Fresh.
+  EXPECT_EQ(b.next_xid(), 5u);
+  EXPECT_EQ(delta->old_next_xid(), 4u);
+  EXPECT_EQ(delta->new_next_xid(), 5u);
+}
+
+TEST(BuldTest, PartiallyAssignedXidsRejected) {
+  XmlDocument a = MustParse("<r><x/></r>");
+  a.root()->set_xid(5);  // Root only.
+  XmlDocument b = MustParse("<r/>");
+  Result<Delta> delta = XyDiff(&a, &b);
+  ASSERT_FALSE(delta.ok());
+  EXPECT_EQ(delta.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BuldTest, EmptyDocumentsRejected) {
+  XmlDocument a;
+  XmlDocument b = MustParse("<r/>");
+  EXPECT_FALSE(XyDiff(&a, &b).ok());
+  EXPECT_FALSE(XyDiff(&b, &a).ok());
+}
+
+TEST(BuldTest, StatsArePopulated) {
+  XmlDocument a = MustParse("<r><x>one</x><y>two</y></r>");
+  a.AssignInitialXids();
+  XmlDocument b = MustParse("<r><x>one</x><y>three</y></r>");
+  DiffStats stats;
+  Result<Delta> delta = XyDiff(&a, &b, DiffOptions{}, &stats);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(stats.nodes_old, 5u);
+  EXPECT_EQ(stats.nodes_new, 5u);
+  EXPECT_GE(stats.matched_nodes, 4u);
+  EXPECT_GE(stats.total_seconds(), 0.0);
+  // Instrumentation: every new-document node passes through the queue at
+  // most once plus re-pushes; at least the root was popped.
+  EXPECT_GE(stats.queue_pops, 1u);
+  EXPECT_GE(stats.subtree_matches, 1u);  // "one" subtree is identical.
+}
+
+TEST(BuldTest, InstrumentationAccountsForMatchSources) {
+  // A document where phase 3 matches the identical heavy subtree,
+  // ancestors climb, and phase 4 finishes the changed text.
+  XmlDocument a = MustParse(
+      "<r><sec><big>identical heavy payload text</big><small>x</small>"
+      "</sec></r>");
+  a.AssignInitialXids();
+  XmlDocument b = MustParse(
+      "<r><sec><big>identical heavy payload text</big><small>y</small>"
+      "</sec></r>");
+  DiffStats stats;
+  Result<Delta> delta = XyDiff(&a, &b, DiffOptions{}, &stats);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_GE(stats.subtree_matches, 1u);
+  EXPECT_GE(stats.ancestor_matches, 1u);     // sec/r climbed.
+  EXPECT_GE(stats.propagation_matches, 1u);  // small + its text.
+  EXPECT_EQ(stats.matched_nodes, stats.nodes_new - 0u);  // All matched.
+}
+
+TEST(BuldTest, IdAttributesDriveMatching) {
+  const std::string dtd =
+      "<!DOCTYPE cat [<!ATTLIST product ref ID #REQUIRED>]>";
+  // Two products with identical content but different IDs swap places
+  // AND their contents swap: ID matching must pair by ref, making the
+  // texts appear updated rather than the products moved.
+  XmlDocument a = MustParse(
+      dtd +
+      "<cat><product ref=\"p1\"><v>alpha</v></product>"
+      "<product ref=\"p2\"><v>beta</v></product></cat>");
+  a.AssignInitialXids();
+  XmlDocument b = MustParse(
+      dtd +
+      "<cat><product ref=\"p1\"><v>beta</v></product>"
+      "<product ref=\"p2\"><v>alpha</v></product></cat>");
+  Result<Delta> with_ids = XyDiff(&a, &b);
+  ASSERT_TRUE(with_ids.ok());
+  // With ID matching, products stay in place; their texts swap -> either
+  // two updates or text moves, but NO product-level move.
+  for (const MoveOp& move : with_ids->moves()) {
+    XmlDocument check = a.Clone();
+    auto index = check.BuildXidIndex();
+    ASSERT_TRUE(index.count(move.xid));
+    EXPECT_TRUE(index[move.xid]->is_text())
+        << "an element moved despite ID pinning";
+  }
+}
+
+TEST(BuldTest, TextOnlyDocuments) {
+  Result<Delta> delta = XyDiffText("<t>only text</t>", "<t>other text</t>");
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(delta->updates().size(), 1u);
+}
+
+}  // namespace
+}  // namespace xydiff

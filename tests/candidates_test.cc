@@ -1,0 +1,88 @@
+#include "core/candidates.h"
+
+#include "core/signature.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xydiff {
+namespace {
+
+struct Fixture {
+  XmlDocument doc;
+  LabelTable labels;
+  DiffTree tree;
+
+  explicit Fixture(std::string_view xml) {
+    doc = MustParse(xml);
+    tree = DiffTree::Build(&doc, &labels);
+    DiffOptions options;
+    ComputeSignaturesAndWeights(&tree, options);
+  }
+};
+
+TEST(CandidateIndexTest, FindBySignature) {
+  // Three identical <p>x</p> subtrees: nodes 1,3,5 (texts 2,4,6).
+  Fixture f("<r><p>x</p><p>x</p><p>x</p></r>");
+  CandidateIndex index(&f.tree);
+  const std::vector<NodeIndex>* hits = index.Find(f.tree.signature(1));
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(*hits, (std::vector<NodeIndex>{1, 3, 5}));
+  EXPECT_EQ(index.Find(0xDEADBEEF), nullptr);
+}
+
+TEST(CandidateIndexTest, FindUnmatchedWithParent) {
+  Fixture f("<r><a><p>x</p></a><b><p>x</p></b></r>");
+  // Nodes: r=0 a=1 p=2 x=3 b=4 p=5 x=6.
+  CandidateIndex index(&f.tree);
+  const Signature sig = f.tree.signature(2);
+  EXPECT_EQ(index.FindUnmatchedWithParent(sig, 1), 2);
+  EXPECT_EQ(index.FindUnmatchedWithParent(sig, 4), 5);
+  EXPECT_EQ(index.FindUnmatchedWithParent(sig, 0), kInvalidNode);
+}
+
+TEST(CandidateIndexTest, SkipsMatchedCandidates) {
+  Fixture f("<r><p>x</p><p>x</p></r>");
+  CandidateIndex index(&f.tree);
+  const Signature sig = f.tree.signature(1);
+  EXPECT_EQ(index.FindUnmatchedWithParent(sig, 0), 1);
+  f.tree.set_match(1, 99);
+  EXPECT_EQ(index.FindUnmatchedWithParent(sig, 0), 3);
+  f.tree.set_match(3, 98);
+  EXPECT_EQ(index.FindUnmatchedWithParent(sig, 0), kInvalidNode);
+}
+
+TEST(CandidateIndexTest, SkipsIdLockedCandidates) {
+  Fixture f("<r><p>x</p></r>");
+  CandidateIndex index(&f.tree);
+  const Signature sig = f.tree.signature(1);
+  f.tree.set_id_locked(1);
+  EXPECT_EQ(index.FindUnmatchedWithParent(sig, 0), kInvalidNode);
+}
+
+TEST(CandidateIndexTest, PrefersSamePosition) {
+  // Identical siblings at positions 0,1,2; a reference node at position
+  // 2 should get the position-2 candidate (§5.1: position plays a role).
+  Fixture f("<r><p>x</p><p>x</p><p>x</p></r>");
+  CandidateIndex index(&f.tree);
+  const Signature sig = f.tree.signature(1);
+  EXPECT_EQ(index.FindUnmatchedWithParent(sig, 0, 2), 5);
+  EXPECT_EQ(index.FindUnmatchedWithParent(sig, 0, 1), 3);
+  // Preferred position occupied -> fall back to first free.
+  f.tree.set_match(5, 99);
+  EXPECT_EQ(index.FindUnmatchedWithParent(sig, 0, 2), 1);
+  // No preference -> first free.
+  EXPECT_EQ(index.FindUnmatchedWithParent(sig, 0), 1);
+}
+
+TEST(CandidateIndexTest, RootHasNoParentEntry) {
+  Fixture f("<r><p>x</p></r>");
+  CandidateIndex index(&f.tree);
+  // The root's signature exists in the primary index...
+  ASSERT_NE(index.Find(f.tree.signature(0)), nullptr);
+  // ...but no by-parent entry can reach it.
+  EXPECT_EQ(index.FindUnmatchedWithParent(f.tree.signature(0), 0),
+            kInvalidNode);
+}
+
+}  // namespace
+}  // namespace xydiff

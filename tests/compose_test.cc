@@ -1,0 +1,237 @@
+#include "delta/compose.h"
+
+#include "core/buld.h"
+#include "delta/apply.h"
+#include "delta/invert.h"
+#include "gtest/gtest.h"
+#include "simulator/change_simulator.h"
+#include "simulator/doc_generator.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace xydiff {
+namespace {
+
+TEST(XidCorrespondenceTest, DetectsUpdateAndInsert) {
+  XmlDocument a = MustParse("<r><x>one</x></r>");
+  a.AssignInitialXids();  // text=1 x=2 r=3.
+  XmlDocument b = a.Clone();
+  b.root()->child(0)->child(0)->set_text("changed");
+  auto fresh = XmlNode::Element("y");
+  fresh->set_xid(b.AllocateXid());
+  b.root()->AppendChild(std::move(fresh));
+
+  Result<Delta> delta = DeltaFromXidCorrespondence(&a, &b);
+  ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+  EXPECT_EQ(delta->updates().size(), 1u);
+  EXPECT_EQ(delta->inserts().size(), 1u);
+  EXPECT_TRUE(delta->deletes().empty());
+
+  XmlDocument patched = a.Clone();
+  XY_ASSERT_OK(ApplyDelta(*delta, &patched));
+  EXPECT_TRUE(DocsEqualWithXids(patched, b));
+}
+
+TEST(XidCorrespondenceTest, RelabelledNodeBecomesDeleteInsert) {
+  XmlDocument a = MustParse("<r><x/></r>");
+  a.AssignInitialXids();
+  XmlDocument b = MustParse("<r><y/></r>");
+  // Same xid, different label.
+  b.root()->set_xid(a.root()->xid());
+  b.root()->child(0)->set_xid(a.root()->child(0)->xid());
+  b.set_next_xid(a.next_xid());
+  Result<Delta> delta = DeltaFromXidCorrespondence(&a, &b);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(delta->deletes().size(), 1u);
+  EXPECT_EQ(delta->inserts().size(), 1u);
+}
+
+TEST(XidCorrespondenceTest, RequiresFullXids) {
+  XmlDocument a = MustParse("<r/>");
+  XmlDocument b = MustParse("<r/>");
+  EXPECT_EQ(DeltaFromXidCorrespondence(&a, &b).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(XidCorrespondenceTest, DuplicateXidsRejected) {
+  XmlDocument a = MustParse("<r><x/></r>");
+  a.root()->set_xid(1);
+  a.root()->child(0)->set_xid(1);
+  XmlDocument b = MustParse("<r/>");
+  b.root()->set_xid(1);
+  EXPECT_EQ(DeltaFromXidCorrespondence(&a, &b).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ComposeTest, ComposedDeltaEqualsSequentialApplication) {
+  Rng rng(1234);
+  DocGenOptions gen;
+  gen.target_bytes = 4096;
+  XmlDocument v1 = GenerateDocument(&rng, gen);
+  v1.AssignInitialXids();
+
+  ChangeSimOptions sim;
+  Result<SimulatedChange> c1 = SimulateChanges(v1, sim, &rng);
+  ASSERT_TRUE(c1.ok());
+  XmlDocument v2 = std::move(c1->new_version);
+  Result<SimulatedChange> c2 = SimulateChanges(v2, sim, &rng);
+  ASSERT_TRUE(c2.ok());
+  const XmlDocument& v3 = c2->new_version;
+
+  const Delta& d1 = c1->perfect_delta;
+  const Delta& d2 = c2->perfect_delta;
+
+  Result<Delta> composed = ComposeDeltas(v1, d1, d2);
+  ASSERT_TRUE(composed.ok()) << composed.status().ToString();
+
+  XmlDocument direct = v1.Clone();
+  XY_ASSERT_OK(ApplyDelta(*composed, &direct));
+  EXPECT_TRUE(DocsEqualWithXids(direct, v3));
+
+  EXPECT_EQ(composed->old_next_xid(), d1.old_next_xid());
+  EXPECT_EQ(composed->new_next_xid(), d2.new_next_xid());
+}
+
+TEST(ComposeTest, ComposeWithInverseIsEmpty) {
+  XmlDocument a = MustParse(
+      "<r><x>one</x><y>two</y><z><w>three</w></z></r>");
+  a.AssignInitialXids();
+  XmlDocument b = MustParse(
+      "<r><y>two!</y><z/><new>四</new><x>one</x></r>");
+  Result<Delta> delta = XyDiff(&a, &b);
+  ASSERT_TRUE(delta.ok());
+
+  Result<Delta> composed = ComposeDeltas(a, *delta, InvertDelta(*delta));
+  ASSERT_TRUE(composed.ok());
+  EXPECT_TRUE(composed->empty())
+      << "compose(d, d^-1) produced " << composed->operation_count()
+      << " operations";
+}
+
+TEST(ComposeTest, InsertThenDeleteCancels) {
+  // d1 inserts a node, d2 deletes it again: the composition must not
+  // mention it at all.
+  XmlDocument v1 = MustParse("<r><a>base</a></r>");
+  v1.AssignInitialXids();
+
+  XmlDocument v2_doc = MustParse("<r><a>base</a><tmp>gone soon</tmp></r>");
+  XmlDocument v1_copy = v1.Clone();
+  Result<Delta> d1 = XyDiff(&v1_copy, &v2_doc);
+  ASSERT_TRUE(d1.ok());
+  EXPECT_EQ(d1->inserts().size(), 1u);
+
+  XmlDocument v3_doc = MustParse("<r><a>base</a></r>");
+  Result<Delta> d2 = XyDiff(&v2_doc, &v3_doc);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d2->deletes().size(), 1u);
+
+  Result<Delta> composed = ComposeDeltas(v1, *d1, *d2);
+  ASSERT_TRUE(composed.ok());
+  EXPECT_TRUE(composed->empty());
+}
+
+TEST(ComposeTest, MoveChainsComposeToOneMove) {
+  // d1 moves <x> from <a> to <b>; d2 moves it on to <c>. The composition
+  // must contain exactly one move, a -> c.
+  XmlDocument v1 = MustParse(
+      "<r><a><x>payload</x></a><b/><c/></r>");
+  v1.AssignInitialXids();
+  XmlDocument v2 = MustParse("<r><a/><b><x>payload</x></b><c/></r>");
+  XmlDocument v1c = v1.Clone();
+  Result<Delta> d1 = XyDiff(&v1c, &v2);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_EQ(d1->moves().size(), 1u);
+
+  XmlDocument v3 = MustParse("<r><a/><b/><c><x>payload</x></c></r>");
+  Result<Delta> d2 = XyDiff(&v2, &v3);
+  ASSERT_TRUE(d2.ok());
+  ASSERT_EQ(d2->moves().size(), 1u);
+
+  Result<Delta> composed = ComposeDeltas(v1, *d1, *d2);
+  ASSERT_TRUE(composed.ok());
+  ASSERT_EQ(composed->moves().size(), 1u);
+  EXPECT_EQ(composed->operation_count(), 1u);
+  // And it lands in <c>.
+  XmlDocument replay = v1.Clone();
+  XY_ASSERT_OK(ApplyDelta(*composed, &replay));
+  EXPECT_TRUE(DocsEqualWithXids(replay, v3));
+}
+
+TEST(ComposeTest, UpdateThenDeleteIsJustDelete) {
+  XmlDocument v1 = MustParse("<r><t>doomed</t><keep>k</keep></r>");
+  v1.AssignInitialXids();
+  XmlDocument v2 = MustParse("<r><t>edited</t><keep>k</keep></r>");
+  XmlDocument v1c = v1.Clone();
+  Result<Delta> d1 = XyDiff(&v1c, &v2);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_EQ(d1->updates().size(), 1u);
+  XmlDocument v3 = MustParse("<r><keep>k</keep></r>");
+  Result<Delta> d2 = XyDiff(&v2, &v3);
+  ASSERT_TRUE(d2.ok());
+
+  Result<Delta> composed = ComposeDeltas(v1, *d1, *d2);
+  ASSERT_TRUE(composed.ok());
+  EXPECT_TRUE(composed->updates().empty());
+  ASSERT_EQ(composed->deletes().size(), 1u);
+  // The composed delete snapshot shows the ORIGINAL (v1) content, so the
+  // inverse restores v1 exactly.
+  EXPECT_EQ(composed->deletes()[0].subtree->child(0)->text(), "doomed");
+}
+
+TEST(ComposeTest, ChainAssociativity) {
+  // compose(compose(d1,d2),d3) == compose(d1,compose(d2,d3)) as judged
+  // by application results, over a random chain.
+  Rng rng(777);
+  DocGenOptions gen;
+  gen.target_bytes = 2048;
+  XmlDocument v1 = GenerateDocument(&rng, gen);
+  v1.AssignInitialXids();
+  ChangeSimOptions sim;
+  Result<SimulatedChange> c1 = SimulateChanges(v1, sim, &rng);
+  ASSERT_TRUE(c1.ok());
+  Result<SimulatedChange> c2 = SimulateChanges(c1->new_version, sim, &rng);
+  ASSERT_TRUE(c2.ok());
+  Result<SimulatedChange> c3 = SimulateChanges(c2->new_version, sim, &rng);
+  ASSERT_TRUE(c3.ok());
+
+  Result<Delta> d12 =
+      ComposeDeltas(v1, c1->perfect_delta, c2->perfect_delta);
+  ASSERT_TRUE(d12.ok());
+  Result<Delta> left = ComposeDeltas(v1, *d12, c3->perfect_delta);
+  ASSERT_TRUE(left.ok());
+
+  Result<Delta> d23 = ComposeDeltas(c1->new_version, c2->perfect_delta,
+                                    c3->perfect_delta);
+  ASSERT_TRUE(d23.ok());
+  Result<Delta> right = ComposeDeltas(v1, c1->perfect_delta, *d23);
+  ASSERT_TRUE(right.ok());
+
+  XmlDocument via_left = v1.Clone();
+  XY_ASSERT_OK(ApplyDelta(*left, &via_left));
+  XmlDocument via_right = v1.Clone();
+  XY_ASSERT_OK(ApplyDelta(*right, &via_right));
+  EXPECT_TRUE(DocsEqualWithXids(via_left, via_right));
+  EXPECT_TRUE(DocsEqualWithXids(via_left, c3->new_version));
+}
+
+TEST(ComposeTest, UpdateChainsMerge) {
+  XmlDocument v1 = MustParse("<r><t>first</t></r>");
+  v1.AssignInitialXids();
+  XmlDocument v2 = MustParse("<r><t>second</t></r>");
+  XmlDocument v1c = v1.Clone();
+  Result<Delta> d1 = XyDiff(&v1c, &v2);
+  ASSERT_TRUE(d1.ok());
+  XmlDocument v3 = MustParse("<r><t>third</t></r>");
+  Result<Delta> d2 = XyDiff(&v2, &v3);
+  ASSERT_TRUE(d2.ok());
+
+  Result<Delta> composed = ComposeDeltas(v1, *d1, *d2);
+  ASSERT_TRUE(composed.ok());
+  ASSERT_EQ(composed->updates().size(), 1u);
+  EXPECT_EQ(composed->updates()[0].old_value, "first");
+  EXPECT_EQ(composed->updates()[0].new_value, "third");
+  EXPECT_EQ(composed->operation_count(), 1u);
+}
+
+}  // namespace
+}  // namespace xydiff

@@ -1,0 +1,134 @@
+// Reproduces the worked example of §4 of the paper: the Digital Cameras
+// catalog whose new version deletes product tx123, inserts product abc,
+// moves product zy456 from NewProducts to Discount, and updates its price
+// from $799 to $699 (Figure 2 and the delta listing of §4).
+
+#include "core/buld.h"
+#include "delta/apply.h"
+#include "delta/delta_xml.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xydiff {
+namespace {
+
+constexpr std::string_view kOldVersion = R"(<Category>
+  <Title>Digital Cameras</Title>
+  <Discount>
+    <Product><Name>tx123</Name><Price>$499</Price></Product>
+  </Discount>
+  <NewProducts>
+    <Product><Name>zy456</Name><Price>$799</Price></Product>
+  </NewProducts>
+</Category>)";
+
+constexpr std::string_view kNewVersion = R"(<Category>
+  <Title>Digital Cameras</Title>
+  <Discount>
+    <Product><Name>zy456</Name><Price>$699</Price></Product>
+  </Discount>
+  <NewProducts>
+    <Product><Name>abc</Name><Price>$899</Price></Product>
+  </NewProducts>
+</Category>)";
+
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    old_doc_ = MustParse(kOldVersion);
+    old_doc_.AssignInitialXids();
+    new_doc_ = MustParse(kNewVersion);
+    Result<Delta> delta = XyDiff(&old_doc_, &new_doc_);
+    ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+    delta_ = std::move(delta.value());
+  }
+
+  XmlDocument old_doc_;
+  XmlDocument new_doc_;
+  Delta delta_;
+};
+
+TEST_F(PaperExampleTest, PostfixXidsMatchPaperNumbering) {
+  // The paper identifies nodes by postfix order: the old document has 15
+  // nodes, the root Category = 15, Discount's Product subtree = XIDs 3-7.
+  EXPECT_EQ(old_doc_.root()->xid(), 15u);
+  EXPECT_EQ(old_doc_.node_count(), 15u);
+  const XmlNode* discount_product = old_doc_.root()->child(1)->child(0);
+  EXPECT_EQ(discount_product->xid(), 7u);
+  const XmlNode* newproducts = old_doc_.root()->child(2);
+  EXPECT_EQ(newproducts->xid(), 14u);
+}
+
+TEST_F(PaperExampleTest, DeltaHasTheFourPaperOperations) {
+  // delete of tx123's Product, insert of abc's Product, move of zy456's
+  // Product, update of the price.
+  ASSERT_EQ(delta_.deletes().size(), 1u);
+  ASSERT_EQ(delta_.inserts().size(), 1u);
+  ASSERT_EQ(delta_.moves().size(), 1u);
+  ASSERT_EQ(delta_.updates().size(), 1u);
+  EXPECT_TRUE(delta_.attribute_ops().empty());
+}
+
+TEST_F(PaperExampleTest, DeleteMatchesPaperListing) {
+  // <delete XID=7 XID-map="(3-7)" parentXID=8 pos=1>.
+  const DeleteOp& del = delta_.deletes()[0];
+  EXPECT_EQ(del.xid, 7u);
+  EXPECT_EQ(del.parent_xid, 8u);
+  EXPECT_EQ(del.pos, 1u);
+  ASSERT_NE(del.subtree, nullptr);
+  EXPECT_EQ(del.subtree->label(), "Product");
+  EXPECT_EQ(del.subtree->child(0)->child(0)->text(), "tx123");
+}
+
+TEST_F(PaperExampleTest, InsertMatchesPaperListing) {
+  // <insert XID=20 XID-map="(16-20)" parentXID=14 pos=1>.
+  const InsertOp& ins = delta_.inserts()[0];
+  EXPECT_EQ(ins.xid, 20u);
+  EXPECT_EQ(ins.parent_xid, 14u);
+  EXPECT_EQ(ins.pos, 1u);
+  EXPECT_EQ(ins.subtree->child(0)->child(0)->text(), "abc");
+}
+
+TEST_F(PaperExampleTest, MoveMatchesPaperListing) {
+  // <move XID=13 fromParent=14 fromPos=1 toParent=8 toPos=1/>.
+  const MoveOp& move = delta_.moves()[0];
+  EXPECT_EQ(move.xid, 13u);
+  EXPECT_EQ(move.from_parent, 14u);
+  EXPECT_EQ(move.from_pos, 1u);
+  EXPECT_EQ(move.to_parent, 8u);
+  EXPECT_EQ(move.to_pos, 1u);
+}
+
+TEST_F(PaperExampleTest, UpdateMatchesPaperListing) {
+  // <update XID=11><oldval>$799</oldval><newval>$699</newval></update>.
+  const UpdateOp& update = delta_.updates()[0];
+  EXPECT_EQ(update.xid, 11u);  // The "$799" text node, as in the paper.
+  EXPECT_EQ(update.old_value, "$799");
+  EXPECT_EQ(update.new_value, "$699");
+}
+
+TEST_F(PaperExampleTest, SerializedDeltaCarriesPaperXidMaps) {
+  const std::string xml = SerializeDelta(delta_);
+  EXPECT_NE(xml.find("xidMap=\"(3-7)\""), std::string::npos) << xml;
+  EXPECT_NE(xml.find("xidMap=\"(16-20)\""), std::string::npos) << xml;
+}
+
+TEST_F(PaperExampleTest, DeltaTransformsOldIntoNew) {
+  XmlDocument patched = MustParse(kOldVersion);
+  patched.AssignInitialXids();
+  XY_ASSERT_OK(ApplyDelta(delta_, &patched));
+  EXPECT_TRUE(DocsEqualWithXids(patched, new_doc_));
+}
+
+TEST_F(PaperExampleTest, MatchedSubtreesKeepIdentity) {
+  // Figure 2's matchings: Title subtree, zy456's Product, the prices.
+  // zy456's Product kept XID 13 in the new version.
+  const XmlNode* moved = new_doc_.root()->child(1)->child(0);
+  EXPECT_EQ(moved->xid(), 13u);
+  EXPECT_EQ(moved->child(0)->child(0)->text(), "zy456");
+  // Title kept its XID (2).
+  EXPECT_EQ(new_doc_.root()->child(0)->xid(), 2u);
+}
+
+}  // namespace
+}  // namespace xydiff

@@ -1,0 +1,81 @@
+#include "delta/delta.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xydiff {
+namespace {
+
+std::unique_ptr<XmlNode> SmallSubtree() {
+  auto node = XmlNode::Element("p");
+  node->set_xid(2);
+  auto text = XmlNode::Text("x");
+  text->set_xid(1);
+  node->AppendChild(std::move(text));
+  return node;
+}
+
+TEST(DeltaTest, EmptyByDefault) {
+  Delta delta;
+  EXPECT_TRUE(delta.empty());
+  EXPECT_EQ(delta.operation_count(), 0u);
+  EXPECT_EQ(delta.snapshot_node_count(), 0u);
+  EXPECT_EQ(delta.edit_cost(), 0u);
+}
+
+TEST(DeltaTest, OperationCountSumsAllKinds) {
+  Delta delta;
+  delta.deletes().emplace_back(2, 5, 1, SmallSubtree());
+  delta.inserts().emplace_back(7, 5, 2, SmallSubtree());
+  delta.moves().push_back(MoveOp{3, 5, 1, 6, 2});
+  delta.updates().push_back(UpdateOp{4, "a", "b"});
+  delta.attribute_ops().push_back(
+      {AttributeOpKind::kUpdate, 5, "k", "1", "2"});
+  EXPECT_EQ(delta.operation_count(), 5u);
+  EXPECT_FALSE(delta.empty());
+  EXPECT_EQ(delta.snapshot_node_count(), 4u);
+  EXPECT_EQ(delta.edit_cost(), 4u + 3u);
+}
+
+TEST(DeltaTest, CloneIsDeep) {
+  Delta delta;
+  delta.deletes().emplace_back(2, 5, 1, SmallSubtree());
+  delta.updates().push_back(UpdateOp{4, "a", "b"});
+  delta.set_old_next_xid(10);
+  delta.set_new_next_xid(20);
+
+  Delta copy = delta.Clone();
+  EXPECT_EQ(copy.operation_count(), 2u);
+  EXPECT_EQ(copy.old_next_xid(), 10u);
+  EXPECT_EQ(copy.new_next_xid(), 20u);
+  ASSERT_NE(copy.deletes()[0].subtree, nullptr);
+  EXPECT_NE(copy.deletes()[0].subtree.get(), delta.deletes()[0].subtree.get());
+  EXPECT_TRUE(
+      copy.deletes()[0].subtree->DeepEquals(*delta.deletes()[0].subtree));
+  // Mutating the copy leaves the original intact.
+  copy.deletes()[0].subtree->SetAttribute("mut", "1");
+  EXPECT_EQ(delta.deletes()[0].subtree->FindAttribute("mut"), nullptr);
+}
+
+TEST(DeltaTest, OpCloneHelpers) {
+  DeleteOp del(2, 5, 1, SmallSubtree());
+  DeleteOp del2 = del.Clone();
+  EXPECT_EQ(del2.xid, del.xid);
+  EXPECT_TRUE(del2.subtree->DeepEquals(*del.subtree));
+
+  InsertOp ins(2, 5, 1, SmallSubtree());
+  InsertOp ins2 = ins.Clone();
+  EXPECT_EQ(ins2.parent_xid, 5u);
+  EXPECT_TRUE(ins2.subtree->DeepEquals(*ins.subtree));
+}
+
+TEST(DeltaTest, MoveOpEquality) {
+  MoveOp a{1, 2, 3, 4, 5};
+  MoveOp b{1, 2, 3, 4, 5};
+  MoveOp c{1, 2, 3, 4, 6};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace xydiff

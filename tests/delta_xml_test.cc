@@ -1,0 +1,182 @@
+#include "delta/delta_xml.h"
+
+#include "core/buld.h"
+#include "delta/apply.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "xml/path.h"
+
+namespace xydiff {
+namespace {
+
+Delta SampleDelta() {
+  XmlDocument a = MustParse(
+      "<shop><item k=\"1\">apple</item><item>pear</item>"
+      "<box><item>plum</item></box></shop>");
+  a.AssignInitialXids();
+  XmlDocument b = MustParse(
+      "<shop><box><item>plum</item><item>apple!</item></box>"
+      "<item k=\"2\">apple</item></shop>");
+  Result<Delta> delta = XyDiff(&a, &b);
+  EXPECT_TRUE(delta.ok());
+  return std::move(delta.value());
+}
+
+TEST(DeltaXmlTest, RoundTripPreservesEverything) {
+  const Delta delta = SampleDelta();
+  const std::string xml = SerializeDelta(delta);
+  Result<Delta> reparsed = ParseDelta(xml);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << xml;
+
+  EXPECT_EQ(reparsed->deletes().size(), delta.deletes().size());
+  EXPECT_EQ(reparsed->inserts().size(), delta.inserts().size());
+  EXPECT_EQ(reparsed->moves().size(), delta.moves().size());
+  EXPECT_EQ(reparsed->updates().size(), delta.updates().size());
+  EXPECT_EQ(reparsed->attribute_ops().size(), delta.attribute_ops().size());
+  EXPECT_EQ(reparsed->old_next_xid(), delta.old_next_xid());
+  EXPECT_EQ(reparsed->new_next_xid(), delta.new_next_xid());
+  // Serialization is a fixpoint.
+  EXPECT_EQ(SerializeDelta(*reparsed), xml);
+}
+
+TEST(DeltaXmlTest, DeltaIsItselfParsableXml) {
+  // §2: deltas are XML documents and can be queried like any other.
+  const Delta delta = SampleDelta();
+  XmlDocument doc = MustParse(SerializeDelta(delta));
+  EXPECT_EQ(doc.root()->label(), "xy:delta");
+}
+
+TEST(DeltaXmlTest, DeltasAreQueryableWithPaths) {
+  // §2's claim made concrete: query the delta document with the
+  // library's own path engine — e.g. "which moves happened?" or "which
+  // Products were inserted?".
+  const Delta delta = SampleDelta();
+  XmlDocument doc = MustParse(SerializeDelta(delta));
+
+  Result<XmlPath> moves = XmlPath::Parse("/xy:delta/xy:move");
+  ASSERT_TRUE(moves.ok());
+  EXPECT_EQ(moves->FindAll(*doc.root()).size(), delta.moves().size());
+
+  Result<XmlPath> inserted_items = XmlPath::Parse("//xy:insert//item");
+  ASSERT_TRUE(inserted_items.ok());
+  size_t items_in_inserts = 0;
+  for (const InsertOp& op : delta.inserts()) {
+    op.subtree->Visit([&](const XmlNode* n) {
+      if (n->is_element() && n->label() == "item") ++items_in_inserts;
+    });
+  }
+  EXPECT_EQ(inserted_items->FindAll(*doc.root()).size(), items_in_inserts);
+}
+
+TEST(DeltaXmlTest, XidMapAttributeOnSnapshots) {
+  XmlDocument a = MustParse("<r><gone><x>1</x><y>2</y></gone></r>");
+  a.AssignInitialXids();
+  XmlDocument b = MustParse("<r/>");
+  Result<Delta> delta = XyDiff(&a, &b);
+  ASSERT_TRUE(delta.ok());
+  const std::string xml = SerializeDelta(*delta);
+  // Subtree postfix XIDs: x-text=1 x=2 y-text=3 y=4 gone=5 -> "(1-5)".
+  EXPECT_NE(xml.find("xidMap=\"(1-5)\""), std::string::npos) << xml;
+}
+
+TEST(DeltaXmlTest, UpdateValuesWithSpecialCharacters) {
+  Delta delta;
+  delta.updates().push_back(UpdateOp{3, "a<b>&c", "\"quoted\" & 'apos'"});
+  delta.set_old_next_xid(5);
+  delta.set_new_next_xid(5);
+  Result<Delta> reparsed = ParseDelta(SerializeDelta(delta));
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->updates().size(), 1u);
+  EXPECT_EQ(reparsed->updates()[0].old_value, "a<b>&c");
+  EXPECT_EQ(reparsed->updates()[0].new_value, "\"quoted\" & 'apos'");
+}
+
+TEST(DeltaXmlTest, EmptyUpdateValues) {
+  Delta delta;
+  delta.updates().push_back(UpdateOp{3, "", "now set"});
+  delta.set_old_next_xid(5);
+  delta.set_new_next_xid(5);
+  Result<Delta> reparsed = ParseDelta(SerializeDelta(delta));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->updates()[0].old_value, "");
+  EXPECT_EQ(reparsed->updates()[0].new_value, "now set");
+}
+
+TEST(DeltaXmlTest, TextNodeSnapshot) {
+  // A deleted bare text node round-trips as an op with a text child.
+  Delta delta;
+  auto text = XmlNode::Text("  spaced  ");
+  text->set_xid(7);
+  delta.deletes().emplace_back(7, 9, 2, std::move(text));
+  delta.set_old_next_xid(10);
+  delta.set_new_next_xid(10);
+  Result<Delta> reparsed = ParseDelta(SerializeDelta(delta));
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->deletes().size(), 1u);
+  ASSERT_TRUE(reparsed->deletes()[0].subtree->is_text());
+  EXPECT_EQ(reparsed->deletes()[0].subtree->text(), "  spaced  ");
+  EXPECT_EQ(reparsed->deletes()[0].subtree->xid(), 7u);
+}
+
+TEST(DeltaXmlTest, AppliedAfterRoundTrip) {
+  XmlDocument a = MustParse(
+      "<shop><item k=\"1\">apple</item><item>pear</item>"
+      "<box><item>plum</item></box></shop>");
+  a.AssignInitialXids();
+  XmlDocument b = MustParse(
+      "<shop><box><item>plum</item><item>apple!</item></box>"
+      "<item k=\"2\">apple</item></shop>");
+  XmlDocument a2 = a.Clone();
+  Result<Delta> delta = XyDiff(&a2, &b);
+  ASSERT_TRUE(delta.ok());
+  Result<Delta> reparsed = ParseDelta(SerializeDelta(*delta));
+  ASSERT_TRUE(reparsed.ok());
+  XmlDocument patched = a.Clone();
+  XY_ASSERT_OK(ApplyDelta(*reparsed, &patched));
+  EXPECT_TRUE(DocsEqualWithXids(patched, b));
+}
+
+TEST(DeltaXmlTest, ParseErrors) {
+  EXPECT_FALSE(ParseDelta("<notadelta/>").ok());
+  EXPECT_FALSE(ParseDelta("not xml at all").ok());
+  // Missing oldNextXid.
+  EXPECT_FALSE(ParseDelta("<xy:delta newNextXid=\"1\"/>").ok());
+  // Unknown operation.
+  EXPECT_FALSE(ParseDelta("<xy:delta oldNextXid=\"1\" newNextXid=\"1\">"
+                          "<xy:frobnicate/></xy:delta>")
+                   .ok());
+  // Delete without snapshot.
+  EXPECT_FALSE(ParseDelta("<xy:delta oldNextXid=\"1\" newNextXid=\"1\">"
+                          "<xy:delete xid=\"1\" parentXid=\"0\" pos=\"1\"/>"
+                          "</xy:delta>")
+                   .ok());
+  // Move with a malformed number.
+  EXPECT_FALSE(ParseDelta("<xy:delta oldNextXid=\"1\" newNextXid=\"1\">"
+                          "<xy:move xid=\"x\" fromParent=\"1\" fromPos=\"1\""
+                          " toParent=\"1\" toPos=\"1\"/></xy:delta>")
+                   .ok());
+  // Update missing old/new wrappers.
+  EXPECT_FALSE(ParseDelta("<xy:delta oldNextXid=\"1\" newNextXid=\"1\">"
+                          "<xy:update xid=\"1\"/></xy:delta>")
+                   .ok());
+}
+
+TEST(DeltaXmlTest, PrettyFormParsesToo) {
+  const Delta delta = SampleDelta();
+  Result<Delta> reparsed = ParseDelta(SerializeDelta(delta, /*pretty=*/true));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->operation_count(), delta.operation_count());
+}
+
+TEST(DeltaXmlTest, EmptyDelta) {
+  Delta delta;
+  delta.set_old_next_xid(4);
+  delta.set_new_next_xid(4);
+  Result<Delta> reparsed = ParseDelta(SerializeDelta(delta));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(reparsed->empty());
+  EXPECT_EQ(reparsed->old_next_xid(), 4u);
+}
+
+}  // namespace
+}  // namespace xydiff

@@ -1,0 +1,112 @@
+#include "core/diff_tree.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xydiff {
+namespace {
+
+TEST(LabelTableTest, InternIsStable) {
+  LabelTable table;
+  const int32_t a = table.Intern("alpha");
+  const int32_t b = table.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.Intern("alpha"), a);
+  EXPECT_EQ(table.Name(a), "alpha");
+  EXPECT_EQ(table.Find("beta"), b);
+  EXPECT_EQ(table.Find("gamma"), -1);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(DiffTreeTest, StructureOfSimpleTree) {
+  // <a><b>t</b><c/></a> — preorder: a=0, b=1, t=2, c=3.
+  XmlDocument doc = MustParse("<a><b>t</b><c/></a>");
+  LabelTable labels;
+  DiffTree tree = DiffTree::Build(&doc, &labels);
+
+  ASSERT_EQ(tree.size(), 4);
+  EXPECT_EQ(tree.parent(0), kInvalidNode);
+  EXPECT_EQ(tree.parent(1), 0);
+  EXPECT_EQ(tree.parent(2), 1);
+  EXPECT_EQ(tree.parent(3), 0);
+
+  EXPECT_EQ(tree.child_count(0), 2);
+  EXPECT_EQ(tree.child(0, 0), 1);
+  EXPECT_EQ(tree.child(0, 1), 3);
+  EXPECT_EQ(tree.child_count(1), 1);
+  EXPECT_EQ(tree.child(1, 0), 2);
+  EXPECT_EQ(tree.child_count(2), 0);
+
+  EXPECT_EQ(tree.position_in_parent(1), 0);
+  EXPECT_EQ(tree.position_in_parent(3), 1);
+  EXPECT_EQ(tree.depth(0), 0);
+  EXPECT_EQ(tree.depth(2), 2);
+
+  EXPECT_TRUE(tree.is_element(0));
+  EXPECT_TRUE(tree.is_text(2));
+  EXPECT_EQ(tree.label(2), LabelTable::kTextLabel);
+  EXPECT_EQ(labels.Name(tree.label(1)), "b");
+
+  EXPECT_EQ(tree.dom(2)->text(), "t");
+}
+
+TEST(DiffTreeTest, PostorderVisitsChildrenFirst) {
+  XmlDocument doc = MustParse("<a><b><c/><d/></b><e/></a>");
+  LabelTable labels;
+  DiffTree tree = DiffTree::Build(&doc, &labels);
+  // Preorder: a=0 b=1 c=2 d=3 e=4. Postorder: c d b e a.
+  EXPECT_EQ(tree.postorder(),
+            (std::vector<NodeIndex>{2, 3, 1, 4, 0}));
+}
+
+TEST(DiffTreeTest, SharedLabelTableAcrossTrees) {
+  XmlDocument doc1 = MustParse("<a><b/></a>");
+  XmlDocument doc2 = MustParse("<b><a/></b>");
+  LabelTable labels;
+  DiffTree t1 = DiffTree::Build(&doc1, &labels);
+  DiffTree t2 = DiffTree::Build(&doc2, &labels);
+  EXPECT_EQ(t1.label(0), t2.label(1));  // "a"
+  EXPECT_EQ(t1.label(1), t2.label(0));  // "b"
+}
+
+TEST(DiffTreeTest, MatchStateDefaultsUnmatched) {
+  XmlDocument doc = MustParse("<a><b/></a>");
+  LabelTable labels;
+  DiffTree tree = DiffTree::Build(&doc, &labels);
+  for (NodeIndex i = 0; i < tree.size(); ++i) {
+    EXPECT_FALSE(tree.matched(i));
+    EXPECT_FALSE(tree.id_locked(i));
+  }
+  tree.set_match(1, 7);
+  EXPECT_TRUE(tree.matched(1));
+  EXPECT_EQ(tree.match(1), 7);
+  tree.set_id_locked(1);
+  EXPECT_TRUE(tree.id_locked(1));
+}
+
+TEST(DiffTreeTest, SingleNode) {
+  XmlDocument doc = MustParse("<only/>");
+  LabelTable labels;
+  DiffTree tree = DiffTree::Build(&doc, &labels);
+  EXPECT_EQ(tree.size(), 1);
+  EXPECT_EQ(tree.child_count(0), 0);
+  EXPECT_EQ(tree.postorder(), (std::vector<NodeIndex>{0}));
+}
+
+TEST(DiffTreeTest, WideTree) {
+  std::string xml = "<r>";
+  for (int i = 0; i < 100; ++i) xml += "<c/>";
+  xml += "</r>";
+  XmlDocument doc = MustParse(xml);
+  LabelTable labels;
+  DiffTree tree = DiffTree::Build(&doc, &labels);
+  ASSERT_EQ(tree.size(), 101);
+  EXPECT_EQ(tree.child_count(0), 100);
+  for (int32_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(tree.child(0, k), k + 1);
+    EXPECT_EQ(tree.position_in_parent(k + 1), k);
+  }
+}
+
+}  // namespace
+}  // namespace xydiff

@@ -1,0 +1,65 @@
+#include "util/fenwick.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace xydiff {
+namespace {
+
+TEST(FenwickMaxTest, EmptyPrefixReturnsIdentity) {
+  FenwickMax<int> tree(10, -1);
+  EXPECT_EQ(tree.MaxPrefix(0), -1);
+  EXPECT_EQ(tree.MaxPrefix(10), -1);
+}
+
+TEST(FenwickMaxTest, SingleUpdate) {
+  FenwickMax<int> tree(8, 0);
+  tree.Update(3, 5);
+  EXPECT_EQ(tree.MaxPrefix(3), 0);   // Exclusive of index 3.
+  EXPECT_EQ(tree.MaxPrefix(4), 5);
+  EXPECT_EQ(tree.MaxPrefix(8), 5);
+}
+
+TEST(FenwickMaxTest, UpdateOnlyRaises) {
+  FenwickMax<int> tree(4, 0);
+  tree.Update(1, 9);
+  tree.Update(1, 2);  // Lower value must not overwrite.
+  EXPECT_EQ(tree.MaxPrefix(2), 9);
+}
+
+TEST(FenwickMaxTest, MatchesBruteForceOnRandomOps) {
+  Rng rng(42);
+  constexpr size_t kSize = 64;
+  FenwickMax<int64_t> tree(kSize, INT64_MIN);
+  std::vector<int64_t> reference(kSize, INT64_MIN);
+  for (int step = 0; step < 2000; ++step) {
+    if (rng.NextBool(0.5)) {
+      const size_t index = rng.NextIndex(kSize);
+      const int64_t value = rng.NextInRange(-1000, 1000);
+      tree.Update(index, value);
+      reference[index] = std::max(reference[index], value);
+    } else {
+      const size_t count = rng.NextIndex(kSize + 1);
+      int64_t expected = INT64_MIN;
+      for (size_t i = 0; i < count; ++i) {
+        expected = std::max(expected, reference[i]);
+      }
+      ASSERT_EQ(tree.MaxPrefix(count), expected) << "at step " << step;
+    }
+  }
+}
+
+TEST(FenwickMaxTest, WorksWithPairs) {
+  using Entry = std::pair<double, int>;
+  FenwickMax<Entry> tree(5, Entry{-1.0, -1});
+  tree.Update(0, Entry{2.5, 7});
+  tree.Update(2, Entry{3.5, 9});
+  EXPECT_EQ(tree.MaxPrefix(1), (Entry{2.5, 7}));
+  EXPECT_EQ(tree.MaxPrefix(3), (Entry{3.5, 9}));
+}
+
+}  // namespace
+}  // namespace xydiff

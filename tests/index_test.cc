@@ -1,0 +1,112 @@
+#include "monitor/index.h"
+
+#include "core/buld.h"
+#include "gtest/gtest.h"
+#include "simulator/change_simulator.h"
+#include "simulator/doc_generator.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace xydiff {
+namespace {
+
+TEST(TokenizeTest, Basics) {
+  EXPECT_EQ(FullTextIndex::Tokenize("Hello, World!"),
+            (std::vector<std::string>{"hello", "world"}));
+  EXPECT_EQ(FullTextIndex::Tokenize("  a1-b2  "),
+            (std::vector<std::string>{"a1", "b2"}));
+  EXPECT_TRUE(FullTextIndex::Tokenize("...").empty());
+  EXPECT_TRUE(FullTextIndex::Tokenize("").empty());
+}
+
+TEST(FullTextIndexTest, BuildAndLookup) {
+  XmlDocument doc = MustParse(
+      "<cat><p>digital camera sale</p><p>film camera</p></cat>");
+  doc.AssignInitialXids();  // texts: 1 and 3.
+  FullTextIndex index = FullTextIndex::Build(doc);
+  EXPECT_EQ(index.Lookup("camera"), (std::vector<Xid>{1, 3}));
+  EXPECT_EQ(index.Lookup("digital"), (std::vector<Xid>{1}));
+  EXPECT_EQ(index.Lookup("CAMERA"), (std::vector<Xid>{1, 3}));
+  EXPECT_TRUE(index.Lookup("absent").empty());
+  EXPECT_EQ(index.word_count(), 4u);
+  EXPECT_EQ(index.posting_count(), 5u);
+}
+
+TEST(FullTextIndexTest, IncrementalMatchesRebuild) {
+  Rng rng(17);
+  DocGenOptions gen;
+  gen.target_bytes = 8192;
+  XmlDocument current = GenerateDocument(&rng, gen);
+  current.AssignInitialXids();
+  FullTextIndex incremental = FullTextIndex::Build(current);
+
+  for (int round = 0; round < 6; ++round) {
+    Result<SimulatedChange> change =
+        SimulateChanges(current, ChangeSimOptions{}, &rng);
+    ASSERT_TRUE(change.ok());
+    XmlDocument old_version = std::move(current);
+    XmlDocument new_version = std::move(change->new_version);
+    XmlDocument a = old_version.Clone();
+    XmlDocument b = new_version.Clone();
+    Result<Delta> delta = XyDiff(&a, &b);
+    ASSERT_TRUE(delta.ok());
+
+    XY_ASSERT_OK(incremental.Apply(*delta, old_version, b));
+    const FullTextIndex rebuilt = FullTextIndex::Build(b);
+    ASSERT_TRUE(incremental == rebuilt) << "diverged at round " << round;
+    current = std::move(b);
+  }
+}
+
+TEST(FullTextIndexTest, IncrementalWithCompressedUpdates) {
+  XmlDocument a = MustParse(
+      "<r><t>the quick brown fox jumps over the lazy dog</t></r>");
+  a.AssignInitialXids();
+  XmlDocument b = MustParse(
+      "<r><t>the quick brown cat jumps over the lazy dog</t></r>");
+  DiffOptions options;
+  options.compress_updates = true;
+  XmlDocument a2 = a.Clone();
+  Result<Delta> delta = XyDiff(&a2, &b, options);
+  ASSERT_TRUE(delta.ok());
+  ASSERT_EQ(delta->updates().size(), 1u);
+  ASSERT_TRUE(delta->updates()[0].is_compressed());
+
+  FullTextIndex index = FullTextIndex::Build(a);
+  XY_ASSERT_OK(index.Apply(*delta, a, b));
+  EXPECT_TRUE(index.Lookup("fox").empty());
+  EXPECT_FALSE(index.Lookup("cat").empty());
+  EXPECT_TRUE(index == FullTextIndex::Build(b));
+}
+
+TEST(FullTextIndexTest, MovesAreFree) {
+  // A moved subtree keeps its XIDs, so the index needs no change at all.
+  XmlDocument a = MustParse(
+      "<r><x><t>unique payload words</t></x><y/></r>");
+  a.AssignInitialXids();
+  XmlDocument b = MustParse(
+      "<r><x/><y><t>unique payload words</t></y></r>");
+  XmlDocument a2 = a.Clone();
+  Result<Delta> delta = XyDiff(&a2, &b);
+  ASSERT_TRUE(delta.ok());
+  ASSERT_FALSE(delta->moves().empty());
+  ASSERT_TRUE(delta->deletes().empty());
+
+  FullTextIndex index = FullTextIndex::Build(a);
+  const FullTextIndex before = index;
+  XY_ASSERT_OK(index.Apply(*delta, a, b));
+  EXPECT_TRUE(index == before);  // Nothing to do.
+  EXPECT_TRUE(index == FullTextIndex::Build(b));
+}
+
+TEST(FullTextIndexTest, ErrorOnBadDelta) {
+  XmlDocument doc = MustParse("<r><t>x</t></r>");
+  doc.AssignInitialXids();
+  FullTextIndex index = FullTextIndex::Build(doc);
+  Delta delta;
+  delta.updates().push_back(UpdateOp{99, "x", "y"});
+  EXPECT_EQ(index.Apply(delta, doc, doc).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace xydiff

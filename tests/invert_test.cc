@@ -1,0 +1,106 @@
+#include "delta/invert.h"
+
+#include "core/buld.h"
+#include "delta/apply.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xydiff {
+namespace {
+
+TEST(InvertTest, SwapsOperationKinds) {
+  Delta delta;
+  auto del_tree = XmlNode::Element("d");
+  del_tree->set_xid(1);
+  delta.deletes().emplace_back(1, 10, 2, std::move(del_tree));
+  auto ins_tree = XmlNode::Element("i");
+  ins_tree->set_xid(5);
+  delta.inserts().emplace_back(5, 11, 3, std::move(ins_tree));
+  delta.moves().push_back(MoveOp{7, 1, 2, 3, 4});
+  delta.updates().push_back(UpdateOp{8, "old", "new"});
+  delta.attribute_ops().push_back({AttributeOpKind::kInsert, 9, "a", "", "v"});
+  delta.attribute_ops().push_back({AttributeOpKind::kDelete, 9, "b", "w", ""});
+  delta.attribute_ops().push_back(
+      {AttributeOpKind::kUpdate, 9, "c", "1", "2"});
+  delta.set_old_next_xid(100);
+  delta.set_new_next_xid(200);
+
+  Delta inv = InvertDelta(delta);
+  ASSERT_EQ(inv.deletes().size(), 1u);
+  ASSERT_EQ(inv.inserts().size(), 1u);
+  EXPECT_EQ(inv.deletes()[0].xid, 5u);   // Was the insert.
+  EXPECT_EQ(inv.inserts()[0].xid, 1u);   // Was the delete.
+  EXPECT_EQ(inv.inserts()[0].parent_xid, 10u);
+  EXPECT_EQ(inv.inserts()[0].pos, 2u);
+
+  ASSERT_EQ(inv.moves().size(), 1u);
+  EXPECT_EQ(inv.moves()[0], (MoveOp{7, 3, 4, 1, 2}));
+
+  ASSERT_EQ(inv.updates().size(), 1u);
+  EXPECT_EQ(inv.updates()[0].old_value, "new");
+  EXPECT_EQ(inv.updates()[0].new_value, "old");
+
+  ASSERT_EQ(inv.attribute_ops().size(), 3u);
+  EXPECT_EQ(inv.attribute_ops()[0].kind, AttributeOpKind::kDelete);
+  EXPECT_EQ(inv.attribute_ops()[0].old_value, "v");
+  EXPECT_EQ(inv.attribute_ops()[1].kind, AttributeOpKind::kInsert);
+  EXPECT_EQ(inv.attribute_ops()[1].new_value, "w");
+  EXPECT_EQ(inv.attribute_ops()[2].kind, AttributeOpKind::kUpdate);
+  EXPECT_EQ(inv.attribute_ops()[2].old_value, "2");
+
+  EXPECT_EQ(inv.old_next_xid(), 200u);
+  EXPECT_EQ(inv.new_next_xid(), 100u);
+}
+
+TEST(InvertTest, DoubleInversionIsIdentity) {
+  XmlDocument a = MustParse(
+      "<r><x>one</x><y k=\"1\">two</y><z/><w>mover</w></r>");
+  a.AssignInitialXids();
+  XmlDocument b = MustParse(
+      "<r><y k=\"2\">two!</y><x>one</x><q><w>mover</w></q></r>");
+  Result<Delta> delta = XyDiff(&a, &b);
+  ASSERT_TRUE(delta.ok());
+
+  const Delta inv2 = InvertDelta(InvertDelta(*delta));
+  // Same operation multiset — compare via serialized application.
+  XmlDocument p1 = a.Clone();
+  XmlDocument p2 = a.Clone();
+  XY_ASSERT_OK(ApplyDelta(*delta, &p1));
+  XY_ASSERT_OK(ApplyDelta(inv2, &p2));
+  EXPECT_TRUE(DocsEqualWithXids(p1, p2));
+  EXPECT_EQ(inv2.operation_count(), delta->operation_count());
+}
+
+TEST(InvertTest, ApplyInverseRestoresOldVersion) {
+  XmlDocument a = MustParse(
+      "<shop><item>apple</item><item>pear</item><sale><item>plum</item>"
+      "</sale></shop>");
+  a.AssignInitialXids();
+  XmlDocument b = MustParse(
+      "<shop><sale><item>plum</item><item>apple</item></sale>"
+      "<item>cherry</item></shop>");
+  Result<Delta> delta = XyDiff(&a, &b);
+  ASSERT_TRUE(delta.ok());
+
+  XmlDocument forward = a.Clone();
+  XY_ASSERT_OK(ApplyDelta(*delta, &forward));
+  EXPECT_TRUE(DocsEqualWithXids(forward, b));
+
+  XY_ASSERT_OK(ApplyDelta(InvertDelta(*delta), &forward));
+  EXPECT_TRUE(DocsEqualWithXids(forward, a));
+
+  // And ApplyDeltaInverse is the same thing.
+  XmlDocument forward2 = a.Clone();
+  XY_ASSERT_OK(ApplyDelta(*delta, &forward2));
+  XY_ASSERT_OK(ApplyDeltaInverse(*delta, &forward2));
+  EXPECT_TRUE(DocsEqualWithXids(forward2, a));
+}
+
+TEST(InvertTest, EmptyDelta) {
+  Delta empty;
+  Delta inv = InvertDelta(empty);
+  EXPECT_TRUE(inv.empty());
+}
+
+}  // namespace
+}  // namespace xydiff

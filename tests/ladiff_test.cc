@@ -1,0 +1,92 @@
+#include "baseline/ladiff.h"
+
+#include "delta/apply.h"
+#include "gtest/gtest.h"
+#include "simulator/change_simulator.h"
+#include "simulator/doc_generator.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace xydiff {
+namespace {
+
+TEST(LaDiffTest, IdenticalDocuments) {
+  XmlDocument a = MustParse("<r><x>one</x><y>two</y></r>");
+  a.AssignInitialXids();
+  XmlDocument b = MustParse("<r><x>one</x><y>two</y></r>");
+  LaDiffStats stats;
+  Result<Delta> delta = LaDiff(&a, &b, DiffOptions{}, &stats);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_TRUE(delta->empty());
+  EXPECT_EQ(stats.matched_leaves, 2u);
+  EXPECT_GE(stats.matched_internal, 3u);
+}
+
+TEST(LaDiffTest, ProducesCorrectDelta) {
+  XmlDocument a = MustParse(
+      "<shop><item>apple</item><item>pear</item><box><item>plum</item>"
+      "</box></shop>");
+  a.AssignInitialXids();
+  XmlDocument b = MustParse(
+      "<shop><item>apple</item><box><item>plum</item><item>cherry</item>"
+      "</box></shop>");
+  XmlDocument a_clone = a.Clone();
+  Result<Delta> delta = LaDiff(&a_clone, &b);
+  ASSERT_TRUE(delta.ok());
+  XmlDocument patched = a.Clone();
+  XY_ASSERT_OK(ApplyDelta(*delta, &patched));
+  EXPECT_TRUE(DocsEqualWithXids(patched, b));
+}
+
+TEST(LaDiffTest, CorrectOnSimulatedChanges) {
+  Rng rng(9);
+  DocGenOptions gen;
+  gen.target_bytes = 4096;
+  for (int round = 0; round < 5; ++round) {
+    XmlDocument base = GenerateDocument(&rng, gen);
+    base.AssignInitialXids();
+    Result<SimulatedChange> change =
+        SimulateChanges(base, ChangeSimOptions{}, &rng);
+    ASSERT_TRUE(change.ok());
+    XmlDocument a = base.Clone();
+    XmlDocument b = change->new_version.Clone();
+    Result<Delta> delta = LaDiff(&a, &b);
+    ASSERT_TRUE(delta.ok());
+    XmlDocument patched = base.Clone();
+    XY_ASSERT_OK(ApplyDelta(*delta, &patched));
+    EXPECT_TRUE(DocsEqualWithXids(patched, b)) << "round " << round;
+  }
+}
+
+TEST(LaDiffTest, ReportsQuadraticWork) {
+  Rng rng(10);
+  DocGenOptions small;
+  small.target_bytes = 2048;
+  DocGenOptions large;
+  large.target_bytes = 8192;
+
+  XmlDocument a1 = GenerateDocument(&rng, small);
+  a1.AssignInitialXids();
+  XmlDocument b1 = a1.Clone();
+  LaDiffStats stats_small;
+  ASSERT_TRUE(LaDiff(&a1, &b1, DiffOptions{}, &stats_small).ok());
+
+  XmlDocument a2 = GenerateDocument(&rng, large);
+  a2.AssignInitialXids();
+  XmlDocument b2 = a2.Clone();
+  LaDiffStats stats_large;
+  ASSERT_TRUE(LaDiff(&a2, &b2, DiffOptions{}, &stats_large).ok());
+
+  // 4x the document should cost ~16x the DP cells (quadratic), at least
+  // substantially super-linear.
+  EXPECT_GT(stats_large.lcs_cells, 6 * stats_small.lcs_cells);
+}
+
+TEST(LaDiffTest, EmptyDocumentsRejected) {
+  XmlDocument a;
+  XmlDocument b = MustParse("<r/>");
+  EXPECT_FALSE(LaDiff(&a, &b).ok());
+}
+
+}  // namespace
+}  // namespace xydiff

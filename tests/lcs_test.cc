@@ -1,0 +1,187 @@
+#include "core/lcs.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace xydiff {
+namespace {
+
+double SubsequenceWeight(const std::vector<size_t>& kept,
+                         const std::vector<double>& weights) {
+  double total = 0;
+  for (size_t i : kept) total += weights[i];
+  return total;
+}
+
+bool IsIncreasingSubsequence(const std::vector<size_t>& kept,
+                             const std::vector<size_t>& values) {
+  for (size_t k = 0; k < kept.size(); ++k) {
+    if (k > 0) {
+      if (kept[k] <= kept[k - 1]) return false;
+      if (values[kept[k]] <= values[kept[k - 1]]) return false;
+    }
+  }
+  return true;
+}
+
+/// Exhaustive maximum-weight increasing subsequence for small inputs.
+double BruteForceBest(const std::vector<size_t>& values,
+                      const std::vector<double>& weights) {
+  const size_t n = values.size();
+  double best = 0;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    double total = 0;
+    size_t last = 0;
+    bool ok = true;
+    bool any = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (!(mask & (1u << i))) continue;
+      if (any && values[i] <= last) {
+        ok = false;
+        break;
+      }
+      last = values[i];
+      any = true;
+      total += weights[i];
+    }
+    if (ok) best = std::max(best, total);
+  }
+  return best;
+}
+
+TEST(WeightedLisTest, EmptyInput) {
+  EXPECT_TRUE(WeightedLis({}, {}).empty());
+}
+
+TEST(WeightedLisTest, SingleElement) {
+  EXPECT_EQ(WeightedLis({5}, {1.0}), (std::vector<size_t>{0}));
+}
+
+TEST(WeightedLisTest, AlreadySorted) {
+  const std::vector<size_t> values{0, 1, 2, 3};
+  const std::vector<double> weights{1, 1, 1, 1};
+  EXPECT_EQ(WeightedLis(values, weights).size(), 4u);
+}
+
+TEST(WeightedLisTest, ReversedKeepsHeaviest) {
+  const std::vector<size_t> values{3, 2, 1, 0};
+  const std::vector<double> weights{1, 1, 5, 1};
+  const auto kept = WeightedLis(values, weights);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0], 2u);  // The weight-5 element wins.
+}
+
+TEST(WeightedLisTest, WeightBeatsLength) {
+  // Indices 0,1,2 form a length-3 chain of total weight 3; index 3 alone
+  // weighs 10.
+  const std::vector<size_t> values{0, 1, 5, 2};
+  const std::vector<double> weights{1, 1, 10, 1};
+  const auto kept = WeightedLis(values, weights);
+  // Best: 0,1,2(value 5) = 12.
+  EXPECT_NEAR(SubsequenceWeight(kept, weights), 12.0, 1e-9);
+}
+
+TEST(WeightedLisTest, PaperLocalMoveExample) {
+  // Figure 3: v1..v6 matched to w positions; optimal keeps v2..v6 and
+  // moves v1. Old order v1..v6, new positions: v1->5, v2->0, v3->1,
+  // v4->2, v5->3, v6->4 (v1 moved to the end).
+  const std::vector<size_t> values{5, 0, 1, 2, 3, 4};
+  const std::vector<double> weights(6, 1.0);
+  const auto kept = WeightedLis(values, weights);
+  EXPECT_EQ(kept, (std::vector<size_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(WeightedLisTest, MatchesBruteForceOnRandomInputs) {
+  Rng rng(7);
+  for (int round = 0; round < 300; ++round) {
+    const size_t n = 1 + rng.NextIndex(12);
+    std::vector<size_t> values(n);
+    std::iota(values.begin(), values.end(), 0);
+    // Random permutation.
+    for (size_t i = n; i > 1; --i) {
+      std::swap(values[i - 1], values[rng.NextIndex(i)]);
+    }
+    std::vector<double> weights(n);
+    for (auto& w : weights) {
+      w = 0.25 * static_cast<double>(1 + rng.NextIndex(16));
+    }
+    const auto kept = WeightedLis(values, weights);
+    ASSERT_TRUE(IsIncreasingSubsequence(kept, values));
+    EXPECT_NEAR(SubsequenceWeight(kept, weights),
+                BruteForceBest(values, weights), 1e-9)
+        << "round " << round;
+  }
+}
+
+TEST(WindowedLisTest, ResultIsValidSubsequence) {
+  Rng rng(8);
+  for (int round = 0; round < 100; ++round) {
+    const size_t n = 1 + rng.NextIndex(200);
+    std::vector<size_t> values(n);
+    std::iota(values.begin(), values.end(), 0);
+    for (size_t i = n; i > 1; --i) {
+      std::swap(values[i - 1], values[rng.NextIndex(i)]);
+    }
+    const std::vector<double> weights(n, 1.0);
+    const auto kept = WindowedLis(values, weights, 50);
+    ASSERT_TRUE(IsIncreasingSubsequence(kept, values));
+    // Never better than exact.
+    EXPECT_LE(kept.size(), WeightedLis(values, weights).size());
+  }
+}
+
+TEST(WindowedLisTest, PaperCuttingExample) {
+  // §5.2: cutting (v2,v3,v4) | (v5,v6,...) style lists can miss elements
+  // compared to the optimal answer but stays correct. Build a case where
+  // the window boundary drops one element.
+  // values: block1 = [2 3 9], block2 = [4 5 6] with window 3.
+  // Exact LIS keeps 2 3 4 5 6 (drops 9); windowed keeps block1's best
+  // (2 3 9) then can only continue above 9 — nothing — so 3 kept.
+  const std::vector<size_t> values{2, 3, 9, 4, 5, 6};
+  const std::vector<double> weights(6, 1.0);
+  EXPECT_EQ(WeightedLis(values, weights).size(), 5u);
+  EXPECT_EQ(WindowedLis(values, weights, 3).size(), 3u);
+}
+
+TEST(WindowedLisTest, LargeWindowEqualsExact) {
+  const std::vector<size_t> values{5, 0, 1, 2, 3, 4};
+  const std::vector<double> weights(6, 1.0);
+  EXPECT_EQ(WindowedLis(values, weights, 100), WeightedLis(values, weights));
+}
+
+TEST(LongestCommonSubsequenceTest, Basic) {
+  const std::vector<uint64_t> a{1, 2, 3, 4, 5};
+  const std::vector<uint64_t> b{2, 4, 5, 9};
+  const auto matches = LongestCommonSubsequence(a, b);
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(matches[0], (std::pair<size_t, size_t>{1, 0}));
+  EXPECT_EQ(matches[1], (std::pair<size_t, size_t>{3, 1}));
+  EXPECT_EQ(matches[2], (std::pair<size_t, size_t>{4, 2}));
+}
+
+TEST(LongestCommonSubsequenceTest, EmptyInputs) {
+  EXPECT_TRUE(LongestCommonSubsequence({}, {}).empty());
+  EXPECT_TRUE(LongestCommonSubsequence({1, 2}, {}).empty());
+  EXPECT_TRUE(LongestCommonSubsequence({}, {1, 2}).empty());
+}
+
+TEST(LongestCommonSubsequenceTest, Disjoint) {
+  EXPECT_TRUE(LongestCommonSubsequence({1, 2}, {3, 4}).empty());
+}
+
+TEST(LongestCommonSubsequenceTest, Identical) {
+  const std::vector<uint64_t> a{7, 8, 9};
+  EXPECT_EQ(LongestCommonSubsequence(a, a).size(), 3u);
+}
+
+TEST(LongestCommonSubsequenceTest, WithDuplicates) {
+  const std::vector<uint64_t> a{1, 1, 2, 1};
+  const std::vector<uint64_t> b{1, 2, 1, 1};
+  EXPECT_EQ(LongestCommonSubsequence(a, b).size(), 3u);
+}
+
+}  // namespace
+}  // namespace xydiff

@@ -1,0 +1,110 @@
+#include "core/match_ids.h"
+
+#include "core/signature.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xydiff {
+namespace {
+
+struct Fixture {
+  XmlDocument old_doc;
+  XmlDocument new_doc;
+  LabelTable labels;
+  DiffTree t1;
+  DiffTree t2;
+
+  Fixture(std::string_view old_xml, std::string_view new_xml) {
+    old_doc = MustParse(old_xml);
+    new_doc = MustParse(new_xml);
+    t1 = DiffTree::Build(&old_doc, &labels);
+    t2 = DiffTree::Build(&new_doc, &labels);
+  }
+
+  size_t Match() {
+    return MatchByIdAttributes(&t1, &t2, old_doc.dtd(), new_doc.dtd());
+  }
+};
+
+constexpr std::string_view kDtd =
+    "<!DOCTYPE cat [<!ATTLIST product ref ID #REQUIRED>]>";
+
+TEST(MatchIdsTest, NoIdAttributesNoWork) {
+  Fixture f("<a><b/></a>", "<a><b/></a>");
+  EXPECT_EQ(f.Match(), 0u);
+}
+
+TEST(MatchIdsTest, MatchesByIdValue) {
+  Fixture f(std::string(kDtd) +
+                "<cat><product ref=\"p1\"/><product ref=\"p2\"/></cat>",
+            std::string(kDtd) +
+                "<cat><product ref=\"p2\"/><product ref=\"p1\"/></cat>");
+  EXPECT_EQ(f.Match(), 2u);
+  // old product p1 (index 1) matches new index 2; p2 (index 2) matches 1.
+  EXPECT_EQ(f.t1.match(1), 2);
+  EXPECT_EQ(f.t1.match(2), 1);
+  EXPECT_TRUE(f.t1.id_locked(1));
+  EXPECT_TRUE(f.t2.id_locked(2));
+}
+
+TEST(MatchIdsTest, UnmatchedIdNodesAreLocked) {
+  Fixture f(std::string(kDtd) + "<cat><product ref=\"gone\"/></cat>",
+            std::string(kDtd) + "<cat><product ref=\"fresh\"/></cat>");
+  EXPECT_EQ(f.Match(), 0u);
+  EXPECT_TRUE(f.t1.id_locked(1));
+  EXPECT_TRUE(f.t2.id_locked(1));
+  EXPECT_FALSE(f.t1.matched(1));
+  EXPECT_FALSE(f.t2.matched(1));
+}
+
+TEST(MatchIdsTest, LabelMustAgree) {
+  const std::string dtd =
+      "<!DOCTYPE cat [<!ATTLIST a k ID #IMPLIED><!ATTLIST b k ID #IMPLIED>]>";
+  Fixture f(dtd + "<cat><a k=\"same\"/></cat>",
+            dtd + "<cat><b k=\"same\"/></cat>");
+  EXPECT_EQ(f.Match(), 0u);
+}
+
+TEST(MatchIdsTest, DuplicateOldIdsIgnored) {
+  Fixture f(std::string(kDtd) +
+                "<cat><product ref=\"dup\"/><product ref=\"dup\"/></cat>",
+            std::string(kDtd) + "<cat><product ref=\"dup\"/></cat>");
+  EXPECT_EQ(f.Match(), 0u);
+  EXPECT_FALSE(f.t2.matched(1));
+}
+
+TEST(MatchIdsTest, DuplicateNewIdsRollBack) {
+  Fixture f(std::string(kDtd) + "<cat><product ref=\"dup\"/></cat>",
+            std::string(kDtd) +
+                "<cat><product ref=\"dup\"/><product ref=\"dup\"/></cat>");
+  EXPECT_EQ(f.Match(), 0u);
+  EXPECT_FALSE(f.t1.matched(1));
+  EXPECT_FALSE(f.t2.matched(1));
+  EXPECT_FALSE(f.t2.matched(2));
+}
+
+TEST(MatchIdsTest, ElementsWithoutTheIdAttributeAreNotLocked) {
+  Fixture f(std::string(kDtd) + "<cat><product/></cat>",
+            std::string(kDtd) + "<cat><product/></cat>");
+  EXPECT_EQ(f.Match(), 0u);
+  EXPECT_FALSE(f.t1.id_locked(1));
+}
+
+TEST(MatchIdsTest, DtdFromEitherDocumentCounts) {
+  // Only the old document declares the DTD.
+  Fixture f(std::string(kDtd) + "<cat><product ref=\"x\"/></cat>",
+            "<cat><product ref=\"x\"/></cat>");
+  EXPECT_EQ(f.Match(), 1u);
+}
+
+TEST(MatchIdsTest, DeepIdNodesMatchAcrossStructure) {
+  Fixture f(std::string(kDtd) +
+                "<cat><zone><product ref=\"p\"/></zone></cat>",
+            std::string(kDtd) +
+                "<cat><other><wrap><product ref=\"p\"/></wrap></other></cat>");
+  EXPECT_EQ(f.Match(), 1u);
+  EXPECT_EQ(f.t1.match(2), 3);
+}
+
+}  // namespace
+}  // namespace xydiff

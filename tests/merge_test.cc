@@ -1,0 +1,242 @@
+#include "delta/merge.h"
+
+#include <unordered_set>
+
+#include "core/buld.h"
+#include "delta/compose.h"
+#include "delta/apply.h"
+#include "gtest/gtest.h"
+#include "simulator/change_simulator.h"
+#include "simulator/doc_generator.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace xydiff {
+namespace {
+
+constexpr std::string_view kBase =
+    "<doc><intro>hello world</intro>"
+    "<section><para>first paragraph text</para></section>"
+    "<appendix note=\"v1\"><para>appendix text</para></appendix></doc>";
+
+/// Diffs base against `new_xml`, returning the delta; base gets its
+/// first-version XIDs.
+Delta DeltaFor(const XmlDocument& base, std::string_view new_xml) {
+  XmlDocument old_doc = base.Clone();
+  XmlDocument new_doc = MustParse(new_xml);
+  Result<Delta> delta = XyDiff(&old_doc, &new_doc);
+  EXPECT_TRUE(delta.ok());
+  return std::move(delta.value());
+}
+
+class MergeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = MustParse(kBase);
+    base_.AssignInitialXids();
+  }
+  XmlDocument base_;
+};
+
+TEST_F(MergeTest, DisjointEditsMergeCleanly) {
+  // Ours edits the intro; theirs edits the appendix paragraph.
+  const Delta ours = DeltaFor(
+      base_,
+      "<doc><intro>hello merged world</intro>"
+      "<section><para>first paragraph text</para></section>"
+      "<appendix note=\"v1\"><para>appendix text</para></appendix></doc>");
+  const Delta theirs = DeltaFor(
+      base_,
+      "<doc><intro>hello world</intro>"
+      "<section><para>first paragraph text</para></section>"
+      "<appendix note=\"v1\"><para>rewritten appendix</para></appendix></doc>");
+
+  Result<MergeResult> merged = ThreeWayMerge(base_, ours, theirs);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_TRUE(merged->clean());
+  EXPECT_EQ(merged->theirs_applied, 1u);
+
+  XmlDocument expected = MustParse(
+      "<doc><intro>hello merged world</intro>"
+      "<section><para>first paragraph text</para></section>"
+      "<appendix note=\"v1\"><para>rewritten appendix</para></appendix>"
+      "</doc>");
+  EXPECT_TRUE(DocsEqual(merged->merged, expected));
+}
+
+TEST_F(MergeTest, ConcurrentInsertionsBothSurvive) {
+  const Delta ours = DeltaFor(
+      base_,
+      "<doc><intro>hello world</intro>"
+      "<section><para>first paragraph text</para><para>ours added</para>"
+      "</section>"
+      "<appendix note=\"v1\"><para>appendix text</para></appendix></doc>");
+  const Delta theirs = DeltaFor(
+      base_,
+      "<doc><intro>hello world</intro>"
+      "<section><para>theirs added</para><para>first paragraph text</para>"
+      "</section>"
+      "<appendix note=\"v1\"><para>appendix text</para></appendix></doc>");
+
+  Result<MergeResult> merged = ThreeWayMerge(base_, ours, theirs);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_TRUE(merged->clean());
+  // The section ends up with three paragraphs.
+  const XmlNode* section = merged->merged.root()->child(1);
+  EXPECT_EQ(section->child_count(), 3u);
+  // And no duplicate XIDs anywhere.
+  std::unordered_set<Xid> seen;
+  bool duplicates = false;
+  merged->merged.root()->Visit([&](const XmlNode* n) {
+    if (!seen.insert(n->xid()).second) duplicates = true;
+  });
+  EXPECT_FALSE(duplicates) << "theirs' fresh XIDs were not renumbered";
+}
+
+TEST_F(MergeTest, UpdateUpdateConflict) {
+  const Delta ours = DeltaFor(
+      base_,
+      "<doc><intro>ours version</intro>"
+      "<section><para>first paragraph text</para></section>"
+      "<appendix note=\"v1\"><para>appendix text</para></appendix></doc>");
+  const Delta theirs = DeltaFor(
+      base_,
+      "<doc><intro>theirs version</intro>"
+      "<section><para>first paragraph text</para></section>"
+      "<appendix note=\"v1\"><para>appendix text</para></appendix></doc>");
+
+  Result<MergeResult> merged = ThreeWayMerge(base_, ours, theirs);
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ(merged->conflicts.size(), 1u);
+  EXPECT_EQ(merged->conflicts[0].kind, MergeConflictKind::kUpdateUpdate);
+  // Ours wins in the merged document.
+  EXPECT_EQ(merged->merged.root()->child(0)->child(0)->text(),
+            "ours version");
+}
+
+TEST_F(MergeTest, IdenticalEditsDeduplicated) {
+  const std::string same =
+      "<doc><intro>both changed it the same way</intro>"
+      "<section><para>first paragraph text</para></section>"
+      "<appendix note=\"v1\"><para>appendix text</para></appendix></doc>";
+  const Delta ours = DeltaFor(base_, same);
+  const Delta theirs = DeltaFor(base_, same);
+  Result<MergeResult> merged = ThreeWayMerge(base_, ours, theirs);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_TRUE(merged->clean());
+  EXPECT_EQ(merged->theirs_dropped_duplicates, 1u);
+  EXPECT_EQ(merged->theirs_applied, 0u);
+}
+
+TEST_F(MergeTest, TouchedDeletedConflict) {
+  // Ours deletes the appendix; theirs edits inside it.
+  const Delta ours = DeltaFor(
+      base_,
+      "<doc><intro>hello world</intro>"
+      "<section><para>first paragraph text</para></section></doc>");
+  const Delta theirs = DeltaFor(
+      base_,
+      "<doc><intro>hello world</intro>"
+      "<section><para>first paragraph text</para></section>"
+      "<appendix note=\"v1\"><para>edited appendix</para></appendix></doc>");
+
+  Result<MergeResult> merged = ThreeWayMerge(base_, ours, theirs);
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ(merged->conflicts.size(), 1u);
+  EXPECT_EQ(merged->conflicts[0].kind, MergeConflictKind::kTouchedDeleted);
+  // The appendix stays deleted (ours wins).
+  EXPECT_EQ(merged->merged.root()->child_count(), 2u);
+}
+
+TEST_F(MergeTest, DeleteTouchedConflict) {
+  // Ours edits inside the appendix; theirs deletes it.
+  const Delta ours = DeltaFor(
+      base_,
+      "<doc><intro>hello world</intro>"
+      "<section><para>first paragraph text</para></section>"
+      "<appendix note=\"v2\"><para>appendix text</para></appendix></doc>");
+  const Delta theirs = DeltaFor(
+      base_,
+      "<doc><intro>hello world</intro>"
+      "<section><para>first paragraph text</para></section></doc>");
+
+  Result<MergeResult> merged = ThreeWayMerge(base_, ours, theirs);
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ(merged->conflicts.size(), 1u);
+  EXPECT_EQ(merged->conflicts[0].kind, MergeConflictKind::kDeleteTouched);
+  // The appendix survives with ours' attribute edit.
+  ASSERT_EQ(merged->merged.root()->child_count(), 3u);
+  EXPECT_EQ(*merged->merged.root()->child(2)->FindAttribute("note"), "v2");
+}
+
+TEST_F(MergeTest, MoveMoveConflict) {
+  // Both move the appendix paragraph, to different parents.
+  const Delta ours = DeltaFor(
+      base_,
+      "<doc><intro>hello world</intro>"
+      "<section><para>first paragraph text</para>"
+      "<para>appendix text</para></section>"
+      "<appendix note=\"v1\"/></doc>");
+  const Delta theirs = DeltaFor(
+      base_,
+      "<doc><para>appendix text</para><intro>hello world</intro>"
+      "<section><para>first paragraph text</para></section>"
+      "<appendix note=\"v1\"/></doc>");
+
+  Result<MergeResult> merged = ThreeWayMerge(base_, ours, theirs);
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ(merged->conflicts.size(), 1u);
+  EXPECT_EQ(merged->conflicts[0].kind, MergeConflictKind::kMoveMove);
+}
+
+TEST_F(MergeTest, RandomizedDisjointRegionsMergeClean) {
+  // Split a generated document into two halves; each side only edits its
+  // half, so every merge must be clean and contain both edit sets.
+  Rng rng(55);
+  for (int round = 0; round < 5; ++round) {
+    DocGenOptions gen;
+    gen.target_bytes = 4096;
+    XmlDocument base = GenerateDocument(&rng, gen);
+    base.AssignInitialXids();
+    if (base.root()->child_count() < 2) continue;
+
+    // Build "ours": simulate changes inside the first top-level section
+    // only, by splicing a changed clone of that subtree.
+    const auto edit_section = [&](size_t index) {
+      XmlDocument version = base.Clone();
+      XmlDocument section(version.root()->RemoveChild(index));
+      section.set_next_xid(base.next_xid());
+      Result<SimulatedChange> change =
+          SimulateChanges(section, ChangeSimOptions{}, &rng);
+      EXPECT_TRUE(change.ok());
+      version.root()->InsertChild(index, change->new_version.take_root());
+      XmlDocument b = base.Clone();
+      Result<Delta> delta = DeltaFromXidCorrespondence(&b, &version);
+      EXPECT_TRUE(delta.ok());
+      return std::move(delta.value());
+    };
+    const Delta ours = edit_section(0);
+    const Delta theirs = edit_section(base.root()->child_count() - 1);
+
+    Result<MergeResult> merged = ThreeWayMerge(base, ours, theirs);
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    EXPECT_TRUE(merged->clean()) << "round " << round;
+    // Both sides' changes are present: applying ours and theirs
+    // separately then comparing section-wise would be elaborate; at
+    // minimum the merged doc differs from base whenever either delta
+    // was non-empty.
+    if (!ours.empty() || !theirs.empty()) {
+      EXPECT_FALSE(merged->merged.root()->DeepEquals(*base.root()));
+    }
+  }
+}
+
+TEST_F(MergeTest, ConflictKindNames) {
+  EXPECT_STREQ(MergeConflictKindName(MergeConflictKind::kUpdateUpdate),
+               "update/update");
+  EXPECT_STREQ(MergeConflictKindName(MergeConflictKind::kDeleteTouched),
+               "delete/touched");
+}
+
+}  // namespace
+}  // namespace xydiff

@@ -1,0 +1,97 @@
+#include "core/node_queue.h"
+
+#include "core/signature.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace xydiff {
+namespace {
+
+struct Fixture {
+  XmlDocument doc;
+  LabelTable labels;
+  DiffTree tree;
+
+  explicit Fixture(std::string_view xml) {
+    doc = MustParse(xml);
+    tree = DiffTree::Build(&doc, &labels);
+    DiffOptions options;
+    ComputeSignaturesAndWeights(&tree, options);
+  }
+};
+
+TEST(NodeQueueTest, PopsHeaviestFirst) {
+  // Root is heaviest, then the <big> subtree, then small leaves.
+  Fixture f("<r><big><a>lots of text here</a><b>more text</b></big>"
+            "<small/></r>");
+  NodeQueue queue(&f.tree);
+  for (NodeIndex i = 0; i < f.tree.size(); ++i) queue.Push(i);
+  double last = 1e300;
+  while (!queue.empty()) {
+    const NodeIndex node = queue.Pop();
+    EXPECT_LE(f.tree.weight(node), last);
+    last = f.tree.weight(node);
+  }
+}
+
+TEST(NodeQueueTest, TiesBrokenByInsertionOrder) {
+  // §5.2: "When several nodes have the same weight, the first subtree
+  // inserted in the queue is chosen."
+  Fixture f("<r><a/><b/><c/></r>");  // Three weight-1 leaves.
+  NodeQueue queue(&f.tree);
+  queue.Push(2);  // b first.
+  queue.Push(1);  // a second.
+  queue.Push(3);  // c third.
+  // Root not pushed; all three children have equal weight.
+  EXPECT_EQ(queue.Pop(), 2);
+  EXPECT_EQ(queue.Pop(), 1);
+  EXPECT_EQ(queue.Pop(), 3);
+}
+
+TEST(NodeQueueTest, SizeAndEmpty) {
+  Fixture f("<r><a/></r>");
+  NodeQueue queue(&f.tree);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  queue.Push(0);
+  queue.Push(1);
+  EXPECT_FALSE(queue.empty());
+  EXPECT_EQ(queue.size(), 2u);
+  queue.Pop();
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(NodeQueueTest, ReinsertionAllowed) {
+  // Phase 3 re-enqueues children of matched/failed nodes; the queue
+  // must handle repeated pushes of one index.
+  Fixture f("<r><a/></r>");
+  NodeQueue queue(&f.tree);
+  queue.Push(1);
+  queue.Push(1);
+  EXPECT_EQ(queue.Pop(), 1);
+  EXPECT_EQ(queue.Pop(), 1);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(NodeQueueTest, RandomizedHeapProperty) {
+  Rng rng(3);
+  Fixture f("<r><a>text one</a><b>text two longer</b><c/><d>x</d></r>");
+  for (int round = 0; round < 50; ++round) {
+    NodeQueue queue(&f.tree);
+    const int pushes = 1 + static_cast<int>(rng.NextIndex(20));
+    for (int i = 0; i < pushes; ++i) {
+      queue.Push(static_cast<NodeIndex>(rng.NextIndex(
+          static_cast<size_t>(f.tree.size()))));
+    }
+    double last = 1e300;
+    while (!queue.empty()) {
+      const double w = f.tree.weight(queue.Pop());
+      ASSERT_LE(w, last);
+      last = w;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xydiff

@@ -1,0 +1,165 @@
+// Correctness must hold under every combination of tuning knobs: the
+// knobs trade quality for speed, never correctness. This sweep runs the
+// full round-trip invariant (apply(diff(A,B),A) == B, inverse restores A)
+// across the DiffOptions matrix.
+
+#include <sstream>
+
+#include "core/buld.h"
+#include "delta/apply.h"
+#include "delta/delta_xml.h"
+#include "delta/invert.h"
+#include "delta/validate.h"
+#include "gtest/gtest.h"
+#include "simulator/change_simulator.h"
+#include "simulator/doc_generator.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace xydiff {
+namespace {
+
+struct MatrixCase {
+  bool use_id_attributes;
+  bool text_log_weight;
+  bool detect_moves;
+  bool compress_updates;
+  bool accept_unique_candidate;
+  size_t lops_window;
+  int propagation_passes;
+  double ancestor_depth_factor;
+  bool eager_sibling_matching = false;
+
+  std::string Name() const {
+    std::ostringstream os;
+    os << (use_id_attributes ? "ids" : "noids") << "_"
+       << (text_log_weight ? "logw" : "flatw") << "_"
+       << (detect_moves ? "mov" : "nomov") << "_"
+       << (compress_updates ? "comp" : "full") << "_"
+       << (accept_unique_candidate ? "uniq" : "nouniq") << "_w"
+       << lops_window << "_p" << propagation_passes << "_d"
+       << ancestor_depth_factor << (eager_sibling_matching ? "_eager" : "");
+    return os.str();
+  }
+};
+
+class OptionsMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(OptionsMatrix, RoundTripHoldsUnderEveryKnobCombination) {
+  const MatrixCase& c = GetParam();
+  DiffOptions options;
+  options.use_id_attributes = c.use_id_attributes;
+  options.text_log_weight = c.text_log_weight;
+  options.detect_moves = c.detect_moves;
+  options.compress_updates = c.compress_updates;
+  options.accept_unique_candidate = c.accept_unique_candidate;
+  options.lops_window = c.lops_window;
+  options.propagation_passes = c.propagation_passes;
+  options.ancestor_depth_factor = c.ancestor_depth_factor;
+  options.eager_sibling_matching = c.eager_sibling_matching;
+
+  Rng rng(0xC0FFEE ^ std::hash<std::string>{}(c.Name()));
+  for (int round = 0; round < 3; ++round) {
+    DocGenOptions gen;
+    gen.target_bytes = 4096;
+    gen.with_id_attributes = c.use_id_attributes;
+    XmlDocument base = GenerateDocument(&rng, gen);
+    base.AssignInitialXids();
+    ChangeSimOptions sim;
+    sim.move_probability = 0.2;  // Stress the move paths in particular.
+    Result<SimulatedChange> change = SimulateChanges(base, sim, &rng);
+    ASSERT_TRUE(change.ok());
+
+    XmlDocument a = base.Clone();
+    XmlDocument b = change->new_version.Clone();
+    Result<Delta> delta = XyDiff(&a, &b, options);
+    ASSERT_TRUE(delta.ok()) << c.Name();
+    XY_ASSERT_OK(ValidateDelta(*delta));
+    if (!c.detect_moves) {
+      EXPECT_TRUE(delta->moves().empty());
+    }
+
+    // Forward.
+    XmlDocument patched = base.Clone();
+    XY_ASSERT_OK(ApplyDelta(*delta, &patched));
+    ASSERT_TRUE(DocsEqualWithXids(patched, b)) << c.Name();
+    // Backward.
+    XY_ASSERT_OK(ApplyDelta(InvertDelta(*delta), &patched));
+    ASSERT_TRUE(DocsEqualWithXids(patched, a)) << c.Name();
+    // Serialized.
+    Result<Delta> reparsed = ParseDelta(SerializeDelta(*delta));
+    ASSERT_TRUE(reparsed.ok()) << c.Name();
+    XmlDocument patched2 = base.Clone();
+    XY_ASSERT_OK(ApplyDelta(*reparsed, &patched2));
+    ASSERT_TRUE(DocsEqualWithXids(patched2, b)) << c.Name();
+  }
+}
+
+std::vector<MatrixCase> MakeMatrix() {
+  std::vector<MatrixCase> cases;
+  // Axis-aligned sweep around the defaults plus a few corners.
+  const MatrixCase defaults{true, true, true, false, true, 0, 1, 1.0};
+  cases.push_back(defaults);
+  for (bool ids : {false}) {
+    MatrixCase c = defaults;
+    c.use_id_attributes = ids;
+    cases.push_back(c);
+  }
+  for (bool logw : {false}) {
+    MatrixCase c = defaults;
+    c.text_log_weight = logw;
+    cases.push_back(c);
+  }
+  for (bool moves : {false}) {
+    MatrixCase c = defaults;
+    c.detect_moves = moves;
+    cases.push_back(c);
+  }
+  for (bool comp : {true}) {
+    MatrixCase c = defaults;
+    c.compress_updates = comp;
+    cases.push_back(c);
+  }
+  for (bool uniq : {false}) {
+    MatrixCase c = defaults;
+    c.accept_unique_candidate = uniq;
+    cases.push_back(c);
+  }
+  for (size_t window : {3u, 50u}) {
+    MatrixCase c = defaults;
+    c.lops_window = window;
+    cases.push_back(c);
+  }
+  for (int passes : {2, 4}) {
+    MatrixCase c = defaults;
+    c.propagation_passes = passes;
+    cases.push_back(c);
+  }
+  for (double depth : {0.0, 4.0}) {
+    MatrixCase c = defaults;
+    c.ancestor_depth_factor = depth;
+    cases.push_back(c);
+  }
+  {
+    MatrixCase c = defaults;
+    c.eager_sibling_matching = true;
+    cases.push_back(c);
+  }
+  // Corners: everything off / everything cranked.
+  cases.push_back(MatrixCase{false, false, false, true, false, 4, 1, 0.0});
+  cases.push_back(MatrixCase{true, true, true, true, true, 50, 4, 8.0});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Knobs, OptionsMatrix, ::testing::ValuesIn(MakeMatrix()),
+    [](const ::testing::TestParamInfo<MatrixCase>& info) {
+      std::string name = info.param.Name();
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace xydiff

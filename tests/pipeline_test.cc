@@ -1,0 +1,117 @@
+// Full-pipeline integration test: the Figure-1 architecture end to end.
+// A simulated crawler produces new versions; the diff module computes
+// deltas; the repository stores the chain (and survives a save/load
+// round trip); the alerter evaluates subscriptions; the statistics
+// collector learns label volatility. Every stage's invariants are checked
+// on every cycle.
+
+#include <filesystem>
+
+#include "core/buld.h"
+#include "delta/apply.h"
+#include "delta/validate.h"
+#include "gtest/gtest.h"
+#include "monitor/change_stats.h"
+#include "monitor/subscription.h"
+#include "simulator/change_simulator.h"
+#include "simulator/doc_generator.h"
+#include "simulator/web_corpus.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+#include "version/repository.h"
+#include "version/storage.h"
+
+namespace xydiff {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(PipelineTest, CrawlDiffStoreAlertLearn) {
+  Rng rng(20020226);  // ICDE 2002 started on Feb 26.
+
+  // The warehouse ingests version 1 of a catalog document.
+  DocGenOptions gen;
+  gen.target_bytes = 8192;
+  gen.with_id_attributes = true;
+  VersionRepository repo(GenerateDocument(&rng, gen));
+  std::vector<XmlDocument> ground_truth;
+  ground_truth.push_back(repo.current().Clone());
+
+  Alerter alerter;
+  XY_ASSERT_OK(alerter.Subscribe("any-insert", "//*", ChangeKind::kInsert));
+  XY_ASSERT_OK(alerter.Subscribe("item-watch", "//item"));
+  ChangeStatistics stats;
+
+  const ChangeSimOptions weekly = WeeklyWebChangeProfile();
+  const int kCycles = 8;
+  size_t total_alerts = 0;
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    // Crawler fetches a changed version.
+    Result<SimulatedChange> crawl =
+        SimulateChanges(repo.current(), weekly, &rng);
+    ASSERT_TRUE(crawl.ok());
+    XmlDocument old_version = repo.current().Clone();
+
+    // Diff + store.
+    Result<int> version = repo.Commit(std::move(crawl->new_version));
+    ASSERT_TRUE(version.ok()) << version.status().ToString();
+    ground_truth.push_back(repo.current().Clone());
+
+    // The stored delta is structurally valid and reconstructs the commit.
+    Result<const Delta*> delta = repo.DeltaFor(*version - 1);
+    ASSERT_TRUE(delta.ok());
+    XY_EXPECT_OK(ValidateDelta(**delta));
+    {
+      XmlDocument check = old_version.Clone();
+      XY_ASSERT_OK(ApplyDelta(**delta, &check));
+      EXPECT_TRUE(DocsEqualWithXids(check, repo.current()));
+    }
+
+    // Alerter and statistics consume the same delta.
+    total_alerts +=
+        alerter.Evaluate(**delta, old_version, repo.current()).size();
+    stats.Accumulate(**delta, old_version, repo.current());
+  }
+
+  ASSERT_EQ(repo.version_count(), kCycles + 1);
+  EXPECT_EQ(stats.delta_count(), static_cast<size_t>(kCycles));
+  EXPECT_GT(total_alerts, 0u);
+
+  // Every historical version reconstructs exactly.
+  for (int v = 1; v <= repo.version_count(); ++v) {
+    Result<XmlDocument> doc = repo.Checkout(v);
+    ASSERT_TRUE(doc.ok());
+    EXPECT_TRUE(
+        DocsEqualWithXids(*doc, ground_truth[static_cast<size_t>(v) - 1]))
+        << "version " << v;
+  }
+
+  // Aggregated changes v1 -> newest replay correctly in one step.
+  {
+    Result<Delta> overall = repo.ChangesBetween(1, repo.version_count());
+    ASSERT_TRUE(overall.ok());
+    XY_EXPECT_OK(ValidateDelta(*overall));
+    XmlDocument replay = ground_truth.front().Clone();
+    XY_ASSERT_OK(ApplyDelta(*overall, &replay));
+    EXPECT_TRUE(DocsEqualWithXids(replay, repo.current()));
+  }
+
+  // The whole warehouse survives persistence.
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("xydiff_pipeline_test_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  XY_ASSERT_OK(SaveRepository(repo, dir.string()));
+  Result<VersionRepository> reloaded = LoadRepository(dir.string());
+  ASSERT_TRUE(reloaded.ok());
+  for (int v = 1; v <= repo.version_count(); ++v) {
+    Result<XmlDocument> doc = reloaded->Checkout(v);
+    ASSERT_TRUE(doc.ok());
+    EXPECT_TRUE(
+        DocsEqualWithXids(*doc, ground_truth[static_cast<size_t>(v) - 1]));
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace xydiff

@@ -1,0 +1,129 @@
+#include "core/propagate.h"
+
+#include "core/signature.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xydiff {
+namespace {
+
+struct Fixture {
+  XmlDocument old_doc;
+  XmlDocument new_doc;
+  LabelTable labels;
+  DiffTree t1;
+  DiffTree t2;
+  DiffOptions options;
+
+  Fixture(std::string_view old_xml, std::string_view new_xml) {
+    old_doc = MustParse(old_xml);
+    new_doc = MustParse(new_xml);
+    t1 = DiffTree::Build(&old_doc, &labels);
+    t2 = DiffTree::Build(&new_doc, &labels);
+    ComputeSignaturesAndWeights(&t1, options);
+    ComputeSignaturesAndWeights(&t2, options);
+  }
+
+  void MatchPair(NodeIndex i1, NodeIndex i2) {
+    t1.set_match(i1, i2);
+    t2.set_match(i2, i1);
+  }
+};
+
+TEST(PropagateTest, BottomUpMatchesParentOfMatchedChildren) {
+  // Both docs: <r><p><a/><b/></p></r>. Match the leaves only; one pass
+  // should match p (support from children) and then r is NOT matched
+  // bottom-up (p's parent support exists though — r gets matched too via
+  // p's vote in the same pass order? postorder: leaves, then p, then r).
+  Fixture f("<r><p><a/><b/></p></r>", "<r><p><a/><b/></p></r>");
+  f.MatchPair(2, 2);  // a
+  f.MatchPair(3, 3);  // b
+  const size_t added = PropagateMatchings(&f.t1, &f.t2, f.options);
+  EXPECT_GE(added, 2u);
+  EXPECT_EQ(f.t2.match(1), 1);  // p matched.
+  EXPECT_EQ(f.t2.match(0), 0);  // r matched (postorder pass cascades).
+}
+
+TEST(PropagateTest, BottomUpPrefersHeavierSupport) {
+  // New p has children matched into two different old parents; the
+  // heavier set must win.
+  Fixture f("<r><p1><a>heavy text wins here</a></p1><p2><b/></p2></r>",
+            "<r><p><a>heavy text wins here</a><b/></p></r>");
+  // old: r=0 p1=1 a=2 text=3 p2=4 b=5 ; new: r=0 p=1 a=2 text=3 b=4.
+  f.MatchPair(2, 2);
+  f.MatchPair(3, 3);
+  f.MatchPair(5, 4);
+  // Labels differ (p1/p2 vs p) so no parent match is possible; votes are
+  // counted but rejected on label.
+  PropagateMatchings(&f.t1, &f.t2, f.options);
+  EXPECT_FALSE(f.t2.matched(1));
+
+  // Same structure with agreeing labels.
+  Fixture g("<r><p><a>heavy text wins here</a></p><p><b/></p></r>",
+            "<r><p><a>heavy text wins here</a><b/></p></r>");
+  // old: r=0 p=1 a=2 t=3 p=4 b=5 ; new: r=0 p=1 a=2 t=3 b=4.
+  g.MatchPair(2, 2);
+  g.MatchPair(3, 3);
+  g.MatchPair(5, 4);
+  PropagateMatchings(&g.t1, &g.t2, g.options);
+  ASSERT_TRUE(g.t2.matched(1));
+  EXPECT_EQ(g.t2.match(1), 1);  // The heavy <a> subtree's parent wins.
+}
+
+TEST(PropagateTest, TopDownMatchesUniqueLabelChildren) {
+  Fixture f("<r><x/><y/></r>", "<r><x/><y/></r>");
+  f.MatchPair(0, 0);
+  const size_t added = PropagateMatchings(&f.t1, &f.t2, f.options);
+  EXPECT_EQ(added, 2u);
+  EXPECT_EQ(f.t2.match(1), 1);
+  EXPECT_EQ(f.t2.match(2), 2);
+}
+
+TEST(PropagateTest, TopDownSkipsAmbiguousLabels) {
+  Fixture f("<r><x/><x/></r>", "<r><x/><x/></r>");
+  f.MatchPair(0, 0);
+  PropagateMatchings(&f.t1, &f.t2, f.options);
+  EXPECT_FALSE(f.t2.matched(1));
+  EXPECT_FALSE(f.t2.matched(2));
+}
+
+TEST(PropagateTest, TopDownMatchesSingleUnmatchedTextChild) {
+  // The price-update scenario of Figure 2: matched parents with one
+  // changed text child each -> the texts match, enabling an update op.
+  Fixture f("<Price>$799</Price>", "<Price>$699</Price>");
+  f.MatchPair(0, 0);
+  PropagateMatchings(&f.t1, &f.t2, f.options);
+  ASSERT_TRUE(f.t2.matched(1));
+  EXPECT_EQ(f.t2.match(1), 1);
+}
+
+TEST(PropagateTest, IdLockedNodesAreSkipped) {
+  Fixture f("<r><x/></r>", "<r><x/></r>");
+  f.MatchPair(0, 0);
+  f.t1.set_id_locked(1);
+  PropagateMatchings(&f.t1, &f.t2, f.options);
+  EXPECT_FALSE(f.t1.matched(1));
+}
+
+TEST(PropagateTest, NoMatchesNoCrash) {
+  Fixture f("<a><b/></a>", "<c><d/></c>");
+  EXPECT_EQ(PropagateMatchings(&f.t1, &f.t2, f.options), 0u);
+}
+
+TEST(PropagateTest, MultiplePassesReachFixpoint) {
+  // A chain where each pass unlocks the next level.
+  Fixture f("<a><b><c><d>leaf</d></c></b></a>",
+            "<a><b><c><d>leaf</d></c></b></a>");
+  f.MatchPair(4, 4);  // Just the leaf text.
+  DiffOptions multi;
+  multi.propagation_passes = 8;
+  PropagateMatchings(&f.t1, &f.t2, multi);
+  // Bottom-up alone walks the whole chain in one postorder pass.
+  EXPECT_TRUE(f.t2.matched(0));
+  EXPECT_TRUE(f.t2.matched(1));
+  EXPECT_TRUE(f.t2.matched(2));
+  EXPECT_TRUE(f.t2.matched(3));
+}
+
+}  // namespace
+}  // namespace xydiff

@@ -1,0 +1,169 @@
+// Quality guardrails distilled from §6.1: the computed delta must stay
+// in the same ballpark as the synthetic (perfect) delta, and close to the
+// optimal edit distance on small inputs. These are regression tests, not
+// benchmarks — bench/bench_fig5_quality reproduces the full figure.
+
+#include "baseline/zhang_shasha.h"
+#include "core/buld.h"
+#include "delta/apply.h"
+#include "delta/delta_xml.h"
+#include "gtest/gtest.h"
+#include "simulator/change_simulator.h"
+#include "simulator/doc_generator.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace xydiff {
+namespace {
+
+TEST(QualityTest, DeltaSizeTracksPerfectDelta) {
+  Rng rng(100);
+  DocGenOptions gen;
+  gen.target_bytes = 16384;
+  double worst_ratio = 0;
+  for (int round = 0; round < 8; ++round) {
+    XmlDocument base = GenerateDocument(&rng, gen);
+    base.AssignInitialXids();
+    Result<SimulatedChange> change =
+        SimulateChanges(base, ChangeSimOptions{}, &rng);
+    ASSERT_TRUE(change.ok());
+
+    XmlDocument a = base.Clone();
+    XmlDocument b = change->new_version.Clone();
+    Result<Delta> computed = XyDiff(&a, &b);
+    ASSERT_TRUE(computed.ok());
+
+    const double perfect =
+        static_cast<double>(SerializeDelta(change->perfect_delta).size());
+    const double actual =
+        static_cast<double>(SerializeDelta(*computed).size());
+    ASSERT_GT(perfect, 0);
+    worst_ratio = std::max(worst_ratio, actual / perfect);
+  }
+  // §6.1: "the delta produced by diff is about the size of the delta
+  // produced by the simulator", up to ~1.5x at high change rates. Allow
+  // 2x as the regression threshold.
+  EXPECT_LT(worst_ratio, 2.0) << "delta quality regressed";
+}
+
+TEST(QualityTest, FewChangesYieldSmallDeltas) {
+  Rng rng(101);
+  DocGenOptions gen;
+  gen.target_bytes = 32768;
+  XmlDocument base = GenerateDocument(&rng, gen);
+  base.AssignInitialXids();
+  ChangeSimOptions tiny;
+  tiny.delete_probability = 0.002;
+  tiny.update_probability = 0.005;
+  tiny.insert_probability = 0.002;
+  tiny.move_probability = 0.001;
+  Result<SimulatedChange> change = SimulateChanges(base, tiny, &rng);
+  ASSERT_TRUE(change.ok());
+  XmlDocument a = base.Clone();
+  XmlDocument b = change->new_version.Clone();
+  Result<Delta> delta = XyDiff(&a, &b);
+  ASSERT_TRUE(delta.ok());
+  // The delta must be a small fraction of the document ("delta size is
+  // usually less than the size of one version", often < 10%).
+  EXPECT_LT(SerializeDelta(*delta).size(),
+            SerializeDocument(base).size() / 2);
+}
+
+TEST(QualityTest, EditCostNearOptimalOnSmallDocuments) {
+  // Compare BULD's edit cost against the exact tree edit distance on
+  // small random documents. BULD counts whole-subtree inserts/deletes
+  // node by node plus moves/updates, so its cost is an upper bound of a
+  // unit-cost script; require it within a constant factor of optimal.
+  Rng rng(102);
+  DocGenOptions gen;
+  gen.target_bytes = 600;
+  double total_buld = 0;
+  double total_optimal = 0;
+  for (int round = 0; round < 12; ++round) {
+    XmlDocument base = GenerateDocument(&rng, gen);
+    base.AssignInitialXids();
+    ChangeSimOptions mild;
+    mild.delete_probability = 0.05;
+    mild.update_probability = 0.08;
+    mild.insert_probability = 0.05;
+    mild.move_probability = 0.0;  // TED has no move op; keep comparable.
+    Result<SimulatedChange> change = SimulateChanges(base, mild, &rng);
+    ASSERT_TRUE(change.ok());
+
+    const size_t optimal =
+        TreeEditDistance(*base.root(), *change->new_version.root());
+    XmlDocument a = base.Clone();
+    XmlDocument b = change->new_version.Clone();
+    Result<Delta> delta = XyDiff(&a, &b);
+    ASSERT_TRUE(delta.ok());
+    total_buld += static_cast<double>(delta->edit_cost());
+    total_optimal += static_cast<double>(optimal);
+  }
+  if (total_optimal == 0) GTEST_SKIP() << "no changes generated";
+  // "reasonably close to the optimal" — BULD's cost model is coarser
+  // than unit-cost TED (subtree granularity), so allow a 3x envelope.
+  EXPECT_LT(total_buld, 3.0 * total_optimal + 10.0)
+      << "buld=" << total_buld << " optimal=" << total_optimal;
+}
+
+TEST(QualityTest, MoveHeavyWorkloadUsesMoves) {
+  // Detecting moves is "a main contribution" (§6.1): on a move-dominated
+  // change mix, the delta should contain moves and stay far below the
+  // cost of delete+insert for the moved material.
+  Rng rng(103);
+  DocGenOptions gen;
+  gen.target_bytes = 8192;
+  XmlDocument base = GenerateDocument(&rng, gen);
+  base.AssignInitialXids();
+  ChangeSimOptions movy;
+  movy.delete_probability = 0.1;
+  movy.update_probability = 0.0;
+  movy.insert_probability = 0.0;
+  movy.move_probability = 0.6;
+  Result<SimulatedChange> change = SimulateChanges(base, movy, &rng);
+  ASSERT_TRUE(change.ok());
+  ASSERT_GT(change->moved_subtrees, 0u);
+
+  XmlDocument a = base.Clone();
+  XmlDocument b = change->new_version.Clone();
+  Result<Delta> with_moves = XyDiff(&a, &b);
+  ASSERT_TRUE(with_moves.ok());
+  EXPECT_FALSE(with_moves->moves().empty());
+
+  DiffOptions no_moves;
+  no_moves.detect_moves = false;
+  XmlDocument a2 = base.Clone();
+  XmlDocument b2 = change->new_version.Clone();
+  Result<Delta> without_moves = XyDiff(&a2, &b2, no_moves);
+  ASSERT_TRUE(without_moves.ok());
+  EXPECT_LT(SerializeDelta(*with_moves).size(),
+            SerializeDelta(*without_moves).size());
+}
+
+TEST(QualityTest, WindowedLopsStaysCorrectAndComparable) {
+  Rng rng(104);
+  DocGenOptions gen;
+  gen.target_bytes = 8192;
+  gen.min_fanout = 8;
+  gen.max_fanout = 20;
+  XmlDocument base = GenerateDocument(&rng, gen);
+  base.AssignInitialXids();
+  ChangeSimOptions movy;
+  movy.move_probability = 0.4;
+  Result<SimulatedChange> change = SimulateChanges(base, movy, &rng);
+  ASSERT_TRUE(change.ok());
+
+  DiffOptions windowed;
+  windowed.lops_window = 50;  // The paper's heuristic.
+  XmlDocument a = base.Clone();
+  XmlDocument b = change->new_version.Clone();
+  Result<Delta> delta = XyDiff(&a, &b, windowed);
+  ASSERT_TRUE(delta.ok());
+  // Correctness is untouched by the heuristic.
+  XmlDocument patched = base.Clone();
+  XY_ASSERT_OK(ApplyDelta(*delta, &patched));
+  EXPECT_TRUE(DocsEqualWithXids(patched, b));
+}
+
+}  // namespace
+}  // namespace xydiff

@@ -1,0 +1,227 @@
+// Failure-injection and fuzz-flavoured robustness tests: malformed XML,
+// mutated delta documents and hostile inputs must produce Status errors
+// (or succeed), never crash or corrupt memory. Everything is seeded and
+// deterministic.
+
+#include <string>
+
+#include "core/buld.h"
+#include "delta/apply.h"
+#include "delta/delta_xml.h"
+#include "delta/validate.h"
+#include "gtest/gtest.h"
+#include "simulator/change_simulator.h"
+#include "simulator/doc_generator.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xydiff {
+namespace {
+
+TEST(ParserRobustness, RandomMutationsOfValidXmlNeverCrash) {
+  Rng rng(31);
+  DocGenOptions gen;
+  gen.target_bytes = 2048;
+  const std::string base = SerializeDocument(GenerateDocument(&rng, gen));
+
+  int parse_ok = 0;
+  for (int round = 0; round < 500; ++round) {
+    std::string mutated = base;
+    const int mutations = 1 + static_cast<int>(rng.NextIndex(4));
+    for (int m = 0; m < mutations; ++m) {
+      const size_t pos = rng.NextIndex(mutated.size());
+      switch (rng.NextIndex(4)) {
+        case 0:  // Flip a character.
+          mutated[pos] = static_cast<char>(rng.NextInRange(1, 127));
+          break;
+        case 1:  // Delete a span.
+          mutated.erase(pos, 1 + rng.NextIndex(8));
+          break;
+        case 2:  // Duplicate a span.
+          mutated.insert(pos, mutated.substr(pos, 1 + rng.NextIndex(8)));
+          break;
+        case 3: {  // Insert hostile characters.
+          const char* bits[] = {"<", ">", "&", "<<!", "]]>", "<!--", "&#x;"};
+          mutated.insert(pos, bits[rng.NextIndex(7)]);
+          break;
+        }
+      }
+      if (mutated.empty()) mutated = "<x/>";
+    }
+    Result<XmlDocument> doc = ParseXml(mutated);
+    if (doc.ok()) ++parse_ok;  // Either outcome is fine; crashing is not.
+  }
+  // Sanity: the mutator does break documents most of the time.
+  EXPECT_LT(parse_ok, 450);
+}
+
+TEST(ParserRobustness, PathologicalInputs) {
+  // Long attribute, long text, many attributes, deep nesting at the
+  // limit, huge numeric reference, stray nulls.
+  std::string long_attr = "<a k=\"" + std::string(1 << 16, 'x') + "\"/>";
+  EXPECT_TRUE(ParseXml(long_attr).ok());
+
+  std::string many_attrs = "<a";
+  for (int i = 0; i < 500; ++i) {
+    many_attrs += " k" + std::to_string(i) + "=\"v\"";
+  }
+  many_attrs += "/>";
+  EXPECT_TRUE(ParseXml(many_attrs).ok());
+
+  EXPECT_FALSE(ParseXml("<a>&#xFFFFFFFFFFFF;</a>").ok());
+  EXPECT_FALSE(ParseXml(std::string("<a>\0</a>", 8)).ok());
+
+  std::string unclosed(10000, '<');
+  EXPECT_FALSE(ParseXml(unclosed).ok());
+}
+
+TEST(DeltaRobustness, MutatedDeltaXmlNeverCrashes) {
+  Rng rng(32);
+  DocGenOptions gen;
+  gen.target_bytes = 2048;
+  XmlDocument base = GenerateDocument(&rng, gen);
+  base.AssignInitialXids();
+  Result<SimulatedChange> change =
+      SimulateChanges(base, ChangeSimOptions{}, &rng);
+  ASSERT_TRUE(change.ok());
+  XmlDocument a = base.Clone();
+  XmlDocument b = change->new_version.Clone();
+  Result<Delta> delta = XyDiff(&a, &b);
+  ASSERT_TRUE(delta.ok());
+  const std::string delta_xml = SerializeDelta(*delta);
+
+  for (int round = 0; round < 300; ++round) {
+    std::string mutated = delta_xml;
+    for (int m = 0; m < 3; ++m) {
+      const size_t pos = rng.NextIndex(mutated.size());
+      if (rng.NextBool(0.5)) {
+        mutated[pos] = static_cast<char>('0' + rng.NextIndex(10));
+      } else {
+        mutated.erase(pos, 1 + rng.NextIndex(4));
+      }
+    }
+    Result<Delta> reparsed = ParseDelta(mutated);
+    if (!reparsed.ok()) continue;
+    // If it still parses, applying must either work or fail cleanly.
+    XmlDocument doc = base.Clone();
+    const Status applied = ApplyDelta(*reparsed, &doc);
+    (void)applied;
+    // And the document must still have a root either way.
+    EXPECT_NE(doc.root(), nullptr);
+  }
+}
+
+TEST(DeltaRobustness, ShuffledXidsAreRejectedCleanly) {
+  // A delta aimed at a structurally identical document whose XIDs have
+  // been permuted: every op must fail with Conflict/NotFound, not crash.
+  XmlDocument a = MustParse("<r><x>one</x><y>two</y><z>three</z></r>");
+  a.AssignInitialXids();
+  XmlDocument b = MustParse("<r><y>two</y><x>one!</x></r>");
+  XmlDocument a2 = a.Clone();
+  Result<Delta> delta = XyDiff(&a2, &b);
+  ASSERT_TRUE(delta.ok());
+  ASSERT_FALSE(delta->empty());
+
+  XmlDocument permuted = a.Clone();
+  // Rotate all XIDs by one.
+  std::vector<XmlNode*> nodes;
+  permuted.root()->Visit([&](XmlNode* n) { nodes.push_back(n); });
+  const Xid first = nodes.front()->xid();
+  for (size_t i = 0; i + 1 < nodes.size(); ++i) {
+    nodes[i]->set_xid(nodes[i + 1]->xid());
+  }
+  nodes.back()->set_xid(first);
+
+  const Status applied = ApplyDelta(*delta, &permuted);
+  EXPECT_FALSE(applied.ok());
+  EXPECT_NE(permuted.root(), nullptr);
+}
+
+TEST(DeltaRobustness, ApplyToWrongVersionFailsWithVerification) {
+  Rng rng(33);
+  DocGenOptions gen;
+  gen.target_bytes = 2048;
+  XmlDocument base = GenerateDocument(&rng, gen);
+  base.AssignInitialXids();
+  Result<SimulatedChange> c1 = SimulateChanges(base, ChangeSimOptions{}, &rng);
+  ASSERT_TRUE(c1.ok());
+  // Diff against version 2, apply to (stale) version... 2-again-changed.
+  Result<SimulatedChange> c2 =
+      SimulateChanges(c1->new_version, ChangeSimOptions{}, &rng);
+  ASSERT_TRUE(c2.ok());
+
+  XmlDocument v2 = c1->new_version.Clone();
+  XmlDocument v3 = c2->new_version.Clone();
+  Result<Delta> delta = XyDiff(&v2, &v3);
+  ASSERT_TRUE(delta.ok());
+  ASSERT_FALSE(delta->empty());
+
+  // Applying the v2->v3 delta to v1 must not silently "succeed".
+  XmlDocument stale = base.Clone();
+  const Status applied = ApplyDelta(*delta, &stale);
+  EXPECT_FALSE(applied.ok());
+}
+
+TEST(DiffRobustness, AdversarialDocumentShapes) {
+  // Deep chains, wide fanouts, repeated identical subtrees, same-label
+  // forests: the diff must stay correct on all of them.
+  const std::pair<std::string, std::string> cases[] = {
+      // Deep chain relabel at the bottom.
+      {"<a><a><a><a><a>x</a></a></a></a></a>",
+       "<a><a><a><a><a>y</a></a></a></a></a>"},
+      // Wide identical children (ambiguous candidates everywhere).
+      {"<r><p>t</p><p>t</p><p>t</p><p>t</p><p>t</p></r>",
+       "<r><p>t</p><p>t</p><p>t</p><p>t</p></r>"},
+      // Repeated subtrees with one changed deep inside.
+      {"<r><s><q>k</q></s><s><q>k</q></s><s><q>k</q></s></r>",
+       "<r><s><q>k</q></s><s><q>K</q></s><s><q>k</q></s></r>"},
+      // Total reversal.
+      {"<r><a>1</a><b>2</b><c>3</c><d>4</d></r>",
+       "<r><d>4</d><c>3</c><b>2</b><a>1</a></r>"},
+      // Everything into one new wrapper.
+      {"<r><a>1</a><b>2</b><c>3</c></r>",
+       "<r><wrap><a>1</a><b>2</b><c>3</c></wrap></r>"},
+  };
+  for (const auto& [old_xml, new_xml] : cases) {
+    XmlDocument a = MustParse(old_xml);
+    a.AssignInitialXids();
+    XmlDocument b = MustParse(new_xml);
+    Result<Delta> delta = XyDiff(&a, &b);
+    ASSERT_TRUE(delta.ok()) << old_xml;
+    XY_EXPECT_OK(ValidateDelta(*delta));
+    XmlDocument patched = a.Clone();
+    XY_ASSERT_OK(ApplyDelta(*delta, &patched));
+    EXPECT_TRUE(DocsEqualWithXids(patched, b)) << old_xml;
+  }
+}
+
+TEST(DiffRobustness, HugeFlatSiblingList) {
+  // 2000 same-label siblings with a few edits: stresses the LOPS path
+  // and the candidate index caps.
+  std::string old_xml = "<r>";
+  std::string new_xml = "<r>";
+  for (int i = 0; i < 2000; ++i) {
+    const std::string item = "<i>" + std::to_string(i) + "</i>";
+    old_xml += item;
+    if (i == 700) continue;                      // Deleted.
+    if (i == 900) new_xml += "<i>fresh</i>";     // Inserted before 900.
+    new_xml += item;
+  }
+  old_xml += "</r>";
+  new_xml += "</r>";
+  XmlDocument a = MustParse(old_xml);
+  a.AssignInitialXids();
+  XmlDocument b = MustParse(new_xml);
+  Result<Delta> delta = XyDiff(&a, &b);
+  ASSERT_TRUE(delta.ok());
+  XmlDocument patched = a.Clone();
+  XY_ASSERT_OK(ApplyDelta(*delta, &patched));
+  EXPECT_TRUE(DocsEqualWithXids(patched, b));
+  // And the script is small, not a wholesale rewrite.
+  EXPECT_LT(delta->operation_count(), 50u);
+}
+
+}  // namespace
+}  // namespace xydiff

@@ -1,0 +1,84 @@
+#include "baseline/selkow.h"
+
+#include "baseline/zhang_shasha.h"
+#include "gtest/gtest.h"
+#include "simulator/change_simulator.h"
+#include "simulator/doc_generator.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace xydiff {
+namespace {
+
+size_t Selkow(std::string_view a, std::string_view b) {
+  XmlDocument da = MustParse(a);
+  XmlDocument db = MustParse(b);
+  return SelkowEditDistance(*da.root(), *db.root());
+}
+
+TEST(SelkowTest, IdenticalTrees) {
+  EXPECT_EQ(Selkow("<a><b>x</b><c/></a>", "<a><b>x</b><c/></a>"), 0u);
+}
+
+TEST(SelkowTest, SingleRelabel) {
+  EXPECT_EQ(Selkow("<a/>", "<b/>"), 1u);
+  EXPECT_EQ(Selkow("<a><x/></a>", "<a><y/></a>"), 1u);
+  EXPECT_EQ(Selkow("<a>t</a>", "<a>u</a>"), 1u);
+}
+
+TEST(SelkowTest, SubtreeInsertDeleteCostsItsSize) {
+  EXPECT_EQ(Selkow("<a/>", "<a><b><c/><d/></b></a>"), 3u);
+  EXPECT_EQ(Selkow("<a><b><c/><d/></b></a>", "<a/>"), 3u);
+}
+
+TEST(SelkowTest, ChildSequenceEdit) {
+  // One child replaced among three.
+  EXPECT_EQ(Selkow("<r><a/><b/><c/></r>", "<r><a/><x/><c/></r>"), 1u);
+  // One deleted, one appended.
+  EXPECT_EQ(Selkow("<r><a/><b/></r>", "<r><b/><c/></r>"), 2u);
+}
+
+TEST(SelkowTest, NoCrossLevelMatching) {
+  // Wrapping children costs delete + reinsert in the Selkow model (no
+  // level changes), unlike the general edit distance where it costs 1.
+  const std::string_view flat = "<a><b>xx</b><c>yy</c></a>";
+  const std::string_view wrapped = "<a><w><b>xx</b><c>yy</c></w></a>";
+  XmlDocument flat_doc = MustParse(flat);
+  XmlDocument wrapped_doc = MustParse(wrapped);
+  EXPECT_EQ(TreeEditDistance(*flat_doc.root(), *wrapped_doc.root()), 1u);
+  EXPECT_GT(Selkow(flat, wrapped), 1u);
+}
+
+TEST(SelkowTest, UpperBoundsGeneralEditDistance) {
+  // Selkow's restricted model can never beat the unrestricted distance.
+  Rng rng(12);
+  DocGenOptions gen;
+  gen.target_bytes = 400;
+  for (int round = 0; round < 10; ++round) {
+    XmlDocument base = GenerateDocument(&rng, gen);
+    base.AssignInitialXids();
+    ChangeSimOptions sim;
+    sim.move_probability = 0;
+    Result<SimulatedChange> change = SimulateChanges(base, sim, &rng);
+    ASSERT_TRUE(change.ok());
+    const size_t selkow =
+        SelkowEditDistance(*base.root(), *change->new_version.root());
+    const size_t general =
+        TreeEditDistance(*base.root(), *change->new_version.root());
+    EXPECT_GE(selkow, general) << "round " << round;
+  }
+}
+
+TEST(SelkowTest, SymmetricCosts) {
+  const std::string_view t1 = "<a><b>1</b><c><d/></c></a>";
+  const std::string_view t2 = "<a><c><d/><e/></c></a>";
+  EXPECT_EQ(Selkow(t1, t2), Selkow(t2, t1));
+}
+
+TEST(SelkowTest, LeafOnlyDocuments) {
+  EXPECT_EQ(Selkow("<a>same</a>", "<a>same</a>"), 0u);
+  EXPECT_EQ(Selkow("<a>one</a>", "<a>two</a>"), 1u);
+}
+
+}  // namespace
+}  // namespace xydiff

@@ -1,0 +1,120 @@
+#include "core/signature.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xydiff {
+namespace {
+
+struct TreePair {
+  XmlDocument doc;
+  LabelTable labels;
+  DiffTree tree;
+};
+
+std::unique_ptr<TreePair> MakeTree(std::string_view xml,
+                                   const DiffOptions& options = {}) {
+  auto pair = std::make_unique<TreePair>();
+  pair->doc = MustParse(xml);
+  pair->tree = DiffTree::Build(&pair->doc, &pair->labels);
+  ComputeSignaturesAndWeights(&pair->tree, options);
+  return pair;
+}
+
+TEST(SignatureTest, IdenticalSubtreesShareSignatures) {
+  auto t = MakeTree("<r><p><n>x</n></p><p><n>x</n></p></r>");
+  // Nodes: r=0, p=1, n=2, x=3, p=4, n=5, x=6.
+  EXPECT_EQ(t->tree.signature(1), t->tree.signature(4));
+  EXPECT_EQ(t->tree.signature(2), t->tree.signature(5));
+  EXPECT_EQ(t->tree.signature(3), t->tree.signature(6));
+}
+
+TEST(SignatureTest, DifferentContentDiffers) {
+  auto t = MakeTree("<r><p><n>x</n></p><p><n>y</n></p></r>");
+  EXPECT_NE(t->tree.signature(1), t->tree.signature(4));
+  EXPECT_NE(t->tree.signature(3), t->tree.signature(6));
+}
+
+TEST(SignatureTest, LabelAffectsSignature) {
+  auto t = MakeTree("<r><a>x</a><b>x</b></r>");
+  EXPECT_NE(t->tree.signature(1), t->tree.signature(3));
+  // But the text children are identical.
+  EXPECT_EQ(t->tree.signature(2), t->tree.signature(4));
+}
+
+TEST(SignatureTest, TextVsElementNeverCollide) {
+  auto t = MakeTree("<r><abc/>abc</r>");
+  EXPECT_NE(t->tree.signature(1), t->tree.signature(2));
+}
+
+TEST(SignatureTest, ChildOrderMatters) {
+  auto t = MakeTree("<r><p><a/><b/></p><p><b/><a/></p></r>");
+  EXPECT_NE(t->tree.signature(1), t->tree.signature(4));
+}
+
+TEST(SignatureTest, AttributeOrderIrrelevant) {
+  auto t = MakeTree(R"(<r><p x="1" y="2"/><p y="2" x="1"/></r>)");
+  EXPECT_EQ(t->tree.signature(1), t->tree.signature(2));
+}
+
+TEST(SignatureTest, AttributeValueMatters) {
+  auto t = MakeTree(R"(<r><p x="1"/><p x="2"/><p/></r>)");
+  EXPECT_NE(t->tree.signature(1), t->tree.signature(2));
+  EXPECT_NE(t->tree.signature(1), t->tree.signature(3));
+}
+
+TEST(SignatureTest, WeightsFollowPaperFormula) {
+  auto t = MakeTree("<r><p>hello</p></r>");
+  // Text "hello": 1 + ln(6). Element p: 1 + text. Root: 1 + p.
+  const double text_w = 1.0 + std::log(1.0 + 5.0);
+  EXPECT_DOUBLE_EQ(t->tree.weight(2), text_w);
+  EXPECT_DOUBLE_EQ(t->tree.weight(1), 1.0 + text_w);
+  EXPECT_DOUBLE_EQ(t->tree.weight(0), 2.0 + text_w);
+  EXPECT_DOUBLE_EQ(t->tree.total_weight(), t->tree.weight(0));
+}
+
+TEST(SignatureTest, FlatTextWeightOption) {
+  DiffOptions options;
+  options.text_log_weight = false;
+  auto t = MakeTree("<r><p>a much longer text than one word</p></r>", options);
+  EXPECT_DOUBLE_EQ(t->tree.weight(2), 1.0);
+}
+
+TEST(SignatureTest, ElementWeightAtLeastSumOfChildren) {
+  // §5.2: "the weight of an element node must be no less than the sum of
+  // its children".
+  auto t = MakeTree("<r><a>xx</a><b><c/>yy</b><d/></r>");
+  for (NodeIndex i = 0; i < t->tree.size(); ++i) {
+    if (!t->tree.is_element(i)) continue;
+    double sum = 0;
+    for (int32_t k = 0; k < t->tree.child_count(i); ++k) {
+      sum += t->tree.weight(t->tree.child(i, k));
+    }
+    EXPECT_GE(t->tree.weight(i), sum);
+  }
+}
+
+TEST(SignatureTest, StandaloneSubtreeSignatureMatchesTree) {
+  auto t = MakeTree("<r><p a=\"1\"><n>x</n></p></r>");
+  for (NodeIndex i = 0; i < t->tree.size(); ++i) {
+    EXPECT_EQ(SubtreeSignature(*t->tree.dom(i)), t->tree.signature(i))
+        << "node " << i;
+  }
+}
+
+TEST(SignatureTest, EmptyTextNode) {
+  ParseOptions keep;
+  keep.keep_whitespace_text = true;
+  Result<XmlDocument> doc = ParseXml("<r> </r>", keep);
+  ASSERT_TRUE(doc.ok());
+  LabelTable labels;
+  DiffTree tree = DiffTree::Build(&doc.value(), &labels);
+  DiffOptions options;
+  ComputeSignaturesAndWeights(&tree, options);
+  EXPECT_GT(tree.weight(1), 0.0);
+}
+
+}  // namespace
+}  // namespace xydiff

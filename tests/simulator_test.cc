@@ -1,0 +1,193 @@
+#include "simulator/change_simulator.h"
+
+#include "delta/apply.h"
+#include "gtest/gtest.h"
+#include "simulator/doc_generator.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+#include "xml/serializer.h"
+
+namespace xydiff {
+namespace {
+
+TEST(DocGeneratorTest, HitsTargetSizeApproximately) {
+  Rng rng(1);
+  for (size_t target : {2048u, 16384u, 131072u}) {
+    DocGenOptions options;
+    options.target_bytes = target;
+    XmlDocument doc = GenerateDocument(&rng, options);
+    const size_t actual = SerializeDocument(doc).size();
+    EXPECT_GT(actual, target / 2) << "target " << target;
+    EXPECT_LT(actual, target * 3) << "target " << target;
+  }
+}
+
+TEST(DocGeneratorTest, DeterministicFromSeed) {
+  Rng rng1(42);
+  Rng rng2(42);
+  XmlDocument a = GenerateDocument(&rng1);
+  XmlDocument b = GenerateDocument(&rng2);
+  EXPECT_TRUE(DocsEqual(a, b));
+}
+
+TEST(DocGeneratorTest, DifferentSeedsDiffer) {
+  Rng rng1(1);
+  Rng rng2(2);
+  XmlDocument a = GenerateDocument(&rng1);
+  XmlDocument b = GenerateDocument(&rng2);
+  EXPECT_FALSE(a.root()->DeepEquals(*b.root()));
+}
+
+TEST(DocGeneratorTest, GeneratedDocumentsReparse) {
+  Rng rng(3);
+  XmlDocument doc = GenerateDocument(&rng);
+  XmlDocument reparsed = MustParse(SerializeDocument(doc));
+  EXPECT_TRUE(DocsEqual(doc, reparsed));
+}
+
+TEST(DocGeneratorTest, IdAttributesWhenRequested) {
+  Rng rng(4);
+  DocGenOptions options;
+  options.with_id_attributes = true;
+  XmlDocument doc = GenerateDocument(&rng, options);
+  ASSERT_NE(doc.dtd().IdAttributeFor("item"), nullptr);
+  size_t with_id = 0;
+  doc.root()->Visit([&](const XmlNode* n) {
+    if (n->is_element() && n->label() == "item" &&
+        n->FindAttribute("id") != nullptr) {
+      ++with_id;
+    }
+  });
+  EXPECT_GT(with_id, 0u);
+}
+
+TEST(DocGeneratorTest, NoAdjacentTextNodes) {
+  Rng rng(5);
+  XmlDocument doc = GenerateDocument(&rng);
+  doc.root()->Visit([&](const XmlNode* n) {
+    for (size_t i = 1; i < n->child_count(); ++i) {
+      EXPECT_FALSE(n->child(i - 1)->is_text() && n->child(i)->is_text());
+    }
+  });
+}
+
+TEST(ChangeSimulatorTest, PerfectDeltaIsValid) {
+  Rng rng(10);
+  XmlDocument base = GenerateDocument(&rng);
+  base.AssignInitialXids();
+  Result<SimulatedChange> change =
+      SimulateChanges(base, ChangeSimOptions{}, &rng);
+  ASSERT_TRUE(change.ok()) << change.status().ToString();
+  XmlDocument patched = base.Clone();
+  XY_ASSERT_OK(ApplyDelta(change->perfect_delta, &patched));
+  EXPECT_TRUE(DocsEqualWithXids(patched, change->new_version));
+}
+
+TEST(ChangeSimulatorTest, ZeroProbabilitiesChangeNothing) {
+  Rng rng(11);
+  XmlDocument base = GenerateDocument(&rng);
+  base.AssignInitialXids();
+  ChangeSimOptions options;
+  options.delete_probability = 0;
+  options.update_probability = 0;
+  options.insert_probability = 0;
+  options.move_probability = 0;
+  Result<SimulatedChange> change = SimulateChanges(base, options, &rng);
+  ASSERT_TRUE(change.ok());
+  EXPECT_TRUE(change->perfect_delta.empty());
+  EXPECT_TRUE(DocsEqualWithXids(base, change->new_version));
+}
+
+TEST(ChangeSimulatorTest, CountersReflectOptions) {
+  Rng rng(12);
+  DocGenOptions gen;
+  gen.target_bytes = 32768;
+  XmlDocument base = GenerateDocument(&rng, gen);
+  base.AssignInitialXids();
+
+  ChangeSimOptions only_updates;
+  only_updates.delete_probability = 0;
+  only_updates.insert_probability = 0;
+  only_updates.move_probability = 0;
+  only_updates.update_probability = 0.5;
+  Result<SimulatedChange> change = SimulateChanges(base, only_updates, &rng);
+  ASSERT_TRUE(change.ok());
+  EXPECT_EQ(change->deleted_subtrees, 0u);
+  EXPECT_EQ(change->inserted_nodes, 0u);
+  EXPECT_EQ(change->moved_subtrees, 0u);
+  EXPECT_GT(change->updated_texts, 0u);
+  EXPECT_EQ(change->perfect_delta.updates().size(), change->updated_texts);
+}
+
+TEST(ChangeSimulatorTest, MovesPreserveXids) {
+  Rng rng(13);
+  DocGenOptions gen;
+  gen.target_bytes = 16384;
+  XmlDocument base = GenerateDocument(&rng, gen);
+  base.AssignInitialXids();
+  const Xid max_base_xid = base.next_xid() - 1;
+
+  ChangeSimOptions movy;
+  movy.delete_probability = 0.2;
+  movy.update_probability = 0;
+  movy.insert_probability = 0;
+  movy.move_probability = 0.4;
+  Result<SimulatedChange> change = SimulateChanges(base, movy, &rng);
+  ASSERT_TRUE(change.ok());
+  ASSERT_GT(change->moved_subtrees, 0u);
+  // Every move op in the perfect delta references a pre-existing XID.
+  for (const MoveOp& move : change->perfect_delta.moves()) {
+    EXPECT_LE(move.xid, max_base_xid);
+  }
+}
+
+TEST(ChangeSimulatorTest, InsertedNodesGetFreshXids) {
+  Rng rng(14);
+  XmlDocument base = GenerateDocument(&rng);
+  base.AssignInitialXids();
+  const Xid boundary = base.next_xid();
+
+  ChangeSimOptions inserty;
+  inserty.delete_probability = 0;
+  inserty.update_probability = 0;
+  inserty.insert_probability = 0.3;
+  inserty.move_probability = 0;
+  Result<SimulatedChange> change = SimulateChanges(base, inserty, &rng);
+  ASSERT_TRUE(change.ok());
+  ASSERT_GT(change->inserted_nodes, 0u);
+  for (const InsertOp& op : change->perfect_delta.inserts()) {
+    op.subtree->Visit([&](const XmlNode* n) {
+      EXPECT_GE(n->xid(), boundary);
+    });
+  }
+}
+
+TEST(ChangeSimulatorTest, RequiresXids) {
+  Rng rng(15);
+  XmlDocument base = GenerateDocument(&rng);  // No XIDs.
+  Result<SimulatedChange> change =
+      SimulateChanges(base, ChangeSimOptions{}, &rng);
+  EXPECT_EQ(change.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ChangeSimulatorTest, NoAdjacentTextAfterSimulation) {
+  Rng rng(16);
+  XmlDocument base = GenerateDocument(&rng);
+  base.AssignInitialXids();
+  ChangeSimOptions heavy;
+  heavy.delete_probability = 0.2;
+  heavy.update_probability = 0.2;
+  heavy.insert_probability = 0.3;
+  heavy.move_probability = 0.3;
+  Result<SimulatedChange> change = SimulateChanges(base, heavy, &rng);
+  ASSERT_TRUE(change.ok());
+  change->new_version.root()->Visit([&](const XmlNode* n) {
+    for (size_t i = 1; i < n->child_count(); ++i) {
+      EXPECT_FALSE(n->child(i - 1)->is_text() && n->child(i)->is_text())
+          << "adjacent text nodes would merge on reparse";
+    }
+  });
+}
+
+}  // namespace
+}  // namespace xydiff

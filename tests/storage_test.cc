@@ -1,0 +1,164 @@
+#include "version/storage.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "gtest/gtest.h"
+#include "simulator/change_simulator.h"
+#include "simulator/doc_generator.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace xydiff {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("xydiff_storage_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Dir() const { return dir_.string(); }
+
+  fs::path dir_;
+};
+
+TEST_F(StorageTest, DocumentWithXidsRoundTrip) {
+  XmlDocument doc = MustParse("<r><a>text</a><b k=\"v\"/></r>");
+  doc.AssignInitialXids();
+  doc.AllocateXid();  // Advance the allocator past the tree.
+  fs::create_directories(dir_);
+  const std::string xml = Dir() + "/doc.xml";
+  const std::string meta = Dir() + "/doc.meta";
+  XY_ASSERT_OK(SaveDocumentWithXids(doc, xml, meta));
+
+  Result<XmlDocument> loaded = LoadDocumentWithXids(xml, meta);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(DocsEqualWithXids(doc, *loaded));
+  EXPECT_EQ(loaded->next_xid(), doc.next_xid());
+}
+
+TEST_F(StorageTest, DocumentWithNonContiguousXids) {
+  // After a few diffs, XIDs have holes; the XID-map must cover that.
+  XmlDocument doc = MustParse("<r><a>t</a></r>");
+  doc.root()->set_xid(50);
+  doc.root()->child(0)->set_xid(7);
+  doc.root()->child(0)->child(0)->set_xid(23);
+  doc.set_next_xid(51);
+  fs::create_directories(dir_);
+  XY_ASSERT_OK(
+      SaveDocumentWithXids(doc, Dir() + "/d.xml", Dir() + "/d.meta"));
+  Result<XmlDocument> loaded =
+      LoadDocumentWithXids(Dir() + "/d.xml", Dir() + "/d.meta");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(DocsEqualWithXids(doc, *loaded));
+}
+
+TEST_F(StorageTest, IdAttributeDeclarationsSurvive) {
+  XmlDocument doc = MustParse(
+      "<!DOCTYPE r [<!ATTLIST p id ID #IMPLIED>]><r><p id=\"x\"/></r>");
+  doc.AssignInitialXids();
+  fs::create_directories(dir_);
+  XY_ASSERT_OK(
+      SaveDocumentWithXids(doc, Dir() + "/d.xml", Dir() + "/d.meta"));
+  Result<XmlDocument> loaded =
+      LoadDocumentWithXids(Dir() + "/d.xml", Dir() + "/d.meta");
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_NE(loaded->dtd().IdAttributeFor("p"), nullptr);
+}
+
+TEST_F(StorageTest, RepositoryRoundTrip) {
+  Rng rng(5);
+  DocGenOptions gen;
+  gen.target_bytes = 2048;
+  VersionRepository repo(GenerateDocument(&rng, gen));
+  for (int v = 0; v < 4; ++v) {
+    Result<SimulatedChange> change =
+        SimulateChanges(repo.current(), ChangeSimOptions{}, &rng);
+    ASSERT_TRUE(change.ok());
+    ASSERT_TRUE(repo.Commit(std::move(change->new_version)).ok());
+  }
+
+  XY_ASSERT_OK(SaveRepository(repo, Dir()));
+  Result<VersionRepository> loaded = LoadRepository(Dir());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->version_count(), repo.version_count());
+  EXPECT_TRUE(DocsEqualWithXids(loaded->current(), repo.current()));
+  // Every historical version reconstructs identically.
+  for (int v = 1; v <= repo.version_count(); ++v) {
+    Result<XmlDocument> original = repo.Checkout(v);
+    Result<XmlDocument> reloaded = loaded->Checkout(v);
+    ASSERT_TRUE(original.ok());
+    ASSERT_TRUE(reloaded.ok()) << "version " << v << ": "
+                               << reloaded.status().ToString();
+    EXPECT_TRUE(DocsEqualWithXids(*original, *reloaded)) << "version " << v;
+  }
+}
+
+TEST_F(StorageTest, SaveTruncatesStaleChain) {
+  Rng rng(6);
+  DocGenOptions gen;
+  gen.target_bytes = 1024;
+  VersionRepository long_repo(GenerateDocument(&rng, gen));
+  for (int v = 0; v < 3; ++v) {
+    Result<SimulatedChange> change =
+        SimulateChanges(long_repo.current(), ChangeSimOptions{}, &rng);
+    ASSERT_TRUE(change.ok());
+    ASSERT_TRUE(long_repo.Commit(std::move(change->new_version)).ok());
+  }
+  XY_ASSERT_OK(SaveRepository(long_repo, Dir()));
+
+  // Overwrite with a single-version repository; stale deltas must go.
+  VersionRepository short_repo(GenerateDocument(&rng, gen));
+  XY_ASSERT_OK(SaveRepository(short_repo, Dir()));
+  Result<VersionRepository> loaded = LoadRepository(Dir());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->version_count(), 1);
+}
+
+TEST_F(StorageTest, LoadMissingDirectoryFails) {
+  Result<VersionRepository> loaded = LoadRepository(Dir() + "/nonexistent");
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(StorageTest, CorruptMetaRejected) {
+  fs::create_directories(dir_);
+  XmlDocument doc = MustParse("<r/>");
+  doc.AssignInitialXids();
+  XY_ASSERT_OK(
+      SaveDocumentWithXids(doc, Dir() + "/d.xml", Dir() + "/d.meta"));
+  // Clobber the meta file.
+  {
+    std::ofstream bad(Dir() + "/d.meta", std::ios::trunc);
+    bad << "garbage\n";
+  }
+  Result<XmlDocument> loaded =
+      LoadDocumentWithXids(Dir() + "/d.xml", Dir() + "/d.meta");
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(StorageTest, MetaTreeSizeMismatchRejected) {
+  fs::create_directories(dir_);
+  XmlDocument doc = MustParse("<r><a/></r>");
+  doc.AssignInitialXids();
+  XY_ASSERT_OK(
+      SaveDocumentWithXids(doc, Dir() + "/d.xml", Dir() + "/d.meta"));
+  // Replace the XML with a differently sized tree.
+  {
+    std::ofstream bad(Dir() + "/d.xml", std::ios::trunc);
+    bad << "<r><a/><b/></r>";
+  }
+  Result<XmlDocument> loaded =
+      LoadDocumentWithXids(Dir() + "/d.xml", Dir() + "/d.meta");
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace xydiff

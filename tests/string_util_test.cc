@@ -1,0 +1,105 @@
+#include "util/string_util.h"
+
+#include "gtest/gtest.h"
+
+namespace xydiff {
+namespace {
+
+TEST(SplitTest, Basic) {
+  const auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  const auto parts = Split(",a,,b,", ',');
+  ASSERT_EQ(parts.size(), 5u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[4], "");
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
+  const auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitLinesTest, Basic) {
+  const auto lines = SplitLines("one\ntwo\nthree");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[2], "three");
+}
+
+TEST(SplitLinesTest, TrailingNewlineProducesNoEmptyLine) {
+  const auto lines = SplitLines("one\ntwo\n");
+  ASSERT_EQ(lines.size(), 2u);
+}
+
+TEST(SplitLinesTest, EmptyInput) {
+  EXPECT_TRUE(SplitLines("").empty());
+}
+
+TEST(SplitLinesTest, InteriorEmptyLinesKept) {
+  const auto lines = SplitLines("a\n\nb");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[1], "");
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StartsEndsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("hello", "el"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+  EXPECT_TRUE(EndsWith("hello", "lo"));
+  EXPECT_FALSE(EndsWith("hello", "he"));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(TrimTest, Basic) {
+  EXPECT_EQ(Trim("  a b \t\n"), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(ParseUint64Test, Valid) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));
+  EXPECT_EQ(v, UINT64_MAX);
+  EXPECT_TRUE(ParseUint64("42", &v));
+  EXPECT_EQ(v, 42u);
+}
+
+TEST(ParseUint64Test, Invalid) {
+  uint64_t v = 0;
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("-1", &v));
+  EXPECT_FALSE(ParseUint64("12x", &v));
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &v));  // Overflow.
+  EXPECT_FALSE(ParseUint64(" 1", &v));
+}
+
+TEST(XmlWhitespaceTest, Classification) {
+  EXPECT_TRUE(IsXmlWhitespace(' '));
+  EXPECT_TRUE(IsXmlWhitespace('\t'));
+  EXPECT_TRUE(IsXmlWhitespace('\n'));
+  EXPECT_TRUE(IsXmlWhitespace('\r'));
+  EXPECT_FALSE(IsXmlWhitespace('a'));
+  EXPECT_TRUE(IsAllXmlWhitespace("  \t\n"));
+  EXPECT_TRUE(IsAllXmlWhitespace(""));
+  EXPECT_FALSE(IsAllXmlWhitespace(" x "));
+}
+
+}  // namespace
+}  // namespace xydiff

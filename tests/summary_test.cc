@@ -1,0 +1,96 @@
+#include "delta/summary.h"
+
+#include "core/buld.h"
+#include "delta/apply.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xydiff {
+namespace {
+
+TEST(NodePathTest, SimplePaths) {
+  XmlDocument doc = MustParse("<a><b><c/></b><b><c/>text</b></a>");
+  EXPECT_EQ(NodePath(*doc.root()), "/a");
+  EXPECT_EQ(NodePath(*doc.root()->child(0)), "/a/b[1]");
+  EXPECT_EQ(NodePath(*doc.root()->child(1)), "/a/b[2]");
+  EXPECT_EQ(NodePath(*doc.root()->child(1)->child(0)), "/a/b[2]/c");
+  EXPECT_EQ(NodePath(*doc.root()->child(1)->child(1)), "/a/b[2]/text()");
+}
+
+TEST(NodePathTest, OrdinalOnlyWhenAmbiguous) {
+  XmlDocument doc = MustParse("<a><unique/><dup/><dup/></a>");
+  EXPECT_EQ(NodePath(*doc.root()->child(0)), "/a/unique");
+  EXPECT_EQ(NodePath(*doc.root()->child(1)), "/a/dup[1]");
+}
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  /// Diffs and explains; asserts success.
+  std::string Explain(std::string_view old_xml, std::string_view new_xml) {
+    XmlDocument old_doc = MustParse(old_xml);
+    old_doc.AssignInitialXids();
+    XmlDocument new_doc = MustParse(new_xml);
+    Result<Delta> delta = XyDiff(&old_doc, &new_doc);
+    EXPECT_TRUE(delta.ok());
+    Result<std::string> text = ExplainDelta(*delta, old_doc, new_doc);
+    EXPECT_TRUE(text.ok()) << text.status().ToString();
+    return text.ok() ? *text : std::string();
+  }
+};
+
+TEST_F(ExplainTest, PaperExampleReport) {
+  const std::string report = Explain(
+      "<Category><Title>Digital Cameras</Title>"
+      "<Discount><Product><Name>tx123</Name><Price>$499</Price></Product>"
+      "</Discount><NewProducts><Product><Name>zy456</Name>"
+      "<Price>$799</Price></Product></NewProducts></Category>",
+      "<Category><Title>Digital Cameras</Title>"
+      "<Discount><Product><Name>zy456</Name><Price>$699</Price></Product>"
+      "</Discount><NewProducts><Product><Name>abc</Name>"
+      "<Price>$899</Price></Product></NewProducts></Category>");
+  EXPECT_NE(report.find("deleted   <Product> \"tx123\""), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("inserted  <Product> \"abc\""), std::string::npos);
+  EXPECT_NE(report.find("moved     <Product> \"zy456\" from "
+                        "/Category/NewProducts/Product to "
+                        "/Category/Discount/Product"),
+            std::string::npos)
+      << report;
+  EXPECT_NE(report.find("\"$799\" -> \"$699\""), std::string::npos);
+}
+
+TEST_F(ExplainTest, AttributeLines) {
+  const std::string report = Explain(R"(<r><p a="1" b="2">t</p></r>)",
+                                     R"(<r><p a="9" c="3">t</p></r>)");
+  EXPECT_NE(report.find("attribute /r/p/@a: \"1\" -> \"9\""),
+            std::string::npos)
+      << report;
+  EXPECT_NE(report.find("attribute /r/p/@b removed (was \"2\")"),
+            std::string::npos);
+  EXPECT_NE(report.find("attribute /r/p/@c added = \"3\""),
+            std::string::npos);
+}
+
+TEST_F(ExplainTest, LongTextIsEllipsized) {
+  const std::string long_text(200, 'x');
+  const std::string report =
+      Explain("<r><t>" + long_text + "</t></r>", "<r><t>short</t></r>");
+  EXPECT_EQ(report.find(long_text), std::string::npos);
+  EXPECT_NE(report.find("..."), std::string::npos);
+}
+
+TEST_F(ExplainTest, EmptyDeltaEmptyReport) {
+  EXPECT_EQ(Explain("<a><b>x</b></a>", "<a><b>x</b></a>"), "");
+}
+
+TEST_F(ExplainTest, UnknownXidFails) {
+  Delta delta;
+  delta.updates().push_back(UpdateOp{999, "a", "b"});
+  XmlDocument doc = MustParse("<z/>");
+  doc.AssignInitialXids();
+  Result<std::string> text = ExplainDelta(delta, doc, doc);
+  EXPECT_EQ(text.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace xydiff

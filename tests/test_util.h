@@ -1,0 +1,62 @@
+#ifndef XYDIFF_TESTS_TEST_UTIL_H_
+#define XYDIFF_TESTS_TEST_UTIL_H_
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "util/status.h"
+#include "xml/document.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xydiff {
+
+/// Parses XML that the test knows is valid.
+inline XmlDocument MustParse(std::string_view text) {
+  Result<XmlDocument> doc = ParseXml(text);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString() << " for: " << text;
+  return doc.ok() ? std::move(doc.value()) : XmlDocument();
+}
+
+/// Structural equality of two documents with a readable failure message.
+inline ::testing::AssertionResult DocsEqual(const XmlDocument& a,
+                                            const XmlDocument& b) {
+  if (a.root() == nullptr || b.root() == nullptr) {
+    if (a.root() == b.root()) return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure() << "one document is empty";
+  }
+  if (a.root()->DeepEquals(*b.root())) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "documents differ.\n--- A ---\n" << SerializeDocument(a)
+         << "\n--- B ---\n" << SerializeDocument(b);
+}
+
+/// Like DocsEqual but also requires identical XIDs everywhere.
+inline ::testing::AssertionResult DocsEqualWithXids(const XmlDocument& a,
+                                                    const XmlDocument& b) {
+  ::testing::AssertionResult structural = DocsEqual(a, b);
+  if (!structural) return structural;
+  SerializeOptions options;
+  options.emit_xids = true;
+  const std::string sa = SerializeDocument(a, options);
+  const std::string sb = SerializeDocument(b, options);
+  if (sa == sb) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "XIDs differ.\n--- A ---\n" << sa << "\n--- B ---\n" << sb;
+}
+
+#define XY_ASSERT_OK(expr)                                        \
+  do {                                                            \
+    const ::xydiff::Status _s = (expr);                           \
+    ASSERT_TRUE(_s.ok()) << _s.ToString();                        \
+  } while (false)
+
+#define XY_EXPECT_OK(expr)                                        \
+  do {                                                            \
+    const ::xydiff::Status _s = (expr);                           \
+    EXPECT_TRUE(_s.ok()) << _s.ToString();                        \
+  } while (false)
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_TESTS_TEST_UTIL_H_

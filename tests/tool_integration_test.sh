@@ -1,0 +1,59 @@
+#!/bin/sh
+# End-to-end exercise of the xydiff_tool binary: diff, stats, validate,
+# patch forward, patch in reverse via the XID sidecar, invert, compose.
+# Usage: tool_integration_test.sh <path-to-xydiff_tool>
+set -e
+
+TOOL="$1"
+[ -x "$TOOL" ] || { echo "tool not found: $TOOL"; exit 1; }
+
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+cd "$DIR"
+
+cat > old.xml <<'EOF'
+<catalog><item><name>alpha</name><price>10</price></item><item><name>beta</name><price>20</price></item><box/></catalog>
+EOF
+cat > new.xml <<'EOF'
+<catalog><box><item><name>beta</name><price>25</price></item></box><item><name>gamma</name><price>30</price></item></catalog>
+EOF
+
+echo "-- diff"
+"$TOOL" diff old.xml new.xml -o delta.xml --stats 2> diff_stats.txt
+grep -q "nodes" diff_stats.txt
+
+echo "-- stats + validate"
+"$TOOL" stats delta.xml | grep -q "operations"
+"$TOOL" validate delta.xml | grep -q "^ok:"
+
+echo "-- patch forward"
+"$TOOL" patch old.xml delta.xml -o patched.xml --write-meta patched.meta
+# The patched document must re-diff against new.xml as empty.
+"$TOOL" diff patched.xml new.xml -o empty_delta.xml
+"$TOOL" stats empty_delta.xml | grep -q "operations     : 0"
+
+echo "-- patch reverse (needs the XID sidecar)"
+"$TOOL" patch patched.xml delta.xml --reverse --meta patched.meta -o back.xml
+"$TOOL" diff back.xml old.xml -o empty2.xml
+"$TOOL" stats empty2.xml | grep -q "operations     : 0"
+
+echo "-- invert + compose cancels"
+"$TOOL" invert delta.xml -o inv.xml
+"$TOOL" compose old.xml delta.xml inv.xml -o composed.xml
+"$TOOL" stats composed.xml | grep -q "operations     : 0"
+
+echo "-- explain"
+"$TOOL" explain old.xml delta.xml > explain.txt
+grep -q "moved" explain.txt
+grep -q "updated" explain.txt
+
+echo "-- error handling"
+if "$TOOL" patch new.xml delta.xml -o /dev/null 2> err.txt; then
+  echo "expected a conflict patching the wrong document"; exit 1
+fi
+grep -q "error:" err.txt
+if "$TOOL" diff missing.xml new.xml 2> err2.txt; then
+  echo "expected a NotFound error"; exit 1
+fi
+
+echo "ALL TOOL CHECKS PASSED"

@@ -1,0 +1,25 @@
+// Compile-and-use check for the umbrella header: one include gives the
+// whole public API.
+
+#include "xydiff.h"
+
+#include "gtest/gtest.h"
+
+namespace xydiff {
+namespace {
+
+TEST(UmbrellaHeaderTest, EndToEndThroughOneInclude) {
+  Result<Delta> delta = XyDiffText("<a><b>x</b></a>", "<a><b>y</b></a>");
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(delta->updates().size(), 1u);
+
+  XmlDocument doc =
+      ElementBuilder("a").Child(ElementBuilder("b").Text("x")).BuildDocument();
+  doc.AssignInitialXids();
+  EXPECT_TRUE(ApplyDelta(*delta, &doc).ok());
+  EXPECT_EQ(doc.root()->child(0)->child(0)->text(), "y");
+  EXPECT_TRUE(ValidateDelta(*delta).ok());
+}
+
+}  // namespace
+}  // namespace xydiff

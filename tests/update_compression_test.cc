@@ -1,0 +1,173 @@
+#include "core/buld.h"
+#include "delta/apply.h"
+#include "delta/delta_xml.h"
+#include "delta/invert.h"
+#include "delta/validate.h"
+#include "gtest/gtest.h"
+#include "simulator/doc_generator.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace xydiff {
+namespace {
+
+Result<Delta> DiffCompressed(XmlDocument* a, XmlDocument* b) {
+  DiffOptions options;
+  options.compress_updates = true;
+  return XyDiff(a, b, options);
+}
+
+TEST(UpdateCompressionTest, StoresOnlyTheDifferingMiddle) {
+  XmlDocument a = MustParse(
+      "<r><t>a very long description where only one word changes in the"
+      " middle of the text</t></r>");
+  a.AssignInitialXids();
+  XmlDocument b = MustParse(
+      "<r><t>a very long description where only two word changes in the"
+      " middle of the text</t></r>");
+  Result<Delta> delta = DiffCompressed(&a, &b);
+  ASSERT_TRUE(delta.ok());
+  ASSERT_EQ(delta->updates().size(), 1u);
+  const UpdateOp& op = delta->updates()[0];
+  EXPECT_TRUE(op.is_compressed());
+  EXPECT_GT(op.prefix, 20u);
+  EXPECT_GT(op.suffix, 20u);
+  EXPECT_LT(op.old_value.size(), 8u);
+  EXPECT_LT(op.new_value.size(), 8u);
+  XY_EXPECT_OK(ValidateDelta(*delta));
+
+  XmlDocument patched = MustParse(
+      "<r><t>a very long description where only one word changes in the"
+      " middle of the text</t></r>");
+  patched.AssignInitialXids();
+  XY_ASSERT_OK(ApplyDelta(*delta, &patched));
+  EXPECT_TRUE(DocsEqualWithXids(patched, b));
+}
+
+TEST(UpdateCompressionTest, InversionRestoresOldText) {
+  XmlDocument a = MustParse("<r><t>shared head CHANGED shared tail</t></r>");
+  a.AssignInitialXids();
+  XmlDocument b = MustParse("<r><t>shared head REPLACED shared tail</t></r>");
+  XmlDocument a2 = a.Clone();
+  Result<Delta> delta = DiffCompressed(&a2, &b);
+  ASSERT_TRUE(delta.ok());
+
+  XmlDocument doc = a.Clone();
+  XY_ASSERT_OK(ApplyDelta(*delta, &doc));
+  XY_ASSERT_OK(ApplyDelta(InvertDelta(*delta), &doc));
+  EXPECT_TRUE(DocsEqualWithXids(doc, a));
+}
+
+TEST(UpdateCompressionTest, XmlRoundTripKeepsPrefixSuffix) {
+  XmlDocument a = MustParse("<r><t>prefix OLD suffix</t></r>");
+  a.AssignInitialXids();
+  XmlDocument b = MustParse("<r><t>prefix NEW suffix</t></r>");
+  XmlDocument a2 = a.Clone();
+  Result<Delta> delta = DiffCompressed(&a2, &b);
+  ASSERT_TRUE(delta.ok());
+  const std::string xml = SerializeDelta(*delta);
+  EXPECT_NE(xml.find("prefix=\"7\""), std::string::npos) << xml;
+
+  Result<Delta> reparsed = ParseDelta(xml);
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->updates().size(), 1u);
+  EXPECT_EQ(reparsed->updates()[0], delta->updates()[0]);
+
+  XmlDocument patched = a.Clone();
+  XY_ASSERT_OK(ApplyDelta(*reparsed, &patched));
+  EXPECT_TRUE(DocsEqualWithXids(patched, b));
+}
+
+TEST(UpdateCompressionTest, WholeTextChangeHasNoSavings) {
+  XmlDocument a = MustParse("<r><t>abc</t></r>");
+  a.AssignInitialXids();
+  XmlDocument b = MustParse("<r><t>xyz</t></r>");
+  Result<Delta> delta = DiffCompressed(&a, &b);
+  ASSERT_TRUE(delta.ok());
+  ASSERT_EQ(delta->updates().size(), 1u);
+  EXPECT_FALSE(delta->updates()[0].is_compressed());
+  EXPECT_EQ(delta->updates()[0].old_value, "abc");
+}
+
+TEST(UpdateCompressionTest, InsertionInMiddle) {
+  // Overlapping prefix/suffix regions must not double-count bytes.
+  XmlDocument a = MustParse("<r><t>aaaa</t></r>");
+  a.AssignInitialXids();
+  XmlDocument b = MustParse("<r><t>aaaaaa</t></r>");  // Two 'a's inserted.
+  XmlDocument a2 = a.Clone();
+  Result<Delta> delta = DiffCompressed(&a2, &b);
+  ASSERT_TRUE(delta.ok());
+  ASSERT_EQ(delta->updates().size(), 1u);
+  const UpdateOp& op = delta->updates()[0];
+  EXPECT_EQ(static_cast<size_t>(op.prefix) + op.suffix + op.old_value.size(),
+            4u);
+  EXPECT_EQ(static_cast<size_t>(op.prefix) + op.suffix + op.new_value.size(),
+            6u);
+  XmlDocument patched = a.Clone();
+  XY_ASSERT_OK(ApplyDelta(*delta, &patched));
+  EXPECT_TRUE(DocsEqualWithXids(patched, b));
+}
+
+TEST(UpdateCompressionTest, Utf8BoundariesRespected) {
+  // "€1" -> "€2": the shared prefix is the 3-byte euro sign; the trim
+  // must not split it.
+  XmlDocument a = MustParse("<r><t>\xE2\x82\xAC""1</t></r>");
+  a.AssignInitialXids();
+  XmlDocument b = MustParse("<r><t>\xE2\x82\xAC""2</t></r>");
+  XmlDocument a2 = a.Clone();
+  Result<Delta> delta = DiffCompressed(&a2, &b);
+  ASSERT_TRUE(delta.ok());
+  ASSERT_EQ(delta->updates().size(), 1u);
+  const UpdateOp& op = delta->updates()[0];
+  EXPECT_EQ(op.prefix, 3u);
+  // Reparse of the serialized delta must succeed (valid UTF-8 stayed
+  // intact).
+  Result<Delta> reparsed = ParseDelta(SerializeDelta(*delta));
+  ASSERT_TRUE(reparsed.ok());
+  XmlDocument patched = a.Clone();
+  XY_ASSERT_OK(ApplyDelta(*reparsed, &patched));
+  EXPECT_TRUE(DocsEqualWithXids(patched, b));
+}
+
+TEST(UpdateCompressionTest, ConflictDetectedOnWrongDocument) {
+  XmlDocument a = MustParse("<r><t>prefix OLD suffix</t></r>");
+  a.AssignInitialXids();
+  XmlDocument b = MustParse("<r><t>prefix NEW suffix</t></r>");
+  XmlDocument a2 = a.Clone();
+  Result<Delta> delta = DiffCompressed(&a2, &b);
+  ASSERT_TRUE(delta.ok());
+
+  XmlDocument wrong = MustParse("<r><t>prefix BAD suffix</t></r>");
+  wrong.AssignInitialXids();
+  EXPECT_EQ(ApplyDelta(*delta, &wrong).code(), StatusCode::kConflict);
+}
+
+TEST(UpdateCompressionTest, RandomizedRoundTrips) {
+  Rng rng(9001);
+  for (int round = 0; round < 40; ++round) {
+    // Random texts with a shared flank structure.
+    const std::string head = rng.NextWord(0 + 1, 12);
+    const std::string tail = rng.NextWord(1, 12);
+    const std::string mid_a = rng.NextBool(0.2) ? "" : rng.NextWord(1, 8);
+    std::string mid_b = rng.NextBool(0.2) ? "" : rng.NextWord(1, 8);
+    if (mid_a == mid_b) mid_b += "x";
+    XmlDocument a =
+        MustParse("<r><t>" + head + mid_a + tail + "</t></r>");
+    a.AssignInitialXids();
+    XmlDocument b =
+        MustParse("<r><t>" + head + mid_b + tail + "</t></r>");
+    XmlDocument a2 = a.Clone();
+    Result<Delta> delta = DiffCompressed(&a2, &b);
+    ASSERT_TRUE(delta.ok());
+    Result<Delta> reparsed = ParseDelta(SerializeDelta(*delta));
+    ASSERT_TRUE(reparsed.ok());
+    XmlDocument patched = a.Clone();
+    XY_ASSERT_OK(ApplyDelta(*reparsed, &patched));
+    EXPECT_TRUE(DocsEqualWithXids(patched, b)) << "round " << round;
+    XY_ASSERT_OK(ApplyDelta(InvertDelta(*reparsed), &patched));
+    EXPECT_TRUE(DocsEqualWithXids(patched, a)) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace xydiff

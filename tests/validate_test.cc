@@ -1,0 +1,157 @@
+#include "delta/validate.h"
+
+#include "core/buld.h"
+#include "gtest/gtest.h"
+#include "simulator/change_simulator.h"
+#include "simulator/doc_generator.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace xydiff {
+namespace {
+
+std::unique_ptr<XmlNode> Snapshot(Xid xid) {
+  auto node = XmlNode::Element("p");
+  node->set_xid(xid);
+  return node;
+}
+
+TEST(ValidateTest, EmptyDeltaIsValid) {
+  EXPECT_TRUE(ValidateDelta(Delta{}).ok());
+}
+
+TEST(ValidateTest, DiffOutputsAreValid) {
+  Rng rng(3);
+  DocGenOptions gen;
+  gen.target_bytes = 8192;
+  for (int round = 0; round < 5; ++round) {
+    XmlDocument base = GenerateDocument(&rng, gen);
+    base.AssignInitialXids();
+    Result<SimulatedChange> change =
+        SimulateChanges(base, ChangeSimOptions{}, &rng);
+    ASSERT_TRUE(change.ok());
+    XY_EXPECT_OK(ValidateDelta(change->perfect_delta));
+    XmlDocument a = base.Clone();
+    XmlDocument b = change->new_version.Clone();
+    Result<Delta> delta = XyDiff(&a, &b);
+    ASSERT_TRUE(delta.ok());
+    XY_EXPECT_OK(ValidateDelta(*delta));
+  }
+}
+
+TEST(ValidateTest, DeleteWithoutSnapshot) {
+  Delta delta;
+  delta.deletes().emplace_back(3, 1, 1, nullptr);
+  EXPECT_EQ(ValidateDelta(delta).code(), StatusCode::kCorruption);
+}
+
+TEST(ValidateTest, SnapshotRootXidMismatch) {
+  Delta delta;
+  delta.deletes().emplace_back(3, 1, 1, Snapshot(99));
+  EXPECT_EQ(ValidateDelta(delta).code(), StatusCode::kCorruption);
+}
+
+TEST(ValidateTest, SnapshotWithUnassignedXid) {
+  auto subtree = XmlNode::Element("p");
+  subtree->set_xid(3);
+  subtree->AppendChild(XmlNode::Text("x"));  // Child has no XID.
+  Delta delta;
+  delta.deletes().emplace_back(3, 1, 1, std::move(subtree));
+  EXPECT_EQ(ValidateDelta(delta).code(), StatusCode::kCorruption);
+}
+
+TEST(ValidateTest, ZeroPositionRejected) {
+  Delta delta;
+  delta.deletes().emplace_back(3, 1, 0, Snapshot(3));
+  EXPECT_FALSE(ValidateDelta(delta).ok());
+
+  Delta delta2;
+  delta2.moves().push_back(MoveOp{3, 1, 0, 2, 1});
+  EXPECT_FALSE(ValidateDelta(delta2).ok());
+}
+
+TEST(ValidateTest, DoubleDeleteRejected) {
+  Delta delta;
+  delta.deletes().emplace_back(3, 1, 1, Snapshot(3));
+  delta.deletes().emplace_back(3, 1, 2, Snapshot(3));
+  EXPECT_FALSE(ValidateDelta(delta).ok());
+}
+
+TEST(ValidateTest, DeleteAndMoveSameNodeRejected) {
+  Delta delta;
+  delta.deletes().emplace_back(3, 1, 1, Snapshot(3));
+  delta.moves().push_back(MoveOp{3, 1, 1, 2, 1});
+  EXPECT_FALSE(ValidateDelta(delta).ok());
+}
+
+TEST(ValidateTest, InsertedXidBeyondAllocatorRejected) {
+  Delta delta;
+  delta.set_new_next_xid(5);
+  delta.inserts().emplace_back(7, 1, 1, Snapshot(7));  // 7 >= 5.
+  EXPECT_FALSE(ValidateDelta(delta).ok());
+}
+
+TEST(ValidateTest, InsertAndDeleteSameXidRejected) {
+  Delta delta;
+  delta.set_new_next_xid(100);
+  delta.deletes().emplace_back(3, 1, 1, Snapshot(3));
+  delta.inserts().emplace_back(3, 2, 1, Snapshot(3));
+  EXPECT_FALSE(ValidateDelta(delta).ok());
+}
+
+TEST(ValidateTest, DoubleUpdateRejected) {
+  Delta delta;
+  delta.updates().push_back(UpdateOp{4, "a", "b"});
+  delta.updates().push_back(UpdateOp{4, "b", "c"});
+  EXPECT_FALSE(ValidateDelta(delta).ok());
+}
+
+TEST(ValidateTest, NoOpUpdateRejected) {
+  Delta delta;
+  delta.updates().push_back(UpdateOp{4, "same", "same"});
+  EXPECT_FALSE(ValidateDelta(delta).ok());
+}
+
+TEST(ValidateTest, AttributeOpChecks) {
+  {
+    Delta delta;
+    delta.attribute_ops().push_back({AttributeOpKind::kInsert, 0, "k", "", "v"});
+    EXPECT_FALSE(ValidateDelta(delta).ok());  // No target.
+  }
+  {
+    Delta delta;
+    delta.attribute_ops().push_back({AttributeOpKind::kInsert, 3, "", "", "v"});
+    EXPECT_FALSE(ValidateDelta(delta).ok());  // No name.
+  }
+  {
+    Delta delta;
+    delta.attribute_ops().push_back(
+        {AttributeOpKind::kUpdate, 3, "k", "x", "x"});
+    EXPECT_FALSE(ValidateDelta(delta).ok());  // No-op update.
+  }
+  {
+    Delta delta;
+    delta.attribute_ops().push_back(
+        {AttributeOpKind::kUpdate, 3, "k", "x", "y"});
+    delta.attribute_ops().push_back(
+        {AttributeOpKind::kDelete, 3, "k", "y", ""});
+    EXPECT_FALSE(ValidateDelta(delta).ok());  // Same attr twice.
+  }
+  {
+    Delta delta;
+    delta.attribute_ops().push_back(
+        {AttributeOpKind::kUpdate, 3, "k", "x", "y"});
+    delta.attribute_ops().push_back(
+        {AttributeOpKind::kUpdate, 3, "j", "x", "y"});
+    XY_EXPECT_OK(ValidateDelta(delta));  // Different attrs fine.
+  }
+}
+
+TEST(ValidateTest, MoveOfVirtualRootRejected) {
+  Delta delta;
+  delta.moves().push_back(MoveOp{kNoXid, 1, 1, 2, 1});
+  EXPECT_FALSE(ValidateDelta(delta).ok());
+}
+
+}  // namespace
+}  // namespace xydiff

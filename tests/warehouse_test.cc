@@ -1,0 +1,195 @@
+#include "version/warehouse.h"
+
+#include <filesystem>
+
+#include "gtest/gtest.h"
+#include "simulator/change_simulator.h"
+#include "simulator/doc_generator.h"
+#include "simulator/web_corpus.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace xydiff {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(WarehouseTest, FirstIngestStoresVersionOne) {
+  Warehouse warehouse;
+  Result<Warehouse::IngestReport> report =
+      warehouse.Ingest("http://a", MustParse("<doc><t>hello</t></doc>"));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->first_version);
+  EXPECT_EQ(report->version, 1);
+  EXPECT_EQ(report->operations, 0u);
+  EXPECT_EQ(warehouse.document_count(), 1u);
+  EXPECT_EQ(warehouse.version_count("http://a"), 1);
+  EXPECT_EQ(warehouse.version_count("http://unknown"), 0);
+}
+
+TEST(WarehouseTest, SecondIngestRunsThePipeline) {
+  Warehouse warehouse;
+  XY_ASSERT_OK(warehouse.Subscribe("price", "//price", ChangeKind::kUpdate));
+  ASSERT_TRUE(warehouse
+                  .Ingest("http://a",
+                          MustParse("<doc><price>10</price></doc>"))
+                  .ok());
+  Result<Warehouse::IngestReport> report = warehouse.Ingest(
+      "http://a", MustParse("<doc><price>20</price></doc>"));
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->first_version);
+  EXPECT_EQ(report->version, 2);
+  EXPECT_GT(report->operations, 0u);
+  ASSERT_EQ(report->alerts.size(), 1u);
+  EXPECT_EQ(report->alerts[0].subscription_id, "price");
+  // Statistics learned the change.
+  EXPECT_EQ(warehouse.StatsForLabel("price").text_updated, 1u);
+}
+
+TEST(WarehouseTest, CheckoutHistoricalVersions) {
+  Warehouse warehouse;
+  ASSERT_TRUE(warehouse.Ingest("u", MustParse("<d><t>v1</t></d>")).ok());
+  ASSERT_TRUE(warehouse.Ingest("u", MustParse("<d><t>v2</t></d>")).ok());
+  ASSERT_TRUE(warehouse.Ingest("u", MustParse("<d><t>v3</t></d>")).ok());
+  for (int v = 1; v <= 3; ++v) {
+    Result<XmlDocument> doc = warehouse.Checkout("u", v);
+    ASSERT_TRUE(doc.ok());
+    EXPECT_EQ(doc->root()->child(0)->child(0)->text(),
+              "v" + std::to_string(v));
+  }
+  EXPECT_FALSE(warehouse.Checkout("u", 4).ok());
+  EXPECT_FALSE(warehouse.Checkout("nope", 1).ok());
+}
+
+TEST(WarehouseTest, SearchSpansDocumentsAndStaysFresh) {
+  Warehouse warehouse;
+  ASSERT_TRUE(
+      warehouse.Ingest("a", MustParse("<d><t>shared needle</t></d>")).ok());
+  ASSERT_TRUE(
+      warehouse.Ingest("b", MustParse("<d><t>needle too</t></d>")).ok());
+  ASSERT_TRUE(warehouse.Ingest("c", MustParse("<d><t>nothing</t></d>")).ok());
+  EXPECT_EQ(warehouse.Search("needle").size(), 2u);
+  // After an update removing the word, the index follows.
+  ASSERT_TRUE(
+      warehouse.Ingest("a", MustParse("<d><t>shared thread</t></d>")).ok());
+  EXPECT_EQ(warehouse.Search("needle").size(), 1u);
+  EXPECT_EQ(warehouse.Search("needle")[0].first, "b");
+}
+
+TEST(WarehouseTest, BatchIngestParallelMatchesSerial) {
+  Rng rng(71);
+  DocGenOptions gen;
+  gen.target_bytes = 2048;
+
+  // Build two identical crawls of 24 documents.
+  std::vector<std::pair<std::string, XmlDocument>> crawl1;
+  std::vector<std::pair<std::string, XmlDocument>> crawl1_copy;
+  for (int i = 0; i < 24; ++i) {
+    XmlDocument doc = GenerateDocument(&rng, gen);
+    crawl1_copy.emplace_back("url" + std::to_string(i), doc.Clone());
+    crawl1.emplace_back("url" + std::to_string(i), std::move(doc));
+  }
+
+  Warehouse parallel;
+  auto reports = parallel.IngestBatch(std::move(crawl1), /*threads=*/8);
+  ASSERT_EQ(reports.size(), 24u);
+  for (const auto& r : reports) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->first_version);
+  }
+  Warehouse serial;
+  for (auto& [url, doc] : crawl1_copy) {
+    ASSERT_TRUE(serial.Ingest(url, std::move(doc)).ok());
+  }
+  EXPECT_EQ(parallel.document_count(), serial.document_count());
+  EXPECT_EQ(parallel.urls(), serial.urls());
+}
+
+TEST(WarehouseTest, BatchSecondWeekWithChanges) {
+  Rng rng(72);
+  DocGenOptions gen;
+  gen.target_bytes = 2048;
+  Warehouse warehouse;
+  XY_ASSERT_OK(warehouse.Subscribe("any", "//*"));
+
+  std::vector<std::pair<std::string, XmlDocument>> week1;
+  for (int i = 0; i < 12; ++i) {
+    week1.emplace_back("u" + std::to_string(i), GenerateDocument(&rng, gen));
+  }
+  // Week 2 = simulated change of week 1.
+  std::vector<std::pair<std::string, XmlDocument>> week2;
+  for (auto& [url, doc] : week1) {
+    XmlDocument with_xids = doc.Clone();
+    with_xids.AssignInitialXids();
+    Result<SimulatedChange> change =
+        SimulateChanges(with_xids, WeeklyWebChangeProfile(), &rng);
+    ASSERT_TRUE(change.ok());
+    change->new_version.root()->Visit(
+        [](XmlNode* n) { n->set_xid(kNoXid); });  // Fresh crawl, no XIDs.
+    week2.emplace_back(url, std::move(change->new_version));
+  }
+
+  for (auto& r : warehouse.IngestBatch(std::move(week1), 6)) {
+    ASSERT_TRUE(r.ok());
+  }
+  size_t total_ops = 0;
+  for (auto& r : warehouse.IngestBatch(std::move(week2), 6)) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->version, 2);
+    total_ops += r->operations;
+  }
+  EXPECT_GT(total_ops, 0u);
+  // Every document has two checkoutable versions.
+  for (const std::string& url : warehouse.urls()) {
+    EXPECT_TRUE(warehouse.Checkout(url, 1).ok());
+    EXPECT_TRUE(warehouse.Checkout(url, 2).ok());
+  }
+}
+
+TEST(WarehouseTest, DuplicateUrlsInBatchRejected) {
+  Warehouse warehouse;
+  std::vector<std::pair<std::string, XmlDocument>> batch;
+  batch.emplace_back("same", MustParse("<a/>"));
+  batch.emplace_back("same", MustParse("<b/>"));
+  auto reports = warehouse.IngestBatch(std::move(batch), 2);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_TRUE(reports[0].ok());
+  EXPECT_EQ(reports[1].status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WarehouseTest, SaveAndLoadRoundTrip) {
+  const fs::path dir = fs::temp_directory_path() /
+                       ("xydiff_warehouse_test_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+
+  Warehouse warehouse;
+  ASSERT_TRUE(
+      warehouse.Ingest("http://x/a", MustParse("<d><t>alpha one</t></d>"))
+          .ok());
+  ASSERT_TRUE(
+      warehouse.Ingest("http://x/a", MustParse("<d><t>alpha two</t></d>"))
+          .ok());
+  ASSERT_TRUE(
+      warehouse.Ingest("http://x/b", MustParse("<d><t>beta</t></d>")).ok());
+  XY_ASSERT_OK(warehouse.Save(dir.string()));
+
+  Result<std::unique_ptr<Warehouse>> loaded = Warehouse::Load(dir.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->document_count(), 2u);
+  EXPECT_EQ((*loaded)->version_count("http://x/a"), 2);
+  Result<XmlDocument> v1 = (*loaded)->Checkout("http://x/a", 1);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->root()->child(0)->child(0)->text(), "alpha one");
+  // The rebuilt index works.
+  EXPECT_EQ((*loaded)->Search("beta").size(), 1u);
+  fs::remove_all(dir);
+}
+
+TEST(WarehouseTest, EmptyDocumentRejected) {
+  Warehouse warehouse;
+  EXPECT_EQ(warehouse.Ingest("u", XmlDocument()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace xydiff

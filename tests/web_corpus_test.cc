@@ -1,0 +1,89 @@
+#include "simulator/web_corpus.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "xml/serializer.h"
+
+namespace xydiff {
+namespace {
+
+TEST(WebCorpusTest, GeneratesRequestedCount) {
+  Rng rng(1);
+  WebCorpusOptions options;
+  options.document_count = 25;
+  const auto corpus = GenerateWebCorpus(&rng, options);
+  EXPECT_EQ(corpus.size(), 25u);
+}
+
+TEST(WebCorpusTest, SizesRespectBounds) {
+  Rng rng(2);
+  WebCorpusOptions options;
+  options.document_count = 40;
+  const auto corpus = GenerateWebCorpus(&rng, options);
+  for (const XmlDocument& doc : corpus) {
+    const size_t size = SerializeDocument(doc).size();
+    // The generator overshoots its byte budget by at most one item
+    // subtree; allow slack on both ends.
+    EXPECT_GT(size, 20u);
+    EXPECT_LT(size, 3u * options.max_bytes);
+  }
+}
+
+TEST(WebCorpusTest, SizesAreSkewed) {
+  // Log-normal: most documents are smallish, a few are much larger.
+  Rng rng(3);
+  WebCorpusOptions options;
+  options.document_count = 60;
+  const auto corpus = GenerateWebCorpus(&rng, options);
+  std::vector<size_t> sizes;
+  for (const XmlDocument& doc : corpus) {
+    sizes.push_back(SerializeDocument(doc).size());
+  }
+  std::sort(sizes.begin(), sizes.end());
+  const size_t median = sizes[sizes.size() / 2];
+  const size_t max = sizes.back();
+  EXPECT_GT(max, 4 * median) << "expected a long tail";
+}
+
+TEST(WebCorpusTest, WeeklyProfileIsGentle) {
+  const ChangeSimOptions profile = WeeklyWebChangeProfile();
+  EXPECT_LT(profile.delete_probability, 0.1);
+  EXPECT_LT(profile.update_probability, 0.1);
+  EXPECT_LT(profile.insert_probability, 0.1);
+  EXPECT_LT(profile.move_probability, 0.05);
+}
+
+TEST(SiteSnapshotTest, PageCountAndShape) {
+  Rng rng(4);
+  XmlDocument site = GenerateSiteSnapshot(&rng, 50);
+  EXPECT_EQ(site.root()->label(), "site");
+  EXPECT_EQ(site.root()->child_count(), 50u);
+  const XmlNode* page = site.root()->child(0);
+  EXPECT_EQ(page->label(), "page");
+  EXPECT_NE(page->FindAttribute("url"), nullptr);
+  // title, lastModified, links, summary.
+  EXPECT_EQ(page->child_count(), 4u);
+}
+
+TEST(SiteSnapshotTest, PaperScaleSiteIsAboutFiveMegabytes) {
+  // §6.2: ~14 000 pages -> ~5 MB document. Check the scaling factor on a
+  // small sample to keep the test fast.
+  Rng rng(5);
+  XmlDocument sample = GenerateSiteSnapshot(&rng, 1400);
+  const size_t bytes = SerializeDocument(sample).size();
+  const double projected = static_cast<double>(bytes) * 10.0;
+  EXPECT_GT(projected, 2.5e6);
+  EXPECT_LT(projected, 10e6);
+}
+
+TEST(SiteSnapshotTest, RoundTripsThroughParser) {
+  Rng rng(6);
+  XmlDocument site = GenerateSiteSnapshot(&rng, 20);
+  XmlDocument reparsed = MustParse(SerializeDocument(site));
+  EXPECT_TRUE(DocsEqual(site, reparsed));
+}
+
+}  // namespace
+}  // namespace xydiff

@@ -1,0 +1,86 @@
+#include "xid/xid_map.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xydiff {
+namespace {
+
+TEST(XidMapTest, FromSubtreeIsPostorder) {
+  // <a><b>t</b><c/></a> with postfix xids t=1,b=2,c=3,a=4.
+  XmlDocument doc = MustParse("<a><b>t</b><c/></a>");
+  doc.AssignInitialXids();
+  XidMap map = XidMap::FromSubtree(*doc.root());
+  EXPECT_EQ(map.xids(), (std::vector<Xid>{1, 2, 3, 4}));
+  EXPECT_EQ(map.root_xid(), 4u);
+}
+
+TEST(XidMapTest, ToStringCollapsesRuns) {
+  EXPECT_EQ(XidMap(std::vector<Xid>{1, 2, 3, 4}).ToString(), "(1-4)");
+  EXPECT_EQ(XidMap(std::vector<Xid>{5}).ToString(), "(5)");
+  EXPECT_EQ(XidMap(std::vector<Xid>{1, 2, 9, 10, 11, 4}).ToString(), "(1-2;9-11;4)");
+  EXPECT_EQ(XidMap(std::vector<Xid>{}).ToString(), "()");
+}
+
+TEST(XidMapTest, ParseRoundTrip) {
+  for (const auto& xids :
+       {std::vector<Xid>{1, 2, 3}, std::vector<Xid>{7},
+        std::vector<Xid>{3, 4, 5, 6, 7}, std::vector<Xid>{10, 2, 3, 99},
+        std::vector<Xid>{}}) {
+    XidMap map(xids);
+    Result<XidMap> reparsed = XidMap::Parse(map.ToString());
+    ASSERT_TRUE(reparsed.ok()) << map.ToString();
+    EXPECT_EQ(*reparsed, map);
+  }
+}
+
+TEST(XidMapTest, ParsePaperExample) {
+  Result<XidMap> map = XidMap::Parse("(3-7)");
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->xids(), (std::vector<Xid>{3, 4, 5, 6, 7}));
+}
+
+TEST(XidMapTest, ParseWithSpaces) {
+  Result<XidMap> map = XidMap::Parse("  ( 1-2 ; 5 )  ");
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->xids(), (std::vector<Xid>{1, 2, 5}));
+}
+
+TEST(XidMapTest, ParseErrors) {
+  EXPECT_FALSE(XidMap::Parse("1-4").ok());       // No parens.
+  EXPECT_FALSE(XidMap::Parse("(a-b)").ok());     // Not numbers.
+  EXPECT_FALSE(XidMap::Parse("(4-1)").ok());     // Reversed range.
+  EXPECT_FALSE(XidMap::Parse("(1-)").ok());
+  EXPECT_FALSE(XidMap::Parse("(").ok());
+  EXPECT_FALSE(XidMap::Parse("").ok());
+}
+
+TEST(XidMapTest, ApplyToSubtree) {
+  XmlDocument doc = MustParse("<a><b>t</b><c/></a>");
+  XidMap map({10, 20, 30, 40});
+  XY_ASSERT_OK(map.ApplyToSubtree(doc.root()));
+  EXPECT_EQ(doc.root()->xid(), 40u);
+  EXPECT_EQ(doc.root()->child(0)->xid(), 20u);
+  EXPECT_EQ(doc.root()->child(0)->child(0)->xid(), 10u);
+  EXPECT_EQ(doc.root()->child(1)->xid(), 30u);
+}
+
+TEST(XidMapTest, ApplySizeMismatchFails) {
+  XmlDocument doc = MustParse("<a><b/></a>");
+  XidMap map({1, 2, 3});
+  EXPECT_EQ(map.ApplyToSubtree(doc.root()).code(), StatusCode::kCorruption);
+}
+
+TEST(XidMapTest, FromThenApplyIsIdentity) {
+  XmlDocument doc = MustParse("<a><b>x</b><c><d/><e/></c></a>");
+  doc.AssignInitialXids();
+  XidMap map = XidMap::FromSubtree(*doc.root());
+  XmlDocument copy = doc.Clone();
+  // Zero out and restore.
+  copy.root()->Visit([](XmlNode* n) { n->set_xid(kNoXid); });
+  XY_ASSERT_OK(map.ApplyToSubtree(copy.root()));
+  EXPECT_TRUE(DocsEqualWithXids(doc, copy));
+}
+
+}  // namespace
+}  // namespace xydiff

@@ -1,0 +1,209 @@
+#include "xml/node.h"
+
+#include "gtest/gtest.h"
+#include "xml/document.h"
+
+namespace xydiff {
+namespace {
+
+TEST(XmlNodeTest, ElementFactory) {
+  auto e = XmlNode::Element("product");
+  EXPECT_TRUE(e->is_element());
+  EXPECT_FALSE(e->is_text());
+  EXPECT_EQ(e->label(), "product");
+  EXPECT_EQ(e->child_count(), 0u);
+  EXPECT_EQ(e->parent(), nullptr);
+  EXPECT_EQ(e->xid(), kNoXid);
+}
+
+TEST(XmlNodeTest, TextFactory) {
+  auto t = XmlNode::Text("hello");
+  EXPECT_TRUE(t->is_text());
+  EXPECT_EQ(t->text(), "hello");
+  t->set_text("world");
+  EXPECT_EQ(t->text(), "world");
+}
+
+TEST(XmlNodeTest, AttributeSetFindRemove) {
+  auto e = XmlNode::Element("e");
+  EXPECT_EQ(e->FindAttribute("a"), nullptr);
+  e->SetAttribute("a", "1");
+  ASSERT_NE(e->FindAttribute("a"), nullptr);
+  EXPECT_EQ(*e->FindAttribute("a"), "1");
+  e->SetAttribute("a", "2");  // Overwrite.
+  EXPECT_EQ(*e->FindAttribute("a"), "2");
+  EXPECT_EQ(e->attributes().size(), 1u);
+  EXPECT_TRUE(e->RemoveAttribute("a"));
+  EXPECT_FALSE(e->RemoveAttribute("a"));
+  EXPECT_EQ(e->FindAttribute("a"), nullptr);
+}
+
+TEST(XmlNodeTest, ChildInsertionAndOrder) {
+  auto e = XmlNode::Element("parent");
+  XmlNode* c1 = e->AppendChild(XmlNode::Element("one"));
+  XmlNode* c3 = e->AppendChild(XmlNode::Element("three"));
+  XmlNode* c2 = e->InsertChild(1, XmlNode::Element("two"));
+  ASSERT_EQ(e->child_count(), 3u);
+  EXPECT_EQ(e->child(0), c1);
+  EXPECT_EQ(e->child(1), c2);
+  EXPECT_EQ(e->child(2), c3);
+  EXPECT_EQ(c2->parent(), e.get());
+  EXPECT_EQ(c1->IndexInParent(), 0u);
+  EXPECT_EQ(c2->IndexInParent(), 1u);
+  EXPECT_EQ(c3->IndexInParent(), 2u);
+}
+
+TEST(XmlNodeTest, InsertChildClampsIndex) {
+  auto e = XmlNode::Element("parent");
+  e->AppendChild(XmlNode::Element("a"));
+  XmlNode* b = e->InsertChild(99, XmlNode::Element("b"));
+  EXPECT_EQ(e->child(1), b);
+}
+
+TEST(XmlNodeTest, RemoveChildDetaches) {
+  auto e = XmlNode::Element("parent");
+  e->AppendChild(XmlNode::Element("a"));
+  XmlNode* b = e->AppendChild(XmlNode::Element("b"));
+  std::unique_ptr<XmlNode> removed = e->RemoveChild(1);
+  EXPECT_EQ(removed.get(), b);
+  EXPECT_EQ(removed->parent(), nullptr);
+  EXPECT_EQ(e->child_count(), 1u);
+}
+
+TEST(XmlNodeTest, CloneIsDeepAndKeepsXids) {
+  auto e = XmlNode::Element("root");
+  e->set_xid(5);
+  e->SetAttribute("k", "v");
+  XmlNode* child = e->AppendChild(XmlNode::Text("data"));
+  child->set_xid(4);
+
+  auto copy = e->Clone();
+  EXPECT_TRUE(copy->DeepEquals(*e));
+  EXPECT_EQ(copy->xid(), 5u);
+  EXPECT_EQ(copy->child(0)->xid(), 4u);
+  // Mutating the copy must not touch the original.
+  copy->child(0)->set_text("changed");
+  EXPECT_EQ(e->child(0)->text(), "data");
+}
+
+TEST(XmlNodeTest, DeepEqualsIgnoresXidsAndAttributeOrder) {
+  auto a = XmlNode::Element("e");
+  a->SetAttribute("x", "1");
+  a->SetAttribute("y", "2");
+  a->set_xid(1);
+  auto b = XmlNode::Element("e");
+  b->SetAttribute("y", "2");
+  b->SetAttribute("x", "1");
+  b->set_xid(99);
+  EXPECT_TRUE(a->DeepEquals(*b));
+}
+
+TEST(XmlNodeTest, DeepEqualsDetectsDifferences) {
+  auto a = XmlNode::Element("e");
+  a->AppendChild(XmlNode::Text("t"));
+  auto b = XmlNode::Element("e");
+  b->AppendChild(XmlNode::Text("u"));
+  EXPECT_FALSE(a->DeepEquals(*b));
+
+  auto c = XmlNode::Element("f");
+  EXPECT_FALSE(a->DeepEquals(*c));
+
+  auto d = XmlNode::Element("e");
+  EXPECT_FALSE(a->DeepEquals(*d));  // Child count differs.
+
+  auto e2 = XmlNode::Element("e");
+  e2->AppendChild(XmlNode::Text("t"));
+  e2->SetAttribute("k", "v");
+  EXPECT_FALSE(a->DeepEquals(*e2));  // Attribute count differs.
+}
+
+TEST(XmlNodeTest, DeepEqualsChildOrderMatters) {
+  auto a = XmlNode::Element("e");
+  a->AppendChild(XmlNode::Element("x"));
+  a->AppendChild(XmlNode::Element("y"));
+  auto b = XmlNode::Element("e");
+  b->AppendChild(XmlNode::Element("y"));
+  b->AppendChild(XmlNode::Element("x"));
+  EXPECT_FALSE(a->DeepEquals(*b));
+}
+
+TEST(XmlNodeTest, SubtreeSize) {
+  auto e = XmlNode::Element("root");
+  EXPECT_EQ(e->SubtreeSize(), 1u);
+  XmlNode* c = e->AppendChild(XmlNode::Element("c"));
+  c->AppendChild(XmlNode::Text("t"));
+  e->AppendChild(XmlNode::Text("u"));
+  EXPECT_EQ(e->SubtreeSize(), 4u);
+}
+
+TEST(XmlNodeTest, VisitIsDocumentOrder) {
+  auto e = XmlNode::Element("a");
+  XmlNode* b = e->AppendChild(XmlNode::Element("b"));
+  b->AppendChild(XmlNode::Text("t"));
+  e->AppendChild(XmlNode::Element("c"));
+  std::vector<std::string> order;
+  e->Visit([&](const XmlNode* n) {
+    order.push_back(n->is_element() ? n->label() : "#text");
+  });
+  EXPECT_EQ(order, (std::vector<std::string>{"a", "b", "#text", "c"}));
+}
+
+TEST(XmlDocumentTest, AssignInitialXidsIsPostfix) {
+  // <a><b>t</b><c/></a>: postfix order t=1, b=2, c=3, a=4.
+  auto a = XmlNode::Element("a");
+  XmlNode* b = a->AppendChild(XmlNode::Element("b"));
+  XmlNode* t = b->AppendChild(XmlNode::Text("t"));
+  XmlNode* c = a->AppendChild(XmlNode::Element("c"));
+  XmlDocument doc(std::move(a));
+  doc.AssignInitialXids();
+  EXPECT_EQ(t->xid(), 1u);
+  EXPECT_EQ(b->xid(), 2u);
+  EXPECT_EQ(c->xid(), 3u);
+  EXPECT_EQ(doc.root()->xid(), 4u);
+  EXPECT_EQ(doc.next_xid(), 5u);
+  EXPECT_TRUE(doc.AllXidsAssigned());
+}
+
+TEST(XmlDocumentTest, AllocateXidAdvances) {
+  XmlDocument doc(XmlNode::Element("r"));
+  doc.AssignInitialXids();
+  const Xid first = doc.AllocateXid();
+  EXPECT_EQ(first, 2u);
+  EXPECT_EQ(doc.AllocateXid(), 3u);
+  doc.ReserveXidsThrough(10);
+  EXPECT_EQ(doc.AllocateXid(), 11u);
+  doc.ReserveXidsThrough(5);  // No regression.
+  EXPECT_EQ(doc.AllocateXid(), 12u);
+}
+
+TEST(XmlDocumentTest, BuildXidIndex) {
+  XmlDocument doc(XmlNode::Element("r"));
+  doc.root()->AppendChild(XmlNode::Text("x"));
+  doc.AssignInitialXids();
+  auto index = doc.BuildXidIndex();
+  ASSERT_EQ(index.size(), 2u);
+  EXPECT_EQ(index[2], doc.root());
+  EXPECT_EQ(index[1], doc.root()->child(0));
+}
+
+TEST(XmlDocumentTest, CloneCopiesEverything) {
+  XmlDocument doc(XmlNode::Element("r"));
+  doc.dtd().DeclareIdAttribute("r", "id");
+  doc.AssignInitialXids();
+  doc.AllocateXid();
+  XmlDocument copy = doc.Clone();
+  EXPECT_TRUE(copy.root()->DeepEquals(*doc.root()));
+  EXPECT_EQ(copy.next_xid(), doc.next_xid());
+  EXPECT_NE(copy.dtd().IdAttributeFor("r"), nullptr);
+}
+
+TEST(XmlDocumentTest, EmptyDocument) {
+  XmlDocument doc;
+  EXPECT_EQ(doc.root(), nullptr);
+  EXPECT_EQ(doc.node_count(), 0u);
+  EXPECT_TRUE(doc.AllXidsAssigned());
+  doc.AssignInitialXids();  // No crash.
+}
+
+}  // namespace
+}  // namespace xydiff

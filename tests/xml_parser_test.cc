@@ -1,0 +1,255 @@
+#include "xml/parser.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xydiff {
+namespace {
+
+TEST(ParserTest, MinimalDocument) {
+  XmlDocument doc = MustParse("<root/>");
+  ASSERT_NE(doc.root(), nullptr);
+  EXPECT_EQ(doc.root()->label(), "root");
+  EXPECT_EQ(doc.root()->child_count(), 0u);
+}
+
+TEST(ParserTest, NestedElementsAndText) {
+  XmlDocument doc = MustParse("<a><b>hello</b><c><d/></c></a>");
+  const XmlNode* root = doc.root();
+  ASSERT_EQ(root->child_count(), 2u);
+  EXPECT_EQ(root->child(0)->label(), "b");
+  ASSERT_EQ(root->child(0)->child_count(), 1u);
+  EXPECT_EQ(root->child(0)->child(0)->text(), "hello");
+  EXPECT_EQ(root->child(1)->child(0)->label(), "d");
+}
+
+TEST(ParserTest, Attributes) {
+  XmlDocument doc = MustParse(R"(<e a="1" b='two' c="a&amp;b"/>)");
+  EXPECT_EQ(*doc.root()->FindAttribute("a"), "1");
+  EXPECT_EQ(*doc.root()->FindAttribute("b"), "two");
+  EXPECT_EQ(*doc.root()->FindAttribute("c"), "a&b");
+}
+
+TEST(ParserTest, EntityReferences) {
+  XmlDocument doc = MustParse("<t>&lt;tag&gt; &amp; &quot;q&quot; &apos;</t>");
+  EXPECT_EQ(doc.root()->child(0)->text(), "<tag> & \"q\" '");
+}
+
+TEST(ParserTest, NumericCharacterReferences) {
+  XmlDocument doc = MustParse("<t>&#65;&#x42;&#233;</t>");
+  EXPECT_EQ(doc.root()->child(0)->text(), "AB\xC3\xA9");
+}
+
+TEST(ParserTest, Utf8MultibyteReferences) {
+  // U+20AC euro sign (3 bytes), U+1F600 (4 bytes).
+  XmlDocument doc = MustParse("<t>&#x20AC;&#x1F600;</t>");
+  EXPECT_EQ(doc.root()->child(0)->text(), "\xE2\x82\xAC\xF0\x9F\x98\x80");
+}
+
+TEST(ParserTest, CdataSection) {
+  XmlDocument doc = MustParse("<t><![CDATA[<not & parsed>]]></t>");
+  EXPECT_EQ(doc.root()->child(0)->text(), "<not & parsed>");
+}
+
+TEST(ParserTest, CdataMergesWithAdjacentText) {
+  XmlDocument doc = MustParse("<t>pre <![CDATA[mid]]> post</t>");
+  ASSERT_EQ(doc.root()->child_count(), 1u);
+  EXPECT_EQ(doc.root()->child(0)->text(), "pre mid post");
+}
+
+TEST(ParserTest, CommentsAreSkipped) {
+  XmlDocument doc = MustParse("<a><!-- comment --><b/><!-- <fake/> --></a>");
+  ASSERT_EQ(doc.root()->child_count(), 1u);
+  EXPECT_EQ(doc.root()->child(0)->label(), "b");
+}
+
+TEST(ParserTest, ProcessingInstructionsSkipped) {
+  XmlDocument doc =
+      MustParse("<?xml version=\"1.0\"?><a><?target data?><b/></a>");
+  ASSERT_EQ(doc.root()->child_count(), 1u);
+}
+
+TEST(ParserTest, WhitespaceOnlyTextDroppedByDefault) {
+  XmlDocument doc = MustParse("<a>\n  <b/>\n  <c/>\n</a>");
+  EXPECT_EQ(doc.root()->child_count(), 2u);
+}
+
+TEST(ParserTest, WhitespaceKeptWhenRequested) {
+  ParseOptions options;
+  options.keep_whitespace_text = true;
+  Result<XmlDocument> doc = ParseXml("<a> <b/> </a>", options);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->child_count(), 3u);
+}
+
+TEST(ParserTest, MixedContentPreserved) {
+  XmlDocument doc = MustParse("<p>before <b>bold</b> after</p>");
+  ASSERT_EQ(doc.root()->child_count(), 3u);
+  EXPECT_EQ(doc.root()->child(0)->text(), "before ");
+  EXPECT_EQ(doc.root()->child(1)->label(), "b");
+  EXPECT_EQ(doc.root()->child(2)->text(), " after");
+}
+
+TEST(ParserTest, DoctypeWithIdAttlist) {
+  XmlDocument doc = MustParse(R"(<!DOCTYPE catalog [
+    <!ELEMENT catalog (product*)>
+    <!ATTLIST product ref ID #REQUIRED>
+    <!ATTLIST product kind CDATA #IMPLIED>
+    <!ATTLIST item code ID #IMPLIED other CDATA "dflt">
+  ]>
+  <catalog><product ref="p1"/></catalog>)");
+  EXPECT_EQ(doc.dtd().doctype_name(), "catalog");
+  ASSERT_NE(doc.dtd().IdAttributeFor("product"), nullptr);
+  EXPECT_EQ(*doc.dtd().IdAttributeFor("product"), "ref");
+  ASSERT_NE(doc.dtd().IdAttributeFor("item"), nullptr);
+  EXPECT_EQ(*doc.dtd().IdAttributeFor("item"), "code");
+  EXPECT_EQ(doc.dtd().IdAttributeFor("catalog"), nullptr);
+}
+
+TEST(ParserTest, DoctypeWithExternalIdSkipped) {
+  XmlDocument doc = MustParse(
+      "<!DOCTYPE html PUBLIC \"-//W3C//DTD\" \"http://x/[y]\"><html/>");
+  EXPECT_EQ(doc.root()->label(), "html");
+  EXPECT_EQ(doc.dtd().doctype_name(), "html");
+}
+
+TEST(ParserTest, AttlistEnumerationType) {
+  XmlDocument doc = MustParse(R"(<!DOCTYPE r [
+    <!ATTLIST e kind (a|b|c) "a" key ID #IMPLIED>
+  ]><r/>)");
+  ASSERT_NE(doc.dtd().IdAttributeFor("e"), nullptr);
+  EXPECT_EQ(*doc.dtd().IdAttributeFor("e"), "key");
+}
+
+TEST(ParserTest, ErrorMismatchedTags) {
+  Result<XmlDocument> doc = ParseXml("<a><b></a></b>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+  EXPECT_NE(doc.status().message().find("mismatched"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorUnterminatedElement) {
+  EXPECT_FALSE(ParseXml("<a><b>").ok());
+}
+
+TEST(ParserTest, ErrorDuplicateAttribute) {
+  Result<XmlDocument> doc = ParseXml(R"(<a x="1" x="2"/>)");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorUnknownEntity) {
+  EXPECT_FALSE(ParseXml("<a>&unknown;</a>").ok());
+}
+
+TEST(ParserTest, CustomEntityDeclarationAndExpansion) {
+  XmlDocument doc = MustParse(R"(<!DOCTYPE r [
+    <!ENTITY co "Xyleme S.A.">
+  ]><r><t>Brought to you by &co;.</t></r>)");
+  EXPECT_EQ(doc.root()->child(0)->child(0)->text(),
+            "Brought to you by Xyleme S.A..");
+}
+
+TEST(ParserTest, EntityInAttributeValue) {
+  XmlDocument doc = MustParse(R"(<!DOCTYPE r [
+    <!ENTITY brand "ACME">
+  ]><r owner="&brand; corp"/>)");
+  EXPECT_EQ(*doc.root()->FindAttribute("owner"), "ACME corp");
+}
+
+TEST(ParserTest, NestedEntityExpansion) {
+  XmlDocument doc = MustParse(R"(<!DOCTYPE r [
+    <!ENTITY inner "deep &amp; nested">
+    <!ENTITY outer "with &inner; value">
+  ]><r><t>&outer;</t></r>)");
+  EXPECT_EQ(doc.root()->child(0)->child(0)->text(),
+            "with deep & nested value");
+}
+
+TEST(ParserTest, EntityCycleRejected) {
+  Result<XmlDocument> doc = ParseXml(R"(<!DOCTYPE r [
+    <!ENTITY a "&b;">
+    <!ENTITY b "&a;">
+  ]><r><t>&a;</t></r>)");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("deep"), std::string::npos);
+}
+
+TEST(ParserTest, EntityWithMarkupRejected) {
+  Result<XmlDocument> doc = ParseXml(R"(<!DOCTYPE r [
+    <!ENTITY frag "<item/>">
+  ]><r>&frag;</r>)");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("markup"), std::string::npos);
+}
+
+TEST(ParserTest, ParameterAndExternalEntitiesSkipped) {
+  // Neither declaration blows up the parse; uses of them are unknown.
+  XmlDocument doc = MustParse(R"(<!DOCTYPE r [
+    <!ENTITY % param "ignored">
+    <!ENTITY ext SYSTEM "http://example.com/x.ent">
+  ]><r/>)");
+  EXPECT_EQ(doc.root()->label(), "r");
+}
+
+TEST(ParserTest, EntityWithCharacterReference) {
+  XmlDocument doc = MustParse(R"(<!DOCTYPE r [
+    <!ENTITY euro "&#x20AC;">
+  ]><r><t>&euro;5</t></r>)");
+  EXPECT_EQ(doc.root()->child(0)->child(0)->text(), "\xE2\x82\xAC""5");
+}
+
+TEST(ParserTest, ErrorBadCharacterReference) {
+  EXPECT_FALSE(ParseXml("<a>&#xZZ;</a>").ok());
+  EXPECT_FALSE(ParseXml("<a>&#99999999;</a>").ok());
+}
+
+TEST(ParserTest, ErrorTrailingContent) {
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());
+  EXPECT_FALSE(ParseXml("<a/>junk").ok());
+}
+
+TEST(ParserTest, ErrorEmptyInput) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("   ").ok());
+}
+
+TEST(ParserTest, ErrorAttributeSyntax) {
+  EXPECT_FALSE(ParseXml("<a x=1/>").ok());        // Unquoted.
+  EXPECT_FALSE(ParseXml("<a x/>").ok());          // No value.
+  EXPECT_FALSE(ParseXml("<a x=\"1/>").ok());      // Unterminated.
+  EXPECT_FALSE(ParseXml("<a x=\"<\"/>").ok());    // '<' in value.
+}
+
+TEST(ParserTest, ErrorMessageHasLineAndColumn) {
+  Result<XmlDocument> doc = ParseXml("<a>\n<b>\n</c>\n</a>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(ParserTest, DepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "<d>";
+  deep += "x";
+  for (int i = 0; i < 200; ++i) deep += "</d>";
+  ParseOptions options;
+  options.max_depth = 100;
+  EXPECT_FALSE(ParseXml(deep, options).ok());
+  options.max_depth = 500;
+  EXPECT_TRUE(ParseXml(deep, options).ok());
+}
+
+TEST(ParserTest, NamespacePrefixesKeptVerbatim) {
+  XmlDocument doc = MustParse("<ns:a xmlns:ns=\"urn:x\"><ns:b/></ns:a>");
+  EXPECT_EQ(doc.root()->label(), "ns:a");
+  EXPECT_EQ(doc.root()->child(0)->label(), "ns:b");
+}
+
+TEST(ParserTest, ParseFileNotFound) {
+  Result<XmlDocument> doc = ParseXmlFile("/nonexistent/path.xml");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace xydiff

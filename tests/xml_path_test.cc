@@ -1,0 +1,142 @@
+#include "xml/path.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xydiff {
+namespace {
+
+XmlPath MustParsePath(std::string_view expr) {
+  Result<XmlPath> path = XmlPath::Parse(expr);
+  EXPECT_TRUE(path.ok()) << path.status().ToString();
+  return std::move(path.value());
+}
+
+TEST(XmlPathTest, AbsoluteChildPath) {
+  XmlDocument doc = MustParse("<a><b><c/></b><c/></a>");
+  XmlPath path = MustParsePath("/a/b/c");
+  const auto hits = path.FindAll(*doc.root());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], doc.root()->child(0)->child(0));
+}
+
+TEST(XmlPathTest, RootMustAnchor) {
+  XmlDocument doc = MustParse("<a><a><b/></a></a>");
+  // "/a/b" matches only b under the root's direct "a"? The root IS "a";
+  // "/a/b" = root a, then child b: the inner <b/> is at depth 2, so no.
+  XmlPath path = MustParsePath("/a/b");
+  EXPECT_TRUE(path.FindAll(*doc.root()).empty());
+  XmlPath deeper = MustParsePath("/a/a/b");
+  EXPECT_EQ(deeper.FindAll(*doc.root()).size(), 1u);
+}
+
+TEST(XmlPathTest, DescendantAxis) {
+  XmlDocument doc = MustParse("<r><x><p/></x><y><z><p/></z></y></r>");
+  XmlPath path = MustParsePath("//p");
+  EXPECT_EQ(path.FindAll(*doc.root()).size(), 2u);
+}
+
+TEST(XmlPathTest, DescendantMidPath) {
+  XmlDocument doc = MustParse("<r><a><deep><b/></deep></a><b/></r>");
+  XmlPath path = MustParsePath("/r//b");
+  EXPECT_EQ(path.FindAll(*doc.root()).size(), 2u);
+  XmlPath strict = MustParsePath("/r/a//b");
+  EXPECT_EQ(strict.FindAll(*doc.root()).size(), 1u);
+}
+
+TEST(XmlPathTest, Wildcard) {
+  XmlDocument doc = MustParse("<r><a/><b/><c><d/></c></r>");
+  XmlPath path = MustParsePath("/r/*");
+  EXPECT_EQ(path.FindAll(*doc.root()).size(), 3u);
+}
+
+TEST(XmlPathTest, AttributePredicate) {
+  XmlDocument doc = MustParse(
+      R"(<cat><p status="new"/><p status="old"/><p/></cat>)");
+  XmlPath path = MustParsePath("/cat/p[@status='new']");
+  ASSERT_EQ(path.FindAll(*doc.root()).size(), 1u);
+  EXPECT_EQ(*path.FindAll(*doc.root())[0]->FindAttribute("status"), "new");
+}
+
+TEST(XmlPathTest, MatchesSingleNode) {
+  XmlDocument doc = MustParse("<a><b/></a>");
+  XmlPath path = MustParsePath("/a/b");
+  EXPECT_TRUE(path.Matches(*doc.root()->child(0)));
+  EXPECT_FALSE(path.Matches(*doc.root()));
+}
+
+TEST(XmlPathTest, TextNodesNeverMatch) {
+  XmlDocument doc = MustParse("<a><b>text</b></a>");
+  XmlPath path = MustParsePath("//b");
+  EXPECT_EQ(path.FindAll(*doc.root()).size(), 1u);
+  XmlPath wild = MustParsePath("//*");
+  // a and b, but not the text node.
+  EXPECT_EQ(wild.FindAll(*doc.root()).size(), 2u);
+}
+
+TEST(XmlPathTest, TextPredicate) {
+  XmlDocument doc = MustParse(
+      "<cat><Product><Name>zy456</Name></Product>"
+      "<Product><Name>abc</Name></Product></cat>");
+  XmlPath path = MustParsePath("//Name[text()='zy456']");
+  const auto hits = path.FindAll(*doc.root());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->child(0)->text(), "zy456");
+}
+
+TEST(XmlPathTest, TextPredicateMidPath) {
+  XmlDocument doc = MustParse(
+      "<r><sec><title>Intro</title><p>a</p></sec>"
+      "<sec><title>Outro</title><p>b</p></sec></r>");
+  // Select the <title> of the Intro section only.
+  XmlPath path = MustParsePath("/r/sec/title[text()='Intro']");
+  ASSERT_EQ(path.FindAll(*doc.root()).size(), 1u);
+}
+
+TEST(XmlPathTest, TextPredicateConcatenatesDirectText) {
+  XmlDocument doc = MustParse("<r><t>ab<i/>cd</t></r>");
+  XmlPath path = MustParsePath("//t[text()='abcd']");
+  EXPECT_EQ(path.FindAll(*doc.root()).size(), 1u);
+  // Nested text does not count.
+  XmlDocument doc2 = MustParse("<r><t><i>abcd</i></t></r>");
+  EXPECT_TRUE(path.FindAll(*doc2.root()).empty());
+}
+
+TEST(XmlPathTest, TextPredicateEmptyValue) {
+  XmlDocument doc = MustParse("<r><empty/><full>x</full></r>");
+  XmlPath path = MustParsePath("/r/*[text()='']");
+  ASSERT_EQ(path.FindAll(*doc.root()).size(), 1u);
+  EXPECT_EQ(path.FindAll(*doc.root())[0]->label(), "empty");
+}
+
+TEST(XmlPathTest, TextPredicateParseErrors) {
+  EXPECT_FALSE(XmlPath::Parse("/a[text()=x]").ok());
+  EXPECT_FALSE(XmlPath::Parse("/a[text()='x]").ok());
+  EXPECT_FALSE(XmlPath::Parse("/a[text()='x'").ok());
+}
+
+TEST(XmlPathTest, ParseErrors) {
+  EXPECT_FALSE(XmlPath::Parse("").ok());
+  EXPECT_FALSE(XmlPath::Parse("relative/path").ok());
+  EXPECT_FALSE(XmlPath::Parse("/a/").ok());
+  EXPECT_FALSE(XmlPath::Parse("/a[@x]").ok());
+  EXPECT_FALSE(XmlPath::Parse("/a[@x='unterminated]").ok());
+  EXPECT_FALSE(XmlPath::Parse("/a[x='1']").ok());
+}
+
+TEST(XmlPathTest, ExpressionAccessor) {
+  XmlPath path = MustParsePath("/a/b");
+  EXPECT_EQ(path.expression(), "/a/b");
+}
+
+TEST(XmlPathTest, PaperSubscriptionExample) {
+  // "a new product has been added to a catalog" (§2).
+  XmlDocument doc = MustParse(
+      "<Category><NewProducts><Product><Name>zy</Name></Product>"
+      "</NewProducts></Category>");
+  XmlPath path = MustParsePath("/Category/NewProducts/Product");
+  EXPECT_EQ(path.FindAll(*doc.root()).size(), 1u);
+}
+
+}  // namespace
+}  // namespace xydiff

@@ -1,0 +1,323 @@
+// xydiff_tool — command-line front end, in the spirit of the utilities
+// the original XyDiff distribution shipped ("Xydiff, tools for detecting
+// changes in XML documents", reference [8] of the paper).
+//
+//   xydiff_tool diff OLD.xml NEW.xml [-o DELTA] [--meta M] [--write-meta M2]
+//               [--pretty] [--no-moves] [--no-ids] [--window N] [--stats]
+//   xydiff_tool patch DOC.xml DELTA.xml [-o OUT] [--meta M] [--reverse]
+//               [--write-meta M2]
+//   xydiff_tool invert DELTA.xml [-o OUT]
+//   xydiff_tool compose BASE.xml D1.xml D2.xml [-o OUT] [--meta M]
+//   xydiff_tool stats DELTA.xml
+//   xydiff_tool validate DELTA.xml
+//
+// XIDs are persisted in sidecar meta files (--meta / --write-meta, see
+// version/storage.h); without one, a document gets first-version postfix
+// XIDs, which is reproducible, so `patch` on the same file pair works
+// without any sidecars.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/buld.h"
+#include "delta/apply.h"
+#include "delta/compose.h"
+#include "delta/delta_xml.h"
+#include "delta/invert.h"
+#include "delta/summary.h"
+#include "delta/validate.h"
+#include "util/status.h"
+#include "version/storage.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xydiff {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: xydiff_tool <diff|patch|invert|compose|stats|validate>"
+               " [args...]\n"
+               "run a command without arguments for details; also: explain\n");
+  return 2;
+}
+
+/// Minimal flag cracker: positionals in order, flags by name.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "-o" || arg == "--meta" || arg == "--write-meta" ||
+          arg == "--window") {
+        if (i + 1 >= argc) {
+          error_ = "flag " + arg + " needs a value";
+          return;
+        }
+        named_[arg] = argv[++i];
+      } else if (arg.rfind("--", 0) == 0) {
+        named_[arg] = "";
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+  }
+
+  const std::string& error() const { return error_; }
+  const std::vector<std::string>& positional() const { return positional_; }
+  bool Has(const std::string& flag) const { return named_.count(flag) != 0; }
+  std::optional<std::string> Get(const std::string& flag) const {
+    auto it = named_.find(flag);
+    if (it == named_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> named_;
+  std::string error_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Status WriteOutput(const std::optional<std::string>& path,
+                   const std::string& content) {
+  if (!path.has_value()) {
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    return Status::OK();
+  }
+  std::ofstream out(*path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::NotFound("cannot write " + *path);
+  out << content;
+  return Status::OK();
+}
+
+/// Loads a document; with `meta` its persisted XIDs, else first-version
+/// postfix XIDs.
+Result<XmlDocument> LoadVersion(const std::string& xml_path,
+                                const std::optional<std::string>& meta) {
+  if (meta.has_value()) return LoadDocumentWithXids(xml_path, *meta);
+  Result<XmlDocument> doc = ParseXmlFile(xml_path);
+  if (!doc.ok()) return doc.status();
+  doc->AssignInitialXids();
+  return doc;
+}
+
+Result<Delta> LoadDelta(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseDelta(buffer.str());
+}
+
+void PrintDeltaStats(const Delta& delta) {
+  std::printf("operations     : %zu\n", delta.operation_count());
+  std::printf("  deletes      : %zu\n", delta.deletes().size());
+  std::printf("  inserts      : %zu\n", delta.inserts().size());
+  std::printf("  moves        : %zu\n", delta.moves().size());
+  std::printf("  text updates : %zu\n", delta.updates().size());
+  std::printf("  attribute ops: %zu\n", delta.attribute_ops().size());
+  std::printf("snapshot nodes : %zu\n", delta.snapshot_node_count());
+  std::printf("edit cost      : %zu\n", delta.edit_cost());
+  std::printf("xid range      : old next %llu, new next %llu\n",
+              static_cast<unsigned long long>(delta.old_next_xid()),
+              static_cast<unsigned long long>(delta.new_next_xid()));
+}
+
+int CmdDiff(const Args& args) {
+  if (args.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "usage: xydiff_tool diff OLD.xml NEW.xml [-o DELTA]"
+                 " [--meta M] [--write-meta M2] [--pretty] [--no-moves]"
+                 " [--no-ids] [--window N] [--stats]\n");
+    return 2;
+  }
+  Result<XmlDocument> old_doc =
+      LoadVersion(args.positional()[0], args.Get("--meta"));
+  if (!old_doc.ok()) return Fail(old_doc.status());
+  Result<XmlDocument> new_doc = ParseXmlFile(args.positional()[1]);
+  if (!new_doc.ok()) return Fail(new_doc.status());
+
+  DiffOptions options;
+  if (args.Has("--no-moves")) options.detect_moves = false;
+  if (args.Has("--no-ids")) options.use_id_attributes = false;
+  if (auto window = args.Get("--window")) {
+    options.lops_window = static_cast<size_t>(std::stoul(*window));
+  }
+
+  DiffStats stats;
+  Result<Delta> delta =
+      XyDiff(&old_doc.value(), &new_doc.value(), options, &stats);
+  if (!delta.ok()) return Fail(delta.status());
+
+  if (Status s = WriteOutput(args.Get("-o"),
+                             SerializeDelta(*delta, args.Has("--pretty")));
+      !s.ok()) {
+    return Fail(s);
+  }
+  if (auto meta = args.Get("--write-meta")) {
+    // Persist the new version's XIDs so future diffs chain correctly.
+    if (Status s = SaveDocumentWithXids(
+            *new_doc, args.positional()[1] + ".xy.xml", *meta);
+        !s.ok()) {
+      return Fail(s);
+    }
+  }
+  if (args.Has("--stats")) {
+    std::fprintf(stderr,
+                 "nodes %zu -> %zu, matched %zu, diff time %.3f ms\n",
+                 stats.nodes_old, stats.nodes_new, stats.matched_nodes,
+                 stats.total_seconds() * 1e3);
+  }
+  return 0;
+}
+
+int CmdPatch(const Args& args) {
+  if (args.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "usage: xydiff_tool patch DOC.xml DELTA.xml [-o OUT]"
+                 " [--meta M] [--reverse] [--write-meta M2]\n");
+    return 2;
+  }
+  Result<XmlDocument> doc =
+      LoadVersion(args.positional()[0], args.Get("--meta"));
+  if (!doc.ok()) return Fail(doc.status());
+  Result<Delta> delta = LoadDelta(args.positional()[1]);
+  if (!delta.ok()) return Fail(delta.status());
+
+  const Status applied = args.Has("--reverse")
+                             ? ApplyDeltaInverse(*delta, &doc.value())
+                             : ApplyDelta(*delta, &doc.value());
+  if (!applied.ok()) return Fail(applied);
+
+  SerializeOptions serialize;
+  serialize.xml_declaration = true;
+  serialize.doctype = true;
+  if (Status s = WriteOutput(args.Get("-o"), SerializeDocument(*doc, serialize));
+      !s.ok()) {
+    return Fail(s);
+  }
+  if (auto meta = args.Get("--write-meta")) {
+    const std::string xml_path =
+        args.Get("-o").value_or(args.positional()[0] + ".patched.xml");
+    if (Status s = SaveDocumentWithXids(*doc, xml_path, *meta); !s.ok()) {
+      return Fail(s);
+    }
+  }
+  return 0;
+}
+
+int CmdInvert(const Args& args) {
+  if (args.positional().size() != 1) {
+    std::fprintf(stderr, "usage: xydiff_tool invert DELTA.xml [-o OUT]\n");
+    return 2;
+  }
+  Result<Delta> delta = LoadDelta(args.positional()[0]);
+  if (!delta.ok()) return Fail(delta.status());
+  if (Status s =
+          WriteOutput(args.Get("-o"), SerializeDelta(InvertDelta(*delta)));
+      !s.ok()) {
+    return Fail(s);
+  }
+  return 0;
+}
+
+int CmdCompose(const Args& args) {
+  if (args.positional().size() != 3) {
+    std::fprintf(stderr,
+                 "usage: xydiff_tool compose BASE.xml D1.xml D2.xml"
+                 " [-o OUT] [--meta M]\n");
+    return 2;
+  }
+  Result<XmlDocument> base =
+      LoadVersion(args.positional()[0], args.Get("--meta"));
+  if (!base.ok()) return Fail(base.status());
+  Result<Delta> d1 = LoadDelta(args.positional()[1]);
+  if (!d1.ok()) return Fail(d1.status());
+  Result<Delta> d2 = LoadDelta(args.positional()[2]);
+  if (!d2.ok()) return Fail(d2.status());
+  Result<Delta> composed = ComposeDeltas(*base, *d1, *d2);
+  if (!composed.ok()) return Fail(composed.status());
+  if (Status s = WriteOutput(args.Get("-o"), SerializeDelta(*composed));
+      !s.ok()) {
+    return Fail(s);
+  }
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  if (args.positional().size() != 1) {
+    std::fprintf(stderr, "usage: xydiff_tool stats DELTA.xml\n");
+    return 2;
+  }
+  Result<Delta> delta = LoadDelta(args.positional()[0]);
+  if (!delta.ok()) return Fail(delta.status());
+  PrintDeltaStats(*delta);
+  return 0;
+}
+
+int CmdExplain(const Args& args) {
+  if (args.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "usage: xydiff_tool explain OLD.xml DELTA.xml [--meta M]\n");
+    return 2;
+  }
+  Result<XmlDocument> old_doc =
+      LoadVersion(args.positional()[0], args.Get("--meta"));
+  if (!old_doc.ok()) return Fail(old_doc.status());
+  Result<Delta> delta = LoadDelta(args.positional()[1]);
+  if (!delta.ok()) return Fail(delta.status());
+  // Materialize the new version to resolve target-side paths.
+  XmlDocument new_doc = old_doc->Clone();
+  if (Status s = ApplyDelta(*delta, &new_doc); !s.ok()) return Fail(s);
+  Result<std::string> report = ExplainDelta(*delta, *old_doc, new_doc);
+  if (!report.ok()) return Fail(report.status());
+  std::fputs(report->c_str(), stdout);
+  return 0;
+}
+
+int CmdValidate(const Args& args) {
+  if (args.positional().size() != 1) {
+    std::fprintf(stderr, "usage: xydiff_tool validate DELTA.xml\n");
+    return 2;
+  }
+  Result<Delta> delta = LoadDelta(args.positional()[0]);
+  if (!delta.ok()) return Fail(delta.status());
+  if (Status s = ValidateDelta(*delta); !s.ok()) return Fail(s);
+  std::printf("ok: %zu operation(s)\n", delta->operation_count());
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Args args(argc, argv);
+  if (!args.error().empty()) {
+    std::fprintf(stderr, "error: %s\n", args.error().c_str());
+    return 2;
+  }
+  if (command == "diff") return CmdDiff(args);
+  if (command == "patch") return CmdPatch(args);
+  if (command == "invert") return CmdInvert(args);
+  if (command == "compose") return CmdCompose(args);
+  if (command == "stats") return CmdStats(args);
+  if (command == "validate") return CmdValidate(args);
+  if (command == "explain") return CmdExplain(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace xydiff
+
+int main(int argc, char** argv) { return xydiff::Run(argc, argv); }
