@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_unixdiff.dir/bench_fig6_unixdiff.cpp.o"
+  "CMakeFiles/bench_fig6_unixdiff.dir/bench_fig6_unixdiff.cpp.o.d"
+  "bench_fig6_unixdiff"
+  "bench_fig6_unixdiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_unixdiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_repository.dir/bench_repository.cpp.o"
+  "CMakeFiles/bench_repository.dir/bench_repository.cpp.o.d"
+  "bench_repository"
+  "bench_repository.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_repository.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

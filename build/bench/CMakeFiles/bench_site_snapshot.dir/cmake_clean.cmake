@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_site_snapshot.dir/bench_site_snapshot.cpp.o"
+  "CMakeFiles/bench_site_snapshot.dir/bench_site_snapshot.cpp.o.d"
+  "bench_site_snapshot"
+  "bench_site_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_site_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_monitor.dir/catalog_monitor.cpp.o"
+  "CMakeFiles/catalog_monitor.dir/catalog_monitor.cpp.o.d"
+  "catalog_monitor"
+  "catalog_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

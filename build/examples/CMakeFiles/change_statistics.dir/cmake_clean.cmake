@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/change_statistics.dir/change_statistics.cpp.o"
+  "CMakeFiles/change_statistics.dir/change_statistics.cpp.o.d"
+  "change_statistics"
+  "change_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/change_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

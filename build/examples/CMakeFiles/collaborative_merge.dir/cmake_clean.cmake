@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collaborative_merge.dir/collaborative_merge.cpp.o"
+  "CMakeFiles/collaborative_merge.dir/collaborative_merge.cpp.o.d"
+  "collaborative_merge"
+  "collaborative_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collaborative_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_store.dir/version_store.cpp.o"
+  "CMakeFiles/version_store.dir/version_store.cpp.o.d"
+  "version_store"
+  "version_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

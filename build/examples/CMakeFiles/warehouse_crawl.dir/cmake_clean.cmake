@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_crawl.dir/warehouse_crawl.cpp.o"
+  "CMakeFiles/warehouse_crawl.dir/warehouse_crawl.cpp.o.d"
+  "warehouse_crawl"
+  "warehouse_crawl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_crawl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

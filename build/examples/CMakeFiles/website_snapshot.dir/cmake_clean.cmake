@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/website_snapshot.dir/website_snapshot.cpp.o"
+  "CMakeFiles/website_snapshot.dir/website_snapshot.cpp.o.d"
+  "website_snapshot"
+  "website_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/website_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/ladiff.cc" "src/CMakeFiles/xydiff.dir/baseline/ladiff.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/baseline/ladiff.cc.o.d"
+  "/root/repo/src/baseline/list_diff.cc" "src/CMakeFiles/xydiff.dir/baseline/list_diff.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/baseline/list_diff.cc.o.d"
+  "/root/repo/src/baseline/myers_diff.cc" "src/CMakeFiles/xydiff.dir/baseline/myers_diff.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/baseline/myers_diff.cc.o.d"
+  "/root/repo/src/baseline/selkow.cc" "src/CMakeFiles/xydiff.dir/baseline/selkow.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/baseline/selkow.cc.o.d"
+  "/root/repo/src/baseline/zhang_shasha.cc" "src/CMakeFiles/xydiff.dir/baseline/zhang_shasha.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/baseline/zhang_shasha.cc.o.d"
+  "/root/repo/src/core/buld.cc" "src/CMakeFiles/xydiff.dir/core/buld.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/core/buld.cc.o.d"
+  "/root/repo/src/core/candidates.cc" "src/CMakeFiles/xydiff.dir/core/candidates.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/core/candidates.cc.o.d"
+  "/root/repo/src/core/delta_builder.cc" "src/CMakeFiles/xydiff.dir/core/delta_builder.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/core/delta_builder.cc.o.d"
+  "/root/repo/src/core/diff_tree.cc" "src/CMakeFiles/xydiff.dir/core/diff_tree.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/core/diff_tree.cc.o.d"
+  "/root/repo/src/core/lcs.cc" "src/CMakeFiles/xydiff.dir/core/lcs.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/core/lcs.cc.o.d"
+  "/root/repo/src/core/match_ids.cc" "src/CMakeFiles/xydiff.dir/core/match_ids.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/core/match_ids.cc.o.d"
+  "/root/repo/src/core/propagate.cc" "src/CMakeFiles/xydiff.dir/core/propagate.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/core/propagate.cc.o.d"
+  "/root/repo/src/core/signature.cc" "src/CMakeFiles/xydiff.dir/core/signature.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/core/signature.cc.o.d"
+  "/root/repo/src/delta/apply.cc" "src/CMakeFiles/xydiff.dir/delta/apply.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/delta/apply.cc.o.d"
+  "/root/repo/src/delta/compose.cc" "src/CMakeFiles/xydiff.dir/delta/compose.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/delta/compose.cc.o.d"
+  "/root/repo/src/delta/delta.cc" "src/CMakeFiles/xydiff.dir/delta/delta.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/delta/delta.cc.o.d"
+  "/root/repo/src/delta/delta_xml.cc" "src/CMakeFiles/xydiff.dir/delta/delta_xml.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/delta/delta_xml.cc.o.d"
+  "/root/repo/src/delta/invert.cc" "src/CMakeFiles/xydiff.dir/delta/invert.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/delta/invert.cc.o.d"
+  "/root/repo/src/delta/merge.cc" "src/CMakeFiles/xydiff.dir/delta/merge.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/delta/merge.cc.o.d"
+  "/root/repo/src/delta/summary.cc" "src/CMakeFiles/xydiff.dir/delta/summary.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/delta/summary.cc.o.d"
+  "/root/repo/src/delta/validate.cc" "src/CMakeFiles/xydiff.dir/delta/validate.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/delta/validate.cc.o.d"
+  "/root/repo/src/monitor/change_stats.cc" "src/CMakeFiles/xydiff.dir/monitor/change_stats.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/monitor/change_stats.cc.o.d"
+  "/root/repo/src/monitor/index.cc" "src/CMakeFiles/xydiff.dir/monitor/index.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/monitor/index.cc.o.d"
+  "/root/repo/src/monitor/subscription.cc" "src/CMakeFiles/xydiff.dir/monitor/subscription.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/monitor/subscription.cc.o.d"
+  "/root/repo/src/simulator/change_simulator.cc" "src/CMakeFiles/xydiff.dir/simulator/change_simulator.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/simulator/change_simulator.cc.o.d"
+  "/root/repo/src/simulator/doc_generator.cc" "src/CMakeFiles/xydiff.dir/simulator/doc_generator.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/simulator/doc_generator.cc.o.d"
+  "/root/repo/src/simulator/web_corpus.cc" "src/CMakeFiles/xydiff.dir/simulator/web_corpus.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/simulator/web_corpus.cc.o.d"
+  "/root/repo/src/util/hash.cc" "src/CMakeFiles/xydiff.dir/util/hash.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/util/hash.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/xydiff.dir/util/random.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/xydiff.dir/util/status.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/xydiff.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/util/string_util.cc.o.d"
+  "/root/repo/src/version/repository.cc" "src/CMakeFiles/xydiff.dir/version/repository.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/version/repository.cc.o.d"
+  "/root/repo/src/version/site_diff.cc" "src/CMakeFiles/xydiff.dir/version/site_diff.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/version/site_diff.cc.o.d"
+  "/root/repo/src/version/storage.cc" "src/CMakeFiles/xydiff.dir/version/storage.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/version/storage.cc.o.d"
+  "/root/repo/src/version/warehouse.cc" "src/CMakeFiles/xydiff.dir/version/warehouse.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/version/warehouse.cc.o.d"
+  "/root/repo/src/xid/xid_map.cc" "src/CMakeFiles/xydiff.dir/xid/xid_map.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/xid/xid_map.cc.o.d"
+  "/root/repo/src/xml/document.cc" "src/CMakeFiles/xydiff.dir/xml/document.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/xml/document.cc.o.d"
+  "/root/repo/src/xml/dtd.cc" "src/CMakeFiles/xydiff.dir/xml/dtd.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/xml/dtd.cc.o.d"
+  "/root/repo/src/xml/node.cc" "src/CMakeFiles/xydiff.dir/xml/node.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/xml/node.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/xydiff.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/path.cc" "src/CMakeFiles/xydiff.dir/xml/path.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/xml/path.cc.o.d"
+  "/root/repo/src/xml/serializer.cc" "src/CMakeFiles/xydiff.dir/xml/serializer.cc.o" "gcc" "src/CMakeFiles/xydiff.dir/xml/serializer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buld_test.dir/buld_test.cc.o"
+  "CMakeFiles/buld_test.dir/buld_test.cc.o.d"
+  "buld_test"
+  "buld_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buld_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

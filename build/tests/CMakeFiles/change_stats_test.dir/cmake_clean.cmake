@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/change_stats_test.dir/change_stats_test.cc.o"
+  "CMakeFiles/change_stats_test.dir/change_stats_test.cc.o.d"
+  "change_stats_test"
+  "change_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/change_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

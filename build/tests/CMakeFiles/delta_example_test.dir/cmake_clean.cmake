@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_example_test.dir/delta_example_test.cc.o"
+  "CMakeFiles/delta_example_test.dir/delta_example_test.cc.o.d"
+  "delta_example_test"
+  "delta_example_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_example_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

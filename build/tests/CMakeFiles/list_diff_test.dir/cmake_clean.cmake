@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/list_diff_test.dir/list_diff_test.cc.o"
+  "CMakeFiles/list_diff_test.dir/list_diff_test.cc.o.d"
+  "list_diff_test"
+  "list_diff_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

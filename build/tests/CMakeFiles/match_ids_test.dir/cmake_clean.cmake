@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_ids_test.dir/match_ids_test.cc.o"
+  "CMakeFiles/match_ids_test.dir/match_ids_test.cc.o.d"
+  "match_ids_test"
+  "match_ids_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_ids_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myers_diff_test.dir/myers_diff_test.cc.o"
+  "CMakeFiles/myers_diff_test.dir/myers_diff_test.cc.o.d"
+  "myers_diff_test"
+  "myers_diff_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myers_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_queue_test.dir/node_queue_test.cc.o"
+  "CMakeFiles/node_queue_test.dir/node_queue_test.cc.o.d"
+  "node_queue_test"
+  "node_queue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selkow_test.dir/selkow_test.cc.o"
+  "CMakeFiles/selkow_test.dir/selkow_test.cc.o.d"
+  "selkow_test"
+  "selkow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selkow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subscription_test.dir/subscription_test.cc.o"
+  "CMakeFiles/subscription_test.dir/subscription_test.cc.o.d"
+  "subscription_test"
+  "subscription_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subscription_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_compression_test.dir/update_compression_test.cc.o"
+  "CMakeFiles/update_compression_test.dir/update_compression_test.cc.o.d"
+  "update_compression_test"
+  "update_compression_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_compression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

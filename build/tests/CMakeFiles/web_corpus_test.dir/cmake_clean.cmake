@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_corpus_test.dir/web_corpus_test.cc.o"
+  "CMakeFiles/web_corpus_test.dir/web_corpus_test.cc.o.d"
+  "web_corpus_test"
+  "web_corpus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xid_map_test.dir/xid_map_test.cc.o"
+  "CMakeFiles/xid_map_test.dir/xid_map_test.cc.o.d"
+  "xid_map_test"
+  "xid_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xid_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_serializer_test.dir/xml_serializer_test.cc.o"
+  "CMakeFiles/xml_serializer_test.dir/xml_serializer_test.cc.o.d"
+  "xml_serializer_test"
+  "xml_serializer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_serializer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xydiff_tool.dir/xydiff_tool.cc.o"
+  "CMakeFiles/xydiff_tool.dir/xydiff_tool.cc.o.d"
+  "xydiff_tool"
+  "xydiff_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xydiff_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
