@@ -73,6 +73,8 @@ int main() {
   const double seconds = timer.Seconds();
 
   const double docs_per_second = static_cast<double>(pairs.size()) / seconds;
+  const double mb_per_second = static_cast<double>(total_bytes) / seconds / 1e6;
+  const size_t peak_rss = bench::PeakRssBytes();
   std::printf("documents      : %zu version pairs, %s of XML\n", pairs.size(),
               bench::Bytes(static_cast<double>(total_bytes)).c_str());
   std::printf("wall time      : %.2f s\n", seconds);
@@ -83,6 +85,35 @@ int main() {
   std::printf("delta output   : %s, %zu operations\n",
               bench::Bytes(static_cast<double>(delta_bytes)).c_str(),
               operations);
+  std::printf("peak RSS       : %s\n",
+              bench::Bytes(static_cast<double>(peak_rss)).c_str());
+
+  {
+    // Machine-readable result, next to the binary. `baseline` is the
+    // last recorded pre-arena measurement on the reference box (see
+    // BENCH_throughput.json at the repo root), kept here so a regression
+    // shows up in the same file that reports the new number.
+    bench::JsonReport baseline;
+    baseline.AddNumber("docs_per_second", 327.0);
+    baseline.AddNumber("mb_per_second", 29.71);
+    baseline.AddNumber("peak_rss_bytes", 718900.0 * 1024.0);
+    bench::JsonReport report;
+    report.AddString("bench", "throughput");
+    report.AddNumber("documents", static_cast<double>(pairs.size()));
+    report.AddNumber("xml_bytes", static_cast<double>(total_bytes));
+    report.AddNumber("wall_seconds", seconds);
+    report.AddNumber("docs_per_second", docs_per_second);
+    report.AddNumber("mb_per_second", mb_per_second);
+    report.AddNumber("peak_rss_bytes", static_cast<double>(peak_rss));
+    report.AddNumber("delta_bytes", static_cast<double>(delta_bytes));
+    report.AddNumber("operations", static_cast<double>(operations));
+    report.AddObject("baseline", baseline);
+    if (!report.WriteFile("BENCH_throughput.json")) {
+      std::fprintf(stderr, "warning: could not write BENCH_throughput.json\n");
+    } else {
+      std::printf("json report    : BENCH_throughput.json\n");
+    }
+  }
   // --- Part 2: the warehouse's parallel ingest (per-document work is
   // embarrassingly parallel; Figure 1's pipeline shards by document). ----
   std::printf("\n--- warehouse batch ingest (diff pipeline + alerter +"

@@ -1,6 +1,8 @@
 #ifndef XYDIFF_BENCH_BENCH_UTIL_H_
 #define XYDIFF_BENCH_BENCH_UTIL_H_
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -52,6 +54,75 @@ inline std::string Bytes(double n) {
   }
   return buffer;
 }
+
+/// Peak resident set size of this process so far, in bytes (0 if the
+/// platform does not report it). Linux ru_maxrss is in kilobytes.
+inline size_t PeakRssBytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<size_t>(usage.ru_maxrss) * 1024;
+}
+
+/// Minimal JSON report: flat or one-level-nested objects of numbers and
+/// strings, written with stable key order so diffs of the output are
+/// readable. Enough for machine-checkable benchmark results without a
+/// JSON dependency.
+class JsonReport {
+ public:
+  void AddNumber(const std::string& key, double value) {
+    char buffer[64];
+    // Integral values print without a trailing ".0"; others keep
+    // round-trip precision.
+    if (value == static_cast<double>(static_cast<long long>(value))) {
+      std::snprintf(buffer, sizeof(buffer), "%lld",
+                    static_cast<long long>(value));
+    } else {
+      std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    }
+    fields_.emplace_back(key, buffer);
+  }
+
+  void AddString(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + Escape(value) + "\"");
+  }
+
+  void AddObject(const std::string& key, const JsonReport& object) {
+    fields_.emplace_back(key, object.Dump());
+  }
+
+  std::string Dump() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + Escape(fields_[i].first) + "\": " + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+  /// Writes the report to `path` (single line + newline). Returns false
+  /// on I/O failure.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string text = Dump() + "\n";
+    const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    return std::fclose(f) == 0 && written == text.size();
+  }
+
+ private:
+  static std::string Escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 }  // namespace xydiff::bench
 

@@ -94,14 +94,13 @@ void DropMoveMatchings(DiffTree* t1, DiffTree* t2,
   }
 }
 
-/// Clones the subtree rooted at `i1`, excising maximal matched subtrees
-/// (they leave by move before the delete is applied / arrive by move after
-/// the insert is applied).
-std::unique_ptr<XmlNode> SnapshotUnmatched(const DiffTree& t, NodeIndex i) {
+/// Clones the subtree rooted at `i1` into the delta's snapshot arena,
+/// excising maximal matched subtrees (they leave by move before the
+/// delete is applied / arrive by move after the insert is applied).
+XmlNodePtr SnapshotUnmatched(const DiffTree& t, NodeIndex i, Arena* arena) {
   const XmlNode& dom = *t.dom(i);
-  std::unique_ptr<XmlNode> copy = dom.is_element()
-                                      ? XmlNode::Element(dom.label())
-                                      : XmlNode::Text(dom.text());
+  XmlNodePtr copy = dom.is_element() ? XmlNode::ElementIn(arena, dom.label())
+                                     : XmlNode::TextIn(arena, dom.text());
   if (dom.is_element()) {
     for (const auto& attr : dom.attributes()) {
       copy->SetAttribute(attr.name, attr.value);
@@ -111,7 +110,7 @@ std::unique_ptr<XmlNode> SnapshotUnmatched(const DiffTree& t, NodeIndex i) {
   for (int32_t k = 0; k < t.child_count(i); ++k) {
     const NodeIndex c = t.child(i, k);
     if (t.matched(c)) continue;  // Leaves/arrives via its own move.
-    copy->AppendChild(SnapshotUnmatched(t, c));
+    copy->AppendChild(SnapshotUnmatched(t, c, arena));
   }
   return copy;
 }
@@ -119,8 +118,8 @@ std::unique_ptr<XmlNode> SnapshotUnmatched(const DiffTree& t, NodeIndex i) {
 /// Builds a text UpdateOp, optionally in the compressed form: shared
 /// prefix/suffix bytes are trimmed (backing off to UTF-8 sequence
 /// boundaries so the delta stays valid UTF-8).
-UpdateOp MakeUpdateOp(Xid xid, const std::string& old_text,
-                      const std::string& new_text, bool compress) {
+UpdateOp MakeUpdateOp(Xid xid, std::string_view old_text,
+                      std::string_view new_text, bool compress) {
   UpdateOp op;
   op.xid = xid;
   if (!compress) {
@@ -172,22 +171,22 @@ uint32_t Pos1(const DiffTree& t, NodeIndex i) {
 void EmitAttributeOps(const XmlNode& old_node, const XmlNode& new_node,
                       Delta* delta) {
   for (const auto& attr : old_node.attributes()) {
-    const std::string* new_value = new_node.FindAttribute(attr.name);
+    const std::string_view* new_value = new_node.FindAttribute(attr.name);
     if (new_value == nullptr) {
-      delta->attribute_ops().push_back({AttributeOpKind::kDelete,
-                                        old_node.xid(), attr.name, attr.value,
-                                        std::string()});
+      delta->attribute_ops().push_back(
+          {AttributeOpKind::kDelete, old_node.xid(), std::string(attr.name),
+           std::string(attr.value), std::string()});
     } else if (*new_value != attr.value) {
-      delta->attribute_ops().push_back({AttributeOpKind::kUpdate,
-                                        old_node.xid(), attr.name, attr.value,
-                                        *new_value});
+      delta->attribute_ops().push_back(
+          {AttributeOpKind::kUpdate, old_node.xid(), std::string(attr.name),
+           std::string(attr.value), std::string(*new_value)});
     }
   }
   for (const auto& attr : new_node.attributes()) {
     if (old_node.FindAttribute(attr.name) == nullptr) {
-      delta->attribute_ops().push_back({AttributeOpKind::kInsert,
-                                        old_node.xid(), attr.name,
-                                        std::string(), attr.value});
+      delta->attribute_ops().push_back(
+          {AttributeOpKind::kInsert, old_node.xid(), std::string(attr.name),
+           std::string(), std::string(attr.value)});
     }
   }
 }
@@ -231,6 +230,9 @@ Delta BuildDeltaFromMatching(DiffTree* old_tree, DiffTree* new_tree,
       }
     }
     MarkReorderMoves(t1, t2, options, &moved);
+    size_t move_count = 0;
+    for (char m : moved) move_count += static_cast<size_t>(m);
+    delta.moves().reserve(move_count);
     for (NodeIndex i2 = 0; i2 < t2.size(); ++i2) {
       if (!moved[static_cast<size_t>(i2)]) continue;
       const NodeIndex i1 = t2.match(i2);
@@ -241,21 +243,34 @@ Delta BuildDeltaFromMatching(DiffTree* old_tree, DiffTree* new_tree,
   }
 
   // --- Deletes (maximal unmatched old subtrees) -------------------------------
+  const auto count_maximal_unmatched = [](const DiffTree& t) {
+    size_t count = 0;
+    for (NodeIndex i = 0; i < t.size(); ++i) {
+      if (t.matched(i)) continue;
+      const NodeIndex p = t.parent(i);
+      if (p == kInvalidNode || t.matched(p)) ++count;
+    }
+    return count;
+  };
+  delta.deletes().reserve(count_maximal_unmatched(t1));
   for (NodeIndex i1 = 0; i1 < t1.size(); ++i1) {
     if (t1.matched(i1)) continue;
     const NodeIndex p1 = t1.parent(i1);
     if (p1 != kInvalidNode && !t1.matched(p1)) continue;  // Not maximal.
-    delta.deletes().emplace_back(t1.dom(i1)->xid(), ParentXid(t1, i1),
-                                 Pos1(t1, i1), SnapshotUnmatched(t1, i1));
+    delta.deletes().emplace_back(
+        t1.dom(i1)->xid(), ParentXid(t1, i1), Pos1(t1, i1),
+        SnapshotUnmatched(t1, i1, delta.snapshot_arena()));
   }
 
   // --- Inserts (maximal unmatched new subtrees) --------------------------------
+  delta.inserts().reserve(count_maximal_unmatched(t2));
   for (NodeIndex i2 = 0; i2 < t2.size(); ++i2) {
     if (t2.matched(i2)) continue;
     const NodeIndex p2 = t2.parent(i2);
     if (p2 != kInvalidNode && !t2.matched(p2)) continue;
-    delta.inserts().emplace_back(t2.dom(i2)->xid(), ParentXid(t2, i2),
-                                 Pos1(t2, i2), SnapshotUnmatched(t2, i2));
+    delta.inserts().emplace_back(
+        t2.dom(i2)->xid(), ParentXid(t2, i2), Pos1(t2, i2),
+        SnapshotUnmatched(t2, i2, delta.snapshot_arena()));
   }
 
   // --- Updates and attribute operations ----------------------------------------

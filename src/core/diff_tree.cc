@@ -5,23 +5,43 @@
 namespace xydiff {
 
 int32_t LabelTable::Intern(std::string_view label) {
-  auto it = ids_.find(std::string(label));
+  auto it = ids_.find(label);
   if (it != ids_.end()) return it->second;
   const int32_t id = static_cast<int32_t>(names_.size());
   names_.emplace_back(label);
-  ids_.emplace(names_.back(), id);
+  ids_.emplace(std::string_view(names_.back()), id);
   return id;
 }
 
 int32_t LabelTable::Find(std::string_view label) const {
-  auto it = ids_.find(std::string(label));
+  auto it = ids_.find(label);
   return it == ids_.end() ? -1 : it->second;
 }
 
 DiffTree DiffTree::Build(XmlDocument* doc, LabelTable* labels) {
   assert(doc->root() != nullptr);
   DiffTree tree;
+  tree.labels_ = labels;
   const size_t n = doc->node_count();
+
+  // Parsed documents carry a per-document interner: every element label
+  // was deduplicated at parse time and nodes hold dense interner ids.
+  // Translating interner id -> table id once per distinct label turns the
+  // per-node Intern (hash of the label bytes) into an array lookup.
+  const StringInterner* interner = doc->interner();
+  std::vector<int32_t> table_id_of;
+  if (interner != nullptr) {
+    table_id_of.assign(interner->size(), kInvalidNode);
+  }
+  const auto intern_label = [&](const XmlNode& node) {
+    const int32_t pid = node.label_id();
+    if (pid < 0 || static_cast<size_t>(pid) >= table_id_of.size()) {
+      return labels->Intern(node.label());
+    }
+    int32_t& cached = table_id_of[static_cast<size_t>(pid)];
+    if (cached == kInvalidNode) cached = labels->Intern(node.label());
+    return cached;
+  };
   tree.dom_.reserve(n);
   tree.parent_.reserve(n);
   tree.position_.reserve(n);
@@ -45,9 +65,8 @@ DiffTree DiffTree::Build(XmlDocument* doc, LabelTable* labels) {
     tree.parent_.push_back(f.parent);
     tree.position_.push_back(f.position);
     tree.depth_.push_back(f.depth);
-    tree.label_.push_back(f.node->is_element()
-                              ? labels->Intern(f.node->label())
-                              : LabelTable::kTextLabel);
+    tree.label_.push_back(f.node->is_element() ? intern_label(*f.node)
+                                               : LabelTable::kTextLabel);
     // Push children in reverse so they pop in document order.
     for (size_t k = f.node->child_count(); k > 0; --k) {
       stack.push_back({f.node->child(k - 1), index,

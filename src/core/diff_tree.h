@@ -2,6 +2,7 @@
 #define XYDIFF_CORE_DIFF_TREE_H_
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -32,8 +33,10 @@ class LabelTable {
   static constexpr int32_t kTextLabel = -2;
 
  private:
-  std::unordered_map<std::string, int32_t> ids_;
-  std::vector<std::string> names_;
+  // Keys are views into `names_`; the deque keeps stored strings at
+  // stable addresses as the table grows, so no per-lookup copy is made.
+  std::unordered_map<std::string_view, int32_t> ids_;
+  std::deque<std::string> names_;
 };
 
 /// Flat, cache-friendly view of one document used by the BULD algorithm.
@@ -81,6 +84,9 @@ class DiffTree {
   int32_t label(NodeIndex i) const { return label_[static_cast<size_t>(i)]; }
   XmlNode* dom(NodeIndex i) const { return dom_[static_cast<size_t>(i)]; }
 
+  /// The shared label table this tree was built against.
+  const LabelTable& labels() const { return *labels_; }
+
   // --- Diff state (filled by the algorithm phases) -----------------------------
 
   Signature signature(NodeIndex i) const { return signature_[static_cast<size_t>(i)]; }
@@ -102,6 +108,7 @@ class DiffTree {
   double total_weight() const { return weight_[0]; }
 
  private:
+  const LabelTable* labels_ = nullptr;
   std::vector<XmlNode*> dom_;
   std::vector<NodeIndex> parent_;
   std::vector<int32_t> child_offset_;

@@ -11,8 +11,8 @@ namespace {
 
 /// Returns the ID value of node `i` if its label has a declared ID
 /// attribute that the node carries, or nullptr.
-const std::string* IdValue(const DiffTree& tree, NodeIndex i,
-                           const Dtd& dtd_old, const Dtd& dtd_new) {
+const std::string_view* IdValue(const DiffTree& tree, NodeIndex i,
+                                const Dtd& dtd_old, const Dtd& dtd_new) {
   if (!tree.is_element(i)) return nullptr;
   const XmlNode& dom = *tree.dom(i);
   const std::string* attr = dtd_old.IdAttributeFor(dom.label());
@@ -21,7 +21,7 @@ const std::string* IdValue(const DiffTree& tree, NodeIndex i,
   return dom.FindAttribute(*attr);
 }
 
-uint64_t IdKey(int32_t label, const std::string& value) {
+uint64_t IdKey(int32_t label, std::string_view value) {
   return HashFinalize(
       HashCombine(HashBytes(value), static_cast<uint64_t>(label) + 1));
 }
@@ -36,7 +36,7 @@ size_t MatchByIdAttributes(DiffTree* old_tree, DiffTree* new_tree,
   // duplicates, which are unusable for matching.
   std::unordered_map<uint64_t, NodeIndex> by_id;
   for (NodeIndex i = 0; i < old_tree->size(); ++i) {
-    const std::string* value = IdValue(*old_tree, i, dtd_old, dtd_new);
+    const std::string_view* value = IdValue(*old_tree, i, dtd_old, dtd_new);
     if (value == nullptr) continue;
     old_tree->set_id_locked(i);
     auto [it, inserted] = by_id.emplace(IdKey(old_tree->label(i), *value), i);
@@ -46,7 +46,7 @@ size_t MatchByIdAttributes(DiffTree* old_tree, DiffTree* new_tree,
   size_t matched = 0;
   std::unordered_map<uint64_t, bool> used_new_keys;
   for (NodeIndex j = 0; j < new_tree->size(); ++j) {
-    const std::string* value = IdValue(*new_tree, j, dtd_old, dtd_new);
+    const std::string_view* value = IdValue(*new_tree, j, dtd_old, dtd_new);
     if (value == nullptr) continue;
     new_tree->set_id_locked(j);
     const uint64_t key = IdKey(new_tree->label(j), *value);

@@ -1,6 +1,7 @@
 #include "core/signature.h"
 
 #include <cmath>
+#include <vector>
 
 namespace xydiff {
 
@@ -37,6 +38,12 @@ Signature ElementSignatureFromParts(const XmlNode& node,
 }  // namespace
 
 void ComputeSignaturesAndWeights(DiffTree* tree, const DiffOptions& options) {
+  // Labels repeat heavily (a handful of element names per document), so
+  // the label part of every element hash is computed once per distinct
+  // label id instead of once per node. The resulting signature values are
+  // identical to hashing the label bytes in place.
+  std::vector<Signature> label_hash(tree->labels().size(), 0);
+  std::vector<char> label_hash_ready(label_hash.size(), 0);
   for (NodeIndex i : tree->postorder()) {
     const XmlNode& dom = *tree->dom(i);
     if (tree->is_text(i)) {
@@ -52,7 +59,20 @@ void ComputeSignaturesAndWeights(DiffTree* tree, const DiffOptions& options) {
         children_acc = HashCombine(children_acc, tree->signature(c));
         weight += tree->weight(c);
       }
-      tree->set_signature(i, ElementSignatureFromParts(dom, children_acc));
+      Signature acc;
+      const size_t id = static_cast<size_t>(tree->label(i));
+      if (id < label_hash.size()) {
+        if (!label_hash_ready[id]) {
+          label_hash[id] = HashBytes(dom.label(), kElementSeed);
+          label_hash_ready[id] = 1;
+        }
+        acc = label_hash[id];
+      } else {
+        acc = HashBytes(dom.label(), kElementSeed);
+      }
+      acc = HashCombine(acc, AttributeSetHash(dom));
+      acc = HashCombine(acc, children_acc);
+      tree->set_signature(i, HashFinalize(acc));
       tree->set_weight(i, weight);
     }
   }

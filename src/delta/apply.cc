@@ -14,7 +14,7 @@ namespace {
 struct Attachment {
   Xid parent_xid = kNoXid;
   uint32_t pos = 0;  // 1-based target position.
-  std::unique_ptr<XmlNode> subtree;
+  XmlNodePtr subtree;
   uint64_t seq = 0;  // Stable tiebreak for diagnostics.
 };
 
@@ -28,7 +28,13 @@ class Applier {
       return Status::InvalidArgument("cannot apply a delta to an empty document");
     }
     // Virtual super-root (XID 0) so root replacement needs no special case.
-    super_root_ = XmlNode::Element("#document");
+    // It is created in the document's own memory domain: a heap super-root
+    // over an arena-backed tree would force AppendChild to adoption-clone
+    // the entire document.
+    doc_domain_ = doc_->arena();
+    super_root_ = doc_domain_ != nullptr
+                      ? XmlNode::ElementIn(doc_domain_, "#document")
+                      : XmlNode::Element("#document");
     super_root_->AppendChild(doc_->take_root());
     BuildIndex();
 
@@ -89,7 +95,7 @@ class Applier {
         return Status::Conflict("update target XID " + std::to_string(op.xid) +
                                 " is not a text node");
       }
-      const std::string& current = (*node)->text();
+      const std::string_view current = (*node)->text();
       if (!op.is_compressed()) {
         if (options_.verify && current != op.old_value) {
           return Status::Conflict("update of XID " + std::to_string(op.xid) +
@@ -129,7 +135,7 @@ class Applier {
                                 std::to_string(op.element_xid) +
                                 " is not an element");
       }
-      const std::string* current = element->FindAttribute(op.name);
+      const std::string_view* current = element->FindAttribute(op.name);
       switch (op.kind) {
         case AttributeOpKind::kInsert:
           if (options_.verify && current != nullptr) {
@@ -164,7 +170,7 @@ class Applier {
 
   /// Detaches a node from wherever it currently lives (main tree or
   /// inside an already-detached subtree).
-  static std::unique_ptr<XmlNode> Detach(XmlNode* node) {
+  static XmlNodePtr Detach(XmlNode* node) {
     XmlNode* parent = node->parent();
     return parent->RemoveChild(node->IndexInParent());
   }
@@ -191,7 +197,7 @@ class Applier {
         return Status::Conflict("delete target XID " + std::to_string(op.xid) +
                                 " already detached");
       }
-      std::unique_ptr<XmlNode> removed = Detach(*node);
+      XmlNodePtr removed = Detach(*node);
       if (options_.verify && op.subtree != nullptr) {
         if (!removed->DeepEquals(*op.subtree) ||
             XidMap::FromSubtree(*removed) != XidMap::FromSubtree(*op.subtree)) {
@@ -209,7 +215,10 @@ class Applier {
       if (op.subtree == nullptr) {
         return Status::InvalidArgument("insert op without subtree snapshot");
       }
-      std::unique_ptr<XmlNode> subtree = op.subtree->Clone();
+      // Clone straight into the document's domain: InsertChild must not
+      // adoption-clone later, or the pointers registered in index_ below
+      // would dangle.
+      XmlNodePtr subtree = op.subtree->Clone(doc_domain_);
       // Register the new nodes so that nested attachments can target them.
       Status conflict = Status::OK();
       subtree->Visit([&](XmlNode* n) {
@@ -265,7 +274,8 @@ class Applier {
   const Delta& delta_;
   XmlDocument* doc_;
   ApplyOptions options_;
-  std::unique_ptr<XmlNode> super_root_;
+  XmlNodePtr super_root_;
+  Arena* doc_domain_ = nullptr;
   std::unordered_map<Xid, XmlNode*> index_;
   std::vector<Attachment> attachments_;
   uint64_t seq_ = 0;

@@ -2,9 +2,11 @@
 #define XYDIFF_DELTA_DELTA_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "delta/operation.h"
+#include "util/arena.h"
 
 namespace xydiff {
 
@@ -67,7 +69,21 @@ class Delta {
            attribute_ops_.size();
   }
 
+  /// Arena holding insert/delete snapshot subtrees, created on first use.
+  /// Builders (delta_builder, delta_xml) allocate snapshots here so one
+  /// delta costs one allocation region instead of one heap tree per op.
+  Arena* snapshot_arena() {
+    if (!snapshot_arena_) snapshot_arena_ = std::make_shared<Arena>();
+    return snapshot_arena_.get();
+  }
+  const std::shared_ptr<Arena>& shared_snapshot_arena() const {
+    return snapshot_arena_;
+  }
+
  private:
+  // Declared before the op vectors: snapshot subtrees must be destroyed
+  // (trivially, via the no-op deleter) before their arena frees.
+  std::shared_ptr<Arena> snapshot_arena_;
   std::vector<DeleteOp> deletes_;
   std::vector<InsertOp> inserts_;
   std::vector<MoveOp> moves_;

@@ -25,16 +25,17 @@ void SetXidAttr(XmlNode* node, std::string_view name, Xid xid) {
 }
 
 Result<Xid> GetXidAttr(const XmlNode& node, std::string_view name) {
-  const std::string* value = node.FindAttribute(name);
+  const std::string_view* value = node.FindAttribute(name);
   if (value == nullptr) {
-    return Status::ParseError("delta op <" + node.label() +
+    return Status::ParseError("delta op <" + std::string(node.label()) +
                               "> missing attribute '" + std::string(name) +
                               "'");
   }
   uint64_t xid = 0;
   if (!ParseUint64(*value, &xid)) {
-    return Status::ParseError("delta op <" + node.label() + ">: bad '" +
-                              std::string(name) + "' value '" + *value + "'");
+    return Status::ParseError("delta op <" + std::string(node.label()) +
+                              ">: bad '" + std::string(name) + "' value '" +
+                              std::string(*value) + "'");
   }
   return xid;
 }
@@ -43,17 +44,16 @@ Result<uint32_t> GetPosAttr(const XmlNode& node, std::string_view name) {
   Result<Xid> value = GetXidAttr(node, name);
   if (!value.ok()) return value.status();
   if (*value > UINT32_MAX) {
-    return Status::ParseError("delta op <" + node.label() + ">: '" +
-                              std::string(name) + "' out of range");
+    return Status::ParseError("delta op <" + std::string(node.label()) +
+                              ">: '" + std::string(name) + "' out of range");
   }
   return static_cast<uint32_t>(*value);
 }
 
 /// Emits a delete/insert op element with its snapshot and XID-map.
-std::unique_ptr<XmlNode> SnapshotOpToXml(std::string_view label, Xid xid,
-                                         Xid parent_xid, uint32_t pos,
-                                         const XmlNode* subtree) {
-  auto op = XmlNode::Element(std::string(label));
+XmlNodePtr SnapshotOpToXml(std::string_view label, Xid xid, Xid parent_xid,
+                           uint32_t pos, const XmlNode* subtree) {
+  auto op = XmlNode::Element(label);
   SetXidAttr(op.get(), "xid", xid);
   SetXidAttr(op.get(), "parentXid", parent_xid);
   op->SetAttribute("pos", std::to_string(pos));
@@ -85,23 +85,23 @@ Result<const XmlNode*> SnapshotChild(const XmlNode& op) {
       continue;
     }
     if (snapshot != nullptr) {
-      return Status::ParseError("delta op <" + op.label() +
+      return Status::ParseError("delta op <" + std::string(op.label()) +
                                 "> has more than one snapshot child");
     }
     snapshot = c;
   }
   if (snapshot == nullptr) {
-    return Status::ParseError("delta op <" + op.label() +
+    return Status::ParseError("delta op <" + std::string(op.label()) +
                               "> is missing its snapshot");
   }
   return snapshot;
 }
 
-Result<std::unique_ptr<XmlNode>> ParseSnapshot(const XmlNode& op) {
+Result<XmlNodePtr> ParseSnapshot(const XmlNode& op) {
   Result<const XmlNode*> child = SnapshotChild(op);
   if (!child.ok()) return child.status();
-  std::unique_ptr<XmlNode> subtree = (*child)->Clone();
-  const std::string* map_text = op.FindAttribute("xidMap");
+  XmlNodePtr subtree = (*child)->Clone();
+  const std::string_view* map_text = op.FindAttribute("xidMap");
   if (map_text != nullptr) {
     Result<XidMap> map = XidMap::Parse(*map_text);
     if (!map.ok()) return map.status();
@@ -116,13 +116,13 @@ Result<AttributeOp> ParseAttrOp(const XmlNode& node, AttributeOpKind kind) {
   Result<Xid> xid = GetXidAttr(node, "xid");
   if (!xid.ok()) return xid.status();
   op.element_xid = *xid;
-  const std::string* name = node.FindAttribute("name");
+  const std::string_view* name = node.FindAttribute("name");
   if (name == nullptr) {
     return Status::ParseError("attribute op missing 'name'");
   }
   op.name = *name;
   auto read = [&](std::string_view attr, std::string* out) {
-    const std::string* v = node.FindAttribute(attr);
+    const std::string_view* v = node.FindAttribute(attr);
     if (v != nullptr) *out = *v;
   };
   switch (kind) {
@@ -143,7 +143,7 @@ Result<AttributeOp> ParseAttrOp(const XmlNode& node, AttributeOpKind kind) {
 }  // namespace
 
 XmlDocument DeltaToXml(const Delta& delta) {
-  auto root = XmlNode::Element(std::string(kDeltaLabel));
+  auto root = XmlNode::Element(kDeltaLabel);
   SetXidAttr(root.get(), "oldNextXid", delta.old_next_xid());
   SetXidAttr(root.get(), "newNextXid", delta.new_next_xid());
 
@@ -156,7 +156,7 @@ XmlDocument DeltaToXml(const Delta& delta) {
                                       op.pos, op.subtree.get()));
   }
   for (const MoveOp& op : delta.moves()) {
-    auto move = XmlNode::Element(std::string(kMoveLabel));
+    auto move = XmlNode::Element(kMoveLabel);
     SetXidAttr(move.get(), "xid", op.xid);
     SetXidAttr(move.get(), "fromParent", op.from_parent);
     move->SetAttribute("fromPos", std::to_string(op.from_pos));
@@ -165,7 +165,7 @@ XmlDocument DeltaToXml(const Delta& delta) {
     root->AppendChild(std::move(move));
   }
   for (const UpdateOp& op : delta.updates()) {
-    auto update = XmlNode::Element(std::string(kUpdateLabel));
+    auto update = XmlNode::Element(kUpdateLabel);
     SetXidAttr(update.get(), "xid", op.xid);
     if (op.prefix != 0) {
       update->SetAttribute("prefix", std::to_string(op.prefix));
@@ -173,11 +173,11 @@ XmlDocument DeltaToXml(const Delta& delta) {
     if (op.suffix != 0) {
       update->SetAttribute("suffix", std::to_string(op.suffix));
     }
-    auto old_node = XmlNode::Element(std::string(kOldLabel));
+    auto old_node = XmlNode::Element(kOldLabel);
     if (!op.old_value.empty()) {
       old_node->AppendChild(XmlNode::Text(op.old_value));
     }
-    auto new_node = XmlNode::Element(std::string(kNewLabel));
+    auto new_node = XmlNode::Element(kNewLabel);
     if (!op.new_value.empty()) {
       new_node->AppendChild(XmlNode::Text(op.new_value));
     }
@@ -192,7 +192,7 @@ XmlDocument DeltaToXml(const Delta& delta) {
       case AttributeOpKind::kDelete: label = kAttrDeleteLabel; break;
       case AttributeOpKind::kUpdate: label = kAttrUpdateLabel; break;
     }
-    auto attr = XmlNode::Element(std::string(label));
+    auto attr = XmlNode::Element(label);
     SetXidAttr(attr.get(), "xid", op.element_xid);
     attr->SetAttribute("name", op.name);
     switch (op.kind) {
@@ -265,7 +265,7 @@ Result<Delta> DeltaFromXml(const XmlDocument& doc) {
       if (IsAllXmlWhitespace(op.text())) continue;
       return Status::ParseError("unexpected text inside <xy:delta>");
     }
-    const std::string& label = op.label();
+    const std::string_view label = op.label();
     if (label == kDeleteLabel || label == kInsertLabel) {
       Result<Xid> xid = GetXidAttr(op, "xid");
       if (!xid.ok()) return xid.status();
@@ -273,7 +273,7 @@ Result<Delta> DeltaFromXml(const XmlDocument& doc) {
       if (!parent.ok()) return parent.status();
       Result<uint32_t> pos = GetPosAttr(op, "pos");
       if (!pos.ok()) return pos.status();
-      Result<std::unique_ptr<XmlNode>> subtree = ParseSnapshot(op);
+      Result<XmlNodePtr> subtree = ParseSnapshot(op);
       if (!subtree.ok()) return subtree.status();
       if (label == kDeleteLabel) {
         delta.deletes().emplace_back(*xid, *parent, *pos,
@@ -345,7 +345,8 @@ Result<Delta> DeltaFromXml(const XmlDocument& doc) {
       if (!attr.ok()) return attr.status();
       delta.attribute_ops().push_back(std::move(*attr));
     } else {
-      return Status::ParseError("unknown delta operation <" + label + ">");
+      return Status::ParseError("unknown delta operation <" +
+                                std::string(label) + ">");
     }
   }
   return delta;

@@ -62,11 +62,11 @@ struct DeleteOp {
   Xid xid = kNoXid;         ///< Root of the deleted subtree.
   Xid parent_xid = kNoXid;  ///< Its parent in the source document.
   uint32_t pos = 0;         ///< 1-based child position in the source document.
-  std::unique_ptr<XmlNode> subtree;  ///< Snapshot with XIDs.
+  XmlNodePtr subtree;  ///< Snapshot with XIDs.
 
   DeleteOp() = default;
   DeleteOp(Xid xid_in, Xid parent, uint32_t pos_in,
-           std::unique_ptr<XmlNode> tree)
+           XmlNodePtr tree)
       : xid(xid_in), parent_xid(parent), pos(pos_in), subtree(std::move(tree)) {}
   DeleteOp(DeleteOp&&) = default;
   DeleteOp& operator=(DeleteOp&&) = default;
@@ -82,11 +82,11 @@ struct InsertOp {
   Xid xid = kNoXid;         ///< Root of the inserted subtree.
   Xid parent_xid = kNoXid;  ///< Its parent in the target document.
   uint32_t pos = 0;         ///< 1-based child position in the target document.
-  std::unique_ptr<XmlNode> subtree;  ///< Snapshot with XIDs.
+  XmlNodePtr subtree;  ///< Snapshot with XIDs.
 
   InsertOp() = default;
   InsertOp(Xid xid_in, Xid parent, uint32_t pos_in,
-           std::unique_ptr<XmlNode> tree)
+           XmlNodePtr tree)
       : xid(xid_in), parent_xid(parent), pos(pos_in), subtree(std::move(tree)) {}
   InsertOp(InsertOp&&) = default;
   InsertOp& operator=(InsertOp&&) = default;

@@ -16,9 +16,9 @@ std::unordered_map<Xid, const XmlNode*> IndexByXid(const XmlDocument& doc) {
 }
 
 /// Truncates long text for display.
-std::string Ellipsize(const std::string& text, size_t limit = 40) {
-  if (text.size() <= limit) return text;
-  return text.substr(0, limit - 3) + "...";
+std::string Ellipsize(std::string_view text, size_t limit = 40) {
+  if (text.size() <= limit) return std::string(text);
+  return std::string(text.substr(0, limit - 3)) + "...";
 }
 
 /// 1-based ordinal of `node` among same-label element siblings, or 0 if
@@ -126,7 +126,7 @@ class Explainer {
 
   static std::string Describe(const XmlNode& node) {
     if (node.is_text()) return "text \"" + Ellipsize(node.text(), 24) + "\"";
-    std::string out = "<" + node.label() + ">";
+    std::string out = "<" + std::string(node.label()) + ">";
     // A short content hint: the first text descendant.
     const XmlNode* hint = nullptr;
     node.Visit([&](const XmlNode* n) {
@@ -149,7 +149,7 @@ std::string NodePath(const XmlNode& node) {
   }
   std::string prefix =
       node.parent() != nullptr ? NodePath(*node.parent()) : "";
-  std::string out = prefix + "/" + node.label();
+  std::string out = prefix + "/" + std::string(node.label());
   const size_t ordinal = LabelOrdinal(node);
   if (ordinal > 0) out += "[" + std::to_string(ordinal) + "]";
   return out;

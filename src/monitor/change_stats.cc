@@ -16,10 +16,10 @@ std::unordered_map<Xid, const XmlNode*> IndexByXid(const XmlDocument& doc) {
   return index;
 }
 
-/// Label of the nearest element at or above the node.
-const std::string* OwningLabel(const XmlNode* node) {
+/// Nearest element at or above the node, or nullptr.
+const XmlNode* OwningElement(const XmlNode* node) {
   while (node != nullptr && !node->is_element()) node = node->parent();
-  return node == nullptr ? nullptr : &node->label();
+  return node;
 }
 
 }  // namespace
@@ -34,7 +34,7 @@ void ChangeStatistics::Accumulate(const Delta& delta,
   // counted as occurring.
   if (new_version.root() != nullptr) {
     new_version.root()->Visit([&](const XmlNode* n) {
-      if (n->is_element()) ++by_label_[n->label()].occurrences;
+      if (n->is_element()) ++by_label_[std::string(n->label())].occurrences;
     });
   }
 
@@ -50,7 +50,7 @@ void ChangeStatistics::Accumulate(const Delta& delta,
     const XmlNode* root = find(new_index, op.xid);
     if (root == nullptr) continue;
     root->Visit([&](const XmlNode* n) {
-      if (n->is_element()) ++by_label_[n->label()].inserted;
+      if (n->is_element()) ++by_label_[std::string(n->label())].inserted;
     });
   }
   for (const DeleteOp& op : delta.deletes()) {
@@ -58,23 +58,25 @@ void ChangeStatistics::Accumulate(const Delta& delta,
     if (root == nullptr) continue;
     root->Visit([&](const XmlNode* n) {
       if (!n->is_element()) return;
-      LabelStats& stats = by_label_[n->label()];
+      LabelStats& stats = by_label_[std::string(n->label())];
       ++stats.deleted;
       ++stats.occurrences;  // Deleted elements are not in the new version.
     });
   }
   for (const MoveOp& op : delta.moves()) {
-    const std::string* label = OwningLabel(find(new_index, op.xid));
-    if (label != nullptr) ++by_label_[*label].moved;
+    const XmlNode* owner = OwningElement(find(new_index, op.xid));
+    if (owner != nullptr) ++by_label_[std::string(owner->label())].moved;
   }
   for (const UpdateOp& op : delta.updates()) {
-    const std::string* label = OwningLabel(find(new_index, op.xid));
-    if (label != nullptr) ++by_label_[*label].text_updated;
+    const XmlNode* owner = OwningElement(find(new_index, op.xid));
+    if (owner != nullptr) {
+      ++by_label_[std::string(owner->label())].text_updated;
+    }
   }
   for (const AttributeOp& op : delta.attribute_ops()) {
     const XmlNode* element = find(new_index, op.element_xid);
     if (element != nullptr && element->is_element()) {
-      ++by_label_[element->label()].attr_changed;
+      ++by_label_[std::string(element->label())].attr_changed;
     }
   }
 }

@@ -32,13 +32,15 @@ const XmlNode* OwningElement(const XmlNode* node) {
 /// so content filters have something to match ("inserted <Product>
 /// 'zy456'").
 std::string DescribeElement(const XmlNode& node) {
-  std::string out = "<" + node.label() + ">";
+  std::string out = "<" + std::string(node.label()) + ">";
   const XmlNode* hint = nullptr;
   node.Visit([&](const XmlNode* n) {
     if (hint == nullptr && n->is_text()) hint = n;
   });
   if (hint != nullptr) {
-    out += " '" + hint->text().substr(0, 48) + "'";
+    out += " '";
+    out += hint->text().substr(0, 48);
+    out += "'";
   }
   return out;
 }
@@ -128,7 +130,8 @@ std::vector<Alert> Alerter::Evaluate(const Delta& delta,
     if (element == nullptr) continue;
     for (const Subscription& sub : subscriptions_) {
       Fire(sub, ChangeKind::kUpdate, *element,
-           "text of <" + element->label() + "> changed from '" +
+           "text of <" + std::string(element->label()) +
+               "> changed from '" +
                op.old_value + "' to '" + op.new_value + "'",
            &alerts);
     }
@@ -140,7 +143,8 @@ std::vector<Alert> Alerter::Evaluate(const Delta& delta,
     if (element == nullptr) continue;
     for (const Subscription& sub : subscriptions_) {
       Fire(sub, ChangeKind::kMove, *element,
-           element->is_element() ? "moved <" + element->label() + ">"
+           element->is_element()
+               ? "moved <" + std::string(element->label()) + ">"
                                  : "moved node",
            &alerts);
     }
@@ -150,7 +154,8 @@ std::vector<Alert> Alerter::Evaluate(const Delta& delta,
     if (element == nullptr || !element->is_element()) continue;
     for (const Subscription& sub : subscriptions_) {
       Fire(sub, ChangeKind::kAttribute, *element,
-           "attribute '" + op.name + "' of <" + element->label() +
+           "attribute '" + op.name + "' of <" +
+               std::string(element->label()) +
                "> changed",
            &alerts);
     }

@@ -58,7 +58,7 @@ class Simulator {
   void DeleteWalk(XmlNode* node) {
     for (size_t i = 0; i < node->child_count();) {
       if (rng_->NextBool(options_.delete_probability)) {
-        std::unique_ptr<XmlNode> gone = node->RemoveChild(i);
+        XmlNodePtr gone = node->RemoveChild(i);
         ++deleted_subtrees_;
         deleted_nodes_ += gone->SubtreeSize();
         graveyard_.push_back(std::move(gone));
@@ -128,7 +128,7 @@ class Simulator {
       InsertOriginal(parent, pos);  // Fall back to original data.
       return;
     }
-    std::unique_ptr<XmlNode> subtree = std::move(graveyard_[pick]);
+    XmlNodePtr subtree = std::move(graveyard_[pick]);
     graveyard_.erase(graveyard_.begin() + static_cast<ptrdiff_t>(pick));
     ++moved_subtrees_;
     parent->InsertChild(pos, std::move(subtree));
@@ -136,7 +136,7 @@ class Simulator {
 
   void InsertOriginal(XmlNode* parent, size_t pos) {
     const bool as_text = TextAllowedAt(*parent, pos) && rng_->NextBool(0.5);
-    std::unique_ptr<XmlNode> node;
+    XmlNodePtr node;
     if (as_text) {
       node = XmlNode::Text(GenerateText(rng_, 1, 8, &text_counter_));
     } else {
@@ -174,11 +174,11 @@ class Simulator {
       }
     }
     if (!pool.empty()) {
-      return pool[rng_->NextIndex(pool.size())]->label();
+      return std::string(pool[rng_->NextIndex(pool.size())]->label());
     }
     // Ascendants.
     for (const XmlNode* anc = parent; anc != nullptr; anc = anc->parent()) {
-      if (anc->is_element()) return anc->label();
+      if (anc->is_element()) return std::string(anc->label());
     }
     return "node";
   }
@@ -186,7 +186,7 @@ class Simulator {
   ChangeSimOptions options_;
   Rng* rng_;
   XmlDocument work_;
-  std::vector<std::unique_ptr<XmlNode>> graveyard_;
+  std::vector<XmlNodePtr> graveyard_;
   uint64_t text_counter_ = 1000000;  // Distinct from generator texts.
   size_t deleted_subtrees_ = 0;
   size_t deleted_nodes_ = 0;

@@ -15,10 +15,10 @@ struct Budget {
 
   explicit Budget(size_t target_bytes) : target(target_bytes) {}
   bool exhausted() const { return used >= target; }
-  void ChargeElement(const std::string& label) {
+  void ChargeElement(std::string_view label) {
     used += 2 * label.size() + 5;  // <label></label>
   }
-  void ChargeText(const std::string& text) { used += text.size(); }
+  void ChargeText(std::string_view text) { used += text.size(); }
   void ChargeAttribute(const std::string& name, const std::string& value) {
     used += name.size() + value.size() + 4;
   }
@@ -62,7 +62,7 @@ class Generator {
     return vocabulary_[index];
   }
 
-  std::unique_ptr<XmlNode> MakeSection(int depth) {
+  XmlNodePtr MakeSection(int depth) {
     if (depth <= 0) return MakeItem();
     auto section = XmlNode::Element(Label(options_.section_depth - depth));
     budget_.ChargeElement(section->label());
@@ -74,7 +74,7 @@ class Generator {
     return section;
   }
 
-  std::unique_ptr<XmlNode> MakeItem() {
+  XmlNodePtr MakeItem() {
     auto item = XmlNode::Element("item");
     budget_.ChargeElement(item->label());
     if (options_.with_id_attributes) {

@@ -1,0 +1,82 @@
+#include "util/arena.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+namespace xydiff {
+
+namespace {
+
+size_t RoundUp(size_t n, size_t align) { return (n + align - 1) & ~(align - 1); }
+
+}  // namespace
+
+Arena::Arena(size_t first_block_hint)
+    : next_block_size_(first_block_hint < 64 ? 64 : first_block_hint) {}
+
+Arena::~Arena() { FreeBlocks(); }
+
+void Arena::FreeBlocks() {
+  Block* b = head_;
+  while (b != nullptr) {
+    Block* prev = b->prev;
+    ::operator delete(static_cast<void*>(b));
+    b = prev;
+  }
+  head_ = nullptr;
+  ptr_ = end_ = nullptr;
+}
+
+void Arena::AddBlock(size_t min_payload) {
+  size_t payload = next_block_size_;
+  if (payload < min_payload) payload = min_payload;
+  const size_t header = RoundUp(sizeof(Block), alignof(std::max_align_t));
+  Block* b = static_cast<Block*>(::operator new(header + payload));
+  b->prev = head_;
+  b->size = payload;
+  head_ = b;
+  ptr_ = reinterpret_cast<char*>(b) + header;
+  end_ = ptr_ + payload;
+  bytes_reserved_ += header + payload;
+  ++block_count_;
+  // Geometric growth keeps block count O(log n) for big documents while
+  // capping per-block size so huge arenas stay allocator-friendly.
+  if (next_block_size_ < kMaxBlock) {
+    next_block_size_ *= 2;
+    if (next_block_size_ > kMaxBlock) next_block_size_ = kMaxBlock;
+  }
+}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  assert((align & (align - 1)) == 0 && "alignment must be a power of two");
+  if (bytes == 0) bytes = 1;
+  char* aligned =
+      reinterpret_cast<char*>(RoundUp(reinterpret_cast<uintptr_t>(ptr_), align));
+  if (aligned == nullptr || aligned + bytes > end_) {
+    // New blocks start max_align_t-aligned, so min_payload = bytes suffices
+    // for any align <= alignof(max_align_t); oversized alignments pad.
+    AddBlock(bytes + (align > alignof(std::max_align_t) ? align : 0));
+    aligned = reinterpret_cast<char*>(
+        RoundUp(reinterpret_cast<uintptr_t>(ptr_), align));
+  }
+  ptr_ = aligned + bytes;
+  bytes_used_ += bytes;
+  return aligned;
+}
+
+std::string_view Arena::CopyString(std::string_view s) {
+  if (s.empty()) return {};
+  char* mem = static_cast<char*>(Allocate(s.size(), 1));
+  std::memcpy(mem, s.data(), s.size());
+  return {mem, s.size()};
+}
+
+void Arena::Reset() {
+  FreeBlocks();
+  bytes_used_ = 0;
+  bytes_reserved_ = 0;
+  block_count_ = 0;
+}
+
+}  // namespace xydiff

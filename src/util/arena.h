@@ -1,0 +1,134 @@
+#ifndef XYDIFF_UTIL_ARENA_H_
+#define XYDIFF_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <string_view>
+#include <utility>
+
+namespace xydiff {
+
+/// Bump-pointer arena allocator.
+///
+/// All memory of one XML document (nodes, labels, character data, child
+/// arrays) comes from one arena, so building a document is a sequence of
+/// pointer bumps instead of per-node heap allocations, and destroying it
+/// is a handful of block frees instead of a recursive teardown — the
+/// "little memory / indexer speed" requirement of §1-§2 of the paper.
+///
+/// Ownership rules (see DESIGN.md "Memory layout and arenas"):
+///  * The arena owns raw memory only. `New<T>` placement-constructs but
+///    never runs destructors; allocate only objects whose owned memory
+///    also lives in the same arena (or is trivially destructible).
+///  * Individual allocations cannot be freed; memory is reclaimed all at
+///    once when the arena dies (or via Reset()).
+///  * The arena must outlive every pointer and string_view handed out.
+class Arena {
+ public:
+  static constexpr size_t kDefaultFirstBlock = 4096;
+  static constexpr size_t kMaxBlock = 256 * 1024;
+
+  /// `first_block_hint` sizes the first block (useful when the total need
+  /// is known to be tiny or large). Blocks are only allocated on demand.
+  explicit Arena(size_t first_block_hint = kDefaultFirstBlock);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` bytes aligned to `align` (a power of two).
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t));
+
+  /// Placement-constructs a T in the arena. The destructor is NEVER run:
+  /// T must not own memory outside this arena.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    void* mem = Allocate(sizeof(T), alignof(T));
+    return ::new (mem) T(std::forward<Args>(args)...);
+  }
+
+  /// Copies `s` into the arena and returns a stable view of the copy.
+  /// Empty input returns an empty view without allocating.
+  std::string_view CopyString(std::string_view s);
+
+  /// Drops every block and rewinds. All outstanding pointers/views into
+  /// the arena become dangling.
+  void Reset();
+
+  /// Bytes handed out by Allocate (including alignment padding).
+  size_t bytes_used() const { return bytes_used_; }
+  /// Bytes obtained from the system allocator.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+  size_t block_count() const { return block_count_; }
+
+ private:
+  struct Block {
+    Block* prev;
+    size_t size;  // Usable payload bytes following this header.
+  };
+
+  void AddBlock(size_t min_payload);
+  void FreeBlocks();
+
+  Block* head_ = nullptr;
+  char* ptr_ = nullptr;  // Bump cursor inside the head block.
+  char* end_ = nullptr;
+  size_t next_block_size_;
+  size_t bytes_used_ = 0;
+  size_t bytes_reserved_ = 0;
+  size_t block_count_ = 0;
+};
+
+/// Minimal std-compatible allocator over an Arena, with a heap fallback
+/// when constructed with a null arena. Lets one container type
+/// (std::vector<T, ArenaAllocator<T>>) serve both arena-backed and
+/// standalone heap objects.
+///
+/// deallocate() is a no-op for arena memory: freed space is reclaimed when
+/// the arena dies. Containers that grow geometrically waste at most the
+/// final capacity in abandoned buffers.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using is_always_equal = std::false_type;
+
+  ArenaAllocator() noexcept : arena_(nullptr) {}
+  explicit ArenaAllocator(Arena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    const size_t bytes = n * sizeof(T);
+    if (arena_ != nullptr) {
+      return static_cast<T*>(arena_->Allocate(bytes, alignof(T)));
+    }
+    return static_cast<T*>(::operator new(bytes));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    if (arena_ == nullptr) ::operator delete(p);
+  }
+
+  Arena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& other) const {
+    return arena_ != other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_UTIL_ARENA_H_

@@ -1,0 +1,69 @@
+#ifndef XYDIFF_UTIL_INTERNER_H_
+#define XYDIFF_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/arena.h"
+
+namespace xydiff {
+
+/// Per-document string interner for element labels and attribute names.
+///
+/// Web corpora reuse a tiny label vocabulary (§6: a handful of element
+/// types covers millions of pages), so labels are stored once in the
+/// document's arena and every element shares the same bytes: equal labels
+/// from one interner have equal `data()` pointers and equal ids, turning
+/// label comparison into a pointer/id compare and shrinking resident
+/// memory.
+///
+/// Ids are dense (0..size()-1) in first-seen order, which lets consumers
+/// (DiffTree::Build) map them through flat arrays instead of hash lookups.
+/// The arena must outlive the interner's views.
+class StringInterner {
+ public:
+  explicit StringInterner(Arena* arena) : arena_(arena) {}
+
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+
+  /// Returns the dense id for `s`, creating one if needed.
+  int32_t Intern(std::string_view s) {
+    auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+    const std::string_view stored = arena_->CopyString(s);
+    const int32_t id = static_cast<int32_t>(views_.size());
+    views_.push_back(stored);
+    ids_.emplace(stored, id);
+    return id;
+  }
+
+  /// Interns `s` and returns the canonical stored bytes.
+  std::string_view InternView(std::string_view s) {
+    return views_[static_cast<size_t>(Intern(s))];
+  }
+
+  /// Id for `s`, or -1 if never interned.
+  int32_t Find(std::string_view s) const {
+    auto it = ids_.find(s);
+    return it == ids_.end() ? -1 : it->second;
+  }
+
+  /// Canonical bytes for an id returned by Intern.
+  std::string_view View(int32_t id) const {
+    return views_[static_cast<size_t>(id)];
+  }
+
+  size_t size() const { return views_.size(); }
+
+ private:
+  Arena* arena_;
+  std::unordered_map<std::string_view, int32_t> ids_;  // Keys view the arena.
+  std::vector<std::string_view> views_;
+};
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_UTIL_INTERNER_H_

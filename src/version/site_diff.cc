@@ -15,7 +15,7 @@ constexpr const char* kUrlAttribute = "url";
 
 /// URL of the nearest enclosing `<page>` of `node`, or nullptr when the
 /// node is outside any page (site-level chrome).
-const std::string* OwningPageUrl(const XmlNode* node) {
+const std::string_view* OwningPageUrl(const XmlNode* node) {
   for (; node != nullptr; node = node->parent()) {
     if (node->is_element() && node->label() == kPageLabel) {
       return node->FindAttribute(kUrlAttribute);
@@ -86,9 +86,9 @@ Result<SiteDiffResult> DiffSites(XmlDocument* old_site, XmlDocument* new_site,
   std::map<std::string, Accumulated> by_url;
 
   const auto charge = [&](const XmlNode* node, bool relocation) {
-    const std::string* url = OwningPageUrl(node);
+    const std::string_view* url = OwningPageUrl(node);
     if (url == nullptr) return;
-    Accumulated& acc = by_url[*url];
+    Accumulated& acc = by_url[std::string(*url)];
     acc.operations += 1;
     if (relocation && node->is_element() && node->label() == kPageLabel) {
       acc.relocated = true;
@@ -103,10 +103,10 @@ Result<SiteDiffResult> DiffSites(XmlDocument* old_site, XmlDocument* new_site,
     if (op.subtree != nullptr) {
       op.subtree->Visit([&](const XmlNode* n) {
         if (n->is_element() && n->label() == kPageLabel) {
-          const std::string* url = n->FindAttribute(kUrlAttribute);
+          const std::string_view* url = n->FindAttribute(kUrlAttribute);
           if (url != nullptr) {
-            by_url[*url].added = true;
-            by_url[*url].operations += 1;
+            by_url[std::string(*url)].added = true;
+            by_url[std::string(*url)].operations += 1;
             counted_pages = true;
           }
         }
@@ -119,10 +119,10 @@ Result<SiteDiffResult> DiffSites(XmlDocument* old_site, XmlDocument* new_site,
     if (op.subtree != nullptr) {
       op.subtree->Visit([&](const XmlNode* n) {
         if (n->is_element() && n->label() == kPageLabel) {
-          const std::string* url = n->FindAttribute(kUrlAttribute);
+          const std::string_view* url = n->FindAttribute(kUrlAttribute);
           if (url != nullptr) {
-            by_url[*url].removed = true;
-            by_url[*url].operations += 1;
+            by_url[std::string(*url)].removed = true;
+            by_url[std::string(*url)].operations += 1;
             counted_pages = true;
           }
         }

@@ -26,7 +26,7 @@ namespace xydiff {
 class ElementBuilder {
  public:
   explicit ElementBuilder(std::string_view label)
-      : node_(XmlNode::Element(std::string(label))) {}
+      : node_(XmlNode::Element(label)) {}
 
   ElementBuilder(ElementBuilder&&) = default;
   ElementBuilder& operator=(ElementBuilder&&) = default;
@@ -43,11 +43,11 @@ class ElementBuilder {
 
   /// Appends a text child.
   ElementBuilder&& Text(std::string_view text) && {
-    node_->AppendChild(XmlNode::Text(std::string(text)));
+    node_->AppendChild(XmlNode::Text(text));
     return std::move(*this);
   }
   ElementBuilder& Text(std::string_view text) & {
-    node_->AppendChild(XmlNode::Text(std::string(text)));
+    node_->AppendChild(XmlNode::Text(text));
     return *this;
   }
 
@@ -62,13 +62,13 @@ class ElementBuilder {
   }
 
   /// Appends an already-built node.
-  ElementBuilder&& Child(std::unique_ptr<XmlNode> child) && {
+  ElementBuilder&& Child(XmlNodePtr child) && {
     node_->AppendChild(std::move(child));
     return std::move(*this);
   }
 
   /// Releases the built subtree.
-  std::unique_ptr<XmlNode> Build() && { return std::move(node_); }
+  XmlNodePtr Build() && { return std::move(node_); }
 
   /// Wraps the built subtree as a document (no XIDs assigned).
   XmlDocument BuildDocument() && {
@@ -76,7 +76,7 @@ class ElementBuilder {
   }
 
  private:
-  std::unique_ptr<XmlNode> node_;
+  XmlNodePtr node_;
 };
 
 }  // namespace xydiff

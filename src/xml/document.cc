@@ -13,6 +13,13 @@ void AssignPostfix(XmlNode* node, Xid* counter) {
 
 }  // namespace
 
+XmlDocument XmlDocument::ArenaBacked(size_t first_block_hint) {
+  XmlDocument doc;
+  doc.arena_ = std::make_shared<Arena>(first_block_hint);
+  doc.interner_ = std::make_unique<StringInterner>(doc.arena_.get());
+  return doc;
+}
+
 void XmlDocument::AssignInitialXids() {
   if (!root_) return;
   Xid counter = 1;

@@ -2,10 +2,11 @@
 #define XYDIFF_XML_DOCUMENT_H_
 
 #include <memory>
-#include <string>
 #include <unordered_map>
 #include <utility>
 
+#include "util/arena.h"
+#include "util/interner.h"
 #include "xml/dtd.h"
 #include "xml/node.h"
 
@@ -13,6 +14,13 @@ namespace xydiff {
 
 /// An XML document: a single element root plus the DTD information and the
 /// XID-allocation state needed by the versioning machinery (§4).
+///
+/// A document may own an arena + label interner (parser-built documents
+/// do; see ArenaBacked()). The whole tree then lives in that arena and
+/// teardown is one arena free instead of a recursive unique_ptr cascade.
+/// The arena is held by shared_ptr so long-lived consumers (Repository
+/// version chains, Delta snapshots) can keep the bytes alive after the
+/// document object itself is gone.
 ///
 /// The XID allocator is part of the document so that identifiers stay
 /// unique across the whole version history: the diff hands out fresh XIDs
@@ -22,19 +30,48 @@ class XmlDocument {
  public:
   XmlDocument() = default;
   /// Takes ownership of the root element.
-  explicit XmlDocument(std::unique_ptr<XmlNode> root)
-      : root_(std::move(root)) {}
+  explicit XmlDocument(XmlNodePtr root) : root_(std::move(root)) {}
+
+  /// Creates an empty document with its own arena and label interner.
+  /// Attach roots built with XmlNode::ElementIn(doc.arena(), ...) to stay
+  /// on the fast path (cross-domain roots are adoption-cloned on attach).
+  static XmlDocument ArenaBacked(size_t first_block_hint =
+                                     Arena::kDefaultFirstBlock);
 
   XmlDocument(XmlDocument&&) = default;
-  XmlDocument& operator=(XmlDocument&&) = default;
+  // Not defaulted: members assign in declaration order, which would free
+  // the old arena (arena_ is declared first) while the old root_ still
+  // points into it. Drop the nodes before their arena.
+  XmlDocument& operator=(XmlDocument&& other) noexcept {
+    if (this != &other) {
+      root_.reset();
+      interner_.reset();
+      root_ = std::move(other.root_);
+      interner_ = std::move(other.interner_);
+      arena_ = std::move(other.arena_);
+      dtd_ = std::move(other.dtd_);
+      next_xid_ = other.next_xid_;
+    }
+    return *this;
+  }
   XmlDocument(const XmlDocument&) = delete;
   XmlDocument& operator=(const XmlDocument&) = delete;
 
   XmlNode* root() { return root_.get(); }
   const XmlNode* root() const { return root_.get(); }
-  void set_root(std::unique_ptr<XmlNode> root) { root_ = std::move(root); }
-  /// Releases ownership of the root (the document becomes empty).
-  std::unique_ptr<XmlNode> take_root() { return std::move(root_); }
+  void set_root(XmlNodePtr root) { root_ = std::move(root); }
+  /// Releases ownership of the root (the document becomes empty). For
+  /// arena-backed documents the arena must stay alive as long as the
+  /// detached tree; take shared_arena() alongside if needed.
+  XmlNodePtr take_root() { return std::move(root_); }
+
+  /// The document arena, or nullptr for heap-domain documents.
+  Arena* arena() { return arena_.get(); }
+  const Arena* arena() const { return arena_.get(); }
+  const std::shared_ptr<Arena>& shared_arena() const { return arena_; }
+  /// The label/attribute-name interner, or nullptr.
+  StringInterner* interner() { return interner_.get(); }
+  const StringInterner* interner() const { return interner_.get(); }
 
   Dtd& dtd() { return dtd_; }
   const Dtd& dtd() const { return dtd_; }
@@ -62,14 +99,20 @@ class XmlDocument {
   /// a snapshot: mutating the tree invalidates it.
   std::unordered_map<Xid, XmlNode*> BuildXidIndex();
 
-  /// Deep copy of the document including DTD info, XIDs and allocator state.
+  /// Deep copy of the document including DTD info, XIDs and allocator
+  /// state. The copy is heap-domain (clones are for mutation-heavy
+  /// callers like the change simulator, not the parse→diff hot path).
   XmlDocument Clone() const;
 
   /// Total node count (0 for an empty document).
   size_t node_count() const { return root_ ? root_->SubtreeSize() : 0; }
 
  private:
-  std::unique_ptr<XmlNode> root_;
+  // Declaration order is load-bearing: root_ (and interner_) must be
+  // destroyed before arena_ releases the memory they point into.
+  std::shared_ptr<Arena> arena_;
+  std::unique_ptr<StringInterner> interner_;
+  XmlNodePtr root_;
   Dtd dtd_;
   Xid next_xid_ = 1;
 };

@@ -5,22 +5,62 @@
 
 namespace xydiff {
 
-std::unique_ptr<XmlNode> XmlNode::Element(std::string label) {
-  return std::unique_ptr<XmlNode>(
-      new XmlNode(XmlNodeType::kElement, std::move(label)));
+XmlNodePtr XmlNode::MakeStandalone(XmlNodeType type, std::string_view value) {
+  // Standalone nodes carry a private arena for their strings and vector
+  // storage; size the first block for the value plus a little slack so a
+  // typical leaf needs exactly one block.
+  auto arena = std::make_unique<Arena>(value.size() + 48);
+  Arena* raw_arena = arena.get();
+  const std::string_view stored = raw_arena->CopyString(value);
+  return XmlNodePtr(new XmlNode(type, stored, raw_arena, std::move(arena)));
 }
 
-std::unique_ptr<XmlNode> XmlNode::Text(std::string text) {
-  return std::unique_ptr<XmlNode>(
-      new XmlNode(XmlNodeType::kText, std::move(text)));
+XmlNodePtr XmlNode::Element(std::string_view label) {
+  return MakeStandalone(XmlNodeType::kElement, label);
 }
 
-void XmlNode::set_text(std::string text) {
+XmlNodePtr XmlNode::Text(std::string_view text) {
+  return MakeStandalone(XmlNodeType::kText, text);
+}
+
+XmlNodePtr XmlNode::ElementIn(Arena* arena, std::string_view label) {
+  assert(arena != nullptr);
+  return XmlNodePtr(arena->New<XmlNode>(XmlNodeType::kElement,
+                                        arena->CopyString(label), arena,
+                                        nullptr));
+}
+
+XmlNodePtr XmlNode::TextIn(Arena* arena, std::string_view text) {
+  assert(arena != nullptr);
+  return XmlNodePtr(arena->New<XmlNode>(XmlNodeType::kText,
+                                        arena->CopyString(text), arena,
+                                        nullptr));
+}
+
+XmlNodePtr XmlNode::ElementInterned(Arena* arena, std::string_view stored_label,
+                                    int32_t label_id) {
+  assert(arena != nullptr);
+  XmlNodePtr node(arena->New<XmlNode>(XmlNodeType::kElement, stored_label,
+                                      arena, nullptr));
+  node->label_id_ = label_id;
+  return node;
+}
+
+XmlNodePtr XmlNode::TextStored(Arena* arena, std::string_view stored_text) {
+  assert(arena != nullptr);
+  return XmlNodePtr(
+      arena->New<XmlNode>(XmlNodeType::kText, stored_text, arena, nullptr));
+}
+
+void XmlNode::set_text(std::string_view text) {
   assert(is_text());
-  value_ = std::move(text);
+  // The previous bytes stay in the domain arena until it dies; text
+  // updates are rare outside freshly-built nodes, so this is the right
+  // trade against per-node heap strings.
+  value_ = StoreString(text);
 }
 
-const std::string* XmlNode::FindAttribute(std::string_view name) const {
+const std::string_view* XmlNode::FindAttribute(std::string_view name) const {
   for (const auto& attr : attributes_) {
     if (attr.name == name) return &attr.value;
   }
@@ -31,11 +71,16 @@ void XmlNode::SetAttribute(std::string_view name, std::string_view value) {
   assert(is_element());
   for (auto& attr : attributes_) {
     if (attr.name == name) {
-      attr.value.assign(value);
+      attr.value = StoreString(value);
       return;
     }
   }
-  attributes_.push_back({std::string(name), std::string(value)});
+  attributes_.push_back({StoreString(name), StoreString(value)});
+}
+
+void XmlNode::AddAttributeStored(std::string_view stored_name,
+                                 std::string_view stored_value) {
+  attributes_.push_back({stored_name, stored_value});
 }
 
 bool XmlNode::RemoveAttribute(std::string_view name) {
@@ -48,14 +93,19 @@ bool XmlNode::RemoveAttribute(std::string_view name) {
   return false;
 }
 
-XmlNode* XmlNode::AppendChild(std::unique_ptr<XmlNode> node) {
+XmlNode* XmlNode::AppendChild(XmlNodePtr node) {
   return InsertChild(children_.size(), std::move(node));
 }
 
-XmlNode* XmlNode::InsertChild(size_t index, std::unique_ptr<XmlNode> node) {
+XmlNode* XmlNode::InsertChild(size_t index, XmlNodePtr node) {
   assert(is_element());
   assert(node != nullptr);
   assert(node->parent_ == nullptr);
+  if (node->domain() != domain()) {
+    // Keep trees domain-homogeneous: adopt cross-domain children by deep
+    // copy so an arena tree never points at heap nodes and vice versa.
+    node = node->Clone(domain());
+  }
   index = std::min(index, children_.size());
   node->parent_ = this;
   XmlNode* raw = node.get();
@@ -64,10 +114,9 @@ XmlNode* XmlNode::InsertChild(size_t index, std::unique_ptr<XmlNode> node) {
   return raw;
 }
 
-std::unique_ptr<XmlNode> XmlNode::RemoveChild(size_t index) {
+XmlNodePtr XmlNode::RemoveChild(size_t index) {
   assert(index < children_.size());
-  std::unique_ptr<XmlNode> out =
-      std::move(children_[static_cast<size_t>(index)]);
+  XmlNodePtr out = std::move(children_[index]);
   children_.erase(children_.begin() + static_cast<ptrdiff_t>(index));
   out->parent_ = nullptr;
   return out;
@@ -83,12 +132,36 @@ size_t XmlNode::IndexInParent() const {
   return 0;
 }
 
-std::unique_ptr<XmlNode> XmlNode::Clone() const {
-  std::unique_ptr<XmlNode> copy(new XmlNode(type_, value_));
-  copy->attributes_ = attributes_;
+XmlNodePtr XmlNode::Clone(Arena* target) const {
+  // Cloning within one arena can share the immutable string bytes (the
+  // arena outlives both trees), which keeps interned-label pointer
+  // equality intact across copies.
+  const bool share_bytes =
+      target != nullptr && !heap_allocated() && arena_ == target;
+  XmlNodePtr copy;
+  if (target != nullptr) {
+    const std::string_view stored =
+        share_bytes ? value_ : target->CopyString(value_);
+    copy = XmlNodePtr(target->New<XmlNode>(type_, stored, target, nullptr));
+    if (share_bytes) copy->label_id_ = label_id_;
+  } else {
+    copy = MakeStandalone(type_, value_);
+  }
   copy->xid_ = xid_;
+  copy->attributes_.reserve(attributes_.size());
+  for (const auto& attr : attributes_) {
+    if (share_bytes) {
+      copy->attributes_.push_back(attr);
+    } else {
+      copy->AddAttributeStored(copy->StoreString(attr.name),
+                               copy->StoreString(attr.value));
+    }
+  }
+  copy->children_.reserve(children_.size());
   for (const auto& c : children_) {
-    copy->AppendChild(c->Clone());
+    XmlNodePtr child = c->Clone(target);
+    child->parent_ = copy.get();
+    copy->children_.push_back(std::move(child));
   }
   return copy;
 }
@@ -97,7 +170,7 @@ bool XmlNode::DeepEquals(const XmlNode& other) const {
   if (type_ != other.type_ || value_ != other.value_) return false;
   if (attributes_.size() != other.attributes_.size()) return false;
   for (const auto& attr : attributes_) {
-    const std::string* v = other.FindAttribute(attr.name);
+    const std::string_view* v = other.FindAttribute(attr.name);
     if (v == nullptr || *v != attr.value) return false;
   }
   if (children_.size() != other.children_.size()) return false;

@@ -3,9 +3,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/arena.h"
 
 namespace xydiff {
 
@@ -16,9 +17,12 @@ enum class XmlNodeType { kElement, kText };
 
 /// A single name="value" attribute. Order is preserved for serialization
 /// but is semantically irrelevant (§5.2 "Other XML features").
+///
+/// The views point into the memory domain of the owning node (document
+/// arena or the node's private arena) and share its lifetime.
 struct XmlAttribute {
-  std::string name;
-  std::string value;
+  std::string_view name;
+  std::string_view value;
 
   bool operator==(const XmlAttribute&) const = default;
 };
@@ -27,44 +31,98 @@ struct XmlAttribute {
 using Xid = uint64_t;
 inline constexpr Xid kNoXid = 0;
 
+class XmlNode;
+
+/// Deleter for XmlNodePtr: frees standalone heap nodes, no-ops for nodes
+/// living in a document arena (their memory dies with the arena).
+struct XmlNodeDeleter {
+  void operator()(XmlNode* node) const;
+};
+
+/// Owning handle to a node. For arena-resident nodes ownership is purely
+/// logical (destruction is a no-op; the arena reclaims the bytes); for
+/// standalone nodes it behaves like std::unique_ptr<XmlNode>.
+using XmlNodePtr = std::unique_ptr<XmlNode, XmlNodeDeleter>;
+
 /// An ordered-tree XML node: either an element or a text leaf.
 ///
-/// Nodes own their children (`std::unique_ptr`) and know their parent.
+/// Memory model (see DESIGN.md "Memory layout and arenas"): every node
+/// lives in exactly one *domain* — either a document arena shared by the
+/// whole tree (the parser's fast path: one allocation region per
+/// document, teardown = one arena free) or the heap, where each
+/// standalone node carries a small private arena for its strings and
+/// vectors. A tree is always domain-homogeneous: attaching a child from
+/// a different domain deep-clones it into the parent's domain first.
+///
+/// Label/text accessors return string_views into the node's domain; they
+/// remain valid for the domain's lifetime, not just the call.
+///
 /// Every node can carry a persistent identifier (XID, §4) that survives
 /// across document versions; the diff algorithm assigns XIDs of matched
 /// nodes from the previous version.
 class XmlNode {
  public:
-  /// Factory for an element node with the given label.
-  static std::unique_ptr<XmlNode> Element(std::string label);
-  /// Factory for a text leaf with the given character data.
-  static std::unique_ptr<XmlNode> Text(std::string text);
+  /// Factory for a standalone (heap-domain) element node.
+  static XmlNodePtr Element(std::string_view label);
+  /// Factory for a standalone (heap-domain) text leaf.
+  static XmlNodePtr Text(std::string_view text);
+
+  /// Factories for arena-resident nodes. The value is copied into `arena`;
+  /// the returned handle's deleter is a no-op (the arena owns the bytes).
+  static XmlNodePtr ElementIn(Arena* arena, std::string_view label);
+  static XmlNodePtr TextIn(Arena* arena, std::string_view text);
+
+  /// Parser fast path: `stored_label` must already point into `arena`
+  /// (e.g. interned); no copy is made. `label_id` is the interner id,
+  /// kept on the node so DiffTree can map labels without hashing.
+  static XmlNodePtr ElementInterned(Arena* arena, std::string_view stored_label,
+                                    int32_t label_id);
+  /// Parser fast path: `stored_text` must already point into `arena`.
+  static XmlNodePtr TextStored(Arena* arena, std::string_view stored_text);
 
   XmlNode(const XmlNode&) = delete;
   XmlNode& operator=(const XmlNode&) = delete;
+  ~XmlNode() = default;
 
   XmlNodeType type() const { return type_; }
   bool is_element() const { return type_ == XmlNodeType::kElement; }
   bool is_text() const { return type_ == XmlNodeType::kText; }
 
   /// Element label. Precondition: is_element().
-  const std::string& label() const { return value_; }
+  std::string_view label() const { return value_; }
   /// Text content. Precondition: is_text().
-  const std::string& text() const { return value_; }
+  std::string_view text() const { return value_; }
   /// Replaces the text content. Precondition: is_text().
-  void set_text(std::string text);
+  void set_text(std::string_view text);
+
+  /// Interner id of the label for parser-built documents, -1 otherwise.
+  int32_t label_id() const { return label_id_; }
 
   /// Persistent identifier; kNoXid until assigned.
   Xid xid() const { return xid_; }
   void set_xid(Xid xid) { xid_ = xid; }
 
+  /// True for standalone heap nodes, false for arena residents.
+  bool heap_allocated() const { return own_arena_ != nullptr; }
+  /// The document arena this node lives in, or nullptr for the heap
+  /// domain. Two nodes may be spliced without cloning iff their domains
+  /// are equal.
+  Arena* domain() const { return own_arena_ ? nullptr : arena_; }
+
   // --- Attributes (elements only) -----------------------------------------
 
-  const std::vector<XmlAttribute>& attributes() const { return attributes_; }
+  using AttributeList = std::vector<XmlAttribute, ArenaAllocator<XmlAttribute>>;
+
+  const AttributeList& attributes() const { return attributes_; }
   /// Returns the attribute value or nullptr if absent.
-  const std::string* FindAttribute(std::string_view name) const;
-  /// Inserts or overwrites an attribute.
+  const std::string_view* FindAttribute(std::string_view name) const;
+  /// Inserts or overwrites an attribute (values are copied into the
+  /// node's domain).
   void SetAttribute(std::string_view name, std::string_view value);
+  /// Parser fast path: appends without a duplicate check; both views must
+  /// already point into this node's domain.
+  void AddAttributeStored(std::string_view stored_name,
+                          std::string_view stored_value);
   /// Removes an attribute; returns false if it was absent.
   bool RemoveAttribute(std::string_view name);
 
@@ -77,20 +135,27 @@ class XmlNode {
   const XmlNode* parent() const { return parent_; }
 
   /// Appends `node` as the last child and returns a raw pointer to it.
-  XmlNode* AppendChild(std::unique_ptr<XmlNode> node);
+  /// If `node` is from another domain it is deep-cloned into this node's
+  /// domain first (the returned pointer is the attached copy).
+  XmlNode* AppendChild(XmlNodePtr node);
   /// Inserts `node` so that it becomes child number `index` (0-based,
-  /// clamped to [0, child_count()]); returns a raw pointer to it.
-  XmlNode* InsertChild(size_t index, std::unique_ptr<XmlNode> node);
-  /// Detaches and returns child number `index`.
-  std::unique_ptr<XmlNode> RemoveChild(size_t index);
+  /// clamped to [0, child_count()]); returns a raw pointer to it. Same
+  /// cross-domain cloning rule as AppendChild.
+  XmlNode* InsertChild(size_t index, XmlNodePtr node);
+  /// Detaches and returns child number `index`. For arena residents the
+  /// handle keeps the node usable (reattachable) but its bytes are only
+  /// reclaimed when the arena dies.
+  XmlNodePtr RemoveChild(size_t index);
   /// 0-based position of this node among its parent's children.
   /// Precondition: parent() != nullptr.
   size_t IndexInParent() const;
 
   // --- Whole-subtree operations ---------------------------------------------
 
-  /// Deep copy, including attributes and XIDs.
-  std::unique_ptr<XmlNode> Clone() const;
+  /// Deep copy, including attributes and XIDs. With the default null
+  /// target the copy is a standalone heap tree; otherwise it is built
+  /// into `target` (which must outlive it).
+  XmlNodePtr Clone(Arena* target = nullptr) const;
   /// Structural equality of the whole subtree: type, label/text,
   /// attributes (order-insensitive) and children (order-sensitive).
   /// XIDs are ignored.
@@ -112,16 +177,43 @@ class XmlNode {
   }
 
  private:
-  XmlNode(XmlNodeType type, std::string value)
-      : type_(type), value_(std::move(value)) {}
+  friend class Arena;  // Arena::New needs the private constructor.
+  friend struct XmlNodeDeleter;
+
+  using ChildList = std::vector<XmlNodePtr, ArenaAllocator<XmlNodePtr>>;
+
+  XmlNode(XmlNodeType type, std::string_view stored_value, Arena* arena,
+          std::unique_ptr<Arena> own_arena)
+      : type_(type),
+        value_(stored_value),
+        arena_(arena),
+        own_arena_(std::move(own_arena)),
+        attributes_(ArenaAllocator<XmlAttribute>(arena_)),
+        children_(ArenaAllocator<XmlNodePtr>(arena_)) {}
+
+  static XmlNodePtr MakeStandalone(XmlNodeType type, std::string_view value);
+
+  /// Copies `s` into this node's domain.
+  std::string_view StoreString(std::string_view s) {
+    return arena_->CopyString(s);
+  }
 
   XmlNodeType type_;
-  std::string value_;  // Label for elements, character data for text.
-  std::vector<XmlAttribute> attributes_;
-  std::vector<std::unique_ptr<XmlNode>> children_;
+  int32_t label_id_ = -1;
+  std::string_view value_;  // Label for elements, character data for text.
+  Arena* arena_;            // Domain arena, or own_arena_.get().
+  std::unique_ptr<Arena> own_arena_;  // Non-null only for standalone nodes.
+  // Containers are declared after own_arena_ so they are destroyed before
+  // the private arena that backs them.
+  AttributeList attributes_;
+  ChildList children_;
   XmlNode* parent_ = nullptr;
   Xid xid_ = kNoXid;
 };
+
+inline void XmlNodeDeleter::operator()(XmlNode* node) const {
+  if (node != nullptr && node->heap_allocated()) delete node;
+}
 
 }  // namespace xydiff
 

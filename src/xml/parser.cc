@@ -1,8 +1,10 @@
 #include "xml/parser.h"
 
-#include <cctype>
+#include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <sstream>
+#include <string>
 #include <unordered_map>
 
 #include "util/string_util.h"
@@ -14,20 +16,62 @@ namespace {
 /// True for characters that may start an XML name. We accept the ASCII
 /// subset plus any byte >= 0x80 (UTF-8 continuation/lead bytes), which is
 /// permissive but never mis-parses well-formed input.
-bool IsNameStartChar(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
-         static_cast<unsigned char>(c) >= 0x80;
+constexpr bool IsNameStartByte(unsigned c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':' || c >= 0x80;
 }
 
-bool IsNameChar(char c) {
-  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
-         c == '-' || c == '.';
+constexpr bool IsNameByte(unsigned c) {
+  return IsNameStartByte(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
 }
 
 /// XML 1.0 forbids control characters other than tab, LF and CR.
+constexpr bool IsForbiddenControlByte(unsigned c) {
+  return c < 0x20 && c != '\t' && c != '\n' && c != '\r';
+}
+
+bool IsNameStartChar(char c) { return IsNameStartByte(static_cast<unsigned char>(c)); }
 bool IsForbiddenControlChar(char c) {
-  const unsigned char u = static_cast<unsigned char>(c);
-  return u < 0x20 && c != '\t' && c != '\n' && c != '\r';
+  return IsForbiddenControlByte(static_cast<unsigned char>(c));
+}
+
+/// 256-entry stop tables drive the bulk scanning loops: a text run is
+/// "memchr-style" scanned until a byte that needs per-character handling.
+struct ByteTable {
+  bool stop[256];
+};
+
+constexpr ByteTable MakeNameTable() {
+  ByteTable t{};
+  for (unsigned c = 0; c < 256; ++c) t.stop[c] = IsNameByte(c);
+  return t;
+}
+
+constexpr ByteTable MakeContentStopTable() {
+  ByteTable t{};
+  for (unsigned c = 0; c < 256; ++c) {
+    t.stop[c] = c == '<' || c == '&' || IsForbiddenControlByte(c);
+  }
+  return t;
+}
+
+constexpr ByteTable MakeAttrStopTable(char quote) {
+  ByteTable t{};
+  for (unsigned c = 0; c < 256; ++c) {
+    t.stop[c] = c == static_cast<unsigned char>(quote) || c == '&' ||
+                c == '<' || IsForbiddenControlByte(c);
+  }
+  return t;
+}
+
+constexpr ByteTable kNameChar = MakeNameTable();
+constexpr ByteTable kContentStop = MakeContentStopTable();
+constexpr ByteTable kAttrStopDq = MakeAttrStopTable('"');
+constexpr ByteTable kAttrStopSq = MakeAttrStopTable('\'');
+
+size_t FirstBlockHint(size_t input_size) {
+  return std::min(std::max(input_size, Arena::kDefaultFirstBlock),
+                  Arena::kMaxBlock);
 }
 
 class Parser {
@@ -36,12 +80,17 @@ class Parser {
       : text_(text), options_(options) {}
 
   Result<XmlDocument> Parse() {
-    XmlDocument doc;
+    // The whole tree is built into the document's arena: node records,
+    // labels (deduplicated by the interner), attribute values and
+    // character data all land in one allocation region.
+    XmlDocument doc = XmlDocument::ArenaBacked(FirstBlockHint(text_.size()));
+    arena_ = doc.arena();
+    interner_ = doc.interner();
     SkipProlog(&doc);
     if (AtEnd() || Peek() != '<') {
       return Error("expected root element");
     }
-    std::unique_ptr<XmlNode> root;
+    XmlNodePtr root;
     Status s = ParseElement(&root, /*depth=*/0);
     if (!s.ok()) return s;
     doc.set_root(std::move(root));
@@ -54,39 +103,40 @@ class Parser {
 
  private:
   // --- Low-level cursor ----------------------------------------------------
+  //
+  // The cursor is a bare offset; line/column are only needed for error
+  // messages, so Error() recovers them by scanning the consumed prefix
+  // instead of every Advance() paying the bookkeeping.
 
   bool AtEnd() const { return pos_ >= text_.size(); }
   char Peek() const { return text_[pos_]; }
-  char PeekAt(size_t offset) const {
-    return pos_ + offset < text_.size() ? text_[pos_ + offset] : '\0';
-  }
-  void Advance() {
-    if (text_[pos_] == '\n') {
-      ++line_;
-      column_ = 1;
-    } else {
-      ++column_;
-    }
-    ++pos_;
-  }
-  void AdvanceBy(size_t n) {
-    for (size_t i = 0; i < n && !AtEnd(); ++i) Advance();
-  }
+  void Advance() { ++pos_; }
+  void AdvanceBy(size_t n) { pos_ = std::min(pos_ + n, text_.size()); }
   bool LookingAt(std::string_view s) const {
     return text_.substr(pos_, s.size()) == s;
   }
   bool Consume(std::string_view s) {
     if (!LookingAt(s)) return false;
-    AdvanceBy(s.size());
+    pos_ += s.size();
     return true;
   }
   void SkipWhitespace() {
-    while (!AtEnd() && IsXmlWhitespace(Peek())) Advance();
+    while (!AtEnd() && IsXmlWhitespace(Peek())) ++pos_;
   }
 
   Status Error(std::string_view what) const {
+    size_t line = 1;
+    size_t line_start = 0;
+    const size_t limit = std::min(pos_, text_.size());
+    for (size_t i = 0; i < limit; ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        line_start = i + 1;
+      }
+    }
     std::ostringstream os;
-    os << "line " << line_ << ", column " << column_ << ": " << what;
+    os << "line " << line << ", column " << (limit - line_start + 1) << ": "
+       << what;
     return Status::ParseError(os.str());
   }
 
@@ -122,15 +172,13 @@ class Parser {
 
   void SkipProcessingInstruction() {
     // Consume "<?" ... "?>"; unterminated PIs run to end of input.
-    AdvanceBy(2);
-    while (!AtEnd() && !LookingAt("?>")) Advance();
-    Consume("?>");
+    const size_t end = text_.find("?>", pos_ + 2);
+    pos_ = end == std::string_view::npos ? text_.size() : end + 2;
   }
 
   void SkipComment() {
-    AdvanceBy(4);  // "<!--"
-    while (!AtEnd() && !LookingAt("-->")) Advance();
-    Consume("-->");
+    const size_t end = text_.find("-->", pos_ + 4);
+    pos_ = end == std::string_view::npos ? text_.size() : end + 3;
   }
 
   // --- DOCTYPE / internal subset --------------------------------------------
@@ -138,8 +186,8 @@ class Parser {
   void ParseDoctype(XmlDocument* doc) {
     AdvanceBy(9);  // "<!DOCTYPE"
     SkipWhitespace();
-    std::string name = ParseName();
-    doc->dtd().set_doctype_name(name);
+    std::string_view name = ParseName();
+    doc->dtd().set_doctype_name(std::string(name));
     // Skip external ID (SYSTEM/PUBLIC ...) up to '[' or '>'.
     while (!AtEnd() && Peek() != '[' && Peek() != '>') {
       if (Peek() == '"' || Peek() == '\'') SkipQuoted();
@@ -197,11 +245,11 @@ class Parser {
   void ParseAttlist(XmlDocument* doc) {
     AdvanceBy(9);  // "<!ATTLIST"
     SkipWhitespace();
-    std::string element = ParseName();
+    std::string_view element = ParseName();
     for (;;) {
       SkipWhitespace();
       if (AtEnd() || Peek() == '>') break;
-      std::string attr = ParseName();
+      std::string_view attr = ParseName();
       if (attr.empty()) {
         // Not a name: skip one token to guarantee progress.
         Advance();
@@ -210,7 +258,7 @@ class Parser {
       SkipWhitespace();
       // Attribute type: a name (CDATA, ID, IDREF, NMTOKEN, ...) or an
       // enumeration "(a|b|c)" or NOTATION (...).
-      std::string type = ParseName();
+      std::string_view type = ParseName();
       if (type == "NOTATION") {
         SkipWhitespace();
       }
@@ -248,7 +296,7 @@ class Parser {
       if (!AtEnd()) Advance();
       return;
     }
-    std::string name = ParseName();
+    std::string_view name = ParseName();
     SkipWhitespace();
     if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
       // External entity (SYSTEM/PUBLIC ...): skip.
@@ -267,7 +315,7 @@ class Parser {
     if (!AtEnd()) Advance();
     while (!AtEnd() && Peek() != '>') Advance();
     if (!AtEnd()) Advance();
-    if (!name.empty()) entities_.emplace(std::move(name), std::move(value));
+    if (!name.empty()) entities_.emplace(std::string(name), std::move(value));
   }
 
   /// Decodes an entity replacement string (character references,
@@ -331,11 +379,16 @@ class Parser {
 
   // --- Names, references, attribute values -----------------------------------
 
-  std::string ParseName() {
+  /// Returns a view into the input (empty if no name starts here).
+  std::string_view ParseName() {
     if (AtEnd() || !IsNameStartChar(Peek())) return {};
     const size_t start = pos_;
-    while (!AtEnd() && IsNameChar(Peek())) Advance();
-    return std::string(text_.substr(start, pos_ - start));
+    ++pos_;
+    while (pos_ < text_.size() &&
+           kNameChar.stop[static_cast<unsigned char>(text_[pos_])]) {
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
   }
 
   /// Decodes one reference after '&'. Appends the decoded bytes to `out`;
@@ -368,7 +421,7 @@ class Parser {
       AppendUtf8(code, out);
       return Status::OK();
     }
-    std::string name = ParseName();
+    std::string_view name = ParseName();
     if (AtEnd() || Peek() != ';') return Error("unterminated entity reference");
     Advance();  // ';'
     if (name == "amp") *out += '&';
@@ -376,10 +429,10 @@ class Parser {
     else if (name == "gt") *out += '>';
     else if (name == "quot") *out += '"';
     else if (name == "apos") *out += '\'';
-    else if (auto it = entities_.find(name); it != entities_.end()) {
+    else if (auto it = entities_.find(std::string(name)); it != entities_.end()) {
       XYDIFF_RETURN_IF_ERROR(ExpandEntityValue(it->second, 0, out));
     } else {
-      return Error("unknown entity '&" + name + ";'");
+      return Error("unknown entity '&" + std::string(name) + ";'");
     }
     return Status::OK();
   }
@@ -402,55 +455,81 @@ class Parser {
     }
   }
 
-  Status ParseAttributeValue(std::string* out) {
+  /// Parses a quoted attribute value; `*stored` receives arena-resident
+  /// bytes. Values without references are copied straight from the input
+  /// in one shot; the decode buffer is only touched on the slow path.
+  Status ParseAttributeValue(std::string_view* stored) {
     if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
       return Error("expected quoted attribute value");
     }
     const char quote = Peek();
+    const ByteTable& table = quote == '"' ? kAttrStopDq : kAttrStopSq;
     Advance();
-    while (!AtEnd() && Peek() != quote) {
-      if (Peek() == '&') {
-        XYDIFF_RETURN_IF_ERROR(ParseReference(out));
-      } else if (Peek() == '<') {
-        return Error("'<' in attribute value");
-      } else if (IsForbiddenControlChar(Peek())) {
-        return Error("control character in attribute value");
-      } else {
-        *out += Peek();
-        Advance();
-      }
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           !table.stop[static_cast<unsigned char>(text_[pos_])]) {
+      ++pos_;
     }
-    if (AtEnd()) return Error("unterminated attribute value");
-    Advance();  // closing quote
+    if (pos_ < text_.size() && text_[pos_] == quote) {
+      *stored = arena_->CopyString(text_.substr(start, pos_ - start));
+      ++pos_;
+      return Status::OK();
+    }
+    // Slow path: a reference, an error character, or end of input.
+    abuf_.assign(text_.data() + start, pos_ - start);
+    for (;;) {
+      if (AtEnd()) return Error("unterminated attribute value");
+      const char c = Peek();
+      if (c == quote) {
+        ++pos_;
+        break;
+      }
+      if (c == '&') {
+        XYDIFF_RETURN_IF_ERROR(ParseReference(&abuf_));
+      } else if (c == '<') {
+        return Error("'<' in attribute value");
+      } else if (IsForbiddenControlChar(c)) {
+        return Error("control character in attribute value");
+      }
+      const size_t run = pos_;
+      while (pos_ < text_.size() &&
+             !table.stop[static_cast<unsigned char>(text_[pos_])]) {
+        ++pos_;
+      }
+      abuf_.append(text_.data() + run, pos_ - run);
+    }
+    *stored = arena_->CopyString(abuf_);
     return Status::OK();
   }
 
   // --- Elements and content ---------------------------------------------------
 
-  Status ParseElement(std::unique_ptr<XmlNode>* out, int depth) {
+  Status ParseElement(XmlNodePtr* out, int depth) {
     if (depth > options_.max_depth) return Error("maximum depth exceeded");
     Advance();  // '<'
-    std::string label = ParseName();
+    std::string_view label = ParseName();
     if (label.empty()) return Error("expected element name");
-    auto element = XmlNode::Element(std::move(label));
+    const int32_t label_id = interner_->Intern(label);
+    XmlNodePtr element =
+        XmlNode::ElementInterned(arena_, interner_->View(label_id), label_id);
 
     // Attributes.
     for (;;) {
       SkipWhitespace();
       if (AtEnd()) return Error("unterminated start tag");
       if (Peek() == '>' || LookingAt("/>")) break;
-      std::string name = ParseName();
+      std::string_view name = ParseName();
       if (name.empty()) return Error("expected attribute name");
       SkipWhitespace();
       if (AtEnd() || Peek() != '=') return Error("expected '=' after attribute name");
       Advance();
       SkipWhitespace();
-      std::string value;
+      std::string_view value;
       XYDIFF_RETURN_IF_ERROR(ParseAttributeValue(&value));
       if (element->FindAttribute(name) != nullptr) {
-        return Error("duplicate attribute '" + name + "'");
+        return Error("duplicate attribute '" + std::string(name) + "'");
       }
-      element->SetAttribute(name, value);
+      element->AddAttributeStored(interner_->InternView(name), value);
     }
 
     if (Consume("/>")) {
@@ -463,10 +542,10 @@ class Parser {
 
     // ParseContent stops at "</".
     AdvanceBy(2);
-    std::string close = ParseName();
+    std::string_view close = ParseName();
     if (close != element->label()) {
-      return Error("mismatched end tag '</" + close + ">' for '<" +
-                   element->label() + ">'");
+      return Error("mismatched end tag '</" + std::string(close) + ">' for '<" +
+                   std::string(element->label()) + ">'");
     }
     SkipWhitespace();
     if (AtEnd() || Peek() != '>') return Error("expected '>' in end tag");
@@ -475,21 +554,69 @@ class Parser {
     return Status::OK();
   }
 
+  // Pending character data for the content section being parsed. The
+  // common case — one contiguous run with no references, comments or
+  // CDATA — stays a view into the input and is copied exactly once, into
+  // the arena. Anything else promotes into tbuf_, a single buffer
+  // retained across all text nodes of the parse.
+  void AppendTextRun(std::string_view run) {
+    if (run.empty()) return;
+    if (tbuf_active_) {
+      tbuf_.append(run.data(), run.size());
+    } else if (trun_.empty()) {
+      trun_ = run;
+    } else {
+      PromoteTextToBuffer();
+      tbuf_.append(run.data(), run.size());
+    }
+  }
+
+  void PromoteTextToBuffer() {
+    if (tbuf_active_) return;
+    if (tbuf_.capacity() < trun_.size() + 64) tbuf_.reserve(trun_.size() + 64);
+    tbuf_.assign(trun_.data(), trun_.size());
+    trun_ = {};
+    tbuf_active_ = true;
+  }
+
+  void FlushText(XmlNode* parent) {
+    const std::string_view content =
+        tbuf_active_ ? std::string_view(tbuf_) : trun_;
+    if (!content.empty() &&
+        (options_.keep_whitespace_text || !IsAllXmlWhitespace(content))) {
+      parent->AppendChild(XmlNode::TextIn(arena_, content));
+    }
+    trun_ = {};
+    tbuf_active_ = false;
+    tbuf_.clear();  // Keeps capacity: one retained buffer per parse.
+  }
+
   /// Parses element content up to (but not consuming) the closing "</".
   Status ParseContent(XmlNode* element, int depth) {
-    std::string text;
-    auto flush_text = [&]() {
-      if (text.empty()) return;
-      if (options_.keep_whitespace_text || !IsAllXmlWhitespace(text)) {
-        element->AppendChild(XmlNode::Text(std::move(text)));
-      }
-      text.clear();
-    };
-
     for (;;) {
-      if (AtEnd()) return Error("unterminated element '" + element->label() + "'");
+      // Bulk-scan a character-data run up to markup, a reference, or a
+      // forbidden control character.
+      const size_t start = pos_;
+      while (pos_ < text_.size() &&
+             !kContentStop.stop[static_cast<unsigned char>(text_[pos_])]) {
+        ++pos_;
+      }
+      AppendTextRun(text_.substr(start, pos_ - start));
+      if (AtEnd()) {
+        return Error("unterminated element '" + std::string(element->label()) +
+                     "'");
+      }
+      const char c = Peek();
+      if (c == '&') {
+        PromoteTextToBuffer();
+        XYDIFF_RETURN_IF_ERROR(ParseReference(&tbuf_));
+        continue;
+      }
+      if (c != '<') {
+        return Error("control character in character data");
+      }
       if (LookingAt("</")) {
-        flush_text();
+        FlushText(element);
         return Status::OK();
       }
       if (LookingAt("<!--")) {
@@ -498,42 +625,35 @@ class Parser {
       }
       if (LookingAt("<![CDATA[")) {
         AdvanceBy(9);
-        while (!AtEnd() && !LookingAt("]]>")) {
-          text += Peek();
-          Advance();
+        const size_t end = text_.find("]]>", pos_);
+        if (end == std::string_view::npos) {
+          pos_ = text_.size();
+          return Error("unterminated CDATA section");
         }
-        if (AtEnd()) return Error("unterminated CDATA section");
-        AdvanceBy(3);
+        AppendTextRun(text_.substr(pos_, end - pos_));
+        pos_ = end + 3;
         continue;
       }
       if (LookingAt("<?")) {
         SkipProcessingInstruction();
         continue;
       }
-      if (Peek() == '<') {
-        flush_text();
-        std::unique_ptr<XmlNode> child;
-        XYDIFF_RETURN_IF_ERROR(ParseElement(&child, depth + 1));
-        element->AppendChild(std::move(child));
-        continue;
-      }
-      if (Peek() == '&') {
-        XYDIFF_RETURN_IF_ERROR(ParseReference(&text));
-        continue;
-      }
-      if (IsForbiddenControlChar(Peek())) {
-        return Error("control character in character data");
-      }
-      text += Peek();
-      Advance();
+      FlushText(element);
+      XmlNodePtr child;
+      XYDIFF_RETURN_IF_ERROR(ParseElement(&child, depth + 1));
+      element->AppendChild(std::move(child));
     }
   }
 
   std::string_view text_;
   ParseOptions options_;
+  Arena* arena_ = nullptr;
+  StringInterner* interner_ = nullptr;
   size_t pos_ = 0;
-  int line_ = 1;
-  int column_ = 1;
+  std::string_view trun_;     // Pending single-run character data.
+  bool tbuf_active_ = false;  // True once trun_ spilled into tbuf_.
+  std::string tbuf_;          // Retained character-data decode buffer.
+  std::string abuf_;          // Retained attribute-value decode buffer.
   std::unordered_map<std::string, std::string> entities_;
 };
 
@@ -549,9 +669,13 @@ Result<XmlDocument> ParseXmlFile(const std::string& path,
                                  const ParseOptions& options) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open file: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return ParseXml(buffer.str(), options);
+  in.seekg(0, std::ios::end);
+  const std::streamsize size = in.tellg();
+  if (size < 0) return Status::NotFound("cannot read file: " + path);
+  in.seekg(0, std::ios::beg);
+  std::string content(static_cast<size_t>(size), '\0');
+  in.read(content.data(), size);
+  return ParseXml(content, options);
 }
 
 }  // namespace xydiff

@@ -76,7 +76,7 @@ Result<XmlPath> XmlPath::Parse(std::string_view expression) {
         return Status::InvalidArgument("unterminated predicate: " +
                                        path.expression_);
       }
-      XmlAttribute pred;
+      AttrPredicate pred;
       pred.name = std::string(expression.substr(name_start, pos - name_start));
       ++pos;  // '='
       if (at_end() || expression[pos] != '\'') {
@@ -115,7 +115,7 @@ bool XmlPath::StepMatches(const Step& step, const XmlNode& node) const {
   if (!node.is_element()) return false;
   if (step.label != "*" && step.label != node.label()) return false;
   if (step.attr_predicate.has_value()) {
-    const std::string* value = node.FindAttribute(step.attr_predicate->name);
+    const std::string_view* value = node.FindAttribute(step.attr_predicate->name);
     if (value == nullptr || *value != step.attr_predicate->value) return false;
   }
   if (step.text_predicate.has_value()) {

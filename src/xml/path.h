@@ -43,10 +43,17 @@ class XmlPath {
   const std::string& expression() const { return expression_; }
 
  private:
+  /// Owning attribute predicate (XmlAttribute itself is a pair of views
+  /// into a document arena; a parsed path must own its bytes).
+  struct AttrPredicate {
+    std::string name;
+    std::string value;
+  };
+
   struct Step {
     bool descendant = false;  ///< Reached via "//" rather than "/".
     std::string label;        ///< "*" for a wildcard.
-    std::optional<XmlAttribute> attr_predicate;
+    std::optional<AttrPredicate> attr_predicate;
     std::optional<std::string> text_predicate;
   };
 

@@ -104,6 +104,7 @@ std::string EscapeAttribute(std::string_view text) {
 std::string SerializeNode(const XmlNode& node,
                           const SerializeOptions& options) {
   std::string out;
+  out.reserve(node.SubtreeSize() * 24);  // Rough tag + content estimate.
   SerializeRec(node, options, 0, &out);
   return out;
 }
@@ -111,6 +112,7 @@ std::string SerializeNode(const XmlNode& node,
 std::string SerializeDocument(const XmlDocument& doc,
                               const SerializeOptions& options) {
   std::string out;
+  out.reserve(64 + doc.node_count() * 24);
   if (options.xml_declaration) {
     out.append("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
     out.push_back('\n');
@@ -118,8 +120,9 @@ std::string SerializeDocument(const XmlDocument& doc,
   if (options.doctype && doc.root() != nullptr &&
       doc.dtd().has_id_attributes()) {
     out.append("<!DOCTYPE ");
-    out.append(doc.dtd().doctype_name().empty() ? doc.root()->label()
-                                                : doc.dtd().doctype_name());
+    out.append(doc.dtd().doctype_name().empty()
+                   ? doc.root()->label()
+                   : std::string_view(doc.dtd().doctype_name()));
     out.append(" [\n");
     // Re-emit ID attribute declarations. Iteration order of the registry
     // is unspecified; collect per-label lines deterministically by walking
@@ -129,8 +132,9 @@ std::string SerializeDocument(const XmlDocument& doc,
       if (!n->is_element()) return;
       const std::string* attr = doc.dtd().IdAttributeFor(n->label());
       if (attr == nullptr) return;
-      const std::string line =
-          "<!ATTLIST " + n->label() + " " + *attr + " ID #IMPLIED>\n";
+      std::string line = "<!ATTLIST ";
+      line.append(n->label());
+      line.append(" ").append(*attr).append(" ID #IMPLIED>\n");
       if (out.find(line) == std::string::npos) out.append(line);
     });
     out.append("]>\n");

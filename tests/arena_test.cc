@@ -1,0 +1,198 @@
+// Lifetime and ownership tests for the bump-pointer arena, the string
+// interner, and the arena-backed DOM: every XmlNode of a parsed document
+// lives in the document's arena (destruction is one arena free), nodes
+// built standalone own a private mini-arena, and subtrees moving between
+// domains are adoption-cloned so no tree ever mixes domains.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "util/arena.h"
+#include "util/interner.h"
+#include "xml/document.h"
+#include "xml/node.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xydiff {
+namespace {
+
+TEST(ArenaTest, AllocationsAreAlignedAndDistinct) {
+  Arena arena;
+  void* a = arena.Allocate(1);
+  void* b = arena.Allocate(3);
+  void* c = arena.Allocate(64, 32);
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % alignof(max_align_t), 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % alignof(max_align_t), 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(c) % 32, 0u);
+}
+
+TEST(ArenaTest, GrowsBeyondFirstBlock) {
+  Arena arena(/*first_block_hint=*/128);
+  // Write to every byte of many oversized allocations; ASan would flag
+  // any block-boundary bug.
+  for (int i = 0; i < 100; ++i) {
+    char* p = static_cast<char*>(arena.Allocate(257));
+    for (int k = 0; k < 257; ++k) p[k] = static_cast<char>(i);
+  }
+  EXPECT_GE(arena.bytes_used(), 100u * 257u);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+  EXPECT_GT(arena.block_count(), 1u);
+}
+
+TEST(ArenaTest, CopyStringIsStableAcrossGrowth) {
+  Arena arena(/*first_block_hint=*/64);
+  const std::string_view stored = arena.CopyString("hello world");
+  const char* data = stored.data();
+  for (int i = 0; i < 1000; ++i) arena.Allocate(64);
+  EXPECT_EQ(stored, "hello world");
+  EXPECT_EQ(stored.data(), data);  // Never relocated.
+  EXPECT_TRUE(arena.CopyString("").empty());
+}
+
+TEST(ArenaTest, ResetReclaimsEverything) {
+  Arena arena;
+  arena.Allocate(10000);
+  EXPECT_GT(arena.bytes_reserved(), 0u);
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  EXPECT_EQ(arena.block_count(), 0u);
+  // Usable again after Reset.
+  EXPECT_EQ(arena.CopyString("again"), "again");
+}
+
+TEST(ArenaAllocatorTest, VectorInArena) {
+  Arena arena;
+  std::vector<int, ArenaAllocator<int>> v{ArenaAllocator<int>(&arena)};
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  EXPECT_EQ(v[999], 999);
+  EXPECT_GT(arena.bytes_used(), 1000u * sizeof(int));
+}
+
+TEST(ArenaAllocatorTest, NullArenaFallsBackToHeap) {
+  // A default (nullptr) allocator must behave like std::allocator so
+  // value-initialized containers keep working.
+  std::vector<int, ArenaAllocator<int>> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+}
+
+TEST(StringInternerTest, DenseIdsAndPointerStability) {
+  Arena arena;
+  StringInterner interner(&arena);
+  const int32_t a = interner.Intern("alpha");
+  const int32_t b = interner.Intern("beta");
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(interner.Intern("alpha"), a);  // Idempotent.
+  EXPECT_EQ(interner.size(), 2u);
+  EXPECT_EQ(interner.Find("beta"), b);
+  EXPECT_EQ(interner.Find("gamma"), -1);
+  const char* alpha_bytes = interner.View(a).data();
+  for (int i = 0; i < 500; ++i) {
+    interner.Intern("filler" + std::to_string(i));
+  }
+  EXPECT_EQ(interner.View(a).data(), alpha_bytes);
+  EXPECT_EQ(interner.View(a), "alpha");
+}
+
+TEST(NodeOwnershipTest, StandaloneNodesOwnTheirBytes) {
+  // Built from a temporary; the node must own a copy.
+  XmlNodePtr node;
+  {
+    std::string label = "ephemeral";
+    node = XmlNode::Element(label);
+    label.assign(label.size(), 'x');  // Clobber the source.
+  }
+  EXPECT_EQ(node->label(), "ephemeral");
+  EXPECT_TRUE(node->heap_allocated());
+  EXPECT_EQ(node->domain(), nullptr);
+}
+
+TEST(NodeOwnershipTest, ParsedDocumentLivesInOneArena) {
+  XmlDocument doc = MustParse("<a x='1'><b>t</b><b>u</b></a>");
+  ASSERT_NE(doc.arena(), nullptr);
+  doc.root()->Visit([&](const XmlNode* n) {
+    EXPECT_FALSE(n->heap_allocated());
+    EXPECT_EQ(n->domain(), doc.arena());
+  });
+}
+
+TEST(NodeOwnershipTest, CrossDomainInsertAdoptionClones) {
+  XmlDocument doc = MustParse("<a><b/></a>");
+  // A heap-built subtree appended into an arena document must be copied
+  // into the document's domain, keeping the tree homogeneous.
+  auto extra = XmlNode::Element("extra");
+  extra->AppendChild(XmlNode::Text("payload"));
+  XmlNode* inserted = doc.root()->AppendChild(std::move(extra));
+  EXPECT_EQ(inserted->domain(), doc.arena());
+  EXPECT_EQ(inserted->child(0)->domain(), doc.arena());
+  EXPECT_EQ(SerializeNode(*doc.root()),
+            "<a><b/><extra>payload</extra></a>");
+}
+
+TEST(NodeOwnershipTest, RemovedArenaNodeOutlivesRemoval) {
+  XmlDocument doc = MustParse("<a><b>kept</b><c/></a>");
+  XmlNodePtr removed = doc.root()->RemoveChild(0);
+  // The node stays alive (backed by the document arena) as long as the
+  // document does; the deleter is a no-op for arena residents.
+  EXPECT_EQ(removed->label(), "b");
+  EXPECT_EQ(removed->child(0)->text(), "kept");
+  EXPECT_EQ(doc.root()->child_count(), 1u);
+}
+
+TEST(NodeOwnershipTest, CloneToHeapDetachesFromArena) {
+  XmlNodePtr copy;
+  {
+    XmlDocument doc = MustParse("<a k='v'><b>text</b></a>");
+    copy = doc.root()->Clone();  // Heap domain by default.
+  }  // Document (and its arena) destroyed here.
+  EXPECT_TRUE(copy->heap_allocated());
+  EXPECT_EQ(copy->label(), "a");
+  EXPECT_EQ(*copy->FindAttribute("k"), "v");
+  EXPECT_EQ(copy->child(0)->child(0)->text(), "text");
+}
+
+TEST(InternedLabelTest, RepeatedLabelsShareBytesAndIds) {
+  XmlDocument doc =
+      MustParse("<list><item>1</item><item>2</item><item>3</item></list>");
+  const XmlNode* first = doc.root()->child(0);
+  ASSERT_GE(first->label_id(), 0);
+  for (size_t i = 1; i < doc.root()->child_count(); ++i) {
+    const XmlNode* item = doc.root()->child(i);
+    // Same interner id and the very same bytes: label equality inside
+    // one document is a pointer compare.
+    EXPECT_EQ(item->label_id(), first->label_id());
+    EXPECT_EQ(item->label().data(), first->label().data());
+  }
+  EXPECT_NE(doc.root()->label_id(), first->label_id());
+}
+
+TEST(ArenaDocumentTest, ArenaParseSerializeRoundTrip) {
+  const std::string text =
+      "<catalog><item id=\"1\">first &amp; second</item>"
+      "<item id=\"2\"><![CDATA[raw <data>]]></item><empty/></catalog>";
+  XmlDocument doc = MustParse(text);
+  const std::string once = SerializeDocument(doc);
+  XmlDocument again = MustParse(once);
+  EXPECT_EQ(SerializeDocument(again), once);
+  EXPECT_TRUE(DocsEqual(doc, again));
+}
+
+TEST(ArenaDocumentTest, ArenaBackedFactoryProvidesInterner) {
+  XmlDocument doc = XmlDocument::ArenaBacked();
+  ASSERT_NE(doc.arena(), nullptr);
+  ASSERT_NE(doc.interner(), nullptr);
+  doc.set_root(XmlNode::ElementIn(doc.arena(), "root"));
+  EXPECT_EQ(doc.root()->domain(), doc.arena());
+  EXPECT_GT(doc.arena()->bytes_used(), 0u);
+}
+
+}  // namespace
+}  // namespace xydiff

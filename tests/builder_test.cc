@@ -54,7 +54,7 @@ TEST(BuilderTest, PrebuiltChildNode) {
 }
 
 TEST(BuilderTest, BuildSubtreeForInsertion) {
-  std::unique_ptr<XmlNode> subtree =
+  XmlNodePtr subtree =
       ElementBuilder("item").Child(ElementBuilder("n").Text("x")).Build();
   XmlDocument doc = MustParse("<list/>");
   doc.root()->AppendChild(std::move(subtree));

@@ -6,7 +6,7 @@
 namespace xydiff {
 namespace {
 
-std::unique_ptr<XmlNode> SmallSubtree() {
+XmlNodePtr SmallSubtree() {
   auto node = XmlNode::Element("p");
   node->set_xid(2);
   auto text = XmlNode::Text("x");

@@ -95,6 +95,58 @@ TEST_P(RoundTripProperty, DiffApplyReconstructsNewVersion) {
   }
 }
 
+// Same property, but through the production ingest path: both versions
+// are serialized to text and re-parsed into arena-backed documents (the
+// parser's fast path), then diffed and patched in the arena domain. This
+// pins the arena DOM to the exact semantics of the heap-built trees.
+TEST_P(RoundTripProperty, ArenaParsedDocumentsDiffAndPatchIdentically) {
+  const Scenario& s = GetParam();
+  Rng rng(s.seed);
+
+  DocGenOptions gen;
+  gen.target_bytes = s.doc_bytes;
+  gen.with_id_attributes = s.with_ids;
+  gen.section_depth = s.section_depth;
+  gen.max_fanout = s.max_fanout;
+  XmlDocument base = GenerateDocument(&rng, gen);
+  base.AssignInitialXids();
+
+  ChangeSimOptions sim;
+  sim.delete_probability = s.delete_p;
+  sim.update_probability = s.update_p;
+  sim.insert_probability = s.insert_p;
+  sim.move_probability = s.move_p;
+  Result<SimulatedChange> change = SimulateChanges(base, sim, &rng);
+  ASSERT_TRUE(change.ok()) << change.status().ToString();
+
+  const std::string old_xml = SerializeDocument(base);
+  const std::string new_xml = SerializeDocument(change->new_version);
+
+  // Serialize -> parse must be the identity on the serialized form.
+  Result<XmlDocument> old_doc = ParseXml(old_xml);
+  Result<XmlDocument> new_doc = ParseXml(new_xml);
+  ASSERT_TRUE(old_doc.ok()) << old_doc.status().ToString();
+  ASSERT_TRUE(new_doc.ok()) << new_doc.status().ToString();
+  ASSERT_NE(old_doc->arena(), nullptr);  // Parser output is arena-backed.
+  EXPECT_EQ(SerializeDocument(*old_doc), old_xml);
+  EXPECT_EQ(SerializeDocument(*new_doc), new_xml);
+
+  old_doc->AssignInitialXids();
+  Result<Delta> delta = XyDiff(&old_doc.value(), &new_doc.value());
+  ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+
+  Result<XmlDocument> patched = ParseXml(old_xml);
+  ASSERT_TRUE(patched.ok());
+  patched->AssignInitialXids();
+  XY_ASSERT_OK(ApplyDelta(*delta, &patched.value()));
+  EXPECT_TRUE(DocsEqualWithXids(*patched, *new_doc))
+      << "seed=" << s.seed << " bytes=" << s.doc_bytes;
+
+  // And back again.
+  XY_ASSERT_OK(ApplyDeltaInverse(*delta, &patched.value()));
+  EXPECT_TRUE(DocsEqualWithXids(*patched, *old_doc));
+}
+
 std::vector<Scenario> MakeScenarios() {
   std::vector<Scenario> scenarios;
   // Paper setting: 10% per operation, varied sizes and seeds.

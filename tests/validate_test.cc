@@ -10,7 +10,7 @@
 namespace xydiff {
 namespace {
 
-std::unique_ptr<XmlNode> Snapshot(Xid xid) {
+XmlNodePtr Snapshot(Xid xid) {
   auto node = XmlNode::Element("p");
   node->set_xid(xid);
   return node;

@@ -64,7 +64,7 @@ TEST(XmlNodeTest, RemoveChildDetaches) {
   auto e = XmlNode::Element("parent");
   e->AppendChild(XmlNode::Element("a"));
   XmlNode* b = e->AppendChild(XmlNode::Element("b"));
-  std::unique_ptr<XmlNode> removed = e->RemoveChild(1);
+  XmlNodePtr removed = e->RemoveChild(1);
   EXPECT_EQ(removed.get(), b);
   EXPECT_EQ(removed->parent(), nullptr);
   EXPECT_EQ(e->child_count(), 1u);
@@ -143,7 +143,7 @@ TEST(XmlNodeTest, VisitIsDocumentOrder) {
   e->AppendChild(XmlNode::Element("c"));
   std::vector<std::string> order;
   e->Visit([&](const XmlNode* n) {
-    order.push_back(n->is_element() ? n->label() : "#text");
+    order.push_back(n->is_element() ? std::string(n->label()) : std::string("#text"));
   });
   EXPECT_EQ(order, (std::vector<std::string>{"a", "b", "#text", "c"}));
 }

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Builds the test suite under ASan+UBSan and runs it. The arena DOM makes
+# object lifetimes a program invariant rather than a per-node property,
+# so the sanitizers are the regression net for the ownership rules
+# documented in DESIGN.md ("Memory layout and arenas").
+#
+# Usage: tools/run_sanitized_tests.sh [builddir]
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-sanitize}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DXYDIFF_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
