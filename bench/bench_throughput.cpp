@@ -148,9 +148,82 @@ int main() {
                 static_cast<double>(pairs.size()) / batch_s);
   }
 
+  // --- Part 3: the staged DiffBatch pipeline (parse → diff → store on
+  // the work-stealing pool, bounded queues, backpressure) with a thread
+  // sweep recorded machine-readably in BENCH_parallel.json. -------------
+  std::printf("\n--- DiffBatch pipeline (parse -> diff -> store), thread"
+              " sweep ---\n");
+  std::printf("%-8s %12s %12s %10s %12s\n", "threads", "wall_s", "docs/s",
+              "speedup", "stall_s");
+  bench::Rule();
+
+  bench::JsonReport parallel_report;
+  parallel_report.AddString("bench", "parallel_pipeline");
+  parallel_report.AddNumber("documents", static_cast<double>(pairs.size()));
+  parallel_report.AddNumber("xml_bytes", static_cast<double>(total_bytes));
+  parallel_report.AddNumber(
+      "hardware_concurrency",
+      static_cast<double>(std::thread::hardware_concurrency()));
+  double single_thread_docs_per_s = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    Warehouse warehouse;
+    if (!warehouse.Subscribe("all-products", "//item").ok()) return 1;
+    Warehouse::PipelineOptions pipeline;
+    pipeline.threads = threads;
+
+    std::vector<Warehouse::DiffJob> week1;
+    std::vector<Warehouse::DiffJob> week2;
+    week1.reserve(pairs.size());
+    week2.reserve(pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      week1.push_back({"url" + std::to_string(i), pairs[i].old_xml});
+      week2.push_back({"url" + std::to_string(i), pairs[i].new_xml});
+    }
+    for (auto& r : warehouse.DiffBatch(std::move(week1), pipeline)) {
+      if (!r.ok()) return 1;
+    }
+    PipelineStats stats;
+    Timer batch_timer;
+    for (auto& r : warehouse.DiffBatch(std::move(week2), pipeline, &stats)) {
+      if (!r.ok()) return 1;
+    }
+    const double batch_s = batch_timer.Seconds();
+    const double docs_per_s = static_cast<double>(pairs.size()) / batch_s;
+    if (threads == 1) single_thread_docs_per_s = docs_per_s;
+    double stall_s = 0;
+    for (const StageStats& stage : stats.stages) {
+      stall_s += stage.stall_seconds;
+    }
+    const double speedup = single_thread_docs_per_s > 0
+                               ? docs_per_s / single_thread_docs_per_s
+                               : 1.0;
+    std::printf("%-8d %12.2f %12.0f %9.2fx %12.3f\n", threads, batch_s,
+                docs_per_s, speedup, stall_s);
+
+    bench::JsonReport point;
+    point.AddNumber("wall_seconds", batch_s);
+    point.AddNumber("docs_per_second", docs_per_s);
+    point.AddNumber("speedup_vs_1_thread", speedup);
+    point.AddNumber("peak_in_flight", static_cast<double>(stats.peak_in_flight));
+    point.AddNumber("stall_seconds", stall_s);
+    for (const StageStats& stage : stats.stages) {
+      point.AddNumber(stage.name + "_items",
+                      static_cast<double>(stage.items));
+      point.AddNumber(stage.name + "_peak_queue",
+                      static_cast<double>(stage.peak_queue_depth));
+    }
+    parallel_report.AddObject("threads_" + std::to_string(threads), point);
+  }
+  if (!parallel_report.WriteFile("BENCH_parallel.json")) {
+    std::fprintf(stderr, "warning: could not write BENCH_parallel.json\n");
+  } else {
+    std::printf("json report    : BENCH_parallel.json\n");
+  }
+
   std::printf(
       "\nExpected shape (paper): ingest keeps pace with a crawler loading\n"
       "millions of pages per day; diff is not the pipeline bottleneck, and\n"
-      "per-document work scales across cores.\n");
+      "per-document work scales near-linearly across cores (observable only\n"
+      "when hardware_concurrency > 1).\n");
   return 0;
 }

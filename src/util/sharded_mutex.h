@@ -1,0 +1,43 @@
+#ifndef XYDIFF_UTIL_SHARDED_MUTEX_H_
+#define XYDIFF_UTIL_SHARDED_MUTEX_H_
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <string_view>
+
+namespace xydiff {
+
+/// A fixed array of mutexes indexed by key hash — the cheap way to give
+/// a keyed resource (URL slot, repository directory) per-key exclusion
+/// without a mutex per key or one global bottleneck. Two distinct keys
+/// may alias to the same shard; that costs contention, never correctness.
+///
+/// Lock ordering rule: never hold two shards of the same map at once
+/// (aliasing would self-deadlock). Callers that need multi-key atomicity
+/// must use a dedicated outer lock instead.
+template <size_t kShards = 16>
+class ShardedMutexMap {
+  static_assert(kShards > 0);
+
+ public:
+  /// The mutex shard owning `key`.
+  std::mutex& For(std::string_view key) {
+    return shards_[ShardIndex(key)];
+  }
+
+  /// Stable shard index of `key` (for sharding companion data).
+  size_t ShardIndex(std::string_view key) const {
+    return std::hash<std::string_view>{}(key) % kShards;
+  }
+
+  static constexpr size_t shard_count() { return kShards; }
+
+ private:
+  std::array<std::mutex, kShards> shards_;
+};
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_UTIL_SHARDED_MUTEX_H_

@@ -1,0 +1,132 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace xydiff {
+
+namespace {
+
+/// Which pool (if any) the current thread belongs to, and its worker
+/// index — lets Submit from inside a task prefer the local deque.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local size_t tls_worker = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  const size_t n = static_cast<size_t>(std::max(1, threads));
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lock(coord_mutex_);
+    stopping_ = true;
+    work_cv_.notify_all();
+  }
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  size_t target;
+  if (tls_pool == this) {
+    target = tls_worker;  // Continuation: stay cache-warm on this worker.
+  } else {
+    std::lock_guard<std::mutex> lock(coord_mutex_);
+    target = next_submit_++ % workers_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    workers_[target]->tasks.push_front(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(coord_mutex_);
+    ++pending_;
+    work_cv_.notify_one();
+  }
+}
+
+bool ThreadPool::TryTake(size_t self, std::function<void()>* task) {
+  // Own deque first, front (newest, cache-warm)...
+  {
+    Worker& own = *workers_[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      *task = std::move(own.tasks.front());
+      own.tasks.pop_front();
+      return true;
+    }
+  }
+  // ...then steal from the back (oldest) of the others, starting after
+  // self so victims rotate.
+  for (size_t k = 1; k < workers_.size(); ++k) {
+    Worker& victim = *workers_[(self + k) % workers_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      *task = std::move(victim.tasks.back());
+      victim.tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  tls_pool = this;
+  tls_worker = self;
+  for (;;) {
+    std::function<void()> task;
+    if (TryTake(self, &task)) {
+      task();
+      std::lock_guard<std::mutex> lock(coord_mutex_);
+      if (--pending_ == 0) idle_cv_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(coord_mutex_);
+    if (stopping_) return;
+    // Re-check under the lock: a Submit may have raced the steal scan.
+    work_cv_.wait_for(lock, std::chrono::milliseconds(50),
+                      [&] { return stopping_ || pending_ > 0; });
+    if (stopping_) return;
+  }
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(coord_mutex_);
+  idle_cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+int ThreadPool::DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : static_cast<int>(hw);
+}
+
+std::string PipelineStats::ToString() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-10s %10s %8s %12s %12s\n", "stage",
+                "items", "failed", "peak_queue", "stall_s");
+  out += line;
+  for (const StageStats& s : stages) {
+    std::snprintf(line, sizeof(line), "%-10s %10zu %8zu %12zu %12.3f\n",
+                  s.name.c_str(), s.items, s.failed, s.peak_queue_depth,
+                  s.stall_seconds);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "peak in flight %zu, wall %.3f s\n", peak_in_flight,
+                wall_seconds);
+  out += line;
+  return out;
+}
+
+}  // namespace xydiff

@@ -1,0 +1,182 @@
+#ifndef XYDIFF_UTIL_THREAD_POOL_H_
+#define XYDIFF_UTIL_THREAD_POOL_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace xydiff {
+
+/// A work-stealing thread pool for the warehouse's batch pipelines.
+///
+/// Each worker owns a deque: it pushes and pops its own tasks at the
+/// front (LIFO, cache-warm) and steals from the *back* of a victim's
+/// deque when its own runs dry (FIFO, oldest first — the classic
+/// Blumofe/Leiserson discipline). `Submit` from a non-worker thread
+/// round-robins across deques so a batch spreads before stealing kicks
+/// in; `Submit` from inside a task goes to the calling worker's own
+/// deque, which is what makes continuation-style pipelines cheap.
+///
+/// Tasks must not block on other tasks' *submission* (they may block on
+/// queues drained by other workers — see BoundedQueue). The pool is
+/// fixed-size and joins in the destructor; `Wait` blocks until every
+/// submitted task has finished.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all tasks submitted so far have completed.
+  void Wait();
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Reasonable default width for CPU-bound batch work.
+  static int DefaultThreadCount();
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;  // Front: own; back: stolen.
+  };
+
+  void WorkerLoop(size_t self);
+  bool TryTake(size_t self, std::function<void()>* task);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Coordination: pending_ counts queued + running tasks; workers sleep
+  // on work_cv_ when every deque is empty, Wait sleeps on idle_cv_.
+  std::mutex coord_mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  size_t pending_ = 0;
+  size_t next_submit_ = 0;  // Round-robin cursor for external submits.
+  bool stopping_ = false;
+};
+
+/// Per-stage counters of one pipeline run. "Stall" is time a worker
+/// spent unable to hand an item to the next stage (backpressure) — the
+/// number to watch when sizing queue capacities.
+struct StageStats {
+  std::string name;
+  size_t items = 0;             ///< Items processed by the stage.
+  size_t failed = 0;            ///< Items that left the pipeline here.
+  size_t peak_queue_depth = 0;  ///< High-water mark of the input queue.
+  double stall_seconds = 0;     ///< Summed backpressure wait, all workers.
+};
+
+/// Counters for a whole DiffBatch-style pipeline run; see
+/// DESIGN.md "Parallel warehouse pipeline" for how to read them.
+struct PipelineStats {
+  std::vector<StageStats> stages;
+  size_t peak_in_flight = 0;  ///< Max documents alive at once.
+  double wall_seconds = 0;
+
+  /// Human-readable multi-line table.
+  std::string ToString() const;
+};
+
+/// A small bounded MPMC queue gluing pipeline stages together.
+///
+/// `TryPush` fails instead of blocking when the queue is at capacity —
+/// pipeline workers use that signal to *help downstream* (drain the full
+/// queue themselves) rather than blocking, which keeps a fixed-size pool
+/// deadlock-free. Blocking `Push`/`Pop` are provided for plain
+/// producer/consumer use. Closing wakes all waiters; `Pop` then drains
+/// what is left and reports emptiness.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  /// Non-blocking push; false when full or closed.
+  bool TryPush(T item) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    if (items_.size() > peak_depth_) peak_depth_ = items_.size();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking push; false only if the queue was closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    if (items_.size() > peak_depth_) peak_depth_ = items_.size();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop; nullopt when empty.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Blocking pop; nullopt once the queue is closed *and* drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// No more pushes; waiters wake up.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  /// High-water mark since construction.
+  size_t peak_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_depth_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  size_t peak_depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_UTIL_THREAD_POOL_H_

@@ -22,6 +22,12 @@ VersionRepository VersionRepository::FromParts(XmlDocument current,
 
 Result<int> VersionRepository::Commit(XmlDocument new_version,
                                       const DiffOptions& options) {
+  if (current_.root() == nullptr) {
+    return Status::Corruption("repository has no current version");
+  }
+  if (new_version.root() == nullptr) {
+    return Status::InvalidArgument("cannot commit an empty document");
+  }
   Result<Delta> delta = XyDiff(&current_, &new_version, options, &last_stats_);
   if (!delta.ok()) return delta.status();
   deltas_.push_back(std::move(*delta));
@@ -40,6 +46,9 @@ Status VersionRepository::CheckVersion(int version) const {
 
 Result<XmlDocument> VersionRepository::Checkout(int version) const {
   XYDIFF_RETURN_IF_ERROR(CheckVersion(version));
+  if (current_.root() == nullptr) {
+    return Status::Corruption("repository has no current version");
+  }
   XmlDocument doc = current_.Clone();
   for (int v = current_version(); v > version; --v) {
     // deltas_[v-2] transforms version v-1 into v; undo it.

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "delta/delta_xml.h"
+#include "util/sharded_mutex.h"
 #include "util/string_util.h"
 #include "xid/xid_map.h"
 #include "xml/parser.h"
@@ -37,6 +38,15 @@ std::string DeltaPath(const std::string& directory, size_t index) {
   char name[32];
   std::snprintf(name, sizeof(name), "delta.%06zu.xml", index + 1);
   return directory + "/" + name;
+}
+
+/// Concurrent batch workers may save/load distinct repositories at once;
+/// this sharded map serializes accesses *per directory* (two shards for
+/// two different directories proceed in parallel) so a reader never sees
+/// a half-written delta chain.
+ShardedMutexMap<16>& DirectoryLocks() {
+  static ShardedMutexMap<16> locks;
+  return locks;
 }
 
 }  // namespace
@@ -84,6 +94,7 @@ Result<XmlDocument> LoadDocumentWithXids(const std::string& xml_path,
 
 Status SaveRepository(const VersionRepository& repo,
                       const std::string& directory) {
+  std::lock_guard<std::mutex> lock(DirectoryLocks().For(directory));
   std::error_code ec;
   fs::create_directories(directory, ec);
   if (ec) {
@@ -107,6 +118,7 @@ Status SaveRepository(const VersionRepository& repo,
 }
 
 Result<VersionRepository> LoadRepository(const std::string& directory) {
+  std::lock_guard<std::mutex> lock(DirectoryLocks().For(directory));
   Result<XmlDocument> current = LoadDocumentWithXids(
       directory + "/current.xml", directory + "/current.meta");
   if (!current.ok()) return current.status();

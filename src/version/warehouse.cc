@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <thread>
 
+#include "delta/delta_xml.h"
 #include "version/storage.h"
+#include "xml/parser.h"
 
 namespace xydiff {
 
@@ -21,10 +25,45 @@ Status Warehouse::Subscribe(std::string id, std::string_view path_expression,
                             std::move(detail_contains));
 }
 
+Warehouse::Shard& Warehouse::ShardFor(const std::string& url) const {
+  return shards_[std::hash<std::string>{}(url) % kShards];
+}
+
 Warehouse::Document* Warehouse::FindDocument(const std::string& url) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = documents_.find(url);
-  return it == documents_.end() ? nullptr : it->second.get();
+  Shard& shard = ShardFor(url);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.documents.find(url);
+  return it == shard.documents.end() ? nullptr : it->second.get();
+}
+
+Warehouse::Document* Warehouse::FindOrCreateDocument(const std::string& url,
+                                                     bool* created) {
+  Shard& shard = ShardFor(url);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.documents.find(url);
+  if (it != shard.documents.end()) {
+    *created = false;
+    return it->second.get();
+  }
+  auto slot = std::make_unique<Document>();
+  Document* doc = slot.get();
+  shard.documents.emplace(url, std::move(slot));
+  *created = true;
+  return doc;
+}
+
+std::vector<std::pair<std::string, Warehouse::Document*>>
+Warehouse::SnapshotSlots() const {
+  std::vector<std::pair<std::string, Document*>> slots;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [url, doc] : shard.documents) {
+      slots.emplace_back(url, doc.get());
+    }
+  }
+  std::sort(slots.begin(), slots.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return slots;
 }
 
 Result<Warehouse::IngestReport> Warehouse::Ingest(const std::string& url,
@@ -35,22 +74,10 @@ Result<Warehouse::IngestReport> Warehouse::Ingest(const std::string& url,
   IngestReport report;
   report.url = url;
 
-  // Find or create the per-document slot (map shape under the global
+  // Find or create the per-document slot (map shape under the shard
   // lock; per-document work under the document lock).
-  Document* doc = nullptr;
   bool created = false;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = documents_.find(url);
-    if (it == documents_.end()) {
-      auto slot = std::make_unique<Document>();
-      doc = slot.get();
-      documents_.emplace(url, std::move(slot));
-      created = true;
-    } else {
-      doc = it->second.get();
-    }
-  }
+  Document* doc = FindOrCreateDocument(url, &created);
 
   std::lock_guard<std::mutex> doc_lock(doc->mutex);
   if (created || doc->repo == nullptr) {
@@ -109,35 +136,238 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::IngestBatch(
 
   const int worker_count =
       std::max(1, std::min<int>(threads, static_cast<int>(batch.size())));
-  std::atomic<size_t> next{0};
-  auto worker = [&]() {
-    for (;;) {
-      const size_t i = next.fetch_add(1);
-      if (i >= batch.size()) return;
-      if (!results[i].ok() &&
-          results[i].status().code() == StatusCode::kInvalidArgument) {
-        continue;  // Pre-flagged duplicate.
-      }
+  ThreadPool pool(worker_count);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (!results[i].ok() &&
+        results[i].status().code() == StatusCode::kInvalidArgument) {
+      continue;  // Pre-flagged duplicate.
+    }
+    pool.Submit([this, i, &batch, &results] {
       results[i] = Ingest(batch[i].first, std::move(batch[i].second));
+    });
+  }
+  pool.Wait();
+  return results;
+}
+
+std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
+    std::vector<DiffJob> jobs, const PipelineOptions& pipeline,
+    PipelineStats* stats) {
+  using Clock = std::chrono::steady_clock;
+  const auto batch_start = Clock::now();
+
+  std::vector<Result<IngestReport>> results;
+  results.reserve(jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    results.emplace_back(Status::Corruption("pipeline never ran"));
+  }
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    for (size_t j = i + 1; j < jobs.size(); ++j) {
+      if (jobs[i].url == jobs[j].url) {
+        results[j] = Status::InvalidArgument("duplicate URL in batch: " +
+                                             jobs[j].url);
+      }
+    }
+  }
+
+  struct ParsedItem {
+    size_t index;
+    XmlDocument doc;
+  };
+  // Stage hand-off queues. Capacities bound how many parsed documents
+  // can pile up ahead of the diff stage — the pipeline's working-set
+  // ceiling (backpressure), not a correctness requirement.
+  BoundedQueue<ParsedItem> diff_queue(pipeline.queue_capacity);
+  BoundedQueue<size_t> store_queue(pipeline.queue_capacity);
+
+  std::atomic<size_t> next_job{0};
+  std::atomic<size_t> done_count{0};
+  std::atomic<size_t> in_flight{0};
+  std::atomic<size_t> peak_in_flight{0};
+  std::atomic<size_t> parse_items{0}, parse_failed{0};
+  std::atomic<size_t> diff_items{0}, diff_failed{0};
+  std::atomic<size_t> store_items{0};
+  std::atomic<uint64_t> parse_stall_ns{0}, diff_stall_ns{0};
+
+  const auto finish_item = [&](size_t) {
+    in_flight.fetch_sub(1, std::memory_order_relaxed);
+    done_count.fetch_add(1, std::memory_order_acq_rel);
+  };
+
+  // Stage 3: serialize the committed delta and account its size. Runs
+  // under the document lock only long enough to serialize.
+  const auto store_one = [&](size_t index) {
+    store_items.fetch_add(1, std::memory_order_relaxed);
+    IngestReport& report = *results[index];
+    Document* doc = FindDocument(report.url);
+    if (doc != nullptr) {
+      std::lock_guard<std::mutex> doc_lock(doc->mutex);
+      if (doc->repo != nullptr) {
+        Result<const Delta*> delta = doc->repo->DeltaFor(report.version - 1);
+        if (delta.ok()) {
+          report.delta_bytes = SerializeDelta(**delta).size();
+        }
+      }
+    }
+    finish_item(index);
+  };
+
+  // Pushing into a full queue: drain one item of that queue inline
+  // (this worker becomes the downstream stage), so a fixed-size pool
+  // can never deadlock on backpressure. Time spent here is "stall".
+  const auto push_store = [&](size_t index) {
+    const auto start = Clock::now();
+    bool stalled = false;
+    while (!store_queue.TryPush(index)) {
+      stalled = true;
+      if (std::optional<size_t> other = store_queue.TryPop()) {
+        store_one(*other);
+      }
+    }
+    if (stalled) {
+      diff_stall_ns.fetch_add(
+          static_cast<uint64_t>((Clock::now() - start).count()),
+          std::memory_order_relaxed);
     }
   };
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(worker_count));
-  for (int t = 0; t < worker_count; ++t) workers.emplace_back(worker);
-  for (std::thread& t : workers) t.join();
+
+  // Stage 2: the diff pipeline proper (diff + chain append + alerter +
+  // statistics + incremental index), then hand off to the store stage.
+  const auto diff_one = [&](ParsedItem item) {
+    diff_items.fetch_add(1, std::memory_order_relaxed);
+    results[item.index] = Ingest(jobs[item.index].url, std::move(item.doc));
+    if (!results[item.index].ok()) {
+      diff_failed.fetch_add(1, std::memory_order_relaxed);
+      finish_item(item.index);
+      return;
+    }
+    if (results[item.index]->first_version) {
+      finish_item(item.index);  // No delta to store for version 1.
+      return;
+    }
+    push_store(item.index);
+  };
+
+  const auto push_diff = [&](ParsedItem item) {
+    const auto start = Clock::now();
+    bool stalled = false;
+    while (!diff_queue.TryPush(std::move(item))) {
+      stalled = true;
+      if (std::optional<ParsedItem> other = diff_queue.TryPop()) {
+        diff_one(std::move(*other));
+      }
+    }
+    if (stalled) {
+      parse_stall_ns.fetch_add(
+          static_cast<uint64_t>((Clock::now() - start).count()),
+          std::memory_order_relaxed);
+    }
+  };
+
+  // Stage 1: parse the raw crawl bytes into an arena-backed document.
+  const auto parse_one = [&](size_t index) {
+    const size_t now_in_flight =
+        in_flight.fetch_add(1, std::memory_order_relaxed) + 1;
+    size_t peak = peak_in_flight.load(std::memory_order_relaxed);
+    while (now_in_flight > peak &&
+           !peak_in_flight.compare_exchange_weak(peak, now_in_flight,
+                                                 std::memory_order_relaxed)) {
+    }
+    parse_items.fetch_add(1, std::memory_order_relaxed);
+    Result<XmlDocument> doc = ParseXml(jobs[index].xml);
+    if (!doc.ok()) {
+      parse_failed.fetch_add(1, std::memory_order_relaxed);
+      results[index] = Status::ParseError("cannot parse " + jobs[index].url +
+                                          ": " + doc.status().message());
+      finish_item(index);
+      return;
+    }
+    push_diff(ParsedItem{index, std::move(*doc)});
+  };
+
+  // Count pre-flagged duplicates as already done.
+  size_t preflagged = 0;
+  for (const Result<IngestReport>& r : results) {
+    if (!r.ok() && r.status().code() == StatusCode::kInvalidArgument) {
+      ++preflagged;
+    }
+  }
+  done_count.store(preflagged, std::memory_order_relaxed);
+
+  // Every pool worker runs the same loop and prefers downstream stages,
+  // so completed work leaves the pipeline as fast as it entered.
+  const auto worker = [&] {
+    for (;;) {
+      if (std::optional<size_t> s = store_queue.TryPop()) {
+        store_one(*s);
+        continue;
+      }
+      if (std::optional<ParsedItem> d = diff_queue.TryPop()) {
+        diff_one(std::move(*d));
+        continue;
+      }
+      const size_t i = next_job.fetch_add(1, std::memory_order_relaxed);
+      if (i < jobs.size()) {
+        if (!results[i].ok() &&
+            results[i].status().code() == StatusCode::kInvalidArgument) {
+          continue;  // Pre-flagged duplicate.
+        }
+        parse_one(i);
+        continue;
+      }
+      if (done_count.load(std::memory_order_acquire) >= jobs.size()) return;
+      // Tail: peers still hold items; re-poll shortly.
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  };
+
+  const int worker_count = std::max(
+      1, std::min<int>(pipeline.threads, static_cast<int>(
+                                             std::max<size_t>(1, jobs.size()))));
+  {
+    ThreadPool pool(worker_count);
+    for (int t = 0; t < worker_count; ++t) pool.Submit(worker);
+    pool.Wait();
+  }
+
+  if (stats != nullptr) {
+    *stats = PipelineStats{};
+    StageStats parse_stage;
+    parse_stage.name = "parse";
+    parse_stage.items = parse_items.load();
+    parse_stage.failed = parse_failed.load();
+    parse_stage.stall_seconds =
+        static_cast<double>(parse_stall_ns.load()) * 1e-9;
+    StageStats diff_stage;
+    diff_stage.name = "diff";
+    diff_stage.items = diff_items.load();
+    diff_stage.failed = diff_failed.load();
+    diff_stage.peak_queue_depth = diff_queue.peak_depth();
+    diff_stage.stall_seconds = static_cast<double>(diff_stall_ns.load()) * 1e-9;
+    StageStats store_stage;
+    store_stage.name = "store";
+    store_stage.items = store_items.load();
+    store_stage.peak_queue_depth = store_queue.peak_depth();
+    stats->stages = {parse_stage, diff_stage, store_stage};
+    stats->peak_in_flight = peak_in_flight.load();
+    stats->wall_seconds =
+        std::chrono::duration<double>(Clock::now() - batch_start).count();
+  }
   return results;
 }
 
 size_t Warehouse::document_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return documents_.size();
+  size_t count = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    count += shard.documents.size();
+  }
+  return count;
 }
 
 std::vector<std::string> Warehouse::urls() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> out;
-  out.reserve(documents_.size());
-  for (const auto& [url, doc] : documents_) out.push_back(url);
+  for (const auto& [url, doc] : SnapshotSlots()) out.push_back(url);
   return out;
 }
 
@@ -155,25 +385,20 @@ Result<XmlDocument> Warehouse::Checkout(const std::string& url,
     return Status::NotFound("unknown document: " + url);
   }
   std::lock_guard<std::mutex> lock(doc->mutex);
+  if (doc->repo == nullptr) {
+    return Status::NotFound("document has no versions yet: " + url);
+  }
   return doc->repo->Checkout(version);
 }
 
 std::vector<std::pair<std::string, Xid>> Warehouse::Search(
     std::string_view word) const {
   // Snapshot the slot list first: document locks are always taken
-  // WITHOUT the map lock held (Ingest acquires doc->mutex before it
-  // re-enters mutex_ for the shared alerter, so nesting the other way
+  // WITHOUT any shard lock held (Ingest acquires doc->mutex before it
+  // re-enters shared state for the alerter, so nesting the other way
   // around would deadlock).
-  std::vector<std::pair<std::string, Document*>> slots;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    slots.reserve(documents_.size());
-    for (const auto& [url, doc] : documents_) {
-      slots.emplace_back(url, doc.get());
-    }
-  }
   std::vector<std::pair<std::string, Xid>> hits;
-  for (const auto& [url, doc] : slots) {
+  for (const auto& [url, doc] : SnapshotSlots()) {
     std::lock_guard<std::mutex> doc_lock(doc->mutex);
     for (Xid xid : doc->index.Lookup(word)) {
       hits.emplace_back(url, xid);
@@ -212,17 +437,10 @@ Status Warehouse::Save(const std::string& directory) const {
     return Status::NotFound("cannot create " + directory + ": " +
                             ec.message());
   }
-  std::vector<std::pair<std::string, Document*>> slots;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    slots.reserve(documents_.size());
-    for (const auto& [url, doc] : documents_) {
-      slots.emplace_back(url, doc.get());
-    }
-  }
   std::string manifest;
-  for (const auto& [url, doc] : slots) {
+  for (const auto& [url, doc] : SnapshotSlots()) {
     std::lock_guard<std::mutex> doc_lock(doc->mutex);
+    if (doc->repo == nullptr) continue;  // Slot created, never committed.
     const std::string sub = directory + "/" + SanitizeUrl(url);
     XYDIFF_RETURN_IF_ERROR(SaveRepository(*doc->repo, sub));
     manifest += SanitizeUrl(url) + "\t" + url + "\n";
@@ -235,7 +453,8 @@ Status Warehouse::Save(const std::string& directory) const {
 }
 
 Result<std::unique_ptr<Warehouse>> Warehouse::Load(
-    const std::string& directory, DiffOptions options) {
+    const std::string& directory, DiffOptions options,
+    std::vector<std::string>* skipped) {
   std::ifstream in(directory + "/manifest.tsv", std::ios::binary);
   if (!in) return Status::NotFound("no warehouse manifest in " + directory);
   auto warehouse = std::make_unique<Warehouse>(options);
@@ -246,11 +465,18 @@ Result<std::unique_ptr<Warehouse>> Warehouse::Load(
     const std::string sub = line.substr(0, tab);
     const std::string url = line.substr(tab + 1);
     Result<VersionRepository> repo = LoadRepository(directory + "/" + sub);
-    if (!repo.ok()) return repo.status();
-    auto slot = std::make_unique<Document>();
+    if (!repo.ok()) {
+      // A malformed stored document loses only itself, never the batch:
+      // record the error and keep loading the healthy documents.
+      if (skipped != nullptr) {
+        skipped->push_back(url + ": " + repo.status().ToString());
+      }
+      continue;
+    }
+    bool created = false;
+    Document* slot = warehouse->FindOrCreateDocument(url, &created);
     slot->repo = std::make_unique<VersionRepository>(std::move(*repo));
     slot->index = FullTextIndex::Build(slot->repo->current());
-    warehouse->documents_.emplace(url, std::move(slot));
   }
   return warehouse;
 }

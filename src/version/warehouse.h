@@ -1,6 +1,7 @@
 #ifndef XYDIFF_VERSION_WAREHOUSE_H_
 #define XYDIFF_VERSION_WAREHOUSE_H_
 
+#include <array>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -13,6 +14,7 @@
 #include "monitor/change_stats.h"
 #include "monitor/index.h"
 #include "monitor/subscription.h"
+#include "util/thread_pool.h"
 #include "version/repository.h"
 
 namespace xydiff {
@@ -30,10 +32,13 @@ namespace xydiff {
 /// to the document's chain, evaluate subscriptions, feed the change
 /// statistics, and maintain the full-text index incrementally.
 ///
-/// Ingests of *different* documents are independent; `IngestBatch` runs
-/// them on a small thread pool (the paper's crawler loads millions of
-/// pages per day — per-document work parallelizes trivially). All public
-/// methods are thread-safe.
+/// Ingests of *different* documents are independent; the document map is
+/// sharded by URL hash so concurrent ingests only contend when their
+/// URLs share a shard. `IngestBatch` spreads pre-parsed documents over a
+/// work-stealing pool; `DiffBatch` is the full crawler hand-off — raw
+/// XML text through a staged parse → diff → store pipeline with bounded
+/// queues and backpressure (see DESIGN.md "Parallel warehouse
+/// pipeline"). All public methods are thread-safe.
 class Warehouse {
  public:
   /// Outcome of one ingest.
@@ -42,7 +47,24 @@ class Warehouse {
     int version = 0;          ///< Version number after the ingest.
     bool first_version = false;
     size_t operations = 0;    ///< Delta operations (0 for first versions).
+    size_t delta_bytes = 0;   ///< Serialized delta size (DiffBatch only).
     std::vector<Alert> alerts;
+  };
+
+  /// One unit of crawler hand-off: a URL and the raw XML bytes fetched
+  /// for it. Parsing happens inside the pipeline, on a worker.
+  struct DiffJob {
+    std::string url;
+    std::string xml;
+  };
+
+  /// Tuning for DiffBatch.
+  struct PipelineOptions {
+    int threads = 4;
+    /// Bound of each inter-stage queue. Small keeps memory flat (at most
+    /// threads + 2*queue_capacity documents materialized at once);
+    /// large absorbs stage-speed jitter.
+    size_t queue_capacity = 8;
   };
 
   explicit Warehouse(DiffOptions options = {}) : options_(options) {}
@@ -59,11 +81,31 @@ class Warehouse {
   /// version 1; later sights run the diff pipeline.
   Result<IngestReport> Ingest(const std::string& url, XmlDocument document);
 
-  /// Ingests many documents concurrently on up to `threads` workers.
-  /// URLs must be distinct within one batch. Reports come back in input
-  /// order; a failed document carries its error in the result slot.
+  /// Ingests many pre-parsed documents concurrently on a work-stealing
+  /// pool of up to `threads` workers. URLs must be distinct within one
+  /// batch. Reports come back in input order; a failed document carries
+  /// its error in the result slot.
   std::vector<Result<IngestReport>> IngestBatch(
       std::vector<std::pair<std::string, XmlDocument>> batch, int threads = 4);
+
+  /// Diffs a batch of raw crawled documents through the staged pipeline:
+  /// parse → diff/ingest → serialize+account the delta. Each stage runs
+  /// on the shared work-stealing pool; stages are joined by bounded
+  /// queues, and a worker that cannot hand off downstream drains the
+  /// downstream queue itself, so backpressure never deadlocks and at
+  /// most O(threads + queue_capacity) documents are in memory at once.
+  ///
+  /// One malformed document fails only its own slot — the batch always
+  /// completes. Reports come back in input order. When `stats` is
+  /// non-null it receives the per-stage counters of this run.
+  std::vector<Result<IngestReport>> DiffBatch(std::vector<DiffJob> jobs,
+                                              const PipelineOptions& pipeline,
+                                              PipelineStats* stats = nullptr);
+  /// Default-tuned overload (C++ forbids a nested-class default argument
+  /// whose initializers are still pending inside the enclosing class).
+  std::vector<Result<IngestReport>> DiffBatch(std::vector<DiffJob> jobs) {
+    return DiffBatch(std::move(jobs), PipelineOptions());
+  }
 
   /// Number of tracked documents.
   size_t document_count() const;
@@ -91,9 +133,13 @@ class Warehouse {
 
   /// Loads a warehouse persisted by Save. Subscriptions must be
   /// re-registered by the caller; the full-text index is rebuilt.
+  /// A corrupt per-document repository does not kill the load: the
+  /// document is skipped and its error recorded in `skipped` (when
+  /// non-null), so one truncated file cannot take down the warehouse.
   /// (Returned by pointer: the warehouse owns mutexes and cannot move.)
-  static Result<std::unique_ptr<Warehouse>> Load(const std::string& directory,
-                                                 DiffOptions options = {});
+  static Result<std::unique_ptr<Warehouse>> Load(
+      const std::string& directory, DiffOptions options = {},
+      std::vector<std::string>* skipped = nullptr);
 
  private:
   struct Document {
@@ -102,14 +148,26 @@ class Warehouse {
     std::mutex mutex;  // Serializes ingests of this one document.
   };
 
+  /// The document map is split into shards locked independently, so the
+  /// map-shape lock is never a global serialization point for a batch.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Document>> documents;
+  };
+  static constexpr size_t kShards = 16;
+
   /// Directory-safe encoding of a URL.
   static std::string SanitizeUrl(const std::string& url);
 
+  Shard& ShardFor(const std::string& url) const;
   Document* FindDocument(const std::string& url) const;
+  /// Finds or creates the slot for `url`; sets `created`.
+  Document* FindOrCreateDocument(const std::string& url, bool* created);
+  /// Snapshot of (url, slot) pairs across all shards, sorted by URL.
+  std::vector<std::pair<std::string, Document*>> SnapshotSlots() const;
 
   DiffOptions options_;
-  mutable std::mutex mutex_;  // Guards the documents_ map shape.
-  std::map<std::string, std::unique_ptr<Document>> documents_;
+  mutable std::array<Shard, kShards> shards_;
   // Subscriptions change rarely but are read on every ingest: readers
   // share, Subscribe() excludes.
   mutable std::shared_mutex alerter_mutex_;

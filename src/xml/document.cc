@@ -51,7 +51,8 @@ XmlDocument XmlDocument::Clone() const {
   XmlDocument copy;
   if (root_) copy.root_ = root_->Clone();
   copy.dtd_ = dtd_;
-  copy.next_xid_ = next_xid_;
+  copy.next_xid_.store(next_xid_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
   return copy;
 }
 

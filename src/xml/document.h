@@ -1,6 +1,7 @@
 #ifndef XYDIFF_XML_DOCUMENT_H_
 #define XYDIFF_XML_DOCUMENT_H_
 
+#include <atomic>
 #include <memory>
 #include <unordered_map>
 #include <utility>
@@ -38,10 +39,17 @@ class XmlDocument {
   static XmlDocument ArenaBacked(size_t first_block_hint =
                                      Arena::kDefaultFirstBlock);
 
-  XmlDocument(XmlDocument&&) = default;
-  // Not defaulted: members assign in declaration order, which would free
-  // the old arena (arena_ is declared first) while the old root_ still
-  // points into it. Drop the nodes before their arena.
+  // Not defaulted: the atomic allocator is not movable, and members
+  // assign in declaration order, which would free the old arena (arena_
+  // is declared first) while the old root_ still points into it. Drop
+  // the nodes before their arena. Moves require external exclusion (a
+  // document being moved is not concurrently allocating XIDs).
+  XmlDocument(XmlDocument&& other) noexcept
+      : arena_(std::move(other.arena_)),
+        interner_(std::move(other.interner_)),
+        root_(std::move(other.root_)),
+        dtd_(std::move(other.dtd_)),
+        next_xid_(other.next_xid_.load(std::memory_order_relaxed)) {}
   XmlDocument& operator=(XmlDocument&& other) noexcept {
     if (this != &other) {
       root_.reset();
@@ -50,7 +58,8 @@ class XmlDocument {
       interner_ = std::move(other.interner_);
       arena_ = std::move(other.arena_);
       dtd_ = std::move(other.dtd_);
-      next_xid_ = other.next_xid_;
+      next_xid_.store(other.next_xid_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
     }
     return *this;
   }
@@ -84,16 +93,26 @@ class XmlDocument {
   /// True if every node carries a non-zero XID.
   bool AllXidsAssigned() const;
 
-  /// Hands out a fresh, never-used XID.
-  Xid AllocateXid() { return next_xid_++; }
+  /// Hands out a fresh, never-used XID. Thread-safe: the allocator is a
+  /// single atomic counter, so concurrent pipeline stages reading one
+  /// document can mint identifiers without a document-wide lock.
+  Xid AllocateXid() {
+    return next_xid_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Ensures the allocator will never hand out `xid` or anything below it.
   void ReserveXidsThrough(Xid xid) {
-    if (xid >= next_xid_) next_xid_ = xid + 1;
+    Xid current = next_xid_.load(std::memory_order_relaxed);
+    while (xid >= current &&
+           !next_xid_.compare_exchange_weak(current, xid + 1,
+                                            std::memory_order_relaxed)) {
+    }
   }
 
-  Xid next_xid() const { return next_xid_; }
-  void set_next_xid(Xid next) { next_xid_ = next; }
+  Xid next_xid() const { return next_xid_.load(std::memory_order_relaxed); }
+  void set_next_xid(Xid next) {
+    next_xid_.store(next, std::memory_order_relaxed);
+  }
 
   /// Builds an index from XID to node over the current tree. The index is
   /// a snapshot: mutating the tree invalidates it.
@@ -114,7 +133,7 @@ class XmlDocument {
   std::unique_ptr<StringInterner> interner_;
   XmlNodePtr root_;
   Dtd dtd_;
-  Xid next_xid_ = 1;
+  std::atomic<Xid> next_xid_{1};
 };
 
 }  // namespace xydiff

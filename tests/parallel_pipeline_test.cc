@@ -1,0 +1,322 @@
+// The staged DiffBatch pipeline (parse → diff → store over the
+// work-stealing pool) must be a *refinement* of the sequential ingest
+// path: same results, same stored versions, independent of scheduling.
+// These tests drive real batches through the pipeline under every
+// configuration the scheduler can reach — more threads than documents,
+// queue capacity 1 (permanent backpressure), duplicate URLs, malformed
+// members — and pin the outputs to the single-threaded run byte for
+// byte. Run them under ASan/UBSan (XYDIFF_SANITIZE) and TSan
+// (XYDIFF_TSAN, tools/run_tsan_tests.sh) to make the scheduling space
+// itself part of the test.
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "simulator/change_simulator.h"
+#include "simulator/doc_generator.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+#include "version/warehouse.h"
+#include "xml/serializer.h"
+
+namespace xydiff {
+namespace {
+
+struct Corpus {
+  std::vector<Warehouse::DiffJob> week1;
+  std::vector<Warehouse::DiffJob> week2;
+};
+
+/// Deterministic corpus of `count` documents with a simulated weekly
+/// change applied to each. Small documents: the point is many
+/// scheduling interleavings, not diff work.
+Corpus MakeCorpus(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  DocGenOptions gen;
+  gen.target_bytes = 600;
+  ChangeSimOptions sim;  // Paper defaults: 10% per operation.
+  Corpus corpus;
+  corpus.week1.reserve(count);
+  corpus.week2.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    XmlDocument base = GenerateDocument(&rng, gen);
+    base.AssignInitialXids();
+    Result<SimulatedChange> change = SimulateChanges(base, sim, &rng);
+    EXPECT_TRUE(change.ok()) << change.status().ToString();
+    const std::string url = "doc" + std::to_string(i);
+    corpus.week1.push_back({url, SerializeDocument(base)});
+    corpus.week2.push_back(
+        {url, SerializeDocument(change.ok() ? change->new_version : base)});
+  }
+  return corpus;
+}
+
+/// Everything observable about one document after a batch, keyed by URL:
+/// the ingest report fields plus the canonical XID-carrying serialization
+/// of every stored version. Two runs are "the same" iff these maps are
+/// equal — the serialization includes XIDs, so even identifier assignment
+/// must not depend on scheduling.
+struct DocumentOutcome {
+  int version = 0;
+  size_t operations = 0;
+  size_t delta_bytes = 0;
+  std::vector<std::string> versions_with_xids;
+
+  bool operator==(const DocumentOutcome& other) const {
+    return version == other.version && operations == other.operations &&
+           delta_bytes == other.delta_bytes &&
+           versions_with_xids == other.versions_with_xids;
+  }
+};
+
+std::map<std::string, DocumentOutcome> Observe(
+    const Warehouse& warehouse,
+    const std::vector<Result<Warehouse::IngestReport>>& reports) {
+  std::map<std::string, DocumentOutcome> outcomes;
+  SerializeOptions with_xids;
+  with_xids.emit_xids = true;
+  for (const auto& report : reports) {
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    if (!report.ok()) continue;
+    DocumentOutcome& outcome = outcomes[report->url];
+    outcome.version = report->version;
+    outcome.operations = report->operations;
+    outcome.delta_bytes = report->delta_bytes;
+    for (int v = 1; v <= report->version; ++v) {
+      Result<XmlDocument> doc = warehouse.Checkout(report->url, v);
+      EXPECT_TRUE(doc.ok()) << report->url << " v" << v << ": "
+                            << doc.status().ToString();
+      outcome.versions_with_xids.push_back(
+          doc.ok() ? SerializeDocument(*doc, with_xids) : std::string());
+    }
+  }
+  return outcomes;
+}
+
+/// Runs both weeks through DiffBatch with the given tuning and returns
+/// the full observable outcome.
+std::map<std::string, DocumentOutcome> RunPipeline(
+    const Corpus& corpus, const Warehouse::PipelineOptions& pipeline,
+    PipelineStats* stats = nullptr) {
+  Warehouse warehouse;
+  XY_EXPECT_OK(warehouse.Subscribe("items", "//item"));
+  auto week1_reports = warehouse.DiffBatch(corpus.week1, pipeline);
+  for (const auto& r : week1_reports) {
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (r.ok()) {
+      EXPECT_TRUE(r->first_version);
+    }
+  }
+  auto week2_reports = warehouse.DiffBatch(corpus.week2, pipeline, stats);
+  return Observe(warehouse, week2_reports);
+}
+
+// The headline scenario from the issue: 8 threads, 200 documents.
+// Scheduling freedom is maximal (on a multicore box workers genuinely
+// race; under TSan every access is checked), yet the outcome must be
+// byte-identical to the 1-thread run — XIDs included.
+TEST(ParallelPipelineTest, EightThreadsTwoHundredDocsMatchSingleThread) {
+  Corpus corpus = MakeCorpus(200, 8200);
+
+  Warehouse::PipelineOptions sequential;
+  sequential.threads = 1;
+  std::map<std::string, DocumentOutcome> expected =
+      RunPipeline(corpus, sequential);
+  ASSERT_EQ(expected.size(), 200u);
+
+  Warehouse::PipelineOptions parallel;
+  parallel.threads = 8;
+  PipelineStats stats;
+  std::map<std::string, DocumentOutcome> actual =
+      RunPipeline(corpus, parallel, &stats);
+
+  ASSERT_EQ(actual.size(), expected.size());
+  for (const auto& [url, outcome] : expected) {
+    auto it = actual.find(url);
+    ASSERT_NE(it, actual.end()) << url;
+    EXPECT_TRUE(it->second == outcome)
+        << url << ": parallel outcome differs from sequential"
+        << " (v" << it->second.version << " vs v" << outcome.version
+        << ", ops " << it->second.operations << " vs " << outcome.operations
+        << ")";
+  }
+
+  // Stage accounting: every document passed every stage exactly once.
+  ASSERT_EQ(stats.stages.size(), 3u);
+  for (const StageStats& stage : stats.stages) {
+    EXPECT_EQ(stage.items, 200u) << stage.name;
+    EXPECT_EQ(stage.failed, 0u) << stage.name;
+  }
+  EXPECT_GE(stats.peak_in_flight, 1u);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+}
+
+// Determinism across the whole tuning space: thread counts that divide,
+// exceed, and oversubscribe the batch, with the queue bound cranked down
+// to 1 so backpressure (the help-downstream path) is exercised on every
+// hand-off.
+TEST(ParallelPipelineTest, OutcomeIndependentOfThreadsAndQueueCapacity) {
+  Corpus corpus = MakeCorpus(48, 4242);
+  Warehouse::PipelineOptions reference;
+  reference.threads = 1;
+  std::map<std::string, DocumentOutcome> expected =
+      RunPipeline(corpus, reference);
+
+  for (int threads : {2, 3, 8, 64}) {
+    for (size_t capacity : {size_t{1}, size_t{2}, size_t{32}}) {
+      Warehouse::PipelineOptions pipeline;
+      pipeline.threads = threads;
+      pipeline.queue_capacity = capacity;
+      std::map<std::string, DocumentOutcome> actual =
+          RunPipeline(corpus, pipeline);
+      EXPECT_TRUE(actual == expected)
+          << "threads=" << threads << " queue_capacity=" << capacity;
+    }
+  }
+}
+
+// A malformed document fails its own slot and nothing else; the batch
+// runs to completion and the failure names the culprit.
+TEST(ParallelPipelineTest, MalformedDocumentFailsOnlyItsSlot) {
+  Corpus corpus = MakeCorpus(24, 7);
+  std::vector<Warehouse::DiffJob> week2 = corpus.week2;
+  week2[5].xml = "<broken><unclosed>";
+  week2[17].xml = "not xml at all";
+
+  Warehouse warehouse;
+  Warehouse::PipelineOptions pipeline;
+  pipeline.threads = 8;
+  for (const auto& r : warehouse.DiffBatch(corpus.week1, pipeline)) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  auto reports = warehouse.DiffBatch(week2, pipeline);
+  ASSERT_EQ(reports.size(), week2.size());
+  for (size_t i = 0; i < reports.size(); ++i) {
+    if (i == 5 || i == 17) {
+      EXPECT_FALSE(reports[i].ok()) << "slot " << i;
+      EXPECT_NE(reports[i].status().ToString().find(week2[i].url),
+                std::string::npos)
+          << "error should name the failing URL: "
+          << reports[i].status().ToString();
+    } else {
+      EXPECT_TRUE(reports[i].ok()) << "slot " << i << ": "
+                                   << reports[i].status().ToString();
+    }
+  }
+  // The failed documents stay at version 1; their neighbours advanced.
+  EXPECT_EQ(warehouse.version_count("doc5"), 1);
+  EXPECT_EQ(warehouse.version_count("doc17"), 1);
+  EXPECT_EQ(warehouse.version_count("doc6"), 2);
+}
+
+// Duplicate URLs in one batch are rejected up front (the pipeline would
+// otherwise race two ingests of the same document non-deterministically).
+TEST(ParallelPipelineTest, DuplicateUrlsInOneBatchAreRejected) {
+  Corpus corpus = MakeCorpus(4, 11);
+  std::vector<Warehouse::DiffJob> batch = corpus.week1;
+  batch.push_back(batch[1]);  // Same URL twice.
+
+  Warehouse warehouse;
+  Warehouse::PipelineOptions pipeline;
+  pipeline.threads = 4;
+  auto reports = warehouse.DiffBatch(batch, pipeline);
+  ASSERT_EQ(reports.size(), 5u);
+  EXPECT_FALSE(reports[4].ok());
+  // The first occurrence still ingests normally.
+  EXPECT_TRUE(reports[1].ok()) << reports[1].status().ToString();
+}
+
+// Reports preserve input order even though completion order is
+// scheduler-dependent.
+TEST(ParallelPipelineTest, ReportsComeBackInInputOrder) {
+  Corpus corpus = MakeCorpus(32, 99);
+  Warehouse warehouse;
+  Warehouse::PipelineOptions pipeline;
+  pipeline.threads = 8;
+  pipeline.queue_capacity = 1;
+  auto reports = warehouse.DiffBatch(corpus.week1, pipeline);
+  ASSERT_EQ(reports.size(), corpus.week1.size());
+  for (size_t i = 0; i < reports.size(); ++i) {
+    ASSERT_TRUE(reports[i].ok()) << reports[i].status().ToString();
+    EXPECT_EQ(reports[i]->url, corpus.week1[i].url) << "slot " << i;
+  }
+}
+
+// An empty batch is a no-op, not a hang (the worker loop's exit
+// condition must not wait for items that never come).
+TEST(ParallelPipelineTest, EmptyBatchCompletes) {
+  Warehouse warehouse;
+  Warehouse::PipelineOptions pipeline;
+  pipeline.threads = 8;
+  PipelineStats stats;
+  auto reports = warehouse.DiffBatch({}, pipeline, &stats);
+  EXPECT_TRUE(reports.empty());
+  for (const StageStats& stage : stats.stages) {
+    EXPECT_EQ(stage.items, 0u);
+  }
+}
+
+// Mixed old and new URLs in one batch: first sights store version 1,
+// known URLs diff — concurrently, in the same pipeline run.
+TEST(ParallelPipelineTest, MixedFirstAndRepeatSightsInOneBatch) {
+  Corpus corpus = MakeCorpus(16, 1234);
+  Warehouse warehouse;
+  Warehouse::PipelineOptions pipeline;
+  pipeline.threads = 4;
+  // Pre-ingest the even URLs only.
+  std::vector<Warehouse::DiffJob> first;
+  for (size_t i = 0; i < corpus.week1.size(); i += 2) {
+    first.push_back(corpus.week1[i]);
+  }
+  for (const auto& r : warehouse.DiffBatch(first, pipeline)) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  // Now feed week2 for everyone: evens diff to v2, odds appear as v1.
+  auto reports = warehouse.DiffBatch(corpus.week2, pipeline);
+  ASSERT_EQ(reports.size(), corpus.week2.size());
+  for (size_t i = 0; i < reports.size(); ++i) {
+    ASSERT_TRUE(reports[i].ok()) << reports[i].status().ToString();
+    if (i % 2 == 0) {
+      EXPECT_EQ(reports[i]->version, 2) << "slot " << i;
+      EXPECT_FALSE(reports[i]->first_version);
+    } else {
+      EXPECT_EQ(reports[i]->version, 1) << "slot " << i;
+      EXPECT_TRUE(reports[i]->first_version);
+    }
+  }
+}
+
+// Subscriptions fire identically through the parallel path: alerts are
+// evaluated under the per-document lock, so a matching change in any
+// document yields its alert regardless of which worker ingested it.
+TEST(ParallelPipelineTest, AlertsFireThroughThePipeline) {
+  Warehouse warehouse;
+  XY_ASSERT_OK(warehouse.Subscribe("price-watch", "//price"));
+  Warehouse::PipelineOptions pipeline;
+  pipeline.threads = 4;
+
+  std::vector<Warehouse::DiffJob> week1;
+  std::vector<Warehouse::DiffJob> week2;
+  for (int i = 0; i < 8; ++i) {
+    const std::string url = "shop" + std::to_string(i);
+    week1.push_back({url, "<catalog><price>10</price></catalog>"});
+    week2.push_back(
+        {url, "<catalog><price>" + std::to_string(11 + i) + "</price>"
+              "</catalog>"});
+  }
+  for (const auto& r : warehouse.DiffBatch(week1, pipeline)) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  auto reports = warehouse.DiffBatch(week2, pipeline);
+  for (const auto& r : reports) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_FALSE(r->alerts.empty())
+        << r->url << ": price change should trigger the subscription";
+  }
+}
+
+}  // namespace
+}  // namespace xydiff

@@ -19,6 +19,7 @@
 #include "simulator/doc_generator.h"
 #include "tests/test_util.h"
 #include "util/random.h"
+#include "version/warehouse.h"
 
 namespace xydiff {
 namespace {
@@ -145,6 +146,66 @@ TEST_P(RoundTripProperty, ArenaParsedDocumentsDiffAndPatchIdentically) {
   // And back again.
   XY_ASSERT_OK(ApplyDeltaInverse(*delta, &patched.value()));
   EXPECT_TRUE(DocsEqualWithXids(*patched, *old_doc));
+}
+
+// Same property a third time, now through the parallel warehouse
+// pipeline: the raw serialized versions go through DiffBatch (parse →
+// diff → store on the work-stealing pool), and the stored versions
+// checked out afterwards must equal the originals. Whatever the
+// scheduler does, apply(diff(v1,v2), v1) == v2 must survive the
+// production batch path too.
+TEST_P(RoundTripProperty, DiffBatchPipelineStoresExactVersions) {
+  const Scenario& s = GetParam();
+  Rng rng(s.seed);
+
+  DocGenOptions gen;
+  gen.target_bytes = s.doc_bytes;
+  gen.with_id_attributes = s.with_ids;
+  gen.section_depth = s.section_depth;
+  gen.max_fanout = s.max_fanout;
+  XmlDocument base = GenerateDocument(&rng, gen);
+  base.AssignInitialXids();
+
+  ChangeSimOptions sim;
+  sim.delete_probability = s.delete_p;
+  sim.update_probability = s.update_p;
+  sim.insert_probability = s.insert_p;
+  sim.move_probability = s.move_p;
+  Result<SimulatedChange> change = SimulateChanges(base, sim, &rng);
+  ASSERT_TRUE(change.ok()) << change.status().ToString();
+
+  const std::string old_xml = SerializeDocument(base);
+  const std::string new_xml = SerializeDocument(change->new_version);
+
+  Warehouse warehouse;
+  Warehouse::PipelineOptions pipeline;
+  pipeline.threads = 4;
+  pipeline.queue_capacity = 2;
+  auto v1_reports = warehouse.DiffBatch({{"doc", old_xml}}, pipeline);
+  ASSERT_EQ(v1_reports.size(), 1u);
+  ASSERT_TRUE(v1_reports[0].ok()) << v1_reports[0].status().ToString();
+  EXPECT_TRUE(v1_reports[0]->first_version);
+
+  auto v2_reports = warehouse.DiffBatch({{"doc", new_xml}}, pipeline);
+  ASSERT_EQ(v2_reports.size(), 1u);
+  ASSERT_TRUE(v2_reports[0].ok()) << v2_reports[0].status().ToString();
+  EXPECT_EQ(v2_reports[0]->version, 2);
+
+  // The stored version chain reconstructs both versions structurally
+  // (XIDs are the warehouse's own assignment, so compare structure).
+  Result<XmlDocument> checked_v2 = warehouse.Checkout("doc", 2);
+  ASSERT_TRUE(checked_v2.ok()) << checked_v2.status().ToString();
+  Result<XmlDocument> expected_v2 = ParseXml(new_xml);
+  ASSERT_TRUE(expected_v2.ok());
+  EXPECT_TRUE(DocsEqual(*checked_v2, *expected_v2))
+      << "seed=" << s.seed << " bytes=" << s.doc_bytes;
+
+  Result<XmlDocument> checked_v1 = warehouse.Checkout("doc", 1);
+  ASSERT_TRUE(checked_v1.ok()) << checked_v1.status().ToString();
+  Result<XmlDocument> expected_v1 = ParseXml(old_xml);
+  ASSERT_TRUE(expected_v1.ok());
+  EXPECT_TRUE(DocsEqual(*checked_v1, *expected_v1))
+      << "seed=" << s.seed << " bytes=" << s.doc_bytes;
 }
 
 std::vector<Scenario> MakeScenarios() {

@@ -1,0 +1,183 @@
+// Unit tests for the work-stealing pool and the bounded MPMC queue the
+// warehouse pipeline is built on. The pool's contract: every submitted
+// task runs exactly once, Wait() returns only after the last task (and
+// every task it spawned transitively) finished, and tasks may Submit
+// from inside a worker without deadlock. The queue's contract: FIFO per
+// producer, capacity is a hard bound, Close() wakes blocked consumers,
+// peak_depth() records the high-water mark.
+
+#include <atomic>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/thread_pool.h"
+
+namespace xydiff {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 1000;
+  std::vector<std::atomic<int>> ran(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&ran, i] { ran[i].fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(ran[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    pool.Submit([&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+// Tasks submitted from inside a task (the pipeline's "push downstream"
+// shape) must run before Wait() returns, however deep the chain.
+TEST(ThreadPoolTest, NestedSubmitsCompleteBeforeWait) {
+  ThreadPool pool(3);
+  std::atomic<int> depth_sum{0};
+  std::function<void(int)> spawn = [&](int depth) {
+    depth_sum.fetch_add(1, std::memory_order_relaxed);
+    if (depth < 6) {
+      pool.Submit([&spawn, depth] { spawn(depth + 1); });
+      pool.Submit([&spawn, depth] { spawn(depth + 1); });
+    }
+  };
+  pool.Submit([&spawn] { spawn(0); });
+  pool.Wait();
+  // A full binary tree of depth 6: 2^7 - 1 nodes.
+  EXPECT_EQ(depth_sum.load(), 127);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(4);
+  pool.Wait();  // Must not hang.
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ThreadCountIsClampedToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran.store(true); });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(BoundedQueueTest, FifoWithinCapacity) {
+  BoundedQueue<int> queue(4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(queue.TryPush(int{i}));
+  }
+  EXPECT_FALSE(queue.TryPush(99));  // Capacity is a hard bound.
+  for (int i = 0; i < 4; ++i) {
+    std::optional<int> value = queue.TryPop();
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, i);
+  }
+  EXPECT_FALSE(queue.TryPop().has_value());
+}
+
+TEST(BoundedQueueTest, PeakDepthRecordsHighWaterMark) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) queue.TryPush(int{i});
+  for (int i = 0; i < 5; ++i) queue.TryPop();
+  queue.TryPush(1);
+  EXPECT_EQ(queue.peak_depth(), 5u);
+}
+
+TEST(BoundedQueueTest, CapacityClampsToAtLeastOne) {
+  BoundedQueue<int> queue(0);
+  EXPECT_TRUE(queue.TryPush(7));
+  EXPECT_FALSE(queue.TryPush(8));
+  std::optional<int> value = queue.TryPop();
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, 7);
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> queue(2);
+  std::atomic<bool> popped_after_close{false};
+  std::thread consumer([&] {
+    // Blocking Pop returns nullopt once the queue is closed and drained.
+    while (queue.Pop().has_value()) {
+    }
+    popped_after_close.store(true);
+  });
+  queue.Push(1);
+  queue.Push(2);
+  queue.Close();
+  consumer.join();
+  EXPECT_TRUE(popped_after_close.load());
+}
+
+TEST(BoundedQueueTest, ManyProducersManyConsumersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> queue(8);
+  std::atomic<long> sum{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        queue.Push(p * kPerProducer + i);
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (std::optional<int> value = queue.Pop()) {
+        sum.fetch_add(*value, std::memory_order_relaxed);
+        popped.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  queue.Close();
+  for (size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+
+  constexpr int kTotal = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), kTotal);
+  // Sum of 0..kTotal-1.
+  EXPECT_EQ(sum.load(), static_cast<long>(kTotal) * (kTotal - 1) / 2);
+  EXPECT_LE(queue.peak_depth(), 8u);
+}
+
+TEST(PipelineStatsTest, ToStringListsEveryStage) {
+  PipelineStats stats;
+  stats.stages.push_back({"parse", 100, 2, 7, 0.25});
+  stats.stages.push_back({"diff", 98, 0, 3, 0.0});
+  stats.peak_in_flight = 12;
+  stats.wall_seconds = 1.5;
+  const std::string text = stats.ToString();
+  EXPECT_NE(text.find("parse"), std::string::npos);
+  EXPECT_NE(text.find("diff"), std::string::npos);
+  EXPECT_NE(text.find("100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xydiff

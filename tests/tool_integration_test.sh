@@ -47,6 +47,26 @@ echo "-- explain"
 grep -q "moved" explain.txt
 grep -q "updated" explain.txt
 
+echo "-- batch (parallel pipeline)"
+cp old.xml old2.xml
+cp new.xml new2.xml
+printf 'old.xml\tnew.xml\tdoc-a\nold2.xml\tnew2.xml\tdoc-b\n' > manifest.tsv
+"$TOOL" batch manifest.tsv -o warehouse --threads 2 --stats \
+  > batch_out.txt 2> batch_stats.txt
+grep -q "doc-a: v2" batch_out.txt
+grep -q "doc-b: v2" batch_out.txt
+grep -q "parse" batch_stats.txt
+[ -d warehouse ] || { echo "warehouse directory not saved"; exit 1; }
+# A malformed member fails its slot, not the batch.
+printf '<broken' > bad.xml
+printf 'old.xml\tnew.xml\tdoc-c\nbad.xml\tnew.xml\tdoc-d\n' > manifest2.tsv
+if "$TOOL" batch manifest2.tsv --threads 2 > batch2_out.txt 2> batch2_err.txt
+then
+  echo "expected a nonzero exit with a malformed member"; exit 1
+fi
+grep -q "doc-c: v2" batch2_out.txt
+grep -q "doc-d" batch2_err.txt
+
 echo "-- error handling"
 if "$TOOL" patch new.xml delta.xml -o /dev/null 2> err.txt; then
   echo "expected a conflict patching the wrong document"; exit 1

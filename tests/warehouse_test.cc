@@ -1,6 +1,7 @@
 #include "version/warehouse.h"
 
 #include <filesystem>
+#include <fstream>
 
 #include "gtest/gtest.h"
 #include "simulator/change_simulator.h"
@@ -182,6 +183,56 @@ TEST(WarehouseTest, SaveAndLoadRoundTrip) {
   EXPECT_EQ(v1->root()->child(0)->child(0)->text(), "alpha one");
   // The rebuilt index works.
   EXPECT_EQ((*loaded)->Search("beta").size(), 1u);
+  fs::remove_all(dir);
+}
+
+// Regression: a truncated stored document used to take down the whole
+// Load (the parser error propagated as a hard failure). A warehouse of
+// millions of crawled documents cannot lose everything to one bad file:
+// Load must skip the corrupt repository, report it via `skipped`, and
+// hand back every healthy document.
+TEST(WarehouseTest, LoadSkipsTruncatedDocument) {
+  const fs::path dir = fs::temp_directory_path() /
+                       ("xydiff_truncated_test_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+
+  Warehouse warehouse;
+  ASSERT_TRUE(
+      warehouse.Ingest("http://x/good", MustParse("<d><t>fine</t></d>")).ok());
+  ASSERT_TRUE(
+      warehouse.Ingest("http://x/bad", MustParse("<d><t>doomed</t></d>"))
+          .ok());
+  XY_ASSERT_OK(warehouse.Save(dir.string()));
+
+  // Truncate the bad document's current.xml mid-tag, as a crash or a
+  // full disk would.
+  fs::path bad_xml;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().filename().string().find("bad") != std::string::npos) {
+      bad_xml = entry.path() / "current.xml";
+    }
+  }
+  ASSERT_FALSE(bad_xml.empty()) << "stored directory for http://x/bad";
+  {
+    std::ofstream out(bad_xml, std::ios::trunc);
+    out << "<d><t>doo";
+  }
+
+  std::vector<std::string> skipped;
+  Result<std::unique_ptr<Warehouse>> loaded =
+      Warehouse::Load(dir.string(), DiffOptions{}, &skipped);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->document_count(), 1u);
+  EXPECT_EQ((*loaded)->version_count("http://x/good"), 1);
+  EXPECT_EQ((*loaded)->version_count("http://x/bad"), 0);
+  ASSERT_EQ(skipped.size(), 1u);
+  EXPECT_NE(skipped[0].find("bad"), std::string::npos) << skipped[0];
+
+  // The caller may not care which documents were lost.
+  Result<std::unique_ptr<Warehouse>> loaded_quietly =
+      Warehouse::Load(dir.string());
+  ASSERT_TRUE(loaded_quietly.ok()) << loaded_quietly.status().ToString();
+  EXPECT_EQ((*loaded_quietly)->document_count(), 1u);
   fs::remove_all(dir);
 }
 

@@ -10,13 +10,17 @@
 //   xydiff_tool compose BASE.xml D1.xml D2.xml [-o OUT] [--meta M]
 //   xydiff_tool stats DELTA.xml
 //   xydiff_tool validate DELTA.xml
+//   xydiff_tool batch MANIFEST.tsv [-o WAREHOUSE_DIR] [--threads N]
+//               [--queue N] [--stats]
 //
 // XIDs are persisted in sidecar meta files (--meta / --write-meta, see
 // version/storage.h); without one, a document gets first-version postfix
 // XIDs, which is reproducible, so `patch` on the same file pair works
 // without any sidecars.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <fstream>
@@ -34,7 +38,9 @@
 #include "delta/summary.h"
 #include "delta/validate.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 #include "version/storage.h"
+#include "version/warehouse.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
 
@@ -43,8 +49,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: xydiff_tool <diff|patch|invert|compose|stats|validate>"
-               " [args...]\n"
+               "usage: xydiff_tool <diff|patch|invert|compose|stats|validate"
+               "|batch> [args...]\n"
                "run a command without arguments for details; also: explain\n");
   return 2;
 }
@@ -56,7 +62,7 @@ class Args {
     for (int i = 2; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "-o" || arg == "--meta" || arg == "--write-meta" ||
-          arg == "--window") {
+          arg == "--window" || arg == "--threads" || arg == "--queue") {
         if (i + 1 >= argc) {
           error_ = "flag " + arg + " needs a value";
           return;
@@ -287,6 +293,103 @@ int CmdExplain(const Args& args) {
   return 0;
 }
 
+/// The parallel warehouse driver: diffs many old/new file pairs through
+/// the staged parse → diff → store pipeline (see Warehouse::DiffBatch).
+/// The manifest has one `OLD.xml<TAB>NEW.xml[<TAB>URL]` line per
+/// document; URL defaults to the old path. With -o the warehouse (delta
+/// chains and all) is persisted for later querying.
+int CmdBatch(const Args& args) {
+  if (args.positional().size() != 1) {
+    std::fprintf(stderr,
+                 "usage: xydiff_tool batch MANIFEST.tsv [-o WAREHOUSE_DIR]"
+                 " [--threads N] [--queue N] [--stats]\n"
+                 "manifest line: OLD.xml<TAB>NEW.xml[<TAB>URL]\n");
+    return 2;
+  }
+  std::ifstream manifest(args.positional()[0]);
+  if (!manifest) {
+    return Fail(Status::NotFound("cannot open " + args.positional()[0]));
+  }
+  const auto read_file = [](const std::string& path) -> Result<std::string> {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::NotFound("cannot open " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+
+  std::vector<Warehouse::DiffJob> olds;
+  std::vector<Warehouse::DiffJob> news;
+  std::string line;
+  while (std::getline(manifest, line)) {
+    if (line.empty()) continue;
+    const size_t tab1 = line.find('\t');
+    if (tab1 == std::string::npos) {
+      return Fail(Status::InvalidArgument("manifest line without tab: " +
+                                          line));
+    }
+    const size_t tab2 = line.find('\t', tab1 + 1);
+    const std::string old_path = line.substr(0, tab1);
+    const std::string new_path =
+        line.substr(tab1 + 1, tab2 == std::string::npos ? std::string::npos
+                                                        : tab2 - tab1 - 1);
+    const std::string url =
+        tab2 == std::string::npos ? old_path : line.substr(tab2 + 1);
+    Result<std::string> old_xml = read_file(old_path);
+    if (!old_xml.ok()) return Fail(old_xml.status());
+    Result<std::string> new_xml = read_file(new_path);
+    if (!new_xml.ok()) return Fail(new_xml.status());
+    olds.push_back({url, std::move(*old_xml)});
+    news.push_back({url, std::move(*new_xml)});
+  }
+
+  Warehouse::PipelineOptions pipeline;
+  pipeline.threads = ThreadPool::DefaultThreadCount();
+  if (auto threads = args.Get("--threads")) {
+    pipeline.threads = std::max(1, std::atoi(threads->c_str()));
+  }
+  if (auto queue = args.Get("--queue")) {
+    pipeline.queue_capacity =
+        static_cast<size_t>(std::max(1, std::atoi(queue->c_str())));
+  }
+
+  Warehouse warehouse;
+  int failures = 0;
+  for (const auto& r : warehouse.DiffBatch(std::move(olds), pipeline)) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "error (old version): %s\n",
+                   r.status().ToString().c_str());
+      ++failures;
+    }
+  }
+  PipelineStats stats;
+  size_t total_ops = 0, total_delta_bytes = 0;
+  for (const auto& r : warehouse.DiffBatch(std::move(news), pipeline,
+                                           &stats)) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("%s: v%d, %zu operation(s), %zu delta byte(s)\n",
+                r->url.c_str(), r->version, r->operations, r->delta_bytes);
+    total_ops += r->operations;
+    total_delta_bytes += r->delta_bytes;
+  }
+  std::printf("batch: %zu document(s), %zu operation(s), %zu delta byte(s),"
+              " %d failure(s)\n",
+              warehouse.document_count(), total_ops, total_delta_bytes,
+              failures);
+  if (args.Has("--stats")) {
+    std::fputs(stats.ToString().c_str(), stderr);
+  }
+  if (auto out = args.Get("-o")) {
+    if (Status s = warehouse.Save(*out); !s.ok()) return Fail(s);
+    std::printf("warehouse saved to %s\n", out->c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 int CmdValidate(const Args& args) {
   if (args.positional().size() != 1) {
     std::fprintf(stderr, "usage: xydiff_tool validate DELTA.xml\n");
@@ -314,6 +417,7 @@ int Run(int argc, char** argv) {
   if (command == "stats") return CmdStats(args);
   if (command == "validate") return CmdValidate(args);
   if (command == "explain") return CmdExplain(args);
+  if (command == "batch") return CmdBatch(args);
   return Usage();
 }
 
