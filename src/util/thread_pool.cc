@@ -38,21 +38,22 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   size_t target;
-  if (tls_pool == this) {
-    target = tls_worker;  // Continuation: stay cache-warm on this worker.
-  } else {
+  {
     std::lock_guard<std::mutex> lock(coord_mutex_);
-    target = next_submit_++ % workers_.size();
+    // Count the task *before* publishing it: the instant it is in a
+    // deque a peer may steal, run, and decrement pending_, and the
+    // count must never underflow nor let Wait() observe a transient
+    // zero while this task (or children it will submit) is in flight.
+    ++pending_;
+    target = tls_pool == this
+                 ? tls_worker  // Continuation: stay cache-warm here.
+                 : next_submit_++ % workers_.size();
   }
   {
     std::lock_guard<std::mutex> lock(workers_[target]->mutex);
     workers_[target]->tasks.push_front(std::move(task));
   }
-  {
-    std::lock_guard<std::mutex> lock(coord_mutex_);
-    ++pending_;
-    work_cv_.notify_one();
-  }
+  work_cv_.notify_one();
 }
 
 bool ThreadPool::TryTake(size_t self, std::function<void()>* task) {

@@ -7,7 +7,9 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <string_view>
 #include <thread>
+#include <unordered_set>
 
 #include "delta/delta_xml.h"
 #include "version/storage.h"
@@ -125,11 +127,13 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::IngestBatch(
     results.emplace_back(Status::Corruption("ingest never ran"));
   }
   // Distinct URLs within one batch make items fully independent.
-  for (size_t i = 0; i < batch.size(); ++i) {
-    for (size_t j = i + 1; j < batch.size(); ++j) {
-      if (batch[i].first == batch[j].first) {
-        results[j] = Status::InvalidArgument(
-            "duplicate URL in batch: " + batch[j].first);
+  {
+    std::unordered_set<std::string_view> seen;
+    seen.reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!seen.insert(batch[i].first).second) {
+        results[i] = Status::InvalidArgument("duplicate URL in batch: " +
+                                             batch[i].first);
       }
     }
   }
@@ -161,11 +165,13 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
   for (size_t i = 0; i < jobs.size(); ++i) {
     results.emplace_back(Status::Corruption("pipeline never ran"));
   }
-  for (size_t i = 0; i < jobs.size(); ++i) {
-    for (size_t j = i + 1; j < jobs.size(); ++j) {
-      if (jobs[i].url == jobs[j].url) {
-        results[j] = Status::InvalidArgument("duplicate URL in batch: " +
-                                             jobs[j].url);
+  {
+    std::unordered_set<std::string_view> seen;
+    seen.reserve(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      if (!seen.insert(jobs[i].url).second) {
+        results[i] = Status::InvalidArgument("duplicate URL in batch: " +
+                                             jobs[i].url);
       }
     }
   }

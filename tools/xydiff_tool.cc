@@ -19,6 +19,7 @@
 // without any sidecars.
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -343,14 +344,31 @@ int CmdBatch(const Args& args) {
     news.push_back({url, std::move(*new_xml)});
   }
 
+  // Strict positive-integer flag parsing: "abc" or "0" is a usage
+  // error, not a silent clamp to 1.
+  const auto parse_positive = [](const std::string& flag,
+                                 const std::string& value) -> Result<long> {
+    char* end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(value.c_str(), &end, 10);
+    if (errno != 0 || end == value.c_str() || *end != '\0' || parsed <= 0) {
+      return Status::InvalidArgument(flag + " expects a positive integer, got '" +
+                                     value + "'");
+    }
+    return parsed;
+  };
+
   Warehouse::PipelineOptions pipeline;
   pipeline.threads = ThreadPool::DefaultThreadCount();
   if (auto threads = args.Get("--threads")) {
-    pipeline.threads = std::max(1, std::atoi(threads->c_str()));
+    Result<long> parsed = parse_positive("--threads", *threads);
+    if (!parsed.ok()) return Fail(parsed.status());
+    pipeline.threads = static_cast<int>(std::min<long>(*parsed, 1024));
   }
   if (auto queue = args.Get("--queue")) {
-    pipeline.queue_capacity =
-        static_cast<size_t>(std::max(1, std::atoi(queue->c_str())));
+    Result<long> parsed = parse_positive("--queue", *queue);
+    if (!parsed.ok()) return Fail(parsed.status());
+    pipeline.queue_capacity = static_cast<size_t>(*parsed);
   }
 
   Warehouse warehouse;
