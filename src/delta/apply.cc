@@ -223,7 +223,7 @@ class Applier {
       Status conflict = Status::OK();
       subtree->Visit([&](XmlNode* n) {
         auto [it, inserted] = index_.emplace(n->xid(), n);
-        (void)it;
+        (void)it;  // Only the insertion outcome matters here.
         if (!inserted && conflict.ok() && options_.verify) {
           conflict = Status::Conflict("insert introduces duplicate XID " +
                                       std::to_string(n->xid()));

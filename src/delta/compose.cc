@@ -30,7 +30,7 @@ Result<Delta> DeltaFromXidCorrespondence(XmlDocument* from, XmlDocument* to,
   by_xid.reserve(static_cast<size_t>(t1.size()));
   for (NodeIndex i = 0; i < t1.size(); ++i) {
     auto [it, inserted] = by_xid.emplace(t1.dom(i)->xid(), i);
-    (void)it;
+    (void)it;  // Only the insertion outcome matters here.
     if (!inserted) {
       return Status::Corruption("duplicate XID " +
                                 std::to_string(t1.dom(i)->xid()) +

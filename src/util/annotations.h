@@ -1,0 +1,83 @@
+#ifndef XYDIFF_UTIL_ANNOTATIONS_H_
+#define XYDIFF_UTIL_ANNOTATIONS_H_
+
+/// Clang thread-safety (capability) annotations, in the Abseil/LLVM
+/// style. Under Clang with `-Wthread-safety` (the `analyze` preset,
+/// `XYDIFF_THREAD_SAFETY=ON`) these turn lock discipline into a
+/// compile-time check: reading a `XY_GUARDED_BY(mu)` member without
+/// holding `mu`, or calling a `XY_REQUIRES(mu)` function outside the
+/// lock, is a hard error. Under GCC (which has no capability analysis)
+/// every macro expands to nothing, so annotated headers stay portable.
+///
+/// Conventions (see DESIGN.md §3.11 for the full write-up):
+///  - Lock-protected members are declared with `XY_GUARDED_BY(mu)`.
+///  - Functions that must be called with `mu` held say `XY_REQUIRES(mu)`.
+///  - Functions that must NOT be called with `mu` held (they take it
+///    themselves) say `XY_EXCLUDES(mu)`.
+///  - Use the `Mutex`/`MutexLock` wrappers from util/mutex.h, not bare
+///    `std::mutex` — the std types carry no capability attributes, so
+///    the analysis cannot see through them.
+
+#if defined(__clang__)
+#define XY_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define XY_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op on GCC/MSVC
+#endif
+
+/// Marks a class as a lockable capability ("mutex", "shared_mutex", ...).
+#define XY_CAPABILITY(x) XY_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability (MutexLock and friends).
+#define XY_SCOPED_CAPABILITY XY_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Data member readable/writable only with the capability held.
+#define XY_GUARDED_BY(x) XY_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the capability.
+#define XY_PT_GUARDED_BY(x) XY_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Callers must hold the capability (exclusively / shared).
+#define XY_REQUIRES(...) \
+  XY_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define XY_REQUIRES_SHARED(...) \
+  XY_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability (and does not release it).
+#define XY_ACQUIRE(...) \
+  XY_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define XY_ACQUIRE_SHARED(...) \
+  XY_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the capability.
+#define XY_RELEASE(...) \
+  XY_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define XY_RELEASE_SHARED(...) \
+  XY_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+/// Releases a capability acquired either exclusively or shared (for the
+/// destructor of a scoped lock that supports both modes).
+#define XY_RELEASE_GENERIC(...) \
+  XY_THREAD_ANNOTATION_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+
+/// Try-lock: acquires only when returning `succ` (usually true).
+#define XY_TRY_ACQUIRE(...) \
+  XY_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Callers must NOT hold the capability — the function takes it itself.
+#define XY_EXCLUDES(...) \
+  XY_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at runtime) that the capability is held; teaches the
+/// analysis about invariants it cannot deduce.
+#define XY_ASSERT_CAPABILITY(x) \
+  XY_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// The function returns a reference to the named capability.
+#define XY_RETURN_CAPABILITY(x) XY_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch — document WHY at every use site (see DESIGN.md §3.11
+/// "suppressing a false positive").
+#define XY_NO_THREAD_SAFETY_ANALYSIS \
+  XY_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // XYDIFF_UTIL_ANNOTATIONS_H_

@@ -1,0 +1,137 @@
+#ifndef XYDIFF_UTIL_MUTEX_H_
+#define XYDIFF_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/annotations.h"
+
+namespace xydiff {
+
+/// Annotated wrapper over `std::mutex`. The std type carries no
+/// capability attributes, so Clang's `-Wthread-safety` cannot reason
+/// about it; this wrapper (plus `MutexLock`/`CondVar`) is the project's
+/// blessed locking vocabulary. It is also BasicLockable (`lock`/
+/// `unlock`), so `CondVar` can wait on it directly.
+///
+/// Zero-cost: every method is a single forwarded call.
+class XY_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() XY_ACQUIRE() { mutex_.lock(); }
+  void unlock() XY_RELEASE() { mutex_.unlock(); }
+  bool try_lock() XY_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mutex_;
+};
+
+/// Annotated wrapper over `std::shared_mutex` (reader/writer lock).
+class XY_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() XY_ACQUIRE() { mutex_.lock(); }
+  void unlock() XY_RELEASE() { mutex_.unlock(); }
+  void lock_shared() XY_ACQUIRE_SHARED() { mutex_.lock_shared(); }
+  void unlock_shared() XY_RELEASE_SHARED() { mutex_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mutex_;
+};
+
+/// RAII exclusive lock on a `Mutex` — the annotated `std::lock_guard`.
+class XY_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) XY_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() XY_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive (writer) lock on a `SharedMutex`.
+class XY_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) XY_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterMutexLock() XY_RELEASE() { mu_.unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) lock on a `SharedMutex`.
+class XY_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) XY_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderMutexLock() XY_RELEASE_GENERIC() { mu_.unlock_shared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable paired with `Mutex`.
+///
+/// Deliberately predicate-free: callers write the classic
+/// `while (!cond) cv.Wait(mu);` loop instead of passing a lambda. A
+/// lambda predicate is analyzed as a separate function by Clang, so its
+/// guarded-member reads would all need their own annotations — the
+/// explicit loop keeps the condition inside the annotated caller where
+/// the analysis can see the capability is held.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, waits, reacquires. Spurious wakeups
+  /// happen; always re-check the condition in a loop.
+  void Wait(Mutex& mu) XY_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mutex_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // Caller's scoped lock still owns the mutex.
+  }
+
+  /// Wait bounded by `timeout`; returns std::cv_status::timeout on
+  /// expiry. Re-check the condition either way.
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& timeout)
+      XY_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mutex_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    return status;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_UTIL_MUTEX_H_

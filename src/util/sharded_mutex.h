@@ -4,8 +4,10 @@
 #include <array>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <string_view>
+
+#include "util/annotations.h"
+#include "util/mutex.h"
 
 namespace xydiff {
 
@@ -17,15 +19,16 @@ namespace xydiff {
 /// Lock ordering rule: never hold two shards of the same map at once
 /// (aliasing would self-deadlock). Callers that need multi-key atomicity
 /// must use a dedicated outer lock instead.
+///
+/// The shards are annotated `Mutex` capabilities: lock the result of
+/// `For(key)` with `MutexLock` so `-Wthread-safety` tracks the hold.
 template <size_t kShards = 16>
 class ShardedMutexMap {
   static_assert(kShards > 0);
 
  public:
   /// The mutex shard owning `key`.
-  std::mutex& For(std::string_view key) {
-    return shards_[ShardIndex(key)];
-  }
+  Mutex& For(std::string_view key) { return shards_[ShardIndex(key)]; }
 
   /// Stable shard index of `key` (for sharding companion data).
   size_t ShardIndex(std::string_view key) const {
@@ -35,7 +38,7 @@ class ShardedMutexMap {
   static constexpr size_t shard_count() { return kShards; }
 
  private:
-  std::array<std::mutex, kShards> shards_;
+  std::array<Mutex, kShards> shards_;
 };
 
 }  // namespace xydiff

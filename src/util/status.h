@@ -28,7 +28,12 @@ const char* StatusCodeName(StatusCode code);
 /// Functions that can fail return `Status` (or `Result<T>` when they also
 /// produce a value). `Status::OK()` is the success value. An error carries
 /// a code and a message; for parse errors the message embeds line/column.
-class Status {
+///
+/// `[[nodiscard]]`: a dropped Status is a silently swallowed error, so
+/// discarding one is a compile error under the `analyze` preset (and a
+/// warning everywhere else). Discards that are genuinely intentional
+/// must be spelled `(void)` with a one-line justification.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -81,8 +86,10 @@ class Status {
 
 /// Either a value of type `T` or an error `Status`. Accessing the value of
 /// an error result is a programming bug (asserted in debug builds).
+/// `[[nodiscard]]` for the same reason as Status: dropping a Result drops
+/// the error it may carry.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit so that `return value;` works in functions returning Result.
   Result(T value) : value_(std::move(value)) {}

@@ -29,9 +29,9 @@ ThreadPool::ThreadPool(int threads) {
 ThreadPool::~ThreadPool() {
   Wait();
   {
-    std::lock_guard<std::mutex> lock(coord_mutex_);
+    MutexLock lock(coord_mutex_);
     stopping_ = true;
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
   }
   for (std::thread& t : threads_) t.join();
 }
@@ -39,7 +39,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   size_t target;
   {
-    std::lock_guard<std::mutex> lock(coord_mutex_);
+    MutexLock lock(coord_mutex_);
     // Count the task *before* publishing it: the instant it is in a
     // deque a peer may steal, run, and decrement pending_, and the
     // count must never underflow nor let Wait() observe a transient
@@ -50,17 +50,17 @@ void ThreadPool::Submit(std::function<void()> task) {
                  : next_submit_++ % workers_.size();
   }
   {
-    std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    MutexLock lock(workers_[target]->mutex);
     workers_[target]->tasks.push_front(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 bool ThreadPool::TryTake(size_t self, std::function<void()>* task) {
   // Own deque first, front (newest, cache-warm)...
   {
     Worker& own = *workers_[self];
-    std::lock_guard<std::mutex> lock(own.mutex);
+    MutexLock lock(own.mutex);
     if (!own.tasks.empty()) {
       *task = std::move(own.tasks.front());
       own.tasks.pop_front();
@@ -71,7 +71,7 @@ bool ThreadPool::TryTake(size_t self, std::function<void()>* task) {
   // self so victims rotate.
   for (size_t k = 1; k < workers_.size(); ++k) {
     Worker& victim = *workers_[(self + k) % workers_.size()];
-    std::lock_guard<std::mutex> lock(victim.mutex);
+    MutexLock lock(victim.mutex);
     if (!victim.tasks.empty()) {
       *task = std::move(victim.tasks.back());
       victim.tasks.pop_back();
@@ -88,22 +88,25 @@ void ThreadPool::WorkerLoop(size_t self) {
     std::function<void()> task;
     if (TryTake(self, &task)) {
       task();
-      std::lock_guard<std::mutex> lock(coord_mutex_);
-      if (--pending_ == 0) idle_cv_.notify_all();
+      MutexLock lock(coord_mutex_);
+      if (--pending_ == 0) idle_cv_.NotifyAll();
       continue;
     }
-    std::unique_lock<std::mutex> lock(coord_mutex_);
+    MutexLock lock(coord_mutex_);
     if (stopping_) return;
     // Re-check under the lock: a Submit may have raced the steal scan.
-    work_cv_.wait_for(lock, std::chrono::milliseconds(50),
-                      [&] { return stopping_ || pending_ > 0; });
+    // A bounded wait (not a predicate loop) suffices — waking early or
+    // spuriously only costs one more TryTake scan.
+    if (pending_ == 0) {
+      work_cv_.WaitFor(coord_mutex_, std::chrono::milliseconds(50));
+    }
     if (stopping_) return;
   }
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(coord_mutex_);
-  idle_cv_.wait(lock, [&] { return pending_ == 0; });
+  MutexLock lock(coord_mutex_);
+  while (pending_ != 0) idle_cv_.Wait(coord_mutex_);
 }
 
 int ThreadPool::DefaultThreadCount() {

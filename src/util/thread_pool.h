@@ -2,16 +2,17 @@
 #define XYDIFF_UTIL_THREAD_POOL_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.h"
+#include "util/mutex.h"
 
 namespace xydiff {
 
@@ -24,6 +25,13 @@ namespace xydiff {
 /// round-robins across deques so a batch spreads before stealing kicks
 /// in; `Submit` from inside a task goes to the calling worker's own
 /// deque, which is what makes continuation-style pipelines cheap.
+///
+/// Lock discipline (enforced by `-Wthread-safety` under the `analyze`
+/// preset): `pending_`/`next_submit_`/`stopping_` are guarded by
+/// `coord_mutex_`, each deque by its worker's own mutex. The PR 2
+/// submit/steal race — publishing a task before counting it, letting a
+/// peer's decrement underflow `pending_` — is now a compile-time
+/// invariant: no path can touch `pending_` without `coord_mutex_`.
 ///
 /// Tasks must not block on other tasks' *submission* (they may block on
 /// queues drained by other workers — see BoundedQueue). The pool is
@@ -39,10 +47,10 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Never blocks.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) XY_EXCLUDES(coord_mutex_);
 
   /// Blocks until all tasks submitted so far have completed.
-  void Wait();
+  void Wait() XY_EXCLUDES(coord_mutex_);
 
   int thread_count() const { return static_cast<int>(workers_.size()); }
 
@@ -51,24 +59,27 @@ class ThreadPool {
 
  private:
   struct Worker {
-    std::mutex mutex;
-    std::deque<std::function<void()>> tasks;  // Front: own; back: stolen.
+    Mutex mutex;
+    /// Front: own; back: stolen.
+    std::deque<std::function<void()>> tasks XY_GUARDED_BY(mutex);
   };
 
-  void WorkerLoop(size_t self);
-  bool TryTake(size_t self, std::function<void()>* task);
+  void WorkerLoop(size_t self) XY_EXCLUDES(coord_mutex_);
+  bool TryTake(size_t self, std::function<void()>* task)
+      XY_EXCLUDES(coord_mutex_);
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 
   // Coordination: pending_ counts queued + running tasks; workers sleep
   // on work_cv_ when every deque is empty, Wait sleeps on idle_cv_.
-  std::mutex coord_mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  size_t pending_ = 0;
-  size_t next_submit_ = 0;  // Round-robin cursor for external submits.
-  bool stopping_ = false;
+  Mutex coord_mutex_;
+  CondVar work_cv_;
+  CondVar idle_cv_;
+  size_t pending_ XY_GUARDED_BY(coord_mutex_) = 0;
+  /// Round-robin cursor for external submits.
+  size_t next_submit_ XY_GUARDED_BY(coord_mutex_) = 0;
+  bool stopping_ XY_GUARDED_BY(coord_mutex_) = false;
 };
 
 /// Per-stage counters of one pipeline run. "Stall" is time a worker
@@ -107,75 +118,74 @@ class BoundedQueue {
   explicit BoundedQueue(size_t capacity) : capacity_(capacity ? capacity : 1) {}
 
   /// Non-blocking push; false when full or closed.
-  bool TryPush(T item) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool TryPush(T item) XY_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(item));
     if (items_.size() > peak_depth_) peak_depth_ = items_.size();
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Blocking push; false only if the queue was closed.
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock,
-                   [&] { return closed_ || items_.size() < capacity_; });
+  bool Push(T item) XY_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.size() >= capacity_) not_full_.Wait(mutex_);
     if (closed_) return false;
     items_.push_back(std::move(item));
     if (items_.size() > peak_depth_) peak_depth_ = items_.size();
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Non-blocking pop; nullopt when empty.
-  std::optional<T> TryPop() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::optional<T> TryPop() XY_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   /// Blocking pop; nullopt once the queue is closed *and* drained.
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  std::optional<T> Pop() XY_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) not_empty_.Wait(mutex_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   /// No more pushes; waiters wake up.
-  void Close() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void Close() XY_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     closed_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  size_t size() const XY_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
   /// High-water mark since construction.
-  size_t peak_depth() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  size_t peak_depth() const XY_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return peak_depth_;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  size_t peak_depth_ = 0;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ XY_GUARDED_BY(mutex_);
+  size_t peak_depth_ XY_GUARDED_BY(mutex_) = 0;
+  bool closed_ XY_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace xydiff

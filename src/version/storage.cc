@@ -94,7 +94,7 @@ Result<XmlDocument> LoadDocumentWithXids(const std::string& xml_path,
 
 Status SaveRepository(const VersionRepository& repo,
                       const std::string& directory) {
-  std::lock_guard<std::mutex> lock(DirectoryLocks().For(directory));
+  MutexLock lock(DirectoryLocks().For(directory));
   std::error_code ec;
   fs::create_directories(directory, ec);
   if (ec) {
@@ -108,17 +108,22 @@ Status SaveRepository(const VersionRepository& repo,
     XYDIFF_RETURN_IF_ERROR(
         WriteFile(DeltaPath(directory, i), SerializeDelta(repo.deltas()[i])));
   }
-  // Drop stale chain entries from a longer previous save.
+  // Drop stale chain entries from a longer previous save. A failed
+  // removal must be an error, not a shrug: a leftover delta.NNNNNN.xml
+  // past the real chain would be loaded as version history.
   for (size_t i = repo.deltas().size();; ++i) {
     const std::string path = DeltaPath(directory, i);
     if (!fs::exists(path)) break;
-    fs::remove(path, ec);
+    if (!fs::remove(path, ec) || ec) {
+      return Status::Corruption("cannot remove stale delta " + path + ": " +
+                                ec.message());
+    }
   }
   return Status::OK();
 }
 
 Result<VersionRepository> LoadRepository(const std::string& directory) {
-  std::lock_guard<std::mutex> lock(DirectoryLocks().For(directory));
+  MutexLock lock(DirectoryLocks().For(directory));
   Result<XmlDocument> current = LoadDocumentWithXids(
       directory + "/current.xml", directory + "/current.meta");
   if (!current.ok()) return current.status();

@@ -22,7 +22,7 @@ namespace fs = std::filesystem;
 Status Warehouse::Subscribe(std::string id, std::string_view path_expression,
                             std::optional<ChangeKind> kind,
                             std::string detail_contains) {
-  std::unique_lock<std::shared_mutex> lock(alerter_mutex_);
+  WriterMutexLock lock(alerter_mutex_);
   return alerter_.Subscribe(std::move(id), path_expression, kind,
                             std::move(detail_contains));
 }
@@ -33,7 +33,7 @@ Warehouse::Shard& Warehouse::ShardFor(const std::string& url) const {
 
 Warehouse::Document* Warehouse::FindDocument(const std::string& url) const {
   Shard& shard = ShardFor(url);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.documents.find(url);
   return it == shard.documents.end() ? nullptr : it->second.get();
 }
@@ -41,7 +41,7 @@ Warehouse::Document* Warehouse::FindDocument(const std::string& url) const {
 Warehouse::Document* Warehouse::FindOrCreateDocument(const std::string& url,
                                                      bool* created) {
   Shard& shard = ShardFor(url);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.documents.find(url);
   if (it != shard.documents.end()) {
     *created = false;
@@ -58,7 +58,7 @@ std::vector<std::pair<std::string, Warehouse::Document*>>
 Warehouse::SnapshotSlots() const {
   std::vector<std::pair<std::string, Document*>> slots;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     for (const auto& [url, doc] : shard.documents) {
       slots.emplace_back(url, doc.get());
     }
@@ -81,7 +81,7 @@ Result<Warehouse::IngestReport> Warehouse::Ingest(const std::string& url,
   bool created = false;
   Document* doc = FindOrCreateDocument(url, &created);
 
-  std::lock_guard<std::mutex> doc_lock(doc->mutex);
+  MutexLock doc_lock(doc->mutex);
   if (created || doc->repo == nullptr) {
     doc->repo = std::make_unique<VersionRepository>(std::move(document));
     doc->index = FullTextIndex::Build(doc->repo->current());
@@ -105,7 +105,7 @@ Result<Warehouse::IngestReport> Warehouse::Ingest(const std::string& url,
   // Subscription evaluation: read-only on the alerter, so concurrent
   // ingests share the lock and the O(n) index builds run in parallel.
   {
-    std::shared_lock<std::shared_mutex> lock(alerter_mutex_);
+    ReaderMutexLock lock(alerter_mutex_);
     report.alerts =
         alerter_.Evaluate(**delta, old_version, doc->repo->current());
   }
@@ -113,7 +113,7 @@ Result<Warehouse::IngestReport> Warehouse::Ingest(const std::string& url,
   ChangeStatistics local;
   local.Accumulate(**delta, old_version, doc->repo->current());
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     stats_.Merge(local);
   }
   return report;
@@ -207,7 +207,7 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
     IngestReport& report = *results[index];
     Document* doc = FindDocument(report.url);
     if (doc != nullptr) {
-      std::lock_guard<std::mutex> doc_lock(doc->mutex);
+      MutexLock doc_lock(doc->mutex);
       if (doc->repo != nullptr) {
         Result<const Delta*> delta = doc->repo->DeltaFor(report.version - 1);
         if (delta.ok()) {
@@ -365,7 +365,7 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
 size_t Warehouse::document_count() const {
   size_t count = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     count += shard.documents.size();
   }
   return count;
@@ -380,7 +380,7 @@ std::vector<std::string> Warehouse::urls() const {
 int Warehouse::version_count(const std::string& url) const {
   Document* doc = FindDocument(url);
   if (doc == nullptr) return 0;
-  std::lock_guard<std::mutex> lock(doc->mutex);
+  MutexLock lock(doc->mutex);
   return doc->repo == nullptr ? 0 : doc->repo->version_count();
 }
 
@@ -390,7 +390,7 @@ Result<XmlDocument> Warehouse::Checkout(const std::string& url,
   if (doc == nullptr) {
     return Status::NotFound("unknown document: " + url);
   }
-  std::lock_guard<std::mutex> lock(doc->mutex);
+  MutexLock lock(doc->mutex);
   if (doc->repo == nullptr) {
     return Status::NotFound("document has no versions yet: " + url);
   }
@@ -405,7 +405,7 @@ std::vector<std::pair<std::string, Xid>> Warehouse::Search(
   // around would deadlock).
   std::vector<std::pair<std::string, Xid>> hits;
   for (const auto& [url, doc] : SnapshotSlots()) {
-    std::lock_guard<std::mutex> doc_lock(doc->mutex);
+    MutexLock doc_lock(doc->mutex);
     for (Xid xid : doc->index.Lookup(word)) {
       hits.emplace_back(url, xid);
     }
@@ -415,12 +415,12 @@ std::vector<std::pair<std::string, Xid>> Warehouse::Search(
 
 ChangeStatistics::LabelStats Warehouse::StatsForLabel(
     const std::string& label) const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   return stats_.ForLabel(label);
 }
 
 std::string Warehouse::StatsReport(size_t limit) const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   return stats_.Report(limit);
 }
 
@@ -445,7 +445,7 @@ Status Warehouse::Save(const std::string& directory) const {
   }
   std::string manifest;
   for (const auto& [url, doc] : SnapshotSlots()) {
-    std::lock_guard<std::mutex> doc_lock(doc->mutex);
+    MutexLock doc_lock(doc->mutex);
     if (doc->repo == nullptr) continue;  // Slot created, never committed.
     const std::string sub = directory + "/" + SanitizeUrl(url);
     XYDIFF_RETURN_IF_ERROR(SaveRepository(*doc->repo, sub));
@@ -481,6 +481,9 @@ Result<std::unique_ptr<Warehouse>> Warehouse::Load(
     }
     bool created = false;
     Document* slot = warehouse->FindOrCreateDocument(url, &created);
+    // Uncontended (the warehouse is not yet published), but the slot's
+    // contents are guarded members, so hold the lock anyway.
+    MutexLock lock(slot->mutex);
     slot->repo = std::make_unique<VersionRepository>(std::move(*repo));
     slot->index = FullTextIndex::Build(slot->repo->current());
   }

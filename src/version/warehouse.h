@@ -4,9 +4,7 @@
 #include <array>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -14,6 +12,8 @@
 #include "monitor/change_stats.h"
 #include "monitor/index.h"
 #include "monitor/subscription.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 #include "version/repository.h"
 
@@ -143,16 +143,20 @@ class Warehouse {
 
  private:
   struct Document {
-    std::unique_ptr<VersionRepository> repo;
-    FullTextIndex index;
-    std::mutex mutex;  // Serializes ingests of this one document.
+    /// Serializes ingests of this one document.
+    Mutex mutex;
+    std::unique_ptr<VersionRepository> repo XY_GUARDED_BY(mutex);
+    FullTextIndex index XY_GUARDED_BY(mutex);
   };
 
   /// The document map is split into shards locked independently, so the
   /// map-shape lock is never a global serialization point for a batch.
+  /// Only the map *shape* is guarded — Document contents have their own
+  /// lock, always taken WITHOUT the shard lock held (see Search()).
   struct Shard {
-    mutable std::mutex mutex;
-    std::map<std::string, std::unique_ptr<Document>> documents;
+    mutable Mutex mutex;
+    std::map<std::string, std::unique_ptr<Document>> documents
+        XY_GUARDED_BY(mutex);
   };
   static constexpr size_t kShards = 16;
 
@@ -170,12 +174,12 @@ class Warehouse {
   mutable std::array<Shard, kShards> shards_;
   // Subscriptions change rarely but are read on every ingest: readers
   // share, Subscribe() excludes.
-  mutable std::shared_mutex alerter_mutex_;
-  Alerter alerter_;
+  mutable SharedMutex alerter_mutex_;
+  Alerter alerter_ XY_GUARDED_BY(alerter_mutex_);
   // Statistics are folded in per ingest; the heavy per-document work
   // happens in a thread-local collector, the merge is O(labels).
-  mutable std::mutex stats_mutex_;
-  ChangeStatistics stats_;
+  mutable Mutex stats_mutex_;
+  ChangeStatistics stats_ XY_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace xydiff

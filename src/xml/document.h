@@ -101,6 +101,9 @@ class XmlDocument {
   }
 
   /// Ensures the allocator will never hand out `xid` or anything below it.
+  /// Lock-free CAS by design — this sits on the delta-apply and diff hot
+  /// paths, so it must never take a capability the pipeline workers
+  /// would contend on (DESIGN.md §3.11 keeps it that way on purpose).
   void ReserveXidsThrough(Xid xid) {
     Xid current = next_xid_.load(std::memory_order_relaxed);
     while (xid >= current &&

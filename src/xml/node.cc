@@ -12,7 +12,9 @@ XmlNodePtr XmlNode::MakeStandalone(XmlNodeType type, std::string_view value) {
   auto arena = std::make_unique<Arena>(value.size() + 48);
   Arena* raw_arena = arena.get();
   const std::string_view stored = raw_arena->CopyString(value);
-  return XmlNodePtr(new XmlNode(type, stored, raw_arena, std::move(arena)));
+  // Ownership machinery itself: the node is wrapped in XmlNodePtr on the
+  // same line, whose deleter frees it.  // xylint: allow(new-delete)
+  return XmlNodePtr(new XmlNode(type, stored, raw_arena, std::move(arena)));  // xylint: allow(new-delete)
 }
 
 XmlNodePtr XmlNode::Element(std::string_view label) {

@@ -212,7 +212,9 @@ class XmlNode {
 };
 
 inline void XmlNodeDeleter::operator()(XmlNode* node) const {
-  if (node != nullptr && node->heap_allocated()) delete node;
+  // The smart-pointer deleter is where heap nodes legitimately die;
+  // arena nodes are skipped and freed with their arena.
+  if (node != nullptr && node->heap_allocated()) delete node;  // xylint: allow(new-delete)
 }
 
 }  // namespace xydiff

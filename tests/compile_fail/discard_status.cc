@@ -1,0 +1,33 @@
+// Negative compile test: silently dropping a Status (or Result<T>) must
+// NOT compile under the `analyze` preset (-Werror makes the nodiscard
+// warning fatal; this file is compiled with -Werror=unused-result so the
+// check works under any preset's compiler).
+//
+// The driver (expect_compile_fail.cmake) compiles this file twice:
+// with XY_COMPILE_FAIL_FIXED defined it must succeed (proving the file
+// is otherwise well-formed), without it it must fail (proving the
+// diagnostic fires, not some unrelated error).
+
+#include "util/status.h"
+
+namespace {
+
+xydiff::Status Flaky() { return xydiff::Status::Corruption("boom"); }
+
+xydiff::Result<int> FlakyValue() {
+  return xydiff::Status::NotFound("missing");
+}
+
+}  // namespace
+
+int main() {
+#if defined(XY_COMPILE_FAIL_FIXED)
+  // The disciplined version: both outcomes are looked at.
+  if (!Flaky().ok()) return 1;
+  if (!FlakyValue().ok()) return 2;
+#else
+  Flaky();       // BAD: error silently dropped.
+  FlakyValue();  // BAD: error (and value) silently dropped.
+#endif
+  return 0;
+}

@@ -1,0 +1,42 @@
+# Driver for negative compile tests (see CMakeLists.txt next to it).
+#
+# Compiles SOURCE twice with COMPILER:
+#   1. with -DXY_COMPILE_FAIL_FIXED  -> must SUCCEED (file is well-formed;
+#      a failure here would mean the "expected" failure below could be an
+#      unrelated error, not the diagnostic under test)
+#   2. without it                    -> must FAIL   (the diagnostic fires)
+#
+# Required -D variables: COMPILER, SOURCE, INCLUDE_DIR, EXTRA_FLAGS
+# (EXTRA_FLAGS is ;-separated).
+
+foreach(var COMPILER SOURCE INCLUDE_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "expect_compile_fail.cmake: ${var} not set")
+  endif()
+endforeach()
+
+separate_arguments(flags UNIX_COMMAND "${EXTRA_FLAGS}")
+set(base_cmd "${COMPILER}" -std=c++20 "-I${INCLUDE_DIR}" ${flags}
+    -c "${SOURCE}" -o "${CMAKE_CURRENT_BINARY_DIR}/compile_fail_probe.o")
+
+execute_process(
+  COMMAND ${base_cmd} -DXY_COMPILE_FAIL_FIXED
+  RESULT_VARIABLE fixed_result
+  OUTPUT_VARIABLE fixed_out ERROR_VARIABLE fixed_err)
+if(NOT fixed_result EQUAL 0)
+  message(FATAL_ERROR
+    "positive control FAILED to compile — the test file is broken beyond "
+    "the diagnostic under test:\n${fixed_err}")
+endif()
+
+execute_process(
+  COMMAND ${base_cmd}
+  RESULT_VARIABLE broken_result
+  OUTPUT_VARIABLE broken_out ERROR_VARIABLE broken_err)
+if(broken_result EQUAL 0)
+  message(FATAL_ERROR
+    "negative case COMPILED but must not: the diagnostic did not fire "
+    "(source: ${SOURCE}, flags: ${EXTRA_FLAGS})")
+endif()
+
+message(STATUS "ok: positive control compiles, negative case rejected")

@@ -1,0 +1,47 @@
+// Negative compile test: touching an XY_GUARDED_BY member without its
+// mutex must NOT compile under Clang's -Wthread-safety -Werror (the
+// `analyze` preset). This is the PR 2 submit/steal race, reduced: the
+// pool published a task before counting it in `pending_`, so a peer's
+// decrement could underflow the counter and wake Wait() early. With the
+// annotation, the unlocked access below is rejected at compile time.
+//
+// The driver compiles this file twice: with XY_COMPILE_FAIL_FIXED the
+// access is under MutexLock and must compile; without it the bare
+// access must fail. GCC has no capability analysis, so the driver is
+// only registered when the compiler understands -Wthread-safety.
+
+#include <cstddef>
+
+#include "util/annotations.h"
+#include "util/mutex.h"
+
+namespace {
+
+class MiniPool {
+ public:
+  void Submit() {
+#if defined(XY_COMPILE_FAIL_FIXED)
+    xydiff::MutexLock lock(coord_mutex_);
+    ++pending_;  // OK: counted under the coordination lock.
+#else
+    ++pending_;  // BAD: publishing/counting outside the lock — the race.
+#endif
+  }
+
+  size_t pending() {
+    xydiff::MutexLock lock(coord_mutex_);
+    return pending_;
+  }
+
+ private:
+  xydiff::Mutex coord_mutex_;
+  size_t pending_ XY_GUARDED_BY(coord_mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  MiniPool pool;
+  pool.Submit();
+  return static_cast<int>(pool.pending()) - 1;
+}

@@ -75,7 +75,7 @@ TEST(HashTest, ChainedCombineDistinguishesSequences) {
   const Signature yz = HashBytes("yz");
   EXPECT_NE(HashCombine(HashCombine(0, x), yz),
             HashCombine(HashCombine(0, xy), z));
-  (void)y;
+  (void)y;  // Kept for symmetry with x/z; not needed by the assertions.
 }
 
 }  // namespace

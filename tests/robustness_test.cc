@@ -107,6 +107,7 @@ TEST(DeltaRobustness, MutatedDeltaXmlNeverCrashes) {
     // If it still parses, applying must either work or fail cleanly.
     XmlDocument doc = base.Clone();
     const Status applied = ApplyDelta(*reparsed, &doc);
+    // Either outcome is acceptable; the invariant checked is below.
     (void)applied;
     // And the document must still have a root either way.
     EXPECT_NE(doc.root(), nullptr);

@@ -132,6 +132,39 @@ TEST(BoundedQueueTest, CloseWakesBlockedConsumer) {
   EXPECT_TRUE(popped_after_close.load());
 }
 
+TEST(BoundedQueueTest, BlockedPushResumesWhenConsumerDrains) {
+  // Regression for the CondVar while-loop rewrite (PR 4): a producer
+  // blocked on a full queue must wake when a slot frees, not only on
+  // Close(). Capacity 1 forces the second Push to block.
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(queue.Push(2));
+    second_pushed.store(true);
+  });
+  EXPECT_EQ(queue.Pop(), std::optional<int>(1));
+  EXPECT_EQ(queue.Pop(), std::optional<int>(2));
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedProducer) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<bool> push_rejected{false};
+  std::thread producer([&] {
+    // Blocks on the full queue until Close(), then must report failure.
+    push_rejected.store(!queue.Push(2));
+  });
+  queue.Close();
+  producer.join();
+  EXPECT_TRUE(push_rejected.load());
+  // The item enqueued before the close is still drainable.
+  EXPECT_EQ(queue.Pop(), std::optional<int>(1));
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+}
+
 TEST(BoundedQueueTest, ManyProducersManyConsumersLoseNothing) {
   constexpr int kProducers = 4;
   constexpr int kConsumers = 4;
