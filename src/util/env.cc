@@ -1,0 +1,178 @@
+#include "util/env.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+namespace xydiff {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// "context path: strerror" with the errno name class encoded in the
+/// Status code: ENOENT reads as NotFound, everything else as IOError.
+Status ErrnoStatus(const std::string& context, const std::string& path,
+                   int err) {
+  const std::string msg =
+      context + " " + path + ": " + std::strerror(err) + " (errno " +
+      std::to_string(err) + ")";
+  if (err == ENOENT) return Status::NotFound(msg);
+  return Status::IOError(msg);
+}
+
+/// RAII fd so early returns cannot leak descriptors.
+class Fd {
+ public:
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() {
+    // Best effort on the error path only; success paths close explicitly
+    // so the close(2) result is checked.
+    if (fd_ >= 0) ::close(fd_);
+  }
+  int get() const { return fd_; }
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Result<std::string> ReadFile(const std::string& path) override {
+    Fd fd(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
+    if (fd.get() < 0) return ErrnoStatus("cannot open", path, errno);
+    std::string content;
+    char buffer[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd.get(), buffer, sizeof(buffer));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("cannot read", path, errno);
+      }
+      if (n == 0) break;
+      content.append(buffer, static_cast<size_t>(n));
+    }
+    return content;
+  }
+
+  Status WriteFile(const std::string& path,
+                   std::string_view content) override {
+    Fd fd(::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                 0644));
+    if (fd.get() < 0) return ErrnoStatus("cannot open for writing", path,
+                                         errno);
+    size_t written = 0;
+    while (written < content.size()) {
+      const ssize_t n = ::write(fd.get(), content.data() + written,
+                                content.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("short write to", path, errno);
+      }
+      written += static_cast<size_t>(n);
+    }
+    if (::close(fd.release()) != 0) {
+      return ErrnoStatus("cannot close", path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status SyncFile(const std::string& path) override {
+    Fd fd(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
+    if (fd.get() < 0) return ErrnoStatus("cannot open for sync", path, errno);
+    if (::fsync(fd.get()) != 0) return ErrnoStatus("cannot fsync", path,
+                                                   errno);
+    if (::close(fd.release()) != 0) {
+      return ErrnoStatus("cannot close", path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& path) override {
+    Fd fd(::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC));
+    if (fd.get() < 0) return ErrnoStatus("cannot open directory", path,
+                                         errno);
+    if (::fsync(fd.get()) != 0) {
+      return ErrnoStatus("cannot fsync directory", path, errno);
+    }
+    if (::close(fd.release()) != 0) {
+      return ErrnoStatus("cannot close directory", path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("cannot rename " + from + " to", to, errno);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return ErrnoStatus("cannot remove", path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDirs(const std::string& path) override {
+    std::error_code ec;
+    fs::create_directories(path, ec);
+    if (ec) {
+      return Status::IOError("cannot create directory " + path + ": " +
+                             ec.message());
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    std::error_code ec;
+    fs::directory_iterator it(path, ec);
+    if (ec) {
+      const Status s = Status::IOError("cannot list directory " + path +
+                                       ": " + ec.message());
+      if (ec == std::errc::no_such_file_or_directory) {
+        return Status::NotFound(s.message());
+      }
+      return s;
+    }
+    std::vector<std::string> names;
+    for (const fs::directory_entry& entry : it) {
+      names.push_back(entry.path().filename().string());
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+Status Env::WriteFileAtomic(const std::string& path,
+                            std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  XYDIFF_RETURN_IF_ERROR(WriteFile(tmp, content));
+  XYDIFF_RETURN_IF_ERROR(SyncFile(tmp));
+  return RenameFile(tmp, path);
+}
+
+}  // namespace xydiff

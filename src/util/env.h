@@ -1,0 +1,80 @@
+#ifndef XYDIFF_UTIL_ENV_H_
+#define XYDIFF_UTIL_ENV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xydiff {
+
+/// Filesystem environment, RocksDB style: every byte the library reads
+/// from or writes to disk goes through one of these virtuals. Production
+/// code uses `Env::Default()` (POSIX); tests substitute a
+/// `FaultInjectionEnv` (util/fault_env.h) to inject EIO/ENOSPC, tear
+/// writes mid-file, and simulate crashes — which is how the store's
+/// crash-safety is proven rather than assumed (see
+/// tests/fault_injection_test.cc and DESIGN.md "Durability and
+/// recovery").
+///
+/// The primitives are deliberately low-level (write / sync / rename are
+/// separate calls) so that a fault-injection wrapper sees every
+/// syscall-shaped step of the atomic-write protocol and can fail each
+/// one independently.
+///
+/// Error discipline: a missing file is `NotFound`; every other failure
+/// is `IOError` with the `errno` text appended — callers can treat
+/// `IOError` as possibly transient (retry) and everything else as
+/// permanent.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide POSIX environment (never null, never deleted).
+  static Env* Default();
+
+  /// Reads a whole file. NotFound if it does not exist.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  /// Creates/truncates `path` and writes `content` in place. No
+  /// durability guarantee until SyncFile; no atomicity — a crash can
+  /// leave any prefix. Use WriteFileAtomic for anything that matters.
+  virtual Status WriteFile(const std::string& path,
+                           std::string_view content) = 0;
+
+  /// fsync(2) on the file's contents.
+  virtual Status SyncFile(const std::string& path) = 0;
+
+  /// fsync(2) on a directory — makes completed renames/creates/removes
+  /// inside it durable.
+  virtual Status SyncDir(const std::string& path) = 0;
+
+  /// rename(2): atomic replacement of `to` by `from`.
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  /// unlink(2). NotFound if absent.
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// mkdir -p. OK if the directory already exists.
+  virtual Status CreateDirs(const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Names (not paths) of the entries in a directory, sorted.
+  virtual Result<std::vector<std::string>> ListDir(
+      const std::string& path) = 0;
+
+  /// The crash-safe write protocol, composed from the primitives above
+  /// (so a fault-injection env intercepts each step): write
+  /// `path + ".tmp"`, sync it, rename over `path`. After an OK return
+  /// the file has either its old content or `content`, never a mix;
+  /// durability of the rename itself still requires SyncDir on the
+  /// containing directory.
+  Status WriteFileAtomic(const std::string& path, std::string_view content);
+};
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_UTIL_ENV_H_

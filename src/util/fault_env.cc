@@ -1,0 +1,238 @@
+#include "util/fault_env.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace xydiff {
+
+namespace {
+
+/// Parent directory by string prefix. Storage code always composes
+/// paths as `dir + "/" + name`, so no normalization is needed.
+std::string ParentOf(const std::string& path) {
+  const size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+}  // namespace
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base)
+    : base_(base != nullptr ? base : Env::Default()) {}
+
+void FaultInjectionEnv::InjectErrorAt(int op, int count) {
+  MutexLock lock(mutex_);
+  kind_ = FaultKind::kError;
+  fault_op_ = op;
+  error_count_ = count;
+}
+
+void FaultInjectionEnv::CrashAt(int op) {
+  MutexLock lock(mutex_);
+  kind_ = FaultKind::kCrash;
+  fault_op_ = op;
+}
+
+void FaultInjectionEnv::TearWriteAt(int op, size_t keep_bytes) {
+  MutexLock lock(mutex_);
+  kind_ = FaultKind::kTornWrite;
+  fault_op_ = op;
+  torn_keep_ = keep_bytes;
+}
+
+Status FaultInjectionEnv::DropUnsyncedData() {
+  MutexLock lock(mutex_);
+  for (const std::string& path : dirty_) {
+    auto it = durable_.find(path);
+    if (it == durable_.end()) continue;  // Never recorded: nothing to undo.
+    if (it->second.has_value()) {
+      XYDIFF_RETURN_IF_ERROR(base_->WriteFile(path, *it->second));
+    } else if (base_->FileExists(path)) {
+      XYDIFF_RETURN_IF_ERROR(base_->RemoveFile(path));
+    }
+  }
+  dirty_.clear();
+  crashed_ = false;
+  return Status::OK();
+}
+
+void FaultInjectionEnv::Reset() {
+  MutexLock lock(mutex_);
+  op_counter_ = 0;
+  kind_ = FaultKind::kNone;
+  fault_op_ = -1;
+  error_count_ = 1;
+  torn_keep_ = 0;
+  crashed_ = false;
+  triggered_ = false;
+  durable_.clear();
+  dirty_.clear();
+}
+
+int FaultInjectionEnv::op_count() const {
+  MutexLock lock(mutex_);
+  return op_counter_;
+}
+
+bool FaultInjectionEnv::triggered() const {
+  MutexLock lock(mutex_);
+  return triggered_;
+}
+
+FaultInjectionEnv::OpFate FaultInjectionEnv::NextOp(bool is_write) {
+  const int op = op_counter_++;
+  OpFate fate;
+  if (crashed_) {
+    fate.fail = Status::IOError("simulated crash: environment is down (op " +
+                                std::to_string(op) + ")");
+    return fate;
+  }
+  if (kind_ == FaultKind::kNone || op < fault_op_) return fate;
+  switch (kind_) {
+    case FaultKind::kError:
+      if (op < fault_op_ + error_count_) {
+        triggered_ = true;
+        fate.fail = Status::IOError("injected transient I/O error at op " +
+                                    std::to_string(op));
+      }
+      return fate;
+    case FaultKind::kCrash:
+      triggered_ = true;
+      crashed_ = true;
+      fate.fail = Status::IOError("simulated crash at op " +
+                                  std::to_string(op));
+      return fate;
+    case FaultKind::kTornWrite:
+      triggered_ = true;
+      crashed_ = true;
+      if (is_write) {
+        fate.tear = true;  // Caller persists the prefix, then fails.
+      } else {
+        fate.fail = Status::IOError("simulated crash (torn-write plan hit "
+                                    "non-write op " + std::to_string(op) +
+                                    ")");
+      }
+      return fate;
+    case FaultKind::kNone:
+      break;
+  }
+  return fate;
+}
+
+void FaultInjectionEnv::MarkDirty(const std::string& path) {
+  if (durable_.find(path) == durable_.end()) {
+    if (base_->FileExists(path)) {
+      Result<std::string> current = base_->ReadFile(path);
+      durable_[path] = current.ok() ? DurableImage(std::move(*current))
+                                    : DurableImage(std::nullopt);
+    } else {
+      durable_[path] = std::nullopt;
+    }
+  }
+  dirty_.insert(path);
+}
+
+Result<std::string> FaultInjectionEnv::ReadFile(const std::string& path) {
+  MutexLock lock(mutex_);
+  OpFate fate = NextOp(false);
+  if (fate.fail.has_value()) return *fate.fail;
+  return base_->ReadFile(path);
+}
+
+Status FaultInjectionEnv::WriteFile(const std::string& path,
+                                    std::string_view content) {
+  MutexLock lock(mutex_);
+  OpFate fate = NextOp(true);
+  if (fate.fail.has_value()) return *fate.fail;
+  MarkDirty(path);
+  if (fate.tear) {
+    const std::string_view prefix =
+        content.substr(0, std::min(torn_keep_, content.size()));
+    // The torn prefix lands on disk whatever the base env says — the
+    // point is the state it leaves, not the write's own success.
+    // Justified discard: the env is "crashed"; the caller sees IOError.
+    (void)base_->WriteFile(path, prefix);
+    return Status::IOError("simulated torn write to " + path + " (" +
+                           std::to_string(prefix.size()) + " of " +
+                           std::to_string(content.size()) + " bytes)");
+  }
+  return base_->WriteFile(path, content);
+}
+
+Status FaultInjectionEnv::SyncFile(const std::string& path) {
+  MutexLock lock(mutex_);
+  OpFate fate = NextOp(false);
+  if (fate.fail.has_value()) return *fate.fail;
+  XYDIFF_RETURN_IF_ERROR(base_->SyncFile(path));
+  Result<std::string> current = base_->ReadFile(path);
+  if (current.ok()) {
+    durable_[path] = std::move(*current);
+  }
+  dirty_.erase(path);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& path) {
+  MutexLock lock(mutex_);
+  OpFate fate = NextOp(false);
+  if (fate.fail.has_value()) return *fate.fail;
+  XYDIFF_RETURN_IF_ERROR(base_->SyncDir(path));
+  // Renames/creates/removes directly inside `path` become durable.
+  for (auto it = dirty_.begin(); it != dirty_.end();) {
+    if (ParentOf(*it) == path) {
+      if (base_->FileExists(*it)) {
+        Result<std::string> current = base_->ReadFile(*it);
+        if (current.ok()) durable_[*it] = std::move(*current);
+      } else {
+        durable_[*it] = std::nullopt;
+      }
+      it = dirty_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  MutexLock lock(mutex_);
+  OpFate fate = NextOp(false);
+  if (fate.fail.has_value()) return *fate.fail;
+  MarkDirty(from);
+  MarkDirty(to);
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  MutexLock lock(mutex_);
+  OpFate fate = NextOp(false);
+  if (fate.fail.has_value()) return *fate.fail;
+  MarkDirty(path);
+  return base_->RemoveFile(path);
+}
+
+Status FaultInjectionEnv::CreateDirs(const std::string& path) {
+  MutexLock lock(mutex_);
+  OpFate fate = NextOp(false);
+  if (fate.fail.has_value()) return *fate.fail;
+  // Directory creation is treated as instantly durable: the protocols
+  // under test only ever create a directory before writing into it, and
+  // "directory lost in crash" collapses into "all its files lost".
+  return base_->CreateDirs(path);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  MutexLock lock(mutex_);
+  if (crashed_) return false;  // A dead environment sees nothing.
+  return base_->FileExists(path);
+}
+
+Result<std::vector<std::string>> FaultInjectionEnv::ListDir(
+    const std::string& path) {
+  MutexLock lock(mutex_);
+  OpFate fate = NextOp(false);
+  if (fate.fail.has_value()) return *fate.fail;
+  return base_->ListDir(path);
+}
+
+}  // namespace xydiff

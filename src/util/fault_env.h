@@ -1,0 +1,109 @@
+#ifndef XYDIFF_UTIL_FAULT_ENV_H_
+#define XYDIFF_UTIL_FAULT_ENV_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/annotations.h"
+#include "util/env.h"
+#include "util/mutex.h"
+
+namespace xydiff {
+
+/// An Env wrapper that injects faults, in the spirit of RocksDB's
+/// FaultInjectionTestEnv. Three fault modes, armed against the Nth
+/// intercepted operation (0-based; every virtual Env call counts except
+/// FileExists, whose bool return cannot carry an error):
+///
+///   InjectErrorAt(n, k)  ops n..n+k-1 fail with IOError ("transient"
+///                        EIO/ENOSPC); later ops succeed again.
+///   CrashAt(n)           op n and everything after it fail — the
+///                        process "died" mid-protocol.
+///   TearWriteAt(n, keep) if op n is a WriteFile, only the first `keep`
+///                        bytes reach disk, then the env behaves
+///                        crashed. A non-write op n degrades to CrashAt.
+///
+/// The wrapper tracks the *durable* image of every file it touches: a
+/// write or rename leaves the affected paths "dirty" until SyncFile
+/// (that file) or SyncDir (every dirty path in that directory, which is
+/// what persists renames). After a simulated crash, call
+/// DropUnsyncedData() to roll every dirty path back to its durable
+/// image — exactly what a machine reset does to a page cache. A reopen
+/// through a fresh Env then sees the disk a crash would have left.
+///
+/// Thread-safe; one op counter across all threads.
+class FaultInjectionEnv final : public Env {
+ public:
+  /// Wraps `base` (Env::Default() when null). The wrapper never owns it.
+  explicit FaultInjectionEnv(Env* base = nullptr);
+
+  // --- fault plan -------------------------------------------------------
+  void InjectErrorAt(int op, int count = 1) XY_EXCLUDES(mutex_);
+  void CrashAt(int op) XY_EXCLUDES(mutex_);
+  void TearWriteAt(int op, size_t keep_bytes) XY_EXCLUDES(mutex_);
+
+  /// Rolls every un-synced path back to its durable content (deleting
+  /// files whose creation was never made durable). Clears the crashed
+  /// state so the "reopened" store can be inspected through this env.
+  Status DropUnsyncedData() XY_EXCLUDES(mutex_);
+
+  /// Forgets plan, counters, and durability bookkeeping (not the disk).
+  void Reset() XY_EXCLUDES(mutex_);
+
+  /// Ops intercepted so far.
+  int op_count() const XY_EXCLUDES(mutex_);
+  /// True once the armed fault has fired — a sweep is exhausted when a
+  /// run completes with triggered() == false.
+  bool triggered() const XY_EXCLUDES(mutex_);
+
+  // --- Env --------------------------------------------------------------
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status WriteFile(const std::string& path, std::string_view content) override;
+  Status SyncFile(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+
+ private:
+  enum class FaultKind { kNone, kError, kCrash, kTornWrite };
+
+  /// What a crash would leave for one path: present-with-bytes or absent.
+  using DurableImage = std::optional<std::string>;
+
+  /// Fate of one intercepted op.
+  struct OpFate {
+    std::optional<Status> fail;  ///< Set: return this without doing the op.
+    bool tear = false;  ///< WriteFile only: persist torn_keep_ bytes, fail.
+  };
+
+  /// Counts one op and decides its fate. `is_write` marks WriteFile, the
+  /// only op a torn-write plan can tear (others degrade to crash).
+  OpFate NextOp(bool is_write) XY_REQUIRES(mutex_);
+
+  /// Records the current on-disk state of `path` as its durable image,
+  /// if not already recorded, and marks it dirty.
+  void MarkDirty(const std::string& path) XY_REQUIRES(mutex_);
+
+  Env* const base_;
+  mutable Mutex mutex_;
+  int op_counter_ XY_GUARDED_BY(mutex_) = 0;
+  FaultKind kind_ XY_GUARDED_BY(mutex_) = FaultKind::kNone;
+  int fault_op_ XY_GUARDED_BY(mutex_) = -1;
+  int error_count_ XY_GUARDED_BY(mutex_) = 1;
+  size_t torn_keep_ XY_GUARDED_BY(mutex_) = 0;
+  bool crashed_ XY_GUARDED_BY(mutex_) = false;
+  bool triggered_ XY_GUARDED_BY(mutex_) = false;
+  std::map<std::string, DurableImage> durable_ XY_GUARDED_BY(mutex_);
+  std::set<std::string> dirty_ XY_GUARDED_BY(mutex_);
+};
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_UTIL_FAULT_ENV_H_

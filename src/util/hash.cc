@@ -1,5 +1,6 @@
 #include "util/hash.h"
 
+#include <array>
 #include <cstring>
 
 namespace xydiff {
@@ -105,5 +106,35 @@ Signature HashCombine(Signature acc, Signature next) {
 }
 
 Signature HashFinalize(Signature acc) { return Avalanche(acc); }
+
+namespace {
+
+/// CRC-64/XZ table, generated once: reflected ECMA-182 polynomial.
+const uint64_t* Crc64Table() {
+  static const auto table = [] {
+    constexpr uint64_t kPoly = 0xC96C5795D7870F42ULL;  // reflected ECMA-182
+    std::array<uint64_t, 256> t{};
+    for (uint64_t i = 0; i < 256; ++i) {
+      uint64_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[static_cast<size_t>(i)] = crc;
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+}  // namespace
+
+uint64_t Crc64(std::string_view data, uint64_t crc) {
+  const uint64_t* table = Crc64Table();
+  crc = ~crc;
+  for (char c : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(c)) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
 
 }  // namespace xydiff

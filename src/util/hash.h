@@ -32,6 +32,13 @@ inline Signature HashCombine(Signature acc, std::string_view next) {
 /// Combine when a signature is stored or compared.
 Signature HashFinalize(Signature acc);
 
+/// CRC-64 (ECMA-182 polynomial, reflected — the CRC-64/XZ variant) for
+/// on-disk integrity checks in the version store. Unlike HashBytes, this
+/// is a standardized checksum: the stored value stays verifiable even if
+/// the in-process hash mixing ever changes. Incremental: pass the
+/// previous return value as `crc` to extend a checksum over more bytes.
+uint64_t Crc64(std::string_view data, uint64_t crc = 0);
+
 }  // namespace xydiff
 
 #endif  // XYDIFF_UTIL_HASH_H_

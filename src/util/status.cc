@@ -18,6 +18,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Conflict";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

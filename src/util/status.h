@@ -18,6 +18,12 @@ enum class StatusCode {
   kCorruption,        ///< Internal invariant violated by stored data.
   kConflict,          ///< A delta operation conflicts with the document.
   kUnimplemented,     ///< Feature intentionally not supported.
+  kIOError,           ///< The environment failed an I/O operation (possibly
+                      ///< transient: EIO, ENOSPC, ...). Distinct from
+                      ///< kCorruption — the bytes were never read/written,
+                      ///< as opposed to read successfully but wrong.
+  kAborted,           ///< Work intentionally not performed (e.g. a batch
+                      ///< slot skipped by fail-fast after an earlier error).
 };
 
 /// Returns a human-readable name, e.g. "InvalidArgument".
@@ -63,6 +69,12 @@ class [[nodiscard]] Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -117,18 +117,18 @@ int ThreadPool::DefaultThreadCount() {
 std::string PipelineStats::ToString() const {
   std::string out;
   char line[160];
-  std::snprintf(line, sizeof(line), "%-10s %10s %8s %12s %12s\n", "stage",
-                "items", "failed", "peak_queue", "stall_s");
+  std::snprintf(line, sizeof(line), "%-10s %10s %8s %8s %12s %12s\n", "stage",
+                "items", "failed", "retries", "peak_queue", "stall_s");
   out += line;
   for (const StageStats& s : stages) {
-    std::snprintf(line, sizeof(line), "%-10s %10zu %8zu %12zu %12.3f\n",
-                  s.name.c_str(), s.items, s.failed, s.peak_queue_depth,
-                  s.stall_seconds);
+    std::snprintf(line, sizeof(line), "%-10s %10zu %8zu %8zu %12zu %12.3f\n",
+                  s.name.c_str(), s.items, s.failed, s.retries,
+                  s.peak_queue_depth, s.stall_seconds);
     out += line;
   }
   std::snprintf(line, sizeof(line),
-                "peak in flight %zu, wall %.3f s\n", peak_in_flight,
-                wall_seconds);
+                "peak in flight %zu, degraded slots %zu, wall %.3f s\n",
+                peak_in_flight, degraded_slots, wall_seconds);
   out += line;
   return out;
 }

@@ -89,6 +89,7 @@ struct StageStats {
   std::string name;
   size_t items = 0;             ///< Items processed by the stage.
   size_t failed = 0;            ///< Items that left the pipeline here.
+  size_t retries = 0;           ///< Transient-I/O retries absorbed here.
   size_t peak_queue_depth = 0;  ///< High-water mark of the input queue.
   double stall_seconds = 0;     ///< Summed backpressure wait, all workers.
 };
@@ -98,6 +99,10 @@ struct StageStats {
 struct PipelineStats {
   std::vector<StageStats> stages;
   size_t peak_in_flight = 0;  ///< Max documents alive at once.
+  size_t degraded_slots = 0;  ///< Slots that succeeded only after retries,
+                              ///< or completed without their side effects
+                              ///< (e.g. persistence gave up) — per-slot
+                              ///< degradation, distinct from failures.
   double wall_seconds = 0;
 
   /// Human-readable multi-line table.

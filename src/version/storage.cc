@@ -1,11 +1,14 @@
 #include "version/storage.h"
 
+#include <algorithm>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
+#include <optional>
 #include <sstream>
+#include <utility>
 
+#include "delta/apply.h"
 #include "delta/delta_xml.h"
+#include "util/hash.h"
 #include "util/sharded_mutex.h"
 #include "util/string_util.h"
 #include "xid/xid_map.h"
@@ -16,28 +19,188 @@ namespace xydiff {
 
 namespace {
 
-namespace fs = std::filesystem;
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kManifestMagic[] = "xydiff-manifest 2";
+constexpr char kQuarantineDir[] = "quarantine";
 
-Status WriteFile(const std::string& path, std::string_view content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::NotFound("cannot open for writing: " + path);
-  out.write(content.data(), static_cast<std::streamsize>(content.size()));
-  if (!out) return Status::Corruption("short write: " + path);
-  return Status::OK();
-}
-
-Result<std::string> ReadFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
-std::string DeltaPath(const std::string& directory, size_t index) {
+std::string DeltaName(size_t index) {
   char name[32];
   std::snprintf(name, sizeof(name), "delta.%06zu.xml", index + 1);
-  return directory + "/" + name;
+  return name;
+}
+
+std::string CurrentXmlName(int epoch) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "current.%06d.xml", epoch);
+  return name;
+}
+
+std::string CurrentMetaName(int epoch) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "current.%06d.meta", epoch);
+  return name;
+}
+
+std::string Hex64(uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+bool ParseHex64(std::string_view text, uint64_t* out) {
+  if (text.empty() || text.size() > 16) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = value;
+  return true;
+}
+
+/// One `file <name> <size> <crc64>` manifest entry.
+struct ManifestFile {
+  std::string name;
+  size_t size = 0;
+  uint64_t crc = 0;
+};
+
+/// Parsed MANIFEST: the complete description of one live repository
+/// state. `prev_*` point at the epoch this save superseded, which is
+/// the recovery fallback while the old files still exist.
+struct Manifest {
+  int epoch = 0;
+  size_t chain = 0;
+  int prev_epoch = 0;
+  size_t prev_chain = 0;
+  std::vector<ManifestFile> files;
+
+  const ManifestFile* Find(const std::string& name) const {
+    for (const ManifestFile& f : files) {
+      if (f.name == name) return &f;
+    }
+    return nullptr;
+  }
+};
+
+std::string FormatManifest(const Manifest& manifest) {
+  std::ostringstream out;
+  out << kManifestMagic << "\n"
+      << "epoch " << manifest.epoch << "\n"
+      << "chain " << manifest.chain << "\n";
+  if (manifest.prev_epoch > 0) {
+    out << "prev " << manifest.prev_epoch << " " << manifest.prev_chain
+        << "\n";
+  }
+  for (const ManifestFile& f : manifest.files) {
+    out << "file " << f.name << " " << f.size << " " << Hex64(f.crc) << "\n";
+  }
+  const std::string body = out.str();
+  return body + "crc " + Hex64(Crc64(body)) + "\n";
+}
+
+/// Strict parse with self-checksum verification: any deviation is
+/// Corruption (the caller decides whether that means salvage or a fresh
+/// epoch counter).
+Result<Manifest> ParseManifest(std::string_view text) {
+  const size_t crc_line = text.rfind("crc ");
+  if (crc_line == std::string::npos ||
+      (crc_line != 0 && text[crc_line - 1] != '\n')) {
+    return Status::Corruption("MANIFEST has no checksum line");
+  }
+  uint64_t stored_crc = 0;
+  if (!ParseHex64(Trim(text.substr(crc_line + 4)), &stored_crc)) {
+    return Status::Corruption("MANIFEST checksum line is malformed");
+  }
+  if (Crc64(text.substr(0, crc_line)) != stored_crc) {
+    return Status::Corruption("MANIFEST failed its self-checksum");
+  }
+
+  Manifest manifest;
+  const std::vector<std::string_view> lines =
+      SplitLines(text.substr(0, crc_line));
+  if (lines.empty() || lines[0] != kManifestMagic) {
+    return Status::Corruption("MANIFEST has a bad magic line");
+  }
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::istringstream line{std::string(lines[i])};
+    std::string keyword;
+    line >> keyword;
+    if (keyword == "epoch") {
+      line >> manifest.epoch;
+    } else if (keyword == "chain") {
+      line >> manifest.chain;
+    } else if (keyword == "prev") {
+      line >> manifest.prev_epoch >> manifest.prev_chain;
+    } else if (keyword == "file") {
+      ManifestFile f;
+      std::string crc_text;
+      line >> f.name >> f.size >> crc_text;
+      if (!ParseHex64(crc_text, &f.crc)) {
+        return Status::Corruption("MANIFEST file entry has a bad checksum: " +
+                                  std::string(lines[i]));
+      }
+      manifest.files.push_back(std::move(f));
+    } else if (!keyword.empty()) {
+      return Status::Corruption("MANIFEST has an unknown line: " +
+                                std::string(lines[i]));
+    }
+    if (line.fail()) {
+      return Status::Corruption("MANIFEST line is malformed: " +
+                                std::string(lines[i]));
+    }
+  }
+  if (manifest.epoch <= 0) {
+    return Status::Corruption("MANIFEST has no epoch");
+  }
+  return manifest;
+}
+
+std::string SerializeCurrentXml(const XmlDocument& doc) {
+  SerializeOptions options;
+  options.xml_declaration = true;
+  options.doctype = true;
+  return SerializeDocument(doc, options);
+}
+
+std::string SerializeCurrentMeta(const XmlDocument& doc) {
+  std::ostringstream meta;
+  meta << "nextxid " << doc.next_xid() << "\n"
+       << XidMap::FromSubtree(*doc.root()).ToString() << "\n";
+  return meta.str();
+}
+
+/// Rebuilds a document from its persisted xml/meta texts, restoring
+/// every node's XID. The document is internally validated (XID-map
+/// arity must match the tree), so this doubles as a structural check.
+Result<XmlDocument> ParseDocumentPair(std::string_view xml_text,
+                                      std::string_view meta_text,
+                                      const std::string& context) {
+  Result<XmlDocument> doc = ParseXml(xml_text);
+  if (!doc.ok()) return doc.status();
+  const std::vector<std::string_view> lines = SplitLines(meta_text);
+  if (lines.size() < 2 || !StartsWith(lines[0], "nextxid ")) {
+    return Status::Corruption("malformed meta file: " + context);
+  }
+  uint64_t next_xid = 0;
+  if (!ParseUint64(Trim(lines[0].substr(8)), &next_xid) || next_xid == 0) {
+    return Status::Corruption("bad nextxid in meta file: " + context);
+  }
+  Result<XidMap> map = XidMap::Parse(lines[1]);
+  if (!map.ok()) return map.status();
+  if (doc->root() == nullptr) {
+    return Status::Corruption("persisted document has no root: " + context);
+  }
+  XYDIFF_RETURN_IF_ERROR(map->ApplyToSubtree(doc->root()));
+  doc->set_next_xid(next_xid);
+  return doc;
 }
 
 /// Concurrent batch workers may save/load distinct repositories at once;
@@ -49,90 +212,138 @@ ShardedMutexMap<16>& DirectoryLocks() {
   return locks;
 }
 
-}  // namespace
+Env* Resolve(Env* env) { return env != nullptr ? env : Env::Default(); }
 
-Status SaveDocumentWithXids(const XmlDocument& doc,
-                            const std::string& xml_path,
-                            const std::string& meta_path) {
-  if (doc.root() == nullptr) {
-    return Status::InvalidArgument("cannot persist an empty document");
+/// Reads the MANIFEST. Outcomes: a manifest; `nullopt` (absent or
+/// corrupt — `*corrupt` says which); or a propagated transient error.
+Result<std::optional<Manifest>> TryReadManifest(const std::string& directory,
+                                                Env* env, bool* corrupt) {
+  *corrupt = false;
+  Result<std::string> text =
+      env->ReadFile(directory + "/" + kManifestName);
+  if (!text.ok()) {
+    if (text.status().code() == StatusCode::kNotFound) {
+      return std::optional<Manifest>();
+    }
+    return text.status();
   }
-  SerializeOptions options;
-  options.xml_declaration = true;
-  options.doctype = true;
-  XYDIFF_RETURN_IF_ERROR(WriteFile(xml_path, SerializeDocument(doc, options)));
-  std::ostringstream meta;
-  meta << "nextxid " << doc.next_xid() << "\n"
-       << XidMap::FromSubtree(*doc.root()).ToString() << "\n";
-  return WriteFile(meta_path, meta.str());
+  Result<Manifest> manifest = ParseManifest(*text);
+  if (!manifest.ok()) {
+    *corrupt = true;
+    return std::optional<Manifest>();
+  }
+  return std::optional<Manifest>(std::move(*manifest));
 }
 
-Result<XmlDocument> LoadDocumentWithXids(const std::string& xml_path,
-                                         const std::string& meta_path) {
-  Result<XmlDocument> doc = ParseXmlFile(xml_path);
-  if (!doc.ok()) return doc.status();
-  Result<std::string> meta = ReadFile(meta_path);
-  if (!meta.ok()) return meta.status();
-
-  const std::vector<std::string_view> lines = SplitLines(*meta);
-  if (lines.size() < 2 || !StartsWith(lines[0], "nextxid ")) {
-    return Status::Corruption("malformed meta file: " + meta_path);
+/// Moves `dir/name` into `dir/quarantine/` — best effort: recovery must
+/// not die on the forensics step. Records the outcome in the report.
+void QuarantineFile(const std::string& directory, const std::string& name,
+                    Env* env, RecoveryReport* report) {
+  Status made = env->CreateDirs(directory + "/" + kQuarantineDir);
+  Status moved =
+      made.ok() ? env->RenameFile(directory + "/" + name,
+                                  directory + "/" + kQuarantineDir + "/" +
+                                      name)
+                : made;
+  if (moved.ok()) {
+    report->quarantined.push_back(name);
+  } else {
+    report->notes.push_back("could not quarantine " + name + ": " +
+                            moved.ToString());
   }
-  uint64_t next_xid = 0;
-  if (!ParseUint64(Trim(lines[0].substr(8)), &next_xid) || next_xid == 0) {
-    return Status::Corruption("bad nextxid in meta file: " + meta_path);
-  }
-  Result<XidMap> map = XidMap::Parse(lines[1]);
-  if (!map.ok()) return map.status();
-  if (doc->root() == nullptr) {
-    return Status::Corruption("persisted document has no root: " + xml_path);
-  }
-  XYDIFF_RETURN_IF_ERROR(map->ApplyToSubtree(doc->root()));
-  doc->set_next_xid(next_xid);
-  return doc;
 }
 
-Status SaveRepository(const VersionRepository& repo,
-                      const std::string& directory) {
-  MutexLock lock(DirectoryLocks().For(directory));
-  std::error_code ec;
-  fs::create_directories(directory, ec);
-  if (ec) {
-    return Status::NotFound("cannot create directory " + directory + ": " +
-                            ec.message());
+/// Reads and checksum-verifies one manifest-listed file. Corruption and
+/// absence come back as Corruption (recoverable by quarantine/fallback);
+/// transient read failures propagate as IOError so the caller aborts
+/// instead of "healing" a store that is merely unreachable.
+Result<std::string> ReadVerified(const std::string& directory,
+                                 const ManifestFile& entry, Env* env) {
+  Result<std::string> text = env->ReadFile(directory + "/" + entry.name);
+  if (!text.ok()) {
+    if (text.status().code() == StatusCode::kNotFound) {
+      return Status::Corruption("manifest-listed file missing: " +
+                                entry.name);
+    }
+    return text.status();
   }
-  XYDIFF_RETURN_IF_ERROR(SaveDocumentWithXids(repo.current(),
-                                              directory + "/current.xml",
-                                              directory + "/current.meta"));
-  for (size_t i = 0; i < repo.deltas().size(); ++i) {
-    XYDIFF_RETURN_IF_ERROR(
-        WriteFile(DeltaPath(directory, i), SerializeDelta(repo.deltas()[i])));
+  if (text->size() != entry.size) {
+    return Status::Corruption(entry.name + " has " +
+                              std::to_string(text->size()) +
+                              " bytes, manifest says " +
+                              std::to_string(entry.size));
   }
-  // Drop stale chain entries from a longer previous save. A failed
-  // removal must be an error, not a shrug: a leftover delta.NNNNNN.xml
-  // past the real chain would be loaded as version history.
-  for (size_t i = repo.deltas().size();; ++i) {
-    const std::string path = DeltaPath(directory, i);
-    if (!fs::exists(path)) break;
-    if (!fs::remove(path, ec) || ec) {
-      return Status::Corruption("cannot remove stale delta " + path + ": " +
-                                ec.message());
+  if (Crc64(*text) != entry.crc) {
+    return Status::Corruption(entry.name + " failed its CRC-64 check");
+  }
+  return text;
+}
+
+/// Post-commit removal of files the new MANIFEST does not reference:
+/// stale deltas, superseded current epochs, leftover temp files. Best
+/// effort — the loader never looks at unreferenced files, so a failed
+/// removal costs bytes, not correctness (unlike the pre-MANIFEST
+/// scan-based loader, where a stale delta silently became history).
+void CleanupUnreferenced(const std::string& directory,
+                         const Manifest& manifest, Env* env) {
+  Result<std::vector<std::string>> names = env->ListDir(directory);
+  // Justified discard: cleanup is best-effort by contract (see above).
+  if (!names.ok()) return;
+  for (const std::string& name : *names) {
+    if (name == kManifestName || name == kQuarantineDir) continue;
+    const bool managed = StartsWith(name, "delta.") ||
+                         StartsWith(name, "current.") ||
+                         (name.size() > 4 &&
+                          name.compare(name.size() - 4, 4, ".tmp") == 0);
+    if (!managed || manifest.Find(name) != nullptr) continue;
+    // Justified discard: see function comment — stale files are inert.
+    (void)env->RemoveFile(directory + "/" + name);
+  }
+}
+
+/// Walks the chain backward from the current version, proving every
+/// delta still applies (deltas are invertible, so validation is one
+/// inverse-apply each). Returns the number of *oldest* deltas that must
+/// be dropped: a delta that no longer applies severs every older one,
+/// because reconstruction can never step past it.
+size_t VerifyChainApplies(const XmlDocument& current,
+                          const std::vector<Delta>& deltas,
+                          size_t file_index_base, RecoveryReport* report) {
+  XmlDocument doc = current.Clone();
+  for (size_t j = deltas.size(); j > 0; --j) {
+    const Status applied = ApplyDeltaInverse(deltas[j - 1], &doc);
+    if (!applied.ok()) {
+      report->notes.push_back(
+          DeltaName(file_index_base + j - 1) +
+          " no longer applies to the recovered document (" +
+          applied.ToString() + "); dropping it and the older chain");
+      return j;
     }
   }
-  return Status::OK();
+  return 0;
 }
 
-Result<VersionRepository> LoadRepository(const std::string& directory) {
-  MutexLock lock(DirectoryLocks().For(directory));
-  Result<XmlDocument> current = LoadDocumentWithXids(
-      directory + "/current.xml", directory + "/current.meta");
+/// Pre-MANIFEST layout (`current.xml` + scanned chain), kept loadable:
+/// strict, no checksums — the report flags the store as unverified.
+Result<VersionRepository> LoadLegacyRepository(const std::string& directory,
+                                               Env* env,
+                                               RecoveryReport* report) {
+  report->manifest_valid = false;
+  report->clean = false;
+  report->notes.push_back("legacy layout (no MANIFEST): loaded unverified");
+  Result<std::string> xml = env->ReadFile(directory + "/current.xml");
+  if (!xml.ok()) return xml.status();
+  Result<std::string> meta = env->ReadFile(directory + "/current.meta");
+  if (!meta.ok()) return meta.status();
+  Result<XmlDocument> current =
+      ParseDocumentPair(*xml, *meta, directory + "/current.meta");
   if (!current.ok()) return current.status();
 
   std::vector<Delta> deltas;
   for (size_t i = 0;; ++i) {
-    const std::string path = DeltaPath(directory, i);
-    if (!fs::exists(path)) break;
-    Result<std::string> text = ReadFile(path);
+    const std::string path = directory + "/" + DeltaName(i);
+    if (!env->FileExists(path)) break;
+    Result<std::string> text = env->ReadFile(path);
     if (!text.ok()) return text.status();
     Result<Delta> delta = ParseDelta(*text);
     if (!delta.ok()) {
@@ -141,6 +352,313 @@ Result<VersionRepository> LoadRepository(const std::string& directory) {
     }
     deltas.push_back(std::move(*delta));
   }
+  report->recovered_version_count = static_cast<int>(deltas.size()) + 1;
+  return VersionRepository::FromParts(std::move(current.value()),
+                                      std::move(deltas));
+}
+
+/// Loads the current document for `epoch` without manifest checksums
+/// (used for the previous-epoch fallback, whose manifest is gone):
+/// parse-level validation only.
+Result<XmlDocument> LoadCurrentUnverified(const std::string& directory,
+                                          int epoch, Env* env) {
+  Result<std::string> xml =
+      env->ReadFile(directory + "/" + CurrentXmlName(epoch));
+  if (!xml.ok()) return xml.status();
+  Result<std::string> meta =
+      env->ReadFile(directory + "/" + CurrentMetaName(epoch));
+  if (!meta.ok()) return meta.status();
+  return ParseDocumentPair(*xml, *meta,
+                           directory + "/" + CurrentMetaName(epoch));
+}
+
+}  // namespace
+
+std::string RecoveryReport::ToString() const {
+  std::ostringstream out;
+  out << (clean ? "clean" : "recovered") << ": "
+      << recovered_version_count << " version(s)";
+  if (!manifest_valid) out << ", manifest invalid";
+  if (used_fallback) out << ", fell back to previous epoch";
+  if (dropped_deltas > 0) out << ", dropped " << dropped_deltas
+                              << " oldest delta(s)";
+  if (!quarantined.empty()) {
+    out << ", quarantined:";
+    for (const std::string& name : quarantined) out << " " << name;
+  }
+  for (const std::string& note : notes) out << "\n  " << note;
+  return out.str();
+}
+
+Status SaveDocumentWithXids(const XmlDocument& doc,
+                            const std::string& xml_path,
+                            const std::string& meta_path, Env* env) {
+  if (doc.root() == nullptr) {
+    return Status::InvalidArgument("cannot persist an empty document");
+  }
+  env = Resolve(env);
+  XYDIFF_RETURN_IF_ERROR(
+      env->WriteFileAtomic(xml_path, SerializeCurrentXml(doc)));
+  return env->WriteFileAtomic(meta_path, SerializeCurrentMeta(doc));
+}
+
+Result<XmlDocument> LoadDocumentWithXids(const std::string& xml_path,
+                                         const std::string& meta_path,
+                                         Env* env) {
+  env = Resolve(env);
+  Result<std::string> xml = env->ReadFile(xml_path);
+  if (!xml.ok()) return xml.status();
+  Result<std::string> meta = env->ReadFile(meta_path);
+  if (!meta.ok()) return meta.status();
+  return ParseDocumentPair(*xml, *meta, meta_path);
+}
+
+Status SaveRepository(const VersionRepository& repo,
+                      const std::string& directory, Env* env) {
+  MutexLock lock(DirectoryLocks().For(directory));
+  env = Resolve(env);
+  if (repo.current().root() == nullptr) {
+    return Status::InvalidArgument("cannot persist an empty document");
+  }
+  XYDIFF_RETURN_IF_ERROR(env->CreateDirs(directory));
+
+  bool old_corrupt = false;
+  Result<std::optional<Manifest>> old_manifest =
+      TryReadManifest(directory, env, &old_corrupt);
+  if (!old_manifest.ok()) return old_manifest.status();
+  const Manifest* old =
+      old_manifest->has_value() ? &old_manifest->value() : nullptr;
+
+  Manifest next;
+  next.epoch = old != nullptr ? old->epoch + 1 : 1;
+  next.chain = repo.deltas().size();
+  if (old != nullptr) {
+    next.prev_epoch = old->epoch;
+    next.prev_chain = old->chain;
+  }
+
+  // Delta chain. In the common append-only case every prefix delta is
+  // already on disk with the right checksum and is skipped — a commit
+  // writes one delta, two current files, and the MANIFEST.
+  for (size_t i = 0; i < repo.deltas().size(); ++i) {
+    const std::string text = SerializeDelta(repo.deltas()[i]);
+    ManifestFile entry{DeltaName(i), text.size(), Crc64(text)};
+    const ManifestFile* existing =
+        old != nullptr ? old->Find(entry.name) : nullptr;
+    const bool unchanged = existing != nullptr &&
+                           existing->size == entry.size &&
+                           existing->crc == entry.crc;
+    if (!unchanged) {
+      XYDIFF_RETURN_IF_ERROR(
+          env->WriteFileAtomic(directory + "/" + entry.name, text));
+    }
+    next.files.push_back(std::move(entry));
+  }
+
+  // Current snapshot under an epoch-fresh name, so the live epoch's
+  // files are never written over and a crashed save cannot corrupt them.
+  const std::string xml_text = SerializeCurrentXml(repo.current());
+  const std::string meta_text = SerializeCurrentMeta(repo.current());
+  const std::string xml_name = CurrentXmlName(next.epoch);
+  const std::string meta_name = CurrentMetaName(next.epoch);
+  XYDIFF_RETURN_IF_ERROR(
+      env->WriteFileAtomic(directory + "/" + xml_name, xml_text));
+  XYDIFF_RETURN_IF_ERROR(
+      env->WriteFileAtomic(directory + "/" + meta_name, meta_text));
+  next.files.push_back({xml_name, xml_text.size(), Crc64(xml_text)});
+  next.files.push_back({meta_name, meta_text.size(), Crc64(meta_text)});
+
+  // The commit point: the MANIFEST rename atomically switches the live
+  // state; the directory fsync makes the whole batch durable.
+  XYDIFF_RETURN_IF_ERROR(env->WriteFileAtomic(
+      directory + "/" + kManifestName, FormatManifest(next)));
+  XYDIFF_RETURN_IF_ERROR(env->SyncDir(directory));
+
+  CleanupUnreferenced(directory, next, env);
+  return Status::OK();
+}
+
+Result<VersionRepository> LoadRepository(const std::string& directory,
+                                         Env* env, RecoveryReport* report) {
+  MutexLock lock(DirectoryLocks().For(directory));
+  env = Resolve(env);
+  RecoveryReport local;
+  if (report == nullptr) report = &local;
+  *report = RecoveryReport{};
+
+  bool manifest_corrupt = false;
+  Result<std::optional<Manifest>> read =
+      TryReadManifest(directory, env, &manifest_corrupt);
+  if (!read.ok()) return read.status();
+
+  std::optional<Manifest> manifest = std::move(*read);
+  if (!manifest.has_value()) {
+    if (manifest_corrupt) {
+      report->manifest_valid = false;
+      report->clean = false;
+      report->notes.push_back("MANIFEST failed verification");
+      QuarantineFile(directory, kManifestName, env, report);
+      // Salvage: the newest epoch whose current files still parse.
+      Result<std::vector<std::string>> names = env->ListDir(directory);
+      if (!names.ok()) return names.status();
+      int best_epoch = 0;
+      for (const std::string& name : *names) {
+        int epoch = 0;
+        if (std::sscanf(name.c_str(), "current.%06d.xml", &epoch) == 1) {
+          best_epoch = std::max(best_epoch, epoch);
+        }
+      }
+      while (best_epoch > 0) {
+        if (LoadCurrentUnverified(directory, best_epoch, env).ok()) break;
+        --best_epoch;
+      }
+      if (best_epoch == 0) {
+        if (env->FileExists(directory + "/current.xml")) {
+          return LoadLegacyRepository(directory, env, report);
+        }
+        return Status::Corruption(
+            "MANIFEST corrupt and no loadable current version in " +
+            directory);
+      }
+      report->notes.push_back("salvaged epoch " + std::to_string(best_epoch));
+      // Synthesize a checksum-less manifest over whatever chain parses.
+      Manifest salvaged;
+      salvaged.epoch = best_epoch;
+      salvaged.chain = 0;
+      while (env->FileExists(directory + "/" + DeltaName(salvaged.chain))) {
+        ++salvaged.chain;
+      }
+      manifest = std::move(salvaged);
+    } else if (env->FileExists(directory + "/current.xml")) {
+      return LoadLegacyRepository(directory, env, report);
+    } else {
+      return Status::NotFound("no repository in " + directory);
+    }
+  }
+
+  const bool verified = report->manifest_valid;
+
+  // --- current version --------------------------------------------------
+  Result<XmlDocument> current = Status::Corruption("unset");
+  size_t chain = manifest->chain;
+  if (verified) {
+    const ManifestFile* xml_entry =
+        manifest->Find(CurrentXmlName(manifest->epoch));
+    const ManifestFile* meta_entry =
+        manifest->Find(CurrentMetaName(manifest->epoch));
+    if (xml_entry == nullptr || meta_entry == nullptr) {
+      return Status::Corruption("MANIFEST lists no current version for " +
+                                directory);
+    }
+    Result<std::string> xml = ReadVerified(directory, *xml_entry, env);
+    if (!xml.ok() && xml.status().code() == StatusCode::kIOError) {
+      return xml.status();
+    }
+    Result<std::string> meta = ReadVerified(directory, *meta_entry, env);
+    if (!meta.ok() && meta.status().code() == StatusCode::kIOError) {
+      return meta.status();
+    }
+    if (xml.ok() && meta.ok()) {
+      current = ParseDocumentPair(*xml, *meta,
+                                  directory + "/" + meta_entry->name);
+    } else {
+      current = xml.ok() ? meta.status() : xml.status();
+    }
+    if (!current.ok()) {
+      // The live epoch is damaged. Quarantine what is provably bad and
+      // fall back to the superseded epoch if its files survived (a
+      // crash between commit and cleanup leaves exactly that state).
+      report->clean = false;
+      report->notes.push_back("current epoch " +
+                              std::to_string(manifest->epoch) +
+                              " unusable: " + current.status().ToString());
+      if (!xml.ok()) QuarantineFile(directory, xml_entry->name, env, report);
+      if (!meta.ok()) {
+        QuarantineFile(directory, meta_entry->name, env, report);
+      }
+      if (manifest->prev_epoch > 0) {
+        Result<XmlDocument> fallback =
+            LoadCurrentUnverified(directory, manifest->prev_epoch, env);
+        if (fallback.ok()) {
+          report->used_fallback = true;
+          report->notes.push_back("fell back to epoch " +
+                                  std::to_string(manifest->prev_epoch));
+          current = std::move(fallback);
+          chain = manifest->prev_chain;
+        }
+      }
+      if (!current.ok()) {
+        return Status::Corruption("current version unrecoverable in " +
+                                  directory + ": " +
+                                  current.status().message() + " (" +
+                                  report->ToString() + ")");
+      }
+    }
+  } else {
+    current = LoadCurrentUnverified(directory, manifest->epoch, env);
+    if (!current.ok()) return current.status();
+  }
+
+  // --- delta chain ------------------------------------------------------
+  std::vector<Delta> deltas;
+  size_t last_bad = 0;  // 1-based index of the newest unusable delta.
+  for (size_t i = 0; i < chain; ++i) {
+    const std::string name = DeltaName(i);
+    Result<std::string> text = Status::Corruption("unset");
+    if (verified && manifest->Find(name) != nullptr) {
+      text = ReadVerified(directory, *manifest->Find(name), env);
+      if (!text.ok() && text.status().code() == StatusCode::kIOError) {
+        return text.status();
+      }
+    } else {
+      text = env->ReadFile(directory + "/" + name);
+      if (!text.ok() && text.status().code() == StatusCode::kIOError) {
+        return text.status();
+      }
+    }
+    Result<Delta> delta = text.ok() ? ParseDelta(*text)
+                                    : Result<Delta>(text.status());
+    if (!delta.ok()) {
+      report->clean = false;
+      report->notes.push_back(name + ": " + delta.status().ToString());
+      last_bad = i + 1;
+      deltas.clear();  // Everything older than a bad delta is unreachable.
+      continue;
+    }
+    if (last_bad == 0 || i + 1 > last_bad) deltas.push_back(std::move(*delta));
+  }
+  if (last_bad > 0) {
+    for (size_t i = 0; i < last_bad; ++i) {
+      if (env->FileExists(directory + "/" + DeltaName(i))) {
+        QuarantineFile(directory, DeltaName(i), env, report);
+      }
+    }
+    report->dropped_deltas += last_bad;
+  }
+
+  // --- deep verification on any degradation -----------------------------
+  // Replaying the surviving chain against the recovered current version
+  // proves the pieces still fit together (checksums can only vouch for
+  // files the MANIFEST knew; a fallback epoch has no such vouching).
+  if (!report->clean || report->used_fallback) {
+    const size_t drop =
+        VerifyChainApplies(*current, deltas, report->dropped_deltas, report);
+    if (drop > 0) {
+      report->clean = false;
+      const size_t already_dropped = report->dropped_deltas;
+      for (size_t i = 0; i < drop; ++i) {
+        const std::string name = DeltaName(already_dropped + i);
+        if (env->FileExists(directory + "/" + name)) {
+          QuarantineFile(directory, name, env, report);
+        }
+      }
+      report->dropped_deltas += drop;
+      deltas.erase(deltas.begin(),
+                   deltas.begin() + static_cast<long>(drop));
+    }
+  }
+
+  report->recovered_version_count = static_cast<int>(deltas.size()) + 1;
   return VersionRepository::FromParts(std::move(current.value()),
                                       std::move(deltas));
 }

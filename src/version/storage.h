@@ -2,48 +2,94 @@
 #define XYDIFF_VERSION_STORAGE_H_
 
 #include <string>
+#include <vector>
 
+#include "util/env.h"
 #include "util/status.h"
 #include "version/repository.h"
 
 namespace xydiff {
 
 /// On-disk persistence for the change-centric repository (Figure 1's
-/// "Repository" box). Layout of a repository directory:
+/// "Repository" box), crash-safe. Layout of a repository directory:
 ///
-///   current.xml        newest version (plain XML, DOCTYPE with the
-///                      document's ID-attribute declarations)
-///   current.meta       XID bookkeeping: line 1 `nextxid <N>`, line 2 the
-///                      XID-map of the whole document ("(1-15;17)"),
-///                      which restores every node's persistent identifier
-///                      on load (text nodes cannot carry attributes, so
-///                      XIDs live here, not in the XML)
-///   delta.000001.xml   delta chain; delta.00000k transforms version k
-///   delta.000002.xml   into version k+1
-///   ...
+///   MANIFEST            the commit point. Names the live epoch, the
+///                       chain length, and the size + CRC-64 of every
+///                       live file; self-checksummed (last line is the
+///                       CRC of everything above it). A repository IS
+///                       whatever its MANIFEST says — files the
+///                       MANIFEST does not mention are ignored.
+///   current.<E>.xml     newest version for epoch E (plain XML, DOCTYPE
+///                       with the document's ID-attribute declarations)
+///   current.<E>.meta    XID bookkeeping: line 1 `nextxid <N>`, line 2
+///                       the XID-map of the whole document ("(1-15;17)")
+///   delta.000001.xml    delta chain; delta.00000k transforms version k
+///   delta.000002.xml    into version k+1
+///   quarantine/         corrupt files moved aside by recovery, never
+///                       deleted — forensics, not garbage
 ///
-/// Everything is XML or one trivial text file — the "deltas are regular
-/// XML documents, queryable like any other" property of §2 extends to the
-/// persisted store.
+/// Write protocol (see DESIGN.md "Durability and recovery"): every file
+/// goes temp → fsync → rename; the epoch counter gives changed current
+/// files a fresh name; the MANIFEST rename is the single atomic commit
+/// point; one directory fsync makes the batch durable. A crash at any
+/// step leaves either the old or the new repository, never a hybrid.
+///
+/// All I/O is routed through an Env (util/env.h); `env == nullptr`
+/// means Env::Default(). Deltas remain regular XML documents, queryable
+/// like any other — the §2 property extends to the persisted store.
 
-/// Writes the repository into `directory` (created if absent; existing
-/// repository files are overwritten).
+/// What LoadRepository had to do to hand back a repository. `clean`
+/// means the store verified end-to-end; anything else is degradation,
+/// reported instead of failing wholesale.
+struct RecoveryReport {
+  bool clean = true;
+  bool manifest_valid = true;   ///< MANIFEST present and self-consistent.
+  bool used_fallback = false;   ///< Current files came from the previous
+                                ///< epoch (crash before cleanup).
+  int recovered_version_count = 0;
+  size_t dropped_deltas = 0;    ///< Oldest history entries lost: a corrupt
+                                ///< delta severs everything older than
+                                ///< itself (reconstruction walks backward
+                                ///< from the current version).
+  std::vector<std::string> quarantined;  ///< Files moved to quarantine/.
+  std::vector<std::string> notes;        ///< Human-readable event log.
+
+  /// Multi-line summary for logs and the command-line tool.
+  std::string ToString() const;
+};
+
+/// Writes the repository into `directory` (created if absent). Atomic:
+/// after a crash at any point, LoadRepository yields either the previous
+/// contents or this repository, bit-exactly. An error return means the
+/// previous contents are still live (the MANIFEST was not committed),
+/// except for IOError during post-commit cleanup, which is swallowed —
+/// stale files are invisible to the loader.
 Status SaveRepository(const VersionRepository& repo,
-                      const std::string& directory);
+                      const std::string& directory, Env* env = nullptr);
 
-/// Loads a repository persisted by SaveRepository.
-Result<VersionRepository> LoadRepository(const std::string& directory);
+/// Loads a repository persisted by SaveRepository, verifying every file
+/// against the MANIFEST checksums and self-healing where possible:
+/// corrupt current files fall back to the previous epoch if it
+/// survives; a corrupt delta quarantines itself and the (unreachable)
+/// older chain; `report` (optional) says what happened. Corruption is
+/// only declared for bytes that were read successfully but verify
+/// wrong — a transient IOError aborts the load untouched.
+Result<VersionRepository> LoadRepository(const std::string& directory,
+                                         Env* env = nullptr,
+                                         RecoveryReport* report = nullptr);
 
-/// Persists a standalone document with its XID bookkeeping (the
-/// `current.xml`/`current.meta` pair at an arbitrary path prefix). Used
-/// by the command-line tools to chain diffs across invocations.
+/// Persists a standalone document with its XID bookkeeping (an
+/// xml/meta pair at an arbitrary path prefix, no MANIFEST). Each file
+/// is written atomically. Used by the command-line tools to chain
+/// diffs across invocations.
 Status SaveDocumentWithXids(const XmlDocument& doc,
                             const std::string& xml_path,
-                            const std::string& meta_path);
+                            const std::string& meta_path, Env* env = nullptr);
 
 /// Loads a document persisted by SaveDocumentWithXids.
 Result<XmlDocument> LoadDocumentWithXids(const std::string& xml_path,
-                                         const std::string& meta_path);
+                                         const std::string& meta_path,
+                                         Env* env = nullptr);
 
 }  // namespace xydiff
 

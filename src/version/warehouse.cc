@@ -4,20 +4,39 @@
 #include <atomic>
 #include <cctype>
 #include <chrono>
-#include <filesystem>
-#include <fstream>
 #include <functional>
 #include <string_view>
 #include <thread>
 #include <unordered_set>
 
 #include "delta/delta_xml.h"
+#include "util/string_util.h"
 #include "version/storage.h"
 #include "xml/parser.h"
 
 namespace xydiff {
 
-namespace fs = std::filesystem;
+namespace {
+
+/// Runs `op` up to 1 + max_retries times, retrying only transient
+/// IOError with doubling backoff. Any other status (including
+/// Corruption) returns immediately — retrying cannot fix wrong bytes.
+Status RetryTransient(int max_retries, int backoff_ms,
+                      const std::function<Status()>& op, size_t* retries) {
+  Status status = op();
+  for (int attempt = 0;
+       !status.ok() && status.code() == StatusCode::kIOError &&
+       attempt < max_retries;
+       ++attempt) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(backoff_ms << attempt));
+    if (retries != nullptr) ++*retries;
+    status = op();
+  }
+  return status;
+}
+
+}  // namespace
 
 Status Warehouse::Subscribe(std::string id, std::string_view path_expression,
                             std::optional<ChangeKind> kind,
@@ -192,7 +211,9 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
   std::atomic<size_t> peak_in_flight{0};
   std::atomic<size_t> parse_items{0}, parse_failed{0};
   std::atomic<size_t> diff_items{0}, diff_failed{0};
-  std::atomic<size_t> store_items{0};
+  std::atomic<size_t> store_items{0}, store_failed{0}, store_retries{0};
+  std::atomic<size_t> degraded_slots{0};
+  std::atomic<bool> batch_failed{false};
   std::atomic<uint64_t> parse_stall_ns{0}, diff_stall_ns{0};
 
   const auto finish_item = [&](size_t) {
@@ -200,8 +221,11 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
     done_count.fetch_add(1, std::memory_order_acq_rel);
   };
 
-  // Stage 3: serialize the committed delta and account its size. Runs
-  // under the document lock only long enough to serialize.
+  // Stage 3: serialize the committed delta, account its size, and (when
+  // the batch persists) write the document's repository crash-safely.
+  // Transient I/O errors are retried with backoff; a slot whose
+  // persistence still fails is *degraded*, not failed — the in-memory
+  // ingest stands, and the report says the disk does not have it.
   const auto store_one = [&](size_t index) {
     store_items.fetch_add(1, std::memory_order_relaxed);
     IngestReport& report = *results[index];
@@ -212,6 +236,26 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
         Result<const Delta*> delta = doc->repo->DeltaFor(report.version - 1);
         if (delta.ok()) {
           report.delta_bytes = SerializeDelta(**delta).size();
+        }
+        if (!pipeline.save_directory.empty()) {
+          const Status saved = RetryTransient(
+              pipeline.max_io_retries, pipeline.retry_backoff_ms,
+              [&] {
+                return SaveRepository(*doc->repo,
+                                      pipeline.save_directory + "/" +
+                                          SanitizeUrl(report.url),
+                                      pipeline.env);
+              },
+              &report.store_retries);
+          if (!saved.ok()) {
+            report.store_degraded = true;
+            store_failed.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (report.store_retries > 0 || report.store_degraded) {
+            degraded_slots.fetch_add(1, std::memory_order_relaxed);
+          }
+          store_retries.fetch_add(report.store_retries,
+                                  std::memory_order_relaxed);
         }
       }
     }
@@ -244,6 +288,7 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
     results[item.index] = Ingest(jobs[item.index].url, std::move(item.doc));
     if (!results[item.index].ok()) {
       diff_failed.fetch_add(1, std::memory_order_relaxed);
+      batch_failed.store(true, std::memory_order_release);
       finish_item(item.index);
       return;
     }
@@ -283,6 +328,7 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
     Result<XmlDocument> doc = ParseXml(jobs[index].xml);
     if (!doc.ok()) {
       parse_failed.fetch_add(1, std::memory_order_relaxed);
+      batch_failed.store(true, std::memory_order_release);
       results[index] = Status::ParseError("cannot parse " + jobs[index].url +
                                           ": " + doc.status().message());
       finish_item(index);
@@ -317,6 +363,15 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
         if (!results[i].ok() &&
             results[i].status().code() == StatusCode::kInvalidArgument) {
           continue;  // Pre-flagged duplicate.
+        }
+        if (pipeline.fail_fast &&
+            batch_failed.load(std::memory_order_acquire)) {
+          // Not a failure of this slot's own making: Aborted, so callers
+          // can tell "skipped by fail-fast" from real errors.
+          results[i] = Status::Aborted("slot skipped: fail-fast after an "
+                                       "earlier slot failed");
+          done_count.fetch_add(1, std::memory_order_acq_rel);
+          continue;
         }
         parse_one(i);
         continue;
@@ -353,9 +408,12 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
     StageStats store_stage;
     store_stage.name = "store";
     store_stage.items = store_items.load();
+    store_stage.failed = store_failed.load();
+    store_stage.retries = store_retries.load();
     store_stage.peak_queue_depth = store_queue.peak_depth();
     stats->stages = {parse_stage, diff_stage, store_stage};
     stats->peak_in_flight = peak_in_flight.load();
+    stats->degraded_slots = degraded_slots.load();
     stats->wall_seconds =
         std::chrono::duration<double>(Clock::now() - batch_start).count();
   }
@@ -436,41 +494,39 @@ std::string Warehouse::SanitizeUrl(const std::string& url) {
   return out.empty() ? "_" : out;
 }
 
-Status Warehouse::Save(const std::string& directory) const {
-  std::error_code ec;
-  fs::create_directories(directory, ec);
-  if (ec) {
-    return Status::NotFound("cannot create " + directory + ": " +
-                            ec.message());
-  }
+Status Warehouse::Save(const std::string& directory, Env* env) const {
+  if (env == nullptr) env = Env::Default();
+  XYDIFF_RETURN_IF_ERROR(env->CreateDirs(directory));
   std::string manifest;
   for (const auto& [url, doc] : SnapshotSlots()) {
     MutexLock doc_lock(doc->mutex);
     if (doc->repo == nullptr) continue;  // Slot created, never committed.
     const std::string sub = directory + "/" + SanitizeUrl(url);
-    XYDIFF_RETURN_IF_ERROR(SaveRepository(*doc->repo, sub));
+    XYDIFF_RETURN_IF_ERROR(SaveRepository(*doc->repo, sub, env));
     manifest += SanitizeUrl(url) + "\t" + url + "\n";
   }
-  std::ofstream out(directory + "/manifest.tsv",
-                    std::ios::binary | std::ios::trunc);
-  if (!out) return Status::NotFound("cannot write manifest");
-  out << manifest;
-  return Status::OK();
+  return env->WriteFileAtomic(directory + "/manifest.tsv", manifest);
 }
 
 Result<std::unique_ptr<Warehouse>> Warehouse::Load(
     const std::string& directory, DiffOptions options,
-    std::vector<std::string>* skipped) {
-  std::ifstream in(directory + "/manifest.tsv", std::ios::binary);
-  if (!in) return Status::NotFound("no warehouse manifest in " + directory);
+    std::vector<std::string>* skipped, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  Result<std::string> manifest = env->ReadFile(directory + "/manifest.tsv");
+  if (!manifest.ok()) {
+    if (manifest.status().code() == StatusCode::kNotFound) {
+      return Status::NotFound("no warehouse manifest in " + directory);
+    }
+    return manifest.status();
+  }
   auto warehouse = std::make_unique<Warehouse>(options);
-  std::string line;
-  while (std::getline(in, line)) {
+  for (std::string_view line : SplitLines(*manifest)) {
     const size_t tab = line.find('\t');
-    if (tab == std::string::npos) continue;
-    const std::string sub = line.substr(0, tab);
-    const std::string url = line.substr(tab + 1);
-    Result<VersionRepository> repo = LoadRepository(directory + "/" + sub);
+    if (tab == std::string_view::npos) continue;
+    const std::string sub(line.substr(0, tab));
+    const std::string url(line.substr(tab + 1));
+    Result<VersionRepository> repo =
+        LoadRepository(directory + "/" + sub, env);
     if (!repo.ok()) {
       // A malformed stored document loses only itself, never the batch:
       // record the error and keep loading the healthy documents.

@@ -13,6 +13,7 @@
 #include "monitor/index.h"
 #include "monitor/subscription.h"
 #include "util/annotations.h"
+#include "util/env.h"
 #include "util/mutex.h"
 #include "util/thread_pool.h"
 #include "version/repository.h"
@@ -48,6 +49,10 @@ class Warehouse {
     bool first_version = false;
     size_t operations = 0;    ///< Delta operations (0 for first versions).
     size_t delta_bytes = 0;   ///< Serialized delta size (DiffBatch only).
+    size_t store_retries = 0; ///< Transient-I/O retries spent persisting.
+    bool store_degraded = false;  ///< Persistence gave up after retries:
+                                  ///< the in-memory ingest succeeded but
+                                  ///< this slot is not on disk.
     std::vector<Alert> alerts;
   };
 
@@ -65,6 +70,24 @@ class Warehouse {
     /// threads + 2*queue_capacity documents materialized at once);
     /// large absorbs stage-speed jitter.
     size_t queue_capacity = 8;
+    /// When non-empty, the store stage persists each updated document's
+    /// repository under `save_directory/<sanitized url>/` (crash-safe,
+    /// see version/storage.h), so a crawler batch survives a crash.
+    std::string save_directory;
+    /// Env for store-stage persistence; nullptr means Env::Default().
+    Env* env = nullptr;
+    /// Transient I/O errors (Status kIOError: EIO, ENOSPC...) during
+    /// persistence are retried up to this many times with doubling
+    /// backoff before the slot is marked degraded. Corruption and other
+    /// non-transient errors are never retried.
+    int max_io_retries = 3;
+    /// First retry backoff; doubles per attempt. Kept tiny so tests can
+    /// exercise the path without slowing a healthy batch.
+    int retry_backoff_ms = 1;
+    /// Stop admitting new slots after the first failed slot; the
+    /// not-yet-started remainder comes back as Status kAborted. Slots
+    /// already in flight still finish (their documents stay consistent).
+    bool fail_fast = false;
   };
 
   explicit Warehouse(DiffOptions options = {}) : options_(options) {}
@@ -127,19 +150,22 @@ class Warehouse {
   std::string StatsReport(size_t limit = 10) const;
 
   /// Persists every document's repository under `directory/<sanitized
-  /// url>/`. Subscriptions, statistics and the index are derived state
-  /// and are rebuilt on load.
-  Status Save(const std::string& directory) const;
+  /// url>/` (each crash-safe, see version/storage.h). Subscriptions,
+  /// statistics and the index are derived state and are rebuilt on load.
+  /// All I/O goes through `env` (nullptr means Env::Default()).
+  Status Save(const std::string& directory, Env* env = nullptr) const;
 
   /// Loads a warehouse persisted by Save. Subscriptions must be
   /// re-registered by the caller; the full-text index is rebuilt.
-  /// A corrupt per-document repository does not kill the load: the
-  /// document is skipped and its error recorded in `skipped` (when
-  /// non-null), so one truncated file cannot take down the warehouse.
+  /// A corrupt per-document repository does not kill the load: each
+  /// repository self-heals where it can (quarantining corrupt tails —
+  /// see LoadRepository), and one that is beyond recovery is skipped
+  /// with its error recorded in `skipped` (when non-null), so one
+  /// truncated file cannot take down the warehouse.
   /// (Returned by pointer: the warehouse owns mutexes and cannot move.)
   static Result<std::unique_ptr<Warehouse>> Load(
       const std::string& directory, DiffOptions options = {},
-      std::vector<std::string>* skipped = nullptr);
+      std::vector<std::string>* skipped = nullptr, Env* env = nullptr);
 
  private:
   struct Document {

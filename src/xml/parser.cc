@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <fstream>
 #include <sstream>
 #include <string>
 #include <unordered_map>
 
+#include "util/env.h"
 #include "util/string_util.h"
 
 namespace xydiff {
@@ -667,15 +667,9 @@ Result<XmlDocument> ParseXml(std::string_view text,
 
 Result<XmlDocument> ParseXmlFile(const std::string& path,
                                  const ParseOptions& options) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open file: " + path);
-  in.seekg(0, std::ios::end);
-  const std::streamsize size = in.tellg();
-  if (size < 0) return Status::NotFound("cannot read file: " + path);
-  in.seekg(0, std::ios::beg);
-  std::string content(static_cast<size_t>(size), '\0');
-  in.read(content.data(), size);
-  return ParseXml(content, options);
+  Result<std::string> content = Env::Default()->ReadFile(path);
+  if (!content.ok()) return content.status();
+  return ParseXml(*content, options);
 }
 
 }  // namespace xydiff

@@ -1,0 +1,363 @@
+// Crash-consistency sweep for the versioned store (DESIGN.md §3.12).
+//
+// The contract under test: SaveRepository through any Env is atomic —
+// whatever single operation fails (EIO), crashes the process, or tears
+// mid-write, reopening the directory yields either the pre-save or the
+// post-save repository, bit-exactly (XIDs included), never a hybrid.
+//
+// The sweep is exhaustive, not sampled: every operation index is tried
+// until a run completes without its fault triggering (meaning the index
+// walked off the end of the protocol), and torn writes additionally
+// sweep byte offsets. FaultInjectionEnv rolls un-synced data back the
+// way a machine reset would, so the reopened state is what a real crash
+// would have left on disk.
+
+#include "util/fault_env.h"
+
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "simulator/change_simulator.h"
+#include "simulator/doc_generator.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+#include "version/storage.h"
+#include "version/warehouse.h"
+#include "xml/serializer.h"
+
+namespace xydiff {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("xydiff_fault_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Dir() const { return dir_.string(); }
+
+  fs::path dir_;
+};
+
+/// The full byte-exact identity of a repository: every version,
+/// serialized with XIDs. Two repositories with equal signatures are
+/// indistinguishable to every consumer.
+std::vector<std::string> Signature(const VersionRepository& repo) {
+  std::vector<std::string> out;
+  SerializeOptions options;
+  options.emit_xids = true;
+  for (int v = 1; v <= repo.version_count(); ++v) {
+    Result<XmlDocument> doc = repo.Checkout(v);
+    EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+    out.push_back(doc.ok() ? SerializeDocument(*doc, options)
+                           : std::string());
+  }
+  return out;
+}
+
+VersionRepository MakeRepo(uint64_t seed, int extra_versions) {
+  Rng rng(seed);
+  DocGenOptions gen;
+  gen.target_bytes = 512;
+  VersionRepository repo(GenerateDocument(&rng, gen));
+  for (int v = 0; v < extra_versions; ++v) {
+    Result<SimulatedChange> change =
+        SimulateChanges(repo.current(), ChangeSimOptions{}, &rng);
+    EXPECT_TRUE(change.ok());
+    EXPECT_TRUE(repo.Commit(std::move(change->new_version)).ok());
+  }
+  return repo;
+}
+
+/// One crash-point probe: commit `before` durably, arm `plan`, attempt
+/// to save `after`, crash, reopen, and require the reopened store to be
+/// bit-exactly `before` or `after`. Returns false once the armed fault
+/// no longer triggers (the sweep is past the end of the protocol).
+bool ProbeCrashPoint(const std::string& dir, const VersionRepository& before,
+                     const VersionRepository& after,
+                     const std::vector<std::string>& sig_before,
+                     const std::vector<std::string>& sig_after,
+                     const std::function<void(FaultInjectionEnv&)>& plan) {
+  fs::remove_all(dir);
+  FaultInjectionEnv env;
+  XY_EXPECT_OK(SaveRepository(before, dir, &env));
+  env.Reset();  // Disk state stands; forget counters and durable images.
+
+  plan(env);
+  const Status saved = SaveRepository(after, dir, &env);
+  const bool triggered = env.triggered();
+  XY_EXPECT_OK(env.DropUnsyncedData());
+
+  RecoveryReport report;
+  Result<VersionRepository> reopened =
+      LoadRepository(dir, nullptr, &report);
+  EXPECT_TRUE(reopened.ok())
+      << reopened.status().ToString() << "\n" << report.ToString();
+  if (reopened.ok()) {
+    const std::vector<std::string> sig = Signature(*reopened);
+    EXPECT_TRUE(sig == sig_before || sig == sig_after)
+        << "reopened store is a hybrid: " << sig.size() << " version(s), "
+        << report.ToString();
+    if (saved.ok()) {
+      // SaveRepository reported success — whether because no fault
+      // fired or because the fault only hit the best-effort post-commit
+      // cleanup — so the new state is committed and must read back.
+      EXPECT_TRUE(sig == sig_after) << report.ToString();
+    }
+  }
+  return triggered;
+}
+
+TEST_F(FaultInjectionTest, CrashAtEveryOperationYieldsOldOrNew) {
+  const VersionRepository before = MakeRepo(21, 2);
+  VersionRepository after = MakeRepo(21, 2);
+  {
+    Rng rng(99);
+    Result<SimulatedChange> change =
+        SimulateChanges(after.current(), ChangeSimOptions{}, &rng);
+    ASSERT_TRUE(change.ok());
+    ASSERT_TRUE(after.Commit(std::move(change->new_version)).ok());
+  }
+  const std::vector<std::string> sig_before = Signature(before);
+  const std::vector<std::string> sig_after = Signature(after);
+  ASSERT_NE(sig_before, sig_after);
+
+  int op = 0;
+  for (; op < 10000; ++op) {
+    if (!ProbeCrashPoint(Dir(), before, after, sig_before, sig_after,
+                         [op](FaultInjectionEnv& env) { env.CrashAt(op); })) {
+      break;
+    }
+  }
+  // The sweep must have covered a real protocol (several ops) and
+  // terminated by walking off its end, not by exhausting the loop.
+  EXPECT_GT(op, 3);
+  EXPECT_LT(op, 10000);
+}
+
+TEST_F(FaultInjectionTest, TornWriteAtEveryOffsetYieldsOldOrNew) {
+  const VersionRepository before = MakeRepo(22, 1);
+  VersionRepository after = MakeRepo(22, 1);
+  {
+    Rng rng(100);
+    Result<SimulatedChange> change =
+        SimulateChanges(after.current(), ChangeSimOptions{}, &rng);
+    ASSERT_TRUE(change.ok());
+    ASSERT_TRUE(after.Commit(std::move(change->new_version)).ok());
+  }
+  const std::vector<std::string> sig_before = Signature(before);
+  const std::vector<std::string> sig_after = Signature(after);
+  ASSERT_NE(sig_before, sig_after);
+
+  // Every op index; at each, three tear offsets (nothing lands, one
+  // byte lands, half the payload lands). Non-write ops degrade to a
+  // plain crash, so the sweep stays exhaustive over op indices.
+  for (const size_t keep : {size_t{0}, size_t{1}, size_t{4096}}) {
+    int op = 0;
+    for (; op < 10000; ++op) {
+      if (!ProbeCrashPoint(
+              Dir(), before, after, sig_before, sig_after,
+              [op, keep](FaultInjectionEnv& env) {
+                env.TearWriteAt(op, keep);
+              })) {
+        break;
+      }
+    }
+    EXPECT_GT(op, 3) << "keep=" << keep;
+    EXPECT_LT(op, 10000) << "keep=" << keep;
+  }
+}
+
+TEST_F(FaultInjectionTest, TransientErrorAtEveryOperationIsRecoverable) {
+  const VersionRepository before = MakeRepo(23, 1);
+  VersionRepository after = MakeRepo(23, 1);
+  {
+    Rng rng(101);
+    Result<SimulatedChange> change =
+        SimulateChanges(after.current(), ChangeSimOptions{}, &rng);
+    ASSERT_TRUE(change.ok());
+    ASSERT_TRUE(after.Commit(std::move(change->new_version)).ok());
+  }
+  const std::vector<std::string> sig_before = Signature(before);
+  const std::vector<std::string> sig_after = Signature(after);
+
+  for (int op = 0; op < 10000; ++op) {
+    fs::remove_all(dir_);
+    FaultInjectionEnv env;
+    XY_ASSERT_OK(SaveRepository(before, Dir(), &env));
+    env.Reset();
+    env.InjectErrorAt(op);
+    const Status saved = SaveRepository(after, Dir(), &env);
+    if (!env.triggered()) {
+      XY_EXPECT_OK(saved);
+      break;
+    }
+    // A transient error is not a crash: nothing is lost, and simply
+    // retrying the save must succeed and commit the new state.
+    env.Reset();
+    XY_ASSERT_OK(SaveRepository(after, Dir(), &env));
+    RecoveryReport report;
+    Result<VersionRepository> reopened =
+        LoadRepository(Dir(), nullptr, &report);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_TRUE(Signature(*reopened) == sig_after)
+        << "after retry at op " << op << ": " << report.ToString();
+  }
+}
+
+TEST_F(FaultInjectionTest, CrashDuringSaveNeverLosesCommittedHistory) {
+  // Chain growth across several save/load/diff cycles with a crash in
+  // the middle of each save: versions committed by a *previous*
+  // successful save survive every later crash.
+  VersionRepository repo = MakeRepo(24, 0);
+  Rng rng(102);
+  std::vector<std::string> durable_sig;  // Signature of last durable save.
+  for (int round = 0; round < 4; ++round) {
+    Result<SimulatedChange> change =
+        SimulateChanges(repo.current(), ChangeSimOptions{}, &rng);
+    ASSERT_TRUE(change.ok());
+    ASSERT_TRUE(repo.Commit(std::move(change->new_version)).ok());
+
+    FaultInjectionEnv env;
+    env.CrashAt(3 + round);  // A different mid-protocol point each round.
+    const Status saved = SaveRepository(repo, Dir(), &env);
+    XY_EXPECT_OK(env.DropUnsyncedData());
+
+    RecoveryReport report;
+    Result<VersionRepository> reopened =
+        LoadRepository(Dir(), nullptr, &report);
+    if (round == 0 && !saved.ok()) {
+      // Nothing durable yet: an empty directory (NotFound) is the only
+      // acceptable "old" state.
+      if (!reopened.ok()) {
+        EXPECT_EQ(reopened.status().code(), StatusCode::kNotFound);
+      }
+    } else if (!durable_sig.empty()) {
+      ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+      const std::vector<std::string> sig = Signature(*reopened);
+      EXPECT_TRUE(sig == durable_sig || sig == Signature(repo))
+          << "round " << round << ": " << report.ToString();
+    }
+
+    // Heal: complete the save for real, then verify a clean round trip.
+    env.Reset();
+    XY_ASSERT_OK(SaveRepository(repo, Dir(), &env));
+    Result<VersionRepository> loaded = LoadRepository(Dir());
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    durable_sig = Signature(*loaded);
+    EXPECT_TRUE(durable_sig == Signature(repo)) << "round " << round;
+  }
+}
+
+TEST_F(FaultInjectionTest, DiffBatchRetriesTransientStoreErrors) {
+  FaultInjectionEnv env;
+  // The first two env operations fail: the store stage's first
+  // persistence attempt dies, the bounded retry then succeeds.
+  env.InjectErrorAt(0, 2);
+
+  Warehouse warehouse;
+  ASSERT_TRUE(
+      warehouse.Ingest("doc", MustParse("<d><t>one</t></d>")).ok());
+
+  Warehouse::PipelineOptions pipeline;
+  pipeline.threads = 1;
+  pipeline.save_directory = Dir();
+  pipeline.env = &env;
+  pipeline.max_io_retries = 3;
+  pipeline.retry_backoff_ms = 1;
+
+  std::vector<Warehouse::DiffJob> jobs;
+  jobs.push_back({"doc", "<d><t>two</t></d>"});
+  PipelineStats stats;
+  const auto results =
+      warehouse.DiffBatch(std::move(jobs), pipeline, &stats);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
+  EXPECT_FALSE(results[0]->store_degraded);
+  EXPECT_GE(results[0]->store_retries, 1u);
+  ASSERT_EQ(stats.stages.size(), 3u);
+  EXPECT_GE(stats.stages[2].retries, 1u);
+  EXPECT_EQ(stats.stages[2].failed, 0u);
+  EXPECT_EQ(stats.degraded_slots, 1u);  // Degraded = needed retries.
+
+  // The persisted store is loadable and current.
+  RecoveryReport report;
+  Result<VersionRepository> reopened =
+      LoadRepository(Dir() + "/doc", nullptr, &report);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE(report.clean) << report.ToString();
+  EXPECT_EQ(reopened->version_count(), 2);
+}
+
+TEST_F(FaultInjectionTest, DiffBatchMarksSlotDegradedWhenRetriesExhaust) {
+  FaultInjectionEnv env;
+  env.InjectErrorAt(0, 1000);  // Persistence can never succeed.
+
+  Warehouse warehouse;
+  ASSERT_TRUE(
+      warehouse.Ingest("doc", MustParse("<d><t>one</t></d>")).ok());
+
+  Warehouse::PipelineOptions pipeline;
+  pipeline.threads = 1;
+  pipeline.save_directory = Dir();
+  pipeline.env = &env;
+  pipeline.max_io_retries = 2;
+  pipeline.retry_backoff_ms = 1;
+
+  std::vector<Warehouse::DiffJob> jobs;
+  jobs.push_back({"doc", "<d><t>two</t></d>"});
+  PipelineStats stats;
+  const auto results =
+      warehouse.DiffBatch(std::move(jobs), pipeline, &stats);
+  ASSERT_EQ(results.size(), 1u);
+  // The in-memory ingest stands — degradation is loud but not fatal.
+  ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
+  EXPECT_TRUE(results[0]->store_degraded);
+  EXPECT_EQ(results[0]->store_retries, 2u);
+  EXPECT_EQ(warehouse.version_count("doc"), 2);
+  EXPECT_EQ(stats.degraded_slots, 1u);
+  ASSERT_EQ(stats.stages.size(), 3u);
+  EXPECT_EQ(stats.stages[2].failed, 1u);
+}
+
+TEST_F(FaultInjectionTest, FailFastAbortsRemainingSlots) {
+  Warehouse warehouse;
+  Warehouse::PipelineOptions pipeline;
+  pipeline.threads = 1;  // Deterministic slot order.
+  pipeline.fail_fast = true;
+
+  std::vector<Warehouse::DiffJob> jobs;
+  jobs.push_back({"bad", "<broken"});
+  jobs.push_back({"good1", "<d/>"});
+  jobs.push_back({"good2", "<d/>"});
+  const auto results = warehouse.DiffBatch(std::move(jobs), pipeline);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].status().code(), StatusCode::kParseError);
+  EXPECT_EQ(results[1].status().code(), StatusCode::kAborted);
+  EXPECT_EQ(results[2].status().code(), StatusCode::kAborted);
+}
+
+TEST_F(FaultInjectionTest, WriteFileShortFailureIsIOErrorNotCorruption) {
+  // Satellite regression: a failed in-place write is an I/O failure
+  // (possibly transient — ENOSPC), never "Corruption", which is
+  // reserved for bytes read back wrong. /proc/self/mem rejects writes
+  // at offset 0, giving a real short-write errno path.
+  Env* env = Env::Default();
+  const Status s = env->WriteFile("/proc/self/mem", "x");
+  if (!s.ok()) {  // Sandboxes differ; only the classification matters.
+    EXPECT_NE(s.code(), StatusCode::kCorruption) << s.ToString();
+    EXPECT_NE(s.message().find("errno"), std::string::npos) << s.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace xydiff

@@ -144,6 +144,171 @@ TEST_F(StorageTest, CorruptMetaRejected) {
   EXPECT_FALSE(loaded.ok());
 }
 
+// --- recovery from out-of-band damage ---------------------------------
+// These tests vandalize stored files directly (not through an Env):
+// bit rot and truncation by other processes is exactly the damage the
+// MANIFEST checksums exist to catch.
+
+VersionRepository MakeRepo(uint64_t seed, int extra_versions) {
+  Rng rng(seed);
+  DocGenOptions gen;
+  gen.target_bytes = 1024;
+  VersionRepository repo(GenerateDocument(&rng, gen));
+  for (int v = 0; v < extra_versions; ++v) {
+    Result<SimulatedChange> change =
+        SimulateChanges(repo.current(), ChangeSimOptions{}, &rng);
+    EXPECT_TRUE(change.ok());
+    EXPECT_TRUE(repo.Commit(std::move(change->new_version)).ok());
+  }
+  return repo;
+}
+
+void FlipByte(const std::string& path) {
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = buffer.str();
+  }
+  ASSERT_FALSE(bytes.empty());
+  bytes[bytes.size() / 2] ^= 0x40;  // Same size, different CRC.
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+TEST_F(StorageTest, BitFlippedDeltaQuarantinesUnreachableChain) {
+  VersionRepository repo = MakeRepo(7, 4);  // 5 versions, 4 deltas.
+  XY_ASSERT_OK(SaveRepository(repo, Dir()));
+  // delta.000002.xml transforms version 2 -> 3; corrupting it makes
+  // versions 1 and 2 unreachable (reconstruction walks backward).
+  FlipByte(Dir() + "/delta.000002.xml");
+
+  RecoveryReport report;
+  Result<VersionRepository> loaded = LoadRepository(Dir(), nullptr, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(report.clean);
+  EXPECT_TRUE(report.manifest_valid);
+  EXPECT_EQ(report.dropped_deltas, 2u);
+  EXPECT_EQ(report.recovered_version_count, 3);
+  ASSERT_EQ(report.quarantined.size(), 2u) << report.ToString();
+  EXPECT_TRUE(fs::exists(dir_ / "quarantine" / "delta.000001.xml"));
+  EXPECT_TRUE(fs::exists(dir_ / "quarantine" / "delta.000002.xml"));
+
+  // The surviving suffix reloads byte-identically (XIDs included):
+  // loaded version k is original version k + 2.
+  EXPECT_EQ(loaded->version_count(), 3);
+  for (int v = 1; v <= 3; ++v) {
+    Result<XmlDocument> original = repo.Checkout(v + 2);
+    Result<XmlDocument> recovered = loaded->Checkout(v);
+    ASSERT_TRUE(original.ok());
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_TRUE(DocsEqualWithXids(*original, *recovered)) << "version " << v;
+  }
+
+  // A reload of the healed store sees the quarantined deltas as simply
+  // missing from the manifest-listed set and reports them again — the
+  // store is degraded but stable, never a hybrid.
+  Result<VersionRepository> again = LoadRepository(Dir());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_TRUE(DocsEqualWithXids(again->current(), repo.current()));
+}
+
+TEST_F(StorageTest, TruncatedDeltaQuarantinesUnreachableChain) {
+  VersionRepository repo = MakeRepo(8, 3);  // 4 versions, 3 deltas.
+  XY_ASSERT_OK(SaveRepository(repo, Dir()));
+  {
+    // Keep a syntactically broken prefix, as a torn write would.
+    std::ofstream out(Dir() + "/delta.000001.xml",
+                      std::ios::binary | std::ios::trunc);
+    out << "<delta";
+  }
+
+  RecoveryReport report;
+  Result<VersionRepository> loaded = LoadRepository(Dir(), nullptr, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(report.clean);
+  EXPECT_EQ(report.dropped_deltas, 1u);
+  EXPECT_EQ(loaded->version_count(), 3);
+  EXPECT_TRUE(fs::exists(dir_ / "quarantine" / "delta.000001.xml"));
+  EXPECT_TRUE(DocsEqualWithXids(loaded->current(), repo.current()));
+  for (int v = 1; v <= 3; ++v) {
+    Result<XmlDocument> original = repo.Checkout(v + 1);
+    Result<XmlDocument> recovered = loaded->Checkout(v);
+    ASSERT_TRUE(original.ok());
+    ASSERT_TRUE(recovered.ok());
+    EXPECT_TRUE(DocsEqualWithXids(*original, *recovered)) << "version " << v;
+  }
+}
+
+TEST_F(StorageTest, BitFlippedCurrentMetaQuarantinedAndReported) {
+  VersionRepository repo = MakeRepo(9, 2);
+  XY_ASSERT_OK(SaveRepository(repo, Dir()));
+  FlipByte(Dir() + "/current.000001.meta");
+
+  RecoveryReport report;
+  Result<VersionRepository> loaded = LoadRepository(Dir(), nullptr, &report);
+  // No surviving fallback epoch: the newest version is genuinely gone,
+  // and the loader must say so rather than fabricate one.
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  EXPECT_FALSE(report.clean);
+  EXPECT_TRUE(report.manifest_valid);
+  ASSERT_EQ(report.quarantined.size(), 1u) << report.ToString();
+  EXPECT_EQ(report.quarantined[0], "current.000001.meta");
+  EXPECT_TRUE(fs::exists(dir_ / "quarantine" / "current.000001.meta"));
+  EXPECT_FALSE(report.notes.empty());
+}
+
+TEST_F(StorageTest, TruncatedCurrentXmlQuarantinedAndReported) {
+  VersionRepository repo = MakeRepo(10, 1);
+  XY_ASSERT_OK(SaveRepository(repo, Dir()));
+  XY_ASSERT_OK(SaveRepository(repo, Dir()));  // Second epoch, same chain.
+  {
+    std::ofstream out(Dir() + "/current.000002.xml",
+                      std::ios::binary | std::ios::trunc);
+    out << "<r";
+  }
+
+  RecoveryReport report;
+  Result<VersionRepository> loaded = LoadRepository(Dir(), nullptr, &report);
+  // The previous epoch's files were cleaned up after the second commit,
+  // so there is no fallback; the report still pins down what was lost.
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  ASSERT_EQ(report.quarantined.size(), 1u) << report.ToString();
+  EXPECT_EQ(report.quarantined[0], "current.000002.xml");
+  EXPECT_TRUE(fs::exists(dir_ / "quarantine" / "current.000002.xml"));
+}
+
+TEST_F(StorageTest, CorruptManifestSalvagesNewestEpoch) {
+  VersionRepository repo = MakeRepo(11, 2);
+  XY_ASSERT_OK(SaveRepository(repo, Dir()));
+  FlipByte(Dir() + "/MANIFEST");
+
+  RecoveryReport report;
+  Result<VersionRepository> loaded = LoadRepository(Dir(), nullptr, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(report.manifest_valid);
+  EXPECT_FALSE(report.clean);
+  EXPECT_EQ(loaded->version_count(), repo.version_count());
+  EXPECT_TRUE(DocsEqualWithXids(loaded->current(), repo.current()));
+  EXPECT_TRUE(fs::exists(dir_ / "quarantine" / "MANIFEST"));
+}
+
+TEST_F(StorageTest, CleanLoadReportsClean) {
+  VersionRepository repo = MakeRepo(12, 2);
+  XY_ASSERT_OK(SaveRepository(repo, Dir()));
+  RecoveryReport report;
+  Result<VersionRepository> loaded = LoadRepository(Dir(), nullptr, &report);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(report.clean);
+  EXPECT_TRUE(report.manifest_valid);
+  EXPECT_FALSE(report.used_fallback);
+  EXPECT_EQ(report.dropped_deltas, 0u);
+  EXPECT_TRUE(report.quarantined.empty());
+  EXPECT_EQ(report.recovered_version_count, repo.version_count());
+}
+
 TEST_F(StorageTest, MetaTreeSizeMismatchRejected) {
   fs::create_directories(dir_);
   XmlDocument doc = MustParse("<r><a/></r>");

@@ -202,14 +202,17 @@ TEST(BoundedQueueTest, ManyProducersManyConsumersLoseNothing) {
 
 TEST(PipelineStatsTest, ToStringListsEveryStage) {
   PipelineStats stats;
-  stats.stages.push_back({"parse", 100, 2, 7, 0.25});
-  stats.stages.push_back({"diff", 98, 0, 3, 0.0});
+  stats.stages.push_back({"parse", 100, 2, 0, 7, 0.25});
+  stats.stages.push_back({"diff", 98, 0, 5, 3, 0.0});
   stats.peak_in_flight = 12;
+  stats.degraded_slots = 4;
   stats.wall_seconds = 1.5;
   const std::string text = stats.ToString();
   EXPECT_NE(text.find("parse"), std::string::npos);
   EXPECT_NE(text.find("diff"), std::string::npos);
   EXPECT_NE(text.find("100"), std::string::npos);
+  EXPECT_NE(text.find("retries"), std::string::npos);
+  EXPECT_NE(text.find("degraded slots 4"), std::string::npos);
 }
 
 }  // namespace

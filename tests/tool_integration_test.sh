@@ -66,6 +66,16 @@ then
 fi
 grep -q "doc-c: v2" batch2_out.txt
 grep -q "doc-d" batch2_err.txt
+grep -q "failed slots" batch2_err.txt
+# --fail-fast stops admitting slots once one has failed; with a single
+# worker the bad first slot deterministically aborts the rest.
+printf 'bad.xml\tnew.xml\tdoc-e\nold.xml\tnew.xml\tdoc-f\n' > manifest3.tsv
+if "$TOOL" batch manifest3.tsv --threads 1 --fail-fast \
+    > batch3_out.txt 2> batch3_err.txt
+then
+  echo "expected a nonzero exit under --fail-fast"; exit 1
+fi
+grep -q "skipped by --fail-fast" batch3_err.txt
 
 echo "-- error handling"
 if "$TOOL" patch new.xml delta.xml -o /dev/null 2> err.txt; then

@@ -204,15 +204,23 @@ TEST(WarehouseTest, LoadSkipsTruncatedDocument) {
           .ok());
   XY_ASSERT_OK(warehouse.Save(dir.string()));
 
-  // Truncate the bad document's current.xml mid-tag, as a crash or a
-  // full disk would.
+  // Truncate the bad document's current file mid-tag, as out-of-band
+  // damage (a bad disk, an overeager cleanup script) would. The store's
+  // own crash-safe save can no longer produce this state by itself.
   fs::path bad_xml;
   for (const auto& entry : fs::directory_iterator(dir)) {
-    if (entry.path().filename().string().find("bad") != std::string::npos) {
-      bad_xml = entry.path() / "current.xml";
+    if (entry.path().filename().string().find("bad") == std::string::npos) {
+      continue;
+    }
+    for (const auto& file : fs::directory_iterator(entry.path())) {
+      const std::string name = file.path().filename().string();
+      if (name.rfind("current.", 0) == 0 &&
+          name.size() > 4 && name.compare(name.size() - 4, 4, ".xml") == 0) {
+        bad_xml = file.path();
+      }
     }
   }
-  ASSERT_FALSE(bad_xml.empty()) << "stored directory for http://x/bad";
+  ASSERT_FALSE(bad_xml.empty()) << "stored current file for http://x/bad";
   {
     std::ofstream out(bad_xml, std::ios::trunc);
     out << "<d><t>doo";

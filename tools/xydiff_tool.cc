@@ -24,7 +24,6 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
-#include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -38,7 +37,9 @@
 #include "delta/invert.h"
 #include "delta/summary.h"
 #include "delta/validate.h"
+#include "util/env.h"
 #include "util/status.h"
+#include "util/string_util.h"
 #include "util/thread_pool.h"
 #include "version/storage.h"
 #include "version/warehouse.h"
@@ -103,10 +104,9 @@ Status WriteOutput(const std::optional<std::string>& path,
     std::fwrite(content.data(), 1, content.size(), stdout);
     return Status::OK();
   }
-  std::ofstream out(*path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::NotFound("cannot write " + *path);
-  out << content;
-  return Status::OK();
+  // Plain (non-atomic) write: -o may name a device like /dev/null, which
+  // cannot be renamed onto. Repository persistence stays atomic.
+  return Env::Default()->WriteFile(*path, content);
 }
 
 /// Loads a document; with `meta` its persisted XIDs, else first-version
@@ -121,11 +121,9 @@ Result<XmlDocument> LoadVersion(const std::string& xml_path,
 }
 
 Result<Delta> LoadDelta(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return ParseDelta(buffer.str());
+  Result<std::string> text = Env::Default()->ReadFile(path);
+  if (!text.ok()) return text.status();
+  return ParseDelta(*text);
 }
 
 void PrintDeltaStats(const Delta& delta) {
@@ -303,42 +301,35 @@ int CmdBatch(const Args& args) {
   if (args.positional().size() != 1) {
     std::fprintf(stderr,
                  "usage: xydiff_tool batch MANIFEST.tsv [-o WAREHOUSE_DIR]"
-                 " [--threads N] [--queue N] [--stats]\n"
+                 " [--threads N] [--queue N] [--stats] [--fail-fast]\n"
                  "manifest line: OLD.xml<TAB>NEW.xml[<TAB>URL]\n");
     return 2;
   }
-  std::ifstream manifest(args.positional()[0]);
-  if (!manifest) {
-    return Fail(Status::NotFound("cannot open " + args.positional()[0]));
-  }
-  const auto read_file = [](const std::string& path) -> Result<std::string> {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) return Status::NotFound("cannot open " + path);
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    return buffer.str();
-  };
+  Result<std::string> manifest =
+      Env::Default()->ReadFile(args.positional()[0]);
+  if (!manifest.ok()) return Fail(manifest.status());
 
   std::vector<Warehouse::DiffJob> olds;
   std::vector<Warehouse::DiffJob> news;
-  std::string line;
-  while (std::getline(manifest, line)) {
+  for (std::string_view line : SplitLines(*manifest)) {
     if (line.empty()) continue;
     const size_t tab1 = line.find('\t');
-    if (tab1 == std::string::npos) {
+    if (tab1 == std::string_view::npos) {
       return Fail(Status::InvalidArgument("manifest line without tab: " +
-                                          line));
+                                          std::string(line)));
     }
     const size_t tab2 = line.find('\t', tab1 + 1);
-    const std::string old_path = line.substr(0, tab1);
-    const std::string new_path =
-        line.substr(tab1 + 1, tab2 == std::string::npos ? std::string::npos
-                                                        : tab2 - tab1 - 1);
-    const std::string url =
-        tab2 == std::string::npos ? old_path : line.substr(tab2 + 1);
-    Result<std::string> old_xml = read_file(old_path);
+    const std::string old_path(line.substr(0, tab1));
+    const std::string new_path(
+        line.substr(tab1 + 1, tab2 == std::string_view::npos
+                                  ? std::string_view::npos
+                                  : tab2 - tab1 - 1));
+    const std::string url(tab2 == std::string_view::npos
+                              ? old_path
+                              : std::string(line.substr(tab2 + 1)));
+    Result<std::string> old_xml = Env::Default()->ReadFile(old_path);
     if (!old_xml.ok()) return Fail(old_xml.status());
-    Result<std::string> new_xml = read_file(new_path);
+    Result<std::string> new_xml = Env::Default()->ReadFile(new_path);
     if (!new_xml.ok()) return Fail(new_xml.status());
     olds.push_back({url, std::move(*old_xml)});
     news.push_back({url, std::move(*new_xml)});
@@ -370,23 +361,43 @@ int CmdBatch(const Args& args) {
     if (!parsed.ok()) return Fail(parsed.status());
     pipeline.queue_capacity = static_cast<size_t>(*parsed);
   }
+  pipeline.fail_fast = args.Has("--fail-fast");
+
+  // Per-slot outcomes accumulate here; the tool always prints a summary
+  // of every failed slot and exits non-zero if there was any.
+  std::vector<std::string> failed_slots;
+  size_t aborted = 0;
+  const std::vector<std::string> urls = [&] {
+    std::vector<std::string> out;
+    for (const Warehouse::DiffJob& job : news) out.push_back(job.url);
+    return out;
+  }();
+  const auto record = [&](size_t index, const Status& status,
+                          const char* pass) {
+    if (status.code() == StatusCode::kAborted) {
+      ++aborted;
+      return;
+    }
+    failed_slots.push_back(urls[index] + " (" + pass +
+                           "): " + status.ToString());
+  };
 
   Warehouse warehouse;
-  int failures = 0;
-  for (const auto& r : warehouse.DiffBatch(std::move(olds), pipeline)) {
-    if (!r.ok()) {
-      std::fprintf(stderr, "error (old version): %s\n",
-                   r.status().ToString().c_str());
-      ++failures;
+  {
+    const std::vector<Result<Warehouse::IngestReport>> first =
+        warehouse.DiffBatch(std::move(olds), pipeline);
+    for (size_t i = 0; i < first.size(); ++i) {
+      if (!first[i].ok()) record(i, first[i].status(), "old version");
     }
   }
   PipelineStats stats;
   size_t total_ops = 0, total_delta_bytes = 0;
-  for (const auto& r : warehouse.DiffBatch(std::move(news), pipeline,
-                                           &stats)) {
+  const std::vector<Result<Warehouse::IngestReport>> second =
+      warehouse.DiffBatch(std::move(news), pipeline, &stats);
+  for (size_t i = 0; i < second.size(); ++i) {
+    const Result<Warehouse::IngestReport>& r = second[i];
     if (!r.ok()) {
-      std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
-      ++failures;
+      record(i, r.status(), "new version");
       continue;
     }
     std::printf("%s: v%d, %zu operation(s), %zu delta byte(s)\n",
@@ -395,9 +406,18 @@ int CmdBatch(const Args& args) {
     total_delta_bytes += r->delta_bytes;
   }
   std::printf("batch: %zu document(s), %zu operation(s), %zu delta byte(s),"
-              " %d failure(s)\n",
+              " %zu failure(s)\n",
               warehouse.document_count(), total_ops, total_delta_bytes,
-              failures);
+              failed_slots.size());
+  if (!failed_slots.empty()) {
+    std::fprintf(stderr, "failed slots (%zu):\n", failed_slots.size());
+    for (const std::string& slot : failed_slots) {
+      std::fprintf(stderr, "  %s\n", slot.c_str());
+    }
+  }
+  if (aborted > 0) {
+    std::fprintf(stderr, "%zu slot(s) skipped by --fail-fast\n", aborted);
+  }
   if (args.Has("--stats")) {
     std::fputs(stats.ToString().c_str(), stderr);
   }
@@ -405,7 +425,7 @@ int CmdBatch(const Args& args) {
     if (Status s = warehouse.Save(*out); !s.ok()) return Fail(s);
     std::printf("warehouse saved to %s\n", out->c_str());
   }
-  return failures == 0 ? 0 : 1;
+  return failed_slots.empty() ? 0 : 1;
 }
 
 int CmdValidate(const Args& args) {

@@ -18,6 +18,13 @@ Enforces repository invariants the compiler cannot (see DESIGN.md §3.11):
   void-discard        A `(void)` cast (usually a deliberately dropped
                       [[nodiscard]] Status) needs a justification comment
                       on the same or one of the two preceding lines.
+  raw-io              No `std::ofstream`/`std::ifstream`/`std::fstream` and
+                      no mutating `std::filesystem` call in src/ or tools/
+                      outside src/util/env.cc — all product file I/O goes
+                      through the Env (util/env.h), so fault injection and
+                      the crash-safety protocol see every operation. Tests
+                      are exempt: they simulate *out-of-band* damage (bit
+                      flips, truncation) that by definition bypasses Env.
 
 Zero dependencies (stdlib only). Exit 0 = clean, 1 = findings, 2 = usage.
 Suppress a single line with `// xylint: allow(<rule>)` on that line.
@@ -35,6 +42,7 @@ RULES = (
     "umbrella-include",
     "naked-thread",
     "void-discard",
+    "raw-io",
 )
 
 ALLOW_RE = re.compile(r"//\s*xylint:\s*allow\(([a-z-]+)\)")
@@ -137,6 +145,12 @@ MUTEX_DECL_RE = re.compile(
     r"std::timed_mutex)\s+([A-Za-z_]\w*)\s*(?:;|=|\{)"
 )
 THREAD_RE = re.compile(r"std::thread\b(?!\s*::)")
+STREAM_RE = re.compile(r"std::[oi]?fstream\b")
+FS_MUTATION_RE = re.compile(
+    r"(?:std::filesystem|fs)::"
+    r"(?:create_director(?:y|ies)|remove(?:_all)?|rename|copy(?:_file)?|"
+    r"resize_file|permissions|last_write_time)\s*\("
+)
 VOID_CAST_RE = re.compile(r"\(void\)\s*[A-Za-z_(]")
 INCLUDE_RE = re.compile(r'^#include\s+"([^"]+)"(.*)$')
 
@@ -152,6 +166,7 @@ def lint_file(path, rel, src_root, findings):
     in_tools = rel.startswith("tools/")
     is_arena = rel in ("src/util/arena.h", "src/util/arena.cc")
     is_pool = rel in ("src/util/thread_pool.h", "src/util/thread_pool.cc")
+    is_env = rel == "src/util/env.cc"
 
     for lineno, line in enumerate(code_lines, start=1):
         # new-delete: arena or smart pointers own everything else.
@@ -195,6 +210,16 @@ def lint_file(path, rel, src_root, findings):
                         rel, lineno, "naked-thread",
                         "std::thread outside util/thread_pool — submit to "
                         "ThreadPool instead"))
+
+        # raw-io: product code reads and writes only through the Env.
+        if (in_src or in_tools) and not is_env:
+            if STREAM_RE.search(line) or FS_MUTATION_RE.search(line):
+                if not allowed(raw_lines, lineno, "raw-io"):
+                    findings.append(Finding(
+                        rel, lineno, "raw-io",
+                        "raw file I/O outside util/env.cc — route it "
+                        "through Env (util/env.h) so fault injection and "
+                        "crash-safety cover it"))
 
         # void-discard: require a nearby justification comment.
         if VOID_CAST_RE.search(line):
