@@ -1,0 +1,134 @@
+// Pipeline regression smoke gate — run as a ctest, not a benchmark.
+//
+// The staged DiffBatch pipeline exists to ADD value over a straight
+// diff loop (persistence, alerts, deferred index maintenance), so it
+// must never again cost 3x the throughput (the regression this gate was
+// born from: 179 docs/s pipelined vs 540 straight-line). Both paths run
+// in this one process, back to back on the same corpus, so frequency
+// drift and cache state cancel out; the gate fails (exit 1) if the
+// 1-thread pipeline delivers less than 0.9x the straight-line docs/s.
+//
+// The corpus is kept small (100 documents) so the gate stays under a
+// couple of seconds in CI; the ratio, not the absolute rate, is the
+// contract.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/buld.h"
+#include "delta/delta_xml.h"
+#include "simulator/change_simulator.h"
+#include "simulator/web_corpus.h"
+#include "util/random.h"
+#include "version/warehouse.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace {
+
+using namespace xydiff;
+
+struct Pair {
+  std::string old_xml, new_xml;
+};
+
+constexpr double kMinRatio = 0.9;
+
+}  // namespace
+
+int main() {
+  Rng rng(604800);
+  WebCorpusOptions corpus_options;
+  corpus_options.document_count = 100;
+  std::vector<XmlDocument> corpus = GenerateWebCorpus(&rng, corpus_options);
+  const ChangeSimOptions weekly = WeeklyWebChangeProfile();
+  std::vector<Pair> pairs;
+  pairs.reserve(corpus.size());
+  for (XmlDocument& doc : corpus) {
+    doc.AssignInitialXids();
+    Result<SimulatedChange> change = SimulateChanges(doc, weekly, &rng);
+    if (!change.ok()) {
+      std::fprintf(stderr, "corpus construction failed\n");
+      return 1;
+    }
+    pairs.push_back({SerializeDocument(doc),
+                     SerializeDocument(change->new_version)});
+  }
+
+  // Straight-line: parse both versions, diff, serialize — the loop the
+  // pipeline replaces.
+  size_t straight_bytes = 0;
+  bench::Timer straight_timer;
+  for (const Pair& p : pairs) {
+    Result<XmlDocument> v1 = ParseXml(p.old_xml);
+    Result<XmlDocument> v2 = ParseXml(p.new_xml);
+    if (!v1.ok() || !v2.ok()) return 1;
+    v1->AssignInitialXids();
+    Result<Delta> delta = XyDiff(&*v1, &*v2, {});
+    if (!delta.ok()) return 1;
+    straight_bytes += SerializeDelta(*delta).size();
+  }
+  const double straight_seconds = straight_timer.Seconds();
+
+  // Pipelined: week 1 seeds the warehouse (untimed), week 2 is the
+  // 1-thread staged pipeline.
+  Warehouse warehouse;
+  Warehouse::PipelineOptions pipeline;
+  pipeline.threads = 1;
+  std::vector<Warehouse::DiffJob> week1, week2;
+  week1.reserve(pairs.size());
+  week2.reserve(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    week1.push_back({"url" + std::to_string(i), pairs[i].old_xml});
+    week2.push_back({"url" + std::to_string(i), pairs[i].new_xml});
+  }
+  for (auto& r : warehouse.DiffBatch(std::move(week1), pipeline)) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "week1 pipeline failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+  }
+  size_t pipelined_bytes = 0;
+  bench::Timer pipeline_timer;
+  for (auto& r : warehouse.DiffBatch(std::move(week2), pipeline)) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "week2 pipeline failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    pipelined_bytes += r->delta_bytes;
+  }
+  const double pipelined_seconds = pipeline_timer.Seconds();
+
+  const double docs = static_cast<double>(pairs.size());
+  const double straight_rate = docs / straight_seconds;
+  const double pipelined_rate = docs / pipelined_seconds;
+  const double ratio = pipelined_rate / straight_rate;
+  std::printf("straight-line : %7.0f docs/s (%.3fs, %zu delta bytes)\n",
+              straight_rate, straight_seconds, straight_bytes);
+  std::printf("pipelined (1t): %7.0f docs/s (%.3fs, %zu delta bytes)\n",
+              pipelined_rate, pipelined_seconds, pipelined_bytes);
+  std::printf("ratio         : %.2fx (gate: >= %.2fx)\n", ratio, kMinRatio);
+
+  if (pipelined_bytes != straight_bytes) {
+    // Both paths diff the same 100 version pairs; serialized delta
+    // volume must agree or the "same work" premise of the gate is gone.
+    std::fprintf(stderr,
+                 "FAIL: delta volume diverged (%zu straight vs %zu "
+                 "pipelined)\n",
+                 straight_bytes, pipelined_bytes);
+    return 1;
+  }
+  if (ratio < kMinRatio) {
+    std::fprintf(stderr,
+                 "FAIL: staged pipeline fell below %.2fx of straight-line "
+                 "throughput\n",
+                 kMinRatio);
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}

@@ -57,20 +57,31 @@ int main() {
   }
 
   // The measured loop: parse both versions, diff, serialize the delta.
-  Timer timer;
+  // Best-of-3: the box's clock frequency drifts ±10%, and a single
+  // timing would make the pipelined-vs-straight-line ratio below
+  // depend on *when* each side ran rather than on the code.
+  double seconds = 0;
   size_t delta_bytes = 0;
   size_t operations = 0;
-  for (const Pair& pair : pairs) {
-    Result<XmlDocument> old_doc = ParseXml(pair.old_xml);
-    Result<XmlDocument> new_doc = ParseXml(pair.new_xml);
-    if (!old_doc.ok() || !new_doc.ok()) return 1;
-    old_doc->AssignInitialXids();
-    Result<Delta> delta = XyDiff(&old_doc.value(), &new_doc.value());
-    if (!delta.ok()) return 1;
-    delta_bytes += SerializeDelta(*delta).size();
-    operations += delta->operation_count();
+  for (int rep = 0; rep < 3; ++rep) {
+    Timer timer;
+    size_t rep_delta_bytes = 0;
+    size_t rep_operations = 0;
+    for (const Pair& pair : pairs) {
+      Result<XmlDocument> old_doc = ParseXml(pair.old_xml);
+      Result<XmlDocument> new_doc = ParseXml(pair.new_xml);
+      if (!old_doc.ok() || !new_doc.ok()) return 1;
+      old_doc->AssignInitialXids();
+      Result<Delta> delta = XyDiff(&old_doc.value(), &new_doc.value());
+      if (!delta.ok()) return 1;
+      rep_delta_bytes += SerializeDelta(*delta).size();
+      rep_operations += delta->operation_count();
+    }
+    const double rep_seconds = timer.Seconds();
+    if (rep == 0 || rep_seconds < seconds) seconds = rep_seconds;
+    delta_bytes = rep_delta_bytes;
+    operations = rep_operations;
   }
-  const double seconds = timer.Seconds();
 
   const double docs_per_second = static_cast<double>(pairs.size()) / seconds;
   const double mb_per_second = static_cast<double>(total_bytes) / seconds / 1e6;
@@ -166,28 +177,41 @@ int main() {
       static_cast<double>(std::thread::hardware_concurrency()));
   double single_thread_docs_per_s = 0;
   for (int threads : {1, 2, 4, 8}) {
-    Warehouse warehouse;
-    if (!warehouse.Subscribe("all-products", "//item").ok()) return 1;
-    Warehouse::PipelineOptions pipeline;
-    pipeline.threads = threads;
-
-    std::vector<Warehouse::DiffJob> week1;
-    std::vector<Warehouse::DiffJob> week2;
-    week1.reserve(pairs.size());
-    week2.reserve(pairs.size());
-    for (size_t i = 0; i < pairs.size(); ++i) {
-      week1.push_back({"url" + std::to_string(i), pairs[i].old_xml});
-      week2.push_back({"url" + std::to_string(i), pairs[i].new_xml});
-    }
-    for (auto& r : warehouse.DiffBatch(std::move(week1), pipeline)) {
-      if (!r.ok()) return 1;
-    }
+    // Best-of-3, fresh warehouse per rep (a version pair can only be
+    // ingested once). No subscription: alerts are never deferred, so
+    // one would force node-index + alerter work per slot that the
+    // part-1 straight-line loop does not do. Part 2 measures the
+    // monitor-laden path; this sweep measures the pipeline itself.
+    double batch_s = 0;
     PipelineStats stats;
-    Timer batch_timer;
-    for (auto& r : warehouse.DiffBatch(std::move(week2), pipeline, &stats)) {
-      if (!r.ok()) return 1;
+    for (int rep = 0; rep < 3; ++rep) {
+      Warehouse warehouse;
+      Warehouse::PipelineOptions pipeline;
+      pipeline.threads = threads;
+
+      std::vector<Warehouse::DiffJob> week1;
+      std::vector<Warehouse::DiffJob> week2;
+      week1.reserve(pairs.size());
+      week2.reserve(pairs.size());
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        week1.push_back({"url" + std::to_string(i), pairs[i].old_xml});
+        week2.push_back({"url" + std::to_string(i), pairs[i].new_xml});
+      }
+      for (auto& r : warehouse.DiffBatch(std::move(week1), pipeline)) {
+        if (!r.ok()) return 1;
+      }
+      PipelineStats rep_stats;
+      Timer batch_timer;
+      for (auto& r :
+           warehouse.DiffBatch(std::move(week2), pipeline, &rep_stats)) {
+        if (!r.ok()) return 1;
+      }
+      const double rep_s = batch_timer.Seconds();
+      if (rep == 0 || rep_s < batch_s) {
+        batch_s = rep_s;
+        stats = rep_stats;
+      }
     }
-    const double batch_s = batch_timer.Seconds();
     const double docs_per_s = static_cast<double>(pairs.size()) / batch_s;
     if (threads == 1) single_thread_docs_per_s = docs_per_s;
     double stall_s = 0;
@@ -214,6 +238,16 @@ int main() {
     }
     parallel_report.AddObject("threads_" + std::to_string(threads), point);
   }
+  // The PR 6 acceptance ratio: the staged pipeline at 1 thread vs the
+  // part-1 straight-line loop, same corpus, same process. bench_smoke
+  // gates this in ctest at >= 0.9; here it is recorded for trend lines.
+  parallel_report.AddNumber("straight_line_docs_per_second", docs_per_second);
+  parallel_report.AddNumber("pipelined_1_thread_docs_per_second",
+                            single_thread_docs_per_s);
+  parallel_report.AddNumber("pipelined_over_straight_line",
+                            single_thread_docs_per_s / docs_per_second);
+  std::printf("pipelined 1-thread vs straight-line: %.2fx\n",
+              single_thread_docs_per_s / docs_per_second);
   if (!parallel_report.WriteFile("BENCH_parallel.json")) {
     std::fprintf(stderr, "warning: could not write BENCH_parallel.json\n");
   } else {

@@ -1,0 +1,55 @@
+#ifndef XYDIFF_DELTA_NODE_INDEX_H_
+#define XYDIFF_DELTA_NODE_INDEX_H_
+
+#include <utility>
+#include <vector>
+
+#include "delta/delta.h"
+#include "xml/document.h"
+
+namespace xydiff {
+
+/// Resolves the nodes a delta's operations name, once, for every
+/// delta consumer.
+///
+/// The warehouse ingest path feeds one (delta, old version, new
+/// version) triple to three consumers — incremental full-text index,
+/// alerter, change statistics — and each used to build its own full
+/// XID→node hash map over both documents: up to six O(n) walks with a
+/// hash insert per node, for deltas that usually touch a handful of
+/// nodes. This index instead collects exactly the XIDs the delta's
+/// operations reference, then fills them with ONE walk per document
+/// into a small sorted vector; a delta without operations on a side
+/// skips that side's walk entirely.
+///
+/// The index is a snapshot over borrowed documents: it must not outlive
+/// them, and mutating either tree invalidates it.
+class DeltaNodeIndex {
+ public:
+  DeltaNodeIndex() = default;
+
+  /// Builds the index for `delta` between the two versions it connects.
+  /// Old-side XIDs: delete roots and update targets. New-side XIDs:
+  /// insert roots, update targets, move targets, attribute owners.
+  static DeltaNodeIndex Build(const Delta& delta,
+                              const XmlDocument& old_version,
+                              const XmlDocument& new_version);
+
+  /// The old-version node with `xid`, or nullptr if the delta never
+  /// referenced it on that side (or the document does not contain it).
+  const XmlNode* old_node(Xid xid) const { return Find(old_nodes_, xid); }
+  /// Likewise for the new version.
+  const XmlNode* new_node(Xid xid) const { return Find(new_nodes_, xid); }
+
+ private:
+  using Entries = std::vector<std::pair<Xid, const XmlNode*>>;
+
+  static const XmlNode* Find(const Entries& entries, Xid xid);
+
+  Entries old_nodes_;  // Sorted by XID.
+  Entries new_nodes_;  // Sorted by XID.
+};
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_DELTA_NODE_INDEX_H_

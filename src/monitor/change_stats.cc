@@ -2,19 +2,12 @@
 
 #include <algorithm>
 #include <sstream>
+#include <string_view>
 #include <unordered_map>
 
 namespace xydiff {
 
 namespace {
-
-std::unordered_map<Xid, const XmlNode*> IndexByXid(const XmlDocument& doc) {
-  std::unordered_map<Xid, const XmlNode*> index;
-  if (doc.root() != nullptr) {
-    doc.root()->Visit([&](const XmlNode* n) { index.emplace(n->xid(), n); });
-  }
-  return index;
-}
 
 /// Nearest element at or above the node, or nullptr.
 const XmlNode* OwningElement(const XmlNode* node) {
@@ -27,56 +20,69 @@ const XmlNode* OwningElement(const XmlNode* node) {
 void ChangeStatistics::Accumulate(const Delta& delta,
                                   const XmlDocument& old_version,
                                   const XmlDocument& new_version) {
+  Accumulate(delta, new_version,
+             DeltaNodeIndex::Build(delta, old_version, new_version));
+}
+
+void ChangeStatistics::Accumulate(const Delta& delta,
+                                  const XmlDocument& new_version,
+                                  const DeltaNodeIndex& nodes) {
   ++delta_count_;
+
+  // Transparent-comparator lookup: increment by string_view, allocating a
+  // key only the first time a label is ever seen.
+  const auto stats_for = [this](std::string_view label) -> LabelStats& {
+    auto it = by_label_.find(label);
+    if (it == by_label_.end()) {
+      it = by_label_.emplace(std::string(label), LabelStats{}).first;
+    }
+    return it->second;
+  };
 
   // Occurrences: count element instances in the *new* version plus the
   // deleted elements of the old one, so every changed element is also
-  // counted as occurring.
+  // counted as occurring. Interned labels repeat heavily, so fold a local
+  // histogram into the map once per distinct label instead of paying a
+  // map lookup per node.
   if (new_version.root() != nullptr) {
+    std::unordered_map<std::string_view, size_t> histogram;
     new_version.root()->Visit([&](const XmlNode* n) {
-      if (n->is_element()) ++by_label_[std::string(n->label())].occurrences;
+      if (n->is_element()) ++histogram[n->label()];
     });
+    for (const auto& [label, count] : histogram) {
+      stats_for(label).occurrences += count;
+    }
   }
 
-  const auto old_index = IndexByXid(old_version);
-  const auto new_index = IndexByXid(new_version);
-  const auto find = [](const std::unordered_map<Xid, const XmlNode*>& index,
-                       Xid xid) -> const XmlNode* {
-    auto it = index.find(xid);
-    return it == index.end() ? nullptr : it->second;
-  };
-
   for (const InsertOp& op : delta.inserts()) {
-    const XmlNode* root = find(new_index, op.xid);
+    const XmlNode* root = nodes.new_node(op.xid);
     if (root == nullptr) continue;
     root->Visit([&](const XmlNode* n) {
-      if (n->is_element()) ++by_label_[std::string(n->label())].inserted;
+      if (n->is_element()) ++stats_for(n->label()).inserted;
     });
   }
   for (const DeleteOp& op : delta.deletes()) {
-    const XmlNode* root = find(old_index, op.xid);
+    const XmlNode* root = nodes.old_node(op.xid);
     if (root == nullptr) continue;
     root->Visit([&](const XmlNode* n) {
       if (!n->is_element()) return;
-      LabelStats& stats = by_label_[std::string(n->label())];
+      LabelStats& stats = stats_for(n->label());
       ++stats.deleted;
       ++stats.occurrences;  // Deleted elements are not in the new version.
     });
   }
   for (const MoveOp& op : delta.moves()) {
-    const XmlNode* owner = OwningElement(find(new_index, op.xid));
-    if (owner != nullptr) ++by_label_[std::string(owner->label())].moved;
+    const XmlNode* owner = OwningElement(nodes.new_node(op.xid));
+    if (owner != nullptr) ++stats_for(owner->label()).moved;
   }
   for (const UpdateOp& op : delta.updates()) {
-    const XmlNode* owner = OwningElement(find(new_index, op.xid));
-    if (owner != nullptr) {
-      ++by_label_[std::string(owner->label())].text_updated;
-    }
+    const XmlNode* owner = OwningElement(nodes.new_node(op.xid));
+    if (owner != nullptr) ++stats_for(owner->label()).text_updated;
   }
   for (const AttributeOp& op : delta.attribute_ops()) {
-    const XmlNode* element = find(new_index, op.element_xid);
+    const XmlNode* element = nodes.new_node(op.element_xid);
     if (element != nullptr && element->is_element()) {
-      ++by_label_[std::string(element->label())].attr_changed;
+      ++stats_for(element->label()).attr_changed;
     }
   }
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "delta/delta.h"
+#include "delta/node_index.h"
 #include "xml/document.h"
 
 namespace xydiff {
@@ -53,6 +54,12 @@ class ChangeStatistics {
   void Accumulate(const Delta& delta, const XmlDocument& old_version,
                   const XmlDocument& new_version);
 
+  /// Same, against a prebuilt DeltaNodeIndex (which must have been built
+  /// for this delta between the same two versions); the warehouse ingest
+  /// path shares one node resolution across all delta consumers.
+  void Accumulate(const Delta& delta, const XmlDocument& new_version,
+                  const DeltaNodeIndex& nodes);
+
   /// Folds another collector into this one (used to merge per-thread
   /// collectors cheaply: O(labels), not O(document)).
   void Merge(const ChangeStatistics& other);
@@ -72,7 +79,9 @@ class ChangeStatistics {
   std::string Report(size_t limit = 10) const;
 
  private:
-  std::map<std::string, LabelStats> by_label_;
+  // Transparent comparator: hot paths look labels up by string_view
+  // without materialising a std::string per node.
+  std::map<std::string, LabelStats, std::less<>> by_label_;
   size_t delta_count_ = 0;
 };
 

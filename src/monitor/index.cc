@@ -1,67 +1,59 @@
 #include "monitor/index.h"
 
 #include <cctype>
-#include <unordered_map>
 
 namespace xydiff {
 
 namespace {
 
-/// Lazy XID index over one document: built on the first lookup, so
-/// deltas without updates never pay the O(n) walk.
-class LazyXidIndex {
- public:
-  explicit LazyXidIndex(const XmlDocument& doc) : doc_(doc) {}
-
-  const XmlNode* Find(Xid xid) {
-    if (!built_) {
-      if (doc_.root() != nullptr) {
-        doc_.root()->Visit(
-            [&](const XmlNode* n) { index_.emplace(n->xid(), n); });
-      }
-      built_ = true;
+/// Streams the lowercase alphanumeric words of `text` into `fn` without
+/// allocating per word: `scratch` is reused across words (and calls).
+/// This is THE hot loop of both index construction and incremental
+/// maintenance — a posting update per word, millions of words per crawl.
+template <typename Fn>
+void ForEachToken(std::string_view text, std::string* scratch, Fn&& fn) {
+  scratch->clear();
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      *scratch += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+    } else if (!scratch->empty()) {
+      fn(std::string_view(*scratch));
+      scratch->clear();
     }
-    auto it = index_.find(xid);
-    return it == index_.end() ? nullptr : it->second;
   }
-
- private:
-  const XmlDocument& doc_;
-  bool built_ = false;
-  std::unordered_map<Xid, const XmlNode*> index_;
-};
+  if (!scratch->empty()) fn(std::string_view(*scratch));
+}
 
 }  // namespace
 
 std::vector<std::string> FullTextIndex::Tokenize(std::string_view text) {
   std::vector<std::string> words;
-  std::string current;
-  for (char c : text) {
-    if (std::isalnum(static_cast<unsigned char>(c))) {
-      current += static_cast<char>(
-          std::tolower(static_cast<unsigned char>(c)));
-    } else if (!current.empty()) {
-      words.push_back(std::move(current));
-      current.clear();
-    }
-  }
-  if (!current.empty()) words.push_back(std::move(current));
+  std::string scratch;
+  ForEachToken(text, &scratch,
+               [&](std::string_view word) { words.emplace_back(word); });
   return words;
 }
 
 void FullTextIndex::AddText(Xid xid, std::string_view text) {
-  for (const std::string& word : Tokenize(text)) {
-    postings_[word].insert(xid);
-  }
+  std::string scratch;
+  ForEachToken(text, &scratch, [&](std::string_view word) {
+    auto it = postings_.find(word);
+    if (it == postings_.end()) {
+      it = postings_.emplace(std::string(word), std::set<Xid>()).first;
+    }
+    it->second.insert(xid);
+  });
 }
 
 void FullTextIndex::RemoveText(Xid xid, std::string_view text) {
-  for (const std::string& word : Tokenize(text)) {
+  std::string scratch;
+  ForEachToken(text, &scratch, [&](std::string_view word) {
     auto it = postings_.find(word);
-    if (it == postings_.end()) continue;
+    if (it == postings_.end()) return;
     it->second.erase(xid);
     if (it->second.empty()) postings_.erase(it);
-  }
+  });
 }
 
 FullTextIndex FullTextIndex::Build(const XmlDocument& doc) {
@@ -77,6 +69,10 @@ FullTextIndex FullTextIndex::Build(const XmlDocument& doc) {
 Status FullTextIndex::Apply(const Delta& delta,
                             const XmlDocument& old_version,
                             const XmlDocument& new_version) {
+  return Apply(delta, DeltaNodeIndex::Build(delta, old_version, new_version));
+}
+
+Status FullTextIndex::Apply(const Delta& delta, const DeltaNodeIndex& nodes) {
   // Deletions remove their snapshot's words (the snapshot excludes
   // moved-away nodes, whose postings must survive — they still exist).
   for (const DeleteOp& op : delta.deletes()) {
@@ -95,13 +91,11 @@ Status FullTextIndex::Apply(const Delta& delta,
       if (n->is_text()) AddText(n->xid(), n->text());
     });
   }
-  LazyXidIndex old_index(old_version);
-  LazyXidIndex new_index(new_version);
   for (const UpdateOp& op : delta.updates()) {
     // Resolve full texts against the two versions so compressed updates
     // need no splicing logic here.
-    const XmlNode* old_node = old_index.Find(op.xid);
-    const XmlNode* new_node = new_index.Find(op.xid);
+    const XmlNode* old_node = nodes.old_node(op.xid);
+    const XmlNode* new_node = nodes.new_node(op.xid);
     if (old_node == nullptr || !old_node->is_text() || new_node == nullptr ||
         !new_node->is_text()) {
       return Status::NotFound("update references unknown text XID " +

@@ -2,13 +2,15 @@
 #define XYDIFF_MONITOR_INDEX_H_
 
 #include <cstddef>
-#include <map>
+#include <functional>
 #include <set>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "delta/delta.h"
+#include "delta/node_index.h"
 #include "util/status.h"
 #include "xml/document.h"
 
@@ -38,6 +40,11 @@ class FullTextIndex {
   Status Apply(const Delta& delta, const XmlDocument& old_version,
                const XmlDocument& new_version);
 
+  /// Same, against a prebuilt DeltaNodeIndex — the warehouse ingest path
+  /// shares one node resolution across index, alerter, and statistics
+  /// instead of each rebuilding an O(n) XID map.
+  Status Apply(const Delta& delta, const DeltaNodeIndex& nodes);
+
   /// XIDs of text nodes containing `word` (case-insensitive), ascending.
   std::vector<Xid> Lookup(std::string_view word) const;
 
@@ -56,7 +63,19 @@ class FullTextIndex {
   void AddText(Xid xid, std::string_view text);
   void RemoveText(Xid xid, std::string_view text);
 
-  std::map<std::string, std::set<Xid>> postings_;
+  // Heterogeneous hash: the hot posting update path (ingest) probes by
+  // string_view and only materialises a key string for words never seen
+  // before. A hash table beats an ordered map here — one probe instead
+  // of a log(vocabulary) descent per word — and nothing observable
+  // depends on word order (posting lists themselves stay sorted sets).
+  struct WordHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, std::set<Xid>, WordHash, std::equal_to<>>
+      postings_;
 };
 
 }  // namespace xydiff

@@ -1,25 +1,8 @@
 #include "monitor/subscription.h"
 
-#include <unordered_map>
-
 namespace xydiff {
 
 namespace {
-
-/// Index from XID to node over a whole document.
-std::unordered_map<Xid, const XmlNode*> IndexByXid(const XmlDocument& doc) {
-  std::unordered_map<Xid, const XmlNode*> index;
-  if (doc.root() != nullptr) {
-    doc.root()->Visit([&](const XmlNode* n) { index.emplace(n->xid(), n); });
-  }
-  return index;
-}
-
-const XmlNode* Find(const std::unordered_map<Xid, const XmlNode*>& index,
-                    Xid xid) {
-  auto it = index.find(xid);
-  return it == index.end() ? nullptr : it->second;
-}
 
 /// Nearest element at or above `node` (text updates are reported against
 /// their containing element).
@@ -98,13 +81,18 @@ void Alerter::Fire(const Subscription& sub, ChangeKind kind,
 std::vector<Alert> Alerter::Evaluate(const Delta& delta,
                                      const XmlDocument& old_version,
                                      const XmlDocument& new_version) const {
+  if (subscriptions_.empty() || delta.empty()) return {};
+  return Evaluate(delta,
+                  DeltaNodeIndex::Build(delta, old_version, new_version));
+}
+
+std::vector<Alert> Alerter::Evaluate(const Delta& delta,
+                                     const DeltaNodeIndex& nodes) const {
   std::vector<Alert> alerts;
   if (subscriptions_.empty() || delta.empty()) return alerts;
-  const auto old_index = IndexByXid(old_version);
-  const auto new_index = IndexByXid(new_version);
 
   for (const InsertOp& op : delta.inserts()) {
-    const XmlNode* root = Find(new_index, op.xid);
+    const XmlNode* root = nodes.new_node(op.xid);
     if (root == nullptr) continue;
     root->Visit([&](const XmlNode* n) {
       if (!n->is_element()) return;
@@ -115,7 +103,7 @@ std::vector<Alert> Alerter::Evaluate(const Delta& delta,
     });
   }
   for (const DeleteOp& op : delta.deletes()) {
-    const XmlNode* root = Find(old_index, op.xid);
+    const XmlNode* root = nodes.old_node(op.xid);
     if (root == nullptr) continue;
     root->Visit([&](const XmlNode* n) {
       if (!n->is_element()) return;
@@ -126,7 +114,7 @@ std::vector<Alert> Alerter::Evaluate(const Delta& delta,
     });
   }
   for (const UpdateOp& op : delta.updates()) {
-    const XmlNode* element = OwningElement(Find(new_index, op.xid));
+    const XmlNode* element = OwningElement(nodes.new_node(op.xid));
     if (element == nullptr) continue;
     for (const Subscription& sub : subscriptions_) {
       Fire(sub, ChangeKind::kUpdate, *element,
@@ -137,7 +125,7 @@ std::vector<Alert> Alerter::Evaluate(const Delta& delta,
     }
   }
   for (const MoveOp& op : delta.moves()) {
-    const XmlNode* node = Find(new_index, op.xid);
+    const XmlNode* node = nodes.new_node(op.xid);
     if (node == nullptr) continue;
     const XmlNode* element = OwningElement(node);
     if (element == nullptr) continue;
@@ -150,7 +138,7 @@ std::vector<Alert> Alerter::Evaluate(const Delta& delta,
     }
   }
   for (const AttributeOp& op : delta.attribute_ops()) {
-    const XmlNode* element = Find(new_index, op.element_xid);
+    const XmlNode* element = nodes.new_node(op.element_xid);
     if (element == nullptr || !element->is_element()) continue;
     for (const Subscription& sub : subscriptions_) {
       Fire(sub, ChangeKind::kAttribute, *element,

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "delta/delta.h"
+#include "delta/node_index.h"
 #include "util/status.h"
 #include "xml/document.h"
 #include "xml/path.h"
@@ -60,6 +61,11 @@ class Alerter {
   std::vector<Alert> Evaluate(const Delta& delta,
                               const XmlDocument& old_version,
                               const XmlDocument& new_version) const;
+
+  /// Same, against a prebuilt DeltaNodeIndex so the warehouse ingest
+  /// path resolves delta-referenced nodes once for all consumers.
+  std::vector<Alert> Evaluate(const Delta& delta,
+                              const DeltaNodeIndex& nodes) const;
 
  private:
   struct Subscription {

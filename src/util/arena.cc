@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <thread>
 
 namespace xydiff {
 
@@ -77,6 +79,98 @@ void Arena::Reset() {
   bytes_used_ = 0;
   bytes_reserved_ = 0;
   block_count_ = 0;
+}
+
+void Arena::Rewind() {
+  if (head_ != nullptr) {
+    Block* b = head_->prev;
+    while (b != nullptr) {
+      Block* prev = b->prev;
+      ::operator delete(static_cast<void*>(b));
+      b = prev;
+    }
+    head_->prev = nullptr;
+    const size_t header = RoundUp(sizeof(Block), alignof(std::max_align_t));
+    ptr_ = reinterpret_cast<char*>(head_) + header;
+    end_ = ptr_ + head_->size;
+    bytes_reserved_ = header + head_->size;
+    block_count_ = 1;
+#ifndef NDEBUG
+    // Scribble the recycled payload so any stale pointer into a rewound
+    // arena reads garbage instead of the previous owner's bytes (turns
+    // a silent aliasing bug into a loud differential-test failure).
+    std::memset(ptr_, 0xAB, static_cast<size_t>(end_ - ptr_));
+#endif
+  }
+  bytes_used_ = 0;
+}
+
+ArenaPool::ArenaPool(size_t max_idle_per_shard)
+    : state_(std::make_shared<State>()) {
+  state_->max_idle_per_shard =
+      max_idle_per_shard == 0 ? 1 : max_idle_per_shard;
+}
+
+ArenaPool::Shard& ArenaPool::ShardForThisThread(State& state) {
+  const size_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return state.shards[h % kPoolShards];
+}
+
+std::shared_ptr<Arena> ArenaPool::Acquire(size_t first_block_hint) {
+  std::unique_ptr<Arena> arena;
+  {
+    Shard& own = ShardForThisThread(*state_);
+    MutexLock lock(own.mutex);
+    if (!own.idle.empty()) {
+      arena = std::move(own.idle.back());
+      own.idle.pop_back();
+    }
+  }
+  if (arena == nullptr) {
+    // Own shard dry: steal a parked arena from a neighbour before
+    // paying the system allocator.
+    for (Shard& shard : state_->shards) {
+      MutexLock lock(shard.mutex);
+      if (!shard.idle.empty()) {
+        arena = std::move(shard.idle.back());
+        shard.idle.pop_back();
+        break;
+      }
+    }
+  }
+  if (arena != nullptr) {
+    state_->recycled.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    arena = std::make_unique<Arena>(first_block_hint);
+  }
+  // The deleter routes the arena back into the releasing thread's shard
+  // (weak_ptr: an arena outliving its pool is simply freed).
+  std::weak_ptr<State> weak = state_;
+  Arena* raw = arena.release();
+  return std::shared_ptr<Arena>(raw, [weak](Arena* a) {
+    std::unique_ptr<Arena> owned(a);
+    std::shared_ptr<State> state = weak.lock();
+    if (state == nullptr) return;  // Pool gone; unique_ptr frees.
+    owned->Rewind();
+    Shard& shard = ShardForThisThread(*state);
+    MutexLock lock(shard.mutex);
+    if (shard.idle.size() < state->max_idle_per_shard) {
+      shard.idle.push_back(std::move(owned));
+    }
+  });
+}
+
+size_t ArenaPool::idle_count() const {
+  size_t total = 0;
+  for (const Shard& shard : state_->shards) {
+    MutexLock lock(shard.mutex);
+    total += shard.idle.size();
+  }
+  return total;
+}
+
+size_t ArenaPool::recycled_count() const {
+  return state_->recycled.load(std::memory_order_relaxed);
 }
 
 }  // namespace xydiff

@@ -1,11 +1,18 @@
 #ifndef XYDIFF_UTIL_ARENA_H_
 #define XYDIFF_UTIL_ARENA_H_
 
+#include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <new>
 #include <string_view>
 #include <utility>
+#include <vector>
+
+#include "util/annotations.h"
+#include "util/mutex.h"
 
 namespace xydiff {
 
@@ -56,6 +63,13 @@ class Arena {
   /// the arena become dangling.
   void Reset();
 
+  /// Rewinds the bump cursor for reuse while *keeping* the newest block
+  /// (under geometric growth that one block holds roughly half the
+  /// reserved bytes, so the next document of similar size allocates
+  /// little or nothing). All outstanding pointers/views become dangling,
+  /// exactly as with Reset(); only the system-allocator traffic differs.
+  void Rewind();
+
   /// Bytes handed out by Allocate (including alignment padding).
   size_t bytes_used() const { return bytes_used_; }
   /// Bytes obtained from the system allocator.
@@ -78,6 +92,63 @@ class Arena {
   size_t bytes_used_ = 0;
   size_t bytes_reserved_ = 0;
   size_t block_count_ = 0;
+};
+
+/// Recycles arenas across short-lived owners — the warehouse pipeline's
+/// per-worker arena pool (DESIGN.md §3.13).
+///
+/// `Acquire()` hands out a `std::shared_ptr<Arena>` whose deleter, once
+/// the last owner (document, repository version, delta snapshot) lets
+/// go, Rewind()s the arena and parks it on a free list instead of
+/// freeing its blocks. A steady-state re-crawl then parses every new
+/// version into memory recycled from the version it supersedes.
+///
+/// The free list is sharded by the calling thread's id: a pipeline
+/// worker that releases an arena (committing a version) gets the same
+/// memory back on its next `Acquire` (parsing the next slot) without
+/// crossing a contended lock — the "per-worker" part. A shard whose
+/// list runs dry steals from its neighbours before allocating fresh.
+///
+/// Ownership rules:
+///  * A pooled arena must reach the pool only through the shared_ptr's
+///    deleter — never call Rewind()/Reset() on one yourself.
+///  * Recycling is refcount-driven, so aliasing between two documents is
+///    impossible by construction: an arena re-enters the pool only when
+///    NO owner remains. (A differential test pins this down anyway.)
+///  * The pool may die before its arenas: the deleter holds a weak_ptr
+///    and simply frees the arena when the pool is gone.
+class ArenaPool {
+ public:
+  /// At most `max_idle_per_shard` arenas are kept per shard; surplus
+  /// releases free their memory normally.
+  explicit ArenaPool(size_t max_idle_per_shard = 4);
+
+  /// Returns a pooled (rewound) arena when one is idle, else a fresh
+  /// arena whose first block is sized by `first_block_hint`.
+  std::shared_ptr<Arena> Acquire(
+      size_t first_block_hint = Arena::kDefaultFirstBlock);
+
+  /// Arenas currently parked across all shards.
+  size_t idle_count() const;
+  /// Acquires served from the free list (recycles) since construction.
+  size_t recycled_count() const;
+
+ private:
+  static constexpr size_t kPoolShards = 8;
+  struct Shard {
+    mutable Mutex mutex;
+    std::vector<std::unique_ptr<Arena>> idle XY_GUARDED_BY(mutex);
+  };
+  struct State {
+    std::array<Shard, kPoolShards> shards;
+    size_t max_idle_per_shard = 4;
+    std::atomic<size_t> recycled{0};
+  };
+
+  /// The shard owned by the calling thread (stable per thread id).
+  static Shard& ShardForThisThread(State& state);
+
+  std::shared_ptr<State> state_;
 };
 
 /// Minimal std-compatible allocator over an Arena, with a heap fallback

@@ -45,6 +45,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     // count must never underflow nor let Wait() observe a transient
     // zero while this task (or children it will submit) is in flight.
     ++pending_;
+    ++queued_;
     target = tls_pool == this
                  ? tls_worker  // Continuation: stay cache-warm here.
                  : next_submit_++ % workers_.size();
@@ -87,6 +88,10 @@ void ThreadPool::WorkerLoop(size_t self) {
   for (;;) {
     std::function<void()> task;
     if (TryTake(self, &task)) {
+      {
+        MutexLock lock(coord_mutex_);
+        --queued_;
+      }
       task();
       MutexLock lock(coord_mutex_);
       if (--pending_ == 0) idle_cv_.NotifyAll();
@@ -96,8 +101,11 @@ void ThreadPool::WorkerLoop(size_t self) {
     if (stopping_) return;
     // Re-check under the lock: a Submit may have raced the steal scan.
     // A bounded wait (not a predicate loop) suffices — waking early or
-    // spuriously only costs one more TryTake scan.
-    if (pending_ == 0) {
+    // spuriously only costs one more TryTake scan. Sleep whenever no
+    // *queued* task is claimable — peers merely *running* long tasks
+    // (pending_ > 0) leave nothing to steal, and spinning on them
+    // starves the very tasks being waited for on small machines.
+    if (queued_ == 0) {
       work_cv_.WaitFor(coord_mutex_, std::chrono::milliseconds(50));
     }
     if (stopping_) return;

@@ -1,6 +1,7 @@
 #ifndef XYDIFF_UTIL_THREAD_POOL_H_
 #define XYDIFF_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <deque>
@@ -77,10 +78,26 @@ class ThreadPool {
   CondVar work_cv_;
   CondVar idle_cv_;
   size_t pending_ XY_GUARDED_BY(coord_mutex_) = 0;
+  /// Tasks published but not yet claimed by a worker. Idle workers
+  /// sleep when this is zero — pending_ alone cannot tell "work to
+  /// steal" from "peers busy running", and spinning on the latter
+  /// starves the running tasks on machines with few cores.
+  size_t queued_ XY_GUARDED_BY(coord_mutex_) = 0;
   /// Round-robin cursor for external submits.
   size_t next_submit_ XY_GUARDED_BY(coord_mutex_) = 0;
   bool stopping_ XY_GUARDED_BY(coord_mutex_) = false;
 };
+
+/// Lock-free running maximum: raises `target` to at least `value`.
+/// Pipeline stages use it for high-water marks (peak in-flight, peak
+/// backlog) sampled from many workers at once.
+inline void UpdateAtomicMax(std::atomic<size_t>& target, size_t value) {
+  size_t current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
 
 /// Per-stage counters of one pipeline run. "Stall" is time a worker
 /// spent unable to hand an item to the next stage (backpressure) — the

@@ -21,7 +21,8 @@ VersionRepository VersionRepository::FromParts(XmlDocument current,
 }
 
 Result<int> VersionRepository::Commit(XmlDocument new_version,
-                                      const DiffOptions& options) {
+                                      const DiffOptions& options,
+                                      XmlDocument* superseded) {
   if (current_.root() == nullptr) {
     return Status::Corruption("repository has no current version");
   }
@@ -30,7 +31,13 @@ Result<int> VersionRepository::Commit(XmlDocument new_version,
   }
   Result<Delta> delta = XyDiff(&current_, &new_version, options, &last_stats_);
   if (!delta.ok()) return delta.status();
+  // Snapshot subtrees live in the delta's own arena and update values
+  // are copied strings, so the delta is self-contained: the superseded
+  // document can be handed off (or dropped) freely.
   deltas_.push_back(std::move(*delta));
+  if (superseded != nullptr) {
+    *superseded = std::move(current_);
+  }
   current_ = std::move(new_version);
   return current_version();
 }

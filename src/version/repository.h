@@ -35,7 +35,13 @@ class VersionRepository {
   /// Commits the next version: diffs it against the current one, stores
   /// the delta, and replaces the current version. Returns the new version
   /// number. `new_version` is consumed.
-  Result<int> Commit(XmlDocument new_version, const DiffOptions& options = {});
+  ///
+  /// When `superseded` is non-null it receives the previous current
+  /// version instead of having it destroyed — the diff reads but never
+  /// mutates the old document, so consumers (index maintenance, alerter,
+  /// statistics) get the exact pre-commit tree without paying a Clone.
+  Result<int> Commit(XmlDocument new_version, const DiffOptions& options = {},
+                     XmlDocument* superseded = nullptr);
 
   /// Number of committed versions (>= 1).
   int version_count() const { return static_cast<int>(deltas_.size()) + 1; }

@@ -22,6 +22,8 @@ namespace {
 constexpr char kManifestName[] = "MANIFEST";
 constexpr char kManifestMagic[] = "xydiff-manifest 2";
 constexpr char kQuarantineDir[] = "quarantine";
+constexpr char kBatchJournalName[] = "BATCH-COMMIT";
+constexpr char kBatchMagic[] = "xydiff-batch 1";
 
 std::string DeltaName(size_t index) {
   char name[32];
@@ -413,10 +415,16 @@ Result<XmlDocument> LoadDocumentWithXids(const std::string& xml_path,
   return ParseDocumentPair(*xml, *meta, meta_path);
 }
 
-Status SaveRepository(const VersionRepository& repo,
-                      const std::string& directory, Env* env) {
-  MutexLock lock(DirectoryLocks().For(directory));
-  env = Resolve(env);
+namespace {
+
+/// Writes a repository's *data* files (delta chain + epoch-fresh current
+/// snapshot) into `directory` and returns the manifest describing them —
+/// WITHOUT committing it. The live MANIFEST still names the old state
+/// until the caller writes the returned manifest (SaveRepository) or
+/// group-commits it through a batch journal (SaveRepositoryBatch).
+/// Caller holds the directory's lock.
+Result<Manifest> WriteRepositoryData(const VersionRepository& repo,
+                                     const std::string& directory, Env* env) {
   if (repo.current().root() == nullptr) {
     return Status::InvalidArgument("cannot persist an empty document");
   }
@@ -467,15 +475,239 @@ Status SaveRepository(const VersionRepository& repo,
       env->WriteFileAtomic(directory + "/" + meta_name, meta_text));
   next.files.push_back({xml_name, xml_text.size(), Crc64(xml_text)});
   next.files.push_back({meta_name, meta_text.size(), Crc64(meta_text)});
+  return next;
+}
+
+}  // namespace
+
+Status SaveRepository(const VersionRepository& repo,
+                      const std::string& directory, Env* env) {
+  MutexLock lock(DirectoryLocks().For(directory));
+  env = Resolve(env);
+  Result<Manifest> next = WriteRepositoryData(repo, directory, env);
+  if (!next.ok()) return next.status();
 
   // The commit point: the MANIFEST rename atomically switches the live
   // state; the directory fsync makes the whole batch durable.
   XYDIFF_RETURN_IF_ERROR(env->WriteFileAtomic(
-      directory + "/" + kManifestName, FormatManifest(next)));
+      directory + "/" + kManifestName, FormatManifest(*next)));
   XYDIFF_RETURN_IF_ERROR(env->SyncDir(directory));
 
-  CleanupUnreferenced(directory, next, env);
+  CleanupUnreferenced(directory, *next, env);
   return Status::OK();
+}
+
+namespace {
+
+/// A multi-directory batch commit needs one *outer* lock per parent
+/// directory (the ShardedMutexMap contract forbids holding two shards
+/// of one map at once, and two aliasing keys from the same map would
+/// self-deadlock against the per-slot DirectoryLocks). Lock order is
+/// always batch lock, then one slot lock at a time.
+ShardedMutexMap<16>& BatchLocks() {
+  static ShardedMutexMap<16> locks;
+  return locks;
+}
+
+/// One slot entry recovered from a batch journal.
+struct BatchSlotEntry {
+  std::string subdirectory;
+  std::string manifest_text;  ///< Verbatim MANIFEST bytes to install.
+  Manifest manifest;          ///< Parsed form (epoch guard, cleanup).
+};
+
+/// `subdirectory` must be one sane path component: the journal is
+/// written by us, but a corrupted journal must never direct writes
+/// outside the batch parent.
+bool ValidSubdirectory(std::string_view name) {
+  return !name.empty() && name != "." && name != ".." &&
+         name.find('/') == std::string_view::npos &&
+         name.find('\\') == std::string_view::npos;
+}
+
+std::string FormatBatchJournal(const std::vector<BatchSlotEntry>& entries) {
+  std::string out = std::string(kBatchMagic) + "\n";
+  for (const BatchSlotEntry& entry : entries) {
+    out += "slot " + entry.subdirectory + " " +
+           std::to_string(entry.manifest_text.size()) + "\n";
+    out += entry.manifest_text;  // Ends with '\n' (FormatManifest).
+  }
+  out += "crc " + Hex64(Crc64(out)) + "\n";
+  return out;
+}
+
+/// Strict parse with self-checksum verification. Any deviation is
+/// Corruption, which recovery treats as "never committed": embedded
+/// manifests end with their own `crc` lines, but the journal's final
+/// line is the last one, so `rfind` lands on it — and a journal torn
+/// off right after an embedded crc line fails the whole-body checksum.
+Result<std::vector<BatchSlotEntry>> ParseBatchJournal(std::string_view text) {
+  const size_t crc_line = text.rfind("crc ");
+  if (crc_line == std::string::npos ||
+      (crc_line != 0 && text[crc_line - 1] != '\n')) {
+    return Status::Corruption("batch journal has no checksum line");
+  }
+  uint64_t stored_crc = 0;
+  if (!ParseHex64(Trim(text.substr(crc_line + 4)), &stored_crc)) {
+    return Status::Corruption("batch journal checksum line is malformed");
+  }
+  if (Crc64(text.substr(0, crc_line)) != stored_crc) {
+    return Status::Corruption("batch journal failed its self-checksum");
+  }
+
+  size_t pos = text.find('\n');
+  if (pos == std::string_view::npos ||
+      text.substr(0, pos) != kBatchMagic) {
+    return Status::Corruption("batch journal has a bad magic line");
+  }
+  ++pos;
+
+  std::vector<BatchSlotEntry> entries;
+  while (pos < crc_line) {
+    const size_t line_end = text.find('\n', pos);
+    if (line_end == std::string_view::npos || line_end >= crc_line) {
+      return Status::Corruption("batch journal slot header is truncated");
+    }
+    std::istringstream header{std::string(text.substr(pos, line_end - pos))};
+    std::string keyword, name;
+    size_t size = 0;
+    header >> keyword >> name >> size;
+    if (header.fail() || keyword != "slot" || !ValidSubdirectory(name)) {
+      return Status::Corruption("batch journal slot header is malformed: " +
+                                std::string(text.substr(pos, line_end - pos)));
+    }
+    pos = line_end + 1;
+    if (pos + size > crc_line) {
+      return Status::Corruption("batch journal manifest overruns: " + name);
+    }
+    BatchSlotEntry entry;
+    entry.subdirectory = std::move(name);
+    entry.manifest_text = std::string(text.substr(pos, size));
+    Result<Manifest> manifest = ParseManifest(entry.manifest_text);
+    if (!manifest.ok()) {
+      return Status::Corruption("batch journal embeds a bad manifest for " +
+                                entry.subdirectory + ": " +
+                                manifest.status().message());
+    }
+    entry.manifest = std::move(*manifest);
+    entries.push_back(std::move(entry));
+    pos += size;
+  }
+  return entries;
+}
+
+/// Rolls the journal forward (caller holds the batch lock). The journal
+/// is the committed truth: every slot whose live MANIFEST is older than
+/// the journal's gets the journal's installed; slots already at or past
+/// it are skipped (a crash can interrupt a previous roll-forward half
+/// way). A journal that fails verification was never the commit point —
+/// it is removed and every slot stays pre-batch.
+Status ApplyBatchJournalLocked(const std::string& parent, Env* env,
+                               std::vector<std::string>* notes) {
+  const std::string journal_path = std::string(parent) + "/" +
+                                   kBatchJournalName;
+  Result<std::string> text = env->ReadFile(journal_path);
+  if (!text.ok()) {
+    if (text.status().code() == StatusCode::kNotFound) {
+      return Status::OK();  // Nothing pending.
+    }
+    return text.status();
+  }
+  Result<std::vector<BatchSlotEntry>> entries = ParseBatchJournal(*text);
+  if (!entries.ok()) {
+    if (notes != nullptr) {
+      notes->push_back("discarding uncommitted batch journal: " +
+                       entries.status().ToString());
+    }
+    // Justified discard: a torn journal is inert either way — if it
+    // cannot be removed now, the next recovery discards it again.
+    (void)env->RemoveFile(journal_path);
+    return Status::OK();
+  }
+  for (const BatchSlotEntry& entry : *entries) {
+    const std::string dir = parent + "/" + entry.subdirectory;
+    MutexLock slot_lock(DirectoryLocks().For(dir));
+    bool corrupt = false;
+    Result<std::optional<Manifest>> live = TryReadManifest(dir, env, &corrupt);
+    if (!live.ok()) return live.status();
+    if (live->has_value() && (*live)->epoch >= entry.manifest.epoch) {
+      continue;  // Already rolled forward (or overtaken by a later save).
+    }
+    XYDIFF_RETURN_IF_ERROR(env->CreateDirs(dir));
+    XYDIFF_RETURN_IF_ERROR(
+        env->WriteFileAtomic(dir + "/" + kManifestName, entry.manifest_text));
+    XYDIFF_RETURN_IF_ERROR(env->SyncDir(dir));
+    CleanupUnreferenced(dir, entry.manifest, env);
+    if (notes != nullptr) {
+      notes->push_back("rolled " + entry.subdirectory + " forward to epoch " +
+                       std::to_string(entry.manifest.epoch));
+    }
+  }
+  XYDIFF_RETURN_IF_ERROR(env->RemoveFile(journal_path));
+  return env->SyncDir(parent);
+}
+
+}  // namespace
+
+Status SaveRepositoryBatch(const std::vector<RepositorySaveSlot>& slots,
+                           const std::string& parent, Env* env) {
+  env = Resolve(env);
+  if (slots.empty()) return Status::OK();
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].repo == nullptr) {
+      return Status::InvalidArgument("batch slot without a repository");
+    }
+    if (!ValidSubdirectory(slots[i].subdirectory)) {
+      return Status::InvalidArgument("batch slot subdirectory invalid: " +
+                                     slots[i].subdirectory);
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (slots[j].subdirectory == slots[i].subdirectory) {
+        return Status::InvalidArgument("duplicate batch slot: " +
+                                       slots[i].subdirectory);
+      }
+    }
+  }
+
+  MutexLock batch_lock(BatchLocks().For(parent));
+  XYDIFF_RETURN_IF_ERROR(env->CreateDirs(parent));
+  // An interrupted predecessor rolls forward first: its journal is
+  // committed truth and must not be overwritten with ours while slots
+  // still point at the state before it.
+  XYDIFF_RETURN_IF_ERROR(ApplyBatchJournalLocked(parent, env, nullptr));
+
+  // Phase 1: every slot's data files, made durable NOW. The journal
+  // below carries manifests only — recovery has no repositories in
+  // memory, so the bytes those manifests describe must already be on
+  // disk at the commit point.
+  std::vector<BatchSlotEntry> entries(slots.size());
+  for (size_t i = 0; i < slots.size(); ++i) {
+    const std::string dir = parent + "/" + slots[i].subdirectory;
+    MutexLock slot_lock(DirectoryLocks().For(dir));
+    Result<Manifest> next = WriteRepositoryData(*slots[i].repo, dir, env);
+    if (!next.ok()) return next.status();
+    XYDIFF_RETURN_IF_ERROR(env->SyncDir(dir));
+    entries[i].subdirectory = slots[i].subdirectory;
+    entries[i].manifest_text = FormatManifest(*next);
+    entries[i].manifest = std::move(*next);
+  }
+
+  // Phase 2: THE commit point — one atomic journal write + one parent
+  // directory sync covers the entire group.
+  XYDIFF_RETURN_IF_ERROR(env->WriteFileAtomic(
+      parent + "/" + kBatchJournalName, FormatBatchJournal(entries)));
+  XYDIFF_RETURN_IF_ERROR(env->SyncDir(parent));
+
+  // Phase 3: roll forward — deliberately the same code path recovery
+  // runs, so every successful save also proves the recovery path.
+  return ApplyBatchJournalLocked(parent, env, nullptr);
+}
+
+Status RecoverRepositoryBatch(const std::string& parent, Env* env,
+                              std::vector<std::string>* notes) {
+  env = Resolve(env);
+  MutexLock batch_lock(BatchLocks().For(parent));
+  return ApplyBatchJournalLocked(parent, env, notes);
 }
 
 Result<VersionRepository> LoadRepository(const std::string& directory,

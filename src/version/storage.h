@@ -67,6 +67,45 @@ struct RecoveryReport {
 Status SaveRepository(const VersionRepository& repo,
                       const std::string& directory, Env* env = nullptr);
 
+/// One repository in a group commit: what to write and where —
+/// `subdirectory` is a single path component under the batch parent
+/// directory (no separators).
+struct RepositorySaveSlot {
+  const VersionRepository* repo = nullptr;
+  std::string subdirectory;
+};
+
+/// Group-commits many repositories under `parent` with ONE durable
+/// commit point for the whole batch, instead of one MANIFEST rename +
+/// directory sync per repository. Protocol (see DESIGN.md "Group
+/// commit"):
+///
+///   1. every slot's data files are written and made durable (its
+///      MANIFEST still names the old state);
+///   2. a `BATCH-COMMIT` journal holding every slot's new MANIFEST is
+///      atomically written into `parent` and synced — THE commit point;
+///   3. each slot's MANIFEST is renamed into place and the journal is
+///      removed (crash here: RecoverRepositoryBatch finishes the job
+///      from the journal alone).
+///
+/// Atomicity is all-or-nothing across the whole batch: a reopen after a
+/// crash at any point sees either every slot pre-batch or every slot
+/// post-batch, never a mix. An error return means the journal was not
+/// committed and every slot is still pre-batch, except errors during
+/// step 3, where the journal is committed and recovery completes the
+/// batch. Empty batches are a no-op.
+Status SaveRepositoryBatch(const std::vector<RepositorySaveSlot>& slots,
+                           const std::string& parent, Env* env = nullptr);
+
+/// Rolls forward (or discards) an interrupted SaveRepositoryBatch:
+/// a committed journal re-writes every not-yet-switched slot MANIFEST;
+/// a torn uncommitted journal is removed, leaving every slot pre-batch.
+/// Call before loading repositories out of a batch parent directory
+/// (Warehouse::Load does). No journal present is OK. `notes` (optional)
+/// receives a human-readable event log.
+Status RecoverRepositoryBatch(const std::string& parent, Env* env = nullptr,
+                              std::vector<std::string>* notes = nullptr);
+
 /// Loads a repository persisted by SaveRepository, verifying every file
 /// against the MANIFEST checksums and self-healing where possible:
 /// corrupt current files fall back to the previous epoch if it

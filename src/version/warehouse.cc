@@ -4,12 +4,14 @@
 #include <atomic>
 #include <cctype>
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <string_view>
 #include <thread>
 #include <unordered_set>
 
 #include "delta/delta_xml.h"
+#include "delta/node_index.h"
 #include "util/string_util.h"
 #include "version/storage.h"
 #include "xml/parser.h"
@@ -28,8 +30,13 @@ Status RetryTransient(int max_retries, int backoff_ms,
        !status.ok() && status.code() == StatusCode::kIOError &&
        attempt < max_retries;
        ++attempt) {
-    std::this_thread::sleep_for(
-        std::chrono::milliseconds(backoff_ms << attempt));
+    // Cap the exponent and clamp the sleep: `backoff_ms << attempt` with
+    // an unbounded attempt count overflows int (undefined behaviour past
+    // shift 31) and would sleep for minutes long before that.
+    const int shift = std::min(attempt, 10);
+    const int64_t delay_ms = std::clamp<int64_t>(
+        static_cast<int64_t>(backoff_ms) << shift, 0, 1000);
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
     if (retries != nullptr) ++*retries;
     status = op();
   }
@@ -89,6 +96,11 @@ Warehouse::SnapshotSlots() const {
 
 Result<Warehouse::IngestReport> Warehouse::Ingest(const std::string& url,
                                                   XmlDocument document) {
+  return IngestInternal(url, std::move(document), /*defer_monitors=*/false);
+}
+
+Result<Warehouse::IngestReport> Warehouse::IngestInternal(
+    const std::string& url, XmlDocument document, bool defer_monitors) {
   if (document.root() == nullptr) {
     return Status::InvalidArgument("cannot ingest an empty document: " + url);
   }
@@ -103,14 +115,22 @@ Result<Warehouse::IngestReport> Warehouse::Ingest(const std::string& url,
   MutexLock doc_lock(doc->mutex);
   if (created || doc->repo == nullptr) {
     doc->repo = std::make_unique<VersionRepository>(std::move(document));
-    doc->index = FullTextIndex::Build(doc->repo->current());
+    if (defer_monitors) {
+      doc->index_dirty = true;
+    } else {
+      doc->index = FullTextIndex::Build(doc->repo->current());
+      doc->index_dirty = false;
+    }
     report.version = 1;
     report.first_version = true;
     return report;
   }
 
-  const XmlDocument old_version = doc->repo->current().Clone();
-  Result<int> version = doc->repo->Commit(std::move(document), options_);
+  // Commit hands back the superseded version instead of us deep-cloning
+  // it up front — the diff reads the old tree but never mutates it.
+  XmlDocument old_version;
+  Result<int> version =
+      doc->repo->Commit(std::move(document), options_, &old_version);
   if (!version.ok()) return version.status();
   report.version = *version;
 
@@ -118,22 +138,51 @@ Result<Warehouse::IngestReport> Warehouse::Ingest(const std::string& url,
   if (!delta.ok()) return delta.status();
   report.operations = (*delta)->operation_count();
 
-  XYDIFF_RETURN_IF_ERROR(
-      doc->index.Apply(**delta, old_version, doc->repo->current()));
+  // Alerts are never deferred; with no subscriptions a deferred ingest
+  // is done here — index marked stale, statistics skipped (derived
+  // state, the contract Load() already has).
+  bool evaluate_alerts = true;
+  if (defer_monitors) {
+    ReaderMutexLock lock(alerter_mutex_);
+    evaluate_alerts = alerter_.subscription_count() > 0;
+    if (!evaluate_alerts) {
+      doc->index_dirty = true;
+      return report;
+    }
+  }
+
+  // Resolve the delta's nodes once; index, alerter, and statistics all
+  // consume the same DeltaNodeIndex instead of each rebuilding an O(n)
+  // XID map over both versions.
+  const DeltaNodeIndex nodes =
+      DeltaNodeIndex::Build(**delta, old_version, doc->repo->current());
+
+  if (defer_monitors) {
+    doc->index_dirty = true;
+  } else if (doc->index_dirty) {
+    // A previous deferred batch left the index stale; incremental Apply
+    // would corrupt it. Rebuild from the (post-commit) current version.
+    doc->index = FullTextIndex::Build(doc->repo->current());
+    doc->index_dirty = false;
+  } else {
+    XYDIFF_RETURN_IF_ERROR(doc->index.Apply(**delta, nodes));
+  }
 
   // Subscription evaluation: read-only on the alerter, so concurrent
-  // ingests share the lock and the O(n) index builds run in parallel.
-  {
+  // ingests share the lock.
+  if (evaluate_alerts) {
     ReaderMutexLock lock(alerter_mutex_);
-    report.alerts =
-        alerter_.Evaluate(**delta, old_version, doc->repo->current());
+    report.alerts = alerter_.Evaluate(**delta, nodes);
   }
-  // Statistics: heavy work in a local collector, cheap merge under lock.
-  ChangeStatistics local;
-  local.Accumulate(**delta, old_version, doc->repo->current());
-  {
-    MutexLock lock(stats_mutex_);
-    stats_.Merge(local);
+  if (!defer_monitors) {
+    // Statistics: heavy work in a local collector, cheap merge under
+    // lock.
+    ChangeStatistics local;
+    local.Accumulate(**delta, doc->repo->current(), nodes);
+    {
+      MutexLock lock(stats_mutex_);
+      stats_.Merge(local);
+    }
   }
   return report;
 }
@@ -210,15 +259,85 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
   std::atomic<size_t> in_flight{0};
   std::atomic<size_t> peak_in_flight{0};
   std::atomic<size_t> parse_items{0}, parse_failed{0};
+  std::atomic<size_t> parse_peak_backlog{0};
   std::atomic<size_t> diff_items{0}, diff_failed{0};
   std::atomic<size_t> store_items{0}, store_failed{0}, store_retries{0};
   std::atomic<size_t> degraded_slots{0};
   std::atomic<bool> batch_failed{false};
   std::atomic<uint64_t> parse_stall_ns{0}, diff_stall_ns{0};
 
+  const int worker_count = std::max(
+      1, std::min<int>(pipeline.threads, static_cast<int>(
+                                             std::max<size_t>(1, jobs.size()))));
+  // A worker carries its slot straight into the next stage while queues
+  // are shallow: the hand-off (queue lock, deque churn, another worker's
+  // wakeup) costs more than it buys when nobody is waiting for work.
+  // Queues only come into play once they hold enough for every worker.
+  const size_t carry_threshold = static_cast<size_t>(worker_count);
+
   const auto finish_item = [&](size_t) {
     in_flight.fetch_sub(1, std::memory_order_relaxed);
     done_count.fetch_add(1, std::memory_order_acq_rel);
+  };
+
+  // Group commit: finished slots park here until a full group (or the
+  // batch tail) flushes them through ONE SaveRepositoryBatch — one
+  // journal fsync + parent sync for the whole group instead of a
+  // manifest rename + directory sync per slot.
+  const bool group_commit = !pipeline.save_directory.empty() &&
+                            pipeline.group_commit_slots > 1;
+  Mutex group_mutex;
+  std::vector<size_t> parked_slots;
+
+  // Persists one flushed group. Annotation opt-out: the per-document
+  // locks are taken in a loop (URL order), which the static analysis
+  // cannot follow. The order is deadlock-free — group flushers agree on
+  // it, and every other path holds at most one document lock at a time.
+  const auto flush_group = [&](std::vector<size_t> group)
+      XY_NO_THREAD_SAFETY_ANALYSIS {
+    if (group.empty()) return;
+    std::sort(group.begin(), group.end(), [&](size_t a, size_t b) {
+      return results[a]->url < results[b]->url;
+    });
+    std::vector<Document*> docs(group.size(), nullptr);
+    std::vector<RepositorySaveSlot> slots;
+    slots.reserve(group.size());
+    for (size_t g = 0; g < group.size(); ++g) {
+      docs[g] = FindDocument(results[group[g]]->url);
+      if (docs[g] != nullptr) docs[g]->mutex.lock();
+    }
+    for (size_t g = 0; g < group.size(); ++g) {
+      if (docs[g] != nullptr && docs[g]->repo != nullptr) {
+        slots.push_back(RepositorySaveSlot{
+            docs[g]->repo.get(), SanitizeUrl(results[group[g]]->url)});
+      }
+    }
+    size_t group_retries = 0;
+    const Status saved = RetryTransient(
+        pipeline.max_io_retries, pipeline.retry_backoff_ms,
+        [&] {
+          return SaveRepositoryBatch(slots, pipeline.save_directory,
+                                     pipeline.env);
+        },
+        &group_retries);
+    for (size_t g = group.size(); g > 0; --g) {
+      if (docs[g - 1] != nullptr) docs[g - 1]->mutex.unlock();
+    }
+    // The commit is shared, so its cost and its outcome are attributed
+    // to every slot in the group: all-or-nothing on disk.
+    store_retries.fetch_add(group_retries, std::memory_order_relaxed);
+    for (size_t index : group) {
+      IngestReport& report = *results[index];
+      report.store_retries += group_retries;
+      if (!saved.ok()) {
+        report.store_degraded = true;
+        store_failed.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (group_retries > 0 || report.store_degraded) {
+        degraded_slots.fetch_add(1, std::memory_order_relaxed);
+      }
+      finish_item(index);
+    }
   };
 
   // Stage 3: serialize the committed delta, account its size, and (when
@@ -237,7 +356,7 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
         if (delta.ok()) {
           report.delta_bytes = SerializeDelta(**delta).size();
         }
-        if (!pipeline.save_directory.empty()) {
+        if (!pipeline.save_directory.empty() && !group_commit) {
           const Status saved = RetryTransient(
               pipeline.max_io_retries, pipeline.retry_backoff_ms,
               [&] {
@@ -259,6 +378,19 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
         }
       }
     }
+    if (group_commit) {
+      // Park the slot; its finish_item runs when the group flushes.
+      std::vector<size_t> full;
+      {
+        MutexLock lock(group_mutex);
+        parked_slots.push_back(index);
+        if (parked_slots.size() >= pipeline.group_commit_slots) {
+          full.swap(parked_slots);
+        }
+      }
+      flush_group(std::move(full));
+      return;
+    }
     finish_item(index);
   };
 
@@ -266,6 +398,10 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
   // (this worker becomes the downstream stage), so a fixed-size pool
   // can never deadlock on backpressure. Time spent here is "stall".
   const auto push_store = [&](size_t index) {
+    if (store_queue.size() < carry_threshold) {
+      store_one(index);  // Carry the slot through; no hand-off.
+      return;
+    }
     const auto start = Clock::now();
     bool stalled = false;
     while (!store_queue.TryPush(index)) {
@@ -281,11 +417,14 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
     }
   };
 
-  // Stage 2: the diff pipeline proper (diff + chain append + alerter +
-  // statistics + incremental index), then hand off to the store stage.
+  // Stage 2: the diff pipeline proper (diff + chain append + alerter;
+  // index and statistics follow the batch's monitor policy), then hand
+  // off to the store stage.
   const auto diff_one = [&](ParsedItem item) {
     diff_items.fetch_add(1, std::memory_order_relaxed);
-    results[item.index] = Ingest(jobs[item.index].url, std::move(item.doc));
+    results[item.index] = IngestInternal(jobs[item.index].url,
+                                         std::move(item.doc),
+                                         pipeline.defer_monitor_updates);
     if (!results[item.index].ok()) {
       diff_failed.fetch_add(1, std::memory_order_relaxed);
       batch_failed.store(true, std::memory_order_release);
@@ -300,6 +439,10 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
   };
 
   const auto push_diff = [&](ParsedItem item) {
+    if (diff_queue.size() < carry_threshold) {
+      diff_one(std::move(item));  // Carry the slot through; no hand-off.
+      return;
+    }
     const auto start = Clock::now();
     bool stalled = false;
     while (!diff_queue.TryPush(std::move(item))) {
@@ -319,13 +462,20 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
   const auto parse_one = [&](size_t index) {
     const size_t now_in_flight =
         in_flight.fetch_add(1, std::memory_order_relaxed) + 1;
-    size_t peak = peak_in_flight.load(std::memory_order_relaxed);
-    while (now_in_flight > peak &&
-           !peak_in_flight.compare_exchange_weak(peak, now_in_flight,
-                                                 std::memory_order_relaxed)) {
-    }
+    UpdateAtomicMax(peak_in_flight, now_in_flight);
+    // The parse stage's backlog is the admission queue itself: every job
+    // not yet claimed is waiting to be parsed.
+    UpdateAtomicMax(parse_peak_backlog, jobs.size() - index);
     parse_items.fetch_add(1, std::memory_order_relaxed);
-    Result<XmlDocument> doc = ParseXml(jobs[index].xml);
+    ParseOptions parse_options;
+    if (pipeline.reuse_arenas) {
+      // A recycled arena keeps its largest block, so steady-state slots
+      // parse without touching malloc for node storage at all.
+      parse_options.arena = arena_pool_.Acquire(
+          std::min(std::max(jobs[index].xml.size(), Arena::kDefaultFirstBlock),
+                   Arena::kMaxBlock));
+    }
+    Result<XmlDocument> doc = ParseXml(jobs[index].xml, parse_options);
     if (!doc.ok()) {
       parse_failed.fetch_add(1, std::memory_order_relaxed);
       batch_failed.store(true, std::memory_order_release);
@@ -377,14 +527,24 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
         continue;
       }
       if (done_count.load(std::memory_order_acquire) >= jobs.size()) return;
+      if (group_commit) {
+        // Tail: no admissions and no queued work left, so an under-full
+        // parked group would otherwise wait forever. Flush it partial.
+        std::vector<size_t> partial;
+        {
+          MutexLock lock(group_mutex);
+          partial.swap(parked_slots);
+        }
+        if (!partial.empty()) {
+          flush_group(std::move(partial));
+          continue;
+        }
+      }
       // Tail: peers still hold items; re-poll shortly.
       std::this_thread::sleep_for(std::chrono::microseconds(50));
     }
   };
 
-  const int worker_count = std::max(
-      1, std::min<int>(pipeline.threads, static_cast<int>(
-                                             std::max<size_t>(1, jobs.size()))));
   {
     ThreadPool pool(worker_count);
     for (int t = 0; t < worker_count; ++t) pool.Submit(worker);
@@ -397,6 +557,9 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
     parse_stage.name = "parse";
     parse_stage.items = parse_items.load();
     parse_stage.failed = parse_failed.load();
+    // The admission backlog: before this was wired up, BENCH_parallel
+    // always reported parse_peak_queue = 0.
+    parse_stage.peak_queue_depth = parse_peak_backlog.load();
     parse_stage.stall_seconds =
         static_cast<double>(parse_stall_ns.load()) * 1e-9;
     StageStats diff_stage;
@@ -464,6 +627,12 @@ std::vector<std::pair<std::string, Xid>> Warehouse::Search(
   std::vector<std::pair<std::string, Xid>> hits;
   for (const auto& [url, doc] : SnapshotSlots()) {
     MutexLock doc_lock(doc->mutex);
+    if (doc->index_dirty && doc->repo != nullptr) {
+      // A deferred-monitor batch left this index stale; rebuild it once
+      // here — amortized, this is the same total work the batch skipped.
+      doc->index = FullTextIndex::Build(doc->repo->current());
+      doc->index_dirty = false;
+    }
     for (Xid xid : doc->index.Lookup(word)) {
       hits.emplace_back(url, xid);
     }
@@ -512,6 +681,9 @@ Result<std::unique_ptr<Warehouse>> Warehouse::Load(
     const std::string& directory, DiffOptions options,
     std::vector<std::string>* skipped, Env* env) {
   if (env == nullptr) env = Env::Default();
+  // A crashed DiffBatch group commit may have left a batch journal; roll
+  // it forward (or discard a torn one) before trusting the slots.
+  XYDIFF_RETURN_IF_ERROR(RecoverRepositoryBatch(directory, env));
   Result<std::string> manifest = env->ReadFile(directory + "/manifest.tsv");
   if (!manifest.ok()) {
     if (manifest.status().code() == StatusCode::kNotFound) {

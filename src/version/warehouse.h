@@ -10,6 +10,7 @@
 
 #include "core/options.h"
 #include "monitor/change_stats.h"
+#include "util/arena.h"
 #include "monitor/index.h"
 #include "monitor/subscription.h"
 #include "util/annotations.h"
@@ -88,6 +89,30 @@ class Warehouse {
     /// not-yet-started remainder comes back as Status kAborted. Slots
     /// already in flight still finish (their documents stay consistent).
     bool fail_fast = false;
+    /// Recycle parse arenas across slots through the warehouse's
+    /// ArenaPool instead of malloc'ing a fresh arena per document. The
+    /// pool is thread-sharded, so with shard-affine workers a slot's
+    /// blocks are usually reused warm by the same worker. Off = the
+    /// pre-pool behaviour (one fresh arena per slot), kept for A/B
+    /// testing and the aliasing regression tests.
+    bool reuse_arenas = true;
+    /// Store stage group-commit width: up to this many finished slots
+    /// are persisted by ONE batched crash-safe commit (one journal
+    /// fsync + directory sync for the whole group instead of one
+    /// manifest rename + sync per slot — see SaveRepositoryBatch).
+    /// 1 = per-slot commits (the pre-batch behaviour).
+    size_t group_commit_slots = 8;
+    /// Bulk-load mode (default): the batch defers full-text index and
+    /// statistics maintenance out of the ingest critical path — each
+    /// touched document's index is marked stale and rebuilt lazily on
+    /// the next Search(). This is the same contract Load() already has
+    /// ("the index is rebuilt; statistics are derived state"), and it
+    /// keeps the staged pipeline's per-document cost equal to the
+    /// straight-line diff it replaces. Alerts are NEVER deferred: when
+    /// subscriptions are registered they are evaluated inline exactly
+    /// as in Ingest(). Set false to maintain index and statistics
+    /// incrementally inside the batch (the Ingest() behaviour).
+    bool defer_monitor_updates = true;
   };
 
   explicit Warehouse(DiffOptions options = {}) : options_(options) {}
@@ -173,6 +198,10 @@ class Warehouse {
     Mutex mutex;
     std::unique_ptr<VersionRepository> repo XY_GUARDED_BY(mutex);
     FullTextIndex index XY_GUARDED_BY(mutex);
+    /// True when a deferred-monitor ingest left `index` stale; the next
+    /// reader (Search) or inline ingest rebuilds it from the current
+    /// version before use.
+    bool index_dirty XY_GUARDED_BY(mutex) = false;
   };
 
   /// The document map is split into shards locked independently, so the
@@ -189,6 +218,14 @@ class Warehouse {
   /// Directory-safe encoding of a URL.
   static std::string SanitizeUrl(const std::string& url);
 
+  /// Ingest with the monitor-maintenance policy chosen by the caller:
+  /// `defer_monitors` marks the document's index stale (lazily rebuilt)
+  /// and skips statistics instead of updating both inline. Alert
+  /// evaluation is unconditional whenever subscriptions exist.
+  Result<IngestReport> IngestInternal(const std::string& url,
+                                      XmlDocument document,
+                                      bool defer_monitors);
+
   Shard& ShardFor(const std::string& url) const;
   Document* FindDocument(const std::string& url) const;
   /// Finds or creates the slot for `url`; sets `created`.
@@ -198,6 +235,12 @@ class Warehouse {
 
   DiffOptions options_;
   mutable std::array<Shard, kShards> shards_;
+  // Parse-arena recycling across slots AND across batches: freed
+  // documents return their (rewound) arenas here, so steady-state
+  // pipelines stop allocating arena blocks entirely. Lives on the
+  // warehouse — a per-batch pool would never carry blocks from one
+  // crawl round to the next.
+  mutable ArenaPool arena_pool_;
   // Subscriptions change rarely but are read on every ingest: readers
   // share, Subscribe() excludes.
   mutable SharedMutex alerter_mutex_;

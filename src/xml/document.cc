@@ -14,8 +14,12 @@ void AssignPostfix(XmlNode* node, Xid* counter) {
 }  // namespace
 
 XmlDocument XmlDocument::ArenaBacked(size_t first_block_hint) {
+  return ArenaBacked(std::make_shared<Arena>(first_block_hint));
+}
+
+XmlDocument XmlDocument::ArenaBacked(std::shared_ptr<Arena> arena) {
   XmlDocument doc;
-  doc.arena_ = std::make_shared<Arena>(first_block_hint);
+  doc.arena_ = std::move(arena);
   doc.interner_ = std::make_unique<StringInterner>(doc.arena_.get());
   return doc;
 }

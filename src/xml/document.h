@@ -39,6 +39,12 @@ class XmlDocument {
   static XmlDocument ArenaBacked(size_t first_block_hint =
                                      Arena::kDefaultFirstBlock);
 
+  /// Same, but building into a caller-supplied (possibly recycled)
+  /// arena — the ArenaPool hook. The arena must hold no live objects;
+  /// a fresh interner is created per document because interner keys are
+  /// views into arena memory.
+  static XmlDocument ArenaBacked(std::shared_ptr<Arena> arena);
+
   // Not defaulted: the atomic allocator is not movable, and members
   // assign in declaration order, which would free the old arena (arena_
   // is declared first) while the old root_ still points into it. Drop

@@ -83,7 +83,10 @@ class Parser {
     // The whole tree is built into the document's arena: node records,
     // labels (deduplicated by the interner), attribute values and
     // character data all land in one allocation region.
-    XmlDocument doc = XmlDocument::ArenaBacked(FirstBlockHint(text_.size()));
+    XmlDocument doc =
+        options_.arena != nullptr
+            ? XmlDocument::ArenaBacked(options_.arena)
+            : XmlDocument::ArenaBacked(FirstBlockHint(text_.size()));
     arena_ = doc.arena();
     interner_ = doc.interner();
     SkipProlog(&doc);

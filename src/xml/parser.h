@@ -19,6 +19,12 @@ struct ParseOptions {
   /// Maximum element nesting depth before the parser refuses the input
   /// (guards against stack exhaustion on adversarial documents).
   int max_depth = 10000;
+
+  /// When set, the document is built into this arena instead of a fresh
+  /// one — the ArenaPool recycling hook for the warehouse pipeline. The
+  /// arena must hold no live objects (acquire it from an ArenaPool, or
+  /// pass a freshly constructed one).
+  std::shared_ptr<Arena> arena;
 };
 
 // Note on persistent identifiers: XIDs are not stored inside the XML text

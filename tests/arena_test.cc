@@ -194,5 +194,108 @@ TEST(ArenaDocumentTest, ArenaBackedFactoryProvidesInterner) {
   EXPECT_GT(doc.arena()->bytes_used(), 0u);
 }
 
+TEST(ArenaTest, RewindKeepsNewestBlockAndReusesIt) {
+  Arena arena(64);
+  // Force growth past the first block so Rewind has older blocks to
+  // free and a newest block to keep.
+  for (int i = 0; i < 64; ++i) arena.Allocate(64);
+  const size_t blocks_before = arena.block_count();
+  ASSERT_GT(blocks_before, 1u);
+  const size_t reserved_before = arena.bytes_reserved();
+
+  arena.Rewind();
+  EXPECT_EQ(arena.block_count(), 1u);
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_LT(arena.bytes_reserved(), reserved_before);
+
+  // The kept block satisfies new allocations without growing.
+  const size_t reserved_after = arena.bytes_reserved();
+  arena.Allocate(128);
+  EXPECT_EQ(arena.bytes_reserved(), reserved_after);
+}
+
+TEST(ArenaPoolTest, ReleaseRecyclesAndAcquireReuses) {
+  ArenaPool pool;
+  std::shared_ptr<Arena> arena = pool.Acquire();
+  Arena* raw = arena.get();
+  arena->Allocate(1000);
+  EXPECT_EQ(pool.idle_count(), 0u);
+
+  arena.reset();  // Last owner gone: the deleter parks it, rewound.
+  EXPECT_EQ(pool.idle_count(), 1u);
+
+  std::shared_ptr<Arena> again = pool.Acquire();
+  EXPECT_EQ(again.get(), raw);  // Same shard, same thread: same arena.
+  EXPECT_EQ(again->bytes_used(), 0u);
+  EXPECT_EQ(pool.recycled_count(), 1u);
+  EXPECT_EQ(pool.idle_count(), 0u);
+}
+
+TEST(ArenaPoolTest, SharedOwnershipDefersRecyclingUntilLastOwner) {
+  // The aliasing regression the pipeline relies on: an arena re-enters
+  // the pool (and is rewound, scribbling its memory in debug builds)
+  // only when NO owner remains. Two documents can therefore never see
+  // each other's bytes through a pooled arena.
+  ArenaPool pool;
+  std::shared_ptr<Arena> first = pool.Acquire();
+  std::shared_ptr<Arena> alias = first;  // Second owner (e.g. a delta).
+  const std::string_view pinned = first->CopyString("must stay intact");
+
+  first.reset();
+  EXPECT_EQ(pool.idle_count(), 0u);  // Still owned: not recycled.
+  std::shared_ptr<Arena> other = pool.Acquire();
+  EXPECT_NE(other.get(), alias.get());  // A fresh arena, not ours.
+  EXPECT_EQ(pinned, "must stay intact");
+
+  alias.reset();
+  EXPECT_EQ(pool.idle_count(), 1u);  // Now it recycles.
+}
+
+TEST(ArenaPoolTest, SurplusArenasAreFreedNotHoarded) {
+  ArenaPool pool(/*max_idle_per_shard=*/1);
+  std::shared_ptr<Arena> a = pool.Acquire();
+  std::shared_ptr<Arena> b = pool.Acquire();
+  a.reset();
+  b.reset();
+  // Same thread = same shard; the second release exceeds the cap and
+  // frees instead of parking.
+  EXPECT_EQ(pool.idle_count(), 1u);
+}
+
+TEST(ArenaPoolTest, PoolMayDieBeforeItsArenas) {
+  std::shared_ptr<Arena> survivor;
+  {
+    ArenaPool pool;
+    survivor = pool.Acquire();
+    survivor->CopyString("outlives the pool");
+  }
+  // The deleter holds only a weak_ptr to the pool's state: releasing
+  // after the pool died frees the arena instead of crashing.
+  EXPECT_GT(survivor->bytes_used(), 0u);
+  survivor.reset();
+}
+
+TEST(ArenaPoolTest, PooledParseDocumentsShareNoBytes) {
+  // Parse two documents through the pool sequentially (the pipeline's
+  // steady state: slot N+1 reuses slot N's memory) while the FIRST
+  // document is still alive — its text must stay intact even as the
+  // second parses, and both must serialize independently.
+  ArenaPool pool;
+  ParseOptions options;
+  options.arena = pool.Acquire();
+  Result<XmlDocument> one =
+      ParseXml("<a><t>first document text</t></a>", options);
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+  options.arena = pool.Acquire();
+  Result<XmlDocument> two =
+      ParseXml("<a><t>second document text</t></a>", options);
+  ASSERT_TRUE(two.ok()) << two.status().ToString();
+  EXPECT_NE(SerializeDocument(*one), SerializeDocument(*two));
+  EXPECT_NE(SerializeDocument(*one).find("first document text"),
+            std::string::npos);
+  EXPECT_NE(SerializeDocument(*two).find("second document text"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace xydiff

@@ -346,6 +346,134 @@ TEST_F(FaultInjectionTest, FailFastAbortsRemainingSlots) {
   EXPECT_EQ(results[2].status().code(), StatusCode::kAborted);
 }
 
+/// Probes one fault point of a 3-slot SaveRepositoryBatch: seed every
+/// slot with its pre-batch repository, arm the fault, run the batched
+/// save, "crash" (drop un-synced data), recover the parent directory,
+/// and reload every slot. The batch contract: ALL slots read back
+/// pre-batch or ALL read back post-batch — a mix is a torn group
+/// commit. Returns false once the armed fault no longer triggers.
+bool ProbeBatchFaultPoint(
+    const std::string& parent, const std::vector<VersionRepository>& before,
+    const std::vector<VersionRepository>& after,
+    const std::vector<std::vector<std::string>>& sig_before,
+    const std::vector<std::vector<std::string>>& sig_after,
+    const std::function<void(FaultInjectionEnv&)>& plan) {
+  fs::remove_all(parent);
+  FaultInjectionEnv env;
+  std::vector<RepositorySaveSlot> seed;
+  for (size_t i = 0; i < before.size(); ++i) {
+    seed.push_back({&before[i], "slot" + std::to_string(i)});
+  }
+  XY_EXPECT_OK(SaveRepositoryBatch(seed, parent, &env));
+  env.Reset();  // Disk state stands; forget counters and durable images.
+
+  plan(env);
+  std::vector<RepositorySaveSlot> slots;
+  for (size_t i = 0; i < after.size(); ++i) {
+    slots.push_back({&after[i], "slot" + std::to_string(i)});
+  }
+  const Status saved = SaveRepositoryBatch(slots, parent, &env);
+  const bool triggered = env.triggered();
+  XY_EXPECT_OK(env.DropUnsyncedData());
+
+  // The reopen path: roll the batch journal forward (or discard a torn
+  // one), exactly what Warehouse::Load does before touching any slot.
+  XY_EXPECT_OK(RecoverRepositoryBatch(parent));
+
+  size_t pre = 0, post = 0;
+  for (size_t i = 0; i < after.size(); ++i) {
+    RecoveryReport report;
+    Result<VersionRepository> reopened = LoadRepository(
+        parent + "/slot" + std::to_string(i), nullptr, &report);
+    EXPECT_TRUE(reopened.ok())
+        << reopened.status().ToString() << "\n" << report.ToString();
+    if (!reopened.ok()) return triggered;
+    const std::vector<std::string> sig = Signature(*reopened);
+    if (sig == sig_before[i]) {
+      ++pre;
+    } else if (sig == sig_after[i]) {
+      ++post;
+    } else {
+      ADD_FAILURE() << "slot " << i << " reopened as neither pre- nor "
+                    << "post-batch\n" << report.ToString();
+    }
+  }
+  EXPECT_TRUE(pre == after.size() || post == after.size())
+      << "torn group commit: " << pre << " slot(s) pre-batch, " << post
+      << " post-batch";
+  if (saved.ok()) {
+    // A successful return means the journal committed; recovery must
+    // then finish the whole batch, never roll it back.
+    EXPECT_EQ(post, after.size());
+  }
+  return triggered;
+}
+
+struct BatchCorpus {
+  std::vector<VersionRepository> before, after;
+  std::vector<std::vector<std::string>> sig_before, sig_after;
+};
+
+BatchCorpus MakeBatchCorpus(size_t slots) {
+  BatchCorpus corpus;
+  for (size_t i = 0; i < slots; ++i) {
+    const uint64_t seed = 300 + i;
+    corpus.before.push_back(MakeRepo(seed, 1));
+    VersionRepository after = MakeRepo(seed, 1);
+    Rng rng(400 + i);
+    Result<SimulatedChange> change =
+        SimulateChanges(after.current(), ChangeSimOptions{}, &rng);
+    EXPECT_TRUE(change.ok());
+    EXPECT_TRUE(after.Commit(std::move(change->new_version)).ok());
+    corpus.after.push_back(std::move(after));
+    corpus.sig_before.push_back(Signature(corpus.before.back()));
+    corpus.sig_after.push_back(Signature(corpus.after.back()));
+    EXPECT_NE(corpus.sig_before.back(), corpus.sig_after.back());
+  }
+  return corpus;
+}
+
+TEST_F(FaultInjectionTest, BatchCrashAtEveryOperationYieldsAllPreOrAllPost) {
+  const BatchCorpus corpus = MakeBatchCorpus(3);
+  int op = 0;
+  for (; op < 10000; ++op) {
+    if (!ProbeBatchFaultPoint(
+            Dir(), corpus.before, corpus.after, corpus.sig_before,
+            corpus.sig_after,
+            [op](FaultInjectionEnv& env) { env.CrashAt(op); })) {
+      break;
+    }
+  }
+  // The batched protocol spans three slots plus a journal: the sweep
+  // must cover far more ops than a single-slot save before walking off
+  // the end.
+  EXPECT_GT(op, 10);
+  EXPECT_LT(op, 10000);
+}
+
+TEST_F(FaultInjectionTest, BatchTornWriteAtEveryOffsetYieldsAllPreOrAllPost) {
+  const BatchCorpus corpus = MakeBatchCorpus(3);
+  // Tear offsets chosen to land inside every interesting payload: the
+  // empty prefix, a single byte, mid-manifest, and mid-journal (the
+  // journal embeds all three manifests, so 512 bytes usually splits
+  // slot entries). Non-write ops degrade to a plain crash, keeping the
+  // sweep exhaustive over op indices.
+  for (const size_t keep : {size_t{0}, size_t{1}, size_t{512}}) {
+    int op = 0;
+    for (; op < 10000; ++op) {
+      if (!ProbeBatchFaultPoint(
+              Dir(), corpus.before, corpus.after, corpus.sig_before,
+              corpus.sig_after, [op, keep](FaultInjectionEnv& env) {
+                env.TearWriteAt(op, keep);
+              })) {
+        break;
+      }
+    }
+    EXPECT_GT(op, 10) << "keep=" << keep;
+    EXPECT_LT(op, 10000) << "keep=" << keep;
+  }
+}
+
 TEST_F(FaultInjectionTest, WriteFileShortFailureIsIOErrorNotCorruption) {
   // Satellite regression: a failed in-place write is an I/O failure
   // (possibly transient — ENOSPC), never "Corruption", which is

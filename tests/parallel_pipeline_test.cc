@@ -20,6 +20,7 @@
 #include "tests/test_util.h"
 #include "util/random.h"
 #include "version/warehouse.h"
+#include "xml/parser.h"
 #include "xml/serializer.h"
 
 namespace xydiff {
@@ -315,6 +316,76 @@ TEST(ParallelPipelineTest, AlertsFireThroughThePipeline) {
     ASSERT_TRUE(r.ok()) << r.status().ToString();
     EXPECT_FALSE(r->alerts.empty())
         << r->url << ": price change should trigger the subscription";
+  }
+}
+
+// Arena recycling is an allocator change, never a semantic one: pooled
+// and per-slot arenas must yield byte-identical stored versions — XIDs
+// included — and identical deltas. Run under the ASan preset, this is
+// also the aliasing check: a recycled arena that still carried another
+// slot's live bytes would trip use-after-poison immediately.
+TEST(ParallelPipelineTest, PooledArenasMatchFreshArenasByteForByte) {
+  Corpus corpus = MakeCorpus(60, 4600);
+
+  Warehouse::PipelineOptions fresh;
+  fresh.threads = 4;
+  fresh.reuse_arenas = false;
+  std::map<std::string, DocumentOutcome> expected =
+      RunPipeline(corpus, fresh);
+  ASSERT_EQ(expected.size(), 60u);
+
+  Warehouse::PipelineOptions pooled;
+  pooled.threads = 4;
+  pooled.reuse_arenas = true;
+  std::map<std::string, DocumentOutcome> actual =
+      RunPipeline(corpus, pooled);
+
+  EXPECT_TRUE(expected == actual)
+      << "arena recycling changed an observable outcome";
+}
+
+// Deferring monitor maintenance must change WHEN the index is built,
+// never what it answers: a Search after a deferred batch (lazy rebuild)
+// must equal a Search after an inline-maintained batch, and the stored
+// versions must be untouched by the policy.
+TEST(ParallelPipelineTest, DeferredMonitorsAnswerSearchesIdentically) {
+  Corpus corpus = MakeCorpus(30, 3000);
+
+  const auto run = [&](bool defer) {
+    auto warehouse = std::make_unique<Warehouse>();
+    Warehouse::PipelineOptions pipeline;
+    pipeline.threads = 2;
+    pipeline.defer_monitor_updates = defer;
+    for (const auto& r : warehouse->DiffBatch(corpus.week1, pipeline)) {
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+    }
+    for (const auto& r : warehouse->DiffBatch(corpus.week2, pipeline)) {
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+    }
+    return warehouse;
+  };
+
+  const auto inline_wh = run(false);
+  const auto deferred_wh = run(true);
+  // Probe with words that appear in generated documents plus one miss.
+  for (const char* word : {"the", "item", "price", "zzz-not-a-word"}) {
+    auto expected = inline_wh->Search(word);
+    auto actual = deferred_wh->Search(word);
+    EXPECT_EQ(expected, actual) << "Search(\"" << word << "\") diverged";
+  }
+  // A later inline ingest over a stale index must rebuild, not corrupt:
+  // re-ingest week2 via Ingest (inline monitors) on the deferred
+  // warehouse and re-check.
+  for (const auto& job : corpus.week2) {
+    Result<XmlDocument> doc = ParseXml(job.xml);
+    ASSERT_TRUE(doc.ok());
+    auto report = deferred_wh->Ingest(job.url, std::move(*doc));
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+  }
+  for (const char* word : {"the", "item", "price"}) {
+    // An identical re-ingest is a no-op delta: the rebuilt-then-applied
+    // index must still answer exactly like the always-inline warehouse.
+    EXPECT_EQ(deferred_wh->Search(word), inline_wh->Search(word)) << word;
   }
 }
 
