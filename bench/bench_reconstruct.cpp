@@ -1,0 +1,239 @@
+// Any-version reconstruction experiment — the O(log n) skip-delta claim.
+//
+// A version store that keeps only the newest document plus the delta
+// chain pays n - v delta applications to check out version v: the median
+// lookup over a long history costs ~n/2 applies. The reconstruction
+// index (checkpoint + skip-deltas composed with the delta algebra) bounds
+// every lookup by ceil(log2 n) + C applications instead.
+//
+// This bench grows one simulated chain, reconstructs a spread of
+// versions through both paths — plain backward replay and the indexed
+// forward plan — and cross-checks that they produce bit-identical
+// documents (XIDs included). It also totals the on-disk cost of the
+// binary codec against the XML serialization it replaces.
+//
+// Results land in BENCH_reconstruct.json for machine comparison.
+//
+// `--smoke` runs a 1k-version chain as a ctest gate: every indexed
+// checkout must stay within the ceil(log2 n) + 2 application bound and
+// match the replay path bit-exactly, else exit 1.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "delta/codec.h"
+#include "delta/delta_xml.h"
+#include "simulator/change_simulator.h"
+#include "simulator/doc_generator.h"
+#include "util/random.h"
+#include "version/repository.h"
+#include "xml/serializer.h"
+
+namespace {
+
+using namespace xydiff;
+using bench::Timer;
+
+size_t CeilLog2(size_t n) {
+  size_t bits = 0;
+  while ((size_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
+double Median(std::vector<size_t> values) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  return static_cast<double>(values[values.size() / 2]);
+}
+
+std::string WithXids(const XmlDocument& doc) {
+  SerializeOptions options;
+  options.emit_xids = true;
+  return SerializeDocument(doc, options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const int versions = smoke ? 1000 : 10000;
+
+  bench::Banner("Any-version reconstruction: skip-delta index vs replay",
+                "ICDE 2002 paper, Section 7 storage model (O(log n) lookup)");
+
+  // A long history of light edits: the regime where replay cost hurts —
+  // each delta is cheap, there are just thousands of them between the
+  // newest version and the one a consumer asks for.
+  Rng rng(271828);
+  ChangeSimOptions light;
+  light.delete_probability = 0.002;
+  light.update_probability = 0.01;
+  light.insert_probability = 0.003;
+  light.move_probability = 0.001;
+  DocGenOptions gen;
+  gen.target_bytes = 2048;
+
+  Timer build_timer;
+  VersionRepository repo(GenerateDocument(&rng, gen));
+  for (int v = 1; v < versions; ++v) {
+    Result<SimulatedChange> change =
+        SimulateChanges(repo.current(), light, &rng);
+    if (!change.ok() || !repo.Commit(std::move(change->new_version)).ok()) {
+      std::fprintf(stderr, "chain construction failed at version %d\n", v);
+      return 1;
+    }
+  }
+  const double chain_seconds = build_timer.Seconds();
+
+  // The legacy view: same current document, same chain, no index.
+  std::vector<Delta> chain;
+  chain.reserve(repo.deltas().size());
+  for (const Delta& d : repo.deltas()) chain.push_back(d.Clone());
+  const VersionRepository legacy =
+      VersionRepository::FromParts(repo.current().Clone(), std::move(chain));
+
+  // On-disk bytes: binary codec vs the XML serialization it replaces.
+  size_t bin_bytes = 0, xml_bytes = 0;
+  for (const Delta& d : repo.deltas()) {
+    bin_bytes += EncodeDeltaBinary(d).size();
+    xml_bytes += SerializeDelta(d).size();
+  }
+
+  Timer index_timer;
+  if (!repo.EnsureReconstructionIndex().ok()) {
+    std::fprintf(stderr, "index construction failed\n");
+    return 1;
+  }
+  const double index_seconds = index_timer.Seconds();
+  size_t skip_entries = 0, skip_bytes = 0;
+  const ReconstructionIndex& index = repo.reconstruction_index();
+  for (const auto& level : index.levels) {
+    for (const auto& entry : level) {
+      if (!entry.has_value()) continue;
+      ++skip_entries;
+      skip_bytes += EncodeDeltaBinary(*entry).size();
+    }
+  }
+
+  const size_t n = static_cast<size_t>(repo.version_count());
+  const size_t bound = CeilLog2(n) + 2;
+
+  // Smoke sweeps every version through the indexed path (the gate);
+  // the full run samples a uniform spread so the legacy replay side
+  // stays tractable (its cost is the point being measured).
+  const int stride = smoke ? 1 : std::max(1, versions / 128);
+  const int legacy_stride = smoke ? std::max(1, versions / 32) : stride;
+
+  std::vector<size_t> indexed_applies;
+  double indexed_seconds = 0;
+  size_t indexed_checkouts = 0;
+  for (int v = 1; v <= repo.version_count(); v += stride) {
+    CheckoutStats stats;
+    Timer timer;
+    Result<XmlDocument> doc = repo.Checkout(v, &stats);
+    indexed_seconds += timer.Seconds();
+    ++indexed_checkouts;
+    if (!doc.ok()) {
+      std::fprintf(stderr, "indexed checkout of version %d failed: %s\n", v,
+                   doc.status().ToString().c_str());
+      return 1;
+    }
+    indexed_applies.push_back(stats.applications);
+    if (stats.applications > bound) {
+      std::fprintf(stderr,
+                   "GATE FAILED: version %d took %zu applications, bound is "
+                   "ceil(log2 %zu) + 2 = %zu\n",
+                   v, stats.applications, n, bound);
+      return 1;
+    }
+  }
+
+  std::vector<size_t> legacy_applies;
+  double legacy_seconds = 0;
+  size_t legacy_checkouts = 0;
+  for (int v = 1; v <= repo.version_count(); v += legacy_stride) {
+    CheckoutStats stats;
+    Timer timer;
+    Result<XmlDocument> slow = legacy.Checkout(v, &stats);
+    legacy_seconds += timer.Seconds();
+    ++legacy_checkouts;
+    if (!slow.ok()) {
+      std::fprintf(stderr, "replay checkout of version %d failed\n", v);
+      return 1;
+    }
+    legacy_applies.push_back(stats.applications);
+    // Both paths must land on the same bytes, XIDs included.
+    Result<XmlDocument> fast = repo.Checkout(v);
+    if (!fast.ok() || WithXids(*fast) != WithXids(*slow)) {
+      std::fprintf(stderr,
+                   "GATE FAILED: version %d differs between the indexed and "
+                   "replay paths\n",
+                   v);
+      return 1;
+    }
+  }
+
+  const double indexed_median = Median(indexed_applies);
+  const double legacy_median = Median(legacy_applies);
+  const size_t indexed_max =
+      *std::max_element(indexed_applies.begin(), indexed_applies.end());
+  const size_t legacy_max =
+      *std::max_element(legacy_applies.begin(), legacy_applies.end());
+  const double indexed_ms =
+      1e3 * indexed_seconds / static_cast<double>(indexed_checkouts);
+  const double legacy_ms =
+      1e3 * legacy_seconds / static_cast<double>(legacy_checkouts);
+
+  std::printf("chain: %zu versions built in %.1fs; index: %zu levels, %zu "
+              "skip-deltas (%s) in %.2fs\n",
+              n, chain_seconds, index.levels.size(), skip_entries,
+              bench::Bytes(static_cast<double>(skip_bytes)).c_str(),
+              index_seconds);
+  std::printf("delta bytes: binary %s vs XML %s (%.1f%%)\n\n",
+              bench::Bytes(static_cast<double>(bin_bytes)).c_str(),
+              bench::Bytes(static_cast<double>(xml_bytes)).c_str(),
+              100.0 * static_cast<double>(bin_bytes) /
+                  static_cast<double>(xml_bytes));
+  std::printf("%-22s %14s %14s %14s\n", "path", "applies_median",
+              "applies_max", "checkout_ms");
+  bench::Rule();
+  std::printf("%-22s %14.0f %14zu %14.3f\n", "indexed (skip-delta)",
+              indexed_median, indexed_max, indexed_ms);
+  std::printf("%-22s %14.0f %14zu %14.3f\n", "legacy (replay)", legacy_median,
+              legacy_max, legacy_ms);
+  std::printf("\nbound: ceil(log2 %zu) + 2 = %zu applications — every indexed "
+              "checkout held.\n",
+              n, bound);
+
+  bench::JsonReport report;
+  report.AddString("mode", smoke ? "smoke" : "full");
+  report.AddNumber("versions", static_cast<double>(n));
+  report.AddNumber("application_bound", static_cast<double>(bound));
+  report.AddNumber("indexed_applications_median", indexed_median);
+  report.AddNumber("indexed_applications_max",
+                   static_cast<double>(indexed_max));
+  report.AddNumber("legacy_applications_median", legacy_median);
+  report.AddNumber("legacy_applications_max",
+                   static_cast<double>(legacy_max));
+  report.AddNumber("indexed_checkout_ms_mean", indexed_ms);
+  report.AddNumber("legacy_checkout_ms_mean", legacy_ms);
+  report.AddNumber("binary_delta_bytes", static_cast<double>(bin_bytes));
+  report.AddNumber("xml_delta_bytes", static_cast<double>(xml_bytes));
+  report.AddNumber("binary_to_xml_ratio",
+                   static_cast<double>(bin_bytes) /
+                       static_cast<double>(xml_bytes));
+  report.AddNumber("skip_levels", static_cast<double>(index.levels.size()));
+  report.AddNumber("skip_delta_count", static_cast<double>(skip_entries));
+  report.AddNumber("skip_delta_bytes", static_cast<double>(skip_bytes));
+  report.AddNumber("index_build_seconds", index_seconds);
+  if (!report.WriteFile("BENCH_reconstruct.json")) {
+    std::fprintf(stderr, "warning: could not write BENCH_reconstruct.json\n");
+  } else {
+    std::printf("json report    : BENCH_reconstruct.json\n");
+  }
+  return 0;
+}

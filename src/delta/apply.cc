@@ -294,4 +294,12 @@ Status ApplyDeltaInverse(const Delta& delta, XmlDocument* doc,
   return ApplyDelta(InvertDelta(delta), doc, options);
 }
 
+Status DeltaPathApplicator::Push(const Delta& delta, bool inverse) {
+  ApplyOptions options;
+  options.verify = false;
+  ++applications_;
+  return inverse ? ApplyDeltaInverse(delta, &doc_, options)
+                 : ApplyDelta(delta, &doc_, options);
+}
+
 }  // namespace xydiff

@@ -50,6 +50,40 @@ Status ApplyDelta(const Delta& delta, XmlDocument* doc,
 Status ApplyDeltaInverse(const Delta& delta, XmlDocument* doc,
                          const ApplyOptions& options = {});
 
+/// Piecewise application of a path of consecutive deltas, after the
+/// piecewise applicator of monotone's xdelta: one working document is
+/// threaded through the whole path instead of materializing every
+/// intermediate version as its own tree. Used by the version store's
+/// reconstruction (version/repository.h), whose checkpoint + skip-delta
+/// plan is exactly such a path.
+///
+/// Per-step verification is off: the store proves chain integrity when
+/// it loads (CRC-64 per file plus a chain replay on any degradation),
+/// and re-checking every snapshot at every hop would cost more than the
+/// application itself. Apply the path to a throwaway clone when a step
+/// may legitimately fail.
+class DeltaPathApplicator {
+ public:
+  /// Starts from `base` — the version at the beginning of the path.
+  explicit DeltaPathApplicator(XmlDocument base) : doc_(std::move(base)) {}
+
+  DeltaPathApplicator(const DeltaPathApplicator&) = delete;
+  DeltaPathApplicator& operator=(const DeltaPathApplicator&) = delete;
+
+  /// Applies one more delta of the path (inverted when `inverse`).
+  Status Push(const Delta& delta, bool inverse = false);
+
+  /// Number of delta applications performed so far.
+  size_t applications() const { return applications_; }
+
+  /// Hands back the document at the end of the path.
+  XmlDocument Finish() && { return std::move(doc_); }
+
+ private:
+  XmlDocument doc_;
+  size_t applications_ = 0;
+};
+
 }  // namespace xydiff
 
 #endif  // XYDIFF_DELTA_APPLY_H_

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "delta/apply.h"
+#include "delta/codec.h"
 #include "delta/delta_xml.h"
 #include "util/hash.h"
 #include "util/sharded_mutex.h"
@@ -29,6 +30,37 @@ std::string DeltaName(size_t index) {
   char name[32];
   std::snprintf(name, sizeof(name), "delta.%06zu.xml", index + 1);
   return name;
+}
+
+std::string DeltaBinName(size_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "delta.%06zu.bin", index + 1);
+  return name;
+}
+
+constexpr char kCheckpointXmlName[] = "checkpoint.000001.xml";
+constexpr char kCheckpointMetaName[] = "checkpoint.000001.meta";
+
+/// Skip-delta file for ReconstructionIndex::levels[level][index]
+/// (both zero-based; the file covers chain deltas
+/// [index*span, (index+1)*span) with span = 2 << level).
+std::string SkipName(size_t level, size_t index) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "skip.%06zu.%06zu.bin", level, index);
+  return name;
+}
+
+bool ParseSkipName(const std::string& name, size_t* level, size_t* index) {
+  unsigned long long l = 0, i = 0;
+  int consumed = 0;
+  if (std::sscanf(name.c_str(), "skip.%06llu.%06llu.bin%n", &l, &i,
+                  &consumed) != 2 ||
+      static_cast<size_t>(consumed) != name.size()) {
+    return false;
+  }
+  *level = static_cast<size_t>(l);
+  *index = static_cast<size_t>(i);
+  return true;
 }
 
 std::string CurrentXmlName(int epoch) {
@@ -295,6 +327,8 @@ void CleanupUnreferenced(const std::string& directory,
     if (name == kManifestName || name == kQuarantineDir) continue;
     const bool managed = StartsWith(name, "delta.") ||
                          StartsWith(name, "current.") ||
+                         StartsWith(name, "checkpoint.") ||
+                         StartsWith(name, "skip.") ||
                          (name.size() > 4 &&
                           name.compare(name.size() - 4, 4, ".tmp") == 0);
     if (!managed || manifest.Find(name) != nullptr) continue;
@@ -316,13 +350,24 @@ size_t VerifyChainApplies(const XmlDocument& current,
     const Status applied = ApplyDeltaInverse(deltas[j - 1], &doc);
     if (!applied.ok()) {
       report->notes.push_back(
-          DeltaName(file_index_base + j - 1) +
+          "chain delta " + std::to_string(file_index_base + j) +
           " no longer applies to the recovered document (" +
           applied.ToString() + "); dropping it and the older chain");
       return j;
     }
   }
   return 0;
+}
+
+/// Quarantines whichever on-disk forms of chain delta `index` exist
+/// (binary and/or legacy XML — a half-upgraded store may hold both).
+void QuarantineDelta(const std::string& directory, size_t index, Env* env,
+                     RecoveryReport* report) {
+  for (const std::string& name : {DeltaBinName(index), DeltaName(index)}) {
+    if (env->FileExists(directory + "/" + name)) {
+      QuarantineFile(directory, name, env, report);
+    }
+  }
 }
 
 /// Pre-MANIFEST layout (`current.xml` + scanned chain), kept loadable:
@@ -445,22 +490,59 @@ Result<Manifest> WriteRepositoryData(const VersionRepository& repo,
     next.prev_chain = old->chain;
   }
 
-  // Delta chain. In the common append-only case every prefix delta is
-  // already on disk with the right checksum and is skipped — a commit
-  // writes one delta, two current files, and the MANIFEST.
-  for (size_t i = 0; i < repo.deltas().size(); ++i) {
-    const std::string text = SerializeDelta(repo.deltas()[i]);
-    ManifestFile entry{DeltaName(i), text.size(), Crc64(text)};
+  // Writes one data file unless the old manifest already lists the same
+  // bytes under the same name — in the common append-only case every
+  // prefix delta, the checkpoint, and every old skip span are skipped,
+  // so a commit writes one delta, the newly completed skip spans, two
+  // current files, and the MANIFEST.
+  auto write_unless_unchanged = [&](std::string name,
+                                    const std::string& text) -> Status {
+    ManifestFile entry{std::move(name), text.size(), Crc64(text)};
     const ManifestFile* existing =
         old != nullptr ? old->Find(entry.name) : nullptr;
+    // The existence check matters after recovery: a quarantined file is
+    // still listed (with matching bytes) in the superseded manifest but
+    // is gone from the directory, and must be rewritten, not skipped.
     const bool unchanged = existing != nullptr &&
                            existing->size == entry.size &&
-                           existing->crc == entry.crc;
+                           existing->crc == entry.crc &&
+                           env->FileExists(directory + "/" + entry.name);
     if (!unchanged) {
       XYDIFF_RETURN_IF_ERROR(
           env->WriteFileAtomic(directory + "/" + entry.name, text));
     }
     next.files.push_back(std::move(entry));
+    return Status::OK();
+  };
+
+  // Delta chain, in the compact binary codec (delta/codec.h). A legacy
+  // store whose manifest lists delta.*.xml entries finds no matching
+  // .bin entry, so the whole chain is rewritten in binary here and the
+  // XML files become unreferenced — upgraded on the next save.
+  for (size_t i = 0; i < repo.deltas().size(); ++i) {
+    XYDIFF_RETURN_IF_ERROR(write_unless_unchanged(
+        DeltaBinName(i), EncodeDeltaBinary(repo.deltas()[i])));
+  }
+
+  // Reconstruction index: the version-1 checkpoint plus every present
+  // skip-delta entry. All of it is derived state — a reader that finds
+  // it missing or damaged falls back to the plain chain — but persisting
+  // it keeps reopened stores at O(log n) Checkout without re-deriving
+  // ~n compositions. Crash-safety is inherited: these are ordinary
+  // manifest-listed data files, invisible until the MANIFEST commits.
+  const ReconstructionIndex& index = repo.reconstruction_index();
+  if (index.checkpoint.has_value() && !repo.deltas().empty()) {
+    XYDIFF_RETURN_IF_ERROR(write_unless_unchanged(
+        kCheckpointXmlName, SerializeCurrentXml(*index.checkpoint)));
+    XYDIFF_RETURN_IF_ERROR(write_unless_unchanged(
+        kCheckpointMetaName, SerializeCurrentMeta(*index.checkpoint)));
+    for (size_t level = 0; level < index.levels.size(); ++level) {
+      for (size_t i = 0; i < index.levels[level].size(); ++i) {
+        if (!index.levels[level][i].has_value()) continue;
+        XYDIFF_RETURN_IF_ERROR(write_unless_unchanged(
+            SkipName(level, i), EncodeDeltaBinary(*index.levels[level][i])));
+      }
+    }
   }
 
   // Current snapshot under an epoch-fresh name, so the live epoch's
@@ -757,7 +839,9 @@ Result<VersionRepository> LoadRepository(const std::string& directory,
       Manifest salvaged;
       salvaged.epoch = best_epoch;
       salvaged.chain = 0;
-      while (env->FileExists(directory + "/" + DeltaName(salvaged.chain))) {
+      while (env->FileExists(directory + "/" +
+                             DeltaBinName(salvaged.chain)) ||
+             env->FileExists(directory + "/" + DeltaName(salvaged.chain))) {
         ++salvaged.chain;
       }
       manifest = std::move(salvaged);
@@ -832,24 +916,34 @@ Result<VersionRepository> LoadRepository(const std::string& directory,
   }
 
   // --- delta chain ------------------------------------------------------
+  // Each position is read in whichever format the store holds: the
+  // binary codec (delta.<k>.bin, what saves write today) or legacy XML
+  // (delta.<k>.xml, pre-codec stores — loaded as-is and upgraded to
+  // binary by the next save). A salvaged manifest has no file entries,
+  // so the format is sniffed from the bytes instead.
   std::vector<Delta> deltas;
   size_t last_bad = 0;  // 1-based index of the newest unusable delta.
   for (size_t i = 0; i < chain; ++i) {
-    const std::string name = DeltaName(i);
+    std::string name = DeltaBinName(i);
+    bool binary = true;
     Result<std::string> text = Status::Corruption("unset");
     if (verified && manifest->Find(name) != nullptr) {
       text = ReadVerified(directory, *manifest->Find(name), env);
-      if (!text.ok() && text.status().code() == StatusCode::kIOError) {
-        return text.status();
-      }
+    } else if (verified && manifest->Find(DeltaName(i)) != nullptr) {
+      name = DeltaName(i);
+      binary = false;
+      text = ReadVerified(directory, *manifest->Find(name), env);
     } else {
+      if (!env->FileExists(directory + "/" + name)) name = DeltaName(i);
       text = env->ReadFile(directory + "/" + name);
-      if (!text.ok() && text.status().code() == StatusCode::kIOError) {
-        return text.status();
-      }
+      binary = text.ok() && LooksLikeBinaryDelta(*text);
     }
-    Result<Delta> delta = text.ok() ? ParseDelta(*text)
-                                    : Result<Delta>(text.status());
+    if (!text.ok() && text.status().code() == StatusCode::kIOError) {
+      return text.status();
+    }
+    Result<Delta> delta = !text.ok() ? Result<Delta>(text.status())
+                          : binary  ? DecodeDeltaBinary(*text)
+                                    : ParseDelta(*text);
     if (!delta.ok()) {
       report->clean = false;
       report->notes.push_back(name + ": " + delta.status().ToString());
@@ -861,9 +955,7 @@ Result<VersionRepository> LoadRepository(const std::string& directory,
   }
   if (last_bad > 0) {
     for (size_t i = 0; i < last_bad; ++i) {
-      if (env->FileExists(directory + "/" + DeltaName(i))) {
-        QuarantineFile(directory, DeltaName(i), env, report);
-      }
+      QuarantineDelta(directory, i, env, report);
     }
     report->dropped_deltas += last_bad;
   }
@@ -879,10 +971,7 @@ Result<VersionRepository> LoadRepository(const std::string& directory,
       report->clean = false;
       const size_t already_dropped = report->dropped_deltas;
       for (size_t i = 0; i < drop; ++i) {
-        const std::string name = DeltaName(already_dropped + i);
-        if (env->FileExists(directory + "/" + name)) {
-          QuarantineFile(directory, name, env, report);
-        }
+        QuarantineDelta(directory, already_dropped + i, env, report);
       }
       report->dropped_deltas += drop;
       deltas.erase(deltas.begin(),
@@ -890,9 +979,90 @@ Result<VersionRepository> LoadRepository(const std::string& directory,
     }
   }
 
+  // --- reconstruction index ---------------------------------------------
+  // Loaded only from a fully clean, fully verified store: dropped deltas
+  // or an epoch fallback renumber the chain, so persisted checkpoint and
+  // skip files would describe versions that no longer exist. The index
+  // is derived state — on any damage the offending file is quarantined
+  // and the WHOLE index is discarded, leaving the plain chain (Checkout
+  // falls back to backward replay; EnsureReconstructionIndex rebuilds).
+  ReconstructionIndex index;
+  if (verified && report->clean && !deltas.empty() &&
+      manifest->Find(kCheckpointXmlName) != nullptr) {
+    bool index_ok = true;
+    auto fail_index = [&](const std::string& name, const Status& why) {
+      index_ok = false;
+      report->clean = false;
+      report->notes.push_back("reconstruction index discarded (" + name +
+                              ": " + why.ToString() + ")");
+      if (env->FileExists(directory + "/" + name)) {
+        QuarantineFile(directory, name, env, report);
+      }
+    };
+
+    const ManifestFile* cp_xml = manifest->Find(kCheckpointXmlName);
+    const ManifestFile* cp_meta = manifest->Find(kCheckpointMetaName);
+    if (cp_meta == nullptr) {
+      fail_index(kCheckpointMetaName,
+                 Status::Corruption("not listed in MANIFEST"));
+    } else {
+      Result<std::string> xml = ReadVerified(directory, *cp_xml, env);
+      if (!xml.ok() && xml.status().code() == StatusCode::kIOError) {
+        return xml.status();
+      }
+      Result<std::string> meta = ReadVerified(directory, *cp_meta, env);
+      if (!meta.ok() && meta.status().code() == StatusCode::kIOError) {
+        return meta.status();
+      }
+      Result<XmlDocument> checkpoint =
+          !xml.ok() ? Result<XmlDocument>(xml.status())
+          : !meta.ok()
+              ? Result<XmlDocument>(meta.status())
+              : ParseDocumentPair(*xml, *meta,
+                                  directory + "/" + kCheckpointMetaName);
+      if (checkpoint.ok()) {
+        index.checkpoint = std::move(*checkpoint);
+      } else {
+        fail_index(xml.ok() ? kCheckpointMetaName : kCheckpointXmlName,
+                   checkpoint.status());
+      }
+    }
+
+    for (const ManifestFile& entry : manifest->files) {
+      if (!index_ok) break;
+      size_t level = 0, idx = 0;
+      if (!ParseSkipName(entry.name, &level, &idx)) continue;
+      // Overflow-safe placement check: the entry must cover a whole,
+      // in-range span of the recovered chain.
+      const size_t span = level < 60 ? ReconstructionIndex::SpanAtLevel(level)
+                                     : deltas.size() + 1;
+      if (span > deltas.size() || idx >= deltas.size() / span) {
+        fail_index(entry.name,
+                   Status::Corruption("skip span outside the chain"));
+        break;
+      }
+      Result<std::string> bytes = ReadVerified(directory, entry, env);
+      if (!bytes.ok() && bytes.status().code() == StatusCode::kIOError) {
+        return bytes.status();
+      }
+      Result<Delta> skip = bytes.ok() ? DecodeDeltaBinary(*bytes)
+                                      : Result<Delta>(bytes.status());
+      if (!skip.ok()) {
+        fail_index(entry.name, skip.status());
+        break;
+      }
+      if (index.levels.size() <= level) index.levels.resize(level + 1);
+      if (index.levels[level].size() <= idx) {
+        index.levels[level].resize(idx + 1);
+      }
+      index.levels[level][idx] = std::move(*skip);
+    }
+    if (!index_ok) index = ReconstructionIndex{};
+  }
+
   report->recovered_version_count = static_cast<int>(deltas.size()) + 1;
   return VersionRepository::FromParts(std::move(current.value()),
-                                      std::move(deltas));
+                                      std::move(deltas), std::move(index));
 }
 
 }  // namespace xydiff

@@ -23,8 +23,19 @@ namespace xydiff {
 ///                       with the document's ID-attribute declarations)
 ///   current.<E>.meta    XID bookkeeping: line 1 `nextxid <N>`, line 2
 ///                       the XID-map of the whole document ("(1-15;17)")
-///   delta.000001.xml    delta chain; delta.00000k transforms version k
-///   delta.000002.xml    into version k+1
+///   delta.000001.bin    delta chain in the compact binary codec
+///   delta.000002.bin    (delta/codec.h); delta.00000k transforms
+///                       version k into version k+1. Legacy stores hold
+///                       delta.00000k.xml instead (the XML delta
+///                       serialization); the loader accepts either
+///                       format per position and the next save rewrites
+///                       the whole chain in binary.
+///   checkpoint.000001.xml/.meta
+///                       pinned version 1 (same pair format as current),
+///                       the base of forward reconstruction
+///   skip.<L>.<I>.bin    skip-delta levels[L][I] of the reconstruction
+///                       index (binary codec): the composition of chain
+///                       deltas [I*S, (I+1)*S) with S = 2^(L+1)
 ///   quarantine/         corrupt files moved aside by recovery, never
 ///                       deleted — forensics, not garbage
 ///
@@ -34,9 +45,17 @@ namespace xydiff {
 /// point; one directory fsync makes the batch durable. A crash at any
 /// step leaves either the old or the new repository, never a hybrid.
 ///
+/// Checkpoint and skip files are *derived* state: they are loaded only
+/// from a fully verified, fully clean store, and on any damage (or any
+/// chain renumbering during recovery) the whole index is discarded and
+/// reconstruction falls back to the plain chain — degraded cost, never
+/// degraded correctness.
+///
 /// All I/O is routed through an Env (util/env.h); `env == nullptr`
-/// means Env::Default(). Deltas remain regular XML documents, queryable
-/// like any other — the §2 property extends to the persisted store.
+/// means Env::Default(). Chain deltas are stored in the binary codec
+/// for compactness; the XML delta serialization (delta/delta_xml.h)
+/// remains the interchange format — the two round-trip byte-identically
+/// through Delta, so the §2 queryability property is one decode away.
 
 /// What LoadRepository had to do to hand back a repository. `clean`
 /// means the store verified end-to-end; anything else is degradation,

@@ -18,6 +18,7 @@
 #include "core/buld.h"               // IWYU pragma: export
 #include "core/options.h"            // IWYU pragma: export
 #include "delta/apply.h"             // IWYU pragma: export
+#include "delta/codec.h"             // IWYU pragma: export
 #include "delta/compose.h"           // IWYU pragma: export
 #include "delta/delta.h"             // IWYU pragma: export
 #include "delta/delta_xml.h"         // IWYU pragma: export

@@ -1,12 +1,16 @@
 #include "version/storage.h"
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
+#include "delta/delta_xml.h"
 #include "gtest/gtest.h"
 #include "simulator/change_simulator.h"
 #include "simulator/doc_generator.h"
 #include "tests/test_util.h"
+#include "util/hash.h"
 #include "util/random.h"
 
 namespace xydiff {
@@ -181,9 +185,9 @@ void FlipByte(const std::string& path) {
 TEST_F(StorageTest, BitFlippedDeltaQuarantinesUnreachableChain) {
   VersionRepository repo = MakeRepo(7, 4);  // 5 versions, 4 deltas.
   XY_ASSERT_OK(SaveRepository(repo, Dir()));
-  // delta.000002.xml transforms version 2 -> 3; corrupting it makes
+  // delta.000002.bin transforms version 2 -> 3; corrupting it makes
   // versions 1 and 2 unreachable (reconstruction walks backward).
-  FlipByte(Dir() + "/delta.000002.xml");
+  FlipByte(Dir() + "/delta.000002.bin");
 
   RecoveryReport report;
   Result<VersionRepository> loaded = LoadRepository(Dir(), nullptr, &report);
@@ -193,8 +197,8 @@ TEST_F(StorageTest, BitFlippedDeltaQuarantinesUnreachableChain) {
   EXPECT_EQ(report.dropped_deltas, 2u);
   EXPECT_EQ(report.recovered_version_count, 3);
   ASSERT_EQ(report.quarantined.size(), 2u) << report.ToString();
-  EXPECT_TRUE(fs::exists(dir_ / "quarantine" / "delta.000001.xml"));
-  EXPECT_TRUE(fs::exists(dir_ / "quarantine" / "delta.000002.xml"));
+  EXPECT_TRUE(fs::exists(dir_ / "quarantine" / "delta.000001.bin"));
+  EXPECT_TRUE(fs::exists(dir_ / "quarantine" / "delta.000002.bin"));
 
   // The surviving suffix reloads byte-identically (XIDs included):
   // loaded version k is original version k + 2.
@@ -220,9 +224,9 @@ TEST_F(StorageTest, TruncatedDeltaQuarantinesUnreachableChain) {
   XY_ASSERT_OK(SaveRepository(repo, Dir()));
   {
     // Keep a syntactically broken prefix, as a torn write would.
-    std::ofstream out(Dir() + "/delta.000001.xml",
+    std::ofstream out(Dir() + "/delta.000001.bin",
                       std::ios::binary | std::ios::trunc);
-    out << "<delta";
+    out << "XYDB";
   }
 
   RecoveryReport report;
@@ -231,7 +235,7 @@ TEST_F(StorageTest, TruncatedDeltaQuarantinesUnreachableChain) {
   EXPECT_FALSE(report.clean);
   EXPECT_EQ(report.dropped_deltas, 1u);
   EXPECT_EQ(loaded->version_count(), 3);
-  EXPECT_TRUE(fs::exists(dir_ / "quarantine" / "delta.000001.xml"));
+  EXPECT_TRUE(fs::exists(dir_ / "quarantine" / "delta.000001.bin"));
   EXPECT_TRUE(DocsEqualWithXids(loaded->current(), repo.current()));
   for (int v = 1; v <= 3; ++v) {
     Result<XmlDocument> original = repo.Checkout(v + 1);
@@ -307,6 +311,224 @@ TEST_F(StorageTest, CleanLoadReportsClean) {
   EXPECT_EQ(report.dropped_deltas, 0u);
   EXPECT_TRUE(report.quarantined.empty());
   EXPECT_EQ(report.recovered_version_count, repo.version_count());
+}
+
+// --- reconstruction index persistence ---------------------------------
+
+/// A repository with an active index deep enough for two skip levels
+/// (9 versions = 8 chain deltas: spans 2, 4, and 8 all complete).
+VersionRepository MakeIndexedRepo(uint64_t seed, int extra_versions) {
+  VersionRepository repo = MakeRepo(seed, 0);
+  EXPECT_TRUE(repo.EnsureReconstructionIndex().ok());
+  Rng rng(seed + 1000);
+  for (int v = 0; v < extra_versions; ++v) {
+    Result<SimulatedChange> change =
+        SimulateChanges(repo.current(), ChangeSimOptions{}, &rng);
+    EXPECT_TRUE(change.ok());
+    EXPECT_TRUE(repo.Commit(std::move(change->new_version)).ok());
+  }
+  return repo;
+}
+
+void ExpectAllVersionsEqual(const VersionRepository& expected,
+                            const VersionRepository& actual) {
+  ASSERT_EQ(actual.version_count(), expected.version_count());
+  for (int v = 1; v <= expected.version_count(); ++v) {
+    Result<XmlDocument> want = expected.Checkout(v);
+    Result<XmlDocument> got = actual.Checkout(v);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(got.ok()) << "version " << v << ": "
+                          << got.status().ToString();
+    EXPECT_TRUE(DocsEqualWithXids(*want, *got)) << "version " << v;
+  }
+}
+
+TEST_F(StorageTest, PersistedIndexSurvivesReload) {
+  VersionRepository repo = MakeIndexedRepo(20, 8);
+  ASSERT_EQ(repo.reconstruction_index().levels.size(), 3u);
+  XY_ASSERT_OK(SaveRepository(repo, Dir()));
+  EXPECT_TRUE(fs::exists(dir_ / "checkpoint.000001.xml"));
+  EXPECT_TRUE(fs::exists(dir_ / "skip.000002.000000.bin"));
+
+  RecoveryReport report;
+  Result<VersionRepository> loaded = LoadRepository(Dir(), nullptr, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(report.clean);
+  ASSERT_TRUE(loaded->reconstruction_index().checkpoint.has_value());
+  EXPECT_EQ(loaded->reconstruction_index().levels.size(), 3u);
+
+  // The loaded index actually drives reconstruction forward.
+  CheckoutStats stats;
+  Result<XmlDocument> v1 = loaded->Checkout(1, &stats);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_TRUE(stats.forward);
+  EXPECT_EQ(stats.applications, 0u);
+  ExpectAllVersionsEqual(repo, *loaded);
+
+  // A loaded repository keeps maintaining the index across commits and
+  // re-saves: the common reopen-commit-save cycle stays O(log n).
+  Rng rng(99);
+  Result<SimulatedChange> change =
+      SimulateChanges(loaded->current(), ChangeSimOptions{}, &rng);
+  ASSERT_TRUE(change.ok());
+  ASSERT_TRUE(loaded->Commit(std::move(change->new_version)).ok());
+  XY_ASSERT_OK(SaveRepository(*loaded, Dir()));
+  Result<VersionRepository> again = LoadRepository(Dir(), nullptr, &report);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(report.clean);
+  ExpectAllVersionsEqual(*loaded, *again);
+}
+
+TEST_F(StorageTest, CorruptSkipFileDropsIndexKeepsChain) {
+  VersionRepository repo = MakeIndexedRepo(21, 8);
+  XY_ASSERT_OK(SaveRepository(repo, Dir()));
+  FlipByte(Dir() + "/skip.000001.000000.bin");
+
+  RecoveryReport report;
+  Result<VersionRepository> loaded = LoadRepository(Dir(), nullptr, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // The chain itself is intact — versions are NOT dropped; only the
+  // derived index is discarded and the bad file quarantined.
+  EXPECT_FALSE(report.clean);
+  EXPECT_EQ(report.dropped_deltas, 0u);
+  EXPECT_EQ(loaded->version_count(), repo.version_count());
+  EXPECT_FALSE(loaded->reconstruction_index().checkpoint.has_value());
+  EXPECT_TRUE(fs::exists(dir_ / "quarantine" / "skip.000001.000000.bin"));
+
+  CheckoutStats stats;
+  Result<XmlDocument> v1 = loaded->Checkout(1, &stats);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_FALSE(stats.forward);  // Plain-chain fallback.
+  ExpectAllVersionsEqual(repo, *loaded);
+
+  // The degraded store re-saves and heals: the surviving in-memory
+  // chain rebuilds its index on demand and persists it again.
+  XY_ASSERT_OK(loaded->EnsureReconstructionIndex());
+  XY_ASSERT_OK(SaveRepository(*loaded, Dir()));
+  Result<VersionRepository> healed = LoadRepository(Dir(), nullptr, &report);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_TRUE(report.clean);
+  EXPECT_TRUE(healed->reconstruction_index().checkpoint.has_value());
+  ExpectAllVersionsEqual(repo, *healed);
+}
+
+TEST_F(StorageTest, CorruptCheckpointDropsIndexKeepsChain) {
+  VersionRepository repo = MakeIndexedRepo(22, 4);
+  XY_ASSERT_OK(SaveRepository(repo, Dir()));
+  FlipByte(Dir() + "/checkpoint.000001.meta");
+
+  RecoveryReport report;
+  Result<VersionRepository> loaded = LoadRepository(Dir(), nullptr, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(report.clean);
+  EXPECT_EQ(report.dropped_deltas, 0u);
+  EXPECT_FALSE(loaded->reconstruction_index().checkpoint.has_value());
+  EXPECT_TRUE(fs::exists(dir_ / "quarantine" / "checkpoint.000001.meta"));
+  ExpectAllVersionsEqual(repo, *loaded);
+}
+
+// --- legacy XML delta chains ------------------------------------------
+
+std::string TestHex64(uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+/// Rewrites one `file NAME SIZE CRC` manifest entry (and the manifest's
+/// self-checksum) so the store references `new_name` instead — the
+/// on-disk state a pre-codec version of this library would have left.
+void RewriteManifestEntry(const fs::path& dir, const std::string& old_name,
+                          const std::string& new_name,
+                          const std::string& new_content) {
+  std::string manifest;
+  {
+    std::ifstream in(dir / "MANIFEST", std::ios::binary);
+    ASSERT_TRUE(in);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    manifest = buffer.str();
+  }
+  std::string body = manifest.substr(0, manifest.rfind("crc "));
+  const size_t entry = body.find("file " + old_name + " ");
+  ASSERT_NE(entry, std::string::npos) << body;
+  const size_t entry_end = body.find('\n', entry);
+  body.replace(entry, entry_end - entry,
+               "file " + new_name + " " + std::to_string(new_content.size()) +
+                   " " + TestHex64(Crc64(new_content)));
+  {
+    std::ofstream out(dir / "MANIFEST", std::ios::binary | std::ios::trunc);
+    out << body << "crc " << TestHex64(Crc64(body)) << "\n";
+  }
+}
+
+TEST_F(StorageTest, LegacyXmlDeltaLoadsAndUpgradesOnSave) {
+  VersionRepository repo = MakeRepo(23, 3);  // 4 versions, 3 deltas.
+  XY_ASSERT_OK(SaveRepository(repo, Dir()));
+
+  // Regress delta 2 to the legacy format: XML bytes on disk, manifest
+  // entry rewritten, binary file gone — a mixed-format chain.
+  Result<const Delta*> d2 = repo.DeltaFor(2);
+  ASSERT_TRUE(d2.ok());
+  const std::string xml = SerializeDelta(**d2);
+  {
+    std::ofstream out(dir_ / "delta.000002.xml",
+                      std::ios::binary | std::ios::trunc);
+    out << xml;
+  }
+  RewriteManifestEntry(dir_, "delta.000002.bin", "delta.000002.xml", xml);
+  fs::remove(dir_ / "delta.000002.bin");
+
+  RecoveryReport report;
+  Result<VersionRepository> loaded = LoadRepository(Dir(), nullptr, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(report.clean) << report.ToString();
+  ExpectAllVersionsEqual(repo, *loaded);
+
+  // The next save upgrades the whole chain to binary and the stale XML
+  // file is cleaned up as unreferenced.
+  XY_ASSERT_OK(SaveRepository(*loaded, Dir()));
+  EXPECT_TRUE(fs::exists(dir_ / "delta.000002.bin"));
+  EXPECT_FALSE(fs::exists(dir_ / "delta.000002.xml"));
+  Result<VersionRepository> upgraded = LoadRepository(Dir(), nullptr, &report);
+  ASSERT_TRUE(upgraded.ok());
+  EXPECT_TRUE(report.clean);
+  ExpectAllVersionsEqual(repo, *upgraded);
+}
+
+TEST_F(StorageTest, MixedFormatChainRecoversFromCorruption) {
+  VersionRepository repo = MakeRepo(24, 4);  // 5 versions, 4 deltas.
+  XY_ASSERT_OK(SaveRepository(repo, Dir()));
+  // Delta 1 becomes legacy XML, then delta 3 rots: recovery must sever
+  // versions 1-3 (dropping both formats' files) and keep 4-5.
+  Result<const Delta*> d1 = repo.DeltaFor(1);
+  ASSERT_TRUE(d1.ok());
+  const std::string xml = SerializeDelta(**d1);
+  {
+    std::ofstream out(dir_ / "delta.000001.xml",
+                      std::ios::binary | std::ios::trunc);
+    out << xml;
+  }
+  RewriteManifestEntry(dir_, "delta.000001.bin", "delta.000001.xml", xml);
+  fs::remove(dir_ / "delta.000001.bin");
+  FlipByte(Dir() + "/delta.000003.bin");
+
+  RecoveryReport report;
+  Result<VersionRepository> loaded = LoadRepository(Dir(), nullptr, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(report.clean);
+  EXPECT_EQ(report.dropped_deltas, 3u);
+  EXPECT_EQ(loaded->version_count(), 2);
+  EXPECT_TRUE(fs::exists(dir_ / "quarantine" / "delta.000001.xml"));
+  EXPECT_TRUE(fs::exists(dir_ / "quarantine" / "delta.000003.bin"));
+  for (int v = 1; v <= 2; ++v) {
+    Result<XmlDocument> original = repo.Checkout(v + 3);
+    Result<XmlDocument> recovered = loaded->Checkout(v);
+    ASSERT_TRUE(original.ok());
+    ASSERT_TRUE(recovered.ok());
+    EXPECT_TRUE(DocsEqualWithXids(*original, *recovered)) << "version " << v;
+  }
 }
 
 TEST_F(StorageTest, MetaTreeSizeMismatchRejected) {

@@ -77,6 +77,35 @@ then
 fi
 grep -q "skipped by --fail-fast" batch3_err.txt
 
+echo "-- checkout (reconstruct warehouse versions)"
+# The warehouse saved above holds doc-a at v2 (old -> new). The newest
+# version checks out by default and re-diffs against new.xml as empty.
+"$TOOL" checkout warehouse doc-a -o co_v2.xml --stats 2> co_stats.txt
+grep -q "2 of 2" co_stats.txt
+"$TOOL" diff co_v2.xml new.xml -o co_empty.xml
+"$TOOL" stats co_empty.xml | grep -q "operations     : 0"
+# --version 1 reconstructs the past version.
+"$TOOL" checkout warehouse doc-a --version 1 -o co_v1.xml
+"$TOOL" diff co_v1.xml old.xml -o co_empty1.xml
+"$TOOL" stats co_empty1.xml | grep -q "operations     : 0"
+# Unknown URL and out-of-range version fail with exit 1.
+if "$TOOL" checkout warehouse no-such-doc 2> co_err.txt; then
+  echo "expected a NotFound error for an unknown URL"; exit 1
+fi
+grep -q "error:" co_err.txt
+if "$TOOL" checkout warehouse doc-a --version 99 2> co_err2.txt; then
+  echo "expected a NotFound error for version 99"; exit 1
+fi
+grep -q "error:" co_err2.txt
+# Bad flag value is a usage error (exit 1 from strict parsing).
+if "$TOOL" checkout warehouse doc-a --version zero 2> co_err3.txt; then
+  echo "expected an error for a non-numeric --version"; exit 1
+fi
+# Missing positionals print usage and exit 2.
+if "$TOOL" checkout warehouse > /dev/null 2>&1; then
+  echo "expected usage exit for missing URL"; exit 1
+fi
+
 echo "-- error handling"
 if "$TOOL" patch new.xml delta.xml -o /dev/null 2> err.txt; then
   echo "expected a conflict patching the wrong document"; exit 1

@@ -12,6 +12,7 @@
 //   xydiff_tool validate DELTA.xml
 //   xydiff_tool batch MANIFEST.tsv [-o WAREHOUSE_DIR] [--threads N]
 //               [--queue N] [--stats]
+//   xydiff_tool checkout WAREHOUSE_DIR URL [--version N] [-o OUT] [--stats]
 //
 // XIDs are persisted in sidecar meta files (--meta / --write-meta, see
 // version/storage.h); without one, a document gets first-version postfix
@@ -20,6 +21,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,7 +54,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: xydiff_tool <diff|patch|invert|compose|stats|validate"
-               "|batch> [args...]\n"
+               "|batch|checkout> [args...]\n"
                "run a command without arguments for details; also: explain\n");
   return 2;
 }
@@ -64,7 +66,8 @@ class Args {
     for (int i = 2; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "-o" || arg == "--meta" || arg == "--write-meta" ||
-          arg == "--window" || arg == "--threads" || arg == "--queue") {
+          arg == "--window" || arg == "--threads" || arg == "--queue" ||
+          arg == "--version") {
         if (i + 1 >= argc) {
           error_ = "flag " + arg + " needs a value";
           return;
@@ -96,6 +99,20 @@ class Args {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Strict positive-integer flag parsing: "abc" or "0" is a usage
+/// error, not a silent clamp to 1.
+Result<long> ParsePositive(const std::string& flag,
+                           const std::string& value) {
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(value.c_str(), &end, 10);
+  if (errno != 0 || end == value.c_str() || *end != '\0' || parsed <= 0) {
+    return Status::InvalidArgument(flag + " expects a positive integer, got '" +
+                                   value + "'");
+  }
+  return parsed;
 }
 
 Status WriteOutput(const std::optional<std::string>& path,
@@ -335,29 +352,15 @@ int CmdBatch(const Args& args) {
     news.push_back({url, std::move(*new_xml)});
   }
 
-  // Strict positive-integer flag parsing: "abc" or "0" is a usage
-  // error, not a silent clamp to 1.
-  const auto parse_positive = [](const std::string& flag,
-                                 const std::string& value) -> Result<long> {
-    char* end = nullptr;
-    errno = 0;
-    const long parsed = std::strtol(value.c_str(), &end, 10);
-    if (errno != 0 || end == value.c_str() || *end != '\0' || parsed <= 0) {
-      return Status::InvalidArgument(flag + " expects a positive integer, got '" +
-                                     value + "'");
-    }
-    return parsed;
-  };
-
   Warehouse::PipelineOptions pipeline;
   pipeline.threads = ThreadPool::DefaultThreadCount();
   if (auto threads = args.Get("--threads")) {
-    Result<long> parsed = parse_positive("--threads", *threads);
+    Result<long> parsed = ParsePositive("--threads", *threads);
     if (!parsed.ok()) return Fail(parsed.status());
     pipeline.threads = static_cast<int>(std::min<long>(*parsed, 1024));
   }
   if (auto queue = args.Get("--queue")) {
-    Result<long> parsed = parse_positive("--queue", *queue);
+    Result<long> parsed = ParsePositive("--queue", *queue);
     if (!parsed.ok()) return Fail(parsed.status());
     pipeline.queue_capacity = static_cast<size_t>(*parsed);
   }
@@ -428,6 +431,79 @@ int CmdBatch(const Args& args) {
   return failed_slots.empty() ? 0 : 1;
 }
 
+/// Reconstructs one version of one warehouse document from its
+/// persisted repository (§2 "Querying the past"): `URL` is looked up in
+/// the warehouse manifest written by `batch -o` (a raw subdirectory
+/// name is accepted too), the crash-safe store is recovered and loaded,
+/// and the requested version (default: newest) is written out.
+int CmdCheckout(const Args& args) {
+  if (args.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "usage: xydiff_tool checkout WAREHOUSE_DIR URL"
+                 " [--version N] [-o OUT] [--stats]\n");
+    return 2;
+  }
+  const std::string& directory = args.positional()[0];
+  const std::string& url = args.positional()[1];
+
+  // A crashed batch group commit may have left a journal; roll it
+  // forward (or discard a torn one) before trusting any slot.
+  if (Status s = RecoverRepositoryBatch(directory); !s.ok()) return Fail(s);
+
+  Result<std::string> manifest =
+      Env::Default()->ReadFile(directory + "/manifest.tsv");
+  if (!manifest.ok()) return Fail(manifest.status());
+  std::string subdirectory;
+  for (std::string_view line : SplitLines(*manifest)) {
+    const size_t tab = line.find('\t');
+    if (tab == std::string_view::npos) continue;
+    if (line.substr(tab + 1) == url || line.substr(0, tab) == url) {
+      subdirectory = std::string(line.substr(0, tab));
+      break;
+    }
+  }
+  if (subdirectory.empty()) {
+    return Fail(Status::NotFound("no document '" + url +
+                                 "' in warehouse manifest " + directory +
+                                 "/manifest.tsv"));
+  }
+
+  RecoveryReport report;
+  Result<VersionRepository> repo =
+      LoadRepository(directory + "/" + subdirectory, nullptr, &report);
+  if (!repo.ok()) return Fail(repo.status());
+  if (!report.clean) {
+    std::fprintf(stderr, "recovery: %s\n", report.ToString().c_str());
+  }
+
+  int version = repo->current_version();
+  if (auto flag = args.Get("--version")) {
+    Result<long> parsed = ParsePositive("--version", *flag);
+    if (!parsed.ok()) return Fail(parsed.status());
+    version = static_cast<int>(std::min<long>(*parsed, INT_MAX));
+  }
+  CheckoutStats stats;
+  Result<XmlDocument> doc = repo->Checkout(version, &stats);
+  if (!doc.ok()) return Fail(doc.status());
+
+  SerializeOptions serialize;
+  serialize.xml_declaration = true;
+  serialize.doctype = true;
+  if (Status s =
+          WriteOutput(args.Get("-o"), SerializeDocument(*doc, serialize));
+      !s.ok()) {
+    return Fail(s);
+  }
+  if (args.Has("--stats")) {
+    std::fprintf(stderr,
+                 "checkout: version %d of %d, %zu delta application(s),"
+                 " %s path\n",
+                 version, repo->current_version(), stats.applications,
+                 stats.forward ? "forward skip" : "backward replay");
+  }
+  return 0;
+}
+
 int CmdValidate(const Args& args) {
   if (args.positional().size() != 1) {
     std::fprintf(stderr, "usage: xydiff_tool validate DELTA.xml\n");
@@ -456,6 +532,7 @@ int Run(int argc, char** argv) {
   if (command == "validate") return CmdValidate(args);
   if (command == "explain") return CmdExplain(args);
   if (command == "batch") return CmdBatch(args);
+  if (command == "checkout") return CmdCheckout(args);
   return Usage();
 }
 
