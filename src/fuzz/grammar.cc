@@ -1,0 +1,278 @@
+#include "fuzz/grammar.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xydiff {
+
+namespace {
+
+std::vector<FuzzProfile> MakeCatalog() {
+  std::vector<FuzzProfile> catalog;
+
+  {
+    // The paper's own workload: catalog-shaped documents, 10% change
+    // probability per operation. The fuzzer's control group.
+    FuzzProfile p;
+    p.name = "paper-default";
+    p.description = "catalog-shaped documents, paper's 10% change mix";
+    catalog.push_back(std::move(p));
+  }
+  {
+    // Long thin spines: every matching phase that recurses or walks
+    // ancestor chains sees maximum depth per node.
+    FuzzProfile p;
+    p.name = "deep-nesting";
+    p.description = "40-deep single-lane spines, changes along the spine";
+    p.doc.section_depth = 40;
+    p.doc.min_fanout = 1;
+    p.doc.max_fanout = 2;
+    p.doc.min_text_words = 1;
+    p.doc.max_text_words = 2;
+    p.sim = {0.05, 0.1, 0.1, 0.1};
+    catalog.push_back(std::move(p));
+  }
+  {
+    // One enormous child list: LCS over siblings, position bookkeeping
+    // and per-parent attachment ordering all get quadratic pressure.
+    FuzzProfile p;
+    p.name = "wide-fanout";
+    p.description = "flat documents with one huge child list";
+    p.doc.section_depth = 1;
+    p.doc.min_fanout = 24;
+    p.doc.max_fanout = 64;
+    p.doc.min_text_words = 1;
+    p.doc.max_text_words = 3;
+    p.sim = {0.1, 0.1, 0.15, 0.1};
+    catalog.push_back(std::move(p));
+  }
+  {
+    // Signature collisions on purpose: cloned sibling runs (identical
+    // subtree hashes) with a tiny label vocabulary, so candidate
+    // matching cannot lean on content uniqueness.
+    FuzzProfile p;
+    p.name = "near-duplicate-siblings";
+    p.description = "cloned sibling runs and a 4-label vocabulary";
+    p.doc.label_vocabulary = 4;
+    p.doc.min_text_words = 1;
+    p.doc.max_text_words = 2;
+    p.doc.duplicate_sibling_probability = 0.35;
+    p.doc.max_duplicate_run = 4;
+    p.sim = {0.1, 0.1, 0.1, 0.15};
+    catalog.push_back(std::move(p));
+  }
+  {
+    // Moves dominate: the operation every text-diff misses and the
+    // hardest one for match propagation to get right.
+    FuzzProfile p;
+    p.name = "move-storm";
+    p.description = "move-dominated change mix over dense documents";
+    p.doc.min_fanout = 3;
+    p.doc.max_fanout = 8;
+    p.sim = {0.15, 0.05, 0.05, 0.55};
+    catalog.push_back(std::move(p));
+  }
+  {
+    // Heavy churn: most of both documents is change, so the "common
+    // subtree first" heuristics run out of anchors.
+    FuzzProfile p;
+    p.name = "heavy-churn";
+    p.description = "40% per-node change probability on every operation";
+    p.sim = {0.4, 0.4, 0.4, 0.3};
+    catalog.push_back(std::move(p));
+  }
+  {
+    // Entity/DTD bombs: billion-laughs chains, reference cycles,
+    // oversized replacements, external and parameter entities.
+    FuzzProfile p;
+    p.name = "hostile-entity";
+    p.kind = FuzzProfileKind::kRawBytes;
+    p.description = "internal-subset entity bombs, cycles, external refs";
+    catalog.push_back(std::move(p));
+  }
+  {
+    // Byte-level mutation of well-formed output: the parser's error
+    // paths, and the diff stack on whatever still parses.
+    FuzzProfile p;
+    p.name = "byte-mutation";
+    p.kind = FuzzProfileKind::kRawBytes;
+    p.description = "bit flips, splices and truncations of valid XML";
+    p.doc.target_bytes = 1024;
+    catalog.push_back(std::move(p));
+  }
+  return catalog;
+}
+
+ChangeSimOptions Scaled(const ChangeSimOptions& sim, double scale) {
+  ChangeSimOptions out = sim;
+  out.delete_probability *= scale;
+  out.update_probability *= scale;
+  out.insert_probability *= scale;
+  out.move_probability *= scale;
+  return out;
+}
+
+/// Derives v2 and v3 from a parsed, XID-bearing v1. Failures leave the
+/// trial version-less with the simulator's message as the rejection —
+/// the oracles then treat it like a rejected raw input.
+void SimulateChain(FuzzTrial* trial, const ChangeSimOptions& sim, Rng* rng) {
+  Result<SimulatedChange> c2 = SimulateChanges(*trial->v1, sim, rng);
+  if (!c2.ok()) {
+    trial->rejection = "simulate v2: " + c2.status().ToString();
+    trial->v1.reset();
+    return;
+  }
+  trial->v2 = std::move(c2->new_version);
+  Result<SimulatedChange> c3 = SimulateChanges(*trial->v2, sim, rng);
+  if (!c3.ok()) {
+    trial->rejection = "simulate v3: " + c3.status().ToString();
+    trial->v1.reset();
+    trial->v2.reset();
+    return;
+  }
+  trial->v3 = std::move(c3->new_version);
+}
+
+}  // namespace
+
+const std::vector<FuzzProfile>& FuzzProfiles() {
+  static const std::vector<FuzzProfile> kCatalog = MakeCatalog();
+  return kCatalog;
+}
+
+const FuzzProfile* FindFuzzProfile(std::string_view name) {
+  for (const FuzzProfile& profile : FuzzProfiles()) {
+    if (profile.name == name) return &profile;
+  }
+  return nullptr;
+}
+
+std::string FuzzTrial::ReproLine() const {
+  return "seed=" + std::to_string(seed) + " profile=" + profile +
+         " size=" + std::to_string(size);
+}
+
+std::string GenerateHostileEntityXml(Rng* rng, size_t size) {
+  // A chain of entities e0..eK where each level references the previous
+  // one several times: expansion is fanout^K bytes from O(K * fanout)
+  // input — the classic billion-laughs shape, dialed from harmless to
+  // hostile by the seed.
+  const int levels = static_cast<int>(rng->NextInRange(2, 9));
+  const int fanout = static_cast<int>(rng->NextInRange(2, 10));
+  const bool cycle = rng->NextBool(0.15);          // e0 references eK.
+  const bool external = rng->NextBool(0.2);        // SYSTEM entity + ref.
+  const bool parameter = rng->NextBool(0.2);       // % entity in subset.
+  const bool undeclared = rng->NextBool(0.15);     // Reference no decl.
+  const size_t atom = 1 + rng->NextBelow(std::max<size_t>(size / 8, 8));
+
+  std::string xml = "<!DOCTYPE bomb [\n";
+  std::string atom_text(atom, 'x');
+  if (cycle) {
+    xml += "<!ENTITY e0 \"&e" + std::to_string(levels) + ";\">\n";
+  } else {
+    xml += "<!ENTITY e0 \"" + atom_text + "\">\n";
+  }
+  for (int l = 1; l <= levels; ++l) {
+    std::string value;
+    for (int i = 0; i < fanout; ++i) {
+      value += "&e" + std::to_string(l - 1) + ";";
+    }
+    xml += "<!ENTITY e" + std::to_string(l) + " \"" + value + "\">\n";
+  }
+  if (external) {
+    xml += "<!ENTITY ext SYSTEM \"file:///etc/passwd\">\n";
+  }
+  if (parameter) {
+    xml += "<!ENTITY % pe \"<!ELEMENT ignored ANY>\">\n%pe;\n";
+  }
+  xml += "]>\n<bomb>";
+  const int refs = static_cast<int>(rng->NextInRange(1, 6));
+  for (int i = 0; i < refs; ++i) {
+    xml += "<payload>&e" +
+           std::to_string(rng->NextInRange(0, levels)) + ";</payload>";
+  }
+  if (external) xml += "<leak>&ext;</leak>";
+  if (undeclared) xml += "<ghost>&nosuch;</ghost>";
+  xml += "</bomb>\n";
+  return xml;
+}
+
+std::string MutateXmlBytes(Rng* rng, std::string xml, size_t mutations) {
+  for (size_t m = 0; m < mutations && !xml.empty(); ++m) {
+    const size_t pos = rng->NextIndex(xml.size());
+    switch (rng->NextBelow(5)) {
+      case 0:  // Flip one byte to a random printable-or-not value.
+        xml[pos] = static_cast<char>(rng->NextBelow(256));
+        break;
+      case 1:  // Delete a short run.
+        xml.erase(pos, 1 + rng->NextBelow(4));
+        break;
+      case 2:  // Duplicate a short run in place (tag soup generator).
+        xml.insert(pos, xml.substr(pos, 1 + rng->NextBelow(8)));
+        break;
+      case 3:  // Insert a markup-significant character.
+        xml.insert(pos, 1, "<>&\"'/"[rng->NextBelow(6)]);
+        break;
+      default:  // Truncate the tail.
+        xml.resize(pos);
+        break;
+    }
+  }
+  return xml;
+}
+
+FuzzTrial GenerateTrial(const FuzzProfile& profile, uint64_t seed,
+                        size_t size, const ChangeSimOptions& sim) {
+  FuzzProfile adjusted = profile;
+  adjusted.sim = sim;
+  return GenerateTrial(adjusted, seed, size, 1.0);
+}
+
+FuzzTrial GenerateTrial(const FuzzProfile& profile, uint64_t seed,
+                        size_t size, double scale) {
+  FuzzTrial trial;
+  trial.profile = profile.name;
+  trial.seed = seed;
+  trial.size = size;
+  Rng rng(seed);
+
+  if (profile.kind == FuzzProfileKind::kTreePair) {
+    DocGenOptions gen = profile.doc;
+    gen.target_bytes = size;
+    XmlDocument doc = GenerateDocument(&rng, gen);
+    doc.AssignInitialXids();
+    trial.document_xml = SerializeDocument(doc);
+    trial.v1 = std::move(doc);
+    SimulateChain(&trial, Scaled(profile.sim, scale), &rng);
+    return trial;
+  }
+
+  // Raw-byte grammars: build the hostile text, then see what the parser
+  // makes of it. Whatever parses cleanly becomes a version chain so the
+  // diff stack is fuzzed with the parser's own acceptances.
+  if (profile.name == "hostile-entity") {
+    trial.document_xml = GenerateHostileEntityXml(&rng, size);
+  } else {
+    DocGenOptions gen = profile.doc;
+    gen.target_bytes = std::max<size_t>(size, 128);
+    XmlDocument doc = GenerateDocument(&rng, gen);
+    const size_t mutations = 1 + rng.NextBelow(6);
+    trial.document_xml =
+        MutateXmlBytes(&rng, SerializeDocument(doc), mutations);
+  }
+
+  Result<XmlDocument> parsed = ParseXml(trial.document_xml);
+  if (!parsed.ok()) {
+    trial.rejection = parsed.status().ToString();
+    return trial;
+  }
+  parsed->AssignInitialXids();
+  trial.v1 = std::move(parsed.value());
+  SimulateChain(&trial, Scaled(profile.sim, scale), &rng);
+  return trial;
+}
+
+}  // namespace xydiff

@@ -1,0 +1,98 @@
+#ifndef XYDIFF_FUZZ_GRAMMAR_H_
+#define XYDIFF_FUZZ_GRAMMAR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simulator/change_simulator.h"
+#include "simulator/doc_generator.h"
+#include "util/random.h"
+#include "xml/document.h"
+
+namespace xydiff {
+
+/// Adversarial input grammars for the differential fuzzer, layered over
+/// the §6.1 simulator. Each profile is a named grammar with a
+/// deterministic contract: `GenerateTrial(profile, seed, size)` always
+/// produces byte-identical inputs for the same triple, so every logged
+/// failure reproduces from its `(seed, profile, size)` line alone.
+///
+/// Two kinds of grammar:
+///  * tree profiles shape DocGenOptions/ChangeSimOptions to stress a
+///    specific matching pathology (deep recursion, huge child lists,
+///    signature collisions, move storms);
+///  * raw-byte profiles emit hostile *text* — entity/DTD bombs and
+///    byte-level mutations of well-formed documents — whose first oracle
+///    is the parser itself (clean Status or clean parse, never a crash).
+enum class FuzzProfileKind {
+  kTreePair,  ///< Generator + simulator: version chain v1 -> v2 -> v3.
+  kRawBytes,  ///< Hostile text; versions exist only if the parser accepts.
+};
+
+/// One named grammar.
+struct FuzzProfile {
+  std::string name;
+  FuzzProfileKind kind = FuzzProfileKind::kTreePair;
+  std::string description;
+  DocGenOptions doc;     ///< Document shape (tree profiles; also the
+                         ///< pre-mutation base of `byte-mutation`).
+  ChangeSimOptions sim;  ///< Change mix applied to derive v2 and v3.
+};
+
+/// The grammar catalog (stable order; names are the CLI/ctest contract).
+const std::vector<FuzzProfile>& FuzzProfiles();
+
+/// Looks up a profile by name; nullptr when unknown.
+const FuzzProfile* FindFuzzProfile(std::string_view name);
+
+/// One generated trial. `document_xml` is always the exact bytes fed to
+/// the parser; the version chain is present when parsing (and then
+/// simulation) succeeded. Raw-byte profiles are *expected* to produce
+/// rejected inputs — a rejection is recorded, not an error; only a crash
+/// or a dirty Status is a finding.
+struct FuzzTrial {
+  std::string profile;
+  uint64_t seed = 0;
+  size_t size = 0;
+
+  std::string document_xml;          ///< Bytes fed to ParseXml.
+  std::optional<XmlDocument> v1;     ///< Parsed base, XIDs assigned.
+  std::optional<XmlDocument> v2;     ///< SimulateChanges(v1).
+  std::optional<XmlDocument> v3;     ///< SimulateChanges(v2).
+  std::string rejection;             ///< Parser message when v1 is absent.
+
+  bool has_versions() const { return v1 && v2 && v3; }
+  /// The `(seed, profile, size)` line a failure is reproduced from.
+  std::string ReproLine() const;
+};
+
+/// Deterministically generates one trial. `scale` in (0, 1] multiplies
+/// every change probability — the shrinker's change-mix axis; 1.0 is the
+/// grammar as catalogued.
+FuzzTrial GenerateTrial(const FuzzProfile& profile, uint64_t seed,
+                        size_t size, double scale = 1.0);
+
+/// Same, with the profile's change mix replaced wholesale — the
+/// shrinker's simulator-profile axis (fuzz/shrink.h zeroes one
+/// operation-kind probability at a time through this overload).
+FuzzTrial GenerateTrial(const FuzzProfile& profile, uint64_t seed,
+                        size_t size, const ChangeSimOptions& sim);
+
+/// Raw-byte grammar internals, exposed for targeted tests.
+///
+/// Hostile entity/DTD documents: internal subsets with chained,
+/// self-referential, oversized, external and parameter entities, plus
+/// bodies referencing them. About half the outputs must be rejected by a
+/// hardened parser; none may hang or crash it.
+std::string GenerateHostileEntityXml(Rng* rng, size_t size);
+
+/// Byte-level mutation: flips, splices, truncations and duplications of
+/// a well-formed serialized document.
+std::string MutateXmlBytes(Rng* rng, std::string xml, size_t mutations);
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_FUZZ_GRAMMAR_H_

@@ -1,0 +1,66 @@
+#ifndef XYDIFF_FUZZ_ORACLES_H_
+#define XYDIFF_FUZZ_ORACLES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fuzz/grammar.h"
+#include "xml/document.h"
+
+namespace xydiff {
+
+/// The fuzzer's oracle library. Every trial is judged by independent
+/// implementations and algebraic invariants rather than golden outputs
+/// (after Li & Rigger's XPath differential-testing recipe): for the same
+/// inputs, BULD and the five baselines must agree, and the delta algebra
+/// must close — apply, invert, compose and the binary codec are all
+/// cross-checked against each other.
+struct OracleOptions {
+  bool check_differential = true;  ///< BULD vs LaDiff patched byte-identity
+                                   ///< + Myers/ListDiff cross-checks.
+  bool check_distance = true;      ///< Zhang-Shasha/Selkow metric axioms
+                                   ///< (small trees only; quadratic+).
+  bool check_roundtrip = true;     ///< parse -> serialize fixpoint.
+  bool check_invert = true;        ///< Invert(d) ∘ d = identity.
+  bool check_compose = true;       ///< ComposeDeltas vs pairwise apply,
+                                   ///< and associativity over the chain.
+  bool check_codec = true;         ///< Binary codec round-trip identity.
+  bool check_checkout = true;      ///< Indexed vs replay Checkout.
+  size_t distance_node_limit = 96; ///< Skip distance oracles above this.
+};
+
+/// One failed invariant.
+struct OracleFailure {
+  std::string oracle;  ///< Which invariant ("differential", "invert", ...).
+  std::string detail;
+};
+
+struct OracleReport {
+  size_t checks = 0;  ///< Invariants actually evaluated.
+  std::vector<OracleFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string ToString() const;
+};
+
+/// Judges one generated trial with every applicable oracle:
+///  * rejected raw inputs: the rejection must be a clean ParseError (the
+///    hardened parser's contract) — reaching here at all already proves
+///    no crash/hang;
+///  * version-bearing trials: all of OracleOptions over the v1->v2->v3
+///    chain.
+OracleReport CheckTrialOracles(const FuzzTrial& trial,
+                               const OracleOptions& options = {});
+
+/// The pair-level core, shared with `differential_test`: runs the
+/// differential, distance, roundtrip, invert and codec oracles over one
+/// (base, changed) pair. Compose and checkout need a third version and
+/// only run through CheckTrialOracles.
+OracleReport CheckPairOracles(const XmlDocument& base,
+                              const XmlDocument& changed,
+                              const OracleOptions& options = {});
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_FUZZ_ORACLES_H_

@@ -1,0 +1,82 @@
+#ifndef XYDIFF_FUZZ_SHRINK_H_
+#define XYDIFF_FUZZ_SHRINK_H_
+
+#include <cstddef>
+#include <string>
+
+#include "simulator/change_simulator.h"
+
+namespace xydiff {
+
+/// The coordinates a failing trial is minimized over. A failure found at
+/// some (seed, profile, size) is re-run at smaller specs — same seed,
+/// same grammar — until no axis can shrink further. The seed never
+/// changes: determinism is what makes candidate evaluation a pure
+/// function of the spec.
+struct ShrinkSpec {
+  size_t size = 0;       ///< Document byte target.
+  ChangeSimOptions sim;  ///< Change mix (the simulator-profile axis).
+
+  /// The spec rendered for a repro log line.
+  std::string ToString() const {
+    return "size=" + std::to_string(size) +
+           " del=" + std::to_string(sim.delete_probability) +
+           " upd=" + std::to_string(sim.update_probability) +
+           " ins=" + std::to_string(sim.insert_probability) +
+           " mov=" + std::to_string(sim.move_probability);
+  }
+};
+
+/// Greedy failure minimization, shared by differential_test and the fuzz
+/// driver. `still_fails(candidate)` re-runs the failing check at a
+/// candidate spec and returns true when the original failure still
+/// reproduces; any candidate it accepts becomes the new spec.
+///
+/// Three passes, in order:
+///  1. halve `size` while the failure persists (floor `min_size`);
+///  2. uniformly halve every change probability (up to three times) —
+///     fewer simulated operations, same mix;
+///  3. zero each of the four probabilities individually — the
+///     simulator-profile axis: a failure that survives with, say, only
+///     moves enabled names its culprit operation in the repro line.
+///
+/// Monotone and bounded: at most ~log2(size) + 3 + 4 candidate runs.
+template <typename Predicate>
+ShrinkSpec MinimizeFailure(ShrinkSpec spec, Predicate&& still_fails,
+                           size_t min_size = 64) {
+  // Pass 1: the size axis.
+  while (spec.size / 2 >= min_size) {
+    ShrinkSpec candidate = spec;
+    candidate.size = spec.size / 2;
+    if (!still_fails(candidate)) break;
+    spec = candidate;
+  }
+
+  // Pass 2: thin the whole change mix.
+  for (int step = 0; step < 3; ++step) {
+    ShrinkSpec candidate = spec;
+    candidate.sim.delete_probability *= 0.5;
+    candidate.sim.update_probability *= 0.5;
+    candidate.sim.insert_probability *= 0.5;
+    candidate.sim.move_probability *= 0.5;
+    if (!still_fails(candidate)) break;
+    spec = candidate;
+  }
+
+  // Pass 3: knock out one operation kind at a time.
+  for (double ChangeSimOptions::*axis :
+       {&ChangeSimOptions::delete_probability,
+        &ChangeSimOptions::update_probability,
+        &ChangeSimOptions::insert_probability,
+        &ChangeSimOptions::move_probability}) {
+    if (spec.sim.*axis == 0.0) continue;
+    ShrinkSpec candidate = spec;
+    candidate.sim.*axis = 0.0;
+    if (still_fails(candidate)) spec = candidate;
+  }
+  return spec;
+}
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_FUZZ_SHRINK_H_

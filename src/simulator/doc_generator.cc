@@ -69,9 +69,48 @@ class Generator {
     const int fanout = static_cast<int>(
         rng_->NextInRange(options_.min_fanout, options_.max_fanout));
     for (int i = 0; i < fanout && !budget_.exhausted(); ++i) {
-      section->AppendChild(MakeSection(depth - 1));
+      XmlNode* child = section->AppendChild(MakeSection(depth - 1));
+      MaybeDuplicate(section.get(), child);
     }
     return section;
+  }
+
+  /// Appends up to max_duplicate_run clones of `child` to `parent` —
+  /// sibling runs with colliding subtree signatures. A clone sometimes
+  /// gains one extra word in its first text leaf, so runs mix exact and
+  /// *near* duplicates.
+  void MaybeDuplicate(XmlNode* parent, const XmlNode* child) {
+    if (child == nullptr ||
+        !rng_->NextBool(options_.duplicate_sibling_probability)) {
+      return;
+    }
+    const int run = static_cast<int>(
+        rng_->NextInRange(1, std::max(options_.max_duplicate_run, 1)));
+    for (int i = 0; i < run && !budget_.exhausted(); ++i) {
+      XmlNodePtr clone = child->Clone();
+      if (rng_->NextBool(0.5)) {
+        XmlNode* first_text = nullptr;
+        clone->Visit([&](XmlNode* n) {
+          if (first_text == nullptr && !n->is_element()) first_text = n;
+        });
+        if (first_text != nullptr) {
+          first_text->set_text(std::string(first_text->text()) + " " +
+                               rng_->NextWord(2, 9));
+        }
+      }
+      ChargeSubtree(*clone);
+      parent->AppendChild(std::move(clone));
+    }
+  }
+
+  void ChargeSubtree(const XmlNode& node) {
+    node.Visit([&](const XmlNode* n) {
+      if (n->is_element()) {
+        budget_.ChargeElement(n->label());
+      } else {
+        budget_.ChargeText(n->text());
+      }
+    });
   }
 
   XmlNodePtr MakeItem() {

@@ -37,6 +37,15 @@ struct DocGenOptions {
 
   /// Probability that an item element carries a non-ID attribute.
   double attribute_probability = 0.3;
+
+  /// Probability that a generated child subtree is duplicated in place:
+  /// up to `max_duplicate_run` clones are appended as its next siblings,
+  /// each with a slight chance of one extra text word. Near-duplicate
+  /// sibling runs give distinct subtrees identical (or near-identical)
+  /// signatures — the collision workload the fuzzer's
+  /// `near-duplicate-siblings` grammar targets. 0 disables (default).
+  double duplicate_sibling_probability = 0.0;
+  int max_duplicate_run = 3;
 };
 
 /// Generates a random catalog-like document of roughly

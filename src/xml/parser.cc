@@ -5,6 +5,7 @@
 #include <sstream>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "util/env.h"
 #include "util/string_util.h"
@@ -302,7 +303,10 @@ class Parser {
     std::string_view name = ParseName();
     SkipWhitespace();
     if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
-      // External entity (SYSTEM/PUBLIC ...): skip.
+      // External entity (SYSTEM/PUBLIC ...): never fetched. The name is
+      // remembered so a reference to it is rejected with a diagnostic
+      // naming the real problem instead of "unknown entity".
+      if (!name.empty()) external_entities_.insert(std::string(name));
       while (!AtEnd() && Peek() != '>') {
         if (Peek() == '"' || Peek() == '\'') SkipQuoted();
         else Advance();
@@ -321,11 +325,29 @@ class Parser {
     if (!name.empty()) entities_.emplace(std::string(name), std::move(value));
   }
 
+  /// Every byte a custom entity expands to is charged against one
+  /// document-wide budget: chained declarations amplify input
+  /// exponentially ("billion laughs"), so no per-reference or per-entity
+  /// bound is safe — only the cumulative output is.
+  Status ChargeEntityExpansion(size_t bytes) {
+    entity_expansion_bytes_ += bytes;
+    if (entity_expansion_bytes_ > options_.max_entity_expansion_bytes) {
+      return Error(
+          "entity expansion exceeds " +
+          std::to_string(options_.max_entity_expansion_bytes) +
+          " bytes (entity-expansion attack?)");
+    }
+    return Status::OK();
+  }
+
   /// Decodes an entity replacement string (character references,
-  /// predefined entities, nested custom entities up to a depth limit).
+  /// predefined entities, nested custom entities), bounded in depth and
+  /// in cumulative output bytes.
   Status ExpandEntityValue(std::string_view value, int depth,
                            std::string* out) {
-    if (depth > 16) return Error("entity expansion too deep (cycle?)");
+    if (depth > options_.max_entity_depth) {
+      return Error("entity expansion too deep (reference cycle?)");
+    }
     size_t i = 0;
     while (i < value.size()) {
       const char c = value[i];
@@ -333,6 +355,7 @@ class Parser {
         return Error("entities containing markup are not supported");
       }
       if (c != '&') {
+        XYDIFF_RETURN_IF_ERROR(ChargeEntityExpansion(1));
         *out += c;
         ++i;
         continue;
@@ -357,20 +380,34 @@ class Parser {
           code = code * (hex ? 16 : 10) + digit;
           if (code > 0x10FFFF) return Error("character reference out of range");
         }
+        // Chains bottom out in character/predefined references, so these
+        // appends carry the amplified bytes and must be charged too.
+        XYDIFF_RETURN_IF_ERROR(ChargeEntityExpansion(Utf8Length(code)));
         AppendUtf8(code, out);
       } else if (name == "amp") {
+        XYDIFF_RETURN_IF_ERROR(ChargeEntityExpansion(1));
         *out += '&';
       } else if (name == "lt") {
+        XYDIFF_RETURN_IF_ERROR(ChargeEntityExpansion(1));
         *out += '<';
       } else if (name == "gt") {
+        XYDIFF_RETURN_IF_ERROR(ChargeEntityExpansion(1));
         *out += '>';
       } else if (name == "quot") {
+        XYDIFF_RETURN_IF_ERROR(ChargeEntityExpansion(1));
         *out += '"';
       } else if (name == "apos") {
+        XYDIFF_RETURN_IF_ERROR(ChargeEntityExpansion(1));
         *out += '\'';
       } else {
+        XYDIFF_RETURN_IF_ERROR(CheckCustomEntityAllowed(name));
         auto it = entities_.find(std::string(name));
         if (it == entities_.end()) {
+          if (external_entities_.count(std::string(name)) != 0) {
+            return Error("reference to external entity '&" +
+                         std::string(name) + ";' is not supported "
+                         "(external entities are never fetched)");
+          }
           return Error("unknown entity '&" + std::string(name) + ";'");
         }
         XYDIFF_RETURN_IF_ERROR(
@@ -433,11 +470,34 @@ class Parser {
     else if (name == "quot") *out += '"';
     else if (name == "apos") *out += '\'';
     else if (auto it = entities_.find(std::string(name)); it != entities_.end()) {
+      XYDIFF_RETURN_IF_ERROR(CheckCustomEntityAllowed(name));
       XYDIFF_RETURN_IF_ERROR(ExpandEntityValue(it->second, 0, out));
+    } else if (external_entities_.count(std::string(name)) != 0) {
+      return Error("reference to external entity '&" + std::string(name) +
+                   ";' is not supported (external entities are never "
+                   "fetched)");
     } else {
       return Error("unknown entity '&" + std::string(name) + ";'");
     }
     return Status::OK();
+  }
+
+  /// The max_entity_expansion_bytes = 0 switch: custom entities may be
+  /// *declared* (the internal subset is still scanned for ATTLIST), but
+  /// any reference to one is refused.
+  Status CheckCustomEntityAllowed(std::string_view name) {
+    if (options_.max_entity_expansion_bytes == 0) {
+      return Error("expansion of custom entity '&" + std::string(name) +
+                   ";' is disabled (max_entity_expansion_bytes = 0)");
+    }
+    return Status::OK();
+  }
+
+  static size_t Utf8Length(uint32_t code) {
+    if (code < 0x80) return 1;
+    if (code < 0x800) return 2;
+    if (code < 0x10000) return 3;
+    return 4;
   }
 
   static void AppendUtf8(uint32_t code, std::string* out) {
@@ -658,6 +718,11 @@ class Parser {
   std::string tbuf_;          // Retained character-data decode buffer.
   std::string abuf_;          // Retained attribute-value decode buffer.
   std::unordered_map<std::string, std::string> entities_;
+  /// Names declared `<!ENTITY name SYSTEM/PUBLIC ...>` — kept only to
+  /// reject references to them by name.
+  std::unordered_set<std::string> external_entities_;
+  /// Cumulative custom-entity expansion output, document-wide.
+  size_t entity_expansion_bytes_ = 0;
 };
 
 }  // namespace

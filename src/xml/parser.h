@@ -20,6 +20,22 @@ struct ParseOptions {
   /// (guards against stack exhaustion on adversarial documents).
   int max_depth = 10000;
 
+  /// Cumulative bound on bytes produced by expanding custom general
+  /// entities, across the whole document. Entity values may reference
+  /// other entities, so k declarations can expand to fanout^k bytes
+  /// ("billion laughs"); one counter over all expansions caps the
+  /// amplification an input can buy regardless of how it is nested or
+  /// how many references the body makes. 0 disables custom-entity
+  /// expansion outright: any reference to a declared entity is rejected.
+  /// Predefined (&amp; ...) and character references are never charged —
+  /// they cannot amplify.
+  size_t max_entity_expansion_bytes = 1 << 20;
+
+  /// Maximum nesting depth of entity-in-entity expansion. Catches
+  /// reference cycles (which are infinite depth) with a clear error
+  /// before the byte budget does.
+  int max_entity_depth = 16;
+
   /// When set, the document is built into this arena instead of a fresh
   /// one — the ArenaPool recycling hook for the warehouse pipeline. The
   /// arena must hold no live objects (acquire it from an ArenaPool, or
@@ -36,11 +52,15 @@ struct ParseOptions {
 ///
 /// Supported: elements, attributes, character data, CDATA sections,
 /// comments, processing instructions, the XML declaration, predefined and
-/// numeric character references, and the internal DTD subset (scanned for
-/// `<!ATTLIST ... ID ...>` declarations feeding Phase 1 of the diff).
-/// Unsupported (rejected or skipped as noted in the implementation):
-/// external DTDs, custom general entities, namespaces-aware processing
-/// (prefixes are kept verbatim as part of labels).
+/// numeric character references, internal general entities (bounded by
+/// `max_entity_expansion_bytes` / `max_entity_depth` — hostile inputs
+/// get a clean ParseError, never an expansion blow-up), and the internal
+/// DTD subset (scanned for `<!ATTLIST ... ID ...>` declarations feeding
+/// Phase 1 of the diff). Unsupported (rejected or skipped as noted in
+/// the implementation): external DTDs, external and parameter entities
+/// (a reference to a declared external entity is rejected by name),
+/// namespaces-aware processing (prefixes are kept verbatim as part of
+/// labels).
 ///
 /// On success the returned document's nodes carry no XIDs; call
 /// `XmlDocument::AssignInitialXids()` for a first version.

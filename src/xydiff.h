@@ -26,6 +26,10 @@
 #include "delta/merge.h"             // IWYU pragma: export
 #include "delta/summary.h"           // IWYU pragma: export
 #include "delta/validate.h"          // IWYU pragma: export
+#include "fuzz/fuzz.h"               // IWYU pragma: export
+#include "fuzz/grammar.h"            // IWYU pragma: export
+#include "fuzz/oracles.h"            // IWYU pragma: export
+#include "fuzz/shrink.h"             // IWYU pragma: export
 #include "monitor/change_stats.h"    // IWYU pragma: export
 #include "monitor/index.h"           // IWYU pragma: export
 #include "monitor/subscription.h"    // IWYU pragma: export

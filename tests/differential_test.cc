@@ -11,168 +11,30 @@
 // identical documents must cost zero everywhere, changed documents must
 // cost non-zero somewhere.
 //
-// A divergence is logged with the minimal reproducer the built-in
-// shrinker can find (fewer bytes, then fewer simulated changes), so a
-// red run hands the debugger a small case, not an 8 KB document.
+// The oracle and shrinking machinery lives in src/fuzz/ (oracles.h,
+// shrink.h) and is shared with the fuzz_driver tool; this test is the
+// fixed-seed tier-1 sweep. A divergence is logged with the minimal
+// reproducer MinimizeFailure can find — fewer bytes, a gentler change
+// mix, and finally single operation kinds knocked out, so a red run
+// names the culprit operation, not just an 8 KB document.
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "baseline/ladiff.h"
-#include "baseline/list_diff.h"
-#include "baseline/myers_diff.h"
-#include "baseline/selkow.h"
-#include "baseline/zhang_shasha.h"
-#include "core/buld.h"
-#include "delta/apply.h"
+#include "fuzz/oracles.h"
+#include "fuzz/shrink.h"
 #include "gtest/gtest.h"
 #include "simulator/change_simulator.h"
 #include "simulator/doc_generator.h"
-#include "tests/test_util.h"
 #include "util/random.h"
 #include "xml/serializer.h"
 
 namespace xydiff {
 namespace {
 
-/// Canonical bytes used for the byte-identical comparison: default
-/// serializer options (stable attribute order, canonical escaping),
-/// no XIDs — both implementations must agree on *structure and content*;
-/// XID assignment is each algorithm's own business.
 std::string Canonical(const XmlDocument& doc) {
   return SerializeDocument(doc);
-}
-
-/// One differential trial: diff `base` -> `changed` with `diff_fn`,
-/// apply the delta to a fresh clone of `base`, canonically serialize.
-/// Returns true and the patched bytes on success; false with the error
-/// message otherwise.
-template <typename DiffFn>
-bool RunOneDiff(const XmlDocument& base, const XmlDocument& changed,
-                DiffFn diff_fn, std::string* patched_bytes,
-                std::string* error) {
-  // Each algorithm gets private copies: both XyDiff and LaDiff annotate
-  // the new document with XIDs as a side effect.
-  XmlDocument old_doc = base.Clone();
-  XmlDocument new_doc = changed.Clone();
-  Result<Delta> delta = diff_fn(&old_doc, &new_doc);
-  if (!delta.ok()) {
-    *error = "diff failed: " + delta.status().ToString();
-    return false;
-  }
-  XmlDocument patched = base.Clone();
-  if (Status s = ApplyDelta(*delta, &patched); !s.ok()) {
-    *error = "apply failed: " + s.ToString();
-    return false;
-  }
-  *patched_bytes = Canonical(patched);
-  return true;
-}
-
-struct TrialOutcome {
-  bool ok = true;
-  std::string detail;  // Which implementation diverged and how.
-};
-
-/// Runs BULD and LaDiff over one (base, changed) pair and cross-checks
-/// every baseline oracle. Returns ok=false with a description on any
-/// divergence.
-TrialOutcome RunTrial(const XmlDocument& base, const XmlDocument& changed) {
-  TrialOutcome outcome;
-  const std::string expected = Canonical(changed);
-
-  const auto buld = [](XmlDocument* a, XmlDocument* b) {
-    return XyDiff(a, b, DiffOptions{});
-  };
-  const auto ladiff = [](XmlDocument* a, XmlDocument* b) {
-    return LaDiff(a, b, DiffOptions{});
-  };
-
-  std::string buld_bytes, ladiff_bytes, error;
-  if (!RunOneDiff(base, changed, buld, &buld_bytes, &error)) {
-    outcome.ok = false;
-    outcome.detail = "BULD: " + error;
-    return outcome;
-  }
-  if (buld_bytes != expected) {
-    outcome.ok = false;
-    outcome.detail = "BULD patched bytes differ from the new version";
-    return outcome;
-  }
-  if (!RunOneDiff(base, changed, ladiff, &ladiff_bytes, &error)) {
-    outcome.ok = false;
-    outcome.detail = "LaDiff: " + error;
-    return outcome;
-  }
-  if (ladiff_bytes != expected) {
-    outcome.ok = false;
-    outcome.detail = "LaDiff patched bytes differ from the new version";
-    return outcome;
-  }
-  // Both implementations agree with the ground truth, hence each other.
-
-  // Oracle cross-checks on the *text* baselines: identical inputs diff
-  // empty; changed canonical bytes imply a non-empty line diff.
-  const std::string old_bytes = Canonical(base);
-  LineDiffResult line = MyersLineDiff(old_bytes, expected);
-  if (old_bytes == expected &&
-      (line.deleted_lines != 0 || line.added_lines != 0)) {
-    outcome.ok = false;
-    outcome.detail = "Myers reports changes on identical documents";
-    return outcome;
-  }
-  if (old_bytes != expected && line.hunks.empty()) {
-    outcome.ok = false;
-    outcome.detail = "Myers reports no changes on differing documents";
-    return outcome;
-  }
-  ListDiffResult list = ListDiff(base, changed);
-  if (old_bytes == expected &&
-      (list.deleted_tokens != 0 || list.inserted_tokens != 0)) {
-    outcome.ok = false;
-    outcome.detail = "ListDiff reports changes on identical documents";
-    return outcome;
-  }
-  return outcome;
-}
-
-/// Tree-distance oracles are quadratic-to-worse; keep them to small
-/// trees and check the metric axioms the diff relies on.
-TrialOutcome RunDistanceTrial(const XmlDocument& base,
-                              const XmlDocument& changed) {
-  TrialOutcome outcome;
-  const size_t zs_same = TreeEditDistance(*base.root(), *base.root());
-  const size_t selkow_same = SelkowEditDistance(*base.root(), *base.root());
-  if (zs_same != 0 || selkow_same != 0) {
-    outcome.ok = false;
-    outcome.detail = "non-zero self distance (zs=" +
-                     std::to_string(zs_same) +
-                     ", selkow=" + std::to_string(selkow_same) + ")";
-    return outcome;
-  }
-  const size_t zs = TreeEditDistance(*base.root(), *changed.root());
-  const size_t selkow = SelkowEditDistance(*base.root(), *changed.root());
-  const bool structurally_equal = Canonical(base) == Canonical(changed);
-  if (structurally_equal && zs != 0) {
-    outcome.ok = false;
-    outcome.detail = "Zhang-Shasha non-zero on equal documents";
-    return outcome;
-  }
-  if (!structurally_equal && zs == 0) {
-    outcome.ok = false;
-    outcome.detail = "Zhang-Shasha zero on differing documents";
-    return outcome;
-  }
-  // Selkow restricts operations to subtree insert/delete + relabel, so
-  // it can never beat the unrestricted exact distance.
-  if (selkow < zs) {
-    outcome.ok = false;
-    outcome.detail = "Selkow distance " + std::to_string(selkow) +
-                     " below exact distance " + std::to_string(zs);
-    return outcome;
-  }
-  return outcome;
 }
 
 struct TrialInputs {
@@ -180,61 +42,62 @@ struct TrialInputs {
   XmlDocument changed;
 };
 
-/// Deterministically regenerates the trial inputs for (seed, bytes,
-/// change scale). `scale` in (0, 1] multiplies every change probability —
-/// the shrinker's second axis.
-TrialInputs MakeInputs(uint64_t seed, size_t target_bytes, double scale,
-                       const ChangeSimOptions& profile) {
+/// Deterministically regenerates the trial inputs for one shrink spec —
+/// a pure function of (seed, spec), which is what makes the shrinker's
+/// candidate evaluation meaningful.
+TrialInputs MakeInputs(uint64_t seed, const ShrinkSpec& spec) {
   Rng rng(seed);
   DocGenOptions gen;
-  gen.target_bytes = target_bytes;
+  gen.target_bytes = spec.size;
   TrialInputs inputs;
   inputs.base = GenerateDocument(&rng, gen);
   inputs.base.AssignInitialXids();
-  ChangeSimOptions sim = profile;
-  sim.delete_probability *= scale;
-  sim.update_probability *= scale;
-  sim.insert_probability *= scale;
-  sim.move_probability *= scale;
-  Result<SimulatedChange> change = SimulateChanges(inputs.base, sim, &rng);
+  Result<SimulatedChange> change =
+      SimulateChanges(inputs.base, spec.sim, &rng);
   EXPECT_TRUE(change.ok()) << change.status().ToString();
   inputs.changed =
       change.ok() ? std::move(change->new_version) : inputs.base.Clone();
   return inputs;
 }
 
-/// Shrinks a failing trial: first smaller documents, then gentler change
-/// mixes, re-running the differential check each time. Returns the
-/// smallest still-failing pair it found (by construction at least the
-/// original failure reproduces).
-void LogMinimizedDivergence(uint64_t seed, size_t target_bytes,
-                            const ChangeSimOptions& profile,
+ShrinkSpec MakeSpec(size_t bytes, const ChangeSimOptions& sim,
+                    double scale = 1.0) {
+  ShrinkSpec spec;
+  spec.size = bytes;
+  spec.sim = sim;
+  spec.sim.delete_probability *= scale;
+  spec.sim.update_probability *= scale;
+  spec.sim.insert_probability *= scale;
+  spec.sim.move_probability *= scale;
+  return spec;
+}
+
+/// The pair-level differential + baseline oracles (no distance: those
+/// run in their own small-tree sweep below).
+OracleReport JudgePair(uint64_t seed, const ShrinkSpec& spec) {
+  TrialInputs inputs = MakeInputs(seed, spec);
+  OracleOptions oracles;
+  oracles.check_distance = false;
+  return CheckPairOracles(inputs.base, inputs.changed, oracles);
+}
+
+/// Shrinks a failing trial over all three axes — document size, change
+/// scale, and the simulator profile itself (individual operation-kind
+/// probabilities) — and logs the minimal reproducer.
+void LogMinimizedDivergence(uint64_t seed, const ShrinkSpec& original,
                             const std::string& first_detail) {
-  size_t best_bytes = target_bytes;
-  double best_scale = 1.0;
-  std::string detail = first_detail;
-  for (size_t bytes = target_bytes / 2; bytes >= 64; bytes /= 2) {
-    TrialInputs inputs = MakeInputs(seed, bytes, best_scale, profile);
-    TrialOutcome outcome = RunTrial(inputs.base, inputs.changed);
-    if (!outcome.ok) {
-      best_bytes = bytes;
-      detail = outcome.detail;
-    }
-  }
-  for (double scale : {0.5, 0.25, 0.1}) {
-    TrialInputs inputs = MakeInputs(seed, best_bytes, scale, profile);
-    TrialOutcome outcome = RunTrial(inputs.base, inputs.changed);
-    if (!outcome.ok) {
-      best_scale = scale;
-      detail = outcome.detail;
-    }
-  }
-  TrialInputs minimal = MakeInputs(seed, best_bytes, best_scale, profile);
-  ADD_FAILURE() << "divergence (seed=" << seed << ", bytes=" << best_bytes
-                << ", scale=" << best_scale << "): " << detail
+  const ShrinkSpec minimal =
+      MinimizeFailure(original, [seed](const ShrinkSpec& candidate) {
+        return !JudgePair(seed, candidate).ok();
+      });
+  TrialInputs inputs = MakeInputs(seed, minimal);
+  const OracleReport report = JudgePair(seed, minimal);
+  ADD_FAILURE() << "divergence (seed=" << seed << ", " << minimal.ToString()
+                << "): "
+                << (report.ok() ? first_detail : report.ToString())
                 << "\n--- old ---\n"
-                << Canonical(minimal.base) << "\n--- new ---\n"
-                << Canonical(minimal.changed);
+                << Canonical(inputs.base) << "\n--- new ---\n"
+                << Canonical(inputs.changed);
 }
 
 // The main sweep: >= 500 generated pairs across four change profiles.
@@ -256,15 +119,15 @@ TEST(DifferentialTest, BuldAndLaDiffAgreeOnFiveHundredPairs) {
   for (const Profile& profile : profiles) {
     for (uint64_t seed = 1; seed <= 125; ++seed) {
       const size_t bytes = 512 + (seed % 3) * 768;  // 512 / 1280 / 2048.
-      TrialInputs inputs = MakeInputs(seed, bytes, 1.0, profile.sim);
-      TrialOutcome outcome = RunTrial(inputs.base, inputs.changed);
+      const ShrinkSpec spec = MakeSpec(bytes, profile.sim);
+      const OracleReport report = JudgePair(seed, spec);
       ++trials;
-      if (!outcome.ok) {
+      if (!report.ok()) {
         ++divergences;
         std::fprintf(stderr, "divergence in profile %s seed %llu: %s\n",
                      profile.name, static_cast<unsigned long long>(seed),
-                     outcome.detail.c_str());
-        LogMinimizedDivergence(seed, bytes, profile.sim, outcome.detail);
+                     report.ToString().c_str());
+        LogMinimizedDivergence(seed, spec, report.ToString());
       }
     }
   }
@@ -275,22 +138,44 @@ TEST(DifferentialTest, BuldAndLaDiffAgreeOnFiveHundredPairs) {
 // Distance-oracle sweep on small trees (the exact algorithms are
 // O(n^2)..O(n^4); 64 pairs of ~40-node trees keep this instant).
 TEST(DifferentialTest, DistanceOraclesAgreeOnSmallTrees) {
-  ChangeSimOptions sim;  // Paper defaults: 10% per operation.
   for (uint64_t seed = 1; seed <= 64; ++seed) {
-    TrialInputs inputs = MakeInputs(seed, 256, 1.0, sim);
-    TrialOutcome outcome = RunDistanceTrial(inputs.base, inputs.changed);
-    EXPECT_TRUE(outcome.ok) << "seed " << seed << ": " << outcome.detail;
+    TrialInputs inputs = MakeInputs(seed, MakeSpec(256, ChangeSimOptions{}));
+    OracleOptions oracles;  // Everything on; trees are tiny.
+    oracles.distance_node_limit = 512;
+    const OracleReport report =
+        CheckPairOracles(inputs.base, inputs.changed, oracles);
+    EXPECT_TRUE(report.ok()) << "seed " << seed << ": " << report.ToString();
   }
 }
 
 // The shrinker itself must reproduce deterministically: regenerating the
-// same (seed, bytes, scale) twice yields byte-identical inputs.
+// same (seed, spec) twice yields byte-identical inputs.
 TEST(DifferentialTest, TrialGenerationIsDeterministic) {
-  ChangeSimOptions sim;
-  TrialInputs a = MakeInputs(42, 1024, 0.5, sim);
-  TrialInputs b = MakeInputs(42, 1024, 0.5, sim);
+  const ShrinkSpec spec = MakeSpec(1024, ChangeSimOptions{}, 0.5);
+  TrialInputs a = MakeInputs(42, spec);
+  TrialInputs b = MakeInputs(42, spec);
   EXPECT_EQ(Canonical(a.base), Canonical(b.base));
   EXPECT_EQ(Canonical(a.changed), Canonical(b.changed));
+}
+
+// The profile axis: a synthetic failure that only reproduces when moves
+// are enabled must shrink to a move-only change mix — naming the culprit
+// operation kind in the repro line.
+TEST(DifferentialTest, ShrinkerMinimizesTheProfileDimension) {
+  ShrinkSpec spec = MakeSpec(4096, ChangeSimOptions{0.2, 0.2, 0.2, 0.2});
+  size_t candidates = 0;
+  const ShrinkSpec minimal =
+      MinimizeFailure(spec, [&candidates](const ShrinkSpec& candidate) {
+        ++candidates;
+        // "Fails" whenever moves are still possible.
+        return candidate.sim.move_probability > 0.0;
+      });
+  EXPECT_GT(candidates, 0u);
+  EXPECT_LE(minimal.size, 64u * 2);  // Size axis shrank to the floor.
+  EXPECT_EQ(minimal.sim.delete_probability, 0.0);
+  EXPECT_EQ(minimal.sim.update_probability, 0.0);
+  EXPECT_EQ(minimal.sim.insert_probability, 0.0);
+  EXPECT_GT(minimal.sim.move_probability, 0.0);  // The culprit survives.
 }
 
 }  // namespace

@@ -251,5 +251,129 @@ TEST(ParserTest, ParseFileNotFound) {
   EXPECT_EQ(doc.status().code(), StatusCode::kNotFound);
 }
 
+// --- Hostile entity / DTD hardening -----------------------------------------
+//
+// The expansion contract: a hostile internal subset gets a clean
+// ParseError naming the rejected construct — never an expansion
+// blow-up, a fetch, or a crash. Positive controls pin the bounds from
+// the other side so the defaults do not silently break benign inputs.
+
+TEST(ParserTest, EntityExpansionBillionLaughsRejected) {
+  // 10 chained levels, fanout 10: one &e10; is 10^10 bytes from ~400
+  // bytes of input. Must reject quickly via the cumulative byte budget.
+  std::string xml = "<!DOCTYPE b [<!ENTITY e0 \"xx\">";
+  for (int l = 1; l <= 10; ++l) {
+    xml += "<!ENTITY e" + std::to_string(l) + " \"";
+    for (int i = 0; i < 10; ++i) xml += "&e" + std::to_string(l - 1) + ";";
+    xml += "\">";
+  }
+  xml += "]><b>&e10;</b>";
+  Result<XmlDocument> doc = ParseXml(xml);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+  EXPECT_NE(doc.status().message().find("entity expansion exceeds"),
+            std::string::npos)
+      << doc.status().ToString();
+}
+
+TEST(ParserTest, EntityExpansionBudgetIsCumulativeAcrossReferences) {
+  // Each reference is small; many of them must still trip the
+  // document-wide budget (a per-reference bound would not).
+  std::string xml = "<!DOCTYPE b [<!ENTITY e \"0123456789\">]><b>";
+  for (int i = 0; i < 200; ++i) xml += "<t>&e;</t>";
+  xml += "</b>";
+  ParseOptions options;
+  options.max_entity_expansion_bytes = 1000;  // 200 refs x 10 bytes > 1000.
+  Result<XmlDocument> doc = ParseXml(xml, options);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("entity expansion exceeds"),
+            std::string::npos);
+  // The same document passes with the (much larger) default budget.
+  EXPECT_TRUE(ParseXml(xml).ok());
+}
+
+TEST(ParserTest, EntityExpansionChargesCharacterReferenceBytes) {
+  // Amplified chains bottom out in character references; those bytes
+  // must be charged too or "&#120;" chains dodge the budget.
+  std::string xml = "<!DOCTYPE b [<!ENTITY e0 \"&#120;&#120;\">";
+  for (int l = 1; l <= 10; ++l) {
+    xml += "<!ENTITY e" + std::to_string(l) + " \"";
+    for (int i = 0; i < 10; ++i) xml += "&e" + std::to_string(l - 1) + ";";
+    xml += "\">";
+  }
+  xml += "]><b>&e10;</b>";
+  Result<XmlDocument> doc = ParseXml(xml);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("entity expansion exceeds"),
+            std::string::npos);
+}
+
+TEST(ParserTest, EntityReferenceCycleRejected) {
+  Result<XmlDocument> doc = ParseXml(
+      "<!DOCTYPE b [<!ENTITY a \"&b;\"><!ENTITY b \"&a;\">]><b>&a;</b>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+  EXPECT_NE(doc.status().message().find("too deep"), std::string::npos)
+      << doc.status().ToString();
+}
+
+TEST(ParserTest, ExternalEntityReferenceRejectedByName) {
+  Result<XmlDocument> doc = ParseXml(
+      "<!DOCTYPE b [<!ENTITY ext SYSTEM \"file:///etc/passwd\">]>"
+      "<b>&ext;</b>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+  EXPECT_NE(doc.status().message().find("external entity"), std::string::npos)
+      << doc.status().ToString();
+  // Inside another entity's value, same rejection.
+  Result<XmlDocument> nested = ParseXml(
+      "<!DOCTYPE b [<!ENTITY ext SYSTEM \"x\"><!ENTITY e \"&ext;\">]>"
+      "<b>&e;</b>");
+  ASSERT_FALSE(nested.ok());
+  EXPECT_NE(nested.status().message().find("external entity"),
+            std::string::npos);
+}
+
+TEST(ParserTest, ZeroBudgetDisablesCustomEntityExpansion) {
+  ParseOptions options;
+  options.max_entity_expansion_bytes = 0;
+  Result<XmlDocument> doc = ParseXml(
+      "<!DOCTYPE b [<!ENTITY e \"v\">]><b>&e;</b>", options);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("disabled"), std::string::npos)
+      << doc.status().ToString();
+  // Predefined and character references are unaffected by the switch.
+  EXPECT_TRUE(ParseXml("<b>&amp;&#65;</b>", options).ok());
+  // As is a document that declares but never references an entity.
+  EXPECT_TRUE(
+      ParseXml("<!DOCTYPE b [<!ENTITY e \"v\">]><b>x</b>", options).ok());
+}
+
+TEST(ParserTest, BenignEntityUseStillWorks) {
+  // Positive control: ordinary entity use is far below every bound.
+  XmlDocument doc = MustParse(
+      "<!DOCTYPE b [<!ENTITY co \"Example &amp; Sons\">]>"
+      "<b><name>&co;</name><name>&co;</name></b>");
+  EXPECT_EQ(doc.root()->child(0)->child(0)->text(), "Example & Sons");
+  EXPECT_EQ(doc.root()->child(1)->child(0)->text(), "Example & Sons");
+}
+
+TEST(ParserTest, EntityDepthLimitConfigurable) {
+  // A benign 20-deep chain: rejected at the default depth 16, accepted
+  // when the knob is raised.
+  std::string xml = "<!DOCTYPE b [<!ENTITY e0 \"x\">";
+  for (int l = 1; l <= 20; ++l) {
+    xml += "<!ENTITY e" + std::to_string(l) + " \"&e" +
+           std::to_string(l - 1) + ";\">";
+  }
+  xml += "]><b>&e20;</b>";
+  EXPECT_FALSE(ParseXml(xml).ok());
+  ParseOptions options;
+  options.max_entity_depth = 32;
+  Result<XmlDocument> doc = ParseXml(xml, options);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->root()->child(0)->text(), "x");
+}
+
 }  // namespace
 }  // namespace xydiff

@@ -1,0 +1,70 @@
+#!/bin/sh
+# Long-running fuzzing campaign driver. The ctest `fuzz_smoke` entry is
+# the bounded tier-1 pass; this script is the unbounded (or
+# budget-bounded) version for soak runs, with the scratch/corpus hygiene
+# the C++ side deliberately does not own: the Env abstraction has no
+# recursive directory removal, so the shell creates and clears the
+# scratch tree around each campaign.
+#
+# Usage:
+#   tools/run_fuzz.sh                       # one pass, default budget
+#   tools/run_fuzz.sh --minutes 30          # keep cycling for 30 minutes
+#   tools/run_fuzz.sh --trials 500          # trials per profile per cycle
+#   tools/run_fuzz.sh --build build-sanitize  # fuzz the sanitizer build
+#   tools/run_fuzz.sh -- --profiles move-storm,hostile-entity
+#
+# Everything after `--` is passed straight to fuzz_driver. Failing
+# inputs and their repro lines accumulate under the corpus directory
+# (never cleared by this script); each cycle advances the seed window so
+# a soak run visits fresh trials, while any single failure still replays
+# from its printed (seed, profile, size) line.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+MINUTES=0
+TRIALS=100
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --build) BUILD_DIR=$2; shift 2 ;;
+    --minutes) MINUTES=$2; shift 2 ;;
+    --trials) TRIALS=$2; shift 2 ;;
+    --) shift; break ;;
+    *) echo "unknown option: $1 (use --build/--minutes/--trials [-- driver args])" >&2
+       exit 2 ;;
+  esac
+done
+
+DRIVER="$BUILD_DIR/tools/fuzz_driver"
+if [ ! -x "$DRIVER" ]; then
+  cmake --build "$BUILD_DIR" --target fuzz_driver -j "$(nproc)"
+fi
+
+SCRATCH="$BUILD_DIR/fuzz_scratch"
+CORPUS="$BUILD_DIR/fuzz_corpus"
+deadline=$(( $(date +%s) + MINUTES * 60 ))
+
+cycle=0
+seed_start=1
+while :; do
+  cycle=$((cycle + 1))
+  # Fresh scratch per cycle: crash trials re-use per-seed directories,
+  # and a clean tree keeps "leftover state" out of the hybrid-state
+  # verdicts entirely.
+  rm -rf "$SCRATCH"
+  mkdir -p "$SCRATCH"
+
+  echo "== fuzz cycle $cycle (seeds from $seed_start) =="
+  "$DRIVER" --trials "$TRIALS" --seed-start "$seed_start" \
+    --scratch "$SCRATCH" --corpus "$CORPUS" "$@" || {
+      echo "fuzz_driver found failures; inputs persisted under $CORPUS" >&2
+      exit 1
+    }
+
+  seed_start=$((seed_start + TRIALS))
+  [ "$MINUTES" -gt 0 ] && [ "$(date +%s)" -lt "$deadline" ] || break
+done
+
+rm -rf "$SCRATCH"
+echo "fuzz: $cycle cycle(s) clean; corpus (failures only) at $CORPUS"

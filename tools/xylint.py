@@ -25,6 +25,15 @@ Enforces repository invariants the compiler cannot (see DESIGN.md §3.11):
                       the crash-safety protocol see every operation. Tests
                       are exempt: they simulate *out-of-band* damage (bit
                       flips, truncation) that by definition bypasses Env.
+  nondet-seed         No nondeterministic RNG seeding: `std::random_device`,
+                      `srand`/`rand`, or seeding an engine from the clock.
+                      Every randomized test and fuzz trial must replay from
+                      a logged integer seed (util/random.h Rng), so a
+                      failure's (seed, profile, size) line is the whole
+                      reproducer. Applies to src/, tools/ AND tests/.
+                      src/fuzz/ alone is exempt: a campaign may draw its
+                      starting seed from the environment, provided every
+                      trial seed is derived from it and logged.
 
 Zero dependencies (stdlib only). Exit 0 = clean, 1 = findings, 2 = usage.
 Suppress a single line with `// xylint: allow(<rule>)` on that line.
@@ -43,6 +52,7 @@ RULES = (
     "naked-thread",
     "void-discard",
     "raw-io",
+    "nondet-seed",
 )
 
 ALLOW_RE = re.compile(r"//\s*xylint:\s*allow\(([a-z-]+)\)")
@@ -152,6 +162,13 @@ FS_MUTATION_RE = re.compile(
     r"resize_file|permissions|last_write_time)\s*\("
 )
 VOID_CAST_RE = re.compile(r"\(void\)\s*[A-Za-z_(]")
+NONDET_SEED_RE = re.compile(
+    r"std::random_device\b|\bsrand\s*\(|\brand\s*\(\s*\)|"
+    # An Rng / <random> engine constructed or re-seeded from the clock
+    # ("Rng r(...now())", "mt19937 g{time(0)}", "g.seed(time(0))", ...).
+    r"(?:\bRng\b|\bmt19937(?:_64)?\b|\bdefault_random_engine\b|"
+    r"\bminstd_rand0?\b|\.seed)[\w\s]*[({][^;)}]*(?:\btime\s*\(|::now\s*\()"
+)
 INCLUDE_RE = re.compile(r'^#include\s+"([^"]+)"(.*)$')
 
 
@@ -167,6 +184,7 @@ def lint_file(path, rel, src_root, findings):
     is_arena = rel in ("src/util/arena.h", "src/util/arena.cc")
     is_pool = rel in ("src/util/thread_pool.h", "src/util/thread_pool.cc")
     is_env = rel == "src/util/env.cc"
+    in_fuzz = rel.startswith("src/fuzz/")
 
     for lineno, line in enumerate(code_lines, start=1):
         # new-delete: arena or smart pointers own everything else.
@@ -220,6 +238,16 @@ def lint_file(path, rel, src_root, findings):
                         "raw file I/O outside util/env.cc — route it "
                         "through Env (util/env.h) so fault injection and "
                         "crash-safety cover it"))
+
+        # nondet-seed: randomness replays from logged integer seeds.
+        if not in_fuzz:
+            if NONDET_SEED_RE.search(line):
+                if not allowed(raw_lines, lineno, "nondet-seed"):
+                    findings.append(Finding(
+                        rel, lineno, "nondet-seed",
+                        "nondeterministic RNG seeding (random_device / "
+                        "rand / clock seed) — derive every seed from a "
+                        "logged integer so failures replay"))
 
         # void-discard: require a nearby justification comment.
         if VOID_CAST_RE.search(line):
