@@ -7,11 +7,11 @@
 
 #include <numeric>
 
-#include "core/diff_tree.h"
-#include "core/lcs.h"
+#include "delta/diff_tree.h"
+#include "delta/lcs.h"
 #include "core/node_queue.h"
-#include "core/options.h"
-#include "core/signature.h"
+#include "delta/options.h"
+#include "delta/signature.h"
 #include "simulator/doc_generator.h"
 #include "util/hash.h"
 #include "util/random.h"

@@ -3,10 +3,10 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/delta_builder.h"
-#include "core/diff_tree.h"
-#include "core/lcs.h"
-#include "core/signature.h"
+#include "delta/delta_builder.h"
+#include "delta/diff_tree.h"
+#include "delta/lcs.h"
+#include "delta/signature.h"
 #include "util/hash.h"
 
 namespace xydiff {

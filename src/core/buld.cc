@@ -4,12 +4,12 @@
 #include <cmath>
 
 #include "core/candidates.h"
-#include "core/delta_builder.h"
-#include "core/diff_tree.h"
+#include "delta/delta_builder.h"
+#include "delta/diff_tree.h"
 #include "core/match_ids.h"
 #include "core/node_queue.h"
 #include "core/propagate.h"
-#include "core/signature.h"
+#include "delta/signature.h"
 #include "xml/parser.h"
 
 namespace xydiff {

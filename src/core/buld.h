@@ -1,7 +1,7 @@
 #ifndef XYDIFF_CORE_BULD_H_
 #define XYDIFF_CORE_BULD_H_
 
-#include "core/options.h"
+#include "delta/options.h"
 #include "delta/delta.h"
 #include "util/status.h"
 #include "xml/document.h"

@@ -4,7 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/diff_tree.h"
+#include "delta/diff_tree.h"
 
 namespace xydiff {
 

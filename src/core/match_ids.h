@@ -1,8 +1,8 @@
 #ifndef XYDIFF_CORE_MATCH_IDS_H_
 #define XYDIFF_CORE_MATCH_IDS_H_
 
-#include "core/diff_tree.h"
-#include "core/options.h"
+#include "delta/diff_tree.h"
+#include "delta/options.h"
 #include "xml/dtd.h"
 
 namespace xydiff {

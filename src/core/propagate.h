@@ -3,8 +3,8 @@
 
 #include <cstddef>
 
-#include "core/diff_tree.h"
-#include "core/options.h"
+#include "delta/diff_tree.h"
+#include "delta/options.h"
 
 namespace xydiff {
 

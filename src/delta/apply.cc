@@ -5,6 +5,7 @@
 
 #include "delta/invert.h"
 #include "xid/xid_map.h"
+#include "xml/xid_map_tree.h"
 
 namespace xydiff {
 
@@ -200,7 +201,7 @@ class Applier {
       XmlNodePtr removed = Detach(*node);
       if (options_.verify && op.subtree != nullptr) {
         if (!removed->DeepEquals(*op.subtree) ||
-            XidMap::FromSubtree(*removed) != XidMap::FromSubtree(*op.subtree)) {
+            XidMapFromSubtree(*removed) != XidMapFromSubtree(*op.subtree)) {
           return Status::Conflict("delete of XID " + std::to_string(op.xid) +
                                   ": subtree does not match snapshot");
         }

@@ -2,9 +2,9 @@
 
 #include <unordered_map>
 
-#include "core/delta_builder.h"
-#include "core/diff_tree.h"
-#include "core/signature.h"
+#include "delta/delta_builder.h"
+#include "delta/diff_tree.h"
+#include "delta/signature.h"
 #include "delta/apply.h"
 
 namespace xydiff {

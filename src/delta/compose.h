@@ -1,7 +1,7 @@
 #ifndef XYDIFF_DELTA_COMPOSE_H_
 #define XYDIFF_DELTA_COMPOSE_H_
 
-#include "core/options.h"
+#include "delta/options.h"
 #include "delta/delta.h"
 #include "util/status.h"
 #include "xml/document.h"

@@ -1,10 +1,10 @@
-#include "core/delta_builder.h"
+#include "delta/delta_builder.h"
 
 #include <algorithm>
 #include <cassert>
 #include <unordered_map>
 
-#include "core/lcs.h"
+#include "delta/lcs.h"
 
 namespace xydiff {
 

@@ -1,8 +1,8 @@
-#ifndef XYDIFF_CORE_DELTA_BUILDER_H_
-#define XYDIFF_CORE_DELTA_BUILDER_H_
+#ifndef XYDIFF_DELTA_DELTA_BUILDER_H_
+#define XYDIFF_DELTA_DELTA_BUILDER_H_
 
-#include "core/diff_tree.h"
-#include "core/options.h"
+#include "delta/diff_tree.h"
+#include "delta/options.h"
 #include "delta/delta.h"
 #include "xml/document.h"
 
@@ -48,4 +48,4 @@ Delta BuildDeltaFromMatching(DiffTree* old_tree, DiffTree* new_tree,
 
 }  // namespace xydiff
 
-#endif  // XYDIFF_CORE_DELTA_BUILDER_H_
+#endif  // XYDIFF_DELTA_DELTA_BUILDER_H_

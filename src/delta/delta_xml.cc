@@ -2,6 +2,7 @@
 
 #include "util/string_util.h"
 #include "xid/xid_map.h"
+#include "xml/xid_map_tree.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
 
@@ -58,7 +59,7 @@ XmlNodePtr SnapshotOpToXml(std::string_view label, Xid xid, Xid parent_xid,
   SetXidAttr(op.get(), "parentXid", parent_xid);
   op->SetAttribute("pos", std::to_string(pos));
   if (subtree != nullptr) {
-    op->SetAttribute("xidMap", XidMap::FromSubtree(*subtree).ToString());
+    op->SetAttribute("xidMap", XidMapFromSubtree(*subtree).ToString());
     op->AppendChild(subtree->Clone());
   }
   return op;
@@ -105,7 +106,7 @@ Result<XmlNodePtr> ParseSnapshot(const XmlNode& op) {
   if (map_text != nullptr) {
     Result<XidMap> map = XidMap::Parse(*map_text);
     if (!map.ok()) return map.status();
-    XYDIFF_RETURN_IF_ERROR(map->ApplyToSubtree(subtree.get()));
+    XYDIFF_RETURN_IF_ERROR(ApplyXidMapToSubtree(*map, subtree.get()));
   }
   return subtree;
 }

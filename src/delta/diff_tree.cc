@@ -1,4 +1,4 @@
-#include "core/diff_tree.h"
+#include "delta/diff_tree.h"
 
 #include <cassert>
 

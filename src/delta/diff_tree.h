@@ -1,5 +1,5 @@
-#ifndef XYDIFF_CORE_DIFF_TREE_H_
-#define XYDIFF_CORE_DIFF_TREE_H_
+#ifndef XYDIFF_DELTA_DIFF_TREE_H_
+#define XYDIFF_DELTA_DIFF_TREE_H_
 
 #include <cstdint>
 #include <deque>
@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/annotations.h"
 #include "util/hash.h"
 #include "xml/document.h"
 #include "xml/node.h"
@@ -82,7 +83,7 @@ class DiffTree {
   bool is_text(NodeIndex i) const { return !is_element(i); }
   /// Interned label id; LabelTable::kTextLabel for text nodes.
   int32_t label(NodeIndex i) const { return label_[static_cast<size_t>(i)]; }
-  XmlNode* dom(NodeIndex i) const { return dom_[static_cast<size_t>(i)]; }
+  XmlNode* dom(NodeIndex i) const XY_ARENA_BOUND("source document") { return dom_[static_cast<size_t>(i)]; }
 
   /// The shared label table this tree was built against.
   const LabelTable& labels() const { return *labels_; }
@@ -125,4 +126,4 @@ class DiffTree {
 
 }  // namespace xydiff
 
-#endif  // XYDIFF_CORE_DIFF_TREE_H_
+#endif  // XYDIFF_DELTA_DIFF_TREE_H_

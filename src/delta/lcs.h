@@ -1,5 +1,5 @@
-#ifndef XYDIFF_CORE_LCS_H_
-#define XYDIFF_CORE_LCS_H_
+#ifndef XYDIFF_DELTA_LCS_H_
+#define XYDIFF_DELTA_LCS_H_
 
 #include <cstddef>
 #include <cstdint>
@@ -38,4 +38,4 @@ std::vector<std::pair<size_t, size_t>> LongestCommonSubsequence(
 
 }  // namespace xydiff
 
-#endif  // XYDIFF_CORE_LCS_H_
+#endif  // XYDIFF_DELTA_LCS_H_

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "delta/delta.h"
+#include "util/annotations.h"
 #include "xml/document.h"
 
 namespace xydiff {
@@ -37,14 +38,17 @@ class DeltaNodeIndex {
 
   /// The old-version node with `xid`, or nullptr if the delta never
   /// referenced it on that side (or the document does not contain it).
-  const XmlNode* old_node(Xid xid) const { return Find(old_nodes_, xid); }
+  const XmlNode* old_node(Xid xid) const
+      XY_ARENA_BOUND("old document") { return Find(old_nodes_, xid); }
   /// Likewise for the new version.
-  const XmlNode* new_node(Xid xid) const { return Find(new_nodes_, xid); }
+  const XmlNode* new_node(Xid xid) const
+      XY_ARENA_BOUND("new document") { return Find(new_nodes_, xid); }
 
  private:
   using Entries = std::vector<std::pair<Xid, const XmlNode*>>;
 
-  static const XmlNode* Find(const Entries& entries, Xid xid);
+  static const XmlNode* Find(const Entries& entries, Xid xid)
+      XY_ARENA_BOUND("indexed document");
 
   Entries old_nodes_;  // Sorted by XID.
   Entries new_nodes_;  // Sorted by XID.

@@ -1,5 +1,5 @@
-#ifndef XYDIFF_CORE_OPTIONS_H_
-#define XYDIFF_CORE_OPTIONS_H_
+#ifndef XYDIFF_DELTA_OPTIONS_H_
+#define XYDIFF_DELTA_OPTIONS_H_
 
 #include <cstddef>
 #include <cstdint>
@@ -91,4 +91,4 @@ struct DiffStats {
 
 }  // namespace xydiff
 
-#endif  // XYDIFF_CORE_OPTIONS_H_
+#endif  // XYDIFF_DELTA_OPTIONS_H_

@@ -1,8 +1,8 @@
-#ifndef XYDIFF_CORE_SIGNATURE_H_
-#define XYDIFF_CORE_SIGNATURE_H_
+#ifndef XYDIFF_DELTA_SIGNATURE_H_
+#define XYDIFF_DELTA_SIGNATURE_H_
 
-#include "core/diff_tree.h"
-#include "core/options.h"
+#include "delta/diff_tree.h"
+#include "delta/options.h"
 
 namespace xydiff {
 
@@ -24,4 +24,4 @@ Signature SubtreeSignature(const XmlNode& node);
 
 }  // namespace xydiff
 
-#endif  // XYDIFF_CORE_SIGNATURE_H_
+#endif  // XYDIFF_DELTA_SIGNATURE_H_

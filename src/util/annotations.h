@@ -80,4 +80,17 @@
 #define XY_NO_THREAD_SAFETY_ANALYSIS \
   XY_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
 
+/// Arena-lifetime contract marker, checked by tools/xyverify (see
+/// DESIGN.md §3.16). A declaration returning a raw pointer, reference,
+/// or string_view into arena-backed storage must carry this annotation,
+/// naming the owner whose lifetime bounds the returned memory:
+///
+///   XmlNode* root() const XY_ARENA_BOUND("document");
+///   std::string_view label() const XY_ARENA_BOUND("document arena");
+///
+/// The macro expands to nothing — it is machine-checked documentation:
+/// xyverify fails the build when an arena-escaping declaration lacks it,
+/// so every such contract in the API surface is explicit and reviewed.
+#define XY_ARENA_BOUND(owner)
+
 #endif  // XYDIFF_UTIL_ANNOTATIONS_H_

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/annotations.h"
 #include "util/arena.h"
 
 namespace xydiff {
@@ -41,7 +42,8 @@ class StringInterner {
   }
 
   /// Interns `s` and returns the canonical stored bytes.
-  std::string_view InternView(std::string_view s) {
+  std::string_view InternView(std::string_view s)
+      XY_ARENA_BOUND("interner arena") {
     return views_[static_cast<size_t>(Intern(s))];
   }
 
@@ -52,7 +54,7 @@ class StringInterner {
   }
 
   /// Canonical bytes for an id returned by Intern.
-  std::string_view View(int32_t id) const {
+  std::string_view View(int32_t id) const XY_ARENA_BOUND("interner arena") {
     return views_[static_cast<size_t>(id)];
   }
 

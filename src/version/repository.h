@@ -6,8 +6,9 @@
 #include <vector>
 
 #include "core/buld.h"
-#include "core/options.h"
+#include "delta/options.h"
 #include "delta/delta.h"
+#include "util/annotations.h"
 #include "util/status.h"
 #include "xml/document.h"
 
@@ -107,7 +108,8 @@ class VersionRepository {
   const ReconstructionIndex& reconstruction_index() const { return index_; }
 
   /// Delta committed between `version` and `version + 1`.
-  Result<const Delta*> DeltaFor(int version) const;
+  Result<const Delta*> DeltaFor(int version) const
+      XY_ARENA_BOUND("repository");
 
   /// Aggregated changes between two versions (from < to), derived from
   /// persistent identifiers — the "construct the changes between some
@@ -124,7 +126,9 @@ class VersionRepository {
   size_t stored_delta_bytes() const;
 
   /// The stored delta chain; deltas[k] transforms version k+1 into k+2.
-  const std::vector<Delta>& deltas() const { return deltas_; }
+  const std::vector<Delta>& deltas() const XY_ARENA_BOUND("repository") {
+    return deltas_;
+  }
 
   /// DiffStats of the most recent Commit.
   const DiffStats& last_commit_stats() const { return last_stats_; }

@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "core/options.h"
+#include "delta/options.h"
 #include "delta/delta.h"
 #include "util/status.h"
 #include "xml/document.h"

@@ -13,6 +13,7 @@
 #include "util/sharded_mutex.h"
 #include "util/string_util.h"
 #include "xid/xid_map.h"
+#include "xml/xid_map_tree.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
 
@@ -207,7 +208,7 @@ std::string SerializeCurrentXml(const XmlDocument& doc) {
 std::string SerializeCurrentMeta(const XmlDocument& doc) {
   std::ostringstream meta;
   meta << "nextxid " << doc.next_xid() << "\n"
-       << XidMap::FromSubtree(*doc.root()).ToString() << "\n";
+       << XidMapFromSubtree(*doc.root()).ToString() << "\n";
   return meta.str();
 }
 
@@ -232,7 +233,7 @@ Result<XmlDocument> ParseDocumentPair(std::string_view xml_text,
   if (doc->root() == nullptr) {
     return Status::Corruption("persisted document has no root: " + context);
   }
-  XYDIFF_RETURN_IF_ERROR(map->ApplyToSubtree(doc->root()));
+  XYDIFF_RETURN_IF_ERROR(ApplyXidMapToSubtree(*map, doc->root()));
   doc->set_next_xid(next_xid);
   return doc;
 }

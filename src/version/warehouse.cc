@@ -302,8 +302,15 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
     std::vector<Document*> docs(group.size(), nullptr);
     std::vector<RepositorySaveSlot> slots;
     slots.reserve(group.size());
+    // Resolve every document BEFORE taking the first lock: FindDocument
+    // acquires a shard mutex, and calling it from inside the locking
+    // loop would nest shard acquisition under already-held document
+    // locks — the inverse of the shard -> document order used everywhere
+    // else.
     for (size_t g = 0; g < group.size(); ++g) {
       docs[g] = FindDocument(results[group[g]]->url);
+    }
+    for (size_t g = 0; g < group.size(); ++g) {
       if (docs[g] != nullptr) docs[g]->mutex.lock();
     }
     for (size_t g = 0; g < group.size(); ++g) {

@@ -8,7 +8,7 @@
 #include <string>
 #include <vector>
 
-#include "core/options.h"
+#include "delta/options.h"
 #include "monitor/change_stats.h"
 #include "util/arena.h"
 #include "monitor/index.h"

@@ -1,0 +1,18 @@
+#ifndef XYDIFF_XID_XID_H_
+#define XYDIFF_XID_XID_H_
+
+#include <cstdint>
+
+namespace xydiff {
+
+/// A persistent node identifier (XID, §3.1): assigned when a node first
+/// enters a document's history and stable across versions, so deltas can
+/// name nodes independently of their current position.
+using Xid = uint64_t;
+
+/// Sentinel for "no XID assigned yet".
+inline constexpr Xid kNoXid = 0;
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_XID_XID_H_

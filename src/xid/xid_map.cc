@@ -6,31 +6,6 @@
 
 namespace xydiff {
 
-namespace {
-
-void CollectPostorder(const XmlNode& node, std::vector<Xid>* out) {
-  for (size_t i = 0; i < node.child_count(); ++i) {
-    CollectPostorder(*node.child(i), out);
-  }
-  out->push_back(node.xid());
-}
-
-void AssignPostorder(XmlNode* node, const std::vector<Xid>& xids,
-                     size_t* next) {
-  for (size_t i = 0; i < node->child_count(); ++i) {
-    AssignPostorder(node->child(i), xids, next);
-  }
-  node->set_xid(xids[(*next)++]);
-}
-
-}  // namespace
-
-XidMap XidMap::FromSubtree(const XmlNode& node) {
-  std::vector<Xid> xids;
-  CollectPostorder(node, &xids);
-  return XidMap(std::move(xids));
-}
-
 Result<XidMap> XidMap::Parse(std::string_view text) {
   std::string_view body = Trim(text);
   if (body.size() < 2 || body.front() != '(' || body.back() != ')') {
@@ -81,17 +56,6 @@ std::string XidMap::ToString() const {
   }
   os << ')';
   return os.str();
-}
-
-Status XidMap::ApplyToSubtree(XmlNode* node) const {
-  if (node->SubtreeSize() != xids_.size()) {
-    return Status::Corruption("XID-map size " + std::to_string(xids_.size()) +
-                              " does not match subtree size " +
-                              std::to_string(node->SubtreeSize()));
-  }
-  size_t next = 0;
-  AssignPostorder(node, xids_, &next);
-  return Status::OK();
 }
 
 }  // namespace xydiff

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "util/status.h"
-#include "xml/node.h"
+#include "xid/xid.h"
 
 namespace xydiff {
 
@@ -23,18 +23,11 @@ class XidMap {
   explicit XidMap(std::vector<Xid> postorder_xids)
       : xids_(std::move(postorder_xids)) {}
 
-  /// Collects the XID-map of the subtree rooted at `node`.
-  static XidMap FromSubtree(const XmlNode& node);
-
   /// Parses the textual form "(a-b;c;d-e)".
   static Result<XidMap> Parse(std::string_view text);
 
   /// Serializes to the textual form.
   std::string ToString() const;
-
-  /// Assigns this map's XIDs onto the subtree rooted at `node` in
-  /// postorder. Fails if the node counts disagree.
-  Status ApplyToSubtree(XmlNode* node) const;
 
   const std::vector<Xid>& xids() const { return xids_; }
   size_t size() const { return xids_.size(); }

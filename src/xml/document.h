@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "util/annotations.h"
 #include "util/arena.h"
 #include "util/interner.h"
 #include "xml/dtd.h"
@@ -72,8 +73,10 @@ class XmlDocument {
   XmlDocument(const XmlDocument&) = delete;
   XmlDocument& operator=(const XmlDocument&) = delete;
 
-  XmlNode* root() { return root_.get(); }
-  const XmlNode* root() const { return root_.get(); }
+  XmlNode* root() XY_ARENA_BOUND("document") { return root_.get(); }
+  const XmlNode* root() const XY_ARENA_BOUND("document") {
+    return root_.get();
+  }
   void set_root(XmlNodePtr root) { root_ = std::move(root); }
   /// Releases ownership of the root (the document becomes empty). For
   /// arena-backed documents the arena must stay alive as long as the
@@ -125,7 +128,8 @@ class XmlDocument {
 
   /// Builds an index from XID to node over the current tree. The index is
   /// a snapshot: mutating the tree invalidates it.
-  std::unordered_map<Xid, XmlNode*> BuildXidIndex();
+  std::unordered_map<Xid, XmlNode*> BuildXidIndex()
+      XY_ARENA_BOUND("document");
 
   /// Deep copy of the document including DTD info, XIDs and allocator
   /// state. The copy is heap-domain (clones are for mutation-heavy

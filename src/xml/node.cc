@@ -13,8 +13,9 @@ XmlNodePtr XmlNode::MakeStandalone(XmlNodeType type, std::string_view value) {
   Arena* raw_arena = arena.get();
   const std::string_view stored = raw_arena->CopyString(value);
   // Ownership machinery itself: the node is wrapped in XmlNodePtr on the
-  // same line, whose deleter frees it.  // xylint: allow(new-delete)
-  return XmlNodePtr(new XmlNode(type, stored, raw_arena, std::move(arena)));  // xylint: allow(new-delete)
+  // same line, whose deleter frees it.
+  return XmlNodePtr(new XmlNode(  // xylint: allow(new-delete): wrapped in XmlNodePtr on this line; its deleter frees it
+      type, stored, raw_arena, std::move(arena)));
 }
 
 XmlNodePtr XmlNode::Element(std::string_view label) {

@@ -6,7 +6,9 @@
 #include <string_view>
 #include <vector>
 
+#include "util/annotations.h"
 #include "util/arena.h"
+#include "xid/xid.h"
 
 namespace xydiff {
 
@@ -26,10 +28,6 @@ struct XmlAttribute {
 
   bool operator==(const XmlAttribute&) const = default;
 };
-
-/// Persistent node identifier (XID). 0 means "not yet assigned".
-using Xid = uint64_t;
-inline constexpr Xid kNoXid = 0;
 
 class XmlNode;
 
@@ -89,9 +87,13 @@ class XmlNode {
   bool is_text() const { return type_ == XmlNodeType::kText; }
 
   /// Element label. Precondition: is_element().
-  std::string_view label() const { return value_; }
+  std::string_view label() const XY_ARENA_BOUND("node's domain") {
+    return value_;
+  }
   /// Text content. Precondition: is_text().
-  std::string_view text() const { return value_; }
+  std::string_view text() const XY_ARENA_BOUND("node's domain") {
+    return value_;
+  }
   /// Replaces the text content. Precondition: is_text().
   void set_text(std::string_view text);
 
@@ -113,9 +115,12 @@ class XmlNode {
 
   using AttributeList = std::vector<XmlAttribute, ArenaAllocator<XmlAttribute>>;
 
-  const AttributeList& attributes() const { return attributes_; }
+  const AttributeList& attributes() const XY_ARENA_BOUND("node's domain") {
+    return attributes_;
+  }
   /// Returns the attribute value or nullptr if absent.
-  const std::string_view* FindAttribute(std::string_view name) const;
+  const std::string_view* FindAttribute(std::string_view name) const
+      XY_ARENA_BOUND("node's domain");
   /// Inserts or overwrites an attribute (values are copied into the
   /// node's domain).
   void SetAttribute(std::string_view name, std::string_view value);
@@ -129,19 +134,26 @@ class XmlNode {
   // --- Children ------------------------------------------------------------
 
   size_t child_count() const { return children_.size(); }
-  XmlNode* child(size_t i) { return children_[i].get(); }
-  const XmlNode* child(size_t i) const { return children_[i].get(); }
-  XmlNode* parent() { return parent_; }
-  const XmlNode* parent() const { return parent_; }
+  XmlNode* child(size_t i) XY_ARENA_BOUND("node's domain") {
+    return children_[i].get();
+  }
+  const XmlNode* child(size_t i) const XY_ARENA_BOUND("node's domain") {
+    return children_[i].get();
+  }
+  XmlNode* parent() XY_ARENA_BOUND("node's domain") { return parent_; }
+  const XmlNode* parent() const XY_ARENA_BOUND("node's domain") {
+    return parent_;
+  }
 
   /// Appends `node` as the last child and returns a raw pointer to it.
   /// If `node` is from another domain it is deep-cloned into this node's
   /// domain first (the returned pointer is the attached copy).
-  XmlNode* AppendChild(XmlNodePtr node);
+  XmlNode* AppendChild(XmlNodePtr node) XY_ARENA_BOUND("node's domain");
   /// Inserts `node` so that it becomes child number `index` (0-based,
   /// clamped to [0, child_count()]); returns a raw pointer to it. Same
   /// cross-domain cloning rule as AppendChild.
-  XmlNode* InsertChild(size_t index, XmlNodePtr node);
+  XmlNode* InsertChild(size_t index, XmlNodePtr node)
+      XY_ARENA_BOUND("node's domain");
   /// Detaches and returns child number `index`. For arena residents the
   /// handle keeps the node usable (reattachable) but its bytes are only
   /// reclaimed when the arena dies.
@@ -194,7 +206,8 @@ class XmlNode {
   static XmlNodePtr MakeStandalone(XmlNodeType type, std::string_view value);
 
   /// Copies `s` into this node's domain.
-  std::string_view StoreString(std::string_view s) {
+  std::string_view StoreString(std::string_view s)
+      XY_ARENA_BOUND("node's domain") {
     return arena_->CopyString(s);
   }
 
@@ -214,7 +227,7 @@ class XmlNode {
 inline void XmlNodeDeleter::operator()(XmlNode* node) const {
   // The smart-pointer deleter is where heap nodes legitimately die;
   // arena nodes are skipped and freed with their arena.
-  if (node != nullptr && node->heap_allocated()) delete node;  // xylint: allow(new-delete)
+  if (node != nullptr && node->heap_allocated()) delete node;  // xylint: allow(new-delete): the XmlNodePtr deleter is the one sanctioned free site
 }
 
 }  // namespace xydiff

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/annotations.h"
 #include "util/status.h"
 #include "xml/node.h"
 
@@ -37,7 +38,8 @@ class XmlPath {
   bool Matches(const XmlNode& node) const;
 
   /// All elements in the subtree rooted at `root` selected by this path.
-  std::vector<const XmlNode*> FindAll(const XmlNode& root) const;
+  std::vector<const XmlNode*> FindAll(const XmlNode& root) const
+      XY_ARENA_BOUND("root's document");
 
   /// The original expression.
   const std::string& expression() const { return expression_; }

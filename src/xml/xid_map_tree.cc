@@ -1,0 +1,44 @@
+#include "xml/xid_map_tree.h"
+
+#include <string>
+#include <vector>
+
+namespace xydiff {
+
+namespace {
+
+void CollectPostorder(const XmlNode& node, std::vector<Xid>* out) {
+  for (size_t i = 0; i < node.child_count(); ++i) {
+    CollectPostorder(*node.child(i), out);
+  }
+  out->push_back(node.xid());
+}
+
+void AssignPostorder(XmlNode* node, const std::vector<Xid>& xids,
+                     size_t* next) {
+  for (size_t i = 0; i < node->child_count(); ++i) {
+    AssignPostorder(node->child(i), xids, next);
+  }
+  node->set_xid(xids[(*next)++]);
+}
+
+}  // namespace
+
+XidMap XidMapFromSubtree(const XmlNode& node) {
+  std::vector<Xid> xids;
+  CollectPostorder(node, &xids);
+  return XidMap(std::move(xids));
+}
+
+Status ApplyXidMapToSubtree(const XidMap& map, XmlNode* node) {
+  if (node->SubtreeSize() != map.size()) {
+    return Status::Corruption("XID-map size " + std::to_string(map.size()) +
+                              " does not match subtree size " +
+                              std::to_string(node->SubtreeSize()));
+  }
+  size_t next = 0;
+  AssignPostorder(node, map.xids(), &next);
+  return Status::OK();
+}
+
+}  // namespace xydiff

@@ -1,0 +1,24 @@
+#ifndef XYDIFF_XML_XID_MAP_TREE_H_
+#define XYDIFF_XML_XID_MAP_TREE_H_
+
+/// The tree-facing half of the XID-map (§4): collecting a subtree's map
+/// and stamping a map back onto a subtree. Lives in the xml layer — the
+/// xid layer defines the map's value semantics and textual form without
+/// knowing what a tree node is.
+
+#include "util/status.h"
+#include "xid/xid_map.h"
+#include "xml/node.h"
+
+namespace xydiff {
+
+/// Collects the XID-map of the subtree rooted at `node` (postorder).
+XidMap XidMapFromSubtree(const XmlNode& node);
+
+/// Assigns `map`'s XIDs onto the subtree rooted at `node` in postorder.
+/// Fails with kCorruption if the node counts disagree.
+Status ApplyXidMapToSubtree(const XidMap& map, XmlNode* node);
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_XML_XID_MAP_TREE_H_

@@ -16,7 +16,6 @@
 #include "baseline/selkow.h"         // IWYU pragma: export
 #include "baseline/zhang_shasha.h"   // IWYU pragma: export
 #include "core/buld.h"               // IWYU pragma: export
-#include "core/options.h"            // IWYU pragma: export
 #include "delta/apply.h"             // IWYU pragma: export
 #include "delta/codec.h"             // IWYU pragma: export
 #include "delta/compose.h"           // IWYU pragma: export
@@ -24,6 +23,7 @@
 #include "delta/delta_xml.h"         // IWYU pragma: export
 #include "delta/invert.h"            // IWYU pragma: export
 #include "delta/merge.h"             // IWYU pragma: export
+#include "delta/options.h"           // IWYU pragma: export
 #include "delta/summary.h"           // IWYU pragma: export
 #include "delta/validate.h"          // IWYU pragma: export
 #include "fuzz/fuzz.h"               // IWYU pragma: export

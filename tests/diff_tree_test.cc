@@ -1,4 +1,4 @@
-#include "core/diff_tree.h"
+#include "delta/diff_tree.h"
 
 #include "gtest/gtest.h"
 #include "tests/test_util.h"

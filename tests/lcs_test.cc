@@ -1,4 +1,4 @@
-#include "core/lcs.h"
+#include "delta/lcs.h"
 
 #include <algorithm>
 #include <numeric>

@@ -1,6 +1,6 @@
 #include "core/match_ids.h"
 
-#include "core/signature.h"
+#include "delta/signature.h"
 #include "gtest/gtest.h"
 #include "tests/test_util.h"
 

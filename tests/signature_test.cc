@@ -1,4 +1,4 @@
-#include "core/signature.h"
+#include "delta/signature.h"
 
 #include <cmath>
 

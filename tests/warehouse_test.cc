@@ -9,6 +9,7 @@
 #include "simulator/web_corpus.h"
 #include "tests/test_util.h"
 #include "util/random.h"
+#include "version/storage.h"
 
 namespace xydiff {
 namespace {
@@ -241,6 +242,61 @@ TEST(WarehouseTest, LoadSkipsTruncatedDocument) {
       Warehouse::Load(dir.string());
   ASSERT_TRUE(loaded_quietly.ok()) << loaded_quietly.status().ToString();
   EXPECT_EQ((*loaded_quietly)->document_count(), 1u);
+  fs::remove_all(dir);
+}
+
+// Regression for the group-commit flush path: FindDocument acquires a
+// shard mutex, so it must run BEFORE the flusher starts taking the
+// group's document locks (shard -> document is the order everywhere
+// else). With slots smaller than the batch, several groups flush —
+// each resolving and locking multiple documents — and every repository
+// must land on disk loadable and current.
+TEST(WarehouseTest, GroupCommitPersistsEveryDocument) {
+  const fs::path dir = fs::temp_directory_path() /
+                       ("xydiff_group_commit_test_" +
+                        std::to_string(::getpid()));
+  fs::remove_all(dir);
+
+  Warehouse warehouse;
+  constexpr int kDocs = 6;
+  for (int i = 0; i < kDocs; ++i) {
+    const std::string url = "doc" + std::to_string(i);
+    ASSERT_TRUE(
+        warehouse.Ingest(url, MustParse("<d><t>week one</t></d>")).ok());
+  }
+
+  Warehouse::PipelineOptions pipeline;
+  pipeline.threads = 4;
+  pipeline.save_directory = dir.string();
+  pipeline.group_commit_slots = 2;  // kDocs/2 separate group flushes.
+
+  std::vector<Warehouse::DiffJob> jobs;
+  for (int i = 0; i < kDocs; ++i) {
+    jobs.push_back({"doc" + std::to_string(i),
+                    "<d><t>week two #" + std::to_string(i) + "</t></d>"});
+  }
+  const auto results = warehouse.DiffBatch(std::move(jobs), pipeline);
+  ASSERT_EQ(results.size(), static_cast<size_t>(kDocs));
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_FALSE(r->store_degraded);
+  }
+
+  // DiffBatch persists one repository directory per document (no
+  // warehouse manifest); each must reopen cleanly at version 2.
+  for (int i = 0; i < kDocs; ++i) {
+    const std::string url = "doc" + std::to_string(i);
+    RecoveryReport report;
+    Result<VersionRepository> repo =
+        LoadRepository((dir / url).string(), nullptr, &report);
+    ASSERT_TRUE(repo.ok()) << url << ": " << repo.status().ToString();
+    EXPECT_TRUE(report.clean) << report.ToString();
+    ASSERT_EQ(repo->version_count(), 2) << url;
+    Result<XmlDocument> head = repo->Checkout(2);
+    ASSERT_TRUE(head.ok()) << head.status().ToString();
+    EXPECT_EQ(head->root()->child(0)->child(0)->text(),
+              "week two #" + std::to_string(i));
+  }
   fs::remove_all(dir);
 }
 

@@ -1,4 +1,5 @@
 #include "xid/xid_map.h"
+#include "xml/xid_map_tree.h"
 
 #include "gtest/gtest.h"
 #include "tests/test_util.h"
@@ -10,7 +11,7 @@ TEST(XidMapTest, FromSubtreeIsPostorder) {
   // <a><b>t</b><c/></a> with postfix xids t=1,b=2,c=3,a=4.
   XmlDocument doc = MustParse("<a><b>t</b><c/></a>");
   doc.AssignInitialXids();
-  XidMap map = XidMap::FromSubtree(*doc.root());
+  XidMap map = XidMapFromSubtree(*doc.root());
   EXPECT_EQ(map.xids(), (std::vector<Xid>{1, 2, 3, 4}));
   EXPECT_EQ(map.root_xid(), 4u);
 }
@@ -58,7 +59,7 @@ TEST(XidMapTest, ParseErrors) {
 TEST(XidMapTest, ApplyToSubtree) {
   XmlDocument doc = MustParse("<a><b>t</b><c/></a>");
   XidMap map({10, 20, 30, 40});
-  XY_ASSERT_OK(map.ApplyToSubtree(doc.root()));
+  XY_ASSERT_OK(ApplyXidMapToSubtree(map, doc.root()));
   EXPECT_EQ(doc.root()->xid(), 40u);
   EXPECT_EQ(doc.root()->child(0)->xid(), 20u);
   EXPECT_EQ(doc.root()->child(0)->child(0)->xid(), 10u);
@@ -68,17 +69,17 @@ TEST(XidMapTest, ApplyToSubtree) {
 TEST(XidMapTest, ApplySizeMismatchFails) {
   XmlDocument doc = MustParse("<a><b/></a>");
   XidMap map({1, 2, 3});
-  EXPECT_EQ(map.ApplyToSubtree(doc.root()).code(), StatusCode::kCorruption);
+  EXPECT_EQ(ApplyXidMapToSubtree(map, doc.root()).code(), StatusCode::kCorruption);
 }
 
 TEST(XidMapTest, FromThenApplyIsIdentity) {
   XmlDocument doc = MustParse("<a><b>x</b><c><d/><e/></c></a>");
   doc.AssignInitialXids();
-  XidMap map = XidMap::FromSubtree(*doc.root());
+  XidMap map = XidMapFromSubtree(*doc.root());
   XmlDocument copy = doc.Clone();
   // Zero out and restore.
   copy.root()->Visit([](XmlNode* n) { n->set_xid(kNoXid); });
-  XY_ASSERT_OK(map.ApplyToSubtree(copy.root()));
+  XY_ASSERT_OK(ApplyXidMapToSubtree(map, copy.root()));
   EXPECT_TRUE(DocsEqualWithXids(doc, copy));
 }
 

@@ -1,0 +1,10 @@
+#ifndef FIXTURE_XML_WIDGET_H_
+#define FIXTURE_XML_WIDGET_H_
+namespace xydiff {
+class XmlNode {};
+class Widget {
+ public:
+  XmlNode* peek() const;
+};
+}  // namespace xydiff
+#endif

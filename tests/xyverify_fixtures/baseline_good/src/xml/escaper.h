@@ -1,0 +1,10 @@
+#ifndef FIXTURE_XML_ESCAPER_H_
+#define FIXTURE_XML_ESCAPER_H_
+namespace xydiff {
+class XmlNode {};
+class Escaper {
+ public:
+  XmlNode* leak() const;
+};
+}  // namespace xydiff
+#endif

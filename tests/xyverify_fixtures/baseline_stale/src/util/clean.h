@@ -1,0 +1,6 @@
+#ifndef FIXTURE_UTIL_CLEAN_H_
+#define FIXTURE_UTIL_CLEAN_H_
+namespace xydiff {
+inline int CleanValue() { return 7; }
+}  // namespace xydiff
+#endif

@@ -1,0 +1,7 @@
+#ifndef FIXTURE_UTIL_UPLINK_H_
+#define FIXTURE_UTIL_UPLINK_H_
+#include "xml/node.h"
+namespace xydiff {
+inline int UplinkDepth(const XmlNode&) { return 0; }
+}  // namespace xydiff
+#endif

@@ -1,0 +1,6 @@
+#ifndef FIXTURE_XML_NODE_H_
+#define FIXTURE_XML_NODE_H_
+namespace xydiff {
+class XmlNode {};
+}  // namespace xydiff
+#endif

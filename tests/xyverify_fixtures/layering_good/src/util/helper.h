@@ -1,0 +1,6 @@
+#ifndef FIXTURE_UTIL_HELPER_H_
+#define FIXTURE_UTIL_HELPER_H_
+namespace xydiff {
+inline int HelperDepth() { return 0; }
+}  // namespace xydiff
+#endif

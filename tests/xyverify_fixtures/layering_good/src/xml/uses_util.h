@@ -1,0 +1,7 @@
+#ifndef FIXTURE_XML_USES_UTIL_H_
+#define FIXTURE_XML_USES_UTIL_H_
+#include "util/helper.h"
+namespace xydiff {
+inline int NodeDepth() { return HelperDepth(); }
+}  // namespace xydiff
+#endif

@@ -1,0 +1,7 @@
+#include "core/pair.h"
+namespace xydiff {
+void Pair::ReverseSweep() {
+  MutexLock b(mu_b_);
+  MutexLock a(mu_a_);
+}
+}  // namespace xydiff

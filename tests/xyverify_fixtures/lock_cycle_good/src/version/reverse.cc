@@ -1,0 +1,7 @@
+#include "core/pair.h"
+namespace xydiff {
+void Pair::ReverseSweep() {
+  MutexLock a(mu_a_);
+  MutexLock b(mu_b_);
+}
+}  // namespace xydiff

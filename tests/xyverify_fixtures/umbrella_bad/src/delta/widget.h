@@ -1,0 +1,7 @@
+#ifndef FIXTURE_DELTA_WIDGET_H_
+#define FIXTURE_DELTA_WIDGET_H_
+#include "xydiff.h"
+namespace xydiff {
+inline int WidgetKind() { return 1; }
+}  // namespace xydiff
+#endif

@@ -1,0 +1,4 @@
+#ifndef FIXTURE_XYDIFF_H_
+#define FIXTURE_XYDIFF_H_
+namespace xydiff {}
+#endif

@@ -1,0 +1,2 @@
+#include "xydiff.h"
+int main() { return 0; }

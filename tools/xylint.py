@@ -35,8 +35,14 @@ Enforces repository invariants the compiler cannot (see DESIGN.md §3.11):
                       starting seed from the environment, provided every
                       trial seed is derived from it and logged.
 
+  allow-unjustified   Every xylint escape carries its reason inline. A bare
+                      `allow(<rule>)` suppresses nothing and is itself a
+                      finding; placeholder reasons (TODO/FIXME/short) do
+                      not count.
+
 Zero dependencies (stdlib only). Exit 0 = clean, 1 = findings, 2 = usage.
-Suppress a single line with `// xylint: allow(<rule>)` on that line.
+Suppress a single line with `// xylint: allow(<rule>): <why>` on that
+line — the trailing justification is mandatory.
 """
 
 import argparse
@@ -53,9 +59,23 @@ RULES = (
     "void-discard",
     "raw-io",
     "nondet-seed",
+    "allow-unjustified",
 )
 
-ALLOW_RE = re.compile(r"//\s*xylint:\s*allow\(([a-z-]+)\)")
+ALLOW_RE = re.compile(r"//\s*xylint:\s*allow\(([a-z-]+)\)(?::\s*(\S.*))?")
+
+# Mirrors the xyverify baseline policy: an escape's reason must be a
+# real sentence, not a placeholder.
+_PLACEHOLDER_JUSTIFICATIONS = ("todo", "fixme", "unjustified", "xxx")
+_MIN_JUSTIFICATION = 15  # characters; shorter is not an explanation
+
+
+def real_justification(text):
+    if text is None:
+        return False
+    t = text.strip()
+    return (len(t) >= _MIN_JUSTIFICATION and
+            not t.lower().startswith(_PLACEHOLDER_JUSTIFICATIONS))
 
 
 def strip_comments_and_strings(text):
@@ -128,7 +148,8 @@ class Finding:
 
 def allowed(raw_lines, lineno, rule):
     m = ALLOW_RE.search(raw_lines[lineno - 1])
-    return m is not None and m.group(1) == rule
+    return (m is not None and m.group(1) == rule and
+            real_justification(m.group(2)))
 
 
 def extract_call(code, start):
@@ -187,6 +208,16 @@ def lint_file(path, rel, src_root, findings):
     in_fuzz = rel.startswith("src/fuzz/")
 
     for lineno, line in enumerate(code_lines, start=1):
+        # allow-unjustified: a bare escape suppresses nothing (the rule it
+        # names still fires above) and is reported in its own right, so
+        # the fix is always "write the reason", never "drop the colon".
+        m = ALLOW_RE.search(raw_lines[lineno - 1])
+        if m and not real_justification(m.group(2)):
+            findings.append(Finding(
+                rel, lineno, "allow-unjustified",
+                "xylint escape needs a trailing justification: "
+                '"// xylint: allow({}): <why>"'.format(m.group(1))))
+
         # new-delete: arena or smart pointers own everything else.
         if (in_src or in_tools) and not is_arena:
             # `= delete` (deleted member) and `delete[]`-free code only;

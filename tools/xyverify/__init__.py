@@ -1,0 +1,42 @@
+"""xyverify — whole-program static analyzer for the xydiff tree.
+
+Where xylint (tools/xylint.py) enforces single-line idioms with regexes,
+xyverify lexes every translation unit into a token/scope stream, builds a
+per-TU model (includes, classes, functions, lock-acquisition scopes,
+declarations), and checks three *cross-TU* rule families no per-file or
+per-TU tool can see:
+
+  layering       The include DAG must follow the architecture order
+                 util -> xid -> xml -> delta -> baseline -> core ->
+                 simulator -> version -> monitor -> warehouse ->
+                 fuzz/tools/bench.  Upward or sideways includes and any
+                 use of the umbrella header (src/xydiff.h) inside src/
+                 are findings.
+
+  lock-order     Lock-acquisition scopes are recovered from the annotated
+                 MutexLock / WriterMutexLock / ReaderMutexLock wrappers
+                 and manual lock()/unlock() pairs, a global lock-order
+                 graph is assembled across all TUs (with one level of
+                 interprocedural closure through the call graph), and any
+                 cycle — a potential deadlock — is reported with the full
+                 witness chain per edge.
+
+  arena-escape   Header declarations that return raw pointers,
+                 references, or string_views derived from arena-backed
+                 types (XmlNode, interned labels, delta snapshots) must
+                 carry an XY_ARENA_BOUND("<owner>") annotation naming the
+                 owning document/arena, so every arena-lifetime contract
+                 in the API surface is explicit and machine-checked.
+
+Findings are emitted as human-readable text or SARIF-style JSON
+(--json), and are suppressible only through a checked-in baseline file
+(--baseline, default tools/xyverify_baseline.json) whose entries each
+carry a non-placeholder justification.  See DESIGN.md §3.16 for the TU
+model and the documented approximations.
+
+Zero dependencies (stdlib only), like xylint.
+"""
+
+__all__ = ["main"]
+
+from .cli import main  # noqa: E402  (re-export for python -m / dir execution)

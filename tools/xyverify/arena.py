@@ -1,0 +1,57 @@
+"""Arena-escape pass: arena-lifetime returns must be annotated.
+
+Any function declaration (or inline definition) in a header under src/
+whose return type hands out arena-backed memory must carry an
+XY_ARENA_BOUND("<owner>") annotation:
+
+  * a raw pointer or reference whose pointee is an arena-resident type
+    (XmlNode, XmlAttribute, ... — Config.arena_types), including
+    containers of raw pointers to them;
+  * a std::string_view returned by a member of a class whose string
+    storage lives in an arena or interner (Config.arena_view_classes).
+
+Value returns (XmlNodePtr, std::string, Xid, ...) are exempt: they own
+or copy.  Operators are skipped (documented approximation — the tree's
+arena types expose named accessors, not operator[]).
+"""
+
+from .report import Finding
+
+
+def _needs_annotation(decl, config):
+    ret = decl.ret_type.split()
+    if not ret:
+        return None
+    has_indirection = any(t in ("*", "&") for t in ret)
+    if has_indirection and any(t in config.arena_types for t in ret):
+        return ("returns a raw {} to arena-resident {}".format(
+            "pointer" if "*" in ret else "reference",
+            next(t for t in ret if t in config.arena_types)))
+    if "string_view" in ret:
+        owner_last = decl.owner.split("::")[-1] if decl.owner else ""
+        if owner_last in config.arena_view_classes:
+            return ("returns a string_view into {}'s arena/interned "
+                    "storage".format(owner_last))
+    return None
+
+
+def check_arena(models, config):
+    findings = []
+    for m in models:
+        if not m.rel.startswith(config.arena_header_dirs):
+            continue
+        if not m.rel.endswith(".h"):
+            continue
+        for d in m.decls:
+            reason = _needs_annotation(d, config)
+            if reason is None:
+                continue
+            if config.arena_annotation in d.annotations:
+                continue
+            symbol = "{}::{}".format(d.owner, d.name) if d.owner else d.name
+            findings.append(Finding(
+                "arena-escape", m.rel, d.line, symbol,
+                "{} {}; annotate with {}(\"<owner>\") to make the "
+                "lifetime contract explicit, or return an owning "
+                "value".format(symbol, reason, config.arena_annotation)))
+    return findings

@@ -1,0 +1,85 @@
+"""Baseline file: the only sanctioned way to suppress a finding.
+
+Format (checked in, reviewed like code):
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "fingerprint": "rule|file|symbol",
+          "justification": "why this finding is accepted, by a human"
+        }
+      ]
+    }
+
+Placeholder justifications (empty, or starting with TODO / FIXME /
+UNJUSTIFIED) are themselves findings, so `--update-baseline` output
+cannot be shipped without a human writing real justifications.  Stale
+entries (matching no current finding) are findings too, so the baseline
+can only shrink on its own.
+"""
+
+import json
+
+from .report import Finding
+
+_PLACEHOLDERS = ("todo", "fixme", "unjustified", "xxx")
+_MIN_JUSTIFICATION = 15  # characters; shorter is not an explanation
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        return {}
+    except (OSError, ValueError) as e:
+        raise SystemExit("xyverify: cannot read baseline {}: {}".format(
+            path, e))
+    entries = {}
+    for e in doc.get("entries", []):
+        entries[e.get("fingerprint", "")] = e.get("justification", "")
+    return entries
+
+
+def apply(findings, entries, baseline_rel):
+    """Splits findings into (kept, suppressed) and appends baseline
+    hygiene findings to `kept`."""
+    kept, suppressed = [], []
+    seen = set()
+    for f in findings:
+        just = entries.get(f.fingerprint)
+        if just is None:
+            kept.append(f)
+            continue
+        seen.add(f.fingerprint)
+        lowered = just.strip().lower()
+        if (len(just.strip()) < _MIN_JUSTIFICATION or
+                lowered.startswith(_PLACEHOLDERS)):
+            kept.append(Finding(
+                "baseline-unjustified", baseline_rel, 0, f.fingerprint,
+                "baseline entry for {} needs a real justification "
+                "(got {!r})".format(f.fingerprint, just)))
+        else:
+            suppressed.append(f)
+    for fp in sorted(set(entries) - seen):
+        kept.append(Finding(
+            "baseline-stale", baseline_rel, 0, fp,
+            "baseline entry {} matches no current finding; delete "
+            "it".format(fp)))
+    return kept, suppressed
+
+
+def update(path, findings, old_entries):
+    """Writes a baseline covering today's findings, keeping existing
+    justifications and marking new entries UNJUSTIFIED for a human."""
+    entries = []
+    for f in sorted(findings, key=lambda f: f.fingerprint):
+        just = old_entries.get(f.fingerprint,
+                               "UNJUSTIFIED: " + f.message[:120])
+        entries.append({"fingerprint": f.fingerprint,
+                        "justification": just})
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump({"version": 1, "entries": entries}, f, indent=2,
+                  sort_keys=True)
+        f.write("\n")

@@ -1,0 +1,121 @@
+"""xyverify command line: scan, check, report.
+
+Exit codes (matches xylint): 0 clean, 1 findings, 2 usage/internal.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+from . import arena, baseline, layering, lockorder
+from .config import Config
+from .cppmodel import parse_file
+from .report import render_sarif, render_text
+
+_EXTS = (".h", ".cc")
+
+
+def collect_files(root, subdirs):
+    files = []
+    for sub in subdirs:
+        top = os.path.join(root, sub)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(_EXTS):
+                    path = os.path.join(dirpath, name)
+                    rel = os.path.relpath(path, root).replace(os.sep, "/")
+                    files.append((path, rel))
+    return files
+
+
+def run(root, json_out=False, baseline_path=None, update_baseline=False,
+        dump_locks=False, stats=False, subdirs=("src", "tools", "bench"),
+        out=None):
+    out = out or sys.stdout
+    t0 = time.monotonic()
+    config = Config()
+    files = collect_files(root, subdirs)
+    if not files:
+        sys.stderr.write("xyverify: no sources under {}\n".format(root))
+        return 2
+    models = []
+    for path, rel in files:
+        try:
+            models.append(parse_file(path, rel))
+        except (OSError, RecursionError) as e:
+            sys.stderr.write("xyverify: cannot analyze {}: {}\n".format(
+                rel, e))
+            return 2
+
+    findings = []
+    findings += layering.check_layering(models, config)
+    lock_findings, analysis = lockorder.check_lock_order(
+        models, config, dump=sys.stderr if dump_locks else None)
+    findings += lock_findings
+    findings += arena.check_arena(models, config)
+
+    if baseline_path is None:
+        baseline_path = os.path.join(root, "tools", "xyverify_baseline.json")
+    baseline_rel = os.path.relpath(baseline_path, root).replace(os.sep, "/")
+    entries = baseline.load(baseline_path)
+    if update_baseline:
+        baseline.update(baseline_path, findings, entries)
+        out.write("xyverify: wrote {} ({} entries); new entries need "
+                  "justifications before they suppress anything\n".format(
+                      baseline_rel, len(findings)))
+        return 0
+    kept, suppressed = baseline.apply(findings, entries, baseline_rel)
+
+    if stats:
+        sys.stderr.write(
+            "xyverify: {} files, {} functions, {} lock sites "
+            "({} unresolved), {} findings ({} baselined), {:.2f}s\n".format(
+                len(files), len(analysis.functions),
+                sum(len(f.direct_locks) for f in analysis.functions),
+                len(analysis.unresolved), len(kept), len(suppressed),
+                time.monotonic() - t0))
+    if json_out:
+        render_sarif(kept, out)
+    else:
+        render_text(kept, out)
+    return 1 if kept else 0
+
+
+def main(argv=None):
+    p = argparse.ArgumentParser(
+        prog="xyverify",
+        description="whole-program architecture, lock-order, and "
+                    "arena-escape checks for the xydiff tree")
+    p.add_argument("--root", default=None,
+                   help="repository root (default: parent of tools/)")
+    p.add_argument("--json", action="store_true",
+                   help="emit SARIF-style JSON instead of text")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="baseline file (default tools/xyverify_baseline.json)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline to cover current findings; "
+                        "new entries are marked UNJUSTIFIED and still fail")
+    p.add_argument("--dump-locks", action="store_true",
+                   help="dump the lock-order graph and unresolved lock "
+                        "expressions to stderr")
+    p.add_argument("--stats", action="store_true",
+                   help="print scan statistics to stderr")
+    p.add_argument("--subdirs", default="src,tools,bench",
+                   help="comma-separated subtrees to scan")
+    args = p.parse_args(argv)
+    root = args.root
+    if root is None:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        root = os.path.dirname(root)
+    return run(root, json_out=args.json, baseline_path=args.baseline,
+               update_baseline=args.update_baseline,
+               dump_locks=args.dump_locks, stats=args.stats,
+               subdirs=tuple(s for s in args.subdirs.split(",") if s))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

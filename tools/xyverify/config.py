@@ -1,0 +1,69 @@
+"""Project-specific configuration for the xyverify rule passes.
+
+Everything the analyzer knows about xydiff's architecture lives here, so
+the passes themselves stay generic and the fixture corpus can swap in a
+tiny configuration of its own.
+"""
+
+
+class Config:
+    def __init__(self):
+        # ---- layering --------------------------------------------------
+        # The architecture order, lowest first.  A file may include only
+        # headers in its own layer or a strictly lower one.
+        self.layer_order = [
+            "util", "xid", "xml", "delta", "baseline", "core", "simulator",
+            "version", "monitor", "warehouse", "top",
+        ]
+        # Path-prefix (or exact-path) -> layer.  First match wins, so the
+        # warehouse files are carved out of src/version before the
+        # directory rule catches them: the warehouse is the assembly layer
+        # that sits ABOVE the monitor modules it drives.
+        self.layer_map = [
+            ("src/version/warehouse.h", "warehouse"),
+            ("src/version/warehouse.cc", "warehouse"),
+            ("src/util/", "util"),
+            ("src/xid/", "xid"),
+            ("src/xml/", "xml"),
+            ("src/delta/", "delta"),
+            ("src/baseline/", "baseline"),
+            ("src/core/", "core"),
+            ("src/simulator/", "simulator"),
+            ("src/version/", "version"),
+            ("src/monitor/", "monitor"),
+            ("src/fuzz/", "top"),
+            ("src/xydiff.h", "top"),  # The umbrella re-exports everything.
+            ("tools/", "top"),
+            ("bench/", "top"),
+            ("tests/", "top"),
+        ]
+        # The umbrella header: nothing inside src/ may include it (the
+        # public surface depends on the modules, never the reverse).
+        self.umbrella = "xydiff.h"
+
+        # ---- lock order ------------------------------------------------
+        # RAII lock wrappers: constructing one acquires the capability
+        # named by its first argument for the rest of the enclosing scope.
+        self.scoped_locks = {"MutexLock", "WriterMutexLock", "ReaderMutexLock"}
+        # Mutex-like types: a member/local/static of one of these is a
+        # lock-graph node.  ShardedMutexMap is a keyed family treated as
+        # ONE node (its own contract already forbids holding two shards).
+        self.mutex_types = {"Mutex", "SharedMutex", "ShardedMutexMap"}
+        # Files whose lock()/unlock() calls are the *implementation* of
+        # the wrappers, not acquisitions in their own right.
+        self.lock_impl_files = {"src/util/mutex.h"}
+
+        # ---- arena escape ----------------------------------------------
+        # Types whose instances (or whose string storage) live in a
+        # per-document arena.  Returning a raw pointer or reference to one
+        # of these hands out memory with arena lifetime.
+        self.arena_types = {"XmlNode", "XmlAttribute", "AttributeList",
+                            "Delta"}
+        # Classes whose string_view accessors view arena (or otherwise
+        # caller-invisible) storage: members returning string_view (or
+        # string_view*/&) must be annotated.
+        self.arena_view_classes = {"XmlNode", "XmlAttribute", "StringInterner",
+                                   "DiffTree", "Delta", "LabelTable"}
+        self.arena_annotation = "XY_ARENA_BOUND"
+        # Headers are the API surface the rule audits.
+        self.arena_header_dirs = ("src/",)

@@ -1,0 +1,60 @@
+"""Layering pass: the include graph must follow the architecture order."""
+
+import posixpath
+
+from .report import Finding
+
+
+def layer_of(rel, config):
+    for prefix, layer in config.layer_map:
+        if rel == prefix or rel.startswith(prefix):
+            return layer
+    return None
+
+
+def resolve_include(rel, target, known):
+    """Maps an #include "target" to a repo-relative path, if it is ours."""
+    candidates = [
+        "src/" + target,
+        posixpath.normpath(posixpath.join(posixpath.dirname(rel), target)),
+        target,
+    ]
+    for cand in candidates:
+        if cand in known:
+            return cand
+    return None
+
+
+def check_layering(models, config):
+    findings = []
+    known = {m.rel for m in models}
+    index = {layer: i for i, layer in enumerate(config.layer_order)}
+    for m in models:
+        src_layer = layer_of(m.rel, config)
+        if src_layer is None:
+            continue
+        for target, line in m.includes:
+            dst = resolve_include(m.rel, target, known)
+            if dst is None:
+                continue  # System or third-party header.
+            if (posixpath.basename(dst) == config.umbrella and
+                    m.rel.startswith("src/") and m.rel != dst):
+                findings.append(Finding(
+                    "umbrella-include", m.rel, line,
+                    "{}->{}".format(m.rel, dst),
+                    'includes the umbrella header "{}"; src/ modules must '
+                    "include the fine-grained headers they use".format(
+                        target)))
+                continue
+            dst_layer = layer_of(dst, config)
+            if dst_layer is None:
+                continue
+            if index[dst_layer] > index[src_layer]:
+                findings.append(Finding(
+                    "layering", m.rel, line,
+                    "{}->{}".format(m.rel, dst),
+                    'includes "{}" ({} layer) from the {} layer; the '
+                    "architecture order is {}".format(
+                        target, dst_layer, src_layer,
+                        " < ".join(config.layer_order))))
+    return findings

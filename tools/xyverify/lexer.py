@@ -1,0 +1,126 @@
+"""A small C++ lexer: source text -> token stream with line numbers.
+
+This is deliberately NOT a preprocessor or a parser.  It produces exactly
+what the rule passes need: identifiers, punctuation, and literals with
+stable line numbers, with comments and the *contents* of string/char
+literals stripped (a string literal becomes one STRING token so grammar
+shapes like `XY_ARENA_BOUND("owner")` survive).
+
+Raw strings, line continuations, and digraphs are handled; preprocessor
+directives are kept as single DIRECTIVE tokens (the include scanner wants
+them, everything else skips them).
+"""
+
+import re
+from collections import namedtuple
+
+Token = namedtuple("Token", ["kind", "text", "line"])
+
+# kinds: ident, number, string, char, punct, directive
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUMBER_RE = re.compile(r"(?:0[xXbB][0-9a-fA-F']+|[0-9][0-9a-fA-F'.eEpPxXuUlLzZ+-]*)")
+# Longest first so >>= beats >> beats >.
+_PUNCTS = (
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=", "##",
+)
+
+
+def lex(text):
+    """Returns the list of Tokens for `text`."""
+    tokens = []
+    i, n = 0, len(text)
+    line = 1
+    at_line_start = True
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            at_line_start = True
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if c == "\\" and i + 1 < n and text[i + 1] == "\n":
+            line += 1
+            i += 2
+            continue
+        nxt = text[i + 1] if i + 1 < n else ""
+        # Comments.
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if c == "/" and nxt == "*":
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and
+                                 text[i + 1] == "/"):
+                if text[i] == "\n":
+                    line += 1
+                i += 1
+            i += 2
+            continue
+        # Preprocessor directive: one token up to the (unescaped) newline.
+        if c == "#" and at_line_start:
+            start, start_line = i, line
+            while i < n:
+                if text[i] == "\\" and i + 1 < n and text[i + 1] == "\n":
+                    line += 1
+                    i += 2
+                    continue
+                if text[i] == "\n":
+                    break
+                if text[i] == "/" and i + 1 < n and text[i + 1] == "/":
+                    break  # Trailing comment does not belong to the directive.
+                i += 1
+            tokens.append(Token("directive", text[start:i], start_line))
+            at_line_start = False
+            continue
+        at_line_start = False
+        # Raw string literal.
+        m = re.match(r'(?:u8|[uUL])?R"([^ ()\\\t\n]*)\(', text[i:])
+        if m:
+            terminator = ")" + m.group(1) + '"'
+            end = text.find(terminator, i + m.end())
+            end = n if end == -1 else end + len(terminator)
+            line += text.count("\n", i, end)
+            tokens.append(Token("string", '""', line))
+            i = end
+            continue
+        # String / char literal (contents dropped, escapes honoured).
+        if c == '"' or (c == "'" and _IDENT_RE.match(text[i - 1:i]) is None):
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                if text[j] == "\\":
+                    j += 1
+                elif text[j] == "\n":
+                    line += 1
+                j += 1
+            tokens.append(Token("string" if quote == '"' else "char",
+                                '""' if quote == '"' else "''", line))
+            i = j + 1
+            continue
+        # Identifier (possibly a literal prefix like u8"...").
+        m = _IDENT_RE.match(text, i)
+        if m:
+            tokens.append(Token("ident", m.group(0), line))
+            i = m.end()
+            continue
+        if c.isdigit():
+            m = _NUMBER_RE.match(text, i)
+            tokens.append(Token("number", m.group(0), line))
+            i = m.end()
+            continue
+        for p in _PUNCTS:
+            if text.startswith(p, i):
+                tokens.append(Token("punct", p, line))
+                i += len(p)
+                break
+        else:
+            tokens.append(Token("punct", c, line))
+            i += 1
+    return tokens

@@ -1,0 +1,82 @@
+"""Finding type, text rendering, and SARIF-style JSON output."""
+
+import json
+
+
+class Finding:
+    """One analyzer finding.
+
+    The fingerprint is deliberately line-independent (rule + file +
+    symbol) so baseline entries survive unrelated edits; `symbol` is the
+    stable anchor (an include edge, a cycle's node set, a declaration's
+    qualified name).
+    """
+
+    def __init__(self, rule, rel, line, symbol, message, witness=None):
+        self.rule = rule
+        self.rel = rel
+        self.line = line
+        self.symbol = symbol
+        self.message = message
+        self.witness = witness or []
+
+    @property
+    def fingerprint(self):
+        return "{}|{}|{}".format(self.rule, self.rel, self.symbol)
+
+    def sort_key(self):
+        return (self.rule, self.rel, self.line, self.symbol)
+
+
+_RULE_HELP = {
+    "layering": "include must point to the same or a lower layer",
+    "umbrella-include": "src/ modules must not include the umbrella header",
+    "lock-order-cycle": "lock acquisition order must form a DAG",
+    "lock-self-deadlock": "scoped re-acquisition of a held non-recursive "
+                          "mutex",
+    "arena-escape": "arena-backed return needs XY_ARENA_BOUND",
+    "baseline-stale": "baseline entry matches no current finding",
+    "baseline-unjustified": "baseline entry lacks a real justification",
+}
+
+
+def render_text(findings, out):
+    for f in sorted(findings, key=Finding.sort_key):
+        out.write("{}:{}: [{}] {}\n".format(f.rel, f.line, f.rule, f.message))
+        for w in f.witness:
+            out.write("    {}\n".format(w))
+    if findings:
+        out.write("xyverify: {} finding(s)\n".format(len(findings)))
+
+
+def render_sarif(findings, out):
+    """Minimal SARIF 2.1.0 — one run, one result per finding."""
+    rules = sorted({f.rule for f in findings} | set(_RULE_HELP))
+    doc = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "xyverify",
+                "informationUri": "tools/xyverify",
+                "rules": [{"id": r,
+                           "shortDescription": {"text": _RULE_HELP.get(r, r)}}
+                          for r in rules],
+            }},
+            "results": [{
+                "ruleId": f.rule,
+                "level": "error",
+                "message": {"text": f.message + (
+                    "" if not f.witness else "\n" + "\n".join(f.witness))},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.rel},
+                        "region": {"startLine": max(1, f.line)},
+                    }
+                }],
+                "partialFingerprints": {"xyverify/v1": f.fingerprint},
+            } for f in sorted(findings, key=Finding.sort_key)],
+        }],
+    }
+    json.dump(doc, out, indent=2, sort_keys=True)
+    out.write("\n")
