@@ -16,7 +16,11 @@ namespace {
 /// Matches text leaves by exact content with an order-preserving LCS.
 /// Classic DP (the quadratic heart of the baseline); very large inputs
 /// are chunked so memory stays bounded while work remains O(n·m).
-void MatchLeaves(DiffTree* t1, DiffTree* t2, LaDiffStats* stats) {
+/// Returns a context error if the deadline dies mid-DP (the LCS then
+/// reports an empty matching, which must not be mistaken for "nothing
+/// in common").
+Status MatchLeaves(DiffTree* t1, DiffTree* t2, const Context* context,
+                   LaDiffStats* stats) {
   std::vector<NodeIndex> old_leaves;
   std::vector<NodeIndex> new_leaves;
   for (NodeIndex i = 0; i < t1->size(); ++i) {
@@ -40,7 +44,11 @@ void MatchLeaves(DiffTree* t1, DiffTree* t2, LaDiffStats* stats) {
       b_tokens.push_back(HashBytes(t2->dom(new_leaves[j])->text()));
     }
     if (stats != nullptr) stats->lcs_cells += a_tokens.size() * b_tokens.size();
-    for (const auto& [x, y] : LongestCommonSubsequence(a_tokens, b_tokens)) {
+    const auto lcs = LongestCommonSubsequence(a_tokens, b_tokens, context);
+    if (context != nullptr) {
+      XYDIFF_RETURN_IF_ERROR(context->Check());
+    }
+    for (const auto& [x, y] : lcs) {
       const NodeIndex l1 = old_leaves[ai + x];
       const NodeIndex l2 = new_leaves[bi + y];
       t1->set_match(l1, l2);
@@ -49,6 +57,7 @@ void MatchLeaves(DiffTree* t1, DiffTree* t2, LaDiffStats* stats) {
     }
     bi = b_end;
   }
+  return Status::OK();
 }
 
 /// Bottom-up internal matching: every matched leaf pair votes for its
@@ -149,7 +158,7 @@ Result<Delta> LaDiff(XmlDocument* old_doc, XmlDocument* new_doc,
   ComputeSignaturesAndWeights(&t1, options);
   ComputeSignaturesAndWeights(&t2, options);
 
-  MatchLeaves(&t1, &t2, stats);
+  XYDIFF_RETURN_IF_ERROR(MatchLeaves(&t1, &t2, options.context, stats));
   MatchInternal(&t1, &t2, stats);
 
   return BuildDeltaFromMatching(&t1, &t2, old_doc, new_doc, options,

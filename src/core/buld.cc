@@ -59,11 +59,17 @@ class Buld {
     const auto t_phase1 = Clock::now();
 
     // --- Phase 3 (heaviest-first matching) --------------------------------
+    // Cooperative check-point: this is the diff's dominant loop, so a
+    // deadline or cancellation is observed here within a stride of pops
+    // (DESIGN.md §3.17). Abandoning mid-match is safe — the trees are
+    // scratch state and the caller discards the documents on error.
+    DeadlineChecker checkpoint(options_.context);
     CandidateIndex index(&t1_);
     index_ = &index;
     NodeQueue queue(&t2_);
     queue.Push(0);
     while (!queue.empty()) {
+      XYDIFF_RETURN_IF_ERROR(checkpoint.Check());
       const NodeIndex v2 = queue.Pop();
       ++counters_.queue_pops;
       if (t2_.matched(v2) || t2_.id_locked(v2)) {
@@ -91,10 +97,14 @@ class Buld {
     const auto t_phase3 = Clock::now();
 
     // --- Phase 4 (peephole optimization) -----------------------------------
+    XYDIFF_RETURN_IF_ERROR(checkpoint.CheckNow());
     counters_.propagation_matches = PropagateMatchings(&t1_, &t2_, options_);
     const auto t_phase4 = Clock::now();
 
     // --- Phase 5 (delta construction) ---------------------------------------
+    // Last check before construction: Phase 5 assigns XIDs to the new
+    // document, so bailing after it would leave visible partial state.
+    XYDIFF_RETURN_IF_ERROR(checkpoint.CheckNow());
     Delta delta = BuildDeltaFromMatching(&t1_, &t2_, old_doc_, new_doc_,
                                          options_, DeltaBuildConfig{});
     const auto t_phase5 = Clock::now();
@@ -257,6 +267,9 @@ Result<Delta> XyDiff(XmlDocument* old_doc, XmlDocument* new_doc,
                      const DiffOptions& options, DiffStats* stats) {
   if (old_doc->root() == nullptr || new_doc->root() == nullptr) {
     return Status::InvalidArgument("both documents must have a root element");
+  }
+  if (options.context != nullptr) {
+    XYDIFF_RETURN_IF_ERROR(options.context->Check());
   }
   if (!old_doc->AllXidsAssigned()) {
     // First-version semantics when the document carries no XIDs at all.

@@ -246,10 +246,12 @@ Result<XmlNodePtr> DecodeSnapshot(Reader* reader,
 template <typename Op>
 Status DecodeSnapshotOps(Reader* reader,
                          const std::vector<std::string_view>& dict,
-                         Arena* arena, std::vector<Op>* ops) {
+                         Arena* arena, DeadlineChecker* checkpoint,
+                         std::vector<Op>* ops) {
   uint64_t count = 0;
   XYDIFF_RETURN_IF_ERROR(reader->ReadCount(&count));
   for (uint64_t i = 0; i < count; ++i) {
+    XYDIFF_RETURN_IF_ERROR(checkpoint->Check());
     Op op;
     XYDIFF_RETURN_IF_ERROR(reader->ReadVarint(&op.xid));
     XYDIFF_RETURN_IF_ERROR(reader->ReadVarint(&op.parent_xid));
@@ -331,7 +333,11 @@ bool LooksLikeBinaryDelta(std::string_view bytes) {
                        std::string_view(kMagic, sizeof(kMagic))) == 0;
 }
 
-Result<Delta> DecodeDeltaBinary(std::string_view bytes) {
+Result<Delta> DecodeDeltaBinary(std::string_view bytes,
+                                const Context* context) {
+  // Snapshot subtrees make decode cost proportional to input size, not
+  // op count, so the checker also runs inside the per-op loops.
+  DeadlineChecker checkpoint(context);
   if (!LooksLikeBinaryDelta(bytes)) {
     return Status::Corruption("not a binary delta (bad magic)");
   }
@@ -362,13 +368,14 @@ Result<Delta> DecodeDeltaBinary(std::string_view bytes) {
 
   Arena* arena = delta.snapshot_arena();
   XYDIFF_RETURN_IF_ERROR(
-      DecodeSnapshotOps(&reader, dict, arena, &delta.deletes()));
+      DecodeSnapshotOps(&reader, dict, arena, &checkpoint, &delta.deletes()));
   XYDIFF_RETURN_IF_ERROR(
-      DecodeSnapshotOps(&reader, dict, arena, &delta.inserts()));
+      DecodeSnapshotOps(&reader, dict, arena, &checkpoint, &delta.inserts()));
 
   uint64_t move_count = 0;
   XYDIFF_RETURN_IF_ERROR(reader.ReadCount(&move_count));
   for (uint64_t i = 0; i < move_count; ++i) {
+    XYDIFF_RETURN_IF_ERROR(checkpoint.Check());
     MoveOp op;
     XYDIFF_RETURN_IF_ERROR(reader.ReadVarint(&op.xid));
     XYDIFF_RETURN_IF_ERROR(reader.ReadVarint(&op.from_parent));
@@ -381,6 +388,7 @@ Result<Delta> DecodeDeltaBinary(std::string_view bytes) {
   uint64_t update_count = 0;
   XYDIFF_RETURN_IF_ERROR(reader.ReadCount(&update_count));
   for (uint64_t i = 0; i < update_count; ++i) {
+    XYDIFF_RETURN_IF_ERROR(checkpoint.Check());
     UpdateOp op;
     XYDIFF_RETURN_IF_ERROR(reader.ReadVarint(&op.xid));
     XYDIFF_RETURN_IF_ERROR(reader.ReadU32(&op.prefix, "prefix"));

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "delta/delta.h"
+#include "util/context.h"
 #include "util/status.h"
 
 namespace xydiff {
@@ -41,7 +42,13 @@ std::string EncodeDeltaBinary(const Delta& delta);
 /// checked and every varint must be canonical, so hostile or truncated
 /// input yields Status kCorruption — never undefined behaviour. Snapshot
 /// subtrees are built in the returned delta's snapshot arena.
-Result<Delta> DecodeDeltaBinary(std::string_view bytes);
+///
+/// `context` (optional, not owned) is checked cooperatively between op
+/// groups and every stride of ops, so a huge (or hostile) delta under a
+/// deadline returns kDeadlineExceeded/kCancelled instead of stalling a
+/// Checkout; the partially decoded delta is discarded with the Result.
+Result<Delta> DecodeDeltaBinary(std::string_view bytes,
+                                const Context* context = nullptr);
 
 /// True when `bytes` starts with the binary-delta magic. Distinguishes
 /// codec files from legacy XML deltas (which start with '<') when the

@@ -78,13 +78,19 @@ std::vector<size_t> WindowedLis(const std::vector<size_t>& values,
 }
 
 std::vector<std::pair<size_t, size_t>> LongestCommonSubsequence(
-    const std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+    const std::vector<uint64_t>& a, const std::vector<uint64_t>& b,
+    const Context* context) {
   const size_t n = a.size();
   const size_t m = b.size();
   // Classic DP table; fine for the baseline's child lists.
   std::vector<std::vector<uint32_t>> dp(n + 1,
                                         std::vector<uint32_t>(m + 1, 0));
+  // One check per DP row: a row is m cells of trivial work, so the
+  // deadline is seen within ~m token comparisons without the clock
+  // showing up in the profile.
+  DeadlineChecker checkpoint(context, /*stride=*/1);
   for (size_t i = n; i-- > 0;) {
+    if (!checkpoint.Check().ok()) return {};
     for (size_t j = m; j-- > 0;) {
       dp[i][j] = (a[i] == b[j]) ? dp[i + 1][j + 1] + 1
                                 : std::max(dp[i + 1][j], dp[i][j + 1]);

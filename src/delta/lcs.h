@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/context.h"
+
 namespace xydiff {
 
 /// Weighted largest order-preserving subsequence (§5.2 Phase 5, "Local
@@ -33,8 +35,14 @@ std::vector<size_t> WindowedLis(const std::vector<size_t>& values,
 /// Classic O(n·m) longest common subsequence over token sequences; returns
 /// pairs (index_a, index_b) of the matched tokens in order. Used by the
 /// LaDiff and DiffMK-style baselines, not by BULD itself.
+///
+/// `context` (optional, not owned) is checked once per DP row; when it
+/// dies mid-computation the function returns an EMPTY matching — the
+/// caller must re-check the context to distinguish "nothing in common"
+/// from "gave up" (LaDiff does, and surfaces the context error).
 std::vector<std::pair<size_t, size_t>> LongestCommonSubsequence(
-    const std::vector<uint64_t>& a, const std::vector<uint64_t>& b);
+    const std::vector<uint64_t>& a, const std::vector<uint64_t>& b,
+    const Context* context = nullptr);
 
 }  // namespace xydiff
 

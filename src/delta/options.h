@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "util/context.h"
+
 namespace xydiff {
 
 /// Tuning knobs of the BULD algorithm (§5.2 "Tuning"). The defaults follow
@@ -60,6 +62,11 @@ struct DiffOptions {
   /// (keeps worst-case linear; the secondary parent index still finds a
   /// parent-agreeing candidate in O(1) beyond the cap).
   size_t max_candidates_scanned = 16;
+
+  /// Optional deadline/cancellation token, checked cooperatively in the
+  /// long loops (Phase 3 matching, baseline LCS). Not owned; must
+  /// outlive the diff call. nullptr means no limits.
+  const Context* context = nullptr;
 };
 
 /// Timings and counters reported by the diff, used by the Figure 4

@@ -1,7 +1,10 @@
 #include "fuzz/fuzz.h"
 
 #include <chrono>
+#include <optional>
 #include <utility>
+
+#include "util/context.h"
 
 #include "fuzz/grammar.h"
 #include "fuzz/shrink.h"
@@ -51,14 +54,27 @@ VersionRepository MakeCrashRepo(uint64_t seed, int extra_versions) {
   return repo;
 }
 
-/// Arms one seed-chosen fault: a hard crash or a torn write, at an
-/// operation index inside (or just past) the protocol under test.
-void ArmFault(Rng* rng, FaultInjectionEnv* env, int op_range) {
+/// Arms one seed-chosen fault at an operation index inside (or just
+/// past) the protocol under test: a hard crash, a torn write, or a
+/// cancellation that fires mid-protocol. For the cancel plan the
+/// returned Context must be threaded into the protocol (the op itself
+/// proceeds; the victim notices at its next check-point) — the other
+/// plans return nullopt.
+std::optional<Context> ArmFault(Rng* rng, FaultInjectionEnv* env,
+                                int op_range) {
   const int op = static_cast<int>(rng->NextBelow(op_range));
-  if (rng->NextBool(0.5)) {
-    env->CrashAt(op);
-  } else {
-    env->TearWriteAt(op, rng->NextBelow(600));
+  switch (rng->NextBelow(3)) {
+    case 0:
+      env->CrashAt(op);
+      return std::nullopt;
+    case 1:
+      env->TearWriteAt(op, rng->NextBelow(600));
+      return std::nullopt;
+    default: {
+      CancellationSource source;
+      env->CancelAt(op, source);
+      return source.MakeContext();
+    }
   }
 }
 
@@ -156,12 +172,14 @@ Status RunCrashBatchSaveTrial(uint64_t seed, const std::string& directory,
   env.Reset();  // Disk state stands; forget counters and durable images.
 
   Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
-  ArmFault(&rng, &env, 192);
+  const std::optional<Context> cancel_context = ArmFault(&rng, &env, 192);
   slots.clear();
   for (size_t i = 0; i < kCrashSlots; ++i) {
     slots.push_back({&after[i], "slot" + std::to_string(i)});
   }
-  const Status saved = SaveRepositoryBatch(slots, directory, &env);
+  const Status saved =
+      SaveRepositoryBatch(slots, directory, &env,
+                          cancel_context ? &*cancel_context : nullptr);
   if (Status s = env.DropUnsyncedData(); !s.ok()) return s;
   if (Status s = RecoverRepositoryBatch(directory, base_env); !s.ok()) {
     return s;
@@ -292,10 +310,13 @@ Status RunCrashDiffBatchTrial(uint64_t seed, const std::string& directory,
   }
   env.Reset();  // Disk state stands; forget counters and durable images.
   Rng rng(seed * 0x100000001b3ULL + 17);
-  ArmFault(&rng, &env, 256);
+  const std::optional<Context> cancel_context = ArmFault(&rng, &env, 256);
   // Per-slot statuses are irrelevant here — under an armed fault slots
-  // legitimately degrade or fail; the contract under test is the disk.
-  live.DiffBatch(jobs_for(v3_xml), make_pipeline(live_dir, &env));
+  // legitimately degrade, fail, or report kCancelled; the contract under
+  // test is the disk.
+  Warehouse::PipelineOptions faulted = make_pipeline(live_dir, &env);
+  if (cancel_context) faulted.context = &*cancel_context;
+  live.DiffBatch(jobs_for(v3_xml), faulted);
   if (Status s = env.DropUnsyncedData(); !s.ok()) return s;
   if (Status s = RecoverRepositoryBatch(live_dir, base_env); !s.ok()) {
     return s;

@@ -1,0 +1,153 @@
+#ifndef XYDIFF_UTIL_CONTEXT_H_
+#define XYDIFF_UTIL_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace xydiff {
+
+/// A request-scoped deadline and cancellation token, threaded by const
+/// pointer through the pipeline (parse -> diff -> store), `Checkout`,
+/// and `SaveRepositoryBatch`. Modeled after Go's context.Context, but a
+/// plain value: copying a Context copies the deadline and SHARES the
+/// cancellation flag, so a child stage sees the parent's cancellation.
+///
+/// Everything accepts `const Context*` with nullptr meaning "no limits",
+/// so existing call sites keep working unchanged.
+///
+/// Placement rules for cooperative check-points (DESIGN.md §3.17):
+///  - long loops check via a DeadlineChecker every N iterations, never
+///    per element (a steady_clock read per node would dominate BULD);
+///  - storage checks BETWEEN protocol steps, and never again after the
+///    group-commit journal is durable — past the commit point the batch
+///    must roll forward so cancellation can not manufacture a hybrid
+///    store state.
+class CancellationSource;
+
+class Context {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// No deadline, not cancellable (equivalent to passing nullptr).
+  Context() = default;
+
+  /// A context that expires at `deadline`.
+  static Context WithDeadline(Clock::time_point deadline) {
+    Context ctx;
+    ctx.deadline_ = deadline;
+    return ctx;
+  }
+
+  /// A context that expires `timeout` from now.
+  static Context WithTimeout(std::chrono::milliseconds timeout) {
+    return WithDeadline(Clock::now() + timeout);
+  }
+
+  bool has_deadline() const { return deadline_.has_value(); }
+  Clock::time_point deadline() const { return *deadline_; }
+
+  bool cancelled() const {
+    return cancel_flag_ && cancel_flag_->load(std::memory_order_acquire);
+  }
+  bool expired() const { return deadline_ && Clock::now() >= *deadline_; }
+
+  /// Time left before the deadline, clamped at zero; nullopt when there
+  /// is no deadline. Retry loops cap their backoff sleep with this.
+  std::optional<std::chrono::milliseconds> remaining() const {
+    if (!deadline_) return std::nullopt;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        *deadline_ - Clock::now());
+    return left.count() > 0 ? left : std::chrono::milliseconds(0);
+  }
+
+  /// OK while the context is live; kCancelled once the source fired,
+  /// kDeadlineExceeded once the deadline passed. Cancellation wins when
+  /// both hold — it is the more specific caller intent.
+  Status Check() const {
+    if (cancelled()) return Status::Cancelled("context cancelled");
+    if (expired()) return Status::DeadlineExceeded("context deadline exceeded");
+    return Status::OK();
+  }
+
+ private:
+  friend class CancellationSource;
+
+  std::optional<Clock::time_point> deadline_;
+  std::shared_ptr<const std::atomic<bool>> cancel_flag_;
+};
+
+/// The write side of a cancellation token. The holder calls `Cancel()`;
+/// every Context minted from this source observes it. Thread-safe and
+/// idempotent; copying shares the flag.
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() { flag_->store(true, std::memory_order_release); }
+  bool cancelled() const { return flag_->load(std::memory_order_acquire); }
+
+  /// A context observing this source, with no deadline.
+  Context MakeContext() const {
+    Context ctx;
+    ctx.cancel_flag_ = flag_;
+    return ctx;
+  }
+
+  /// `base` plus this source's cancellation flag (base's own flag, if
+  /// any, is replaced — sources do not chain).
+  Context Attach(const Context& base) const {
+    Context ctx = base;
+    ctx.cancel_flag_ = flag_;
+    return ctx;
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Amortizes Context::Check() for tight loops: only every `stride`-th
+/// call touches the clock. With the default stride of 256 the overhead
+/// in the BULD match loop and the codec decode loop is one counter
+/// increment plus one atomic load per iteration. Null context => always
+/// OK, zero cost. Cancellation is NOT amortized — the flag is a single
+/// acquire load, cheap enough to test every call, so a cancel is seen
+/// at the very next check-point rather than up to a stride later.
+class DeadlineChecker {
+ public:
+  explicit DeadlineChecker(const Context* context, uint32_t stride = 256)
+      : context_(context), stride_(stride == 0 ? 1 : stride) {}
+
+  Status Check() {
+    if (context_ == nullptr) return Status::OK();
+    if (context_->cancelled()) return Status::Cancelled("context cancelled");
+    if (++calls_ % stride_ != 0) return Status::OK();
+    return context_->Check();
+  }
+
+  /// Unconditional check (stage boundaries, before expensive steps).
+  Status CheckNow() {
+    return context_ == nullptr ? Status::OK() : context_->Check();
+  }
+
+ private:
+  const Context* context_;
+  uint32_t stride_;
+  uint32_t calls_ = 0;
+};
+
+/// True for the codes a Context check can produce; used by callers that
+/// must distinguish "the work was bad" from "the caller gave up".
+inline bool IsContextError(StatusCode code) {
+  return code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kCancelled;
+}
+
+}  // namespace xydiff
+
+#endif  // XYDIFF_UTIL_CONTEXT_H_

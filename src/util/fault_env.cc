@@ -1,7 +1,10 @@
 #include "util/fault_env.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
+
+#include "util/retry.h"
 
 namespace xydiff {
 
@@ -39,6 +42,19 @@ void FaultInjectionEnv::TearWriteAt(int op, size_t keep_bytes) {
   torn_keep_ = keep_bytes;
 }
 
+void FaultInjectionEnv::DelayAt(int op, int delay_ms, int count) {
+  MutexLock lock(mutex_);
+  delay_op_ = op;
+  delay_ms_ = delay_ms;
+  delay_count_ = count;
+}
+
+void FaultInjectionEnv::CancelAt(int op, CancellationSource source) {
+  MutexLock lock(mutex_);
+  cancel_op_ = op;
+  cancel_source_ = std::move(source);
+}
+
 Status FaultInjectionEnv::DropUnsyncedData() {
   MutexLock lock(mutex_);
   for (const std::string& path : dirty_) {
@@ -64,6 +80,11 @@ void FaultInjectionEnv::Reset() {
   torn_keep_ = 0;
   crashed_ = false;
   triggered_ = false;
+  delay_op_ = -1;
+  delay_count_ = 0;
+  delay_ms_ = 0;
+  cancel_op_ = -1;
+  cancel_source_.reset();
   durable_.clear();
   dirty_.clear();
 }
@@ -81,6 +102,16 @@ bool FaultInjectionEnv::triggered() const {
 FaultInjectionEnv::OpFate FaultInjectionEnv::NextOp(bool is_write) {
   const int op = op_counter_++;
   OpFate fate;
+  // Overlay plans first: they never fail the op, only slow it down or
+  // flip a cancellation flag the caller will notice later.
+  if (delay_count_ > 0 && op >= delay_op_ && op < delay_op_ + delay_count_) {
+    triggered_ = true;
+    SleepFor(std::chrono::milliseconds(delay_ms_));
+  }
+  if (cancel_source_.has_value() && op == cancel_op_) {
+    triggered_ = true;
+    cancel_source_->Cancel();
+  }
   if (crashed_) {
     fate.fail = Status::IOError("simulated crash: environment is down (op " +
                                 std::to_string(op) + ")");

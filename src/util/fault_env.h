@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "util/annotations.h"
+#include "util/context.h"
 #include "util/env.h"
 #include "util/mutex.h"
 
@@ -26,6 +27,18 @@ namespace xydiff {
 ///   TearWriteAt(n, keep) if op n is a WriteFile, only the first `keep`
 ///                        bytes reach disk, then the env behaves
 ///                        crashed. A non-write op n degrades to CrashAt.
+///
+/// Two further plans overlay the fault modes (they do not fail the op,
+/// so a sweep can combine e.g. deadline x torn-write):
+///
+///   DelayAt(n, ms, k)    ops n..n+k-1 stall `ms` milliseconds before
+///                        executing — a suddenly slow disk. The delay
+///                        holds the env lock, so a slow op stalls every
+///                        concurrent env op, like a saturated device.
+///   CancelAt(n, src)     op n fires `src.Cancel()` and then proceeds
+///                        normally — the caller's *next* context check
+///                        sees the cancellation, exactly the race a
+///                        real mid-I/O cancel produces.
 ///
 /// The wrapper tracks the *durable* image of every file it touches: a
 /// write or rename leaves the affected paths "dirty" until SyncFile
@@ -45,6 +58,8 @@ class FaultInjectionEnv final : public Env {
   void InjectErrorAt(int op, int count = 1) XY_EXCLUDES(mutex_);
   void CrashAt(int op) XY_EXCLUDES(mutex_);
   void TearWriteAt(int op, size_t keep_bytes) XY_EXCLUDES(mutex_);
+  void DelayAt(int op, int delay_ms, int count = 1) XY_EXCLUDES(mutex_);
+  void CancelAt(int op, CancellationSource source) XY_EXCLUDES(mutex_);
 
   /// Rolls every un-synced path back to its durable content (deleting
   /// files whose creation was never made durable). Clears the crashed
@@ -100,6 +115,12 @@ class FaultInjectionEnv final : public Env {
   size_t torn_keep_ XY_GUARDED_BY(mutex_) = 0;
   bool crashed_ XY_GUARDED_BY(mutex_) = false;
   bool triggered_ XY_GUARDED_BY(mutex_) = false;
+  // Overlay plans (independent of kind_):
+  int delay_op_ XY_GUARDED_BY(mutex_) = -1;
+  int delay_count_ XY_GUARDED_BY(mutex_) = 0;
+  int delay_ms_ XY_GUARDED_BY(mutex_) = 0;
+  int cancel_op_ XY_GUARDED_BY(mutex_) = -1;
+  std::optional<CancellationSource> cancel_source_ XY_GUARDED_BY(mutex_);
   std::map<std::string, DurableImage> durable_ XY_GUARDED_BY(mutex_);
   std::set<std::string> dirty_ XY_GUARDED_BY(mutex_);
 };

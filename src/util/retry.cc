@@ -1,0 +1,73 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace xydiff {
+
+namespace {
+
+/// splitmix64 (Steele et al.) — one multiply-xor round per draw; enough
+/// for jitter, and deterministic from the explicit policy seed.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::chrono::milliseconds RetryBackoff(const RetryPolicy& policy,
+                                       int attempt) {
+  // Cap the exponent and clamp the delay: `backoff_ms << attempt` with
+  // an unbounded attempt count overflows int (undefined behaviour past
+  // shift 31) and would sleep for minutes long before that.
+  const int shift = std::min(std::max(attempt, 0), 10);
+  const int64_t base = std::clamp<int64_t>(
+      static_cast<int64_t>(policy.backoff_ms) << shift, 0,
+      policy.max_backoff_ms);
+  // Equal jitter: half the window is fixed so backoff still grows, half
+  // is drawn from the seed+attempt stream so workers desynchronize.
+  const int64_t half = base / 2;
+  const int64_t jitter =
+      half > 0 ? static_cast<int64_t>(
+                     SplitMix64(policy.jitter_seed +
+                                static_cast<uint64_t>(attempt)) %
+                     static_cast<uint64_t>(half + 1))
+               : 0;
+  return std::chrono::milliseconds(half + jitter);
+}
+
+Status RetryTransient(const RetryPolicy& policy, const Context* context,
+                      const std::function<Status()>& op, size_t* retries) {
+  Status status = op();
+  for (int attempt = 0;
+       !status.ok() && status.code() == StatusCode::kIOError &&
+       attempt < policy.max_retries;
+       ++attempt) {
+    if (context != nullptr) {
+      Status live = context->Check();
+      if (!live.ok()) return live;
+    }
+    std::chrono::milliseconds delay = RetryBackoff(policy, attempt);
+    if (context != nullptr) {
+      // Never sleep past the deadline: a retry that cannot finish in
+      // time should surface kDeadlineExceeded now, not after stalling.
+      if (auto left = context->remaining(); left.has_value()) {
+        delay = std::min(delay, *left);
+      }
+    }
+    SleepFor(std::chrono::duration_cast<std::chrono::microseconds>(delay));
+    if (retries != nullptr) ++*retries;
+    status = op();
+  }
+  return status;
+}
+
+void SleepFor(std::chrono::microseconds duration) {
+  if (duration.count() <= 0) return;
+  std::this_thread::sleep_for(duration);
+}
+
+}  // namespace xydiff

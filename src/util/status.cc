@@ -22,6 +22,14 @@ const char* StatusCodeName(StatusCode code) {
       return "IOError";
     case StatusCode::kAborted:
       return "Aborted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -24,6 +24,17 @@ enum class StatusCode {
                       ///< as opposed to read successfully but wrong.
   kAborted,           ///< Work intentionally not performed (e.g. a batch
                       ///< slot skipped by fail-fast after an earlier error).
+  kDeadlineExceeded,  ///< A Context deadline expired before the operation
+                      ///< finished; any partial in-memory work was discarded
+                      ///< and no store state was committed.
+  kCancelled,         ///< The caller fired the Context cancellation token.
+                      ///< Same no-partial-state guarantee as a deadline.
+  kResourceExhausted, ///< Admission control shed the work: a byte or slot
+                      ///< budget would be exceeded. Retryable with a smaller
+                      ///< batch or after in-flight work drains.
+  kUnavailable,       ///< The service declines the work right now: document
+                      ///< quarantined by its circuit breaker, or warehouse in
+                      ///< degraded mode. Reads still work; retry later.
 };
 
 /// Returns a human-readable name, e.g. "InvalidArgument".
@@ -75,6 +86,18 @@ class [[nodiscard]] Status {
   }
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -138,6 +138,13 @@ std::string PipelineStats::ToString() const {
                 "peak in flight %zu, degraded slots %zu, wall %.3f s\n",
                 peak_in_flight, degraded_slots, wall_seconds);
   out += line;
+  if (shed_slots + quarantined_slots + deadline_slots + cancelled_slots > 0) {
+    std::snprintf(line, sizeof(line),
+                  "shed %zu, quarantined %zu, deadline %zu, cancelled %zu\n",
+                  shed_slots, quarantined_slots, deadline_slots,
+                  cancelled_slots);
+    out += line;
+  }
   return out;
 }
 

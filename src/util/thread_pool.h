@@ -120,6 +120,14 @@ struct PipelineStats {
                               ///< or completed without their side effects
                               ///< (e.g. persistence gave up) — per-slot
                               ///< degradation, distinct from failures.
+  // Overload accounting (DESIGN.md §3.17). These four partition the
+  // slots that the pipeline declined or abandoned, by cause:
+  size_t shed_slots = 0;        ///< Admission control: a byte/slot budget
+                                ///< would be exceeded (kResourceExhausted).
+  size_t quarantined_slots = 0; ///< Circuit breaker open for the URL, or
+                                ///< warehouse degraded (kUnavailable).
+  size_t deadline_slots = 0;    ///< Context deadline fired (kDeadlineExceeded).
+  size_t cancelled_slots = 0;   ///< Context cancelled (kCancelled).
   double wall_seconds = 0;
 
   /// Human-readable multi-line table.
@@ -134,6 +142,16 @@ struct PipelineStats {
 /// deadlock-free. Blocking `Push`/`Pop` are provided for plain
 /// producer/consumer use. Closing wakes all waiters; `Pop` then drains
 /// what is left and reports emptiness.
+///
+/// Shutdown has two flavours with different drain semantics:
+///  - `Close()` — graceful: producers are refused, consumers drain the
+///    remaining items, then see nullopt;
+///  - `Cancel()` — abandoning: both sides return immediately (Push
+///    false, Pop nullopt) WITHOUT draining; items still queued are
+///    dropped on the floor. Every caller blocked at the moment of the
+///    call wakes exactly once and returns; callers arriving later
+///    return without blocking. TryPop keeps draining after Cancel so
+///    an owner can still reclaim items for cleanup.
 template <typename T>
 class BoundedQueue {
  public:
@@ -149,7 +167,7 @@ class BoundedQueue {
     return true;
   }
 
-  /// Blocking push; false only if the queue was closed.
+  /// Blocking push; false only if the queue was closed or cancelled.
   bool Push(T item) XY_EXCLUDES(mutex_) {
     MutexLock lock(mutex_);
     while (!closed_ && items_.size() >= capacity_) not_full_.Wait(mutex_);
@@ -170,23 +188,44 @@ class BoundedQueue {
     return item;
   }
 
-  /// Blocking pop; nullopt once the queue is closed *and* drained.
+  /// Blocking pop; nullopt once the queue is closed *and* drained, or
+  /// immediately (no drain) once cancelled.
   std::optional<T> Pop() XY_EXCLUDES(mutex_) {
     MutexLock lock(mutex_);
     while (!closed_ && items_.empty()) not_empty_.Wait(mutex_);
-    if (items_.empty()) return std::nullopt;
+    if (cancelled_ || items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
     not_full_.NotifyOne();
     return item;
   }
 
-  /// No more pushes; waiters wake up.
+  /// No more pushes; waiters wake up. Pop still drains queued items.
   void Close() XY_EXCLUDES(mutex_) {
     MutexLock lock(mutex_);
     closed_ = true;
     not_empty_.NotifyAll();
     not_full_.NotifyAll();
+  }
+
+  /// Abandoning shutdown: wakes every blocked Push (returns false) and
+  /// every blocked Pop (returns nullopt, WITHOUT draining — a cancelled
+  /// consumer must not start work on a stale item). Idempotent; implies
+  /// Close for producers. This is the fix for the original shutdown
+  /// semantics, where a consumer blocked in Pop could only be released
+  /// by Close, which forced it to drain items the caller wanted
+  /// abandoned.
+  void Cancel() XY_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    cancelled_ = true;
+    closed_ = true;
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
+  }
+
+  bool cancelled() const XY_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return cancelled_;
   }
 
   size_t size() const XY_EXCLUDES(mutex_) {
@@ -208,6 +247,7 @@ class BoundedQueue {
   std::deque<T> items_ XY_GUARDED_BY(mutex_);
   size_t peak_depth_ XY_GUARDED_BY(mutex_) = 0;
   bool closed_ XY_GUARDED_BY(mutex_) = false;
+  bool cancelled_ XY_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace xydiff

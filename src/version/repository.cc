@@ -123,8 +123,11 @@ Status VersionRepository::EnsureReconstructionIndex() {
 }
 
 Result<XmlDocument> VersionRepository::Checkout(int version,
-                                                CheckoutStats* stats) const {
+                                                CheckoutStats* stats,
+                                                const Context* context) const {
   if (stats != nullptr) *stats = CheckoutStats{};
+  DeadlineChecker checkpoint_guard(context, /*stride=*/1);
+  XYDIFF_RETURN_IF_ERROR(checkpoint_guard.CheckNow());
   XYDIFF_RETURN_IF_ERROR(CheckVersion(version));
   if (current_.root() == nullptr) {
     return Status::Corruption("repository has no current version");
@@ -167,6 +170,9 @@ Result<XmlDocument> VersionRepository::Checkout(int version,
   if (plan_complete) {
     DeltaPathApplicator applicator(index_.checkpoint->Clone());
     for (const Delta* step : plan) {
+      // One check per application: each Push is O(delta), the natural
+      // granularity for abandoning a reconstruction under deadline.
+      XYDIFF_RETURN_IF_ERROR(checkpoint_guard.Check());
       XYDIFF_RETURN_IF_ERROR(applicator.Push(*step));
     }
     if (stats != nullptr) {
@@ -178,6 +184,7 @@ Result<XmlDocument> VersionRepository::Checkout(int version,
 
   DeltaPathApplicator applicator(current_.Clone());
   for (int v = current_version(); v > version; --v) {
+    XYDIFF_RETURN_IF_ERROR(checkpoint_guard.Check());
     // deltas_[v-2] transforms version v-1 into v; undo it.
     XYDIFF_RETURN_IF_ERROR(applicator.Push(
         deltas_[static_cast<size_t>(v) - 2], /*inverse=*/true));

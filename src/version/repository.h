@@ -92,8 +92,13 @@ class VersionRepository {
   /// forward checkpoint + skip plan and the backward replay is chosen);
   /// without it, O(n - version) inverse applications as before. `stats`
   /// (optional) reports the cost actually paid.
-  Result<XmlDocument> Checkout(int version,
-                               CheckoutStats* stats = nullptr) const;
+  ///
+  /// `context` (optional, not owned) is checked before each delta
+  /// application, so a long replay chain under a deadline returns
+  /// kDeadlineExceeded/kCancelled; the repository itself is never
+  /// mutated by Checkout, so bailing is always clean.
+  Result<XmlDocument> Checkout(int version, CheckoutStats* stats = nullptr,
+                               const Context* context = nullptr) const;
 
   /// Activates the reconstruction index and builds every missing piece:
   /// the version-1 checkpoint (one backward replay when absent) and all

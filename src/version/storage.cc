@@ -733,9 +733,12 @@ Status ApplyBatchJournalLocked(const std::string& parent, Env* env,
 }  // namespace
 
 Status SaveRepositoryBatch(const std::vector<RepositorySaveSlot>& slots,
-                           const std::string& parent, Env* env) {
+                           const std::string& parent, Env* env,
+                           const Context* context) {
   env = Resolve(env);
   if (slots.empty()) return Status::OK();
+  DeadlineChecker checkpoint(context, /*stride=*/1);
+  XYDIFF_RETURN_IF_ERROR(checkpoint.CheckNow());
   for (size_t i = 0; i < slots.size(); ++i) {
     if (slots[i].repo == nullptr) {
       return Status::InvalidArgument("batch slot without a repository");
@@ -765,6 +768,9 @@ Status SaveRepositoryBatch(const std::vector<RepositorySaveSlot>& slots,
   // disk at the commit point.
   std::vector<BatchSlotEntry> entries(slots.size());
   for (size_t i = 0; i < slots.size(); ++i) {
+    // Pre-commit check-point: bailing between slots leaves only
+    // unreferenced data files behind — every slot is still pre-batch.
+    XYDIFF_RETURN_IF_ERROR(checkpoint.Check());
     const std::string dir = parent + "/" + slots[i].subdirectory;
     MutexLock slot_lock(DirectoryLocks().For(dir));
     Result<Manifest> next = WriteRepositoryData(*slots[i].repo, dir, env);
@@ -776,7 +782,10 @@ Status SaveRepositoryBatch(const std::vector<RepositorySaveSlot>& slots,
   }
 
   // Phase 2: THE commit point — one atomic journal write + one parent
-  // directory sync covers the entire group.
+  // directory sync covers the entire group. The LAST context check
+  // happens here; once the journal is durable the batch rolls forward
+  // no matter what the context says (see the header contract).
+  XYDIFF_RETURN_IF_ERROR(checkpoint.CheckNow());
   XYDIFF_RETURN_IF_ERROR(env->WriteFileAtomic(
       parent + "/" + kBatchJournalName, FormatBatchJournal(entries)));
   XYDIFF_RETURN_IF_ERROR(env->SyncDir(parent));

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "util/context.h"
 #include "util/env.h"
 #include "util/status.h"
 #include "version/repository.h"
@@ -113,8 +114,17 @@ struct RepositorySaveSlot {
 /// committed and every slot is still pre-batch, except errors during
 /// step 3, where the journal is committed and recovery completes the
 /// batch. Empty batches are a no-op.
+///
+/// `context` (optional, not owned) is checked between slots in step 1
+/// and once more immediately before the journal write; a deadline or
+/// cancellation there returns with every slot still pre-batch (the
+/// already-written data files are unreferenced and invisible). It is
+/// deliberately NOT checked after the journal commit: past the commit
+/// point the batch must roll forward, or cancellation could manufacture
+/// exactly the hybrid state the journal exists to prevent.
 Status SaveRepositoryBatch(const std::vector<RepositorySaveSlot>& slots,
-                           const std::string& parent, Env* env = nullptr);
+                           const std::string& parent, Env* env = nullptr,
+                           const Context* context = nullptr);
 
 /// Rolls forward (or discards) an interrupted SaveRepositoryBatch:
 /// a committed journal re-writes every not-yet-switched slot MANIFEST;

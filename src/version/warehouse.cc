@@ -5,13 +5,12 @@
 #include <cctype>
 #include <chrono>
 #include <cstdint>
-#include <functional>
 #include <string_view>
-#include <thread>
 #include <unordered_set>
 
 #include "delta/delta_xml.h"
 #include "delta/node_index.h"
+#include "util/retry.h"
 #include "util/string_util.h"
 #include "version/storage.h"
 #include "xml/parser.h"
@@ -20,27 +19,15 @@ namespace xydiff {
 
 namespace {
 
-/// Runs `op` up to 1 + max_retries times, retrying only transient
-/// IOError with doubling backoff. Any other status (including
-/// Corruption) returns immediately — retrying cannot fix wrong bytes.
-Status RetryTransient(int max_retries, int backoff_ms,
-                      const std::function<Status()>& op, size_t* retries) {
-  Status status = op();
-  for (int attempt = 0;
-       !status.ok() && status.code() == StatusCode::kIOError &&
-       attempt < max_retries;
-       ++attempt) {
-    // Cap the exponent and clamp the sleep: `backoff_ms << attempt` with
-    // an unbounded attempt count overflows int (undefined behaviour past
-    // shift 31) and would sleep for minutes long before that.
-    const int shift = std::min(attempt, 10);
-    const int64_t delay_ms = std::clamp<int64_t>(
-        static_cast<int64_t>(backoff_ms) << shift, 0, 1000);
-    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
-    if (retries != nullptr) ++*retries;
-    status = op();
-  }
-  return status;
+/// The store stage's retry policy, derived from the pipeline knobs.
+/// The jitter seed mixes in a per-call salt so concurrent flush groups
+/// retrying the same transient fault desynchronize deterministically.
+RetryPolicy StoreRetryPolicy(int max_retries, int backoff_ms, uint64_t salt) {
+  RetryPolicy policy;
+  policy.max_retries = max_retries;
+  policy.backoff_ms = backoff_ms;
+  policy.jitter_seed = 0x5EEDF00DULL ^ salt;
+  return policy;
 }
 
 }  // namespace
@@ -96,11 +83,17 @@ Warehouse::SnapshotSlots() const {
 
 Result<Warehouse::IngestReport> Warehouse::Ingest(const std::string& url,
                                                   XmlDocument document) {
+  if (degraded_.load(std::memory_order_acquire)) {
+    return Status::Unavailable(
+        "warehouse degraded (persistent store IOError): ingest rejected, "
+        "reads still served: " + url);
+  }
   return IngestInternal(url, std::move(document), /*defer_monitors=*/false);
 }
 
 Result<Warehouse::IngestReport> Warehouse::IngestInternal(
-    const std::string& url, XmlDocument document, bool defer_monitors) {
+    const std::string& url, XmlDocument document, bool defer_monitors,
+    const Context* context) {
   if (document.root() == nullptr) {
     return Status::InvalidArgument("cannot ingest an empty document: " + url);
   }
@@ -128,9 +121,15 @@ Result<Warehouse::IngestReport> Warehouse::IngestInternal(
 
   // Commit hands back the superseded version instead of us deep-cloning
   // it up front — the diff reads the old tree but never mutates it.
+  // The batch context rides into the diff through its options, so the
+  // BULD matching loop observes the deadline cooperatively; on a
+  // context error Commit leaves the repository untouched (the delta is
+  // never appended).
+  DiffOptions diff_options = options_;
+  diff_options.context = context;
   XmlDocument old_version;
   Result<int> version =
-      doc->repo->Commit(std::move(document), options_, &old_version);
+      doc->repo->Commit(std::move(document), diff_options, &old_version);
   if (!version.ok()) return version.status();
   report.version = *version;
 
@@ -265,6 +264,32 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
   std::atomic<size_t> degraded_slots{0};
   std::atomic<bool> batch_failed{false};
   std::atomic<uint64_t> parse_stall_ns{0}, diff_stall_ns{0};
+  // Overload accounting: slots declined or abandoned, by cause.
+  std::atomic<size_t> shed_count{0}, quarantined_count{0};
+  std::atomic<size_t> deadline_count{0}, cancelled_count{0};
+  // Byte budget spent by admitted slots (admission control).
+  std::atomic<size_t> admitted_bytes{0};
+  // Flush-group ordinal, salting the retry jitter stream per group.
+  std::atomic<uint64_t> flush_ordinal{0};
+
+  // Classifies a context error into the overload counters and fails the
+  // slot with it. `failed_while_processing` feeds the circuit breaker:
+  // a slot whose own processing blew the deadline counts against its
+  // URL (repeated time-outs quarantine the input), a slot that was
+  // merely never admitted does not.
+  const auto fail_slot_with_context_error = [&](size_t index,
+                                                const Status& status,
+                                                bool failed_while_processing) {
+    if (status.code() == StatusCode::kCancelled) {
+      cancelled_count.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      deadline_count.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (failed_while_processing) {
+      RecordBreakerOutcome(jobs[index].url, /*success=*/false, pipeline);
+    }
+    results[index] = status;
+  };
 
   const int worker_count = std::max(
       1, std::min<int>(pipeline.threads, static_cast<int>(
@@ -320,15 +345,32 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
       }
     }
     size_t group_retries = 0;
+    // Deadline-aware, jittered retry around the group commit. The
+    // context is also threaded INTO SaveRepositoryBatch, which checks
+    // it between slots and before — never after — the journal write, so
+    // a deadline mid-save leaves disk bit-exactly pre-batch.
     const Status saved = RetryTransient(
-        pipeline.max_io_retries, pipeline.retry_backoff_ms,
+        StoreRetryPolicy(pipeline.max_io_retries, pipeline.retry_backoff_ms,
+                         flush_ordinal.fetch_add(1)),
+        pipeline.context,
         [&] {
           return SaveRepositoryBatch(slots, pipeline.save_directory,
-                                     pipeline.env);
+                                     pipeline.env, pipeline.context);
         },
         &group_retries);
     for (size_t g = group.size(); g > 0; --g) {
       if (docs[g - 1] != nullptr) docs[g - 1]->mutex.unlock();
+    }
+    RecordStoreHealth(saved, pipeline);
+    if (!saved.ok() && IsContextError(saved.code())) {
+      // The in-memory ingests stand; only persistence was cut short.
+      // Count once per group under the deadline/cancel columns so the
+      // overload report shows WHY the disk is behind.
+      if (saved.code() == StatusCode::kCancelled) {
+        cancelled_count.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        deadline_count.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     // The commit is shared, so its cost and its outcome are attributed
     // to every slot in the group: all-or-nothing on disk.
@@ -365,7 +407,9 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
         }
         if (!pipeline.save_directory.empty() && !group_commit) {
           const Status saved = RetryTransient(
-              pipeline.max_io_retries, pipeline.retry_backoff_ms,
+              StoreRetryPolicy(pipeline.max_io_retries,
+                               pipeline.retry_backoff_ms, index),
+              pipeline.context,
               [&] {
                 return SaveRepository(*doc->repo,
                                       pipeline.save_directory + "/" +
@@ -373,6 +417,7 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
                                       pipeline.env);
               },
               &report.store_retries);
+          RecordStoreHealth(saved, pipeline);
           if (!saved.ok()) {
             report.store_degraded = true;
             store_failed.fetch_add(1, std::memory_order_relaxed);
@@ -429,15 +474,39 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
   // off to the store stage.
   const auto diff_one = [&](ParsedItem item) {
     diff_items.fetch_add(1, std::memory_order_relaxed);
+    // Stage boundary check-point: a slot parked in the diff queue past
+    // the deadline fails here instead of running a doomed diff.
+    if (pipeline.context != nullptr) {
+      const Status live = pipeline.context->Check();
+      if (!live.ok()) {
+        diff_failed.fetch_add(1, std::memory_order_relaxed);
+        fail_slot_with_context_error(item.index, live,
+                                     /*failed_while_processing=*/true);
+        finish_item(item.index);
+        return;
+      }
+    }
     results[item.index] = IngestInternal(jobs[item.index].url,
                                          std::move(item.doc),
-                                         pipeline.defer_monitor_updates);
+                                         pipeline.defer_monitor_updates,
+                                         pipeline.context);
     if (!results[item.index].ok()) {
       diff_failed.fetch_add(1, std::memory_order_relaxed);
-      batch_failed.store(true, std::memory_order_release);
+      const Status& status = results[item.index].status();
+      if (IsContextError(status.code())) {
+        fail_slot_with_context_error(item.index, status,
+                                     /*failed_while_processing=*/true);
+      } else {
+        // Context deaths are not the batch's fault; everything else is
+        // and arms fail-fast + the slot's circuit breaker.
+        batch_failed.store(true, std::memory_order_release);
+        RecordBreakerOutcome(jobs[item.index].url, /*success=*/false,
+                             pipeline);
+      }
       finish_item(item.index);
       return;
     }
+    RecordBreakerOutcome(jobs[item.index].url, /*success=*/true, pipeline);
     if (results[item.index]->first_version) {
       finish_item(item.index);  // No delta to store for version 1.
       return;
@@ -486,6 +555,7 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
     if (!doc.ok()) {
       parse_failed.fetch_add(1, std::memory_order_relaxed);
       batch_failed.store(true, std::memory_order_release);
+      RecordBreakerOutcome(jobs[index].url, /*success=*/false, pipeline);
       results[index] = Status::ParseError("cannot parse " + jobs[index].url +
                                           ": " + doc.status().message());
       finish_item(index);
@@ -530,6 +600,56 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
           done_count.fetch_add(1, std::memory_order_acq_rel);
           continue;
         }
+        // --- Admission control (DESIGN.md §3.17). Checked at claim time,
+        // before the slot consumes any pipeline resources. Rejected slots
+        // were never in flight, so they bypass finish_item.
+        if (degraded_.load(std::memory_order_acquire)) {
+          quarantined_count.fetch_add(1, std::memory_order_relaxed);
+          results[i] = Status::Unavailable(
+              "warehouse degraded (persistent store IOError): slot "
+              "rejected, reads still served: " + jobs[i].url);
+          done_count.fetch_add(1, std::memory_order_acq_rel);
+          continue;
+        }
+        if (pipeline.context != nullptr) {
+          const Status live = pipeline.context->Check();
+          if (!live.ok()) {
+            fail_slot_with_context_error(i, live,
+                                         /*failed_while_processing=*/false);
+            done_count.fetch_add(1, std::memory_order_acq_rel);
+            continue;
+          }
+        }
+        if (!BreakerAdmits(jobs[i].url, pipeline)) {
+          quarantined_count.fetch_add(1, std::memory_order_relaxed);
+          results[i] = Status::Unavailable(
+              "quarantined by circuit breaker after repeated failures: " +
+              jobs[i].url);
+          done_count.fetch_add(1, std::memory_order_acq_rel);
+          continue;
+        }
+        const size_t slot_bytes = jobs[i].xml.size();
+        if (pipeline.max_document_bytes != 0 &&
+            slot_bytes > pipeline.max_document_bytes) {
+          shed_count.fetch_add(1, std::memory_order_relaxed);
+          results[i] = Status::ResourceExhausted(
+              "document exceeds max_document_bytes, shed: " + jobs[i].url);
+          done_count.fetch_add(1, std::memory_order_acq_rel);
+          continue;
+        }
+        if (pipeline.max_batch_bytes != 0) {
+          const size_t before =
+              admitted_bytes.fetch_add(slot_bytes, std::memory_order_relaxed);
+          if (before + slot_bytes > pipeline.max_batch_bytes) {
+            // Give the reservation back so a smaller later slot may fit.
+            admitted_bytes.fetch_sub(slot_bytes, std::memory_order_relaxed);
+            shed_count.fetch_add(1, std::memory_order_relaxed);
+            results[i] = Status::ResourceExhausted(
+                "batch byte budget exhausted, slot shed: " + jobs[i].url);
+            done_count.fetch_add(1, std::memory_order_acq_rel);
+            continue;
+          }
+        }
         parse_one(i);
         continue;
       }
@@ -548,7 +668,7 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
         }
       }
       // Tail: peers still hold items; re-poll shortly.
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      SleepFor(std::chrono::microseconds(50));
     }
   };
 
@@ -584,6 +704,10 @@ std::vector<Result<Warehouse::IngestReport>> Warehouse::DiffBatch(
     stats->stages = {parse_stage, diff_stage, store_stage};
     stats->peak_in_flight = peak_in_flight.load();
     stats->degraded_slots = degraded_slots.load();
+    stats->shed_slots = shed_count.load();
+    stats->quarantined_slots = quarantined_count.load();
+    stats->deadline_slots = deadline_count.load();
+    stats->cancelled_slots = cancelled_count.load();
     stats->wall_seconds =
         std::chrono::duration<double>(Clock::now() - batch_start).count();
   }
@@ -597,6 +721,88 @@ size_t Warehouse::document_count() const {
     count += shard.documents.size();
   }
   return count;
+}
+
+bool Warehouse::BreakerAdmits(const std::string& url,
+                              const PipelineOptions& pipeline) {
+  if (pipeline.breaker_failure_threshold <= 0) return true;  // Disabled.
+  Shard& shard = ShardFor(url);
+  MutexLock lock(shard.mutex);
+  const auto it = shard.breakers.find(url);
+  if (it == shard.breakers.end() || !it->second.open) return true;
+  // While open, every probe_interval-th arrival is admitted as a probe
+  // so a healed input can close its own breaker; the rest are rejected.
+  const int interval = std::max(1, pipeline.breaker_probe_interval);
+  const size_t seen = it->second.rejected_while_open++;
+  return seen % static_cast<size_t>(interval) ==
+         static_cast<size_t>(interval) - 1;
+}
+
+void Warehouse::RecordBreakerOutcome(const std::string& url, bool success,
+                                     const PipelineOptions& pipeline) {
+  if (pipeline.breaker_failure_threshold <= 0) return;  // Disabled.
+  Shard& shard = ShardFor(url);
+  MutexLock lock(shard.mutex);
+  if (success) {
+    shard.breakers.erase(url);  // Healed: forget the history entirely.
+    return;
+  }
+  Breaker& breaker = shard.breakers[url];
+  breaker.consecutive_failures++;
+  if (breaker.consecutive_failures >= pipeline.breaker_failure_threshold) {
+    breaker.open = true;
+  }
+}
+
+void Warehouse::RecordStoreHealth(const Status& saved,
+                                  const PipelineOptions& pipeline) {
+  if (saved.ok()) {
+    io_failure_streak_.store(0, std::memory_order_release);
+    return;
+  }
+  // Only real I/O errors advance the streak: a deadline or cancellation
+  // during a save says nothing about the store Env's health.
+  if (saved.code() != StatusCode::kIOError) return;
+  const size_t streak =
+      io_failure_streak_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (pipeline.degrade_after_io_failures > 0 &&
+      streak >= static_cast<size_t>(pipeline.degrade_after_io_failures)) {
+    degraded_.store(true, std::memory_order_release);
+  }
+}
+
+Warehouse::Health Warehouse::health() const {
+  Health snapshot;
+  snapshot.degraded = degraded_.load(std::memory_order_acquire);
+  snapshot.io_failure_streak =
+      io_failure_streak_.load(std::memory_order_acquire);
+  snapshot.open_breakers = 0;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mutex);
+    for (const auto& [url, breaker] : shard.breakers) {
+      if (breaker.open) snapshot.open_breakers++;
+    }
+  }
+  snapshot.documents = document_count();
+  return snapshot;
+}
+
+void Warehouse::ResetHealth() {
+  degraded_.store(false, std::memory_order_release);
+  io_failure_streak_.store(0, std::memory_order_release);
+  for (Shard& shard : shards_) {
+    MutexLock lock(shard.mutex);
+    shard.breakers.clear();
+  }
+}
+
+std::string Warehouse::Health::ToString() const {
+  std::string out = degraded ? "DEGRADED (ingest rejected, reads served)"
+                             : "healthy";
+  out += ": io_failure_streak=" + std::to_string(io_failure_streak);
+  out += " open_breakers=" + std::to_string(open_breakers);
+  out += " documents=" + std::to_string(documents);
+  return out;
 }
 
 std::vector<std::string> Warehouse::urls() const {

@@ -2,6 +2,7 @@
 #define XYDIFF_VERSION_WAREHOUSE_H_
 
 #include <array>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
@@ -14,6 +15,7 @@
 #include "monitor/index.h"
 #include "monitor/subscription.h"
 #include "util/annotations.h"
+#include "util/context.h"
 #include "util/env.h"
 #include "util/mutex.h"
 #include "util/thread_pool.h"
@@ -102,6 +104,40 @@ class Warehouse {
     /// manifest rename + sync per slot — see SaveRepositoryBatch).
     /// 1 = per-slot commits (the pre-batch behaviour).
     size_t group_commit_slots = 8;
+    /// Deadline/cancellation for the whole batch (not owned; may be
+    /// null). Checked at admission, at stage boundaries, inside the
+    /// diff's long loops, and in the store stage up to (never past) the
+    /// group-commit journal write. Slots that the context kills come
+    /// back as kDeadlineExceeded/kCancelled; slots whose in-memory
+    /// ingest finished but whose group save was cut short are reported
+    /// degraded (in memory yes, on disk no — the journal is the single
+    /// commit point, so disk is bit-exactly pre-batch for them).
+    const Context* context = nullptr;
+    /// Admission budget: cumulative raw-XML bytes admitted per DiffBatch
+    /// call. Once spent, remaining slots are SHED with
+    /// kResourceExhausted instead of queued (overload sheds at the front
+    /// door, it does not build unbounded backlog). 0 = unlimited.
+    size_t max_batch_bytes = 0;
+    /// Per-document byte cap: a single oversized (possibly hostile)
+    /// document is shed with kResourceExhausted before it can balloon a
+    /// parse arena. 0 = unlimited.
+    size_t max_document_bytes = 0;
+    /// Circuit breaker: a URL whose slots fail this many consecutive
+    /// times (parse/diff errors, or a deadline firing while its slot was
+    /// being processed) has its breaker opened — subsequent slots for it
+    /// are rejected with kUnavailable ("quarantined") without spending
+    /// any work. 0 disables the breaker.
+    int breaker_failure_threshold = 0;
+    /// While a breaker is open, every Nth rejected admission is let
+    /// through as a probe; one success closes the breaker. Deterministic
+    /// (count-based, no wall clock) so tests replay exactly.
+    int breaker_probe_interval = 4;
+    /// Degraded mode: after this many consecutive store-stage commits
+    /// failing with persistent IOError, the warehouse flips to degraded
+    /// (health().degraded) and rejects further ingest admissions with
+    /// kUnavailable while still serving reads (Search/Checkout). A
+    /// successful commit, or ResetHealth(), clears it. 0 disables.
+    int degrade_after_io_failures = 0;
     /// Bulk-load mode (default): the batch defers full-text index and
     /// statistics maintenance out of the ingest critical path — each
     /// touched document's index is marked stale and rebuilt lazily on
@@ -155,6 +191,25 @@ class Warehouse {
     return DiffBatch(std::move(jobs), PipelineOptions());
   }
 
+  /// Point-in-time health snapshot (see DESIGN.md §3.17). `degraded`
+  /// means the store Env reported persistent IOError and the warehouse
+  /// is rejecting ingest while serving reads; `open_breakers` counts
+  /// URLs currently quarantined by their circuit breaker.
+  struct Health {
+    bool degraded = false;
+    size_t io_failure_streak = 0;
+    size_t open_breakers = 0;
+    size_t documents = 0;
+
+    std::string ToString() const;
+  };
+  Health health() const;
+
+  /// Operator action: leaves degraded mode and closes every circuit
+  /// breaker. State also self-heals (a successful store commit resets
+  /// the IOError streak; a successful probe closes a breaker).
+  void ResetHealth();
+
   /// Number of tracked documents.
   size_t document_count() const;
   /// URLs in lexicographic order.
@@ -204,6 +259,16 @@ class Warehouse {
     bool index_dirty XY_GUARDED_BY(mutex) = false;
   };
 
+  /// Per-URL circuit breaker state (deterministic, count-based — no
+  /// wall clock, so quarantine behaviour replays exactly in tests and
+  /// fuzz trials). Lives beside the document map because failed parses
+  /// never create a Document slot, yet must still trip the breaker.
+  struct Breaker {
+    int consecutive_failures = 0;
+    bool open = false;
+    size_t rejected_while_open = 0;  ///< Drives the probe cadence.
+  };
+
   /// The document map is split into shards locked independently, so the
   /// map-shape lock is never a global serialization point for a batch.
   /// Only the map *shape* is guarded — Document contents have their own
@@ -212,6 +277,7 @@ class Warehouse {
     mutable Mutex mutex;
     std::map<std::string, std::unique_ptr<Document>> documents
         XY_GUARDED_BY(mutex);
+    std::map<std::string, Breaker> breakers XY_GUARDED_BY(mutex);
   };
   static constexpr size_t kShards = 16;
 
@@ -224,7 +290,24 @@ class Warehouse {
   /// evaluation is unconditional whenever subscriptions exist.
   Result<IngestReport> IngestInternal(const std::string& url,
                                       XmlDocument document,
-                                      bool defer_monitors);
+                                      bool defer_monitors,
+                                      const Context* context = nullptr);
+
+  /// Circuit-breaker admission check for `url`: true admits (closed
+  /// breaker, or an open breaker's probe turn). False rejects and
+  /// advances the probe counter. No-op (always true) when the breaker
+  /// is disabled.
+  bool BreakerAdmits(const std::string& url, const PipelineOptions& pipeline);
+  /// Feeds one slot outcome into `url`'s breaker: success closes it and
+  /// clears the streak; failure (slot-intrinsic: parse/diff error or a
+  /// deadline during processing) may open it.
+  void RecordBreakerOutcome(const std::string& url, bool success,
+                            const PipelineOptions& pipeline);
+  /// Feeds one store-commit outcome into degraded-mode tracking.
+  /// Context errors (deadline/cancel) are neutral — only real IOError
+  /// advances the streak, only success clears it.
+  void RecordStoreHealth(const Status& saved,
+                         const PipelineOptions& pipeline);
 
   Shard& ShardFor(const std::string& url) const;
   Document* FindDocument(const std::string& url) const;
@@ -249,6 +332,11 @@ class Warehouse {
   // happens in a thread-local collector, the merge is O(labels).
   mutable Mutex stats_mutex_;
   ChangeStatistics stats_ XY_GUARDED_BY(stats_mutex_);
+  // Degraded-mode tracking (plain atomics, not a mutex: updated from
+  // the store stage with document locks held, and a new lock there
+  // would grow the lock-order graph for two monotonic counters).
+  mutable std::atomic<size_t> io_failure_streak_{0};
+  mutable std::atomic<bool> degraded_{false};
 };
 
 }  // namespace xydiff

@@ -36,8 +36,10 @@
 #include "simulator/change_simulator.h"  // IWYU pragma: export
 #include "simulator/doc_generator.h"     // IWYU pragma: export
 #include "simulator/web_corpus.h"        // IWYU pragma: export
+#include "util/context.h"            // IWYU pragma: export
 #include "util/env.h"                // IWYU pragma: export
 #include "util/fault_env.h"          // IWYU pragma: export
+#include "util/retry.h"              // IWYU pragma: export
 #include "util/status.h"             // IWYU pragma: export
 #include "version/repository.h"      // IWYU pragma: export
 #include "version/site_diff.h"       // IWYU pragma: export

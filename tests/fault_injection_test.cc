@@ -441,7 +441,8 @@ bool ProbeBatchFaultPoint(
     const std::vector<VersionRepository>& after,
     const std::vector<std::vector<std::string>>& sig_before,
     const std::vector<std::vector<std::string>>& sig_after,
-    const std::function<void(FaultInjectionEnv&)>& plan) {
+    const std::function<void(FaultInjectionEnv&)>& plan,
+    const Context* context = nullptr) {
   fs::remove_all(parent);
   FaultInjectionEnv env;
   std::vector<RepositorySaveSlot> seed;
@@ -456,7 +457,7 @@ bool ProbeBatchFaultPoint(
   for (size_t i = 0; i < after.size(); ++i) {
     slots.push_back({&after[i], "slot" + std::to_string(i)});
   }
-  const Status saved = SaveRepositoryBatch(slots, parent, &env);
+  const Status saved = SaveRepositoryBatch(slots, parent, &env, context);
   const bool triggered = env.triggered();
   XY_EXPECT_OK(env.DropUnsyncedData());
 
@@ -556,6 +557,120 @@ TEST_F(FaultInjectionTest, BatchTornWriteAtEveryOffsetYieldsAllPreOrAllPost) {
     EXPECT_GT(op, 10) << "keep=" << keep;
     EXPECT_LT(op, 10000) << "keep=" << keep;
   }
+}
+
+TEST_F(FaultInjectionTest, BatchCancelAtEveryOperationYieldsAllPreOrAllPost) {
+  // Cancellation sweep: fire Cancel() at the Nth env op of the batched
+  // save and require the reopened store to be ALL pre or ALL post —
+  // the group-commit journal is the single commit point, so a cancel
+  // noticed before it aborts cleanly and one noticed after it (there
+  // are no checks after) lets the batch roll forward. Zero hybrids.
+  const BatchCorpus corpus = MakeBatchCorpus(3);
+  int op = 0;
+  int cancelled_runs = 0;
+  for (; op < 10000; ++op) {
+    CancellationSource source;
+    const Context ctx = source.MakeContext();
+    bool triggered = false;
+    {
+      // Count runs the save actually abandoned (vs cancels that fired
+      // past its last check-point and rolled forward).
+      fs::remove_all(Dir());
+      triggered = ProbeBatchFaultPoint(
+          Dir(), corpus.before, corpus.after, corpus.sig_before,
+          corpus.sig_after,
+          [op, &source](FaultInjectionEnv& env) {
+            env.CancelAt(op, source);
+          },
+          &ctx);
+    }
+    if (source.cancelled()) ++cancelled_runs;
+    if (!triggered) break;
+  }
+  EXPECT_GT(op, 10);
+  EXPECT_LT(op, 10000);
+  EXPECT_GT(cancelled_runs, 10);
+}
+
+TEST_F(FaultInjectionTest, BatchDeadlineMidSaveYieldsAllPreOrAllPost) {
+  // Deadline sweep: a DelayAt-injected stall at the Nth op makes a
+  // 25 ms deadline expire mid-save, deterministically at that op. The
+  // save must notice at its next check-point and leave disk all-pre;
+  // a stall landing after the journal write rolls forward to all-post.
+  const BatchCorpus corpus = MakeBatchCorpus(2);
+  int op = 0;
+  for (; op < 10000; ++op) {
+    const Context ctx =
+        Context::WithTimeout(std::chrono::milliseconds(25));
+    if (!ProbeBatchFaultPoint(
+            Dir(), corpus.before, corpus.after, corpus.sig_before,
+            corpus.sig_after,
+            [op](FaultInjectionEnv& env) { env.DelayAt(op, 60); }, &ctx)) {
+      break;
+    }
+  }
+  EXPECT_GT(op, 5);
+  EXPECT_LT(op, 10000);
+}
+
+TEST_F(FaultInjectionTest, DeadlineCrossTornWriteLeavesNoHybrid) {
+  // The combination sweep the overload ISSUE calls for: a deadline
+  // blown at op N (via an injected stall) AND a torn write at a later
+  // op. Whichever fires first must still leave every slot bit-exactly
+  // pre- or post-batch. The torn write only triggers when the save
+  // survives past the stall — both orders are covered by the sweep.
+  const BatchCorpus corpus = MakeBatchCorpus(2);
+  for (const int delay_op : {0, 2, 4, 6, 8}) {
+    for (const size_t keep : {size_t{0}, size_t{512}}) {
+      const Context ctx =
+          Context::WithTimeout(std::chrono::milliseconds(25));
+      ProbeBatchFaultPoint(
+          Dir(), corpus.before, corpus.after, corpus.sig_before,
+          corpus.sig_after,
+          [delay_op, keep](FaultInjectionEnv& env) {
+            env.DelayAt(delay_op, 60);
+            env.TearWriteAt(delay_op + 3, keep);
+          },
+          &ctx);
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, DelayAtStallsTheTargetedOperations) {
+  FaultInjectionEnv env;
+  XY_ASSERT_OK(env.CreateDirs(Dir()));
+  env.Reset();
+  env.DelayAt(0, 30, 2);
+  const auto start = std::chrono::steady_clock::now();
+  XY_ASSERT_OK(env.WriteFile(Dir() + "/a", "x"));
+  XY_ASSERT_OK(env.WriteFile(Dir() + "/b", "y"));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  // Two stalled ops at 30 ms each; the op itself still succeeds.
+  EXPECT_GE(elapsed.count(), 60);
+  EXPECT_TRUE(env.triggered());
+  // Ops past the window run at full speed and the files are intact.
+  Result<std::string> a = env.ReadFile(Dir() + "/a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, "x");
+}
+
+TEST_F(FaultInjectionTest, CancelAtFiresTheSourceAndLetsTheOpProceed) {
+  FaultInjectionEnv env;
+  XY_ASSERT_OK(env.CreateDirs(Dir()));
+  env.Reset();
+  CancellationSource source;
+  env.CancelAt(1, source);
+  XY_ASSERT_OK(env.WriteFile(Dir() + "/a", "x"));  // Op 0: no cancel yet.
+  EXPECT_FALSE(source.cancelled());
+  XY_ASSERT_OK(env.WriteFile(Dir() + "/b", "y"));  // Op 1 fires the cancel.
+  EXPECT_TRUE(source.cancelled());
+  EXPECT_TRUE(env.triggered());
+  // The op that fired the cancel still completed — the *caller* is the
+  // one that must notice at its next check-point.
+  Result<std::string> b = env.ReadFile(Dir() + "/b");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, "y");
 }
 
 TEST_F(FaultInjectionTest, WriteFileShortFailureIsIOErrorNotCorruption) {

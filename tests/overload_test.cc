@@ -1,0 +1,311 @@
+// Overload and degradation behaviour of the warehouse pipeline
+// (DESIGN.md §3.17): admission control sheds slots against byte
+// budgets, a dead context fails slots with kDeadlineExceeded /
+// kCancelled without touching the store, the per-URL circuit breaker
+// quarantines repeatedly failing inputs (and heals through probes),
+// and persistent store IOError flips the warehouse into a documented
+// degraded mode — ingest rejected, reads still served.
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/context.h"
+#include "util/fault_env.h"
+#include "util/status.h"
+#include "version/warehouse.h"
+#include "xml/parser.h"
+
+namespace xydiff {
+namespace {
+
+namespace fs = std::filesystem;
+
+using std::chrono::milliseconds;
+
+class ScratchDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("xydiff_overload_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Dir() const { return dir_.string(); }
+
+  fs::path dir_;
+};
+
+std::string SmallDoc(int i, int version) {
+  return "<doc><id>" + std::to_string(i) + "</id><v>page version " +
+         std::to_string(version) + " payload</v></doc>";
+}
+
+std::vector<Warehouse::DiffJob> MakeJobs(size_t count, int version) {
+  std::vector<Warehouse::DiffJob> jobs;
+  for (size_t i = 0; i < count; ++i) {
+    jobs.push_back({"doc" + std::to_string(i),
+                    SmallDoc(static_cast<int>(i), version)});
+  }
+  return jobs;
+}
+
+TEST(OverloadTest, BatchByteBudgetShedsWithResourceExhausted) {
+  Warehouse warehouse;
+  Warehouse::PipelineOptions pipeline;
+  pipeline.threads = 2;
+  const std::vector<Warehouse::DiffJob> jobs = MakeJobs(8, 1);
+  // Budget for roughly half the batch: some slots must be admitted,
+  // some must be shed (which ones depends on claim order).
+  size_t total = 0;
+  for (const auto& job : jobs) total += job.xml.size();
+  pipeline.max_batch_bytes = total / 2;
+
+  PipelineStats stats;
+  const auto reports = warehouse.DiffBatch(jobs, pipeline, &stats);
+  size_t ok = 0, shed = 0;
+  for (const auto& r : reports) {
+    if (r.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+          << r.status().ToString();
+      ++shed;
+    }
+  }
+  EXPECT_GT(ok, 0u);
+  EXPECT_GT(shed, 0u);
+  EXPECT_EQ(stats.shed_slots, shed);
+  // Shed slots never became documents.
+  EXPECT_EQ(warehouse.document_count(), ok);
+}
+
+TEST(OverloadTest, OversizedDocumentIsShedOthersProceed) {
+  Warehouse warehouse;
+  Warehouse::PipelineOptions pipeline;
+  pipeline.threads = 2;
+  pipeline.max_document_bytes = 256;
+  std::vector<Warehouse::DiffJob> jobs = MakeJobs(3, 1);
+  jobs.push_back({"hostile", "<doc><blob>" + std::string(4096, 'x') +
+                                 "</blob></doc>"});
+  PipelineStats stats;
+  const auto reports = warehouse.DiffBatch(jobs, pipeline, &stats);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(reports[i].ok()) << reports[i].status().ToString();
+  }
+  ASSERT_FALSE(reports[3].ok());
+  EXPECT_EQ(reports[3].status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(stats.shed_slots, 1u);
+  EXPECT_EQ(warehouse.document_count(), 3u);
+}
+
+TEST(OverloadTest, ExpiredDeadlineFailsEverySlotCleanly) {
+  Warehouse warehouse;
+  Warehouse::PipelineOptions pipeline;
+  pipeline.threads = 2;
+  const Context expired = Context::WithTimeout(milliseconds(0));
+  pipeline.context = &expired;
+  PipelineStats stats;
+  const auto reports = warehouse.DiffBatch(MakeJobs(5, 1), pipeline, &stats);
+  for (const auto& r : reports) {
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
+        << r.status().ToString();
+  }
+  EXPECT_EQ(stats.deadline_slots, 5u);
+  // No partial state: nothing was ingested.
+  EXPECT_EQ(warehouse.document_count(), 0u);
+}
+
+TEST(OverloadTest, CancelledSourceFailsEverySlotWithCancelled) {
+  Warehouse warehouse;
+  Warehouse::PipelineOptions pipeline;
+  pipeline.threads = 2;
+  CancellationSource source;
+  source.Cancel();
+  const Context ctx = source.MakeContext();
+  pipeline.context = &ctx;
+  PipelineStats stats;
+  const auto reports = warehouse.DiffBatch(MakeJobs(4, 1), pipeline, &stats);
+  for (const auto& r : reports) {
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  }
+  EXPECT_EQ(stats.cancelled_slots, 4u);
+  EXPECT_EQ(warehouse.document_count(), 0u);
+}
+
+TEST(OverloadTest, DeadlinePropagatesIntoSingleIngestDiff) {
+  // The context reaches the diff itself (XyDiff checks it on entry), not
+  // just the pipeline's admission gate.
+  Warehouse warehouse;
+  Result<XmlDocument> v1 = ParseXml(SmallDoc(0, 1));
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(warehouse.Ingest("doc0", std::move(*v1)).ok());
+
+  Warehouse::PipelineOptions pipeline;
+  pipeline.threads = 1;
+  const Context expired = Context::WithTimeout(milliseconds(0));
+  pipeline.context = &expired;
+  const auto reports =
+      warehouse.DiffBatch({{"doc0", SmallDoc(0, 2)}}, pipeline);
+  ASSERT_FALSE(reports[0].ok());
+  EXPECT_EQ(reports[0].status().code(), StatusCode::kDeadlineExceeded);
+  // The failed slot must not have advanced the stored version.
+  EXPECT_EQ(warehouse.version_count("doc0"), 1);
+}
+
+TEST(OverloadTest, BreakerOpensAfterRepeatedFailuresAndHealsViaProbe) {
+  Warehouse warehouse;
+  Warehouse::PipelineOptions pipeline;
+  pipeline.threads = 1;
+  pipeline.breaker_failure_threshold = 2;
+  pipeline.breaker_probe_interval = 2;
+
+  // Two consecutive parse failures open the breaker for this URL.
+  for (int round = 0; round < 2; ++round) {
+    const auto reports =
+        warehouse.DiffBatch({{"flaky", "<broken <<"}}, pipeline);
+    ASSERT_FALSE(reports[0].ok());
+    EXPECT_EQ(reports[0].status().code(), StatusCode::kParseError);
+  }
+  EXPECT_EQ(warehouse.health().open_breakers, 1u);
+
+  // Open: the first arrival is rejected without work...
+  {
+    const auto reports =
+        warehouse.DiffBatch({{"flaky", SmallDoc(7, 1)}}, pipeline);
+    ASSERT_FALSE(reports[0].ok());
+    EXPECT_EQ(reports[0].status().code(), StatusCode::kUnavailable);
+  }
+  // ...and with probe_interval = 2 the second is admitted as a probe;
+  // the input is healthy now, so the probe succeeds and closes the
+  // breaker.
+  {
+    const auto reports =
+        warehouse.DiffBatch({{"flaky", SmallDoc(7, 1)}}, pipeline);
+    ASSERT_TRUE(reports[0].ok()) << reports[0].status().ToString();
+  }
+  EXPECT_EQ(warehouse.health().open_breakers, 0u);
+  // Closed for good: the next slot is admitted normally.
+  const auto reports =
+      warehouse.DiffBatch({{"flaky", SmallDoc(7, 2)}}, pipeline);
+  ASSERT_TRUE(reports[0].ok()) << reports[0].status().ToString();
+  EXPECT_EQ(warehouse.version_count("flaky"), 2);
+}
+
+TEST(OverloadTest, OtherUrlsAreUntouchedByAnOpenBreaker) {
+  Warehouse warehouse;
+  Warehouse::PipelineOptions pipeline;
+  pipeline.threads = 1;
+  pipeline.breaker_failure_threshold = 1;
+  ASSERT_FALSE(warehouse.DiffBatch({{"bad", "<broken <<"}}, pipeline)[0].ok());
+  EXPECT_EQ(warehouse.health().open_breakers, 1u);
+  const auto reports =
+      warehouse.DiffBatch({{"good", SmallDoc(1, 1)}}, pipeline);
+  EXPECT_TRUE(reports[0].ok()) << reports[0].status().ToString();
+}
+
+using OverloadStoreTest = ScratchDirTest;
+
+TEST_F(OverloadStoreTest, PersistentStoreIOErrorDegradesWarehouse) {
+  FaultInjectionEnv env;
+  Warehouse warehouse;
+  Warehouse::PipelineOptions pipeline;
+  pipeline.threads = 1;
+  pipeline.save_directory = Dir();
+  pipeline.env = &env;
+  pipeline.max_io_retries = 0;
+  pipeline.retry_backoff_ms = 0;
+  // Per-slot commits: the first slot's failed save must flip the
+  // warehouse to degraded BEFORE the second slot is claimed, so the
+  // second is rejected at admission (a tail-flushed group would batch
+  // both slots into one commit and reject neither).
+  pipeline.group_commit_slots = 1;
+  pipeline.degrade_after_io_failures = 1;
+
+  // Round 1: version 1 everywhere — the store stage skips first-sight
+  // slots, so this round succeeds even though the env will later fail.
+  for (const auto& r : warehouse.DiffBatch(MakeJobs(2, 1), pipeline)) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  ASSERT_FALSE(warehouse.health().degraded);
+
+  // Round 2: every I/O op fails with (transient-looking but persistent)
+  // IOError. The first slot's commit fails after retries -> the
+  // warehouse degrades; the second slot is rejected at admission.
+  env.InjectErrorAt(0, 1 << 20);
+  const auto reports = warehouse.DiffBatch(MakeJobs(2, 2), pipeline);
+  EXPECT_TRUE(warehouse.health().degraded);
+  size_t unavailable = 0;
+  for (const auto& r : reports) {
+    if (!r.ok() && r.status().code() == StatusCode::kUnavailable) {
+      ++unavailable;
+    }
+  }
+  EXPECT_GE(unavailable, 1u);
+
+  // Degraded mode: ingest is rejected...
+  Result<XmlDocument> doc = ParseXml(SmallDoc(9, 1));
+  ASSERT_TRUE(doc.ok());
+  Result<Warehouse::IngestReport> rejected =
+      warehouse.Ingest("newdoc", std::move(*doc));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+  // ...while reads are still served.
+  EXPECT_FALSE(warehouse.Search("payload").empty());
+  EXPECT_TRUE(warehouse.Checkout("doc0", 1).ok());
+
+  // Operator action (or a healthy store) restores service.
+  env.Reset();
+  warehouse.ResetHealth();
+  EXPECT_FALSE(warehouse.health().degraded);
+  Result<XmlDocument> retry_doc = ParseXml(SmallDoc(9, 1));
+  ASSERT_TRUE(retry_doc.ok());
+  EXPECT_TRUE(warehouse.Ingest("newdoc", std::move(*retry_doc)).ok());
+}
+
+TEST(OverloadTest, HealthSnapshotReportsCountsAndPrints) {
+  Warehouse warehouse;
+  Warehouse::Health healthy = warehouse.health();
+  EXPECT_FALSE(healthy.degraded);
+  EXPECT_EQ(healthy.open_breakers, 0u);
+  EXPECT_EQ(healthy.documents, 0u);
+  EXPECT_NE(healthy.ToString().find("healthy"), std::string::npos);
+
+  Warehouse::PipelineOptions pipeline;
+  pipeline.threads = 1;
+  pipeline.breaker_failure_threshold = 1;
+  ASSERT_FALSE(warehouse.DiffBatch({{"bad", "<broken <<"}}, pipeline)[0].ok());
+  for (const auto& r : warehouse.DiffBatch(MakeJobs(2, 1), pipeline)) {
+    ASSERT_TRUE(r.ok());
+  }
+  const Warehouse::Health after = warehouse.health();
+  EXPECT_EQ(after.open_breakers, 1u);
+  EXPECT_EQ(after.documents, 2u);
+  EXPECT_NE(after.ToString().find("open_breakers=1"), std::string::npos);
+}
+
+TEST(OverloadTest, DefaultOptionsImposeNoLimits) {
+  // All overload knobs default off: a plain batch behaves exactly as
+  // before this subsystem existed.
+  Warehouse warehouse;
+  Warehouse::PipelineOptions pipeline;
+  pipeline.threads = 2;
+  PipelineStats stats;
+  const auto reports = warehouse.DiffBatch(MakeJobs(6, 1), pipeline, &stats);
+  for (const auto& r : reports) {
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+  }
+  EXPECT_EQ(stats.shed_slots, 0u);
+  EXPECT_EQ(stats.quarantined_slots, 0u);
+  EXPECT_EQ(stats.deadline_slots, 0u);
+  EXPECT_EQ(stats.cancelled_slots, 0u);
+}
+
+}  // namespace
+}  // namespace xydiff

@@ -200,6 +200,108 @@ TEST(BoundedQueueTest, ManyProducersManyConsumersLoseNothing) {
   EXPECT_LE(queue.peak_depth(), 8u);
 }
 
+TEST(BoundedQueueTest, CancelWakesBlockedConsumerWithoutDraining) {
+  // Regression for the original shutdown semantics: a consumer blocked
+  // in Pop could only be released by Close(), which forced it to drain.
+  // Cancel() must wake it exactly once, returning nullopt and leaving
+  // queued items alone. Run under TSan (tools/run_tsan_tests.sh) to
+  // cover the wakeup race itself.
+  BoundedQueue<int> queue(4);
+  constexpr int kConsumers = 3;
+  std::atomic<int> woke_empty{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      if (!queue.Pop().has_value()) {
+        woke_empty.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Give every consumer a chance to block on the empty queue, then pull
+  // the plug. (A consumer that has not blocked yet still sees cancelled_
+  // on entry — either order must work.)
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Cancel();
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(woke_empty.load(), kConsumers);
+  EXPECT_TRUE(queue.cancelled());
+  // Pop after Cancel returns immediately, no blocking, no draining.
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, CancelWakesBlockedProducerExactlyOnce) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<int> push_rejected{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&] {
+      // Blocks on the full queue until Cancel(), then reports failure.
+      if (!queue.Push(2)) push_rejected.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Cancel();
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(push_rejected.load(), 3);
+  // The cancelled queue refuses late arrivals on both sides...
+  EXPECT_FALSE(queue.Push(3));
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+  // ...but TryPop still drains the abandoned item for cleanup.
+  EXPECT_EQ(queue.TryPop(), std::optional<int>(1));
+  EXPECT_EQ(queue.TryPop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, CancelDoesNotLetPopStartWorkOnStaleItems) {
+  // Items queued before Cancel must NOT come out of blocking Pop — a
+  // cancelled consumer would otherwise start work the caller abandoned.
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.Push(1));
+  ASSERT_TRUE(queue.Push(2));
+  queue.Cancel();
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(BoundedQueueTest, CancelIsIdempotentAndImpliesClose) {
+  BoundedQueue<int> queue(2);
+  queue.Cancel();
+  queue.Cancel();
+  EXPECT_TRUE(queue.cancelled());
+  EXPECT_FALSE(queue.Push(1));
+  EXPECT_FALSE(queue.TryPush(1));
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, CancelWhileBothSidesBlockedReleasesEveryone) {
+  // The mixed case the fix exists for: producers blocked on a full
+  // queue AND (after a cancel) consumers arriving — everybody returns,
+  // nobody deadlocks, nobody busy-loops.
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(0));
+  std::atomic<int> released{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 2; ++p) {
+    threads.emplace_back([&] {
+      // May succeed (a racing Pop freed the slot before Cancel) or be
+      // refused — returning at all is the release under test.
+      queue.Push(1);
+      released.fetch_add(1);
+    });
+  }
+  threads.emplace_back([&] {
+    // Full queue: this Pop could legitimately pop the pre-cancel item
+    // (races with Cancel) or see the cancellation — both are releases.
+    queue.Pop();
+    released.fetch_add(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.Cancel();
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(released.load(), 3);
+}
+
 TEST(PipelineStatsTest, ToStringListsEveryStage) {
   PipelineStats stats;
   stats.stages.push_back({"parse", 100, 2, 0, 7, 0.25});

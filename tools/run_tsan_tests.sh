@@ -20,4 +20,4 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
-  -R 'thread_pool|parallel_pipeline|warehouse|roundtrip_property|pipeline|storage|fuzz'
+  -R 'thread_pool|parallel_pipeline|warehouse|roundtrip_property|pipeline|storage|fuzz|overload'

@@ -11,7 +11,8 @@
 //   xydiff_tool stats DELTA.xml
 //   xydiff_tool validate DELTA.xml
 //   xydiff_tool batch MANIFEST.tsv [-o WAREHOUSE_DIR] [--threads N]
-//               [--queue N] [--stats]
+//               [--queue N] [--stats] [--deadline-ms MS]
+//               [--max-batch-bytes BYTES]
 //   xydiff_tool checkout WAREHOUSE_DIR URL [--version N] [-o OUT] [--stats]
 //
 // XIDs are persisted in sidecar meta files (--meta / --write-meta, see
@@ -67,7 +68,8 @@ class Args {
       const std::string arg = argv[i];
       if (arg == "-o" || arg == "--meta" || arg == "--write-meta" ||
           arg == "--window" || arg == "--threads" || arg == "--queue" ||
-          arg == "--version") {
+          arg == "--version" || arg == "--deadline-ms" ||
+          arg == "--max-batch-bytes") {
         if (i + 1 >= argc) {
           error_ = "flag " + arg + " needs a value";
           return;
@@ -319,7 +321,10 @@ int CmdBatch(const Args& args) {
     std::fprintf(stderr,
                  "usage: xydiff_tool batch MANIFEST.tsv [-o WAREHOUSE_DIR]"
                  " [--threads N] [--queue N] [--stats] [--fail-fast]\n"
-                 "manifest line: OLD.xml<TAB>NEW.xml[<TAB>URL]\n");
+                 "       [--deadline-ms MS] [--max-batch-bytes BYTES]\n"
+                 "manifest line: OLD.xml<TAB>NEW.xml[<TAB>URL]\n"
+                 "exit codes: 0 ok, 1 slot failed, 2 usage, 3 deadline,\n"
+                 "            4 cancelled, 5 shed (budget), 6 quarantined\n");
     return 2;
   }
   Result<std::string> manifest =
@@ -365,11 +370,29 @@ int CmdBatch(const Args& args) {
     pipeline.queue_capacity = static_cast<size_t>(*parsed);
   }
   pipeline.fail_fast = args.Has("--fail-fast");
+  // The deadline context must outlive both DiffBatch calls below; it
+  // covers the whole run (old versions + new versions).
+  std::optional<Context> deadline_context;
+  if (auto deadline = args.Get("--deadline-ms")) {
+    Result<long> parsed = ParsePositive("--deadline-ms", *deadline);
+    if (!parsed.ok()) return Fail(parsed.status());
+    deadline_context = Context::WithTimeout(std::chrono::milliseconds(*parsed));
+    pipeline.context = &*deadline_context;
+  }
+  if (auto budget = args.Get("--max-batch-bytes")) {
+    Result<long> parsed = ParsePositive("--max-batch-bytes", *budget);
+    if (!parsed.ok()) return Fail(parsed.status());
+    pipeline.max_batch_bytes = static_cast<size_t>(*parsed);
+  }
 
   // Per-slot outcomes accumulate here; the tool always prints a summary
-  // of every failed slot and exits non-zero if there was any.
+  // of every failed slot and exits non-zero if there was any. Overload
+  // outcomes (deadline / cancelled / shed / quarantined) are counted
+  // separately and map to distinct exit codes.
   std::vector<std::string> failed_slots;
   size_t aborted = 0;
+  size_t deadline_slots = 0, cancelled_slots = 0;
+  size_t shed_slots = 0, quarantined_slots = 0;
   const std::vector<std::string> urls = [&] {
     std::vector<std::string> out;
     for (const Warehouse::DiffJob& job : news) out.push_back(job.url);
@@ -381,7 +404,28 @@ int CmdBatch(const Args& args) {
       ++aborted;
       return;
     }
-    failed_slots.push_back(urls[index] + " (" + pass +
+    const char* category = "failed";
+    switch (status.code()) {
+      case StatusCode::kDeadlineExceeded:
+        ++deadline_slots;
+        category = "deadline";
+        break;
+      case StatusCode::kCancelled:
+        ++cancelled_slots;
+        category = "cancelled";
+        break;
+      case StatusCode::kResourceExhausted:
+        ++shed_slots;
+        category = "shed";
+        break;
+      case StatusCode::kUnavailable:
+        ++quarantined_slots;
+        category = "quarantined";
+        break;
+      default:
+        break;
+    }
+    failed_slots.push_back(urls[index] + " (" + pass + ", " + category +
                            "): " + status.ToString());
   };
 
@@ -421,6 +465,15 @@ int CmdBatch(const Args& args) {
   if (aborted > 0) {
     std::fprintf(stderr, "%zu slot(s) skipped by --fail-fast\n", aborted);
   }
+  const size_t overload_slots =
+      deadline_slots + cancelled_slots + shed_slots + quarantined_slots;
+  if (overload_slots > 0) {
+    std::fprintf(stderr,
+                 "overload: %zu deadline, %zu cancelled, %zu shed,"
+                 " %zu quarantined\n",
+                 deadline_slots, cancelled_slots, shed_slots,
+                 quarantined_slots);
+  }
   if (args.Has("--stats")) {
     std::fputs(stats.ToString().c_str(), stderr);
   }
@@ -428,7 +481,16 @@ int CmdBatch(const Args& args) {
     if (Status s = warehouse.Save(*out); !s.ok()) return Fail(s);
     std::printf("warehouse saved to %s\n", out->c_str());
   }
-  return failed_slots.empty() ? 0 : 1;
+  if (failed_slots.empty()) return 0;
+  // Distinct exit codes when every failure shares one overload cause;
+  // mixed or intrinsic failures keep the generic code 1.
+  if (failed_slots.size() == overload_slots) {
+    if (deadline_slots == overload_slots) return 3;
+    if (cancelled_slots == overload_slots) return 4;
+    if (shed_slots == overload_slots) return 5;
+    if (quarantined_slots == overload_slots) return 6;
+  }
+  return 1;
 }
 
 /// Reconstructs one version of one warehouse document from its

@@ -34,6 +34,12 @@ Enforces repository invariants the compiler cannot (see DESIGN.md §3.11):
                       src/fuzz/ alone is exempt: a campaign may draw its
                       starting seed from the environment, provided every
                       trial seed is derived from it and logged.
+  naked-sleep         No `sleep_for`/`sleep_until`/`usleep`/`nanosleep` in
+                      src/ or tools/ outside util/retry.{h,cc} — every
+                      product-code wait goes through SleepFor (util/retry.h)
+                      so backoff stays deadline-aware and the `naked-sleep`
+                      grep finds every place time is burned. Tests are
+                      exempt: they orchestrate real time on purpose.
 
   allow-unjustified   Every xylint escape carries its reason inline. A bare
                       `allow(<rule>)` suppresses nothing and is itself a
@@ -59,6 +65,7 @@ RULES = (
     "void-discard",
     "raw-io",
     "nondet-seed",
+    "naked-sleep",
     "allow-unjustified",
 )
 
@@ -183,6 +190,8 @@ FS_MUTATION_RE = re.compile(
     r"resize_file|permissions|last_write_time)\s*\("
 )
 VOID_CAST_RE = re.compile(r"\(void\)\s*[A-Za-z_(]")
+NAKED_SLEEP_RE = re.compile(
+    r"\bsleep_for\s*\(|\bsleep_until\s*\(|\busleep\s*\(|\bnanosleep\s*\(")
 NONDET_SEED_RE = re.compile(
     r"std::random_device\b|\bsrand\s*\(|\brand\s*\(\s*\)|"
     # An Rng / <random> engine constructed or re-seeded from the clock
@@ -205,6 +214,7 @@ def lint_file(path, rel, src_root, findings):
     is_arena = rel in ("src/util/arena.h", "src/util/arena.cc")
     is_pool = rel in ("src/util/thread_pool.h", "src/util/thread_pool.cc")
     is_env = rel == "src/util/env.cc"
+    is_retry = rel in ("src/util/retry.h", "src/util/retry.cc")
     in_fuzz = rel.startswith("src/fuzz/")
 
     for lineno, line in enumerate(code_lines, start=1):
@@ -269,6 +279,17 @@ def lint_file(path, rel, src_root, findings):
                         "raw file I/O outside util/env.cc — route it "
                         "through Env (util/env.h) so fault injection and "
                         "crash-safety cover it"))
+
+        # naked-sleep: product-code waits go through SleepFor so backoff
+        # stays deadline-aware (util/retry.h).
+        if (in_src or in_tools) and not is_retry:
+            if NAKED_SLEEP_RE.search(line):
+                if not allowed(raw_lines, lineno, "naked-sleep"):
+                    findings.append(Finding(
+                        rel, lineno, "naked-sleep",
+                        "direct sleep outside util/retry — call SleepFor "
+                        "(util/retry.h) so waits stay deadline-aware and "
+                        "greppable"))
 
         # nondet-seed: randomness replays from logged integer seeds.
         if not in_fuzz:
